@@ -1,0 +1,50 @@
+//! E1 bench: end-to-end benchmark-query throughput of the full TriniT
+//! system (the workload behind the paper's NDCG@5 table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trinit_core::Engine;
+use trinit_eval::{build_full_system, build_world, generate_benchmark, BenchmarkConfig, EvalConfig};
+
+fn bench_quality_workload(c: &mut Criterion) {
+    let cfg = EvalConfig {
+        seed: 42,
+        scale: 0.08,
+        per_category: 4,
+    };
+    let (world, kg) = build_world(&cfg);
+    let system = build_full_system(&world, &cfg);
+    let queries = generate_benchmark(
+        &world,
+        &kg,
+        &BenchmarkConfig {
+            seed: 1,
+            per_category: cfg.per_category,
+        },
+    );
+    let parsed: Vec<_> = queries
+        .iter()
+        .map(|q| system.parse(&q.text).expect("benchmark parses"))
+        .collect();
+
+    let mut group = c.benchmark_group("e1_quality_workload");
+    group.sample_size(10);
+    for (name, engine) in [
+        ("trinit_topk", Engine::IncrementalTopK),
+        ("exact_baseline", Engine::Exact),
+    ] {
+        group.bench_function(BenchmarkId::new("query_set", name), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &parsed {
+                    let outcome = system.run(q.clone(), engine);
+                    total += outcome.answers.len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality_workload);
+criterion_main!(benches);

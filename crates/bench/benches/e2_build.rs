@@ -1,0 +1,43 @@
+//! E2 bench: XKG construction — world generation, incomplete-KG
+//! projection, Open IE ingestion, and index build, at two scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trinit_core::worldgen::corpus::generate_corpus;
+use trinit_core::worldgen::{project_kg, CorpusConfig, KgConfig, World, WorldConfig};
+use trinit_core::TrinitBuilder;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_build");
+    group.sample_size(10);
+
+    for scale in [0.05f64, 0.1] {
+        group.bench_function(BenchmarkId::new("world_generate", format!("{scale}")), |b| {
+            b.iter(|| World::generate(WorldConfig::demo(7).scaled(scale)))
+        });
+
+        let world = World::generate(WorldConfig::demo(7).scaled(scale));
+        group.bench_function(BenchmarkId::new("kg_projection", format!("{scale}")), |b| {
+            b.iter(|| project_kg(&world, &KgConfig::default()))
+        });
+
+        let kg = project_kg(&world, &KgConfig::default());
+        let mut corpus_cfg = CorpusConfig::tiny(9);
+        corpus_cfg.documents = (400.0 * scale / 0.05) as usize;
+        group.bench_function(BenchmarkId::new("corpus_render", format!("{scale}")), |b| {
+            b.iter(|| generate_corpus(&world, &kg.included, &corpus_cfg))
+        });
+
+        group.bench_function(
+            BenchmarkId::new("full_system_build", format!("{scale}")),
+            |b| {
+                b.iter(|| {
+                    TrinitBuilder::from_world(&world, &KgConfig::default(), &corpus_cfg).build()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E4 bench: relaxation-rule mining — the §3 co-occurrence/inversion
+//! miner and the granularity miner, against built stores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trinit_core::relax::{
+    mine_cooccurrence, mine_granularity, GranularityMinerConfig, MinerConfig,
+};
+use trinit_core::worldgen::{CorpusConfig, KgConfig, World, WorldConfig};
+use trinit_core::TrinitBuilder;
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_mining");
+    group.sample_size(10);
+
+    for scale in [0.05f64, 0.1] {
+        let world = World::generate(WorldConfig::demo(11).scaled(scale));
+        let mut corpus = CorpusConfig::tiny(3);
+        corpus.documents = (600.0 * scale / 0.05) as usize;
+        let system = TrinitBuilder::from_world(&world, &KgConfig::default(), &corpus).build();
+        let store = system.store();
+
+        group.bench_function(
+            BenchmarkId::new("cooccurrence", format!("{scale}")),
+            |b| b.iter(|| mine_cooccurrence(store, &MinerConfig::default())),
+        );
+
+        let type_pred = store.resource("type").expect("type predicate");
+        let via = store.resource("locatedIn").expect("locatedIn predicate");
+        group.bench_function(
+            BenchmarkId::new("granularity", format!("{scale}")),
+            |b| {
+                b.iter(|| {
+                    mine_granularity(store, type_pred, via, &GranularityMinerConfig::default())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining);
+criterion_main!(benches);

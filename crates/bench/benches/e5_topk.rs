@@ -1,0 +1,59 @@
+//! E5 bench: the paper's efficiency claim — incremental top-k vs full
+//! expansion vs exact evaluation, sweeping k.
+//!
+//! "It is crucial to avoid exploring the entire space of possible
+//! rewritings, as this can be prohibitively expensive" (§4). The series
+//! regenerated here is the runtime companion of the work-counter table
+//! printed by `reproduce -- e5`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trinit_core::Engine;
+use trinit_eval::{build_full_system, build_world, generate_benchmark, BenchmarkConfig, EvalConfig};
+
+fn bench_topk(c: &mut Criterion) {
+    let cfg = EvalConfig {
+        seed: 42,
+        scale: 0.08,
+        per_category: 3,
+    };
+    let (world, kg) = build_world(&cfg);
+    let system = build_full_system(&world, &cfg);
+    let queries = generate_benchmark(
+        &world,
+        &kg,
+        &BenchmarkConfig {
+            seed: 2,
+            per_category: cfg.per_category,
+        },
+    );
+    let parsed: Vec<_> = queries
+        .iter()
+        .map(|q| system.parse(&q.text).expect("parses"))
+        .collect();
+
+    let mut group = c.benchmark_group("e5_topk_vs_expansion");
+    group.sample_size(10);
+    for k in [1usize, 5, 10, 50] {
+        for (name, engine) in [
+            ("incremental_topk", Engine::IncrementalTopK),
+            ("full_expansion", Engine::FullExpansion),
+            ("exact", Engine::Exact),
+        ] {
+            group.bench_function(BenchmarkId::new(name, k), |b| {
+                b.iter(|| {
+                    let mut answers = 0usize;
+                    for q in &parsed {
+                        let mut q = q.clone();
+                        q.k = k;
+                        answers += system.run(q, engine).answers.len();
+                    }
+                    answers
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

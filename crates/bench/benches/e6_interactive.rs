@@ -1,0 +1,38 @@
+//! E6/E7/E8 bench: interactive-latency operations of the demo surface —
+//! parsing, querying the paper fixture, explanation rendering, query
+//! suggestion, and auto-completion (paper §5, Figures 5 and 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trinit_core::fixtures::{paper_rules, paper_store};
+use trinit_core::Trinit;
+
+fn bench_interactive(c: &mut Criterion) {
+    let store = paper_store();
+    let rules = paper_rules(&store);
+    let system = Trinit::from_parts(store, rules);
+    let figure5 = "AlbertEinstein affiliation ?x . ?x member IvyLeague LIMIT 5";
+
+    let mut group = c.benchmark_group("e6_interactive");
+
+    group.bench_function("parse", |b| {
+        b.iter(|| system.parse(figure5).expect("parses"))
+    });
+
+    group.bench_function("query_figure5", |b| {
+        b.iter(|| system.query(figure5).expect("parses"))
+    });
+
+    let outcome = system.query(figure5).expect("parses");
+    group.bench_function("explain_figure6", |b| {
+        b.iter(|| system.explain(&outcome, 0).map(|e| e.render()))
+    });
+
+    group.bench_function("suggest", |b| b.iter(|| system.suggest(&outcome)));
+
+    group.bench_function("autocomplete", |b| b.iter(|| system.complete("Alb", 8)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interactive);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! The paper's running example as a ready-made store and rule set.
+//!
+//! [`paper_store`] materializes exactly the sample KG of Figure 1 plus
+//! the XKG extension of Figure 3; [`paper_rules`] builds the four
+//! relaxation rules of Figure 4. Examples, tests, and the E3/E6/E7
+//! reproductions all run against these fixtures.
+
+use trinit_relax::{RVar, Rule, RuleProvenance, RuleSet, TTerm, Template};
+use trinit_xkg::{XkgBuilder, XkgStore};
+
+/// Builds the paper's sample XKG: Figure 1 (KG) + Figure 3 (extension),
+/// plus the `type` triples the granularity rule needs.
+pub fn paper_store() -> XkgStore {
+    let mut b = XkgBuilder::new();
+
+    // Figure 1: sample knowledge graph.
+    b.add_kg_resources("AlbertEinstein", "bornIn", "Ulm");
+    b.add_kg_resources("Ulm", "locatedIn", "Germany");
+    b.add_kg_literal("AlbertEinstein", "bornOn", "1879-03-14");
+    b.add_kg_resources("AlfredKleiner", "hasStudent", "AlbertEinstein");
+    b.add_kg_resources("AlbertEinstein", "affiliation", "IAS");
+    b.add_kg_resources("PrincetonUniversity", "member", "IvyLeague");
+
+    // Ontological typing (Yago2s-style), needed by rule 1.
+    b.add_kg_resources("AlbertEinstein", "type", "person");
+    b.add_kg_resources("AlfredKleiner", "type", "person");
+    b.add_kg_resources("Ulm", "type", "city");
+    b.add_kg_resources("Germany", "type", "country");
+    b.add_kg_resources("IAS", "type", "institute");
+    b.add_kg_resources("PrincetonUniversity", "type", "university");
+    b.add_kg_resources("IvyLeague", "type", "league");
+
+    // Figure 3: sample knowledge graph extension (Open IE triples).
+    let einstein = b.dict_mut().resource("AlbertEinstein");
+    let ias = b.dict_mut().resource("IAS");
+    let princeton = b.dict_mut().resource("PrincetonUniversity");
+
+    let won_nobel = b.dict_mut().token("won nobel for");
+    let discovery = b
+        .dict_mut()
+        .token("discovery of the photoelectric effect");
+    let housed_in = b.dict_mut().token("housed in");
+    let lectured_at = b.dict_mut().token("lectured at");
+    let met_teacher = b.dict_mut().token("met his teacher");
+    let prof_kleiner = b.dict_mut().token("prof. kleiner");
+
+    let d1 = b.intern_source("clueweb:doc-000017");
+    let d2 = b.intern_source("clueweb:doc-002381");
+    let d3 = b.intern_source("clueweb:doc-104455");
+
+    b.add_extracted(einstein, won_nobel, discovery, 0.85, d1);
+    b.add_extracted(ias, housed_in, princeton, 0.9, d2);
+    b.add_extracted(einstein, lectured_at, princeton, 0.8, d2);
+    b.add_extracted(einstein, met_teacher, prof_kleiner, 0.6, d3);
+
+    b.build()
+}
+
+/// Builds the four relaxation rules of Figure 4 against `store`.
+///
+/// 1. `?x bornIn ?y ; ?y type country → ?x bornIn ?z ; ?z type city ;
+///    ?z locatedIn ?y` (w = 1.0)
+/// 2. `?x hasAdvisor ?y → ?y hasStudent ?x` (w = 1.0)
+/// 3. `?x affiliation ?y → ?x affiliation ?z ; ?z 'housed in' ?y`
+///    (w = 0.8)
+/// 4. `?x affiliation ?y → ?x 'lectured at' ?y` (w = 0.7)
+///
+/// `hasAdvisor` is not in the store's vocabulary (that is user B's whole
+/// problem); the returned rule set interns nothing — rule 2 is built
+/// against the id the caller obtains from
+/// [`trinit_query::QueryBuilder::resource`], so this function also
+/// returns that id for reuse.
+pub fn paper_rules(store: &XkgStore) -> RuleSet {
+    let mut rules = RuleSet::new();
+    let r = |name: &str| store.resource(name).expect("fixture resource");
+    let t = |name: &str| store.token(name).expect("fixture token");
+
+    let (x, y, z) = (TTerm::Var(RVar(0)), TTerm::Var(RVar(1)), TTerm::Var(RVar(2)));
+
+    // Rule 1 (granularity).
+    rules.add(Rule::structural(
+        "?x bornIn ?y ; ?y type country => ?x bornIn ?z ; ?z type city ; ?z locatedIn ?y",
+        vec![
+            Template::new(x, TTerm::Const(r("bornIn")), y),
+            Template::new(y, TTerm::Const(r("type")), TTerm::Const(r("country"))),
+        ],
+        vec![
+            Template::new(x, TTerm::Const(r("bornIn")), z),
+            Template::new(z, TTerm::Const(r("type")), TTerm::Const(r("city"))),
+            Template::new(z, TTerm::Const(r("locatedIn")), y),
+        ],
+        1.0,
+        RuleProvenance::Ontology,
+    ));
+
+    // Rule 2 (inversion) is added by callers that know the hasAdvisor id
+    // (see `paper_rules_with_advisor`).
+
+    // Rule 3 (structural: move into the XKG via 'housed in').
+    rules.add(Rule::structural(
+        "?x affiliation ?y => ?x affiliation ?z ; ?z 'housed in' ?y",
+        vec![Template::new(x, TTerm::Const(r("affiliation")), y)],
+        vec![
+            Template::new(x, TTerm::Const(r("affiliation")), z),
+            Template::new(z, TTerm::Const(t("housed in")), y),
+        ],
+        0.8,
+        RuleProvenance::UserDefined,
+    ));
+
+    // Rule 4 (predicate rewrite into the XKG).
+    rules.add(Rule::predicate_rewrite(
+        "?x affiliation ?y => ?x 'lectured at' ?y",
+        r("affiliation"),
+        t("lectured at"),
+        0.7,
+        RuleProvenance::UserDefined,
+    ));
+
+    rules
+}
+
+/// [`paper_rules`] plus rule 2, which needs the out-of-vocabulary
+/// `hasAdvisor` id the query layer assigned.
+pub fn paper_rules_with_advisor(
+    store: &XkgStore,
+    has_advisor: trinit_xkg::TermId,
+) -> RuleSet {
+    let mut rules = paper_rules(store);
+    let has_student = store.resource("hasStudent").expect("fixture resource");
+    rules.add(Rule::inversion(
+        "?x hasAdvisor ?y => ?y hasStudent ?x",
+        has_advisor,
+        has_student,
+        1.0,
+        RuleProvenance::MinedInversion,
+    ));
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_xkg::GraphTag;
+
+    #[test]
+    fn figure_1_and_3_counts() {
+        let store = paper_store();
+        assert_eq!(store.len_of(GraphTag::Kg), 13, "6 facts + 7 type triples");
+        assert_eq!(store.len_of(GraphTag::Xkg), 4, "Figure 3 extension");
+    }
+
+    #[test]
+    fn figure_4_rules() {
+        let store = paper_store();
+        let rules = paper_rules(&store);
+        assert_eq!(rules.len(), 3);
+        let weights: Vec<f64> = rules.iter().map(|(_, r)| r.weight).collect();
+        assert_eq!(weights, vec![1.0, 0.8, 0.7]);
+    }
+
+    #[test]
+    fn xkg_triples_have_sources() {
+        let store = paper_store();
+        let housed = store.token("housed in").unwrap();
+        let ids = store.lookup(&trinit_xkg::SlotPattern::with_p(housed));
+        assert_eq!(ids.len(), 1);
+        assert!(!store.provenance(ids[0]).sources.is_empty());
+    }
+}

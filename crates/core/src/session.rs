@@ -1,0 +1,142 @@
+//! Interactive sessions with user-defined relaxation rules.
+//!
+//! The demo lets users "define their own relaxation rules" and "supply
+//! TriniT with relaxation rules invoked during query processing" (paper
+//! §5, Figure 5 shows rules 3 and 4 entered in the UI). A [`Session`]
+//! overlays user rules on the system rule set without mutating the
+//! shared system.
+
+use trinit_query::Query;
+use trinit_relax::{Rule, RuleId, RuleSet};
+
+use crate::trinit::{Engine, QueryOutcome, Trinit};
+
+/// One user's interactive session.
+pub struct Session<'a> {
+    system: &'a Trinit,
+    rules: RuleSet,
+    user_rules: usize,
+}
+
+impl<'a> Session<'a> {
+    /// Opens a session over a system; starts with the system rule set.
+    pub fn new(system: &'a Trinit) -> Session<'a> {
+        let mut rules = RuleSet::new();
+        for (_, rule) in system.rules().iter() {
+            rules.add(rule.clone());
+        }
+        Session {
+            system,
+            rules,
+            user_rules: 0,
+        }
+    }
+
+    /// Opens a session that ignores the system rules (pure user rules).
+    pub fn without_system_rules(system: &'a Trinit) -> Session<'a> {
+        Session {
+            system,
+            rules: RuleSet::new(),
+            user_rules: 0,
+        }
+    }
+
+    /// Adds a user-defined rule, returning its id in this session.
+    pub fn add_rule(&mut self, rule: Rule) -> RuleId {
+        self.user_rules += 1;
+        self.rules.add(rule)
+    }
+
+    /// Number of user-added rules.
+    pub fn user_rule_count(&self) -> usize {
+        self.user_rules
+    }
+
+    /// The session's combined rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &Trinit {
+        self.system
+    }
+
+    /// Parses and answers a query with the session rule set.
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, trinit_query::ParseError> {
+        let query = self.system.parse(text)?;
+        Ok(self.run(query, Engine::IncrementalTopK))
+    }
+
+    /// Runs a compiled query with the session rule set.
+    pub fn run(&self, query: Query, engine: Engine) -> QueryOutcome {
+        self.system.run_with_rules(query, engine, &self.rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{paper_rules, paper_store};
+    use trinit_relax::RuleProvenance;
+
+    fn system() -> Trinit {
+        let store = paper_store();
+        let rules = paper_rules(&store);
+        Trinit::from_parts(store, rules)
+    }
+
+    #[test]
+    fn session_sees_system_rules() {
+        let sys = system();
+        let session = Session::new(&sys);
+        assert_eq!(session.rules().len(), sys.rules().len());
+        assert_eq!(session.user_rule_count(), 0);
+    }
+
+    #[test]
+    fn user_rule_changes_results() {
+        let sys = system();
+        // Without rule 2, user B's query has no answers (even with the
+        // figure-4 rules 1/3/4 present).
+        let outcome = Session::without_system_rules(&sys)
+            .query("AlbertEinstein hasAdvisor ?x")
+            .unwrap();
+        assert!(outcome.answers.is_empty());
+
+        // Adding the inversion rule in-session recovers Kleiner.
+        let mut session = Session::without_system_rules(&sys);
+        let q = sys.parse("AlbertEinstein hasAdvisor ?x").unwrap();
+        let has_advisor = q.unknown_terms[0].0;
+        let has_student = sys.store().resource("hasStudent").unwrap();
+        session.add_rule(trinit_relax::Rule::inversion(
+            "?x hasAdvisor ?y => ?y hasStudent ?x",
+            has_advisor,
+            has_student,
+            1.0,
+            RuleProvenance::UserDefined,
+        ));
+        assert_eq!(session.user_rule_count(), 1);
+        let outcome = session.run(q, Engine::IncrementalTopK);
+        assert_eq!(outcome.answers.len(), 1);
+        let kleiner = sys.store().resource("AlfredKleiner").unwrap();
+        assert_eq!(outcome.answers[0].key[0].1, Some(kleiner));
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let sys = system();
+        let mut a = Session::new(&sys);
+        let b = Session::new(&sys);
+        a.add_rule(trinit_relax::Rule::predicate_rewrite(
+            "user",
+            sys.store().resource("bornIn").unwrap(),
+            sys.store().resource("diedIn").unwrap_or_else(|| {
+                sys.store().resource("bornIn").unwrap()
+            }),
+            0.4,
+            RuleProvenance::UserDefined,
+        ));
+        assert_eq!(a.rules().len(), b.rules().len() + 1);
+    }
+}

@@ -1,0 +1,465 @@
+//! The TriniT system facade.
+//!
+//! [`TrinitBuilder`] assembles an extended knowledge graph from a curated
+//! KG plus raw text (run through the Open IE pipeline), then mines
+//! relaxation rules; the resulting [`Trinit`] system answers extended
+//! triple-pattern queries with relaxation, explanation, suggestion, and
+//! auto-completion — the full demo surface of the paper.
+
+use trinit_openie::{Linker, OpenIePipeline, PipelineConfig};
+use trinit_query::exec::{exact, expand, topk};
+use trinit_query::{
+    Answer, AnswerCollector, ExecMetrics, Query, TopkConfig,
+};
+use trinit_relax::{
+    CooccurrenceOperator, ExpandOptions, GranularityMinerConfig, GranularityOperator,
+    MinerConfig, OperatorRegistry, ParaphraseGroup, ParaphraseOperator, RelaxationOperator,
+    RuleSet,
+};
+use trinit_worldgen::corpus::generate_corpus;
+use trinit_worldgen::{alias_catalog, project_kg, CorpusConfig, KgConfig, World};
+use trinit_xkg::{GraphTag, XkgBuilder, XkgStore};
+
+use crate::complete::{Completer, Completion};
+use crate::explain::{explain, Explanation};
+use crate::suggest::{suggest, SuggestConfig, Suggestion};
+
+/// Which execution engine answers a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Exact evaluation, no relaxation (the non-relaxing baseline).
+    Exact,
+    /// Full expansion of all rewritings up front (reference semantics).
+    FullExpansion,
+    /// The paper's incremental top-k processor (default).
+    IncrementalTopK,
+}
+
+/// The result of running one query.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The parsed/compiled query.
+    pub query: Query,
+    /// Top-k answers, best first.
+    pub answers: Vec<Answer>,
+    /// Work counters of the engine.
+    pub metrics: ExecMetrics,
+}
+
+/// Statistics describing a built system (the E2 dataset table).
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Distinct curated-KG triples.
+    pub kg_triples: usize,
+    /// Distinct Open IE extension triples.
+    pub xkg_triples: usize,
+    /// Documents ingested.
+    pub documents: usize,
+    /// Extraction pipeline counters.
+    pub ingest: trinit_openie::IngestStats,
+    /// Relaxation rules available after mining.
+    pub rules: usize,
+}
+
+impl BuildStats {
+    /// Total distinct triples (KG + XKG strata).
+    pub fn total_triples(&self) -> usize {
+        self.kg_triples + self.xkg_triples
+    }
+}
+
+/// Build-time options.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Run the §3 co-occurrence miner.
+    pub mine_cooccurrence: bool,
+    /// Co-occurrence miner configuration.
+    pub miner: MinerConfig,
+    /// Run the granularity miner (requires `type`/`via` predicates).
+    pub mine_granularity: bool,
+    /// Granularity miner configuration.
+    pub granularity: GranularityMinerConfig,
+    /// Name of the `type` predicate.
+    pub type_predicate: String,
+    /// Name of the connecting predicate for granularity rules.
+    pub via_predicate: String,
+    /// Paraphrase clusters to compile into rules.
+    pub paraphrase_groups: Vec<ParaphraseGroup>,
+    /// Open IE pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Entity-linking dominance threshold.
+    pub linker_dominance: f64,
+    /// Default top-k processor configuration.
+    pub topk: TopkConfig,
+    /// Default full-expansion options (baseline engine).
+    pub expand: ExpandOptions,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            mine_cooccurrence: true,
+            miner: MinerConfig::default(),
+            mine_granularity: true,
+            granularity: GranularityMinerConfig::default(),
+            type_predicate: "type".to_string(),
+            via_predicate: "locatedIn".to_string(),
+            paraphrase_groups: Vec::new(),
+            pipeline: PipelineConfig::default(),
+            linker_dominance: 0.6,
+            topk: TopkConfig::default(),
+            expand: ExpandOptions::default(),
+        }
+    }
+}
+
+/// Assembles a [`Trinit`] system.
+pub struct TrinitBuilder {
+    kg_facts: Vec<(String, String, String, bool)>,
+    documents: Vec<(String, Vec<String>)>,
+    aliases: Vec<(String, String, f64)>,
+    operators: Vec<Box<dyn RelaxationOperator>>,
+    options: BuildOptions,
+}
+
+impl Default for TrinitBuilder {
+    fn default() -> Self {
+        TrinitBuilder::new()
+    }
+}
+
+impl TrinitBuilder {
+    /// Creates an empty builder with default options.
+    pub fn new() -> TrinitBuilder {
+        TrinitBuilder {
+            kg_facts: Vec::new(),
+            documents: Vec::new(),
+            aliases: Vec::new(),
+            operators: Vec::new(),
+            options: BuildOptions::default(),
+        }
+    }
+
+    /// Creates a builder pre-loaded from a synthetic world: the projected
+    /// incomplete KG, the rendered corpus, and the alias catalog (the
+    /// FACC1 stand-in).
+    pub fn from_world(world: &World, kg_cfg: &KgConfig, corpus_cfg: &CorpusConfig) -> TrinitBuilder {
+        let mut builder = TrinitBuilder::new();
+        let projection = project_kg(world, kg_cfg);
+        for f in &projection.facts {
+            builder.add_kg_fact(&f.subject, &f.predicate, &f.object, f.object_is_literal);
+        }
+        let docs = generate_corpus(world, &projection.included, corpus_cfg);
+        for d in docs {
+            builder.add_document(&d.id, d.sentences);
+        }
+        for entry in alias_catalog(world) {
+            builder.add_alias(&entry.alias, &entry.resource, entry.popularity);
+        }
+        builder
+    }
+
+    /// Adds one curated KG fact.
+    pub fn add_kg_fact(&mut self, s: &str, p: &str, o: &str, literal_object: bool) -> &mut Self {
+        self.kg_facts
+            .push((s.to_string(), p.to_string(), o.to_string(), literal_object));
+        self
+    }
+
+    /// Adds one raw-text document for Open IE.
+    pub fn add_document(&mut self, id: &str, sentences: Vec<String>) -> &mut Self {
+        self.documents.push((id.to_string(), sentences));
+        self
+    }
+
+    /// Adds one entity-linking alias entry.
+    pub fn add_alias(&mut self, alias: &str, resource: &str, prior: f64) -> &mut Self {
+        self.aliases
+            .push((alias.to_string(), resource.to_string(), prior));
+        self
+    }
+
+    /// Registers a custom relaxation operator (runs after built-ins).
+    pub fn add_operator(&mut self, op: Box<dyn RelaxationOperator>) -> &mut Self {
+        self.operators.push(op);
+        self
+    }
+
+    /// Mutable access to the build options.
+    pub fn options_mut(&mut self) -> &mut BuildOptions {
+        &mut self.options
+    }
+
+    /// Builds the system: loads the KG, runs Open IE over the documents,
+    /// freezes the store, and mines the rule set.
+    pub fn build(self) -> Trinit {
+        let mut xkg = XkgBuilder::new();
+        for (s, p, o, literal) in &self.kg_facts {
+            if *literal {
+                xkg.add_kg_literal(s, p, o);
+            } else {
+                xkg.add_kg_resources(s, p, o);
+            }
+        }
+
+        let linker = Linker::new(
+            self.aliases
+                .iter()
+                .map(|(a, r, w)| (a.clone(), r.clone(), *w)),
+            self.options.linker_dominance,
+        );
+        let pipeline = OpenIePipeline::new(linker).with_config(self.options.pipeline.clone());
+        let mut ingest = trinit_openie::IngestStats::default();
+        for (id, sentences) in &self.documents {
+            let stats = pipeline.ingest(id, sentences, &mut xkg);
+            ingest.merge(&stats);
+        }
+
+        let store = xkg.build();
+
+        let mut registry = OperatorRegistry::new();
+        if self.options.mine_cooccurrence {
+            registry.register(Box::new(CooccurrenceOperator {
+                config: self.options.miner.clone(),
+            }));
+        }
+        if self.options.mine_granularity {
+            if let (Some(type_pred), Some(via)) = (
+                store.resource(&self.options.type_predicate),
+                store.resource(&self.options.via_predicate),
+            ) {
+                registry.register(Box::new(GranularityOperator {
+                    type_pred,
+                    via,
+                    config: self.options.granularity.clone(),
+                }));
+            }
+        }
+        if !self.options.paraphrase_groups.is_empty() {
+            registry.register(Box::new(ParaphraseOperator {
+                groups: self.options.paraphrase_groups.clone(),
+            }));
+        }
+        for op in self.operators {
+            registry.register(op);
+        }
+        let rules = registry.build_rules(&store);
+
+        let stats = BuildStats {
+            kg_triples: store.len_of(GraphTag::Kg),
+            xkg_triples: store.len_of(GraphTag::Xkg),
+            documents: self.documents.len(),
+            ingest,
+            rules: rules.len(),
+        };
+        let completer = Completer::build(&store);
+        Trinit {
+            store,
+            rules,
+            completer,
+            topk: self.options.topk,
+            expand: self.options.expand,
+            suggest_cfg: SuggestConfig::default(),
+            stats,
+        }
+    }
+}
+
+/// A built TriniT system: frozen XKG, mined rules, and query surface.
+pub struct Trinit {
+    store: XkgStore,
+    rules: RuleSet,
+    completer: Completer,
+    topk: TopkConfig,
+    expand: ExpandOptions,
+    suggest_cfg: SuggestConfig,
+    stats: BuildStats,
+}
+
+impl Trinit {
+    /// Wraps an already-built store and rule set (used by fixtures,
+    /// evaluation ablations, and tests).
+    pub fn from_parts(store: XkgStore, rules: RuleSet) -> Trinit {
+        let completer = Completer::build(&store);
+        let stats = BuildStats {
+            kg_triples: store.len_of(GraphTag::Kg),
+            xkg_triples: store.len_of(GraphTag::Xkg),
+            documents: 0,
+            ingest: Default::default(),
+            rules: rules.len(),
+        };
+        Trinit {
+            store,
+            rules,
+            completer,
+            topk: TopkConfig::default(),
+            expand: ExpandOptions::default(),
+            suggest_cfg: SuggestConfig::default(),
+            stats,
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &XkgStore {
+        &self.store
+    }
+
+    /// The system rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Build statistics (dataset table of experiment E2).
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The default top-k configuration.
+    pub fn topk_config(&self) -> &TopkConfig {
+        &self.topk
+    }
+
+    /// Parses a query string against this system's vocabulary.
+    pub fn parse(&self, text: &str) -> Result<Query, trinit_query::ParseError> {
+        trinit_query::parse(&self.store, text)
+    }
+
+    /// Parses and answers a query with the default engine (incremental
+    /// top-k) and the system rule set.
+    pub fn query(&self, text: &str) -> Result<QueryOutcome, trinit_query::ParseError> {
+        let query = self.parse(text)?;
+        Ok(self.run(query, Engine::IncrementalTopK))
+    }
+
+    /// Runs a compiled query with a chosen engine and the system rules.
+    pub fn run(&self, query: Query, engine: Engine) -> QueryOutcome {
+        self.run_with_rules(query, engine, &self.rules)
+    }
+
+    /// Runs a compiled query with a caller-supplied rule set (sessions
+    /// with user-defined rules, evaluation ablations).
+    pub fn run_with_rules(&self, query: Query, engine: Engine, rules: &RuleSet) -> QueryOutcome {
+        let (answers, metrics) = match engine {
+            Engine::Exact => {
+                let mut metrics = ExecMetrics::default();
+                let all = exact::evaluate(
+                    &self.store,
+                    &query,
+                    &query.patterns,
+                    &[],
+                    1.0,
+                    &mut metrics,
+                );
+                let mut collector = AnswerCollector::new();
+                for a in all {
+                    collector.offer(a);
+                }
+                (collector.into_top_k(query.k), metrics)
+            }
+            Engine::FullExpansion => expand::run(&self.store, &query, rules, &self.expand),
+            Engine::IncrementalTopK => topk::run(&self.store, &query, rules, &self.topk),
+        };
+        QueryOutcome {
+            query,
+            answers,
+            metrics,
+        }
+    }
+
+    /// Explains one answer of an outcome (paper §5, Figure 6).
+    pub fn explain(&self, outcome: &QueryOutcome, answer_idx: usize) -> Option<Explanation> {
+        outcome
+            .answers
+            .get(answer_idx)
+            .map(|a| explain(&self.store, &outcome.query, &self.rules, a))
+    }
+
+    /// Renders the internal processing steps of an outcome (paper §5:
+    /// "TriniT can show internal steps").
+    pub fn processing_report(&self, outcome: &QueryOutcome) -> String {
+        crate::explain::processing_report(&self.store, &self.rules, outcome)
+    }
+
+    /// Suggestions for a finished query (paper §5).
+    pub fn suggest(&self, outcome: &QueryOutcome) -> Vec<Suggestion> {
+        suggest(
+            &self.store,
+            &outcome.query,
+            &self.rules,
+            &outcome.answers,
+            &self.suggest_cfg,
+        )
+    }
+
+    /// Auto-completes a term prefix (paper §5).
+    pub fn complete(&self, prefix: &str, limit: usize) -> Vec<Completion> {
+        self.completer.complete(prefix, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_worldgen::WorldConfig;
+
+    fn tiny_system() -> Trinit {
+        let world = World::generate(WorldConfig::tiny(11));
+        TrinitBuilder::from_world(&world, &KgConfig::default(), &CorpusConfig::tiny(7)).build()
+    }
+
+    #[test]
+    fn end_to_end_build_has_both_strata() {
+        let sys = tiny_system();
+        let stats = sys.stats();
+        assert!(stats.kg_triples > 0, "KG loaded");
+        assert!(stats.xkg_triples > 0, "Open IE produced extension triples");
+        assert!(stats.rules > 0, "miner produced rules");
+        assert!(stats.ingest.kept > 0);
+        assert_eq!(stats.total_triples(), stats.kg_triples + stats.xkg_triples);
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let sys = tiny_system();
+        let outcome = sys.query("?x type person LIMIT 3").unwrap();
+        assert!(!outcome.answers.is_empty());
+        assert!(outcome.answers.len() <= 3);
+    }
+
+    #[test]
+    fn engines_agree_on_exact_queries() {
+        let sys = tiny_system();
+        let q1 = sys.parse("?x type university LIMIT 100").unwrap();
+        let q2 = sys.parse("?x type university LIMIT 100").unwrap();
+        let exact = sys.run(q1, Engine::Exact);
+        let topk = sys.run(q2, Engine::IncrementalTopK);
+        // type-triples admit no relaxation in the mined rule set targeted
+        // at them necessarily, but exact answers must be a subset.
+        assert!(topk.answers.len() >= exact.answers.len());
+        let exact_keys: Vec<_> = exact.answers.iter().map(|a| &a.key).collect();
+        for k in exact_keys {
+            assert!(topk.answers.iter().any(|a| &a.key == k));
+        }
+    }
+
+    #[test]
+    fn completion_over_built_vocabulary() {
+        let sys = tiny_system();
+        assert!(!sys.complete("", 10).is_empty());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let sys = tiny_system();
+        assert!(sys.query("?x bornIn").is_err());
+    }
+
+    #[test]
+    fn from_parts_wraps_fixture() {
+        let store = crate::fixtures::paper_store();
+        let rules = crate::fixtures::paper_rules(&store);
+        let sys = Trinit::from_parts(store, rules);
+        let outcome = sys.query("?x bornIn Ulm").unwrap();
+        assert_eq!(outcome.answers.len(), 1);
+    }
+}

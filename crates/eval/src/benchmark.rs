@@ -1,0 +1,431 @@
+//! The 70-query entity-relationship benchmark.
+//!
+//! The paper evaluates on "a challenging set of 70 entity-relationship
+//! queries" (§4, from the WSDM'16 companion \[14\]). We regenerate an
+//! equivalent workload from the synthetic world: five categories of 14
+//! queries each, four of them instantiating the §1 failure modes (users
+//! A–D) and one of direct control queries, with exact graded relevance
+//! judgments derived from world ground truth.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use trinit_worldgen::{EntityType, KgProjection, Obj, Relation, World};
+
+/// Benchmark query category, mirroring the paper's motivating users.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Control: queries the KG answers directly.
+    Direct,
+    /// User A: granularity mismatch (born in *country* vs city).
+    Granularity,
+    /// User B: direction mismatch (advisor vs student, asked via text).
+    Inversion,
+    /// User C: fact missing from the KG but present in text.
+    Incompleteness,
+    /// User D: predicate absent from the KG vocabulary entirely.
+    MissingPredicate,
+}
+
+impl Category {
+    /// All categories in report order.
+    pub const ALL: [Category; 5] = [
+        Category::Direct,
+        Category::Granularity,
+        Category::Inversion,
+        Category::Incompleteness,
+        Category::MissingPredicate,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Direct => "direct",
+            Category::Granularity => "granularity (user A)",
+            Category::Inversion => "inversion (user B)",
+            Category::Incompleteness => "incompleteness (user C)",
+            Category::MissingPredicate => "missing predicate (user D)",
+        }
+    }
+}
+
+/// One benchmark query with graded relevance judgments.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Stable query id.
+    pub id: usize,
+    /// Failure-mode category.
+    pub category: Category,
+    /// Query text in the extended triple-pattern syntax.
+    pub text: String,
+    /// Graded ideal answers: normalized surface form → grade (2 =
+    /// primary, 1 = secondary). Multiple keys may denote the same entity
+    /// (resource id and display name).
+    pub ideal: HashMap<String, u8>,
+    /// Number of distinct relevant entities (for MAP).
+    pub relevant_entities: usize,
+}
+
+/// Benchmark generation knobs.
+#[derive(Debug, Clone)]
+pub struct BenchmarkConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Queries per category (paper total: 70 = 5 × 14).
+    pub per_category: usize,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        BenchmarkConfig {
+            seed: 0xBE7C,
+            per_category: 14,
+        }
+    }
+}
+
+/// Normalizes a surface form for judging.
+pub fn normalize(s: &str) -> String {
+    s.to_lowercase()
+}
+
+/// Inserts both judging keys of an entity (resource id and display name).
+fn insert_entity(ideal: &mut HashMap<String, u8>, world: &World, id: trinit_worldgen::EntityId, grade: u8) {
+    let e = world.entity(id);
+    let keys = [normalize(&e.resource), normalize(&e.name)];
+    for k in keys {
+        let slot = ideal.entry(k).or_insert(0);
+        if grade > *slot {
+            *slot = grade;
+        }
+    }
+}
+
+/// Counts distinct relevant entities in an ideal map built by
+/// [`insert_entity`] (each entity contributes up to two keys; we count
+/// via a parallel set the builders maintain).
+struct IdealBuilder<'w> {
+    world: &'w World,
+    ideal: HashMap<String, u8>,
+    entities: Vec<trinit_worldgen::EntityId>,
+}
+
+impl<'w> IdealBuilder<'w> {
+    fn new(world: &'w World) -> IdealBuilder<'w> {
+        IdealBuilder {
+            world,
+            ideal: HashMap::new(),
+            entities: Vec::new(),
+        }
+    }
+
+    fn add(&mut self, id: trinit_worldgen::EntityId, grade: u8) {
+        insert_entity(&mut self.ideal, self.world, id, grade);
+        if !self.entities.contains(&id) {
+            self.entities.push(id);
+        }
+    }
+
+    fn finish(self) -> (HashMap<String, u8>, usize) {
+        let n = self.entities.len();
+        (self.ideal, n)
+    }
+}
+
+/// Generates the benchmark from a world and its KG projection.
+pub fn generate_benchmark(
+    world: &World,
+    kg: &KgProjection,
+    cfg: &BenchmarkConfig,
+) -> Vec<BenchQuery> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::new();
+    let mut id = 0usize;
+    let push = |out: &mut Vec<BenchQuery>,
+                    id: &mut usize,
+                    category: Category,
+                    text: String,
+                    builder: IdealBuilder<'_>| {
+        let (ideal, relevant) = builder.finish();
+        if ideal.is_empty() {
+            return false;
+        }
+        out.push(BenchQuery {
+            id: *id,
+            category,
+            text,
+            ideal,
+            relevant_entities: relevant,
+        });
+        *id += 1;
+        true
+    };
+
+    // --- Direct (control): who won prize P / works for C / born in city.
+    {
+        let mut made = 0;
+        let prizes = world.of_type(EntityType::Prize);
+        let companies = world.of_type(EntityType::Company);
+        let cities = world.of_type(EntityType::City);
+        let mut round = 0;
+        while made < cfg.per_category && round < 400 {
+            round += 1;
+            let (pred, object, relation) = match round % 3 {
+                0 if !prizes.is_empty() => (
+                    "wonPrize",
+                    prizes[rng.gen_range(0..prizes.len())],
+                    Relation::WonPrize,
+                ),
+                1 if !companies.is_empty() => (
+                    "worksFor",
+                    companies[rng.gen_range(0..companies.len())],
+                    Relation::WorksFor,
+                ),
+                _ => (
+                    "bornIn",
+                    cities[rng.gen_range(0..cities.len())],
+                    Relation::BornIn,
+                ),
+            };
+            let mut builder = IdealBuilder::new(world);
+            for f in world.facts_of(relation) {
+                if f.object == Obj::Entity(object) {
+                    builder.add(f.subject, 2);
+                }
+            }
+            let text = format!(
+                "?x {pred} {} LIMIT 10",
+                world.entity(object).resource
+            );
+            if out.iter().any(|q: &BenchQuery| q.text == text) {
+                continue;
+            }
+            push(&mut out, &mut id, Category::Direct, text, builder);
+            made = out
+                .iter()
+                .filter(|q| q.category == Category::Direct)
+                .count();
+        }
+    }
+
+    // --- Granularity (user A): ?x bornIn/diedIn <Country>. Both
+    // relations are asserted at city granularity in the KG.
+    {
+        let countries = world.of_type(EntityType::Country);
+        let mut made = 0;
+        let mut i = 0;
+        while made < cfg.per_category && i < countries.len() * 2 {
+            let country = countries[i % countries.len()];
+            let (pred, relation) = if i < countries.len() {
+                ("bornIn", Relation::BornIn)
+            } else {
+                ("diedIn", Relation::DiedIn)
+            };
+            i += 1;
+            let mut builder = IdealBuilder::new(world);
+            // Truth: people born/died in a city located in this country.
+            for f in world.facts_of(relation) {
+                let Obj::Entity(city) = f.object else { continue };
+                let in_country = world.facts.iter().any(|g| {
+                    g.subject == city
+                        && g.relation == Relation::CityInCountry
+                        && g.object == Obj::Entity(country)
+                });
+                if in_country {
+                    builder.add(f.subject, 2);
+                }
+            }
+            let text = format!("?x {pred} {} LIMIT 10", world.entity(country).resource);
+            if out.iter().any(|q: &BenchQuery| q.text == text) {
+                continue;
+            }
+            if push(&mut out, &mut id, Category::Granularity, text, builder) {
+                made += 1;
+            }
+        }
+    }
+
+    // --- Inversion (user B): <Student> 'studied under' ?x.
+    {
+        let mut made = 0;
+        let advisor_facts: Vec<_> = world.facts_of(Relation::HasStudent).collect();
+        let mut i = 0;
+        while made < cfg.per_category && i < advisor_facts.len() {
+            let f = advisor_facts[i];
+            i += 1;
+            let Obj::Entity(student) = f.object else { continue };
+            let mut builder = IdealBuilder::new(world);
+            for g in world.facts_of(Relation::HasStudent) {
+                if g.object == Obj::Entity(student) {
+                    builder.add(g.subject, 2);
+                }
+            }
+            let text = format!(
+                "{} 'studied under' ?x LIMIT 10",
+                world.entity(student).resource
+            );
+            if out.iter().any(|q: &BenchQuery| q.text == text) {
+                continue;
+            }
+            if push(&mut out, &mut id, Category::Inversion, text, builder) {
+                made += 1;
+            }
+        }
+    }
+
+    // --- Incompleteness (user C): <Person> affiliation ?x where the
+    // affiliation fact was dropped from the KG.
+    {
+        let mut made = 0;
+        for (fi, f) in world.facts.iter().enumerate() {
+            if made >= cfg.per_category {
+                break;
+            }
+            if f.relation != Relation::AffiliatedWith || kg.included[fi] {
+                continue;
+            }
+            let person = f.subject;
+            let mut builder = IdealBuilder::new(world);
+            for g in world.facts.iter() {
+                if g.subject != person {
+                    continue;
+                }
+                match g.relation {
+                    Relation::AffiliatedWith => {
+                        if let Obj::Entity(o) = g.object {
+                            builder.add(o, 2);
+                        }
+                    }
+                    Relation::LecturedAt => {
+                        if let Obj::Entity(o) = g.object {
+                            builder.add(o, 1);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let text = format!(
+                "{} affiliation ?x LIMIT 10",
+                world.entity(person).resource
+            );
+            if out.iter().any(|q: &BenchQuery| q.text == text) {
+                continue;
+            }
+            if push(&mut out, &mut id, Category::Incompleteness, text, builder) {
+                made += 1;
+            }
+        }
+    }
+
+    // --- Missing predicate (user D): <Winner> 'was honored for' ?x.
+    {
+        let mut made = 0;
+        for f in world.facts_of(Relation::PrizeFor) {
+            if made >= cfg.per_category {
+                break;
+            }
+            let winner = f.subject;
+            let mut builder = IdealBuilder::new(world);
+            for g in world.facts_of(Relation::PrizeFor) {
+                if g.subject == winner {
+                    if let Obj::Entity(field) = g.object {
+                        builder.add(field, 2);
+                    }
+                }
+            }
+            let text = format!(
+                "{} 'honored for' ?x LIMIT 10",
+                world.entity(winner).resource
+            );
+            if out.iter().any(|q: &BenchQuery| q.text == text) {
+                continue;
+            }
+            if push(&mut out, &mut id, Category::MissingPredicate, text, builder) {
+                made += 1;
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_worldgen::{project_kg, KgConfig, WorldConfig};
+
+    fn setup() -> (World, KgProjection) {
+        let world = World::generate(WorldConfig::demo(3).scaled(0.2));
+        let kg = project_kg(&world, &KgConfig::default());
+        (world, kg)
+    }
+
+    #[test]
+    fn full_benchmark_has_70_queries() {
+        let (world, kg) = setup();
+        let queries = generate_benchmark(&world, &kg, &BenchmarkConfig::default());
+        assert_eq!(queries.len(), 70, "5 categories × 14");
+        for cat in Category::ALL {
+            let n = queries.iter().filter(|q| q.category == cat).count();
+            assert_eq!(n, 14, "category {cat:?}");
+        }
+    }
+
+    #[test]
+    fn every_query_has_judgments() {
+        let (world, kg) = setup();
+        let queries = generate_benchmark(&world, &kg, &BenchmarkConfig::default());
+        for q in &queries {
+            assert!(!q.ideal.is_empty(), "query {} has no judgments", q.text);
+            assert!(q.relevant_entities > 0);
+        }
+    }
+
+    #[test]
+    fn queries_are_distinct() {
+        let (world, kg) = setup();
+        let queries = generate_benchmark(&world, &kg, &BenchmarkConfig::default());
+        let mut texts: Vec<&str> = queries.iter().map(|q| q.text.as_str()).collect();
+        texts.sort_unstable();
+        texts.dedup();
+        assert_eq!(texts.len(), queries.len());
+    }
+
+    #[test]
+    fn incompleteness_queries_target_dropped_facts() {
+        let (world, kg) = setup();
+        let queries = generate_benchmark(&world, &kg, &BenchmarkConfig::default());
+        // By construction the subject's affiliation fact is not in the KG;
+        // re-verify for one sampled query.
+        let q = queries
+            .iter()
+            .find(|q| q.category == Category::Incompleteness)
+            .unwrap();
+        let subject = q.text.split_whitespace().next().unwrap();
+        let entity = world.find_resource(subject).unwrap();
+        let dropped = world.facts.iter().enumerate().any(|(i, f)| {
+            f.subject == entity.id
+                && f.relation == Relation::AffiliatedWith
+                && !kg.included[i]
+        });
+        assert!(dropped);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (world, kg) = setup();
+        let a = generate_benchmark(&world, &kg, &BenchmarkConfig::default());
+        let b = generate_benchmark(&world, &kg, &BenchmarkConfig::default());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.text, y.text);
+        }
+    }
+
+    #[test]
+    fn normalization_lowercases() {
+        assert_eq!(normalize("Quantum Flane Theory"), "quantum flane theory");
+    }
+}

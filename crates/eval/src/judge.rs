@@ -1,0 +1,101 @@
+//! Grading system answers against benchmark judgments.
+
+use std::collections::HashMap;
+
+use trinit_query::Answer;
+use trinit_xkg::XkgStore;
+
+use crate::benchmark::normalize;
+
+/// Grades a ranked answer list: for each answer, the grade of its first
+/// projected binding under the ideal map (0 if irrelevant or unbound).
+///
+/// Duplicate surface forms (the same entity reached as a resource and as
+/// a token) are graded once — later duplicates get 0, mirroring how an
+/// assessor would mark a redundant result.
+pub fn grade_ranking(
+    store: &XkgStore,
+    answers: &[Answer],
+    ideal: &HashMap<String, u8>,
+) -> Vec<u8> {
+    let mut seen: Vec<String> = Vec::new();
+    answers
+        .iter()
+        .map(|a| {
+            let Some((_, Some(term))) = a.key.first() else {
+                return 0;
+            };
+            let Some(text) = store.dict().resolve(*term) else {
+                return 0;
+            };
+            let key = normalize(text);
+            if seen.contains(&key) {
+                return 0;
+            }
+            seen.push(key.clone());
+            ideal.get(&key).copied().unwrap_or(0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_query::{Bindings, Derivation};
+    use trinit_relax::VarId;
+    use trinit_xkg::XkgBuilder;
+
+    fn answer_for(store: &XkgStore, name: &str) -> Answer {
+        let term = store.resource(name).or_else(|| store.token(name)).unwrap();
+        Answer {
+            key: vec![(VarId(0), Some(term))],
+            bindings: Bindings::new(1),
+            score: -1.0,
+            derivation: Derivation::unrelaxed(),
+        }
+    }
+
+    #[test]
+    fn grades_resources_and_tokens() {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("AdaLum", "p", "o");
+        let tok = b.dict_mut().token("quantum flane theory");
+        let s = b.dict_mut().resource("AdaLum");
+        let src = b.intern_source("d");
+        b.add_extracted(s, tok, tok, 0.5, src);
+        let store = b.build();
+
+        let mut ideal = HashMap::new();
+        ideal.insert("adalum".to_string(), 2u8);
+        ideal.insert("quantum flane theory".to_string(), 1u8);
+
+        let answers = vec![
+            answer_for(&store, "AdaLum"),
+            answer_for(&store, "quantum flane theory"),
+        ];
+        assert_eq!(grade_ranking(&store, &answers, &ideal), vec![2, 1]);
+    }
+
+    #[test]
+    fn irrelevant_and_unbound_get_zero() {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("X", "p", "o");
+        let store = b.build();
+        let ideal = HashMap::new();
+        let mut unbound = answer_for(&store, "X");
+        unbound.key = vec![(VarId(0), None)];
+        let answers = vec![answer_for(&store, "X"), unbound];
+        assert_eq!(grade_ranking(&store, &answers, &ideal), vec![0, 0]);
+    }
+
+    #[test]
+    fn duplicate_surface_forms_graded_once() {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("AdaLum", "p", "o");
+        let store = b.build();
+        let mut ideal = HashMap::new();
+        ideal.insert("adalum".to_string(), 2u8);
+        let answers = vec![answer_for(&store, "AdaLum"), answer_for(&store, "AdaLum")];
+        assert_eq!(grade_ranking(&store, &answers, &ideal), vec![2, 0]);
+    }
+}

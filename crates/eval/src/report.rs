@@ -1,0 +1,123 @@
+//! ASCII-table rendering of evaluation results.
+
+use trinit_core::BuildStats;
+
+use crate::runner::{EfficiencyRow, Evaluation, SystemScores};
+
+/// Renders the E1 quality table (paper: NDCG@5 0.775 vs 0.419).
+pub fn quality_table(eval: &Evaluation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "E1 — answer quality over {} entity-relationship queries\n",
+        eval.queries
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>8} {:>8} {:>8}\n",
+        "system", "NDCG@5", "NDCG@10", "MAP", "P@5"
+    ));
+    for s in &eval.systems {
+        out.push_str(&format!(
+            "{:<28} {:>8.3} {:>8.3} {:>8.3} {:>8.3}\n",
+            s.name, s.ndcg5, s.ndcg10, s.map, s.p5
+        ));
+    }
+    out
+}
+
+/// Renders the per-category NDCG@5 breakdown of one system.
+pub fn category_table(scores: &SystemScores) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("per-category NDCG@5 — {}\n", scores.name));
+    for (cat, v) in &scores.per_category {
+        out.push_str(&format!("  {:<30} {:>6.3}\n", cat.name(), v.max(0.0)));
+    }
+    out
+}
+
+/// Renders the E2 dataset table (paper: 440 M triples = 50 M KG + 390 M
+/// Open IE extractions).
+pub fn build_table(stats: &BuildStats) -> String {
+    let mut out = String::new();
+    out.push_str("E2 — XKG construction\n");
+    out.push_str(&format!(
+        "  KG triples (curated):        {:>10}\n",
+        stats.kg_triples
+    ));
+    out.push_str(&format!(
+        "  XKG triples (Open IE):       {:>10}\n",
+        stats.xkg_triples
+    ));
+    out.push_str(&format!(
+        "  total distinct triples:      {:>10}\n",
+        stats.total_triples()
+    ));
+    out.push_str(&format!(
+        "  documents ingested:          {:>10}\n",
+        stats.documents
+    ));
+    out.push_str(&format!(
+        "  sentences processed:         {:>10}\n",
+        stats.ingest.sentences
+    ));
+    out.push_str(&format!(
+        "  extractions kept:            {:>10}\n",
+        stats.ingest.kept
+    ));
+    out.push_str(&format!(
+        "  argument link rate:          {:>9.1}%\n",
+        stats.ingest.link_rate() * 100.0
+    ));
+    out.push_str(&format!(
+        "  relaxation rules mined:      {:>10}\n",
+        stats.rules
+    ));
+    out
+}
+
+/// Renders the E5 efficiency table.
+pub fn efficiency_table(rows: &[EfficiencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str("E5 — query processing efficiency (totals over the query set)\n");
+    out.push_str(&format!(
+        "{:<24} {:>4} {:>10} {:>10} {:>12} {:>12} {:>10}\n",
+        "engine", "k", "wall ms", "lists", "postings", "relaxations", "answers"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:>4} {:>10.1} {:>10} {:>12} {:>12} {:>10}\n",
+            r.engine,
+            r.k,
+            r.wall_ms,
+            r.metrics.posting_lists_built,
+            r.metrics.postings_scanned,
+            r.metrics.relaxations_opened,
+            r.answers
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::Category;
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let eval = Evaluation {
+            queries: 70,
+            systems: vec![SystemScores {
+                name: "TriniT",
+                ndcg5: 0.775,
+                ndcg10: 0.8,
+                map: 0.7,
+                p5: 0.6,
+                per_category: Category::ALL.into_iter().map(|c| (c, 0.5)).collect(),
+            }],
+        };
+        let t = quality_table(&eval);
+        assert!(t.contains("0.775"));
+        let c = category_table(&eval.systems[0]);
+        assert!(c.contains("granularity"));
+    }
+}

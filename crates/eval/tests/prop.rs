@@ -1,0 +1,67 @@
+//! Property tests for ranking metrics.
+
+use proptest::prelude::*;
+
+use trinit_eval::{average_precision, dcg_at, mean, ndcg_at, precision_at};
+
+fn grades() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..3, 0..12)
+}
+
+proptest! {
+    /// NDCG is always within [0, 1].
+    #[test]
+    fn ndcg_is_bounded(ranked in grades(), ideal in grades(), k in 1usize..10) {
+        let v = ndcg_at(&ranked, &ideal, k);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// Ranking the ideal grades in ideal order scores exactly 1 (when
+    /// anything is relevant).
+    #[test]
+    fn ideal_ranking_scores_one(ideal in grades(), k in 1usize..10) {
+        let mut sorted = ideal.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let v = ndcg_at(&sorted, &ideal, k);
+        if ideal.iter().any(|&g| g > 0) {
+            prop_assert!((v - 1.0).abs() < 1e-9, "got {v}");
+        } else {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    /// Swapping a better-graded item earlier never lowers DCG.
+    #[test]
+    fn promoting_relevant_item_helps(ranked in grades(), k in 1usize..10) {
+        if ranked.len() >= 2 {
+            let mut better = ranked.clone();
+            better.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert!(dcg_at(&better, k) + 1e-12 >= dcg_at(&ranked, k));
+        }
+    }
+
+    /// Precision@k is a fraction of k.
+    #[test]
+    fn precision_bounded(ranked in grades(), k in 1usize..10) {
+        let p = precision_at(&ranked, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    /// AP is within [0, 1] whenever total_relevant covers the ranking's
+    /// relevant items.
+    #[test]
+    fn average_precision_bounded(ranked in grades()) {
+        let relevant = ranked.iter().filter(|&&g| g > 0).count();
+        let ap = average_precision(&ranked, relevant.max(1));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+    }
+
+    /// Mean is within the min/max of its inputs.
+    #[test]
+    fn mean_is_in_range(values in proptest::collection::vec(0.0f64..1.0, 1..20)) {
+        let m = mean(&values);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-12 && m <= hi + 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Noun-phrase chunking.
+//!
+//! Finds maximal noun phrases: contiguous runs of NP-part tags
+//! (determiner, adjective, noun, proper noun, number) containing at least
+//! one nominal head. These become the argument candidates of extractions.
+
+use crate::lexicon::Tag;
+use crate::tagger::Tagged;
+
+/// A chunked noun phrase: a token index range within the sentence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NounPhrase {
+    /// Start token index (inclusive).
+    pub start: usize,
+    /// End token index (exclusive).
+    pub end: usize,
+}
+
+impl NounPhrase {
+    /// The surface text of the phrase, with any leading determiner
+    /// stripped (determiners are not part of entity surface forms).
+    pub fn text(&self, tagged: &[Tagged]) -> String {
+        let mut start = self.start;
+        while start < self.end && tagged[start].tag == Tag::Det {
+            start += 1;
+        }
+        tagged[start..self.end]
+            .iter()
+            .map(|t| t.token.text.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// True if every token in the phrase is a number/date literal.
+    pub fn is_numeric(&self, tagged: &[Tagged]) -> bool {
+        tagged[self.start..self.end]
+            .iter()
+            .all(|t| t.tag == Tag::Number)
+    }
+
+    /// True if the phrase head (last token) is a proper noun.
+    pub fn is_proper(&self, tagged: &[Tagged]) -> bool {
+        self.end > self.start && tagged[self.end - 1].tag == Tag::ProperNoun
+    }
+}
+
+/// Chunks a tagged sentence into maximal noun phrases.
+pub fn chunk(tagged: &[Tagged]) -> Vec<NounPhrase> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tagged.len() {
+        if tagged[i].tag.is_np_part() {
+            let start = i;
+            while i < tagged.len() && tagged[i].tag.is_np_part() {
+                i += 1;
+            }
+            let has_head = tagged[start..i]
+                .iter()
+                .any(|t| matches!(t.tag, Tag::Noun | Tag::ProperNoun | Tag::Number));
+            if has_head {
+                out.push(NounPhrase { start, end: i });
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+    use crate::tagger::tag;
+    use crate::token::tokenize;
+
+    fn chunks_of(sentence: &str) -> (Vec<Tagged>, Vec<NounPhrase>) {
+        let lex = Lexicon::english();
+        let tagged = tag(&lex, &tokenize(sentence));
+        let nps = chunk(&tagged);
+        (tagged, nps)
+    }
+
+    #[test]
+    fn finds_subject_and_object_phrases() {
+        let (tagged, nps) = chunks_of("Brusa Klinberg lectured at Velmora University.");
+        assert_eq!(nps.len(), 2);
+        assert_eq!(nps[0].text(&tagged), "Brusa Klinberg");
+        assert_eq!(nps[1].text(&tagged), "Velmora University");
+    }
+
+    #[test]
+    fn strips_leading_determiner() {
+        let (tagged, nps) = chunks_of("The Institute for Drona Studies is housed in Kloue University.");
+        assert!(nps[0].text(&tagged).starts_with("Institute"));
+    }
+
+    #[test]
+    fn numeric_phrase_detection() {
+        let (tagged, nps) = chunks_of("Ada Lum was born on 1854-02-12.");
+        assert_eq!(nps.len(), 2);
+        assert!(nps[1].is_numeric(&tagged));
+        assert!(!nps[0].is_numeric(&tagged));
+    }
+
+    #[test]
+    fn proper_head_detection() {
+        let (tagged, nps) = chunks_of("Brusa Klinberg admired the ancient library.");
+        assert!(nps[0].is_proper(&tagged));
+        assert!(!nps[1].is_proper(&tagged));
+    }
+
+    #[test]
+    fn determiner_only_run_is_not_a_phrase() {
+        let lex = Lexicon::english();
+        let tagged = tag(&lex, &tokenize("the of in"));
+        // "the" alone has no nominal head.
+        assert!(chunk(&tagged).is_empty());
+    }
+}

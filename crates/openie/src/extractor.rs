@@ -1,0 +1,255 @@
+//! ReVerb-style relation extraction.
+//!
+//! Implements the syntactic constraint of ReVerb (Fader et al., EMNLP
+//! 2011), the Open IE tool the paper cites (§2): a relation phrase between
+//! two noun phrases must match
+//!
+//! ```text
+//! [Aux]* V | [Aux]* V P | [Aux]* V W* P
+//! ```
+//!
+//! where `V` is a verb, `P` a preposition, and `W` a filler word (noun,
+//! adjective, pronoun, determiner). The phrase must cover *all* tokens
+//! between the argument phrases. Leading auxiliaries are stripped during
+//! normalization (`was housed in` → `housed in`), matching the token
+//! predicates in the paper's Figure 3.
+
+use crate::chunker::{chunk, NounPhrase};
+use crate::lexicon::{Lexicon, Tag};
+use crate::tagger::{tag, Tagged};
+use crate::token::tokenize;
+
+/// One extracted textual triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extraction {
+    /// Left argument phrase (determiner-stripped).
+    pub arg1: String,
+    /// Normalized relation phrase (auxiliaries stripped, lowercased).
+    pub rel: String,
+    /// Right argument phrase (determiner-stripped).
+    pub arg2: String,
+    /// Extraction confidence in `[0, 1]`.
+    pub confidence: f32,
+    /// True if the right argument is a number/date literal.
+    pub arg2_is_numeric: bool,
+    /// True if the left argument is headed by a proper noun.
+    pub arg1_is_proper: bool,
+    /// True if the right argument is headed by a proper noun.
+    pub arg2_is_proper: bool,
+}
+
+/// Attempts to match the relation-phrase constraint over
+/// `tagged[from..to]`. Returns the normalized phrase if it matches.
+fn match_relation(tagged: &[Tagged], from: usize, to: usize) -> Option<String> {
+    if from >= to {
+        return None;
+    }
+    let mut i = from;
+    // [Aux]* — leading auxiliaries / copulas.
+    while i < to && tagged[i].tag == Tag::Aux {
+        i += 1;
+    }
+    let verb_start = if i < to && tagged[i].tag == Tag::Verb {
+        // Passive/periphrastic: strip the auxiliaries ("was housed in" →
+        // "housed in", matching the paper's Figure 3 tokens).
+        let v = i;
+        i += 1;
+        v
+    } else if i > from {
+        // Copula as main verb ("is a member of"): keep it in the phrase.
+        from
+    } else {
+        return None;
+    };
+    if i == to {
+        // Bare V.
+        return Some(normalize(tagged, verb_start, to));
+    }
+    // V (W | P)* P — everything after the verb must be filler or
+    // preposition, and the final token must be a preposition.
+    for (j, tag_entry) in tagged.iter().enumerate().take(to).skip(i) {
+        let t = tag_entry.tag;
+        let is_last = j + 1 == to;
+        if is_last {
+            if t != Tag::Prep {
+                return None;
+            }
+        } else if !(t.is_relation_filler() || t == Tag::Prep || t == Tag::Verb) {
+            return None;
+        }
+    }
+    Some(normalize(tagged, verb_start, to))
+}
+
+fn normalize(tagged: &[Tagged], from: usize, to: usize) -> String {
+    tagged[from..to]
+        .iter()
+        .map(|t| t.token.lower.as_str())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// ReVerb-style confidence function: a deterministic score from shallow
+/// features of the extraction, mimicking the shape of ReVerb's logistic
+/// regression confidence (short, preposition-terminated phrases with
+/// proper-noun arguments score high; long filler-heavy phrases score low).
+pub fn confidence(
+    rel_words: usize,
+    arg1_proper: bool,
+    arg2_proper: bool,
+    sentence_len: usize,
+) -> f32 {
+    let mut c: f32 = 0.55;
+    if rel_words <= 2 {
+        c += 0.15;
+    } else {
+        c -= 0.04 * (rel_words as f32 - 2.0);
+    }
+    if arg1_proper {
+        c += 0.1;
+    }
+    if arg2_proper {
+        c += 0.1;
+    }
+    if sentence_len > 14 {
+        c -= 0.05;
+    }
+    c.clamp(0.05, 0.95)
+}
+
+/// Extracts all (NP, VP, NP) triples from one sentence.
+///
+/// Adjacent noun-phrase pairs are considered; a pair yields an extraction
+/// iff the tokens between them match the relation constraint.
+pub fn extract_sentence(lexicon: &Lexicon, sentence: &str) -> Vec<Extraction> {
+    let tokens = tokenize(sentence);
+    let tagged = tag(lexicon, &tokens);
+    let nps = chunk(&tagged);
+    extract_tagged(&tagged, &nps)
+}
+
+fn extract_tagged(tagged: &[Tagged], nps: &[NounPhrase]) -> Vec<Extraction> {
+    let mut out = Vec::new();
+    for (i, left) in nps.iter().enumerate() {
+        // ReVerb prefers the longest relation-phrase match: a phrase may
+        // span intermediate common-noun chunks ("housed on the campus of"),
+        // so scan rightward for the furthest argument whose gap still
+        // satisfies the constraint.
+        let mut best: Option<(&NounPhrase, String)> = None;
+        for right in &nps[i + 1..] {
+            if let Some(rel) = match_relation(tagged, left.end, right.start) {
+                best = Some((right, rel));
+            }
+        }
+        let Some((right, rel)) = best else {
+            continue;
+        };
+        let rel_words = rel.split(' ').count();
+        let arg1_is_proper = left.is_proper(tagged);
+        let arg2_is_proper = right.is_proper(tagged);
+        out.push(Extraction {
+            arg1: left.text(tagged),
+            arg2: right.text(tagged),
+            confidence: confidence(rel_words, arg1_is_proper, arg2_is_proper, tagged.len()),
+            arg2_is_numeric: right.is_numeric(tagged),
+            arg1_is_proper,
+            arg2_is_proper,
+            rel,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(sentence: &str) -> Extraction {
+        let lex = Lexicon::english();
+        let mut ex = extract_sentence(&lex, sentence);
+        assert_eq!(ex.len(), 1, "expected one extraction from {sentence:?}");
+        ex.pop().unwrap()
+    }
+
+    #[test]
+    fn simple_verb_prep() {
+        let e = one("Brusa Klinberg lectured at Velmora University.");
+        assert_eq!(e.arg1, "Brusa Klinberg");
+        assert_eq!(e.rel, "lectured at");
+        assert_eq!(e.arg2, "Velmora University");
+        assert!(e.confidence > 0.5);
+    }
+
+    #[test]
+    fn auxiliary_is_stripped() {
+        let e = one("Institute for Drona Studies was housed on the campus of Kloue University.");
+        assert_eq!(e.rel, "housed on the campus of");
+    }
+
+    #[test]
+    fn passive_born_in() {
+        let e = one("Ada Lum was born in Velmora.");
+        assert_eq!(e.rel, "born in");
+        assert_eq!(e.arg2, "Velmora");
+    }
+
+    #[test]
+    fn long_filler_phrase() {
+        let e = one("Ada Lum won the prize for his discovery of quantum flane theory.");
+        assert_eq!(e.rel, "won the prize for his discovery of");
+        assert_eq!(e.arg2, "quantum flane theory");
+        // Long phrases get attenuated confidence.
+        assert!(e.confidence < 0.75);
+    }
+
+    #[test]
+    fn date_object_is_numeric() {
+        let e = one("Ada Lum was born on 1854-02-12.");
+        assert!(e.arg2_is_numeric);
+        assert_eq!(e.rel, "born on");
+    }
+
+    #[test]
+    fn bare_verb_between_nps() {
+        let e = one("Prof. Drat supervised Velma Kord.");
+        assert_eq!(e.rel, "supervised");
+        assert_eq!(e.arg1, "Prof. Drat");
+        assert_eq!(e.arg2, "Velma Kord");
+    }
+
+    #[test]
+    fn no_relation_no_extraction() {
+        let lex = Lexicon::english();
+        // No verb between the phrases.
+        let ex = extract_sentence(&lex, "Velmora Trastenia");
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn noise_sentences_extract_little_of_value() {
+        let lex = Lexicon::english();
+        let ex = extract_sentence(&lex, "The committee postponed its annual meeting.");
+        // May extract ("committee", "postponed", "its annual meeting") —
+        // fine; it is a low-value triple with common-noun args.
+        for e in ex {
+            assert!(!e.arg1_is_proper);
+        }
+    }
+
+    #[test]
+    fn confidence_bounds() {
+        assert!(confidence(1, true, true, 5) <= 0.95);
+        assert!(confidence(12, false, false, 30) >= 0.05);
+        assert!(confidence(2, true, true, 8) > confidence(7, false, false, 20));
+    }
+
+    #[test]
+    fn multiple_extractions_from_conjoined_sentence() {
+        let lex = Lexicon::english();
+        let ex = extract_sentence(
+            &lex,
+            "Ada Lum worked at Kloue University and Prof. Drat worked at Velmora University.",
+        );
+        assert!(ex.len() >= 2);
+    }
+}

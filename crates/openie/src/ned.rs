@@ -1,0 +1,182 @@
+//! Named-entity disambiguation (entity linking).
+//!
+//! Links argument phrases of extractions to canonical KG resources, the
+//! role played by AIDA/Spotlight/TagMe or the FACC1 annotations in the
+//! paper (§2). The linker is dictionary-based: an alias catalog maps
+//! surface forms to candidate resources with popularity priors; a mention
+//! links to the most popular candidate if its prior is sufficiently
+//! dominant, otherwise the phrase stays a textual token — exactly the
+//! paper's behaviour ("in some cases, tools ... can link the S or O
+//! phrases to entities in the KG").
+
+use std::collections::HashMap;
+
+/// One candidate resource for a surface form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Canonical resource name.
+    pub resource: String,
+    /// Popularity prior (unnormalized).
+    pub prior: f64,
+}
+
+/// Outcome of linking one mention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkOutcome {
+    /// Confidently linked to a resource.
+    Linked(String),
+    /// Known surface form, but no candidate is dominant enough.
+    Ambiguous(Vec<Candidate>),
+    /// Surface form not in the catalog.
+    Unlinked,
+}
+
+/// Dictionary-based entity linker.
+#[derive(Debug, Default)]
+pub struct Linker {
+    catalog: HashMap<String, Vec<Candidate>>,
+    /// A candidate must hold at least this fraction of the total prior
+    /// mass of its surface form to be linked.
+    dominance: f64,
+}
+
+impl Linker {
+    /// Builds a linker from `(alias, resource, prior)` entries.
+    ///
+    /// `dominance` in `[0, 1]` controls how conservative linking is:
+    /// `0.0` always links to the top candidate; `1.0` links only
+    /// unambiguous mentions. The paper's pipeline sits in between; our
+    /// default ([`Linker::with_default_dominance`]) is `0.6`.
+    pub fn new<I>(entries: I, dominance: f64) -> Linker
+    where
+        I: IntoIterator<Item = (String, String, f64)>,
+    {
+        let mut catalog: HashMap<String, Vec<Candidate>> = HashMap::new();
+        for (alias, resource, prior) in entries {
+            let cands = catalog.entry(alias).or_default();
+            match cands.iter_mut().find(|c| c.resource == resource) {
+                Some(c) => c.prior = c.prior.max(prior),
+                None => cands.push(Candidate { resource, prior }),
+            }
+        }
+        for cands in catalog.values_mut() {
+            cands.sort_by(|a, b| {
+                b.prior
+                    .partial_cmp(&a.prior)
+                    .expect("priors are finite")
+                    .then_with(|| a.resource.cmp(&b.resource))
+            });
+        }
+        Linker {
+            catalog,
+            dominance: dominance.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Builds a linker with the default dominance threshold (0.6).
+    pub fn with_default_dominance<I>(entries: I) -> Linker
+    where
+        I: IntoIterator<Item = (String, String, f64)>,
+    {
+        Linker::new(entries, 0.6)
+    }
+
+    /// Number of distinct surface forms in the catalog.
+    pub fn surface_forms(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Links a mention phrase.
+    pub fn link(&self, phrase: &str) -> LinkOutcome {
+        let Some(cands) = self.catalog.get(phrase) else {
+            return LinkOutcome::Unlinked;
+        };
+        let total: f64 = cands.iter().map(|c| c.prior).sum();
+        let best = &cands[0];
+        if cands.len() == 1 || (total > 0.0 && best.prior / total >= self.dominance) {
+            LinkOutcome::Linked(best.resource.clone())
+        } else {
+            LinkOutcome::Ambiguous(cands.clone())
+        }
+    }
+
+    /// Links a mention, returning the resource only on a confident link.
+    pub fn link_resource(&self, phrase: &str) -> Option<&str> {
+        let cands = self.catalog.get(phrase)?;
+        let total: f64 = cands.iter().map(|c| c.prior).sum();
+        let best = cands.first()?;
+        if cands.len() == 1 || (total > 0.0 && best.prior / total >= self.dominance) {
+            Some(&best.resource)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linker() -> Linker {
+        Linker::with_default_dominance(vec![
+            ("Ada Lum".to_string(), "AdaLum".to_string(), 5.0),
+            ("Lum".to_string(), "AdaLum".to_string(), 5.0),
+            ("Lum".to_string(), "BorLum".to_string(), 1.0),
+            ("Prof. Drat".to_string(), "KelDrat".to_string(), 2.0),
+            ("Prof. Drat".to_string(), "MosDrat".to_string(), 2.0),
+        ])
+    }
+
+    #[test]
+    fn unique_alias_links() {
+        let l = linker();
+        assert_eq!(l.link("Ada Lum"), LinkOutcome::Linked("AdaLum".into()));
+        assert_eq!(l.link_resource("Ada Lum"), Some("AdaLum"));
+    }
+
+    #[test]
+    fn dominant_candidate_wins() {
+        let l = linker();
+        // AdaLum holds 5/6 ≈ 0.83 ≥ 0.6 of the mass for "Lum".
+        assert_eq!(l.link("Lum"), LinkOutcome::Linked("AdaLum".into()));
+    }
+
+    #[test]
+    fn balanced_candidates_stay_ambiguous() {
+        let l = linker();
+        match l.link("Prof. Drat") {
+            LinkOutcome::Ambiguous(cands) => assert_eq!(cands.len(), 2),
+            other => panic!("expected ambiguity, got {other:?}"),
+        }
+        assert_eq!(l.link_resource("Prof. Drat"), None);
+    }
+
+    #[test]
+    fn unknown_phrase_is_unlinked() {
+        let l = linker();
+        assert_eq!(l.link("the old observatory"), LinkOutcome::Unlinked);
+    }
+
+    #[test]
+    fn zero_dominance_always_links() {
+        let l = Linker::new(
+            vec![
+                ("X".to_string(), "A".to_string(), 1.0),
+                ("X".to_string(), "B".to_string(), 1.0),
+            ],
+            0.0,
+        );
+        // Ties break deterministically by resource name.
+        assert_eq!(l.link("X"), LinkOutcome::Linked("A".into()));
+    }
+
+    #[test]
+    fn duplicate_entries_collapse() {
+        let l = Linker::with_default_dominance(vec![
+            ("X".to_string(), "A".to_string(), 1.0),
+            ("X".to_string(), "A".to_string(), 3.0),
+        ]);
+        assert_eq!(l.surface_forms(), 1);
+        assert_eq!(l.link("X"), LinkOutcome::Linked("A".into()));
+    }
+}

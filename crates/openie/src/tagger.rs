@@ -1,0 +1,105 @@
+//! Shallow POS tagging over tokenized sentences.
+//!
+//! Lexicon lookup first; unknown words fall back to heuristics tuned for
+//! entity-rich web sentences: capitalized unknowns are proper nouns,
+//! numeric tokens are numbers, `-ed`-suffixed unknowns after a proper noun
+//! are verbs, everything else defaults to common noun.
+
+use crate::lexicon::{Lexicon, Tag};
+use crate::token::{is_numeric_like, Token};
+
+/// A token paired with its assigned tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tagged {
+    /// The token.
+    pub token: Token,
+    /// Its shallow POS tag.
+    pub tag: Tag,
+}
+
+/// Tags a tokenized sentence.
+pub fn tag(lexicon: &Lexicon, tokens: &[Token]) -> Vec<Tagged> {
+    let mut out = Vec::with_capacity(tokens.len());
+    for (i, tok) in tokens.iter().enumerate() {
+        let tag = if is_numeric_like(&tok.text) {
+            Tag::Number
+        } else if let Some(t) = lexicon.get(&tok.lower) {
+            // A capitalized lexicon word mid-sentence is usually part of a
+            // name ("Velmora University", "Kloue League", "Drona Prize").
+            if tok.capitalized && i > 0 && matches!(t, Tag::Noun | Tag::Adj) {
+                Tag::ProperNoun
+            } else {
+                t
+            }
+        } else if tok.capitalized {
+            Tag::ProperNoun
+        } else if tok.lower.ends_with("ed") && i > 0 {
+            // Unknown -ed form after something: treat as verb.
+            Tag::Verb
+        } else {
+            Tag::Noun
+        };
+        out.push(Tagged {
+            token: tok.clone(),
+            tag,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tags_of(sentence: &str) -> Vec<Tag> {
+        let lex = Lexicon::english();
+        tag(&lex, &tokenize(sentence)).into_iter().map(|t| t.tag).collect()
+    }
+
+    #[test]
+    fn simple_svo_sentence() {
+        let tags = tags_of("Brusa Klinberg lectured at Velmora University.");
+        assert_eq!(
+            tags,
+            vec![
+                Tag::ProperNoun,
+                Tag::ProperNoun,
+                Tag::Verb,
+                Tag::Prep,
+                Tag::ProperNoun,
+                Tag::ProperNoun, // "University" capitalized mid-sentence
+            ]
+        );
+    }
+
+    #[test]
+    fn copula_and_passive() {
+        let tags = tags_of("The institute was housed in Drona University.");
+        assert_eq!(tags[0], Tag::Det);
+        assert_eq!(tags[1], Tag::Noun);
+        assert_eq!(tags[2], Tag::Aux);
+        assert_eq!(tags[3], Tag::Verb);
+        assert_eq!(tags[4], Tag::Prep);
+    }
+
+    #[test]
+    fn dates_are_numbers() {
+        let tags = tags_of("She was born on 1879-03-14.");
+        assert_eq!(*tags.last().unwrap(), Tag::Number);
+    }
+
+    #[test]
+    fn unknown_capitalized_is_proper_noun() {
+        let tags = tags_of("Velmora lies in Trastenia.");
+        assert_eq!(tags[0], Tag::ProperNoun);
+        assert_eq!(tags[2], Tag::Prep);
+        assert_eq!(tags[3], Tag::ProperNoun);
+    }
+
+    #[test]
+    fn unknown_ed_word_is_verb() {
+        let tags = tags_of("Kloue Corp sponsored the event.");
+        assert_eq!(tags[2], Tag::Verb);
+    }
+}

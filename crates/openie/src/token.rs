@@ -1,0 +1,112 @@
+//! Sentence tokenization.
+//!
+//! A small, deterministic tokenizer sufficient for web-style declarative
+//! sentences: splits on whitespace, detaches trailing punctuation, and
+//! keeps abbreviations (`Prof.`) and date-like literals (`1879-03-14`)
+//! intact.
+
+/// A single token with its original surface form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Surface form as written.
+    pub text: String,
+    /// Lowercased form for lexicon lookup.
+    pub lower: String,
+    /// True if the first character is uppercase.
+    pub capitalized: bool,
+}
+
+impl Token {
+    fn new(text: &str) -> Token {
+        Token {
+            lower: text.to_lowercase(),
+            capitalized: text.chars().next().is_some_and(|c| c.is_uppercase()),
+            text: text.to_string(),
+        }
+    }
+}
+
+/// Abbreviations whose trailing period belongs to the token.
+const ABBREVIATIONS: &[&str] = &["prof.", "dr.", "mr.", "ms.", "st."];
+
+/// True if `word` looks like a date or number literal (kept whole).
+pub fn is_numeric_like(word: &str) -> bool {
+    !word.is_empty()
+        && word
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '-' || c == '.' || c == ',')
+        && word.chars().any(|c| c.is_ascii_digit())
+}
+
+/// Tokenizes one sentence.
+pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for raw in sentence.split_whitespace() {
+        let mut word = raw;
+        // Strip leading punctuation.
+        word = word.trim_start_matches(|c: char| !c.is_alphanumeric());
+        if word.is_empty() {
+            continue;
+        }
+        // Strip trailing punctuation, except for abbreviations and numerics.
+        let lower = word.to_lowercase();
+        if ABBREVIATIONS.contains(&lower.as_str()) {
+            out.push(Token::new(word));
+            continue;
+        }
+        if is_numeric_like(word.trim_end_matches('.')) {
+            out.push(Token::new(word.trim_end_matches('.')));
+            continue;
+        }
+        let trimmed = word.trim_end_matches(|c: char| !c.is_alphanumeric());
+        if !trimmed.is_empty() {
+            out.push(Token::new(trimmed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_strips_punctuation() {
+        let toks = tokenize("Brusa Klinberg lectured at Velmora University.");
+        let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            words,
+            vec!["Brusa", "Klinberg", "lectured", "at", "Velmora", "University"]
+        );
+    }
+
+    #[test]
+    fn keeps_abbreviations() {
+        let toks = tokenize("Prof. Klinberg taught here.");
+        assert_eq!(toks[0].text, "Prof.");
+        assert!(toks[0].capitalized);
+    }
+
+    #[test]
+    fn keeps_dates_whole() {
+        let toks = tokenize("She was born on 1879-03-14.");
+        assert_eq!(toks.last().unwrap().text, "1879-03-14");
+        assert!(is_numeric_like("1879-03-14"));
+        assert!(!is_numeric_like("abc"));
+        assert!(!is_numeric_like("-"));
+    }
+
+    #[test]
+    fn lowercase_forms() {
+        let toks = tokenize("The Committee met.");
+        assert_eq!(toks[0].lower, "the");
+        assert_eq!(toks[1].lower, "committee");
+        assert!(toks[1].capitalized);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ...  ").is_empty());
+    }
+}

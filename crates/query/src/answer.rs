@@ -1,0 +1,286 @@
+//! Answers, bindings, derivations, and top-k collection.
+//!
+//! An answer is a binding of the query's projection variables, scored in
+//! log space, and carrying a [`Derivation`]: which triples matched which
+//! patterns and which relaxation rules were invoked. Derivations power
+//! the demo's *answer explanation* (paper §5). The same projected binding
+//! can arise from several derivations; the collector keeps the
+//! highest-scoring one (paper §4).
+
+use std::collections::HashMap;
+
+use trinit_relax::{QPattern, RuleId, VarId};
+use trinit_xkg::{TermId, TripleId};
+
+/// A partial or complete assignment of query variables to terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bindings {
+    slots: Vec<Option<TermId>>,
+}
+
+impl Bindings {
+    /// An empty assignment sized for `n_vars` variables.
+    pub fn new(n_vars: usize) -> Bindings {
+        Bindings {
+            slots: vec![None; n_vars],
+        }
+    }
+
+    /// The value bound to `v`, if any.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Option<TermId> {
+        self.slots.get(v.0 as usize).copied().flatten()
+    }
+
+    /// Binds `v` to `t`. Returns `false` (and leaves the binding
+    /// unchanged) if `v` is already bound to a different term.
+    pub fn bind(&mut self, v: VarId, t: TermId) -> bool {
+        let idx = v.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        match self.slots[idx] {
+            Some(existing) => existing == t,
+            None => {
+                self.slots[idx] = Some(t);
+                true
+            }
+        }
+    }
+
+    /// True if the two assignments agree on every commonly bound variable.
+    pub fn compatible(&self, other: &Bindings) -> bool {
+        self.slots
+            .iter()
+            .zip(&other.slots)
+            .all(|(a, b)| match (a, b) {
+                (Some(x), Some(y)) => x == y,
+                _ => true,
+            })
+    }
+
+    /// Merges `other` into a copy of `self`; `None` if incompatible.
+    pub fn merged(&self, other: &Bindings) -> Option<Bindings> {
+        if !self.compatible(other) {
+            return None;
+        }
+        let len = self.slots.len().max(other.slots.len());
+        let mut out = Bindings {
+            slots: vec![None; len],
+        };
+        for (i, slot) in out.slots.iter_mut().enumerate() {
+            *slot = self
+                .slots
+                .get(i)
+                .copied()
+                .flatten()
+                .or_else(|| other.slots.get(i).copied().flatten());
+        }
+        Some(out)
+    }
+
+    /// Projects onto `vars`, producing the answer key.
+    pub fn project(&self, vars: &[VarId]) -> Vec<(VarId, Option<TermId>)> {
+        vars.iter().map(|&v| (v, self.get(v))).collect()
+    }
+}
+
+/// How an answer was obtained: matched triples and invoked rules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Derivation {
+    /// `(pattern as evaluated, matching triple)` pairs, one per pattern.
+    pub triples: Vec<(QPattern, TripleId)>,
+    /// Relaxation rules invoked to reach the evaluated form.
+    pub rules: Vec<RuleId>,
+    /// Product of the invoked rules' weights (1.0 when unrelaxed).
+    pub rule_weight: f64,
+}
+
+impl Derivation {
+    /// A derivation with no relaxations yet.
+    pub fn unrelaxed() -> Derivation {
+        Derivation {
+            triples: Vec::new(),
+            rules: Vec::new(),
+            rule_weight: 1.0,
+        }
+    }
+
+    /// True if no relaxation rule was invoked.
+    pub fn is_exact(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// A scored answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Answer {
+    /// The projected variable assignment (the deduplication key).
+    pub key: Vec<(VarId, Option<TermId>)>,
+    /// Full bindings including non-projected variables.
+    pub bindings: Bindings,
+    /// Log-space score (sum of pattern log-probabilities and rule
+    /// log-weights).
+    pub score: f64,
+    /// The best derivation found for this answer.
+    pub derivation: Derivation,
+}
+
+/// Collects answers, deduplicating by projected key and keeping the
+/// maximum score per key (paper §4: "the score of an answer \[is\] the
+/// maximal one obtained through any such sequence").
+#[derive(Debug, Default)]
+pub struct AnswerCollector {
+    best: HashMap<Vec<(VarId, Option<TermId>)>, Answer>,
+}
+
+impl AnswerCollector {
+    /// Creates an empty collector.
+    pub fn new() -> AnswerCollector {
+        AnswerCollector::default()
+    }
+
+    /// Offers an answer; kept only if it beats the current best for its
+    /// key. Returns `true` if the collector changed.
+    pub fn offer(&mut self, answer: Answer) -> bool {
+        match self.best.get(&answer.key) {
+            Some(existing) if existing.score >= answer.score => false,
+            _ => {
+                self.best.insert(answer.key.clone(), answer);
+                true
+            }
+        }
+    }
+
+    /// Number of distinct answers collected.
+    pub fn len(&self) -> usize {
+        self.best.len()
+    }
+
+    /// True if nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.best.is_empty()
+    }
+
+    /// The score of the `k`-th best answer (1-based), or `None` if fewer
+    /// than `k` answers are held. Used as the top-k termination bound.
+    pub fn kth_score(&self, k: usize) -> Option<f64> {
+        if k == 0 || self.best.len() < k {
+            return None;
+        }
+        let mut scores: Vec<f64> = self.best.values().map(|a| a.score).collect();
+        scores.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite scores"));
+        Some(scores[k - 1])
+    }
+
+    /// Finalizes into the top-`k` answers, sorted by descending score
+    /// (ties broken by key for determinism).
+    pub fn into_top_k(self, k: usize) -> Vec<Answer> {
+        let mut out: Vec<Answer> = self.best.into_values().collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_xkg::TermKind;
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(TermKind::Resource, i)
+    }
+
+    #[test]
+    fn bind_and_rebind() {
+        let mut b = Bindings::new(2);
+        assert!(b.bind(VarId(0), tid(1)));
+        assert!(b.bind(VarId(0), tid(1)), "same value rebind ok");
+        assert!(!b.bind(VarId(0), tid(2)), "conflicting rebind fails");
+        assert_eq!(b.get(VarId(0)), Some(tid(1)));
+        assert_eq!(b.get(VarId(1)), None);
+    }
+
+    #[test]
+    fn bind_grows_automatically() {
+        let mut b = Bindings::new(0);
+        assert!(b.bind(VarId(5), tid(9)));
+        assert_eq!(b.get(VarId(5)), Some(tid(9)));
+    }
+
+    #[test]
+    fn compatibility_and_merge() {
+        let mut a = Bindings::new(3);
+        a.bind(VarId(0), tid(1));
+        let mut b = Bindings::new(3);
+        b.bind(VarId(1), tid(2));
+        assert!(a.compatible(&b));
+        let m = a.merged(&b).unwrap();
+        assert_eq!(m.get(VarId(0)), Some(tid(1)));
+        assert_eq!(m.get(VarId(1)), Some(tid(2)));
+
+        let mut c = Bindings::new(3);
+        c.bind(VarId(0), tid(7));
+        assert!(!a.compatible(&c));
+        assert!(a.merged(&c).is_none());
+    }
+
+    #[test]
+    fn projection_includes_unbound() {
+        let mut b = Bindings::new(2);
+        b.bind(VarId(0), tid(1));
+        let key = b.project(&[VarId(0), VarId(1)]);
+        assert_eq!(key, vec![(VarId(0), Some(tid(1))), (VarId(1), None)]);
+    }
+
+    fn answer(key_term: u32, score: f64) -> Answer {
+        Answer {
+            key: vec![(VarId(0), Some(tid(key_term)))],
+            bindings: Bindings::new(1),
+            score,
+            derivation: Derivation::unrelaxed(),
+        }
+    }
+
+    #[test]
+    fn collector_keeps_max_score_per_key() {
+        let mut c = AnswerCollector::new();
+        assert!(c.offer(answer(1, -2.0)));
+        assert!(!c.offer(answer(1, -3.0)), "worse duplicate rejected");
+        assert!(c.offer(answer(1, -1.0)), "better duplicate accepted");
+        assert_eq!(c.len(), 1);
+        let out = c.into_top_k(10);
+        assert_eq!(out[0].score, -1.0);
+    }
+
+    #[test]
+    fn top_k_sorted_and_truncated() {
+        let mut c = AnswerCollector::new();
+        for i in 0..5 {
+            c.offer(answer(i, -(f64::from(i))));
+        }
+        assert_eq!(c.kth_score(3), Some(-2.0));
+        assert_eq!(c.kth_score(9), None);
+        assert_eq!(c.kth_score(0), None);
+        let out = c.into_top_k(3);
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn derivation_exactness() {
+        assert!(Derivation::unrelaxed().is_exact());
+        let d = Derivation {
+            triples: Vec::new(),
+            rules: vec![RuleId(0)],
+            rule_weight: 0.8,
+        };
+        assert!(!d.is_exact());
+    }
+}

@@ -1,0 +1,45 @@
+//! Query execution engines.
+//!
+//! Three engines over the same store and scoring model:
+//!
+//! * [`exact`] — conjunctive evaluation of one (possibly rewritten)
+//!   query, no relaxation. The baseline a non-relaxing SPARQL-style
+//!   system provides.
+//! * [`expand`] — *full-expansion* processing: materialize every
+//!   relaxation of the query up front, evaluate each exhaustively, merge.
+//!   Correct but "prohibitively expensive" (paper §4); serves as the
+//!   reference implementation and efficiency baseline.
+//! * [`topk`] — the paper's incremental top-k processor: per-pattern
+//!   incremental merge over lazily opened relaxations (after Theobald et
+//!   al. \[11\]) combined by a rank join with threshold-based termination.
+
+pub mod exact;
+pub mod expand;
+pub mod topk;
+
+/// Counters describing the work an engine performed — the currency in
+/// which the paper's efficiency claim (§4) is measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Posting lists materialized (index lookups with scoring).
+    pub posting_lists_built: usize,
+    /// Entries consumed from posting lists (depth of sorted access).
+    pub postings_scanned: usize,
+    /// Relaxed pattern alternatives actually opened.
+    pub relaxations_opened: usize,
+    /// Query rewritings fully evaluated (full-expansion only).
+    pub rewritings_evaluated: usize,
+    /// Join candidate combinations tested.
+    pub join_candidates: usize,
+}
+
+impl ExecMetrics {
+    /// Merges another run's counters into this one.
+    pub fn merge(&mut self, other: &ExecMetrics) {
+        self.posting_lists_built += other.posting_lists_built;
+        self.postings_scanned += other.postings_scanned;
+        self.relaxations_opened += other.relaxations_opened;
+        self.rewritings_evaluated += other.rewritings_evaluated;
+        self.join_candidates += other.join_candidates;
+    }
+}

@@ -1,0 +1,864 @@
+//! Incremental top-k query processing (paper §4).
+//!
+//! "TriniT uses a top-k approach to query processing that is an extension
+//! of the incremental top-k algorithm of [Theobald et al., SIGIR'05],
+//! guided by \[the\] scoring scheme ... Top-k query processing is based on
+//! the ability to access answers for a triple pattern in sorted order of
+//! their scores, allowing us to go only as far as necessary into each
+//! triple pattern index list. Additionally, query processing utilizes
+//! incremental merging of triple patterns and their relaxed forms,
+//! invoking a relaxation only when it can contribute to the top-k
+//! answers."
+//!
+//! Architecture:
+//!
+//! * **Pattern alternatives** — each original pattern plus its relaxed
+//!   forms under single-pattern rules (chained up to a depth), each with
+//!   a combined weight.
+//! * **[`IncrementalMerge`]** — a priority queue over the alternatives of
+//!   one pattern. Unopened alternatives are held at their upper bound
+//!   (`weight × 1.0`); an alternative's posting list is materialized only
+//!   when that bound rises to the top — the "invoked only when it can
+//!   contribute" behaviour.
+//! * **Rank join** — HRJN-style: streams are pulled highest-frontier
+//!   first; each new item joins against the seen items of other streams;
+//!   the threshold `T = max_i (frontier_i + Σ_{j≠i} best_j)` bounds every
+//!   unseen combination, and processing stops once the k-th answer's
+//!   score reaches it.
+//! * **Structural variants** — multi-pattern rules (e.g. paper rule 1)
+//!   rewrite the query as a whole; each variant runs through the machinery
+//!   above, sharing one global answer collector.
+
+use std::collections::BinaryHeap;
+
+use trinit_relax::{apply_rule, apply_rule_with, canonical_key, QPattern, QTerm, Rule, RuleId, RuleSet, VarId};
+use trinit_xkg::{TripleId, XkgStore};
+
+use crate::answer::{Answer, AnswerCollector, Bindings, Derivation};
+use crate::ast::Query;
+use crate::exec::ExecMetrics;
+use crate::score::{ln_weight, ScoredMatches, LOG_ZERO};
+
+/// Configuration of the incremental top-k processor.
+#[derive(Debug, Clone)]
+pub struct TopkConfig {
+    /// Maximum chain length of single-pattern rules per pattern.
+    pub chain_depth: usize,
+    /// Maximum applications of structural (multi-pattern / multi-RHS)
+    /// rules at the query level.
+    pub structural_depth: usize,
+    /// Alternatives and variants below this weight are pruned.
+    pub min_weight: f64,
+    /// Cap on alternatives per pattern.
+    pub max_alternatives: usize,
+    /// Cap on structural query variants.
+    pub max_variants: usize,
+}
+
+impl Default for TopkConfig {
+    fn default() -> Self {
+        TopkConfig {
+            chain_depth: 2,
+            structural_depth: 1,
+            min_weight: 0.05,
+            max_alternatives: 64,
+            max_variants: 16,
+        }
+    }
+}
+
+/// True if a rule can participate in per-pattern incremental merging:
+/// one pattern in, one pattern out, constant LHS predicate.
+fn is_mergeable(rule: &Rule) -> bool {
+    rule.lhs.len() == 1 && rule.rhs.len() == 1 && rule.lhs_predicate().is_some()
+}
+
+/// One relaxed form of a single pattern.
+#[derive(Debug, Clone)]
+struct Alternative {
+    pattern: QPattern,
+    weight: f64,
+    trace: Vec<RuleId>,
+    matches: Option<ScoredMatches>,
+}
+
+/// Computes the alternatives of one pattern under the mergeable rules.
+///
+/// `fresh_base` is the first variable id this pattern may allocate for
+/// RHS-fresh rule variables; callers give each pattern a disjoint range
+/// so fresh variables of different streams never alias.
+fn pattern_alternatives(
+    pattern: &QPattern,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    fresh_base: u16,
+) -> Vec<Alternative> {
+    let mut out: Vec<Alternative> = vec![Alternative {
+        pattern: *pattern,
+        weight: 1.0,
+        trace: Vec::new(),
+        matches: None,
+    }];
+    let mut fresh_next = fresh_base;
+    let mut frontier = vec![0usize]; // indices into `out`
+    for _ in 0..cfg.chain_depth {
+        let mut next_frontier = Vec::new();
+        for &idx in &frontier {
+            let (cur_pattern, cur_weight, cur_trace) = {
+                let a = &out[idx];
+                (a.pattern, a.weight, a.trace.clone())
+            };
+            let Some(pred) = cur_pattern.p.term() else {
+                continue;
+            };
+            for &rule_id in rules.rules_for_predicate(pred) {
+                let rule = rules.get(rule_id);
+                if !is_mergeable(rule) {
+                    continue;
+                }
+                let weight = cur_weight * rule.weight;
+                if weight < cfg.min_weight {
+                    continue;
+                }
+                for rewriting in apply_rule(&[cur_pattern], rule, rule_id) {
+                    let [new_pattern] = rewriting.patterns.as_slice() else {
+                        continue;
+                    };
+                    // Remap any fresh variables into this pattern's range.
+                    let new_pattern = remap_fresh(*new_pattern, &cur_pattern, &mut fresh_next);
+                    match out.iter_mut().find(|a| a.pattern == new_pattern) {
+                        Some(existing) => {
+                            if weight > existing.weight {
+                                existing.weight = weight;
+                                existing.trace = cur_trace
+                                    .iter()
+                                    .copied()
+                                    .chain(std::iter::once(rule_id))
+                                    .collect();
+                            }
+                        }
+                        None => {
+                            if out.len() >= cfg.max_alternatives {
+                                continue;
+                            }
+                            let mut trace = cur_trace.clone();
+                            trace.push(rule_id);
+                            out.push(Alternative {
+                                pattern: new_pattern,
+                                weight,
+                                trace,
+                                matches: None,
+                            });
+                            next_frontier.push(out.len() - 1);
+                        }
+                    }
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    out
+}
+
+/// Remaps variables of `pattern` that do not occur in `origin` (i.e.
+/// rule-introduced fresh variables) into the caller-controlled range.
+fn remap_fresh(pattern: QPattern, origin: &QPattern, fresh_next: &mut u16) -> QPattern {
+    let origin_vars: Vec<VarId> = origin.vars().collect();
+    let mut mapping: Vec<(VarId, VarId)> = Vec::new();
+    let map = |t: QTerm, fresh_next: &mut u16, mapping: &mut Vec<(VarId, VarId)>| match t {
+        QTerm::Var(v) if !origin_vars.contains(&v) => {
+            if let Some(&(_, nv)) = mapping.iter().find(|(old, _)| *old == v) {
+                QTerm::Var(nv)
+            } else {
+                let nv = VarId(*fresh_next);
+                *fresh_next += 1;
+                mapping.push((v, nv));
+                QTerm::Var(nv)
+            }
+        }
+        other => other,
+    };
+    QPattern::new(
+        map(pattern.s, fresh_next, &mut mapping),
+        map(pattern.p, fresh_next, &mut mapping),
+        map(pattern.o, fresh_next, &mut mapping),
+    )
+}
+
+/// Heap entry of the incremental merge: an alternative keyed by an upper
+/// bound on its next emission.
+#[derive(Debug)]
+struct MergeEntry {
+    bound: f64,
+    alt: usize,
+    opened: bool,
+}
+
+impl PartialEq for MergeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.alt == other.alt && self.opened == other.opened
+    }
+}
+impl Eq for MergeEntry {}
+impl PartialOrd for MergeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.alt.cmp(&self.alt))
+    }
+}
+
+/// An emission of the incremental merge.
+#[derive(Debug, Clone)]
+pub struct Merged {
+    /// The matched triple.
+    pub triple: TripleId,
+    /// Combined probability `w_alt × P(t | alt pattern)`.
+    pub prob: f64,
+    /// The alternative's pattern (needed to bind variables).
+    pub pattern: QPattern,
+    /// Rules on the alternative's chain.
+    pub trace: Vec<RuleId>,
+    /// The alternative's weight.
+    pub weight: f64,
+}
+
+/// Incremental merge over one pattern's alternatives (Theobald et al.
+/// style): emits matches across all alternatives in globally descending
+/// combined-probability order, opening an alternative's posting list only
+/// when its upper bound reaches the top of the queue.
+pub struct IncrementalMerge<'a> {
+    store: &'a XkgStore,
+    alts: Vec<Alternative>,
+    heap: BinaryHeap<MergeEntry>,
+}
+
+impl<'a> IncrementalMerge<'a> {
+    fn new(store: &'a XkgStore, alts: Vec<Alternative>) -> IncrementalMerge<'a> {
+        let mut heap = BinaryHeap::with_capacity(alts.len());
+        for (i, alt) in alts.iter().enumerate() {
+            heap.push(MergeEntry {
+                bound: alt.weight, // × max possible probability 1.0
+                alt: i,
+                opened: false,
+            });
+        }
+        IncrementalMerge { store, alts, heap }
+    }
+
+    /// Upper bound on the probability of the next emission, or `None` if
+    /// exhausted.
+    pub fn peek_bound(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.bound)
+    }
+
+    /// Produces the next emission in descending order.
+    pub fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged> {
+        loop {
+            let entry = self.heap.pop()?;
+            let alt = &mut self.alts[entry.alt];
+            if !entry.opened {
+                // Materialize the alternative's posting list now — this is
+                // the moment the relaxation is "invoked".
+                metrics.posting_lists_built += 1;
+                if !alt.trace.is_empty() {
+                    metrics.relaxations_opened += 1;
+                }
+                let matches = ScoredMatches::build(self.store, &alt.pattern);
+                if let Some(p) = matches.peek_prob() {
+                    self.heap.push(MergeEntry {
+                        bound: alt.weight * p,
+                        alt: entry.alt,
+                        opened: true,
+                    });
+                }
+                alt.matches = Some(matches);
+                continue;
+            }
+            let matches = alt.matches.as_mut().expect("opened alternative");
+            let Some((triple, prob)) = matches.next_entry() else {
+                continue;
+            };
+            metrics.postings_scanned += 1;
+            if let Some(p) = matches.peek_prob() {
+                self.heap.push(MergeEntry {
+                    bound: alt.weight * p,
+                    alt: entry.alt,
+                    opened: true,
+                });
+            }
+            return Some(Merged {
+                triple,
+                prob: alt.weight * prob,
+                pattern: alt.pattern,
+                trace: alt.trace.clone(),
+                weight: alt.weight,
+            });
+        }
+    }
+}
+
+/// An item seen by one rank-join stream.
+#[derive(Debug, Clone)]
+struct SeenItem {
+    bindings: Bindings,
+    log_score: f64,
+    pattern: QPattern,
+    triple: TripleId,
+    trace: Vec<RuleId>,
+    weight: f64,
+}
+
+struct Stream<'a> {
+    merge: IncrementalMerge<'a>,
+    seen: Vec<SeenItem>,
+    best_log: f64,
+    exhausted: bool,
+}
+
+impl Stream<'_> {
+    fn frontier_log(&self) -> f64 {
+        if self.exhausted {
+            LOG_ZERO
+        } else {
+            self.merge.peek_bound().map_or(LOG_ZERO, ln_weight)
+        }
+    }
+
+    /// Upper bound on any item this stream can contribute.
+    fn contribution_bound(&self) -> f64 {
+        if self.seen.is_empty() {
+            self.frontier_log()
+        } else {
+            self.best_log
+        }
+    }
+}
+
+/// Binds a pattern's variables against a concrete triple. Returns `None`
+/// on conflict (cannot happen for triples from the pattern's own match
+/// list, but kept defensive).
+fn bind_triple(pattern: &QPattern, store: &XkgStore, triple: TripleId, n_vars: usize) -> Option<Bindings> {
+    let t = store.triple(triple);
+    let mut b = Bindings::new(n_vars);
+    for (slot, value) in pattern.slots().into_iter().zip([t.s, t.p, t.o]) {
+        if let QTerm::Var(v) = slot {
+            if !b.bind(v, value) {
+                return None;
+            }
+        }
+    }
+    Some(b)
+}
+
+/// Enumerates structural query variants (non-mergeable rules applied at
+/// the query level), keeping original rule ids in traces.
+fn structural_variants(
+    store: &XkgStore,
+    patterns: &[QPattern],
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+) -> Vec<(Vec<QPattern>, f64, Vec<RuleId>)> {
+    let original_vars = patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut out: Vec<(Vec<QPattern>, f64, Vec<RuleId>)> =
+        vec![(patterns.to_vec(), 1.0, Vec::new())];
+    let mut keys = vec![canonical_key(patterns, original_vars)];
+    let mut frontier = vec![0usize];
+    for _ in 0..cfg.structural_depth {
+        let mut next_frontier = Vec::new();
+        for &idx in &frontier {
+            let (cur_patterns, cur_weight, cur_trace) = out[idx].clone();
+            for (rule_id, rule) in rules.iter() {
+                if is_mergeable(rule) {
+                    continue;
+                }
+                let weight = cur_weight * rule.weight;
+                if weight < cfg.min_weight {
+                    continue;
+                }
+                for rewriting in apply_rule_with(&cur_patterns, rule, rule_id, Some(store)) {
+                    let key = canonical_key(&rewriting.patterns, original_vars);
+                    if keys.contains(&key) || out.len() >= cfg.max_variants {
+                        continue;
+                    }
+                    keys.push(key);
+                    let mut trace = cur_trace.clone();
+                    trace.push(rule_id);
+                    out.push((rewriting.patterns, weight, trace));
+                    next_frontier.push(out.len() - 1);
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    out
+}
+
+/// Runs incremental top-k processing for `query` under `rules`.
+///
+/// Returns the top `query.k` answers (identical to what
+/// [`crate::exec::expand::run`] would return for an equivalent rule
+/// budget) and the work metrics, which are the point: posting lists are
+/// only materialized, and relaxations only invoked, when they can still
+/// contribute to the top-k.
+pub fn run(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+) -> (Vec<Answer>, ExecMetrics) {
+    let mut metrics = ExecMetrics::default();
+    let mut collector = AnswerCollector::new();
+    let projection = query.effective_projection();
+    let k = query.k.max(1);
+
+    let variants = structural_variants(store, &query.patterns, rules, cfg);
+    for (variant_patterns, variant_weight, variant_trace) in variants {
+        metrics.rewritings_evaluated += 1;
+        run_variant(
+            store,
+            query,
+            rules,
+            cfg,
+            &variant_patterns,
+            variant_weight,
+            &variant_trace,
+            &projection,
+            k,
+            &mut collector,
+            &mut metrics,
+        );
+    }
+    (collector.into_top_k(query.k), metrics)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_variant(
+    store: &XkgStore,
+    _query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    patterns: &[QPattern],
+    variant_weight: f64,
+    variant_trace: &[RuleId],
+    projection: &[VarId],
+    k: usize,
+    collector: &mut AnswerCollector,
+    metrics: &mut ExecMetrics,
+) {
+    if patterns.is_empty() {
+        return;
+    }
+    let variant_log = ln_weight(variant_weight);
+    let max_var = patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m + 1);
+    let n_vars = max_var as usize + 64; // headroom for fresh variables
+
+    let mut streams: Vec<Stream<'_>> = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let fresh_base = max_var + (i as u16) * 8;
+            let alts = pattern_alternatives(p, rules, cfg, fresh_base);
+            Stream {
+                merge: IncrementalMerge::new(store, alts),
+                seen: Vec::new(),
+                best_log: LOG_ZERO,
+                exhausted: false,
+            }
+        })
+        .collect();
+
+    // Pick the non-exhausted stream with the highest frontier each round.
+    while let Some(next) = (0..streams.len())
+        .filter(|&i| !streams[i].exhausted)
+        .max_by(|&a, &b| streams[a].frontier_log().total_cmp(&streams[b].frontier_log()))
+    {
+
+        let merged = streams[next].merge.next_merged(metrics);
+        match merged {
+            None => {
+                streams[next].exhausted = true;
+                // A stream with no matches at all kills the variant.
+                if streams[next].seen.is_empty() {
+                    return;
+                }
+            }
+            Some(m) => {
+                let Some(bindings) = bind_triple(&m.pattern, store, m.triple, n_vars) else {
+                    continue;
+                };
+                let log_score = ln_weight(m.prob);
+                let item = SeenItem {
+                    bindings,
+                    log_score,
+                    pattern: m.pattern,
+                    triple: m.triple,
+                    trace: m.trace,
+                    weight: m.weight,
+                };
+                if streams[next].seen.is_empty() {
+                    streams[next].best_log = log_score;
+                }
+                streams[next].seen.push(item.clone());
+
+                // Join the new item with the seen items of other streams.
+                join_with_others(
+                    &streams, next, &item, variant_log, variant_trace, projection, collector,
+                    metrics,
+                );
+            }
+        }
+
+        // Threshold: best score any unseen combination can still achieve.
+        let threshold = variant_log
+            + (0..streams.len())
+                .filter(|&i| !streams[i].exhausted)
+                .map(|i| {
+                    streams[i].frontier_log()
+                        + (0..streams.len())
+                            .filter(|&j| j != i)
+                            .map(|j| streams[j].contribution_bound())
+                            .sum::<f64>()
+                })
+                .fold(LOG_ZERO, f64::max);
+
+        if threshold == LOG_ZERO {
+            break;
+        }
+        if let Some(kth) = collector.kth_score(k) {
+            if kth >= threshold {
+                break;
+            }
+        }
+    }
+}
+
+/// One joined item during combination: pattern, triple, chain trace, and
+/// alternative weight.
+type JoinItem = (QPattern, TripleId, Vec<RuleId>, f64);
+
+#[allow(clippy::too_many_arguments)]
+fn join_with_others(
+    streams: &[Stream<'_>],
+    new_stream: usize,
+    new_item: &SeenItem,
+    variant_log: f64,
+    variant_trace: &[RuleId],
+    projection: &[VarId],
+    collector: &mut AnswerCollector,
+    metrics: &mut ExecMetrics,
+) {
+    // Depth-first combination over the other streams' seen lists.
+    fn combine(
+        streams: &[Stream<'_>],
+        skip: usize,
+        idx: usize,
+        acc_bindings: &Bindings,
+        acc_score: f64,
+        acc_items: &mut Vec<JoinItem>,
+        emit: &mut dyn FnMut(&Bindings, f64, &[JoinItem]),
+        metrics: &mut ExecMetrics,
+    ) {
+        if idx == streams.len() {
+            emit(acc_bindings, acc_score, acc_items);
+            return;
+        }
+        if idx == skip {
+            combine(
+                streams, skip, idx + 1, acc_bindings, acc_score, acc_items, emit, metrics,
+            );
+            return;
+        }
+        for item in &streams[idx].seen {
+            metrics.join_candidates += 1;
+            if let Some(merged) = acc_bindings.merged(&item.bindings) {
+                acc_items.push((item.pattern, item.triple, item.trace.clone(), item.weight));
+                combine(
+                    streams,
+                    skip,
+                    idx + 1,
+                    &merged,
+                    acc_score + item.log_score,
+                    acc_items,
+                    emit,
+                    metrics,
+                );
+                acc_items.pop();
+            }
+        }
+    }
+
+    let mut acc_items = vec![(
+        new_item.pattern,
+        new_item.triple,
+        new_item.trace.clone(),
+        new_item.weight,
+    )];
+    let base_bindings = new_item.bindings.clone();
+    let base_score = new_item.log_score + variant_log;
+    combine(
+        streams,
+        new_stream,
+        0,
+        &base_bindings,
+        base_score,
+        &mut acc_items,
+        &mut |bindings, score, items| {
+            let mut rules: Vec<RuleId> = variant_trace.to_vec();
+            let mut rule_weight = 1.0;
+            for (_, _, trace, weight) in items {
+                rules.extend_from_slice(trace);
+                rule_weight *= weight;
+            }
+            // Variant weight folds into the derivation weight as well.
+            if variant_log.is_finite() {
+                rule_weight *= variant_log.exp();
+            }
+            collector.offer(Answer {
+                key: bindings.project(projection),
+                bindings: bindings.clone(),
+                score,
+                derivation: Derivation {
+                    triples: items.iter().map(|(p, t, _, _)| (*p, *t)).collect(),
+                    rules,
+                    rule_weight,
+                },
+            });
+        },
+        metrics,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryBuilder;
+    use crate::exec::expand;
+    use trinit_relax::{ExpandOptions, Rule, RuleProvenance};
+    use trinit_xkg::XkgBuilder;
+
+    fn store() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("AlfredKleiner", "hasStudent", "AlbertEinstein");
+        b.add_kg_resources("AlbertEinstein", "affiliation", "IAS");
+        b.add_kg_resources("MaxPlanck", "affiliation", "BerlinUniversity");
+        let src = b.intern_source("doc");
+        let s = b.dict_mut().resource("IAS");
+        let housed = b.dict_mut().token("housed in");
+        let o = b.dict_mut().resource("PrincetonUniversity");
+        b.add_extracted(s, housed, o, 0.9, src);
+        let s2 = b.dict_mut().resource("AlbertEinstein");
+        let lectured = b.dict_mut().token("lectured at");
+        b.add_extracted(s2, lectured, o, 0.7, src);
+        b.build()
+    }
+
+    fn advisor_rules(store: &XkgStore) -> (RuleSet, trinit_xkg::TermId) {
+        let mut qb = QueryBuilder::new(store);
+        let has_advisor = qb.resource("hasAdvisor");
+        let has_student = store.resource("hasStudent").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::inversion(
+            "advisor/student",
+            has_advisor,
+            has_student,
+            1.0,
+            RuleProvenance::UserDefined,
+        ));
+        (rules, has_advisor)
+    }
+
+    #[test]
+    fn lazy_merge_recovers_inverted_answer() {
+        let store = store();
+        let (rules, _) = advisor_rules(&store);
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("AlbertEinstein", "hasAdvisor", "x")
+            .build();
+        let (answers, metrics) = run(&store, &q, &rules, &TopkConfig::default());
+        assert_eq!(answers.len(), 1);
+        let kleiner = store.resource("AlfredKleiner").unwrap();
+        assert_eq!(answers[0].key[0].1, Some(kleiner));
+        assert_eq!(metrics.relaxations_opened, 1);
+    }
+
+    #[test]
+    fn lectured_at_relaxation_for_affiliation() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "rule4",
+            aff,
+            lectured,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("AlbertEinstein", "affiliation", "y")
+            .limit(5)
+            .build();
+        let (answers, _) = run(&store, &q, &rules, &TopkConfig::default());
+        assert_eq!(answers.len(), 2);
+        let ias = store.resource("IAS").unwrap();
+        let princeton = store.resource("PrincetonUniversity").unwrap();
+        assert_eq!(answers[0].key[0].1, Some(ias));
+        assert_eq!(answers[1].key[0].1, Some(princeton));
+        assert!(answers[1].score < answers[0].score);
+    }
+
+    #[test]
+    fn agrees_with_full_expansion() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let housed = store.token("housed in").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "a",
+            aff,
+            lectured,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        rules.add(Rule::predicate_rewrite(
+            "b",
+            aff,
+            housed,
+            0.6,
+            RuleProvenance::UserDefined,
+        ));
+        rules.add(Rule::predicate_rewrite(
+            "c",
+            lectured,
+            housed,
+            0.5,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "affiliation", "y")
+            .limit(50)
+            .build();
+        let (inc, _) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                chain_depth: 2,
+                structural_depth: 0,
+                min_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        let (full, _) = expand::run(
+            &store,
+            &q,
+            &rules,
+            &ExpandOptions {
+                max_depth: 2,
+                min_weight: 0.0,
+                max_rewritings: 1024,
+            },
+        );
+        assert_eq!(inc.len(), full.len());
+        for (a, b) in inc.iter().zip(&full) {
+            assert_eq!(a.key, b.key, "same answers in same order");
+            assert!((a.score - b.score).abs() < 1e-9, "same scores");
+        }
+    }
+
+    #[test]
+    fn relaxations_not_opened_when_k_satisfied_early() {
+        // With k=1 and a strong exact answer, the weak relaxation's
+        // posting list should never be materialized.
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("E", "p", "O1");
+        let weak = b.dict_mut().token("weak predicate");
+        for i in 0..100 {
+            let s = b.dict_mut().resource(&format!("s{i}"));
+            let o = b.dict_mut().resource(&format!("o{i}"));
+            let src = b.intern_source("d");
+            b.add_extracted(s, weak, o, 0.9, src);
+        }
+        let store = b.build();
+        let p = store.resource("p").unwrap();
+        let weak = store.token("weak predicate").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "weak",
+            p,
+            weak,
+            0.05,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("E", "p", "y")
+            .limit(1)
+            .build();
+        let (answers, metrics) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                min_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(answers.len(), 1);
+        // Exact match has prob 1.0 > bound 0.05 of the relaxation.
+        assert_eq!(metrics.relaxations_opened, 0, "{metrics:?}");
+    }
+
+    #[test]
+    fn join_query_with_relaxation() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "rule4",
+            aff,
+            lectured,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        // Who is affiliated with something housed in Princeton?
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "affiliation", "y")
+            .pattern_r_t_v("IAS", "housed in", "z")
+            .limit(10)
+            .build();
+        let (answers, _) = run(&store, &q, &rules, &TopkConfig::default());
+        assert!(!answers.is_empty());
+    }
+
+    #[test]
+    fn empty_query_variant_is_safe() {
+        let store = store();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_r("x", "nonexistentPredicate", "Nowhere")
+            .build();
+        let (answers, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert!(answers.is_empty());
+    }
+}

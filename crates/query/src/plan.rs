@@ -1,0 +1,101 @@
+//! Join-order planning.
+//!
+//! Orders a query's triple patterns most-selective-first, preferring
+//! patterns that share variables with the already-planned prefix so the
+//! backtracking join stays bound (classic greedy left-deep planning over
+//! exact cardinalities, which the permutation indexes give for free).
+
+use trinit_relax::{QPattern, VarId};
+use trinit_xkg::XkgStore;
+
+/// Returns the evaluation order of `patterns` as indices.
+pub fn plan_order(store: &XkgStore, patterns: &[QPattern]) -> Vec<usize> {
+    let cards: Vec<usize> = patterns
+        .iter()
+        .map(|p| store.count(&p.slot_pattern()))
+        .collect();
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    let mut bound_vars: Vec<VarId> = Vec::new();
+
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .copied()
+            .min_by_key(|&i| {
+                let connected = patterns[i].vars().any(|v| bound_vars.contains(&v));
+                // Connected patterns first (0), then by cardinality, then
+                // by index for determinism.
+                (
+                    if order.is_empty() || connected { 0 } else { 1 },
+                    cards[i],
+                    i,
+                )
+            })
+            .expect("remaining is non-empty");
+        remaining.retain(|&i| i != pick);
+        for v in patterns[pick].vars() {
+            if !bound_vars.contains(&v) {
+                bound_vars.push(v);
+            }
+        }
+        order.push(pick);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_relax::QTerm;
+    use trinit_xkg::XkgBuilder;
+
+    #[test]
+    fn selective_pattern_goes_first() {
+        let mut b = XkgBuilder::new();
+        for i in 0..50 {
+            b.add_kg_resources(&format!("p{i}"), "bornIn", "Ulm");
+        }
+        b.add_kg_resources("p0", "affiliation", "IAS");
+        let store = b.build();
+        let born = store.resource("bornIn").unwrap();
+        let aff = store.resource("affiliation").unwrap();
+        let ulm = store.resource("Ulm").unwrap();
+        let ias = store.resource("IAS").unwrap();
+        let x = QTerm::Var(VarId(0));
+        let patterns = vec![
+            QPattern::new(x, QTerm::Term(born), QTerm::Term(ulm)), // 50 matches
+            QPattern::new(x, QTerm::Term(aff), QTerm::Term(ias)),  // 1 match
+        ];
+        assert_eq!(plan_order(&store, &patterns), vec![1, 0]);
+    }
+
+    #[test]
+    fn connected_patterns_preferred_over_cheaper_disconnected() {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("a", "p", "b");
+        b.add_kg_resources("c", "q", "d");
+        for i in 0..10 {
+            b.add_kg_resources(&format!("x{i}"), "r", "b");
+        }
+        let store = b.build();
+        let p = store.resource("p").unwrap();
+        let q = store.resource("q").unwrap();
+        let r = store.resource("r").unwrap();
+        let (x, y, z) = (QTerm::Var(VarId(0)), QTerm::Var(VarId(1)), QTerm::Var(VarId(2)));
+        let patterns = vec![
+            QPattern::new(x, QTerm::Term(p), y), // card 1, starts
+            QPattern::new(z, QTerm::Term(q), z), // card small but disconnected
+            QPattern::new(x, QTerm::Term(r), y), // connected to first
+        ];
+        let order = plan_order(&store, &patterns);
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 2, "connected pattern beats disconnected");
+    }
+
+    #[test]
+    fn empty_query_plans_empty() {
+        let store = XkgBuilder::new().build();
+        assert!(plan_order(&store, &[]).is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Query-likelihood answer scoring (paper §4).
+//!
+//! "A triple pattern is viewed as a document that emits triples with
+//! certain probabilities. The probability assigned to an SPO fact in
+//! response to a triple pattern is proportional to the frequency with
+//! which the fact is observed (a tf-like effect) and inversely
+//! proportional to the total number of matches for the triple pattern (an
+//! idf-like effect corresponding to selectivity)."
+//!
+//! Concretely: `P(t | q) = weight(t) / Σ_{t' ∈ matches(q)} weight(t')`
+//! with `weight(t) = support(t) × confidence(t)`. Relaxed matches are
+//! attenuated by the rule weight; an answer's score is the product of its
+//! pattern probabilities (kept in log space); the score of an answer is
+//! the max over its derivations.
+
+use trinit_relax::QPattern;
+use trinit_xkg::{TripleId, XkgStore};
+
+/// Matches of a query pattern in descending probability order, with a
+/// cursor for incremental sorted access.
+///
+/// Unlike [`trinit_xkg::PostingList`], this respects *within-pattern*
+/// variable repetition (`?x p ?x` only matches triples with `s == o`) and
+/// normalizes probabilities over the filtered match set.
+#[derive(Debug, Clone)]
+pub struct ScoredMatches {
+    entries: Vec<(TripleId, f64)>,
+    total_weight: f64,
+    cursor: usize,
+}
+
+impl ScoredMatches {
+    /// Builds the scored matches of `pattern` over `store`.
+    pub fn build(store: &XkgStore, pattern: &QPattern) -> ScoredMatches {
+        let slot = pattern.slot_pattern();
+        let candidates = store.lookup(&slot);
+        let mut entries: Vec<(TripleId, f64)> = Vec::with_capacity(candidates.len());
+        let mut total_weight = 0.0f64;
+        for &id in candidates {
+            if !within_pattern_consistent(pattern, store, id) {
+                continue;
+            }
+            let w = store.provenance(id).weight();
+            total_weight += w;
+            entries.push((id, w));
+        }
+        for e in &mut entries {
+            e.1 = if total_weight > 0.0 {
+                e.1 / total_weight
+            } else {
+                0.0
+            };
+        }
+        entries.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("probabilities are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        ScoredMatches {
+            entries,
+            total_weight,
+            cursor: 0,
+        }
+    }
+
+    /// Number of (filtered) matches.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the pattern has no matches.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total emission weight over the filtered matches.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// All `(triple, probability)` entries in descending order.
+    pub fn entries(&self) -> &[(TripleId, f64)] {
+        &self.entries
+    }
+
+    /// Emission probability of one triple under this pattern (0.0 if the
+    /// triple does not match).
+    pub fn prob_of(&self, id: TripleId) -> f64 {
+        self.entries
+            .iter()
+            .find(|(t, _)| *t == id)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+
+    /// Probability of the next unconsumed entry.
+    pub fn peek_prob(&self) -> Option<f64> {
+        self.entries.get(self.cursor).map(|(_, p)| *p)
+    }
+
+    /// Consumes and returns the next entry in descending order.
+    pub fn next_entry(&mut self) -> Option<(TripleId, f64)> {
+        let e = self.entries.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(e)
+    }
+
+    /// Entries consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+}
+
+/// Checks within-pattern variable-equality constraints of `pattern`
+/// against a concrete triple.
+fn within_pattern_consistent(pattern: &QPattern, store: &XkgStore, id: TripleId) -> bool {
+    use trinit_relax::QTerm;
+    let t = store.triple(id);
+    let slots = pattern.slots();
+    let values = [t.s, t.p, t.o];
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            if let (QTerm::Var(a), QTerm::Var(b)) = (slots[i], slots[j]) {
+                if a == b && values[i] != values[j] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A log-space score. Probabilities multiply; log scores add.
+pub const LOG_ZERO: f64 = f64::NEG_INFINITY;
+
+/// Converts a probability (or rule weight) to log space.
+#[inline]
+pub fn ln_weight(p: f64) -> f64 {
+    if p <= 0.0 {
+        LOG_ZERO
+    } else {
+        p.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_relax::{QTerm, VarId};
+    use trinit_xkg::XkgBuilder;
+
+    fn store() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("a", "p", "x");
+        b.add_kg_resources("b", "p", "y");
+        b.add_kg_resources("c", "p", "c"); // self-loop for repeated-var tests
+        let src = b.intern_source("d");
+        let s = b.dict_mut().resource("a");
+        let pr = b.dict_mut().resource("p");
+        let o = b.dict_mut().resource("z");
+        b.add_extracted(s, pr, o, 0.5, src);
+        b.build()
+    }
+
+    fn pat(store: &XkgStore, s: QTerm, o: QTerm) -> QPattern {
+        QPattern::new(s, QTerm::Term(store.resource("p").unwrap()), o)
+    }
+
+    #[test]
+    fn probabilities_normalize_over_matches() {
+        let store = store();
+        let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let m = ScoredMatches::build(&store, &p);
+        assert_eq!(m.len(), 4);
+        let sum: f64 = m.entries().iter().map(|(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // KG facts (weight 1.0) outrank the 0.5-confidence extraction.
+        assert!(m.entries()[0].1 > m.entries()[3].1 - 1e-12);
+        assert!((m.total_weight() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_var_filters_matches() {
+        let store = store();
+        let v = QTerm::Var(VarId(0));
+        let p = pat(&store, v, v);
+        let m = ScoredMatches::build(&store, &p);
+        assert_eq!(m.len(), 1, "only the self-loop matches ?x p ?x");
+        let (id, prob) = m.entries()[0];
+        let t = store.triple(id);
+        assert_eq!(t.s, t.o);
+        assert!((prob - 1.0).abs() < 1e-9, "renormalized over filtered set");
+    }
+
+    #[test]
+    fn selectivity_acts_as_idf() {
+        let store = store();
+        // Selective pattern (bound subject) gives higher probability than
+        // the unselective one for the same triple.
+        let a = store.resource("a").unwrap();
+        let broad = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let narrow = pat(&store, QTerm::Term(a), QTerm::Var(VarId(1)));
+        let mb = ScoredMatches::build(&store, &broad);
+        let mn = ScoredMatches::build(&store, &narrow);
+        let (id, _) = mn.entries()[0];
+        assert!(mn.prob_of(id) > mb.prob_of(id));
+    }
+
+    #[test]
+    fn cursor_and_prob_of() {
+        let store = store();
+        let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let mut m = ScoredMatches::build(&store, &p);
+        let first = m.next_entry().unwrap();
+        assert_eq!(m.consumed(), 1);
+        assert!((m.prob_of(first.0) - first.1).abs() < 1e-12);
+        assert_eq!(m.prob_of(TripleId(999)), 0.0);
+    }
+
+    #[test]
+    fn empty_pattern() {
+        let store = store();
+        let ghost = QTerm::Term(trinit_xkg::TermId::new(trinit_xkg::TermKind::Resource, 500));
+        let p = QPattern::new(QTerm::Var(VarId(0)), ghost, QTerm::Var(VarId(1)));
+        let mut m = ScoredMatches::build(&store, &p);
+        assert!(m.is_empty());
+        assert_eq!(m.peek_prob(), None);
+        assert_eq!(m.next_entry(), None);
+    }
+
+    #[test]
+    fn ln_weight_handles_zero() {
+        assert_eq!(ln_weight(0.0), LOG_ZERO);
+        assert_eq!(ln_weight(-1.0), LOG_ZERO);
+        assert!((ln_weight(1.0)).abs() < 1e-12);
+    }
+}

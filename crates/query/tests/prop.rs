@@ -1,0 +1,237 @@
+//! Property tests for query processing.
+//!
+//! The headline property: **incremental top-k returns exactly the answers
+//! and scores of exhaustive full-expansion evaluation** on arbitrary
+//! stores, queries, and predicate-rewrite rule sets — the invariant that
+//! makes the paper's efficiency optimization safe.
+
+use proptest::prelude::*;
+
+use trinit_query::exec::{expand, topk};
+use trinit_query::{Query, TopkConfig};
+use trinit_relax::{ExpandOptions, QPattern, QTerm, Rule, RuleProvenance, RuleSet, VarId};
+use trinit_xkg::{Provenance, SourceId, TermId, TermKind, Triple, XkgBuilder, XkgStore};
+
+fn tid(i: u32) -> TermId {
+    TermId::new(TermKind::Resource, i)
+}
+
+/// A random store over a small universe: up to `n` triples with random
+/// confidences and supports.
+fn store_strategy(universe: u32, max_triples: usize) -> impl Strategy<Value = Vec<(u32, u32, u32, f32, u8)>> {
+    proptest::collection::vec(
+        (
+            0..universe,
+            0..universe,
+            0..universe,
+            0.05f32..1.0,
+            0u8..4,
+        ),
+        1..max_triples,
+    )
+}
+
+fn build_store(rows: &[(u32, u32, u32, f32, u8)]) -> XkgStore {
+    let mut b = XkgBuilder::new();
+    for &(s, p, o, conf, support) in rows {
+        let mut prov = Provenance::extraction(conf, SourceId(0));
+        prov.support = u32::from(support) + 1;
+        b.add(Triple::new(tid(s), tid(p), tid(o)), prov);
+    }
+    b.build()
+}
+
+fn query_from(patterns: Vec<QPattern>, k: usize) -> Query {
+    let n_vars = patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    Query {
+        patterns,
+        projection: Vec::new(),
+        k,
+        var_names: (0..n_vars).map(|i| format!("v{i}")).collect(),
+        unknown_terms: Vec::new(),
+    }
+}
+
+fn qterm(vars: u16, universe: u32) -> impl Strategy<Value = QTerm> {
+    prop_oneof![
+        (0..vars).prop_map(|v| QTerm::Var(VarId(v))),
+        (0..universe).prop_map(|t| QTerm::Term(tid(t))),
+    ]
+}
+
+fn pattern_strategy(vars: u16, universe: u32) -> impl Strategy<Value = QPattern> {
+    (
+        qterm(vars, universe),
+        (0..universe).prop_map(|t| QTerm::Term(tid(t))),
+        qterm(vars, universe),
+    )
+        .prop_map(|(s, p, o)| QPattern::new(s, p, o))
+}
+
+fn rules_strategy(universe: u32) -> impl Strategy<Value = Vec<Rule>> {
+    proptest::collection::vec(
+        (0..universe, 0..universe, 0.15f64..1.0, proptest::bool::ANY).prop_map(
+            |(p1, p2, w, inv)| {
+                if inv {
+                    Rule::inversion("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                } else {
+                    Rule::predicate_rewrite("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                }
+            },
+        ),
+        0..4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental top-k ≡ full expansion on single-pattern queries:
+    /// same answer keys, same scores, same order. (For multi-pattern
+    /// queries the two engines budget rule applications differently —
+    /// per pattern vs per sequence — so exact equality is only defined
+    /// for one pattern; the join machinery is covered by
+    /// `topk_equals_full_expansion_without_rules` and the unit tests.)
+    #[test]
+    fn topk_equals_full_expansion(
+        rows in store_strategy(5, 40),
+        pattern in pattern_strategy(3, 5),
+        rules in rules_strategy(5),
+    ) {
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let q1 = query_from(vec![pattern], 1000);
+        let q2 = query_from(vec![pattern], 1000);
+        let (inc, _) = topk::run(
+            &store,
+            &q1,
+            &set,
+            &TopkConfig {
+                chain_depth: 2,
+                structural_depth: 0,
+                min_weight: 0.0,
+                max_alternatives: 256,
+                max_variants: 16,
+            },
+        );
+        let (full, _) = expand::run(
+            &store,
+            &q2,
+            &set,
+            &ExpandOptions {
+                max_depth: 2,
+                min_weight: 0.0,
+                max_rewritings: 4096,
+            },
+        );
+        prop_assert_eq!(inc.len(), full.len(), "answer counts differ");
+        for (a, b) in inc.iter().zip(&full) {
+            prop_assert_eq!(&a.key, &b.key, "answer order differs");
+            prop_assert!((a.score - b.score).abs() < 1e-9, "scores differ: {} vs {}", a.score, b.score);
+        }
+    }
+
+    /// With no rules at all, both engines reduce to exact evaluation and
+    /// must agree on arbitrary multi-pattern (join) queries.
+    #[test]
+    fn topk_equals_full_expansion_without_rules(
+        rows in store_strategy(4, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 4), 1..4),
+    ) {
+        let store = build_store(&rows);
+        let set = RuleSet::new();
+        let q1 = query_from(patterns.clone(), 1000);
+        let q2 = query_from(patterns, 1000);
+        let (inc, _) = topk::run(&store, &q1, &set, &TopkConfig::default());
+        let (full, _) = expand::run(&store, &q2, &set, &ExpandOptions::default());
+        prop_assert_eq!(inc.len(), full.len(), "answer counts differ");
+        for (a, b) in inc.iter().zip(&full) {
+            prop_assert_eq!(&a.key, &b.key, "answer order differs");
+            prop_assert!((a.score - b.score).abs() < 1e-9, "scores differ");
+        }
+    }
+
+    /// Returned rankings are sorted, bounded by k, and deduplicated on
+    /// the projected key.
+    #[test]
+    fn topk_output_contract(
+        rows in store_strategy(5, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+    ) {
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let q = query_from(patterns, k);
+        let (answers, _) = topk::run(&store, &q, &set, &TopkConfig::default());
+        prop_assert!(answers.len() <= k);
+        prop_assert!(answers.windows(2).all(|w| w[0].score >= w[1].score));
+        let mut keys: Vec<_> = answers.iter().map(|a| a.key.clone()).collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), answers.len(), "duplicate projected keys");
+        for a in &answers {
+            prop_assert!(a.score.is_finite());
+            prop_assert!(a.score <= 1e-9, "log-prob must be non-positive");
+        }
+    }
+
+    /// The threshold never cuts a true top-k answer: running with k and
+    /// with k'=k+5 agrees on the first k answers.
+    #[test]
+    fn topk_prefix_stability(
+        rows in store_strategy(4, 30),
+        patterns in proptest::collection::vec(pattern_strategy(2, 4), 1..3),
+        rules in rules_strategy(4),
+        k in 1usize..5,
+    ) {
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let qa = query_from(patterns.clone(), k);
+        let qb = query_from(patterns, k + 5);
+        let (small, _) = topk::run(&store, &qa, &set, &TopkConfig::default());
+        let (large, _) = topk::run(&store, &qb, &set, &TopkConfig::default());
+        for (a, b) in small.iter().zip(large.iter()) {
+            prop_assert_eq!(&a.key, &b.key);
+            prop_assert!((a.score - b.score).abs() < 1e-9);
+        }
+    }
+
+    /// Exact evaluation is invariant under pattern order (score and
+    /// answer-set equality).
+    #[test]
+    fn exact_is_pattern_order_invariant(
+        rows in store_strategy(4, 30),
+        mut patterns in proptest::collection::vec(pattern_strategy(3, 4), 2..4),
+    ) {
+        use trinit_query::exec::exact;
+        use trinit_query::ExecMetrics;
+        let store = build_store(&rows);
+        let q1 = query_from(patterns.clone(), 1000);
+        patterns.reverse();
+        let q2 = query_from(patterns, 1000);
+        let mut m = ExecMetrics::default();
+        let a1 = exact::evaluate(&store, &q1, &q1.patterns, &[], 1.0, &mut m);
+        let a2 = exact::evaluate(&store, &q2, &q2.patterns, &[], 1.0, &mut m);
+        // The projection order differs between the two queries (variables
+        // are numbered by first occurrence), so normalize keys by VarId.
+        let normalize = |answers: &[trinit_query::Answer]| {
+            let mut keys: Vec<Vec<(VarId, Option<TermId>)>> = answers
+                .iter()
+                .map(|a| {
+                    let mut k = a.key.clone();
+                    k.sort_by_key(|(v, _)| *v);
+                    k
+                })
+                .collect();
+            keys.sort();
+            keys.dedup();
+            keys
+        };
+        prop_assert_eq!(normalize(&a1), normalize(&a2));
+    }
+}

@@ -1,0 +1,44 @@
+//! # trinit-relax — query relaxation framework
+//!
+//! Implements §3 of the TriniT paper: relaxation rules that replace a set
+//! of triple patterns in a query with a new set, weighted by semantic
+//! similarity. Rules come from four sources, all implemented here:
+//!
+//! * **XKG co-occurrence mining** ([`mine`]) — the paper's
+//!   `w(p1 ↦ p2) = |args(p1) ∩ args(p2)| / |args(p2)|` formula, forward
+//!   and inverted;
+//! * **ontology/granularity rules** ([`ontology`]) — paper rule 1;
+//! * **paraphrase repositories** ([`paraphrase`]);
+//! * **user-defined rules** and arbitrary plug-ins through the
+//!   [`operator`] API.
+//!
+//! [`apply::expand`] enumerates weighted relaxation *sequences* of a
+//! query, which both the full-expansion baseline and the incremental
+//! top-k processor (in `trinit-query`) consume.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod apply;
+pub mod mine;
+pub mod ontology;
+pub mod operator;
+pub mod paraphrase;
+pub mod pattern;
+pub mod rule;
+pub mod ruleset;
+
+pub use apply::{
+    apply_rule, apply_rule_with, canonical_key, expand, expand_with, ExpandOptions,
+    RelaxedQuery, Rewriting,
+};
+pub use mine::{mine_cooccurrence, MinedRule, MinerConfig};
+pub use ontology::{granularity_rule, mine_granularity, GranularityMinerConfig, GranularitySpec};
+pub use operator::{
+    CooccurrenceOperator, GranularityOperator, ManualOperator, OperatorRegistry,
+    ParaphraseOperator, RelaxationOperator,
+};
+pub use paraphrase::{paraphrase_rules, ParaphraseGroup};
+pub use pattern::{display_pattern, QPattern, QTerm, VarId};
+pub use rule::{RVar, Rule, RuleId, RuleKind, RuleProvenance, TTerm, Template};
+pub use ruleset::RuleSet;

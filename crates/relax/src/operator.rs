@@ -1,0 +1,221 @@
+//! The relaxation-operator plug-in API.
+//!
+//! "TriniT has an API for relaxation operators, which administrators and
+//! advanced users can use to plug in their code for generating relaxation
+//! rules and their weights." (paper §3)
+//!
+//! A [`RelaxationOperator`] inspects a store and produces rules; an
+//! [`OperatorRegistry`] runs a pipeline of operators to build the final
+//! [`RuleSet`]. The built-in miners are exposed as operators so custom
+//! ones compose with them uniformly.
+
+use trinit_xkg::{TermId, XkgStore};
+
+use crate::mine::{mine_cooccurrence, MinerConfig};
+use crate::ontology::{mine_granularity, GranularityMinerConfig};
+use crate::paraphrase::{paraphrase_rules, ParaphraseGroup};
+use crate::rule::Rule;
+use crate::ruleset::RuleSet;
+
+/// A pluggable generator of relaxation rules.
+pub trait RelaxationOperator {
+    /// Name shown in diagnostics and explanations.
+    fn name(&self) -> &str;
+
+    /// Generates rules by inspecting the store.
+    fn generate(&self, store: &XkgStore) -> Vec<Rule>;
+}
+
+/// Built-in operator: XKG co-occurrence mining (paper §3 formula).
+#[derive(Debug, Default)]
+pub struct CooccurrenceOperator {
+    /// Miner configuration.
+    pub config: MinerConfig,
+}
+
+impl RelaxationOperator for CooccurrenceOperator {
+    fn name(&self) -> &str {
+        "xkg-cooccurrence"
+    }
+
+    fn generate(&self, store: &XkgStore) -> Vec<Rule> {
+        mine_cooccurrence(store, &self.config)
+            .into_iter()
+            .map(|m| m.rule)
+            .collect()
+    }
+}
+
+/// Built-in operator: granularity rules from type + connecting predicate.
+#[derive(Debug)]
+pub struct GranularityOperator {
+    /// The `type` predicate.
+    pub type_pred: TermId,
+    /// The connecting predicate (e.g. `locatedIn`).
+    pub via: TermId,
+    /// Miner configuration.
+    pub config: GranularityMinerConfig,
+}
+
+impl RelaxationOperator for GranularityOperator {
+    fn name(&self) -> &str {
+        "ontology-granularity"
+    }
+
+    fn generate(&self, store: &XkgStore) -> Vec<Rule> {
+        mine_granularity(store, self.type_pred, self.via, &self.config)
+    }
+}
+
+/// Built-in operator: paraphrase-repository rules.
+#[derive(Debug, Default)]
+pub struct ParaphraseOperator {
+    /// Paraphrase clusters.
+    pub groups: Vec<ParaphraseGroup>,
+}
+
+impl RelaxationOperator for ParaphraseOperator {
+    fn name(&self) -> &str {
+        "paraphrase-repository"
+    }
+
+    fn generate(&self, store: &XkgStore) -> Vec<Rule> {
+        paraphrase_rules(store, &self.groups)
+    }
+}
+
+/// Operator that emits a fixed set of (manually authored) rules.
+#[derive(Debug, Default)]
+pub struct ManualOperator {
+    /// The rules to emit.
+    pub rules: Vec<Rule>,
+}
+
+impl RelaxationOperator for ManualOperator {
+    fn name(&self) -> &str {
+        "manual"
+    }
+
+    fn generate(&self, _store: &XkgStore) -> Vec<Rule> {
+        self.rules.clone()
+    }
+}
+
+/// A pipeline of relaxation operators.
+#[derive(Default)]
+pub struct OperatorRegistry {
+    operators: Vec<Box<dyn RelaxationOperator>>,
+}
+
+impl OperatorRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> OperatorRegistry {
+        OperatorRegistry::default()
+    }
+
+    /// Registers an operator; runs after previously registered ones.
+    pub fn register(&mut self, op: Box<dyn RelaxationOperator>) -> &mut Self {
+        self.operators.push(op);
+        self
+    }
+
+    /// Names of registered operators, in run order.
+    pub fn names(&self) -> Vec<&str> {
+        self.operators.iter().map(|o| o.name()).collect()
+    }
+
+    /// Runs all operators against `store` and collects their rules into a
+    /// [`RuleSet`] (insertion order = operator order).
+    pub fn build_rules(&self, store: &XkgStore) -> RuleSet {
+        let mut set = RuleSet::new();
+        for op in &self.operators {
+            set.add_all(op.generate(store));
+        }
+        set
+    }
+}
+
+impl std::fmt::Debug for OperatorRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OperatorRegistry")
+            .field("operators", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleProvenance;
+    use trinit_xkg::XkgBuilder;
+
+    fn store() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        for (s, o) in [("a", "U1"), ("b", "U1"), ("c", "U2")] {
+            b.add_kg_resources(s, "affiliation", o);
+        }
+        let src = b.intern_source("d");
+        let worked = b.dict_mut().token("worked at");
+        for (s, o) in [("a", "U1"), ("b", "U1"), ("c", "U2")] {
+            let s = b.dict_mut().resource(s);
+            let o = b.dict_mut().resource(o);
+            b.add_extracted(s, worked, o, 0.8, src);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn registry_runs_operators_in_order() {
+        let store = store();
+        let mut reg = OperatorRegistry::new();
+        let aff = store.resource("affiliation").unwrap();
+        let worked = store.token("worked at").unwrap();
+        reg.register(Box::new(ManualOperator {
+            rules: vec![Rule::predicate_rewrite(
+                "manual-first",
+                aff,
+                worked,
+                0.5,
+                RuleProvenance::UserDefined,
+            )],
+        }));
+        reg.register(Box::new(CooccurrenceOperator::default()));
+        let rules = reg.build_rules(&store);
+        assert!(rules.len() >= 3);
+        assert_eq!(rules.get(crate::rule::RuleId(0)).label, "manual-first");
+        assert_eq!(reg.names(), vec!["manual", "xkg-cooccurrence"]);
+    }
+
+    #[test]
+    fn custom_operator_plugs_in() {
+        struct Doubler;
+        impl RelaxationOperator for Doubler {
+            fn name(&self) -> &str {
+                "doubler"
+            }
+            fn generate(&self, store: &XkgStore) -> Vec<Rule> {
+                let aff = store.resource("affiliation").unwrap();
+                vec![Rule::predicate_rewrite(
+                    "custom",
+                    aff,
+                    aff,
+                    1.0,
+                    RuleProvenance::UserDefined,
+                )]
+            }
+        }
+        let store = store();
+        let mut reg = OperatorRegistry::new();
+        reg.register(Box::new(Doubler));
+        let rules = reg.build_rules(&store);
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules.get(crate::rule::RuleId(0)).label, "custom");
+    }
+
+    #[test]
+    fn empty_registry_builds_empty_set() {
+        let store = store();
+        let rules = OperatorRegistry::new().build_rules(&store);
+        assert!(rules.is_empty());
+    }
+}

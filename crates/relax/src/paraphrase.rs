@@ -1,0 +1,141 @@
+//! Paraphrase-repository relaxation rules.
+//!
+//! The paper (§3) notes that relaxation rules can also be "automatically
+//! obtained using ... paraphrase repositories (e.g. PATTY, Biperpedia)".
+//! A [`ParaphraseGroup`] is a cluster of near-synonymous predicate
+//! phrases; every ordered pair of members that exists in the store's
+//! dictionary yields a predicate-rewrite rule with the group's weight.
+
+use trinit_xkg::{TermId, TermKind, XkgStore};
+
+use crate::rule::{Rule, RuleProvenance};
+
+/// A cluster of near-synonymous predicate phrases.
+#[derive(Debug, Clone)]
+pub struct ParaphraseGroup {
+    /// Member phrases. Resources are matched against resource predicates,
+    /// everything else against token predicates.
+    pub phrases: Vec<String>,
+    /// Pairwise rewrite weight within the group.
+    pub weight: f64,
+}
+
+impl ParaphraseGroup {
+    /// Creates a group from phrases and a weight.
+    pub fn new<I, S>(phrases: I, weight: f64) -> ParaphraseGroup
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ParaphraseGroup {
+            phrases: phrases.into_iter().map(Into::into).collect(),
+            weight,
+        }
+    }
+}
+
+/// Resolves a phrase to a predicate term: resource first, token second.
+fn resolve(store: &XkgStore, phrase: &str) -> Option<TermId> {
+    store
+        .dict()
+        .get(TermKind::Resource, phrase)
+        .or_else(|| store.dict().get(TermKind::Token, phrase))
+}
+
+/// Generates rewrite rules from paraphrase groups.
+///
+/// Phrases not present in the store dictionary are skipped (a repository
+/// covers far more language than any one XKG contains).
+pub fn paraphrase_rules(store: &XkgStore, groups: &[ParaphraseGroup]) -> Vec<Rule> {
+    let mut out = Vec::new();
+    for group in groups {
+        let members: Vec<(TermId, &str)> = group
+            .phrases
+            .iter()
+            .filter_map(|p| resolve(store, p).map(|id| (id, p.as_str())))
+            .collect();
+        for (i, &(p1, n1)) in members.iter().enumerate() {
+            for &(p2, n2) in members.iter().skip(i + 1) {
+                out.push(Rule::predicate_rewrite(
+                    format!("paraphrase: {n1} => {n2}"),
+                    p1,
+                    p2,
+                    group.weight,
+                    RuleProvenance::Paraphrase,
+                ));
+                out.push(Rule::predicate_rewrite(
+                    format!("paraphrase: {n2} => {n1}"),
+                    p2,
+                    p1,
+                    group.weight,
+                    RuleProvenance::Paraphrase,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_xkg::XkgBuilder;
+
+    fn store() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("a", "affiliation", "U1");
+        let src = b.intern_source("d");
+        let s = b.dict_mut().resource("a");
+        let worked = b.dict_mut().token("worked at");
+        let lectured = b.dict_mut().token("lectured at");
+        let o = b.dict_mut().resource("U1");
+        b.add_extracted(s, worked, o, 0.8, src);
+        b.add_extracted(s, lectured, o, 0.8, src);
+        b.build()
+    }
+
+    #[test]
+    fn generates_bidirectional_pairs() {
+        let store = store();
+        let groups = vec![ParaphraseGroup::new(
+            ["affiliation", "worked at", "lectured at"],
+            0.7,
+        )];
+        let rules = paraphrase_rules(&store, &groups);
+        // 3 members → 3 unordered pairs → 6 directed rules.
+        assert_eq!(rules.len(), 6);
+        assert!(rules.iter().all(|r| (r.weight - 0.7).abs() < 1e-9));
+        assert!(rules
+            .iter()
+            .all(|r| r.provenance == RuleProvenance::Paraphrase));
+    }
+
+    #[test]
+    fn unknown_phrases_are_skipped() {
+        let store = store();
+        let groups = vec![ParaphraseGroup::new(
+            ["affiliation", "no such phrase"],
+            0.5,
+        )];
+        let rules = paraphrase_rules(&store, &groups);
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn resource_resolution_takes_precedence() {
+        let store = store();
+        let groups = vec![ParaphraseGroup::new(["affiliation", "worked at"], 0.9)];
+        let rules = paraphrase_rules(&store, &groups);
+        assert_eq!(rules.len(), 2);
+        let aff = store.resource("affiliation").unwrap();
+        assert!(rules.iter().any(|r| r.lhs_predicate() == Some(aff)));
+    }
+
+    #[test]
+    fn empty_groups_produce_nothing() {
+        let store = store();
+        assert!(paraphrase_rules(&store, &[]).is_empty());
+        let groups = vec![ParaphraseGroup::new(Vec::<String>::new(), 0.5)];
+        assert!(paraphrase_rules(&store, &groups).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Rule collections with per-predicate indexing.
+
+use std::collections::HashMap;
+
+use trinit_xkg::TermId;
+
+use crate::rule::{Rule, RuleId};
+
+/// An ordered collection of relaxation rules.
+///
+/// Rules receive stable [`RuleId`]s in insertion order; single-pattern
+/// rules are indexed by their LHS predicate so the top-k processor can
+/// find the relaxations of a triple pattern in O(1).
+#[derive(Debug, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    by_predicate: HashMap<TermId, Vec<RuleId>>,
+    structural: Vec<RuleId>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Adds a rule, returning its id.
+    pub fn add(&mut self, rule: Rule) -> RuleId {
+        let id = RuleId(u32::try_from(self.rules.len()).expect("rule overflow"));
+        match rule.lhs_predicate() {
+            Some(p) => self.by_predicate.entry(p).or_default().push(id),
+            None => self.structural.push(id),
+        }
+        self.rules.push(rule);
+        id
+    }
+
+    /// Adds every rule from an iterator, returning the assigned ids.
+    pub fn add_all<I: IntoIterator<Item = Rule>>(&mut self, rules: I) -> Vec<RuleId> {
+        rules.into_iter().map(|r| self.add(r)).collect()
+    }
+
+    /// The rule with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this set.
+    pub fn get(&self, id: RuleId) -> &Rule {
+        &self.rules[id.0 as usize]
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterates `(id, rule)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RuleId, &Rule)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RuleId(i as u32), r))
+    }
+
+    /// Ids of single-pattern rules whose LHS predicate is `p`.
+    pub fn rules_for_predicate(&self, p: TermId) -> &[RuleId] {
+        self.by_predicate.get(&p).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Ids of rules that are not single-pattern predicate rules
+    /// (multi-pattern structural rules and variable-predicate rules).
+    pub fn structural_rules(&self) -> &[RuleId] {
+        &self.structural
+    }
+}
+
+impl FromIterator<Rule> for RuleSet {
+    fn from_iter<I: IntoIterator<Item = Rule>>(iter: I) -> RuleSet {
+        let mut set = RuleSet::new();
+        set.add_all(iter);
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{RuleProvenance, RVar, TTerm, Template};
+    use trinit_xkg::{TermId, TermKind};
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(TermKind::Resource, i)
+    }
+
+    #[test]
+    fn ids_are_stable_insertion_order() {
+        let mut set = RuleSet::new();
+        let a = set.add(Rule::predicate_rewrite(
+            "a",
+            tid(1),
+            tid(2),
+            0.5,
+            RuleProvenance::Paraphrase,
+        ));
+        let b = set.add(Rule::inversion(
+            "b",
+            tid(3),
+            tid(4),
+            1.0,
+            RuleProvenance::MinedInversion,
+        ));
+        assert_eq!(a, RuleId(0));
+        assert_eq!(b, RuleId(1));
+        assert_eq!(set.get(a).label, "a");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn predicate_index() {
+        let mut set = RuleSet::new();
+        set.add(Rule::predicate_rewrite(
+            "a",
+            tid(1),
+            tid(2),
+            0.5,
+            RuleProvenance::Paraphrase,
+        ));
+        set.add(Rule::predicate_rewrite(
+            "b",
+            tid(1),
+            tid(3),
+            0.6,
+            RuleProvenance::Paraphrase,
+        ));
+        set.add(Rule::predicate_rewrite(
+            "c",
+            tid(9),
+            tid(3),
+            0.6,
+            RuleProvenance::Paraphrase,
+        ));
+        assert_eq!(set.rules_for_predicate(tid(1)).len(), 2);
+        assert_eq!(set.rules_for_predicate(tid(9)).len(), 1);
+        assert!(set.rules_for_predicate(tid(42)).is_empty());
+    }
+
+    #[test]
+    fn structural_rules_are_separated() {
+        let mut set = RuleSet::new();
+        let (x, y) = (TTerm::Var(RVar(0)), TTerm::Var(RVar(1)));
+        set.add(Rule::structural(
+            "s",
+            vec![
+                Template::new(x, TTerm::Const(tid(1)), y),
+                Template::new(y, TTerm::Const(tid(2)), x),
+            ],
+            vec![Template::new(x, TTerm::Const(tid(3)), y)],
+            0.7,
+            RuleProvenance::Ontology,
+        ));
+        assert_eq!(set.structural_rules().len(), 1);
+        assert!(set.rules_for_predicate(tid(1)).is_empty());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let set: RuleSet = vec![
+            Rule::predicate_rewrite("a", tid(1), tid(2), 0.5, RuleProvenance::Paraphrase),
+            Rule::predicate_rewrite("b", tid(2), tid(3), 0.5, RuleProvenance::Paraphrase),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the relaxation framework.
+
+use proptest::prelude::*;
+
+use trinit_relax::{
+    apply_rule, canonical_key, expand, ExpandOptions, QPattern, QTerm, Rule, RuleId,
+    RuleProvenance, RuleSet, VarId,
+};
+use trinit_xkg::{TermId, TermKind};
+
+fn tid(i: u32) -> TermId {
+    TermId::new(TermKind::Resource, i)
+}
+
+fn qterm(vars: u16, terms: u32) -> impl Strategy<Value = QTerm> {
+    prop_oneof![
+        (0..vars).prop_map(|v| QTerm::Var(VarId(v))),
+        (0..terms).prop_map(|t| QTerm::Term(tid(t))),
+    ]
+}
+
+fn qpattern(vars: u16, terms: u32) -> impl Strategy<Value = QPattern> {
+    (
+        qterm(vars, terms),
+        (0..terms).prop_map(|t| QTerm::Term(tid(t))),
+        qterm(vars, terms),
+    )
+        .prop_map(|(s, p, o)| QPattern::new(s, p, o))
+}
+
+fn rewrite_rule(terms: u32) -> impl Strategy<Value = Rule> {
+    (0..terms, 0..terms, 0.1f64..1.0, proptest::bool::ANY).prop_map(|(p1, p2, w, inv)| {
+        if inv {
+            Rule::inversion("prop", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+        } else {
+            Rule::predicate_rewrite("prop", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+        }
+    })
+}
+
+proptest! {
+    /// Canonicalization is idempotent and invariant under pattern order.
+    #[test]
+    fn canonical_key_is_idempotent_and_order_invariant(
+        mut patterns in proptest::collection::vec(qpattern(4, 6), 1..5),
+    ) {
+        let original_vars = 4;
+        let key1 = canonical_key(&patterns, original_vars);
+        let key2 = canonical_key(&key1, original_vars);
+        prop_assert_eq!(&key1, &key2, "idempotent");
+        patterns.reverse();
+        let key3 = canonical_key(&patterns, original_vars);
+        prop_assert_eq!(key1, key3, "order invariant");
+    }
+
+    /// A predicate-rewrite application preserves the number of patterns
+    /// and only changes predicates; weights pass through unchanged.
+    #[test]
+    fn rewrite_application_preserves_shape(
+        patterns in proptest::collection::vec(qpattern(4, 6), 1..4),
+        rule in rewrite_rule(6),
+    ) {
+        for rewriting in apply_rule(&patterns, &rule, RuleId(0)) {
+            prop_assert_eq!(rewriting.patterns.len(), patterns.len());
+            prop_assert_eq!(rewriting.weight, rule.weight);
+        }
+    }
+
+    /// Expansion always returns the original query first (weight 1.0),
+    /// never exceeds its caps, and every rewriting's weight is within
+    /// (min_weight, 1.0].
+    #[test]
+    fn expand_respects_contract(
+        patterns in proptest::collection::vec(qpattern(4, 5), 1..4),
+        rules in proptest::collection::vec(rewrite_rule(5), 0..6),
+        depth in 0usize..3,
+    ) {
+        let set: RuleSet = rules.into_iter().collect();
+        let opts = ExpandOptions {
+            max_depth: depth,
+            min_weight: 0.05,
+            max_rewritings: 64,
+        };
+        let out = expand(&patterns, &set, &opts);
+        prop_assert!(!out.is_empty());
+        prop_assert!(out[0].trace.is_empty());
+        prop_assert_eq!(out[0].weight, 1.0);
+        prop_assert_eq!(&out[0].patterns, &patterns);
+        prop_assert!(out.len() <= opts.max_rewritings);
+        for r in &out {
+            prop_assert!(r.weight > 0.0 && r.weight <= 1.0);
+            prop_assert!(r.trace.len() <= depth);
+        }
+    }
+
+    /// No two expansion results are alpha-equivalent (deduplication).
+    #[test]
+    fn expand_deduplicates(
+        patterns in proptest::collection::vec(qpattern(3, 4), 1..3),
+        rules in proptest::collection::vec(rewrite_rule(4), 0..5),
+    ) {
+        let original_vars = 3;
+        let set: RuleSet = rules.into_iter().collect();
+        let out = expand(&patterns, &set, &ExpandOptions::default());
+        let keys: Vec<_> = out
+            .iter()
+            .map(|r| canonical_key(&r.patterns, original_vars))
+            .collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), keys.len(), "alpha-equivalent duplicates");
+    }
+
+    /// Inversion is an involution at weight level: applying the reverse
+    /// rule to the rewritten pattern recovers the original pattern.
+    #[test]
+    fn inversion_round_trip(
+        s in 0u32..5,
+        p1 in 0u32..5,
+        p2 in 5u32..10,
+        o in 0u32..5,
+    ) {
+        let fwd = Rule::inversion("f", tid(p1), tid(p2), 0.9, RuleProvenance::UserDefined);
+        let back = Rule::inversion("b", tid(p2), tid(p1), 0.9, RuleProvenance::UserDefined);
+        let query = vec![QPattern::new(
+            QTerm::Term(tid(s)),
+            QTerm::Term(tid(p1)),
+            QTerm::Term(tid(o)),
+        )];
+        let step1 = apply_rule(&query, &fwd, RuleId(0));
+        prop_assert_eq!(step1.len(), 1);
+        let step2 = apply_rule(&step1[0].patterns, &back, RuleId(1));
+        prop_assert_eq!(step2.len(), 1);
+        prop_assert_eq!(&step2[0].patterns, &query);
+    }
+}

@@ -1,0 +1,187 @@
+//! Incomplete-KG projection.
+//!
+//! Projects the ground-truth [`World`] into a curated KG the way real KGs
+//! relate to reality (paper §1): only relations in the KG vocabulary
+//! appear, each with per-relation coverage < 1; advisorship keeps only the
+//! `hasStudent` direction; `type` triples are complete (ontological
+//! knowledge is cheap). Facts dropped here can still surface in the text
+//! corpus — that gap is exactly what the XKG extension recovers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema::TYPE_PREDICATE;
+use crate::world::{Obj, World};
+
+/// A sampled KG fact, in resource-string form ready for store loading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KgFact {
+    /// Subject resource.
+    pub subject: String,
+    /// Predicate resource.
+    pub predicate: String,
+    /// Object resource or literal value.
+    pub object: String,
+    /// True if the object is a literal rather than a resource.
+    pub object_is_literal: bool,
+}
+
+/// The result of projecting a world into an incomplete KG.
+#[derive(Debug)]
+pub struct KgProjection {
+    /// The sampled KG facts (relation facts + type triples).
+    pub facts: Vec<KgFact>,
+    /// For each index into `world.facts`: whether that world fact made it
+    /// into the KG. Facts of relations outside the KG vocabulary are
+    /// always `false`.
+    pub included: Vec<bool>,
+}
+
+/// Knobs for the KG sampler.
+#[derive(Debug, Clone)]
+pub struct KgConfig {
+    /// RNG seed (independent of the world seed).
+    pub seed: u64,
+    /// Multiplier applied to every relation's default coverage, clamped to
+    /// `[0, 1]`. `1.0` reproduces the schema defaults; `0.0` yields a KG
+    /// with only type triples.
+    pub coverage_scale: f64,
+}
+
+impl Default for KgConfig {
+    fn default() -> Self {
+        KgConfig {
+            seed: 0xD1C7,
+            coverage_scale: 1.0,
+        }
+    }
+}
+
+/// Projects `world` into an incomplete KG.
+pub fn project_kg(world: &World, cfg: &KgConfig) -> KgProjection {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut facts = Vec::new();
+    let mut included = Vec::with_capacity(world.facts.len());
+
+    // Type triples: complete ontological knowledge.
+    for e in &world.entities {
+        facts.push(KgFact {
+            subject: e.resource.clone(),
+            predicate: TYPE_PREDICATE.to_string(),
+            object: e.etype.class_resource().to_string(),
+            object_is_literal: false,
+        });
+    }
+
+    for f in &world.facts {
+        let spec = f.relation.spec();
+        let Some(pred) = spec.kg_predicate else {
+            included.push(false);
+            continue;
+        };
+        let coverage = (spec.kg_coverage * cfg.coverage_scale).clamp(0.0, 1.0);
+        if !rng.gen_bool(coverage) {
+            included.push(false);
+            continue;
+        }
+        included.push(true);
+        let (object, object_is_literal) = match &f.object {
+            Obj::Entity(id) => (world.entity(*id).resource.clone(), false),
+            Obj::Literal(v) => (v.clone(), true),
+        };
+        facts.push(KgFact {
+            subject: world.entity(f.subject).resource.clone(),
+            predicate: pred.to_string(),
+            object,
+            object_is_literal,
+        });
+    }
+
+    debug_assert_eq!(included.len(), world.facts.len());
+    KgProjection { facts, included }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    fn sample() -> (World, KgProjection) {
+        let world = World::generate(WorldConfig::tiny(21));
+        let kg = project_kg(&world, &KgConfig::default());
+        (world, kg)
+    }
+
+    #[test]
+    fn type_triples_are_complete() {
+        let (world, kg) = sample();
+        let type_count = kg
+            .facts
+            .iter()
+            .filter(|f| f.predicate == TYPE_PREDICATE)
+            .count();
+        assert_eq!(type_count, world.entities.len());
+    }
+
+    #[test]
+    fn vocabulary_gaps_never_appear() {
+        let (_, kg) = sample();
+        for f in &kg.facts {
+            assert_ne!(f.predicate, "lecturedAt");
+            assert_ne!(f.predicate, "housedIn");
+            assert_ne!(f.predicate, "prizeFor");
+        }
+    }
+
+    #[test]
+    fn coverage_drops_some_facts() {
+        let (world, kg) = sample();
+        let eligible = world
+            .facts
+            .iter()
+            .filter(|f| f.relation.spec().kg_predicate.is_some())
+            .count();
+        let kept = kg.included.iter().filter(|&&b| b).count();
+        assert!(kept > 0);
+        assert!(kept < eligible, "incompleteness requires dropped facts");
+    }
+
+    #[test]
+    fn zero_coverage_keeps_only_types() {
+        let world = World::generate(WorldConfig::tiny(3));
+        let kg = project_kg(
+            &world,
+            &KgConfig {
+                seed: 1,
+                coverage_scale: 0.0,
+            },
+        );
+        assert!(kg.facts.iter().all(|f| f.predicate == TYPE_PREDICATE));
+        assert!(kg.included.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let world = World::generate(WorldConfig::tiny(5));
+        let a = project_kg(&world, &KgConfig::default());
+        let b = project_kg(&world, &KgConfig::default());
+        assert_eq!(a.facts, b.facts);
+    }
+
+    #[test]
+    fn literal_objects_are_flagged() {
+        let (_, kg) = sample();
+        for f in &kg.facts {
+            if f.predicate == "bornOn" {
+                assert!(f.object_is_literal);
+                assert!(f.object.contains('-'));
+            }
+        }
+    }
+
+    #[test]
+    fn advisorship_kept_in_stored_direction_only() {
+        let (_, kg) = sample();
+        assert!(kg.facts.iter().all(|f| f.predicate != "hasAdvisor"));
+    }
+}

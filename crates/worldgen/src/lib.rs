@@ -1,0 +1,27 @@
+//! # trinit-worldgen — synthetic world, KG, and corpus
+//!
+//! Stand-in for the paper's data assets (Yago2s as KG, ClueWeb'09+FACC1 as
+//! text source). A seeded ground-truth [`World`] is projected into a
+//! deliberately incomplete KG ([`kg::project_kg`]) and rendered into a raw
+//! text corpus ([`corpus::generate_corpus`]); evaluation judges answers
+//! against the full world.
+//!
+//! See `DESIGN.md` §1 for why this substitution preserves the phenomena
+//! the paper studies (vocabulary mismatch, granularity mismatch, KG
+//! incompleteness, missing predicates).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod corpus;
+pub mod kg;
+pub mod names;
+pub mod schema;
+pub mod world;
+pub mod zipf;
+
+pub use corpus::{alias_catalog, AliasEntry, CorpusConfig, Document};
+pub use kg::{project_kg, KgConfig, KgFact, KgProjection};
+pub use schema::{EntityType, Relation, RelationSpec, TYPE_PREDICATE};
+pub use world::{Entity, EntityId, Obj, World, WorldConfig, WorldFact};
+pub use zipf::Zipf;

@@ -1,0 +1,359 @@
+//! The world schema: entity types and relations.
+//!
+//! The schema mirrors the paper's running examples (people, universities,
+//! institutes, cities, countries, prizes, leagues) and deliberately encodes
+//! the four failure modes of §1:
+//!
+//! * **Granularity mismatch** (user A): the KG stores `bornIn` at city
+//!   granularity; users expect countries.
+//! * **Direction mismatch** (user B): advisorship is stored as
+//!   `hasStudent(advisor, student)`; users query `hasAdvisor`.
+//! * **KG incompleteness** (user C): institute–university housing and
+//!   guest lecturing exist in the world and in text, but never in the KG.
+//! * **Missing vocabulary** (user D): prize motivations have no KG
+//!   predicate at all.
+
+/// Entity types of the synthetic world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityType {
+    /// A person (scientist, knowledge worker, ...).
+    Person,
+    /// A city.
+    City,
+    /// A country.
+    Country,
+    /// A university.
+    University,
+    /// A research institute (not itself a university).
+    Institute,
+    /// A prize or award.
+    Prize,
+    /// A research field / topic.
+    Field,
+    /// A collegiate league (e.g. the paper's IvyLeague).
+    League,
+    /// A company.
+    Company,
+}
+
+impl EntityType {
+    /// All entity types.
+    pub const ALL: [EntityType; 9] = [
+        EntityType::Person,
+        EntityType::City,
+        EntityType::Country,
+        EntityType::University,
+        EntityType::Institute,
+        EntityType::Prize,
+        EntityType::Field,
+        EntityType::League,
+        EntityType::Company,
+    ];
+
+    /// The KG class resource for this type (object of `type` triples).
+    pub fn class_resource(self) -> &'static str {
+        match self {
+            EntityType::Person => "person",
+            EntityType::City => "city",
+            EntityType::Country => "country",
+            EntityType::University => "university",
+            EntityType::Institute => "institute",
+            EntityType::Prize => "prize",
+            EntityType::Field => "field",
+            EntityType::League => "league",
+            EntityType::Company => "company",
+        }
+    }
+}
+
+/// Relations of the synthetic world.
+///
+/// Each world fact instantiates one relation; whether and how the fact
+/// surfaces in the KG and/or the text corpus is governed by the relation's
+/// [`RelationSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Relation {
+    /// Person born in a city.
+    BornIn,
+    /// Person died in a city.
+    DiedIn,
+    /// Person born on a date (literal object).
+    BornOn,
+    /// City located in a country.
+    CityInCountry,
+    /// University located in a city.
+    UnivInCity,
+    /// Institute located in a city.
+    InstInCity,
+    /// Advisor has doctoral student (stored direction: advisor → student).
+    HasStudent,
+    /// Person officially affiliated with a university or institute.
+    AffiliatedWith,
+    /// University member of a collegiate league.
+    MemberOfLeague,
+    /// Person won a prize.
+    WonPrize,
+    /// Person won their prize *for* a field (no KG predicate exists).
+    PrizeFor,
+    /// Person gave guest lectures at a university (world/text only).
+    LecturedAt,
+    /// Institute housed on the campus of a university (world/text only).
+    HousedIn,
+    /// Person graduated from a university.
+    GraduatedFrom,
+    /// Person works for a company.
+    WorksFor,
+    /// Company headquartered in a city.
+    HeadquarteredIn,
+}
+
+/// How a relation surfaces in the KG and the corpus.
+#[derive(Debug, Clone)]
+pub struct RelationSpec {
+    /// The relation described.
+    pub relation: Relation,
+    /// KG predicate label, or `None` if the KG vocabulary lacks this
+    /// relation entirely (failure mode D).
+    pub kg_predicate: Option<&'static str>,
+    /// Probability that a world fact of this relation is asserted in the
+    /// KG (conditional on the predicate existing). Models incompleteness.
+    pub kg_coverage: f64,
+    /// Sentence templates rendering the fact; `{s}` and `{o}` are replaced
+    /// by surface forms. The verbal phrase between them is what Open IE
+    /// should recover as the token predicate.
+    pub templates: &'static [&'static str],
+    /// Relative frequency with which the corpus talks about this relation.
+    pub text_affinity: f64,
+}
+
+impl Relation {
+    /// All relations.
+    pub const ALL: [Relation; 16] = [
+        Relation::BornIn,
+        Relation::DiedIn,
+        Relation::BornOn,
+        Relation::CityInCountry,
+        Relation::UnivInCity,
+        Relation::InstInCity,
+        Relation::HasStudent,
+        Relation::AffiliatedWith,
+        Relation::MemberOfLeague,
+        Relation::WonPrize,
+        Relation::PrizeFor,
+        Relation::LecturedAt,
+        Relation::HousedIn,
+        Relation::GraduatedFrom,
+        Relation::WorksFor,
+        Relation::HeadquarteredIn,
+    ];
+
+    /// The static spec for this relation.
+    pub fn spec(self) -> RelationSpec {
+        match self {
+            Relation::BornIn => RelationSpec {
+                relation: self,
+                kg_predicate: Some("bornIn"),
+                kg_coverage: 0.92,
+                templates: &[
+                    "{s} was born in {o}",
+                    "{s} was born in the town of {o}",
+                ],
+                text_affinity: 0.6,
+            },
+            Relation::DiedIn => RelationSpec {
+                relation: self,
+                kg_predicate: Some("diedIn"),
+                kg_coverage: 0.85,
+                templates: &["{s} died in {o}", "{s} passed away in {o}"],
+                text_affinity: 0.3,
+            },
+            Relation::BornOn => RelationSpec {
+                relation: self,
+                kg_predicate: Some("bornOn"),
+                kg_coverage: 0.9,
+                templates: &["{s} was born on {o}"],
+                text_affinity: 0.2,
+            },
+            Relation::CityInCountry => RelationSpec {
+                relation: self,
+                kg_predicate: Some("locatedIn"),
+                kg_coverage: 0.97,
+                templates: &["{s} lies in {o}", "{s} is a city in {o}"],
+                text_affinity: 0.3,
+            },
+            Relation::UnivInCity => RelationSpec {
+                relation: self,
+                kg_predicate: Some("locatedIn"),
+                kg_coverage: 0.93,
+                templates: &["{s} is located in {o}"],
+                text_affinity: 0.3,
+            },
+            Relation::InstInCity => RelationSpec {
+                relation: self,
+                kg_predicate: Some("locatedIn"),
+                kg_coverage: 0.85,
+                templates: &["{s} is located in {o}"],
+                text_affinity: 0.3,
+            },
+            Relation::HasStudent => RelationSpec {
+                relation: self,
+                kg_predicate: Some("hasStudent"),
+                kg_coverage: 0.8,
+                templates: &[
+                    "{s} supervised {o}",
+                    "{o} studied under {s}",
+                    "{o} was a doctoral student of {s}",
+                ],
+                text_affinity: 0.7,
+            },
+            Relation::AffiliatedWith => RelationSpec {
+                relation: self,
+                kg_predicate: Some("affiliation"),
+                kg_coverage: 0.78,
+                templates: &[
+                    "{s} was affiliated with {o}",
+                    "{s} worked at {o}",
+                ],
+                text_affinity: 0.8,
+            },
+            Relation::MemberOfLeague => RelationSpec {
+                relation: self,
+                kg_predicate: Some("member"),
+                kg_coverage: 0.95,
+                templates: &["{s} is a member of the {o}"],
+                text_affinity: 0.3,
+            },
+            Relation::WonPrize => RelationSpec {
+                relation: self,
+                kg_predicate: Some("wonPrize"),
+                kg_coverage: 0.88,
+                templates: &["{s} won the {o}", "{s} received the {o}"],
+                text_affinity: 0.8,
+            },
+            Relation::PrizeFor => RelationSpec {
+                relation: self,
+                // Failure mode D: no KG predicate for prize motivations.
+                kg_predicate: None,
+                kg_coverage: 0.0,
+                templates: &[
+                    "{s} won the prize for his discovery of {o}",
+                    "{s} was honored for {o}",
+                    "{s} received the award for work on {o}",
+                ],
+                text_affinity: 1.0,
+            },
+            Relation::LecturedAt => RelationSpec {
+                relation: self,
+                // Failure mode C: guest lecturing is below KG granularity.
+                kg_predicate: None,
+                kg_coverage: 0.0,
+                templates: &[
+                    "{s} lectured at {o}",
+                    "{s} gave lectures at {o}",
+                    "{s} taught at {o}",
+                ],
+                text_affinity: 1.0,
+            },
+            Relation::HousedIn => RelationSpec {
+                relation: self,
+                // Failure mode C: housing is below KG granularity.
+                kg_predicate: None,
+                kg_coverage: 0.0,
+                templates: &[
+                    "{s} is housed in {o}",
+                    "{s} was housed on the campus of {o}",
+                ],
+                text_affinity: 1.0,
+            },
+            Relation::GraduatedFrom => RelationSpec {
+                relation: self,
+                kg_predicate: Some("graduatedFrom"),
+                kg_coverage: 0.75,
+                templates: &["{s} graduated from {o}"],
+                text_affinity: 0.5,
+            },
+            Relation::WorksFor => RelationSpec {
+                relation: self,
+                kg_predicate: Some("worksFor"),
+                kg_coverage: 0.7,
+                templates: &["{s} works for {o}", "{s} is employed by {o}"],
+                text_affinity: 0.6,
+            },
+            Relation::HeadquarteredIn => RelationSpec {
+                relation: self,
+                kg_predicate: Some("headquarteredIn"),
+                kg_coverage: 0.85,
+                templates: &["{s} is headquartered in {o}"],
+                text_affinity: 0.4,
+            },
+        }
+    }
+
+    /// True if the object of this relation is a literal (not an entity).
+    pub fn literal_object(self) -> bool {
+        matches!(self, Relation::BornOn)
+    }
+}
+
+/// The KG predicate used for `type` triples.
+pub const TYPE_PREDICATE: &str = "type";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_relation_has_a_spec() {
+        for rel in Relation::ALL {
+            let spec = rel.spec();
+            assert_eq!(spec.relation, rel);
+            assert!(!spec.templates.is_empty());
+            assert!(spec.text_affinity > 0.0);
+        }
+    }
+
+    #[test]
+    fn kg_gaps_are_exactly_the_paper_failure_modes() {
+        let missing: Vec<Relation> = Relation::ALL
+            .into_iter()
+            .filter(|r| r.spec().kg_predicate.is_none())
+            .collect();
+        assert_eq!(
+            missing,
+            vec![Relation::PrizeFor, Relation::LecturedAt, Relation::HousedIn]
+        );
+    }
+
+    #[test]
+    fn coverage_is_a_probability() {
+        for rel in Relation::ALL {
+            let c = rel.spec().kg_coverage;
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn templates_mention_both_slots() {
+        for rel in Relation::ALL {
+            for t in rel.spec().templates {
+                assert!(t.contains("{s}"), "{rel:?}: {t}");
+                assert!(t.contains("{o}"), "{rel:?}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn only_born_on_has_literal_objects() {
+        for rel in Relation::ALL {
+            assert_eq!(rel.literal_object(), rel == Relation::BornOn);
+        }
+    }
+
+    #[test]
+    fn class_resources_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for t in EntityType::ALL {
+            assert!(seen.insert(t.class_resource()));
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Ground-truth world generation.
+//!
+//! A [`World`] is the complete, *true* state of affairs: every entity and
+//! every fact. The KG sampler ([`crate::kg`]) projects a deliberately
+//! incomplete KG out of it, and the corpus generator ([`crate::corpus`])
+//! renders (especially the KG-missing) facts into text. Because the world
+//! is fully known, evaluation can compute exact relevance judgments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names::NameGen;
+use crate::schema::{EntityType, Relation};
+use crate::zipf::Zipf;
+
+/// Dense identifier of a world entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The entity id as a usize index.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A world entity with its canonical resource name and surface forms.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Identifier, dense over the whole world.
+    pub id: EntityId,
+    /// Entity type.
+    pub etype: EntityType,
+    /// Human-readable display name, e.g. `Brusa Klinberg`.
+    pub name: String,
+    /// Canonical KG resource identifier, e.g. `BrusaKlinberg`.
+    pub resource: String,
+    /// Alias surface forms the corpus may use to mention the entity.
+    pub aliases: Vec<String>,
+    /// Relative mention popularity (higher = mentioned more in text).
+    pub popularity: f64,
+}
+
+/// The object slot of a world fact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Obj {
+    /// Another entity.
+    Entity(EntityId),
+    /// A literal value (e.g. a date).
+    Literal(String),
+}
+
+/// A single ground-truth fact.
+#[derive(Debug, Clone)]
+pub struct WorldFact {
+    /// Subject entity.
+    pub subject: EntityId,
+    /// Relation.
+    pub relation: Relation,
+    /// Object entity or literal.
+    pub object: Obj,
+}
+
+/// Size/shape knobs for world generation.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// RNG seed; identical configs generate identical worlds.
+    pub seed: u64,
+    /// Number of people.
+    pub people: usize,
+    /// Number of cities.
+    pub cities: usize,
+    /// Number of countries.
+    pub countries: usize,
+    /// Number of universities.
+    pub universities: usize,
+    /// Number of research institutes.
+    pub institutes: usize,
+    /// Number of prizes.
+    pub prizes: usize,
+    /// Number of research fields.
+    pub fields: usize,
+    /// Number of collegiate leagues.
+    pub leagues: usize,
+    /// Number of companies.
+    pub companies: usize,
+    /// Zipf exponent for person popularity.
+    pub zipf_exponent: f64,
+}
+
+impl WorldConfig {
+    /// A tiny world for unit tests (tens of entities).
+    pub fn tiny(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            people: 30,
+            cities: 8,
+            countries: 3,
+            universities: 5,
+            institutes: 3,
+            prizes: 2,
+            fields: 6,
+            leagues: 2,
+            companies: 4,
+            zipf_exponent: 1.0,
+        }
+    }
+
+    /// The default demo-scale world (thousands of entities), a ~1:1000
+    /// scale-down of the paper's Yago2s+ClueWeb setting.
+    pub fn demo(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            people: 2000,
+            cities: 200,
+            countries: 40,
+            universities: 120,
+            institutes: 30,
+            prizes: 12,
+            fields: 80,
+            leagues: 6,
+            companies: 60,
+            zipf_exponent: 1.0,
+        }
+    }
+
+    /// Scales all entity counts by `factor` (minimum 1 each).
+    pub fn scaled(mut self, factor: f64) -> WorldConfig {
+        let scale = |n: usize| ((n as f64 * factor).round() as usize).max(1);
+        self.people = scale(self.people);
+        self.cities = scale(self.cities);
+        self.countries = scale(self.countries);
+        self.universities = scale(self.universities);
+        self.institutes = scale(self.institutes);
+        self.prizes = scale(self.prizes);
+        self.fields = scale(self.fields);
+        self.leagues = scale(self.leagues);
+        self.companies = scale(self.companies);
+        self
+    }
+}
+
+/// The complete ground-truth world.
+#[derive(Debug)]
+pub struct World {
+    /// All entities, indexed by [`EntityId`].
+    pub entities: Vec<Entity>,
+    /// All ground-truth facts.
+    pub facts: Vec<WorldFact>,
+    /// The config that generated this world.
+    pub config: WorldConfig,
+    by_type: Vec<(EntityType, Vec<EntityId>)>,
+}
+
+impl World {
+    /// Generates a world deterministically from `config`.
+    pub fn generate(config: WorldConfig) -> World {
+        Generator::new(config).run()
+    }
+
+    /// The entity with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.idx()]
+    }
+
+    /// All entity ids of a type, in creation order.
+    pub fn of_type(&self, etype: EntityType) -> &[EntityId] {
+        self.by_type
+            .iter()
+            .find(|(t, _)| *t == etype)
+            .map(|(_, ids)| ids.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates ground-truth facts of one relation.
+    pub fn facts_of(&self, relation: Relation) -> impl Iterator<Item = &WorldFact> {
+        self.facts.iter().filter(move |f| f.relation == relation)
+    }
+
+    /// Finds an entity by canonical resource name.
+    pub fn find_resource(&self, resource: &str) -> Option<&Entity> {
+        self.entities.iter().find(|e| e.resource == resource)
+    }
+}
+
+struct Generator {
+    config: WorldConfig,
+    rng: StdRng,
+    names: NameGen,
+    entities: Vec<Entity>,
+    facts: Vec<WorldFact>,
+}
+
+impl Generator {
+    fn new(config: WorldConfig) -> Generator {
+        let rng = StdRng::seed_from_u64(config.seed);
+        Generator {
+            config,
+            rng,
+            names: NameGen::new(),
+            entities: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    fn push_entity(&mut self, etype: EntityType, name: String, aliases: Vec<String>) -> EntityId {
+        let id = EntityId(u32::try_from(self.entities.len()).expect("entity overflow"));
+        let resource: String = name
+            .split_whitespace()
+            .map(|w| {
+                let mut chars = w.chars();
+                match chars.next() {
+                    Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+                    None => String::new(),
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("");
+        self.entities.push(Entity {
+            id,
+            etype,
+            name,
+            resource,
+            aliases,
+            popularity: 1.0,
+        });
+        id
+    }
+
+    fn fact(&mut self, subject: EntityId, relation: Relation, object: Obj) {
+        self.facts.push(WorldFact {
+            subject,
+            relation,
+            object,
+        });
+    }
+
+    fn pick(&mut self, ids: &[EntityId]) -> EntityId {
+        ids[self.rng.gen_range(0..ids.len())]
+    }
+
+    fn run(mut self) -> World {
+        let cfg = self.config.clone();
+
+        // Geography.
+        let countries: Vec<EntityId> = (0..cfg.countries)
+            .map(|_| {
+                let name = self.names.country(&mut self.rng);
+                let aliases = vec![name.clone()];
+                self.push_entity(EntityType::Country, name, aliases)
+            })
+            .collect();
+        let cities: Vec<EntityId> = (0..cfg.cities)
+            .map(|_| {
+                let name = self.names.city(&mut self.rng);
+                let aliases = vec![name.clone()];
+                let id = self.push_entity(EntityType::City, name, aliases);
+                let country = self.pick(&countries);
+                self.fact(id, Relation::CityInCountry, Obj::Entity(country));
+                id
+            })
+            .collect();
+
+        // Organizations.
+        let leagues: Vec<EntityId> = (0..cfg.leagues)
+            .map(|_| {
+                let name = self.names.league(&mut self.rng);
+                let aliases = vec![name.clone()];
+                self.push_entity(EntityType::League, name, aliases)
+            })
+            .collect();
+        let universities: Vec<EntityId> = (0..cfg.universities)
+            .map(|_| {
+                let name = self.names.university(&mut self.rng);
+                let short = name.trim_end_matches(" University").to_string();
+                let aliases = vec![name.clone(), short];
+                let id = self.push_entity(EntityType::University, name, aliases);
+                let city = self.pick(&cities);
+                self.fact(id, Relation::UnivInCity, Obj::Entity(city));
+                if self.rng.gen_bool(0.4) {
+                    let league = self.pick(&leagues);
+                    self.fact(id, Relation::MemberOfLeague, Obj::Entity(league));
+                }
+                id
+            })
+            .collect();
+        let institutes: Vec<EntityId> = (0..cfg.institutes)
+            .map(|_| {
+                let name = self.names.institute(&mut self.rng);
+                let aliases = vec![name.clone()];
+                let id = self.push_entity(EntityType::Institute, name, aliases);
+                let city = self.pick(&cities);
+                self.fact(id, Relation::InstInCity, Obj::Entity(city));
+                // Every institute is housed on some university campus —
+                // knowledge that exists only in text (failure mode C).
+                let univ = self.pick(&universities);
+                self.fact(id, Relation::HousedIn, Obj::Entity(univ));
+                id
+            })
+            .collect();
+        let companies: Vec<EntityId> = (0..cfg.companies)
+            .map(|_| {
+                let base = self.names.city(&mut self.rng);
+                let name = format!("{base} Corp");
+                let aliases = vec![name.clone(), base];
+                let id = self.push_entity(EntityType::Company, name, aliases);
+                let city = self.pick(&cities);
+                self.fact(id, Relation::HeadquarteredIn, Obj::Entity(city));
+                id
+            })
+            .collect();
+
+        // Prizes and fields.
+        let prizes: Vec<EntityId> = (0..cfg.prizes)
+            .map(|_| {
+                let name = self.names.prize(&mut self.rng);
+                let aliases = vec![name.clone()];
+                self.push_entity(EntityType::Prize, name, aliases)
+            })
+            .collect();
+        let fields: Vec<EntityId> = (0..cfg.fields)
+            .map(|_| {
+                let name = self.names.field(&mut self.rng);
+                let aliases = vec![name.clone()];
+                self.push_entity(EntityType::Field, name, aliases)
+            })
+            .collect();
+
+        // People.
+        let people: Vec<EntityId> = (0..cfg.people)
+            .map(|_| {
+                let pname = self.names.person(&mut self.rng);
+                self.push_entity(EntityType::Person, pname.full(), pname.aliases())
+            })
+            .collect();
+        // Popularity: Zipf over people by creation rank.
+        let zipf = Zipf::new(people.len().max(1), cfg.zipf_exponent);
+        for (rank, &pid) in people.iter().enumerate() {
+            self.entities[pid.idx()].popularity = zipf.mass(rank) * people.len() as f64;
+        }
+
+        for (i, &pid) in people.iter().enumerate() {
+            if self.rng.gen_bool(0.95) {
+                let city = self.pick(&cities);
+                self.fact(pid, Relation::BornIn, Obj::Entity(city));
+            }
+            if self.rng.gen_bool(0.9) {
+                let date = self.names.date(&mut self.rng);
+                self.fact(pid, Relation::BornOn, Obj::Literal(date));
+            }
+            if self.rng.gen_bool(0.3) {
+                let city = self.pick(&cities);
+                self.fact(pid, Relation::DiedIn, Obj::Entity(city));
+            }
+            if self.rng.gen_bool(0.8) {
+                let univ = self.pick(&universities);
+                self.fact(pid, Relation::GraduatedFrom, Obj::Entity(univ));
+            }
+            // Affiliation: mostly universities, sometimes institutes; an
+            // institute affiliate usually also guest-lectures at the
+            // university housing the institute (the Einstein/IAS scenario).
+            if self.rng.gen_bool(0.9) {
+                if !institutes.is_empty() && self.rng.gen_bool(0.2) {
+                    let inst = self.pick(&institutes);
+                    self.fact(pid, Relation::AffiliatedWith, Obj::Entity(inst));
+                    if self.rng.gen_bool(0.7) {
+                        if let Some(Obj::Entity(univ)) = self
+                            .facts
+                            .iter()
+                            .find(|f| {
+                                f.subject == inst && f.relation == Relation::HousedIn
+                            })
+                            .map(|f| f.object.clone())
+                        {
+                            self.fact(pid, Relation::LecturedAt, Obj::Entity(univ));
+                        }
+                    }
+                } else {
+                    let univ = self.pick(&universities);
+                    self.fact(pid, Relation::AffiliatedWith, Obj::Entity(univ));
+                }
+            }
+            if self.rng.gen_bool(0.25) {
+                let univ = self.pick(&universities);
+                self.fact(pid, Relation::LecturedAt, Obj::Entity(univ));
+            }
+            // Advisors point to earlier people so the graph is acyclic.
+            if i > 0 && self.rng.gen_bool(0.7) {
+                let advisor = people[self.rng.gen_range(0..i)];
+                self.fact(advisor, Relation::HasStudent, Obj::Entity(pid));
+            }
+            if self.rng.gen_bool(0.15) && !prizes.is_empty() {
+                let prize = self.pick(&prizes);
+                self.fact(pid, Relation::WonPrize, Obj::Entity(prize));
+                let field = self.pick(&fields);
+                self.fact(pid, Relation::PrizeFor, Obj::Entity(field));
+            }
+            if self.rng.gen_bool(0.3) && !companies.is_empty() {
+                let company = self.pick(&companies);
+                self.fact(pid, Relation::WorksFor, Obj::Entity(company));
+            }
+        }
+
+        let mut by_type: Vec<(EntityType, Vec<EntityId>)> = EntityType::ALL
+            .into_iter()
+            .map(|t| (t, Vec::new()))
+            .collect();
+        for e in &self.entities {
+            by_type
+                .iter_mut()
+                .find(|(t, _)| *t == e.etype)
+                .expect("all types present")
+                .1
+                .push(e.id);
+        }
+
+        World {
+            entities: self.entities,
+            facts: self.facts,
+            config: self.config,
+            by_type,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(WorldConfig::tiny(42));
+        let b = World::generate(WorldConfig::tiny(42));
+        assert_eq!(a.entities.len(), b.entities.len());
+        assert_eq!(a.facts.len(), b.facts.len());
+        for (x, y) in a.entities.iter().zip(&b.entities) {
+            assert_eq!(x.name, y.name);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(WorldConfig::tiny(1));
+        let b = World::generate(WorldConfig::tiny(2));
+        let same = a
+            .entities
+            .iter()
+            .zip(&b.entities)
+            .all(|(x, y)| x.name == y.name);
+        assert!(!same);
+    }
+
+    #[test]
+    fn entity_counts_match_config() {
+        let cfg = WorldConfig::tiny(7);
+        let w = World::generate(cfg.clone());
+        assert_eq!(w.of_type(EntityType::Person).len(), cfg.people);
+        assert_eq!(w.of_type(EntityType::City).len(), cfg.cities);
+        assert_eq!(w.of_type(EntityType::Country).len(), cfg.countries);
+        assert_eq!(w.of_type(EntityType::University).len(), cfg.universities);
+    }
+
+    #[test]
+    fn every_city_is_in_a_country() {
+        let w = World::generate(WorldConfig::tiny(7));
+        for &city in w.of_type(EntityType::City) {
+            let located = w
+                .facts
+                .iter()
+                .any(|f| f.subject == city && f.relation == Relation::CityInCountry);
+            assert!(located);
+        }
+    }
+
+    #[test]
+    fn every_institute_is_housed_somewhere() {
+        let w = World::generate(WorldConfig::tiny(7));
+        for &inst in w.of_type(EntityType::Institute) {
+            assert!(w
+                .facts
+                .iter()
+                .any(|f| f.subject == inst && f.relation == Relation::HousedIn));
+        }
+    }
+
+    #[test]
+    fn advisor_graph_is_acyclic() {
+        let w = World::generate(WorldConfig::tiny(11));
+        for f in w.facts_of(Relation::HasStudent) {
+            let Obj::Entity(student) = f.object else {
+                panic!("student must be an entity");
+            };
+            assert!(f.subject < student, "advisor must precede student");
+        }
+    }
+
+    #[test]
+    fn prize_winners_have_motivations() {
+        let w = World::generate(WorldConfig::tiny(13));
+        for f in w.facts_of(Relation::WonPrize) {
+            assert!(w
+                .facts
+                .iter()
+                .any(|g| g.subject == f.subject && g.relation == Relation::PrizeFor));
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let w = World::generate(WorldConfig::tiny(5));
+        let people = w.of_type(EntityType::Person);
+        let first = w.entity(people[0]).popularity;
+        let last = w.entity(*people.last().unwrap()).popularity;
+        assert!(first > last);
+    }
+
+    #[test]
+    fn resources_are_camel_case() {
+        let w = World::generate(WorldConfig::tiny(5));
+        for e in &w.entities {
+            assert!(!e.resource.contains(' '), "{}", e.resource);
+        }
+    }
+
+    #[test]
+    fn scaled_config_scales() {
+        let cfg = WorldConfig::demo(1).scaled(0.1);
+        assert_eq!(cfg.people, 200);
+        assert_eq!(cfg.universities, 12);
+    }
+}

@@ -1,0 +1,196 @@
+//! String interning dictionary for XKG terms.
+//!
+//! Every term string is interned exactly once per [`TermKind`]; the dense
+//! index it receives is embedded in its [`TermId`]. The dictionary is
+//! append-only: the XKG data model never deletes terms, which keeps ids
+//! stable across the lifetime of a store.
+
+use std::collections::HashMap;
+
+use crate::term::{TermId, TermKind};
+
+/// Per-kind interning table.
+#[derive(Debug, Default)]
+struct KindTable {
+    strings: Vec<Box<str>>,
+    lookup: HashMap<Box<str>, u32>,
+}
+
+impl KindTable {
+    fn intern(&mut self, text: &str) -> u32 {
+        if let Some(&idx) = self.lookup.get(text) {
+            return idx;
+        }
+        let idx = u32::try_from(self.strings.len()).expect("dictionary overflow");
+        let boxed: Box<str> = text.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, idx);
+        idx
+    }
+
+    fn get(&self, text: &str) -> Option<u32> {
+        self.lookup.get(text).copied()
+    }
+
+    fn resolve(&self, idx: u32) -> Option<&str> {
+        self.strings.get(idx as usize).map(AsRef::as_ref)
+    }
+}
+
+/// Interning dictionary mapping term strings to [`TermId`]s and back.
+///
+/// # Examples
+///
+/// ```
+/// use trinit_xkg::{TermDict, TermKind};
+///
+/// let mut dict = TermDict::new();
+/// let einstein = dict.intern(TermKind::Resource, "AlbertEinstein");
+/// let phrase = dict.intern(TermKind::Token, "won Nobel for");
+///
+/// assert_eq!(dict.resolve(einstein), Some("AlbertEinstein"));
+/// assert_eq!(dict.resolve(phrase), Some("won Nobel for"));
+/// assert_ne!(einstein, phrase);
+/// // Interning is idempotent.
+/// assert_eq!(dict.intern(TermKind::Resource, "AlbertEinstein"), einstein);
+/// ```
+#[derive(Debug, Default)]
+pub struct TermDict {
+    tables: [KindTable; 3],
+}
+
+impl TermDict {
+    /// Creates an empty dictionary.
+    pub fn new() -> TermDict {
+        TermDict::default()
+    }
+
+    /// Interns `text` under `kind`, returning its stable id.
+    ///
+    /// Repeated calls with the same `(kind, text)` return the same id.
+    /// The same string interned under different kinds yields distinct ids:
+    /// the resource `Princeton` and the token `'Princeton'` are different
+    /// terms.
+    pub fn intern(&mut self, kind: TermKind, text: &str) -> TermId {
+        let idx = self.tables[kind as usize].intern(text);
+        TermId::new(kind, idx)
+    }
+
+    /// Convenience for [`TermDict::intern`] with [`TermKind::Resource`].
+    pub fn resource(&mut self, text: &str) -> TermId {
+        self.intern(TermKind::Resource, text)
+    }
+
+    /// Convenience for [`TermDict::intern`] with [`TermKind::Token`].
+    pub fn token(&mut self, text: &str) -> TermId {
+        self.intern(TermKind::Token, text)
+    }
+
+    /// Convenience for [`TermDict::intern`] with [`TermKind::Literal`].
+    pub fn literal(&mut self, text: &str) -> TermId {
+        self.intern(TermKind::Literal, text)
+    }
+
+    /// Looks up an already-interned term without inserting.
+    pub fn get(&self, kind: TermKind, text: &str) -> Option<TermId> {
+        self.tables[kind as usize]
+            .get(text)
+            .map(|idx| TermId::new(kind, idx))
+    }
+
+    /// Resolves an id back to its string, or `None` if the id was not issued
+    /// by this dictionary.
+    pub fn resolve(&self, id: TermId) -> Option<&str> {
+        self.tables[id.kind() as usize].resolve(id.index())
+    }
+
+    /// Number of distinct terms interned under `kind`.
+    pub fn len_of(&self, kind: TermKind) -> usize {
+        self.tables[kind as usize].strings.len()
+    }
+
+    /// Total number of distinct terms across all kinds.
+    pub fn len(&self) -> usize {
+        self.tables.iter().map(|t| t.strings.len()).sum()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates `(id, text)` pairs of a kind in interning order.
+    pub fn iter_kind(&self, kind: TermKind) -> impl Iterator<Item = (TermId, &str)> {
+        self.tables[kind as usize]
+            .strings
+            .iter()
+            .enumerate()
+            .map(move |(idx, s)| (TermId::new(kind, idx as u32), s.as_ref()))
+    }
+
+    /// Iterates all `(id, text)` pairs across kinds.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        TermKind::ALL.into_iter().flat_map(|k| self.iter_kind(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = TermDict::new();
+        let a = d.resource("Ulm");
+        let b = d.resource("Ulm");
+        assert_eq!(a, b);
+        assert_eq!(d.len_of(TermKind::Resource), 1);
+    }
+
+    #[test]
+    fn kinds_are_separate_namespaces() {
+        let mut d = TermDict::new();
+        let r = d.resource("Princeton");
+        let t = d.token("Princeton");
+        let l = d.literal("Princeton");
+        assert_ne!(r, t);
+        assert_ne!(t, l);
+        assert_eq!(d.resolve(r), Some("Princeton"));
+        assert_eq!(d.resolve(t), Some("Princeton"));
+        assert_eq!(d.resolve(l), Some("Princeton"));
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut d = TermDict::new();
+        assert_eq!(d.get(TermKind::Resource, "IAS"), None);
+        assert_eq!(d.len(), 0);
+        let id = d.resource("IAS");
+        assert_eq!(d.get(TermKind::Resource, "IAS"), Some(id));
+    }
+
+    #[test]
+    fn resolve_unknown_id_is_none() {
+        let d = TermDict::new();
+        assert_eq!(d.resolve(TermId::new(TermKind::Token, 9)), None);
+    }
+
+    #[test]
+    fn iteration_preserves_interning_order() {
+        let mut d = TermDict::new();
+        d.resource("a");
+        d.resource("b");
+        d.token("c");
+        let resources: Vec<&str> = d.iter_kind(TermKind::Resource).map(|(_, s)| s).collect();
+        assert_eq!(resources, vec!["a", "b"]);
+        assert_eq!(d.iter().count(), 3);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = TermDict::new();
+        assert!(d.is_empty());
+        assert_eq!(d.iter().count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Permutation indexes over the triple table.
+//!
+//! Six sorted permutations (SPO, SOP, PSO, POS, OSP, OPS) make every shape
+//! of [`SlotPattern`] answerable with a binary-searched contiguous range,
+//! in the style of in-memory RDF stores (HDT, Hexastore). Each permutation
+//! is a `Vec<TripleId>` sorted by the permuted key, so the whole index adds
+//! 24 bytes per triple.
+
+use crate::pattern::SlotPattern;
+use crate::term::TermId;
+use crate::triple::{Triple, TripleId};
+
+/// One of the six orderings of (S, P, O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Permutation {
+    /// subject, predicate, object
+    SPO,
+    /// subject, object, predicate
+    SOP,
+    /// predicate, subject, object
+    PSO,
+    /// predicate, object, subject
+    POS,
+    /// object, subject, predicate
+    OSP,
+    /// object, predicate, subject
+    OPS,
+}
+
+impl Permutation {
+    /// All six permutations in build order.
+    pub const ALL: [Permutation; 6] = [
+        Permutation::SPO,
+        Permutation::SOP,
+        Permutation::PSO,
+        Permutation::POS,
+        Permutation::OSP,
+        Permutation::OPS,
+    ];
+
+    /// Slot order as indexes into `[s, p, o]`.
+    #[inline]
+    fn order(self) -> [usize; 3] {
+        match self {
+            Permutation::SPO => [0, 1, 2],
+            Permutation::SOP => [0, 2, 1],
+            Permutation::PSO => [1, 0, 2],
+            Permutation::POS => [1, 2, 0],
+            Permutation::OSP => [2, 0, 1],
+            Permutation::OPS => [2, 1, 0],
+        }
+    }
+
+    /// The sort key of `t` under this permutation.
+    #[inline]
+    pub fn key(self, t: Triple) -> [TermId; 3] {
+        let spo = t.spo();
+        let ord = self.order();
+        [spo[ord[0]], spo[ord[1]], spo[ord[2]]]
+    }
+
+    /// Chooses the permutation whose key prefix covers the bound slots of a
+    /// pattern, so its matches form one contiguous sorted range.
+    #[inline]
+    pub fn for_pattern(pattern: &SlotPattern) -> Permutation {
+        match pattern.bound_mask() {
+            0b000 | 0b001 | 0b011 | 0b111 => Permutation::SPO,
+            0b010 => Permutation::PSO,
+            0b100 => Permutation::OSP,
+            0b101 => Permutation::SOP,
+            0b110 => Permutation::POS,
+            _ => unreachable!("bound_mask is 3 bits"),
+        }
+    }
+
+    /// The bound prefix of `pattern` in this permutation's slot order.
+    /// Returns the prefix values (length 0–3).
+    fn prefix(self, pattern: &SlotPattern) -> Vec<TermId> {
+        let slots = [pattern.s, pattern.p, pattern.o];
+        let mut out = Vec::with_capacity(3);
+        for slot_idx in self.order() {
+            match slots[slot_idx] {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// The six permutation indexes over a frozen triple table.
+#[derive(Debug, Default)]
+pub struct TripleIndex {
+    perms: [Vec<TripleId>; 6],
+}
+
+impl TripleIndex {
+    /// Builds all six permutations for `triples`.
+    ///
+    /// `triples[i]` is the triple with `TripleId(i as u32)`.
+    pub fn build(triples: &[Triple]) -> TripleIndex {
+        let base: Vec<TripleId> = (0..triples.len())
+            .map(|i| TripleId(i as u32))
+            .collect();
+        let mut perms: [Vec<TripleId>; 6] = Default::default();
+        for (slot, perm) in Permutation::ALL.into_iter().enumerate() {
+            let mut ids = base.clone();
+            ids.sort_unstable_by_key(|id| perm.key(triples[id.idx()]));
+            perms[slot] = ids;
+        }
+        TripleIndex { perms }
+    }
+
+    #[inline]
+    fn perm_slice(&self, perm: Permutation) -> &[TripleId] {
+        &self.perms[perm as usize]
+    }
+
+    /// Returns the contiguous, sorted range of triple ids matching
+    /// `pattern`. The range is over the permutation chosen by
+    /// [`Permutation::for_pattern`]; the ids within it are in key order of
+    /// that permutation, *not* in insertion order.
+    pub fn lookup<'a>(&'a self, triples: &[Triple], pattern: &SlotPattern) -> &'a [TripleId] {
+        let perm = Permutation::for_pattern(pattern);
+        let ids = self.perm_slice(perm);
+        let prefix = perm.prefix(pattern);
+        if prefix.is_empty() {
+            return ids;
+        }
+        let key_prefix = |id: &TripleId| -> Vec<TermId> {
+            perm.key(triples[id.idx()])[..prefix.len()].to_vec()
+        };
+        let lo = ids.partition_point(|id| key_prefix(id) < prefix);
+        let hi = ids.partition_point(|id| key_prefix(id) <= prefix);
+        &ids[lo..hi]
+    }
+
+    /// Number of triples matching `pattern` (exact, via the range bounds).
+    pub fn count(&self, triples: &[Triple], pattern: &SlotPattern) -> usize {
+        self.lookup(triples, pattern).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{TermId, TermKind};
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(TermKind::Resource, i)
+    }
+
+    fn sample() -> Vec<Triple> {
+        vec![
+            Triple::new(tid(1), tid(10), tid(2)), // Einstein bornIn Ulm
+            Triple::new(tid(2), tid(11), tid(3)), // Ulm locatedIn Germany
+            Triple::new(tid(1), tid(12), tid(4)), // Einstein affiliation IAS
+            Triple::new(tid(5), tid(10), tid(2)), // Other bornIn Ulm
+            Triple::new(tid(1), tid(10), tid(6)), // Einstein bornIn X (noise)
+        ]
+    }
+
+    #[test]
+    fn permutation_choice_covers_bound_prefix() {
+        for mask in 0u8..8 {
+            let mk = |bit: u8| (mask & bit != 0).then(|| tid(0));
+            let pat = SlotPattern::new(mk(1), mk(2), mk(4));
+            let perm = Permutation::for_pattern(&pat);
+            // Every bound slot must appear before every wildcard slot in the
+            // permutation order for the range lookup to be contiguous.
+            let order = perm.order();
+            let bound = [pat.s.is_some(), pat.p.is_some(), pat.o.is_some()];
+            let mut seen_wild = false;
+            for slot in order {
+                if bound[slot] {
+                    assert!(!seen_wild, "mask {mask:#05b}: bound slot after wildcard");
+                } else {
+                    seen_wild = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_matches_linear_scan_for_every_shape() {
+        let triples = sample();
+        let idx = TripleIndex::build(&triples);
+        let terms: Vec<Option<TermId>> = vec![None, Some(tid(1)), Some(tid(10)), Some(tid(2))];
+        for &s in &terms {
+            for &p in &terms {
+                for &o in &terms {
+                    let pat = SlotPattern::new(s, p, o);
+                    let mut got: Vec<u32> =
+                        idx.lookup(&triples, &pat).iter().map(|t| t.0).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u32> = triples
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| pat.matches(**t))
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "pattern {pat}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_equals_lookup_len() {
+        let triples = sample();
+        let idx = TripleIndex::build(&triples);
+        let pat = SlotPattern::with_p(tid(10));
+        assert_eq!(idx.count(&triples, &pat), 3);
+    }
+
+    #[test]
+    fn empty_table() {
+        let triples: Vec<Triple> = Vec::new();
+        let idx = TripleIndex::build(&triples);
+        assert_eq!(idx.lookup(&triples, &SlotPattern::any()).len(), 0);
+    }
+
+    #[test]
+    fn no_match_returns_empty_range() {
+        let triples = sample();
+        let idx = TripleIndex::build(&triples);
+        let pat = SlotPattern::with_p(tid(99));
+        assert!(idx.lookup(&triples, &pat).is_empty());
+    }
+}

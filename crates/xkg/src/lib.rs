@@ -1,0 +1,42 @@
+//! # trinit-xkg — extended knowledge graph store
+//!
+//! The storage substrate of the TriniT reproduction (Yahya et al.,
+//! *Exploratory Querying of Extended Knowledge Graphs*, PVLDB 9(13), 2016).
+//!
+//! An **extended knowledge graph (XKG)** combines a curated KG (canonical
+//! resources, e.g. Yago2s in the paper) with *textual token triples*
+//! produced by Open Information Extraction, where any of the S/P/O slots
+//! may be a text phrase instead of a canonical resource (paper §2).
+//!
+//! This crate provides:
+//!
+//! * [`TermDict`] — interning of resources, tokens, and literals into
+//!   compact [`TermId`]s;
+//! * [`XkgBuilder`] / [`XkgStore`] — a deduplicating triple store with
+//!   per-fact [`Provenance`] (stratum, confidence, support, sources);
+//! * six permutation indexes ([`index::TripleIndex`]) answering every
+//!   [`SlotPattern`] shape with a binary-searched range;
+//! * [`PostingList`] — score-sorted access to a pattern's matches, the
+//!   primitive required by the incremental top-k processor (paper §4);
+//! * [`stats`] — predicate statistics and the `args(p)` sets used by the
+//!   relaxation miner (paper §3).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dict;
+pub mod index;
+pub mod pattern;
+pub mod posting;
+pub mod stats;
+pub mod store;
+pub mod term;
+pub mod triple;
+
+pub use dict::TermDict;
+pub use pattern::SlotPattern;
+pub use posting::{Posting, PostingList};
+pub use stats::{args_pairs, cardinality, PredicateStats, StoreStats};
+pub use store::{XkgBuilder, XkgStore};
+pub use term::{TermId, TermKind};
+pub use triple::{GraphTag, Provenance, SourceId, Triple, TripleId};

@@ -1,0 +1,131 @@
+//! Storage-level triple patterns.
+//!
+//! A [`SlotPattern`] is the store's view of a triple pattern: each slot is
+//! either bound to a concrete term or a wildcard. Variable identity (which
+//! wildcard slots must bind to the same node) is a query-layer concern and
+//! lives in `trinit-query`; the store only needs to know *which* slots are
+//! bound in order to pick a permutation index.
+
+use std::fmt;
+
+use crate::term::TermId;
+use crate::triple::Triple;
+
+/// A triple pattern with each slot either bound or a wildcard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SlotPattern {
+    /// Bound subject, or `None` for a wildcard.
+    pub s: Option<TermId>,
+    /// Bound predicate, or `None` for a wildcard.
+    pub p: Option<TermId>,
+    /// Bound object, or `None` for a wildcard.
+    pub o: Option<TermId>,
+}
+
+impl SlotPattern {
+    /// A pattern with all slots wild (matches every triple).
+    pub fn any() -> SlotPattern {
+        SlotPattern::default()
+    }
+
+    /// Creates a pattern from optional slot bindings.
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> SlotPattern {
+        SlotPattern { s, p, o }
+    }
+
+    /// Pattern matching all triples with predicate `p`.
+    pub fn with_p(p: TermId) -> SlotPattern {
+        SlotPattern::new(None, Some(p), None)
+    }
+
+    /// Pattern matching all triples with subject `s` and predicate `p`.
+    pub fn with_sp(s: TermId, p: TermId) -> SlotPattern {
+        SlotPattern::new(Some(s), Some(p), None)
+    }
+
+    /// Pattern matching all triples with predicate `p` and object `o`.
+    pub fn with_po(p: TermId, o: TermId) -> SlotPattern {
+        SlotPattern::new(None, Some(p), Some(o))
+    }
+
+    /// Bitmask of bound slots: bit 0 = subject, bit 1 = predicate,
+    /// bit 2 = object.
+    #[inline]
+    pub fn bound_mask(&self) -> u8 {
+        (self.s.is_some() as u8) | ((self.p.is_some() as u8) << 1) | ((self.o.is_some() as u8) << 2)
+    }
+
+    /// Number of bound slots.
+    #[inline]
+    pub fn bound_count(&self) -> u8 {
+        self.bound_mask().count_ones() as u8
+    }
+
+    /// True if every slot is bound (the pattern is a fully ground triple).
+    #[inline]
+    pub fn is_ground(&self) -> bool {
+        self.bound_mask() == 0b111
+    }
+
+    /// Tests whether a concrete triple matches this pattern.
+    #[inline]
+    pub fn matches(&self, t: Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+}
+
+impl fmt::Display for SlotPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn slot(f: &mut fmt::Formatter<'_>, t: Option<TermId>) -> fmt::Result {
+            match t {
+                Some(id) => write!(f, "{id:?}"),
+                None => f.write_str("?"),
+            }
+        }
+        slot(f, self.s)?;
+        f.write_str(" ")?;
+        slot(f, self.p)?;
+        f.write_str(" ")?;
+        slot(f, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{TermId, TermKind};
+
+    fn tid(i: u32) -> TermId {
+        TermId::new(TermKind::Resource, i)
+    }
+
+    #[test]
+    fn bound_mask_covers_all_shapes() {
+        assert_eq!(SlotPattern::any().bound_mask(), 0b000);
+        assert_eq!(SlotPattern::with_p(tid(0)).bound_mask(), 0b010);
+        assert_eq!(SlotPattern::with_sp(tid(0), tid(1)).bound_mask(), 0b011);
+        assert_eq!(SlotPattern::with_po(tid(0), tid(1)).bound_mask(), 0b110);
+        let ground = SlotPattern::new(Some(tid(0)), Some(tid(1)), Some(tid(2)));
+        assert_eq!(ground.bound_mask(), 0b111);
+        assert!(ground.is_ground());
+        assert_eq!(ground.bound_count(), 3);
+    }
+
+    #[test]
+    fn matches_respects_bound_slots() {
+        let t = Triple::new(tid(1), tid(2), tid(3));
+        assert!(SlotPattern::any().matches(t));
+        assert!(SlotPattern::with_sp(tid(1), tid(2)).matches(t));
+        assert!(!SlotPattern::with_sp(tid(1), tid(9)).matches(t));
+        assert!(SlotPattern::with_po(tid(2), tid(3)).matches(t));
+        assert!(!SlotPattern::with_po(tid(2), tid(9)).matches(t));
+    }
+
+    #[test]
+    fn display_marks_wildcards() {
+        let p = SlotPattern::with_p(tid(5));
+        assert_eq!(p.to_string(), "? resource#5 ?");
+    }
+}

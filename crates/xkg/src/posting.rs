@@ -1,0 +1,193 @@
+//! Score-sorted posting lists for triple patterns.
+//!
+//! The paper's top-k processor (§4) requires *sorted access* to the matches
+//! of each triple pattern: "top-k query processing is based on the ability
+//! to access answers for a triple pattern in sorted order of their scores".
+//!
+//! A [`PostingList`] materializes the matches of a [`SlotPattern`] ordered
+//! by descending emission weight (`support × confidence`, the tf-like
+//! component) and exposes the pattern's total weight, whose reciprocal is
+//! the idf-like selectivity component: the emission probability of a match
+//! is `weight / total_weight`.
+
+use crate::pattern::SlotPattern;
+use crate::store::XkgStore;
+use crate::triple::TripleId;
+
+/// A single scored entry of a posting list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// The matching triple.
+    pub triple: TripleId,
+    /// Raw emission weight (`support × confidence`).
+    pub weight: f64,
+    /// Normalized emission probability `weight / total_weight` of the
+    /// pattern. In `(0, 1]`; all probabilities of a list sum to 1 (unless
+    /// the list is empty).
+    pub prob: f64,
+}
+
+/// The matches of a triple pattern in descending score order, with a cursor
+/// for incremental sorted access.
+#[derive(Debug, Clone)]
+pub struct PostingList {
+    entries: Vec<Posting>,
+    total_weight: f64,
+    cursor: usize,
+}
+
+impl PostingList {
+    /// Builds the posting list for `pattern` over `store`.
+    ///
+    /// Ties in weight are broken by triple id so iteration order is
+    /// deterministic.
+    pub fn build(store: &XkgStore, pattern: &SlotPattern) -> PostingList {
+        let ids = store.lookup(pattern);
+        let mut raw: Vec<(TripleId, f64)> = ids
+            .iter()
+            .map(|&id| (id, store.provenance(id).weight()))
+            .collect();
+        let total_weight: f64 = raw.iter().map(|(_, w)| w).sum();
+        raw.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("weights are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        let entries = raw
+            .into_iter()
+            .map(|(triple, weight)| Posting {
+                triple,
+                weight,
+                prob: if total_weight > 0.0 {
+                    weight / total_weight
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        PostingList {
+            entries,
+            total_weight,
+            cursor: 0,
+        }
+    }
+
+    /// Total emission weight of all matches (the idf-like normalizer).
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Number of matches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the pattern has no matches.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries in descending score order (ignores the cursor).
+    #[inline]
+    pub fn entries(&self) -> &[Posting] {
+        &self.entries
+    }
+
+    /// The next unconsumed posting, without advancing.
+    #[inline]
+    pub fn peek(&self) -> Option<Posting> {
+        self.entries.get(self.cursor).copied()
+    }
+
+    /// The emission probability of the next unconsumed posting (an upper
+    /// bound on everything still in the list), or `None` if exhausted.
+    #[inline]
+    pub fn peek_prob(&self) -> Option<f64> {
+        self.peek().map(|p| p.prob)
+    }
+
+    /// Consumes and returns the next posting in descending score order.
+    #[inline]
+    pub fn next_posting(&mut self) -> Option<Posting> {
+        let p = self.peek()?;
+        self.cursor += 1;
+        Some(p)
+    }
+
+    /// Number of postings consumed so far (depth of sorted access).
+    #[inline]
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+
+    /// Resets the cursor to the start of the list.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::XkgBuilder;
+
+    fn store_with_weights() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        let p = b.dict_mut().resource("lecturedAt");
+        let princeton = b.dict_mut().resource("Princeton");
+        for (i, conf) in [(0u32, 0.9f32), (1, 0.5), (2, 0.7)] {
+            let s = b.dict_mut().resource(&format!("person{i}"));
+            let src = b.intern_source(&format!("doc{i}"));
+            b.add_extracted(s, p, princeton, conf, src);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn postings_sorted_descending() {
+        let store = store_with_weights();
+        let p = store.dict().get(crate::TermKind::Resource, "lecturedAt").unwrap();
+        let list = PostingList::build(&store, &SlotPattern::with_p(p));
+        assert_eq!(list.len(), 3);
+        let weights: Vec<f64> = list.entries().iter().map(|e| e.weight).collect();
+        assert!(weights.windows(2).all(|w| w[0] >= w[1]));
+        assert!((list.total_weight() - 2.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let store = store_with_weights();
+        let p = store.dict().get(crate::TermKind::Resource, "lecturedAt").unwrap();
+        let list = PostingList::build(&store, &SlotPattern::with_p(p));
+        let sum: f64 = list.entries().iter().map(|e| e.prob).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cursor_walks_in_order() {
+        let store = store_with_weights();
+        let p = store.dict().get(crate::TermKind::Resource, "lecturedAt").unwrap();
+        let mut list = PostingList::build(&store, &SlotPattern::with_p(p));
+        let first = list.next_posting().unwrap();
+        let second = list.next_posting().unwrap();
+        assert!(first.prob >= second.prob);
+        assert_eq!(list.consumed(), 2);
+        list.rewind();
+        assert_eq!(list.consumed(), 0);
+        assert_eq!(list.peek().unwrap(), first);
+    }
+
+    #[test]
+    fn empty_pattern_list() {
+        let store = store_with_weights();
+        let ghost = crate::term::TermId::new(crate::TermKind::Resource, 999);
+        let mut list = PostingList::build(&store, &SlotPattern::with_p(ghost));
+        assert!(list.is_empty());
+        assert_eq!(list.peek_prob(), None);
+        assert_eq!(list.next_posting(), None);
+        assert_eq!(list.total_weight(), 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Store statistics: predicate inventory, argument sets, selectivity.
+//!
+//! The relaxation miner (paper §3) needs `args(p)` — the set of
+//! (subject, object) pairs connected by predicate `p` in the XKG — and the
+//! query planner needs cardinality estimates. Both are derived here from
+//! the permutation indexes, so they are exact.
+
+use std::collections::HashMap;
+
+use crate::pattern::SlotPattern;
+use crate::store::XkgStore;
+use crate::term::TermId;
+use crate::triple::GraphTag;
+
+/// Aggregate statistics for one predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredicateStats {
+    /// The predicate term.
+    pub predicate: TermId,
+    /// Number of distinct triples under this predicate.
+    pub triples: usize,
+    /// Number of distinct subjects.
+    pub distinct_subjects: usize,
+    /// Number of distinct objects.
+    pub distinct_objects: usize,
+    /// Number of triples in the curated KG stratum.
+    pub kg_triples: usize,
+    /// Total emission weight (`Σ support × confidence`).
+    pub total_weight: f64,
+}
+
+/// Statistics over an entire store.
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    by_predicate: HashMap<TermId, PredicateStats>,
+    predicates: Vec<TermId>,
+}
+
+impl StoreStats {
+    /// Computes statistics for every predicate in `store`.
+    pub fn compute(store: &XkgStore) -> StoreStats {
+        let mut by_predicate: HashMap<TermId, PredicateStats> = HashMap::new();
+        let mut subjects: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        let mut objects: HashMap<TermId, Vec<TermId>> = HashMap::new();
+        for (id, t) in store.iter() {
+            let prov = store.provenance(id);
+            let entry = by_predicate.entry(t.p).or_insert_with(|| PredicateStats {
+                predicate: t.p,
+                triples: 0,
+                distinct_subjects: 0,
+                distinct_objects: 0,
+                kg_triples: 0,
+                total_weight: 0.0,
+            });
+            entry.triples += 1;
+            entry.total_weight += prov.weight();
+            if prov.graph == GraphTag::Kg {
+                entry.kg_triples += 1;
+            }
+            subjects.entry(t.p).or_default().push(t.s);
+            objects.entry(t.p).or_default().push(t.o);
+        }
+        for (p, stats) in by_predicate.iter_mut() {
+            let mut subs = subjects.remove(p).unwrap_or_default();
+            subs.sort_unstable();
+            subs.dedup();
+            stats.distinct_subjects = subs.len();
+            let mut objs = objects.remove(p).unwrap_or_default();
+            objs.sort_unstable();
+            objs.dedup();
+            stats.distinct_objects = objs.len();
+        }
+        let mut predicates: Vec<TermId> = by_predicate.keys().copied().collect();
+        predicates.sort_unstable();
+        StoreStats {
+            by_predicate,
+            predicates,
+        }
+    }
+
+    /// All predicates in deterministic (term id) order.
+    pub fn predicates(&self) -> &[TermId] {
+        &self.predicates
+    }
+
+    /// Statistics for one predicate, if present in the store.
+    pub fn get(&self, predicate: TermId) -> Option<&PredicateStats> {
+        self.by_predicate.get(&predicate)
+    }
+
+    /// Number of distinct predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+}
+
+/// The exact set of (subject, object) pairs under predicate `p` — the
+/// paper's `args(p)` (§3), deduplicated and sorted.
+pub fn args_pairs(store: &XkgStore, p: TermId) -> Vec<(TermId, TermId)> {
+    let mut pairs: Vec<(TermId, TermId)> = store
+        .lookup(&SlotPattern::with_p(p))
+        .iter()
+        .map(|&id| {
+            let t = store.triple(id);
+            (t.s, t.o)
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Exact cardinality of a pattern; used by the query planner to order
+/// joins most-selective-first.
+pub fn cardinality(store: &XkgStore, pattern: &SlotPattern) -> usize {
+    store.count(pattern)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::XkgBuilder;
+
+    fn sample() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("a", "p", "x");
+        b.add_kg_resources("a", "p", "y");
+        b.add_kg_resources("b", "p", "x");
+        b.add_kg_resources("a", "q", "x");
+        let s = b.dict_mut().resource("a");
+        let p = b.dict_mut().token("said to");
+        let o = b.dict_mut().resource("b");
+        let src = b.intern_source("d0");
+        b.add_extracted(s, p, o, 0.5, src);
+        b.build()
+    }
+
+    #[test]
+    fn predicate_inventory() {
+        let store = sample();
+        let stats = StoreStats::compute(&store);
+        assert_eq!(stats.predicate_count(), 3);
+        let p = store.resource("p").unwrap();
+        let ps = stats.get(p).unwrap();
+        assert_eq!(ps.triples, 3);
+        assert_eq!(ps.distinct_subjects, 2);
+        assert_eq!(ps.distinct_objects, 2);
+        assert_eq!(ps.kg_triples, 3);
+    }
+
+    #[test]
+    fn token_predicates_are_included() {
+        let store = sample();
+        let stats = StoreStats::compute(&store);
+        let said = store.token("said to").unwrap();
+        let ss = stats.get(said).unwrap();
+        assert_eq!(ss.triples, 1);
+        assert_eq!(ss.kg_triples, 0);
+        assert!((ss.total_weight - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn args_pairs_are_sorted_and_distinct() {
+        let store = sample();
+        let p = store.resource("p").unwrap();
+        let pairs = args_pairs(&store, p);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn cardinality_matches_lookup() {
+        let store = sample();
+        let p = store.resource("p").unwrap();
+        assert_eq!(cardinality(&store, &SlotPattern::with_p(p)), 3);
+        assert_eq!(cardinality(&store, &SlotPattern::any()), 5);
+    }
+
+    #[test]
+    fn empty_store_stats() {
+        let store = XkgBuilder::new().build();
+        let stats = StoreStats::compute(&store);
+        assert_eq!(stats.predicate_count(), 0);
+        assert!(stats.predicates().is_empty());
+    }
+}

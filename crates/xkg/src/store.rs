@@ -1,0 +1,346 @@
+//! The extended knowledge graph store.
+//!
+//! [`XkgBuilder`] accumulates deduplicated triples with merged provenance;
+//! [`XkgBuilder::build`] freezes them into an [`XkgStore`] with all six
+//! permutation indexes. The store is immutable after build, which is the
+//! access pattern of the paper's system: the XKG is materialized offline
+//! (KG load + Open IE extraction), then queried interactively.
+
+use std::collections::HashMap;
+
+use crate::dict::TermDict;
+use crate::index::TripleIndex;
+use crate::pattern::SlotPattern;
+use crate::term::{TermId, TermKind};
+use crate::triple::{GraphTag, Provenance, SourceId, Triple, TripleId};
+
+/// Accumulates triples and provenance before freezing into an [`XkgStore`].
+#[derive(Debug, Default)]
+pub struct XkgBuilder {
+    dict: TermDict,
+    triples: Vec<Triple>,
+    prov: Vec<Provenance>,
+    dedup: HashMap<Triple, TripleId>,
+    sources: Vec<Box<str>>,
+    source_lookup: HashMap<Box<str>, SourceId>,
+}
+
+impl XkgBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> XkgBuilder {
+        XkgBuilder::default()
+    }
+
+    /// Mutable access to the term dictionary for interning.
+    pub fn dict_mut(&mut self) -> &mut TermDict {
+        &mut self.dict
+    }
+
+    /// Read access to the term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Interns a provenance source (document identifier / URL).
+    pub fn intern_source(&mut self, name: &str) -> SourceId {
+        if let Some(&id) = self.source_lookup.get(name) {
+            return id;
+        }
+        let id = SourceId(u32::try_from(self.sources.len()).expect("source overflow"));
+        let boxed: Box<str> = name.into();
+        self.sources.push(boxed.clone());
+        self.source_lookup.insert(boxed, id);
+        id
+    }
+
+    /// Adds a triple with explicit provenance, merging with any existing
+    /// record for the same `(s, p, o)`.
+    pub fn add(&mut self, triple: Triple, prov: Provenance) -> TripleId {
+        if let Some(&id) = self.dedup.get(&triple) {
+            self.prov[id.idx()].absorb(&prov);
+            return id;
+        }
+        let id = TripleId(u32::try_from(self.triples.len()).expect("triple overflow"));
+        self.triples.push(triple);
+        self.prov.push(prov);
+        self.dedup.insert(triple, id);
+        id
+    }
+
+    /// Adds a curated KG fact.
+    pub fn add_kg(&mut self, s: TermId, p: TermId, o: TermId) -> TripleId {
+        self.add(Triple::new(s, p, o), Provenance::kg())
+    }
+
+    /// Adds a curated KG fact from resource strings (subject and predicate
+    /// are resources; the object is a resource as well).
+    pub fn add_kg_resources(&mut self, s: &str, p: &str, o: &str) -> TripleId {
+        let s = self.dict.resource(s);
+        let p = self.dict.resource(p);
+        let o = self.dict.resource(o);
+        self.add_kg(s, p, o)
+    }
+
+    /// Adds a curated KG fact whose object is a literal (e.g. a date).
+    pub fn add_kg_literal(&mut self, s: &str, p: &str, o: &str) -> TripleId {
+        let s = self.dict.resource(s);
+        let p = self.dict.resource(p);
+        let o = self.dict.literal(o);
+        self.add_kg(s, p, o)
+    }
+
+    /// Adds an Open IE extraction observed once in `source`.
+    pub fn add_extracted(
+        &mut self,
+        s: TermId,
+        p: TermId,
+        o: TermId,
+        confidence: f32,
+        source: SourceId,
+    ) -> TripleId {
+        self.add(Triple::new(s, p, o), Provenance::extraction(confidence, source))
+    }
+
+    /// Number of distinct triples accumulated so far.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if no triples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Freezes the builder into an immutable, fully indexed store.
+    pub fn build(self) -> XkgStore {
+        let index = TripleIndex::build(&self.triples);
+        XkgStore {
+            dict: self.dict,
+            triples: self.triples,
+            prov: self.prov,
+            sources: self.sources,
+            index,
+        }
+    }
+}
+
+/// An immutable, fully indexed extended knowledge graph.
+///
+/// # Examples
+///
+/// ```
+/// use trinit_xkg::{SlotPattern, XkgBuilder};
+///
+/// let mut b = XkgBuilder::new();
+/// b.add_kg_resources("AlbertEinstein", "bornIn", "Ulm");
+/// b.add_kg_resources("Ulm", "locatedIn", "Germany");
+/// let store = b.build();
+///
+/// let born_in = store.resource("bornIn").unwrap();
+/// let matches = store.lookup(&SlotPattern::with_p(born_in));
+/// assert_eq!(matches.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct XkgStore {
+    dict: TermDict,
+    triples: Vec<Triple>,
+    prov: Vec<Provenance>,
+    sources: Vec<Box<str>>,
+    index: TripleIndex,
+}
+
+impl XkgStore {
+    /// The term dictionary.
+    #[inline]
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Looks up an existing resource term by name.
+    pub fn resource(&self, name: &str) -> Option<TermId> {
+        self.dict.get(TermKind::Resource, name)
+    }
+
+    /// Looks up an existing token term by phrase.
+    pub fn token(&self, phrase: &str) -> Option<TermId> {
+        self.dict.get(TermKind::Token, phrase)
+    }
+
+    /// Looks up an existing literal term by value.
+    pub fn literal(&self, value: &str) -> Option<TermId> {
+        self.dict.get(TermKind::Literal, value)
+    }
+
+    /// Number of distinct triples (KG + XKG strata).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the store holds no triples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Number of distinct triples in a stratum.
+    pub fn len_of(&self, graph: GraphTag) -> usize {
+        self.prov.iter().filter(|p| p.graph == graph).count()
+    }
+
+    /// The triple with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this store.
+    #[inline]
+    pub fn triple(&self, id: TripleId) -> Triple {
+        self.triples[id.idx()]
+    }
+
+    /// Provenance of the triple with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this store.
+    #[inline]
+    pub fn provenance(&self, id: TripleId) -> &Provenance {
+        &self.prov[id.idx()]
+    }
+
+    /// Resolves a source id to its document identifier.
+    pub fn source_name(&self, id: SourceId) -> Option<&str> {
+        self.sources.get(id.0 as usize).map(AsRef::as_ref)
+    }
+
+    /// All triple ids matching `pattern`, as a contiguous index range.
+    #[inline]
+    pub fn lookup(&self, pattern: &SlotPattern) -> &[TripleId] {
+        self.index.lookup(&self.triples, pattern)
+    }
+
+    /// Exact number of triples matching `pattern`.
+    #[inline]
+    pub fn count(&self, pattern: &SlotPattern) -> usize {
+        self.index.count(&self.triples, pattern)
+    }
+
+    /// Iterates all stored triples with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (TripleId, Triple)> + '_ {
+        self.triples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TripleId(i as u32), *t))
+    }
+
+    /// Renders a term for display: resources verbatim, tokens and literals
+    /// single-quoted (matching the paper's figures).
+    pub fn display_term(&self, id: TermId) -> String {
+        match self.dict.resolve(id) {
+            Some(text) if id.is_resource() => text.to_string(),
+            Some(text) => format!("'{text}'"),
+            None => format!("<unknown {id:?}>"),
+        }
+    }
+
+    /// Renders a triple in `S P O` form.
+    pub fn display_triple(&self, id: TripleId) -> String {
+        let t = self.triple(id);
+        format!(
+            "{} {} {}",
+            self.display_term(t.s),
+            self.display_term(t.p),
+            self.display_term(t.o)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("AlbertEinstein", "bornIn", "Ulm");
+        b.add_kg_resources("Ulm", "locatedIn", "Germany");
+        b.add_kg_literal("AlbertEinstein", "bornOn", "1879-03-14");
+        let s = b.dict_mut().resource("AlbertEinstein");
+        let p = b.dict_mut().token("won Nobel for");
+        let o = b.dict_mut().token("discovery of the photoelectric effect");
+        let src = b.intern_source("clueweb:doc-17");
+        b.add_extracted(s, p, o, 0.8, src);
+        b.build()
+    }
+
+    #[test]
+    fn dedup_merges_provenance() {
+        let mut b = XkgBuilder::new();
+        let id1 = b.add_kg_resources("A", "p", "B");
+        let id2 = b.add_kg_resources("A", "p", "B");
+        assert_eq!(id1, id2);
+        assert_eq!(b.len(), 1);
+        let store = b.build();
+        assert_eq!(store.provenance(id1).support, 2);
+    }
+
+    #[test]
+    fn strata_are_counted_separately() {
+        let store = sample();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.len_of(GraphTag::Kg), 3);
+        assert_eq!(store.len_of(GraphTag::Xkg), 1);
+    }
+
+    #[test]
+    fn extraction_remembers_source() {
+        let store = sample();
+        let p = store.token("won Nobel for").unwrap();
+        let ids = store.lookup(&SlotPattern::with_p(p));
+        assert_eq!(ids.len(), 1);
+        let prov = store.provenance(ids[0]);
+        assert_eq!(prov.graph, GraphTag::Xkg);
+        assert_eq!(prov.sources.len(), 1);
+        assert_eq!(store.source_name(prov.sources[0]), Some("clueweb:doc-17"));
+    }
+
+    #[test]
+    fn source_interning_is_idempotent() {
+        let mut b = XkgBuilder::new();
+        let a = b.intern_source("doc");
+        let c = b.intern_source("doc");
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn display_quotes_tokens_and_literals() {
+        let store = sample();
+        let p = store.token("won Nobel for").unwrap();
+        let ids = store.lookup(&SlotPattern::with_p(p));
+        let rendered = store.display_triple(ids[0]);
+        assert_eq!(
+            rendered,
+            "AlbertEinstein 'won Nobel for' 'discovery of the photoelectric effect'"
+        );
+        let born_on = store.resource("bornOn").unwrap();
+        let ids = store.lookup(&SlotPattern::with_p(born_on));
+        assert!(store.display_triple(ids[0]).ends_with("'1879-03-14'"));
+    }
+
+    #[test]
+    fn lookup_by_subject_and_object() {
+        let store = sample();
+        let einstein = store.resource("AlbertEinstein").unwrap();
+        let subject_matches = store.lookup(&SlotPattern::new(Some(einstein), None, None));
+        assert_eq!(subject_matches.len(), 3);
+        let germany = store.resource("Germany").unwrap();
+        let object_matches = store.lookup(&SlotPattern::new(None, None, Some(germany)));
+        assert_eq!(object_matches.len(), 1);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = XkgBuilder::new().build();
+        assert!(store.is_empty());
+        assert_eq!(store.lookup(&SlotPattern::any()).len(), 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the XKG store substrate.
+
+use proptest::prelude::*;
+
+use trinit_xkg::{
+    Provenance, SlotPattern, SourceId, TermDict, TermId, TermKind, Triple, XkgBuilder,
+};
+
+/// Strategy: a small universe of term ids per kind.
+fn term_id(kind: TermKind, universe: u32) -> impl Strategy<Value = TermId> {
+    (0..universe).prop_map(move |i| TermId::new(kind, i))
+}
+
+fn triple(universe: u32) -> impl Strategy<Value = Triple> {
+    (
+        term_id(TermKind::Resource, universe),
+        prop_oneof![
+            term_id(TermKind::Resource, universe),
+            term_id(TermKind::Token, universe)
+        ],
+        prop_oneof![
+            term_id(TermKind::Resource, universe),
+            term_id(TermKind::Token, universe),
+            term_id(TermKind::Literal, universe)
+        ],
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn store_from(triples: &[(Triple, f32, u8)]) -> trinit_xkg::XkgStore {
+    let mut b = XkgBuilder::new();
+    for (t, conf, support) in triples {
+        let mut prov = Provenance::extraction(*conf, SourceId(0));
+        prov.support = u32::from(*support) + 1;
+        b.add(*t, prov);
+    }
+    b.build()
+}
+
+proptest! {
+    /// Every pattern shape answered through a permutation index returns
+    /// exactly the triples a linear scan finds.
+    #[test]
+    fn index_lookup_equals_linear_scan(
+        triples in proptest::collection::vec((triple(6), 0.01f32..1.0, 0u8..4), 0..60),
+        s in proptest::option::of(term_id(TermKind::Resource, 6)),
+        p in proptest::option::of(term_id(TermKind::Resource, 6)),
+        o in proptest::option::of(term_id(TermKind::Resource, 6)),
+    ) {
+        let store = store_from(&triples);
+        let pattern = SlotPattern::new(s, p, o);
+        let mut got: Vec<u32> = store.lookup(&pattern).iter().map(|t| t.0).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = store
+            .iter()
+            .filter(|(_, t)| pattern.matches(*t))
+            .map(|(id, _)| id.0)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Deduplication: the store never holds two identical (s,p,o) rows,
+    /// and merged support equals the number of insertions.
+    #[test]
+    fn dedup_preserves_support_total(
+        triples in proptest::collection::vec((triple(3), 0.01f32..1.0, 0u8..1), 1..40),
+    ) {
+        let store = store_from(&triples);
+        let mut seen = std::collections::HashSet::new();
+        let mut support_total = 0u32;
+        for (id, t) in store.iter() {
+            prop_assert!(seen.insert(t), "duplicate triple in store");
+            support_total += store.provenance(id).support;
+        }
+        prop_assert_eq!(support_total as usize, triples.len());
+    }
+
+    /// Posting lists are sorted descending and their probabilities form a
+    /// distribution over the pattern's matches.
+    #[test]
+    fn posting_probabilities_are_a_distribution(
+        triples in proptest::collection::vec((triple(5), 0.01f32..1.0, 0u8..4), 1..50),
+        p in term_id(TermKind::Resource, 5),
+    ) {
+        let store = store_from(&triples);
+        let list = trinit_xkg::PostingList::build(&store, &SlotPattern::with_p(p));
+        let probs: Vec<f64> = list.entries().iter().map(|e| e.prob).collect();
+        prop_assert!(probs.windows(2).all(|w| w[0] >= w[1]));
+        if !probs.is_empty() {
+            let sum: f64 = probs.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Dictionary interning round-trips arbitrary strings.
+    #[test]
+    fn dict_roundtrip(words in proptest::collection::vec("[a-zA-Z0-9 ']{1,20}", 1..30)) {
+        let mut dict = TermDict::new();
+        let ids: Vec<(TermId, String)> = words
+            .iter()
+            .map(|w| (dict.token(w), w.clone()))
+            .collect();
+        for (id, w) in &ids {
+            prop_assert_eq!(dict.resolve(*id), Some(w.as_str()));
+            prop_assert_eq!(dict.get(TermKind::Token, w), Some(*id));
+        }
+    }
+
+    /// Counting via the index equals the lookup length for all shapes.
+    #[test]
+    fn count_is_consistent(
+        triples in proptest::collection::vec((triple(4), 0.5f32..1.0, 0u8..1), 0..40),
+        p in proptest::option::of(term_id(TermKind::Resource, 4)),
+        o in proptest::option::of(term_id(TermKind::Resource, 4)),
+    ) {
+        let store = store_from(&triples);
+        let pattern = SlotPattern::new(None, p, o);
+        prop_assert_eq!(store.count(&pattern), store.lookup(&pattern).len());
+    }
+}

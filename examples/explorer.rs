@@ -1,0 +1,144 @@
+//! Interactive exploratory-querying shell — a terminal stand-in for the
+//! TriniT web UI of paper Figure 5/6.
+//!
+//! ```text
+//! cargo run --release --example explorer
+//! ```
+//!
+//! Commands:
+//!   <query>                 run an extended triple-pattern query
+//!   :explain <n>            explain answer n of the last query
+//!   :complete <prefix>      auto-complete a term prefix
+//!   :rule <p1> => <p2> <w>  add a user predicate-rewrite rule
+//!   :quit                   exit
+
+use std::io::{self, BufRead, Write};
+
+use trinit_core::fixtures::{paper_rules, paper_store};
+use trinit_core::{Engine, QueryOutcome, Session, Trinit};
+use trinit_core::relax::{Rule, RuleProvenance};
+use trinit_core::xkg::TermKind;
+
+fn print_outcome(system: &Trinit, outcome: &QueryOutcome) {
+    if outcome.answers.is_empty() {
+        println!("(no answers — try :rule to add a relaxation)");
+        return;
+    }
+    for (i, a) in outcome.answers.iter().enumerate() {
+        let row = a
+            .key
+            .iter()
+            .map(|(v, t)| {
+                let name = outcome.query.var_name(*v);
+                let value = t
+                    .map(|t| system.store().display_term(t))
+                    .unwrap_or_else(|| "-".to_string());
+                format!("?{name} = {value}")
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let tag = if a.derivation.is_exact() { " " } else { "~" };
+        println!("{:>3}.{tag} {row}   ({:.3})", i + 1, a.score);
+    }
+    for s in system.suggest(outcome) {
+        println!("     note: {}", s.render());
+    }
+}
+
+fn main() {
+    let store = paper_store();
+    let rules = paper_rules(&store);
+    let system = Trinit::from_parts(store, rules);
+    let mut session = Session::new(&system);
+    let mut last: Option<QueryOutcome> = None;
+
+    println!("TriniT explorer — paper fixture loaded ({} triples, {} rules)",
+        system.stats().total_triples(), system.rules().len());
+    println!("try:  AlbertEinstein affiliation ?x . ?x member IvyLeague");
+    println!("      ?x bornIn Germany");
+    println!("      AlbertEinstein 'won nobel for' ?x\n");
+
+    let stdin = io::stdin();
+    loop {
+        print!("trinit> ");
+        io::stdout().flush().ok();
+        let Some(Ok(line)) = stdin.lock().lines().next() else {
+            break;
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        if let Some(prefix) = line.strip_prefix(":complete ") {
+            for c in system.complete(prefix.trim(), 8) {
+                let kind = match c.kind {
+                    TermKind::Resource => "resource",
+                    TermKind::Token => "token",
+                    TermKind::Literal => "literal",
+                };
+                println!("  {}  [{kind}]", c.text);
+            }
+            continue;
+        }
+        if let Some(n) = line.strip_prefix(":explain ") {
+            let Ok(idx) = n.trim().parse::<usize>() else {
+                println!("usage: :explain <answer number>");
+                continue;
+            };
+            match last
+                .as_ref()
+                .and_then(|o| system.explain(o, idx.saturating_sub(1)))
+            {
+                Some(e) => print!("{}", e.render()),
+                None => println!("no such answer"),
+            }
+            continue;
+        }
+        if let Some(spec) = line.strip_prefix(":rule ") {
+            // Syntax: <p1> => <p2> <weight>
+            let parts: Vec<&str> = spec.split("=>").collect();
+            let (Some(lhs), Some(rest)) = (parts.first(), parts.get(1)) else {
+                println!("usage: :rule <p1> => <p2> <weight>");
+                continue;
+            };
+            let rest: Vec<&str> = rest.trim().rsplitn(2, ' ').collect();
+            let (Some(w), Some(p2)) = (rest.first(), rest.get(1)) else {
+                println!("usage: :rule <p1> => <p2> <weight>");
+                continue;
+            };
+            let weight: f64 = w.parse().unwrap_or(0.5);
+            let resolve = |name: &str| {
+                let name = name.trim().trim_matches('\'');
+                system
+                    .store()
+                    .resource(name)
+                    .or_else(|| system.store().token(name))
+            };
+            match (resolve(lhs), resolve(p2)) {
+                (Some(a), Some(b)) => {
+                    session.add_rule(Rule::predicate_rewrite(
+                        format!("user: {} => {}", lhs.trim(), p2.trim()),
+                        a,
+                        b,
+                        weight,
+                        RuleProvenance::UserDefined,
+                    ));
+                    println!("rule added ({} user rules)", session.user_rule_count());
+                }
+                _ => println!("unknown predicate(s)"),
+            }
+            continue;
+        }
+        match system.parse(line) {
+            Ok(query) => {
+                let outcome = session.run(query, Engine::IncrementalTopK);
+                print_outcome(&system, &outcome);
+                last = Some(outcome);
+            }
+            Err(e) => println!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Join-intensive entity-relationship search over a synthetic web-scale
+//! world — the "advanced information needs of journalists, market
+//! analysts, and other knowledge workers" scenario of paper §5.
+//!
+//! Builds a full system from a generated world (incomplete KG + Open IE
+//! over raw text), then runs multi-pattern queries "that connect multiple
+//! entities by their relationships", where "no single Web page has the
+//! contents to match all query conditions".
+//!
+//! ```text
+//! cargo run --release --example journalist
+//! ```
+
+use trinit_core::TrinitBuilder;
+use trinit_core::worldgen::{CorpusConfig, KgConfig, World, WorldConfig};
+
+fn main() {
+    println!("generating world + incomplete KG + web corpus ...");
+    let world = World::generate(WorldConfig::demo(7).scaled(0.15));
+    let mut corpus = CorpusConfig::demo(8);
+    corpus.documents = 1200;
+    let system = TrinitBuilder::from_world(&world, &KgConfig::default(), &corpus).build();
+    let stats = system.stats();
+    println!(
+        "built XKG: {} KG + {} Open IE = {} distinct triples, {} mined rules\n",
+        stats.kg_triples,
+        stats.xkg_triples,
+        stats.total_triples(),
+        stats.rules
+    );
+
+    // Pick a real league and a real country from the generated world so
+    // the investigation has answers.
+    let league = world
+        .of_type(trinit_core::worldgen::EntityType::League)
+        .first()
+        .map(|&id| world.entity(id).resource.clone())
+        .expect("world has a league");
+    let country = world
+        .of_type(trinit_core::worldgen::EntityType::Country)
+        .first()
+        .map(|&id| world.entity(id).resource.clone())
+        .expect("world has a country");
+
+    let investigations = [
+        (
+            "prize winners and where they studied".to_string(),
+            "?x wonPrize ?p . ?x graduatedFrom ?u LIMIT 10".to_string(),
+        ),
+        (
+            format!("people affiliated with {league} members"),
+            format!("?x affiliation ?u . ?u member {league} LIMIT 10"),
+        ),
+        (
+            format!("who was born in {country} (country-level ask)"),
+            format!("?x bornIn {country} LIMIT 10"),
+        ),
+        (
+            "advisors of people employed in industry".to_string(),
+            "?x worksFor ?c . ?x 'studied under' ?a LIMIT 10".to_string(),
+        ),
+    ];
+
+    for (need, query) in investigations {
+        println!("## {need}");
+        println!("   {query}");
+        match system.query(&query) {
+            Ok(outcome) => {
+                if outcome.answers.is_empty() {
+                    println!("   (no answers)");
+                }
+                for a in outcome.answers.iter().take(5) {
+                    let row = a
+                        .key
+                        .iter()
+                        .map(|(v, t)| {
+                            let name = outcome.query.var_name(*v);
+                            let value = t
+                                .map(|t| system.store().display_term(t))
+                                .unwrap_or_else(|| "-".to_string());
+                            format!("?{name}={value}")
+                        })
+                        .collect::<Vec<_>>()
+                        .join("  ");
+                    let tag = if a.derivation.is_exact() {
+                        "exact"
+                    } else {
+                        "relaxed"
+                    };
+                    println!("   [{tag}] {row}");
+                }
+                for s in system.suggest(&outcome).into_iter().take(2) {
+                    println!("   note: {}", s.render());
+                }
+            }
+            Err(e) => println!("   {e}"),
+        }
+        println!();
+    }
+}

@@ -1,0 +1,158 @@
+//! Integration: mined rules, user rules, sessions, suggestion, and the
+//! relaxation-driven recovery of missing answers on a generated system.
+
+use trinit_core::relax::{mine_cooccurrence, MinerConfig, Rule, RuleKind, RuleProvenance};
+use trinit_core::worldgen::{CorpusConfig, EntityType, KgConfig, World, WorldConfig};
+use trinit_core::xkg::args_pairs;
+use trinit_core::{Engine, Session, TrinitBuilder};
+
+fn system() -> (World, trinit_core::Trinit) {
+    let world = World::generate(WorldConfig::tiny(53).scaled(3.0));
+    let mut corpus = CorpusConfig::tiny(53);
+    corpus.documents = 300;
+    let sys = TrinitBuilder::from_world(&world, &KgConfig::default(), &corpus).build();
+    (world, sys)
+}
+
+#[test]
+fn mined_weights_satisfy_paper_formula() {
+    let (_, sys) = system();
+    let mined = mine_cooccurrence(sys.store(), &MinerConfig::default());
+    assert!(!mined.is_empty());
+    for m in mined.iter().take(25) {
+        // Recompute w(p1→p2) = |args(p1) ∩ args(p2)| / |args(p2)| from
+        // the raw store and compare.
+        let a1 = args_pairs(sys.store(), m.p1);
+        let a2 = args_pairs(sys.store(), m.p2);
+        let overlap = match m.rule.kind {
+            RuleKind::Inversion => a1
+                .iter()
+                .filter(|(s, o)| a2.binary_search(&(*o, *s)).is_ok())
+                .count(),
+            _ => a1
+                .iter()
+                .filter(|pair| a2.binary_search(pair).is_ok())
+                .count(),
+        };
+        assert_eq!(overlap, m.overlap, "{}", m.rule.label);
+        assert_eq!(a2.len(), m.args_p2, "{}", m.rule.label);
+        let expected = overlap as f64 / a2.len() as f64;
+        assert!(
+            (m.rule.weight - expected).abs() < 1e-9,
+            "{}: {} vs {}",
+            m.rule.label,
+            m.rule.weight,
+            expected
+        );
+    }
+}
+
+#[test]
+fn mining_discovers_inversions_between_kg_and_text() {
+    let (_, sys) = system();
+    let mined = mine_cooccurrence(sys.store(), &MinerConfig::default());
+    let has_student = sys.store().resource("hasStudent").unwrap();
+    assert!(
+        mined.iter().any(|m| m.rule.kind == RuleKind::Inversion
+            && (m.p1 == has_student || m.p2 == has_student)),
+        "advisor/student inversion should be mined from 'studied under' text"
+    );
+}
+
+#[test]
+fn relaxation_recovers_kg_dropped_answers() {
+    let (world, sys) = system();
+    // Find a person whose affiliation is NOT answerable exactly but IS
+    // answerable with relaxation.
+    let mut recovered = 0;
+    for &pid in world.of_type(EntityType::Person).iter().take(60) {
+        let person = &world.entity(pid).resource;
+        let text = format!("{person} affiliation ?x LIMIT 5");
+        let exact = sys.run(sys.parse(&text).unwrap(), Engine::Exact);
+        if !exact.answers.is_empty() {
+            continue;
+        }
+        let relaxed = sys.run(sys.parse(&text).unwrap(), Engine::IncrementalTopK);
+        if !relaxed.answers.is_empty() {
+            recovered += 1;
+            assert!(!relaxed.answers[0].derivation.is_exact());
+        }
+    }
+    assert!(recovered > 0, "relaxation should recover some empty queries");
+}
+
+#[test]
+fn session_rules_extend_but_do_not_mutate_system() {
+    let (_, sys) = system();
+    let base_rules = sys.rules().len();
+    let mut session = Session::new(&sys);
+    let born = sys.store().resource("bornIn").unwrap();
+    let died = sys.store().resource("diedIn").unwrap();
+    session.add_rule(Rule::predicate_rewrite(
+        "born~died",
+        born,
+        died,
+        0.3,
+        RuleProvenance::UserDefined,
+    ));
+    assert_eq!(session.rules().len(), base_rules + 1);
+    assert_eq!(sys.rules().len(), base_rules, "system set untouched");
+}
+
+#[test]
+fn explanations_cover_all_derivation_parts() {
+    let (world, sys) = system();
+    let person = &world.entity(world.of_type(EntityType::Person)[0]).resource;
+    let outcome = sys
+        .query(&format!("{person} 'studied under' ?x LIMIT 3"))
+        .unwrap();
+    if let Some(explanation) = sys.explain(&outcome, 0) {
+        let text = explanation.render();
+        assert!(text.contains("answer:"));
+        assert!(text.contains("contributing KG triples:"));
+        assert!(text.contains("contributing XKG triples:"));
+        assert!(text.contains("invoked relaxation rules:"));
+    }
+}
+
+#[test]
+fn suggestions_point_tokens_at_canonical_predicates() {
+    let (world, sys) = system();
+    // 'studied under' overlaps hasStudent (inverted) and other text
+    // predicates; the forward-overlap suggester should at least produce
+    // something for a token query with matches.
+    let mut any = false;
+    for &pid in world.of_type(EntityType::Person).iter().take(40) {
+        let person = &world.entity(pid).resource;
+        let outcome = sys
+            .query(&format!("{person} 'worked at' ?x LIMIT 5"))
+            .unwrap();
+        if !sys.suggest(&outcome).is_empty() {
+            any = true;
+            break;
+        }
+    }
+    assert!(any, "token queries should generate suggestions");
+}
+
+#[test]
+fn zero_weight_rules_never_contribute() {
+    let (world, sys) = system();
+    let mut session = Session::without_system_rules(&sys);
+    let born = sys.store().resource("bornIn").unwrap();
+    let died = sys.store().resource("diedIn").unwrap();
+    session.add_rule(Rule::predicate_rewrite(
+        "useless",
+        born,
+        died,
+        0.0,
+        RuleProvenance::UserDefined,
+    ));
+    let person = &world.entity(world.of_type(EntityType::Person)[0]).resource;
+    let outcome = session
+        .query(&format!("{person} bornIn ?x LIMIT 10"))
+        .unwrap();
+    for a in &outcome.answers {
+        assert!(a.derivation.is_exact(), "zero-weight rule must be pruned");
+    }
+}
