@@ -1,0 +1,1 @@
+//! Benchmark-only crate; see `benches/` for the E1–E6 series.

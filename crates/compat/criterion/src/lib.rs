@@ -1,0 +1,215 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! This build environment has no access to a crates.io registry, so the
+//! workspace vendors the surface its benches use: `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `BenchmarkId::new`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, one warmup call sizes the iteration
+//! count to ~60 ms per sample, then `sample_size` samples are timed and
+//! the median ns/iter is reported. Passing `--quick` (used by CI smoke
+//! runs) collapses this to a single one-iteration sample. Each result is
+//! printed as a human line plus a machine-readable
+//! `CRITERION_JSON {...}` line for downstream tooling.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export for parity with criterion's hint.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    quick: bool,
+    result_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, storing the median ns/iter.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup + calibration.
+        let t0 = Instant::now();
+        black_box(routine());
+        let per_iter = t0.elapsed().max(Duration::from_nanos(1));
+
+        let (samples, iters) = if self.quick {
+            (1usize, 1u64)
+        } else {
+            let target = Duration::from_millis(60);
+            let iters = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64;
+            // Bound total wall time to ~2 s per benchmark.
+            let budget = Duration::from_secs(2).as_nanos();
+            let per_sample = per_iter.as_nanos() * u128::from(iters);
+            let max_samples = (budget / per_sample.max(1)).clamp(1, self.samples as u128) as usize;
+            (max_samples, iters)
+        };
+
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            times.push(ns);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = Some(times[times.len() / 2]);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(full_id: &str, samples: usize, quick: bool, mut f: F) {
+    let mut b = Bencher {
+        samples,
+        quick,
+        result_ns: None,
+    };
+    f(&mut b);
+    match b.result_ns {
+        Some(ns) => {
+            println!("bench {full_id:<50} {ns:>14.0} ns/iter");
+            println!("CRITERION_JSON {{\"id\":\"{full_id}\",\"ns_per_iter\":{ns:.1}}}");
+        }
+        None => println!("bench {full_id:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Criterion {
+    /// Reads CLI flags; `--quick` runs one iteration per benchmark (CI
+    /// smoke mode). Other flags (`--bench`, filters) are ignored.
+    pub fn configure_from_args() -> Criterion {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion { quick }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            samples: 10,
+        }
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Criterion {
+        run_one(&id.into().id, 10, self.quick, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.samples, self.criterion.quick, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher {
+            samples: 3,
+            quick: true,
+            result_ns: None,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.result_ns.is_some());
+        assert!(b.result_ns.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("topk", 5);
+        assert_eq!(id.id, "topk/5");
+        let from: BenchmarkId = "plain".into();
+        assert_eq!(from.id, "plain");
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! This build environment has no access to a crates.io registry, so the
+//! workspace vendors the exact API surface it uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over half-open
+//! ranges, and [`Rng::gen_bool`]. The generator is deterministic for a
+//! given seed (a requirement of `trinit-worldgen`), but its stream is
+//! *not* bit-compatible with the real `rand::rngs::StdRng`.
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Produces the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`] (mirroring rand 0.8's `Rng` extension trait).
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can be sampled from.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (unit_f64(rng.next_u64()) as f32) * (self.end - self.start)
+    }
+}
+
+/// Maps a random word to `[0, 1)` with 53 bits of precision.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (xorshift* over a SplitMix64-seeded
+    /// state). Statistically adequate for synthetic data generation; not
+    /// cryptographic and not stream-compatible with real `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 scramble so small seeds diverge immediately.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            StdRng { state: z ^ (z >> 31) | 1 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* (Vigna); period 2^64 - 1 over nonzero states.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..100)
+            .filter(|_| a.gen_range(0u32..1000) == b.gen_range(0u32..1000))
+            .count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(5usize..8);
+            assert!((5..8).contains(&v));
+            let f = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let i = rng.gen_range(-10i32..-2);
+            assert!((-10..-2).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn works_through_unsized_bound() {
+        fn pick<R: Rng + ?Sized>(rng: &mut R) -> usize {
+            rng.gen_range(0..4)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = pick(&mut rng);
+        assert!(v < 4);
+    }
+}

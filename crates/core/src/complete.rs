@@ -107,7 +107,7 @@ mod tests {
         let c = Completer::build(&store);
         let results = c.complete("", 100);
         let mut sorted = results.clone();
-        sorted.sort_by(|a, b| a.text.to_lowercase().cmp(&b.text.to_lowercase()));
+        sorted.sort_by_key(|a| a.text.to_lowercase());
         assert_eq!(results, sorted);
     }
 }

@@ -154,6 +154,10 @@ pub fn processing_report(
         m.posting_lists_built
     ));
     out.push_str(&format!(
+        "  posting-cache hits:          {}\n",
+        m.posting_cache_hits
+    ));
+    out.push_str(&format!(
         "  relaxations invoked:         {}\n",
         m.relaxations_opened
     ));

@@ -211,7 +211,7 @@ mod tests {
         let p = pipeline();
         let mut b = XkgBuilder::new();
         let sentence = "Ada Lum lectured at Velmora University.".to_string();
-        p.ingest("doc-a", &[sentence.clone()], &mut b);
+        p.ingest("doc-a", std::slice::from_ref(&sentence), &mut b);
         p.ingest("doc-b", &[sentence], &mut b);
         let store = b.build();
         let pred = store.token("lectured at").unwrap();

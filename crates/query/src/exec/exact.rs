@@ -6,8 +6,10 @@
 //! the pattern's full match set, not the partially-bound lookup used for
 //! enumeration — enumeration strategy must not change scores.
 
+use std::collections::HashMap;
+
 use trinit_relax::{QPattern, QTerm, RuleId};
-use trinit_xkg::{SlotPattern, XkgStore};
+use trinit_xkg::{SlotPattern, TripleId, XkgStore};
 
 use crate::answer::{Answer, Bindings, Derivation};
 use crate::ast::Query;
@@ -34,7 +36,7 @@ pub fn evaluate(
     }
 
     // Scorers for the as-written patterns.
-    let scorers: Vec<ScoredMatches> = patterns
+    let scorers: Vec<ScoredMatches<'_>> = patterns
         .iter()
         .map(|p| {
             metrics.posting_lists_built += 1;
@@ -44,6 +46,12 @@ pub fn evaluate(
     if scorers.iter().any(ScoredMatches::is_empty) {
         return Vec::new();
     }
+    // O(1) probability probes for the join recursion (a linear scan per
+    // candidate would make the join quadratic in the match-set size).
+    let prob_maps: Vec<HashMap<TripleId, f64>> = scorers
+        .iter()
+        .map(|s| s.entries().iter().map(|e| (e.triple, e.prob)).collect())
+        .collect();
 
     let order = plan_order(store, patterns);
     let n_vars = patterns
@@ -60,7 +68,7 @@ pub fn evaluate(
     recurse(
         store,
         patterns,
-        &scorers,
+        &prob_maps,
         &order,
         0,
         &mut bindings,
@@ -100,7 +108,7 @@ fn substituted(pattern: &QPattern, bindings: &Bindings) -> SlotPattern {
 fn recurse(
     store: &XkgStore,
     patterns: &[QPattern],
-    scorers: &[ScoredMatches],
+    prob_maps: &[HashMap<TripleId, f64>],
     order: &[usize],
     depth: usize,
     bindings: &mut Bindings,
@@ -131,13 +139,13 @@ fn recurse(
         }
         if ok {
             metrics.join_candidates += 1;
-            let prob = scorers[pi].prob_of(id);
+            let prob = prob_maps[pi].get(&id).copied().unwrap_or(0.0);
             let step = ln_weight(prob);
             matched.push((*pattern, id));
             recurse(
                 store,
                 patterns,
-                scorers,
+                prob_maps,
                 order,
                 depth + 1,
                 bindings,

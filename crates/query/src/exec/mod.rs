@@ -21,8 +21,14 @@ pub mod topk;
 /// which the paper's efficiency claim (§4) is measured.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecMetrics {
-    /// Posting lists materialized (index lookups with scoring).
+    /// Posting lists opened (index lookups with scoring). Counted per
+    /// open, including borrow-served lists (which cost no allocation);
+    /// opens answered by the per-execution cache are counted in
+    /// [`ExecMetrics::posting_cache_hits`] instead.
     pub posting_lists_built: usize,
+    /// Posting lists served from the per-execution cache instead of
+    /// being rebuilt (structural variants sharing a canonical pattern).
+    pub posting_cache_hits: usize,
     /// Entries consumed from posting lists (depth of sorted access).
     pub postings_scanned: usize,
     /// Relaxed pattern alternatives actually opened.
@@ -37,6 +43,7 @@ impl ExecMetrics {
     /// Merges another run's counters into this one.
     pub fn merge(&mut self, other: &ExecMetrics) {
         self.posting_lists_built += other.posting_lists_built;
+        self.posting_cache_hits += other.posting_cache_hits;
         self.postings_scanned += other.postings_scanned;
         self.relaxations_opened += other.relaxations_opened;
         self.rewritings_evaluated += other.rewritings_evaluated;

@@ -29,7 +29,9 @@
 //!   rewrite the query as a whole; each variant runs through the machinery
 //!   above, sharing one global answer collector.
 
+use std::cell::RefCell;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 use trinit_relax::{apply_rule, apply_rule_with, canonical_key, QPattern, QTerm, Rule, RuleId, RuleSet, VarId};
 use trinit_xkg::{TripleId, XkgStore};
@@ -37,7 +39,7 @@ use trinit_xkg::{TripleId, XkgStore};
 use crate::answer::{Answer, AnswerCollector, Bindings, Derivation};
 use crate::ast::Query;
 use crate::exec::ExecMetrics;
-use crate::score::{ln_weight, ScoredMatches, LOG_ZERO};
+use crate::score::{ln_weight, PostingCache, ScoredMatches, LOG_ZERO};
 
 /// Configuration of the incremental top-k processor.
 #[derive(Debug, Clone)]
@@ -75,11 +77,11 @@ fn is_mergeable(rule: &Rule) -> bool {
 
 /// One relaxed form of a single pattern.
 #[derive(Debug, Clone)]
-struct Alternative {
+struct Alternative<'s> {
     pattern: QPattern,
     weight: f64,
     trace: Vec<RuleId>,
-    matches: Option<ScoredMatches>,
+    matches: Option<ScoredMatches<'s>>,
 }
 
 /// Computes the alternatives of one pattern under the mergeable rules.
@@ -87,13 +89,13 @@ struct Alternative {
 /// `fresh_base` is the first variable id this pattern may allocate for
 /// RHS-fresh rule variables; callers give each pattern a disjoint range
 /// so fresh variables of different streams never alias.
-fn pattern_alternatives(
+fn pattern_alternatives<'s>(
     pattern: &QPattern,
     rules: &RuleSet,
     cfg: &TopkConfig,
     fresh_base: u16,
-) -> Vec<Alternative> {
-    let mut out: Vec<Alternative> = vec![Alternative {
+) -> Vec<Alternative<'s>> {
+    let mut out: Vec<Alternative<'s>> = vec![Alternative {
         pattern: *pattern,
         weight: 1.0,
         trace: Vec::new(),
@@ -237,12 +239,20 @@ pub struct Merged {
 /// when its upper bound reaches the top of the queue.
 pub struct IncrementalMerge<'a> {
     store: &'a XkgStore,
-    alts: Vec<Alternative>,
+    alts: Vec<Alternative<'a>>,
     heap: BinaryHeap<MergeEntry>,
+    /// Shared per-execution posting cache: structural variants and
+    /// alternatives with the same canonical pattern reuse one
+    /// materialized list.
+    cache: Rc<RefCell<PostingCache>>,
 }
 
 impl<'a> IncrementalMerge<'a> {
-    fn new(store: &'a XkgStore, alts: Vec<Alternative>) -> IncrementalMerge<'a> {
+    fn new(
+        store: &'a XkgStore,
+        alts: Vec<Alternative<'a>>,
+        cache: Rc<RefCell<PostingCache>>,
+    ) -> IncrementalMerge<'a> {
         let mut heap = BinaryHeap::with_capacity(alts.len());
         for (i, alt) in alts.iter().enumerate() {
             heap.push(MergeEntry {
@@ -251,7 +261,12 @@ impl<'a> IncrementalMerge<'a> {
                 opened: false,
             });
         }
-        IncrementalMerge { store, alts, heap }
+        IncrementalMerge {
+            store,
+            alts,
+            heap,
+            cache,
+        }
     }
 
     /// Upper bound on the probability of the next emission, or `None` if
@@ -267,12 +282,21 @@ impl<'a> IncrementalMerge<'a> {
             let alt = &mut self.alts[entry.alt];
             if !entry.opened {
                 // Materialize the alternative's posting list now — this is
-                // the moment the relaxation is "invoked".
-                metrics.posting_lists_built += 1;
+                // the moment the relaxation is "invoked". The cache serves
+                // structural variants sharing this canonical pattern.
                 if !alt.trace.is_empty() {
                     metrics.relaxations_opened += 1;
                 }
-                let matches = ScoredMatches::build(self.store, &alt.pattern);
+                let (matches, cache_hit) = ScoredMatches::build_cached(
+                    self.store,
+                    &alt.pattern,
+                    &mut self.cache.borrow_mut(),
+                );
+                if cache_hit {
+                    metrics.posting_cache_hits += 1;
+                } else {
+                    metrics.posting_lists_built += 1;
+                }
                 if let Some(p) = matches.peek_prob() {
                     self.heap.push(MergeEntry {
                         bound: alt.weight * p,
@@ -427,6 +451,9 @@ pub fn run(
     let projection = query.effective_projection();
     let k = query.k.max(1);
 
+    // One posting cache for the whole execution: structural variants that
+    // share a relaxed pattern never rebuild its matches.
+    let cache = Rc::new(RefCell::new(PostingCache::new()));
     let variants = structural_variants(store, &query.patterns, rules, cfg);
     for (variant_patterns, variant_weight, variant_trace) in variants {
         metrics.rewritings_evaluated += 1;
@@ -440,6 +467,7 @@ pub fn run(
             &variant_trace,
             &projection,
             k,
+            &cache,
             &mut collector,
             &mut metrics,
         );
@@ -458,6 +486,7 @@ fn run_variant(
     variant_trace: &[RuleId],
     projection: &[VarId],
     k: usize,
+    cache: &Rc<RefCell<PostingCache>>,
     collector: &mut AnswerCollector,
     metrics: &mut ExecMetrics,
 ) {
@@ -479,7 +508,7 @@ fn run_variant(
             let fresh_base = max_var + (i as u16) * 8;
             let alts = pattern_alternatives(p, rules, cfg, fresh_base);
             Stream {
-                merge: IncrementalMerge::new(store, alts),
+                merge: IncrementalMerge::new(store, alts, Rc::clone(cache)),
                 seen: Vec::new(),
                 best_log: LOG_ZERO,
                 exhausted: false,
@@ -518,13 +547,15 @@ fn run_variant(
                 if streams[next].seen.is_empty() {
                     streams[next].best_log = log_score;
                 }
-                streams[next].seen.push(item.clone());
 
-                // Join the new item with the seen items of other streams.
+                // Join the new item with the seen items of other streams
+                // (its own stream is skipped, so joining before remembering
+                // the item is equivalent and saves a clone).
                 join_with_others(
                     &streams, next, &item, variant_log, variant_trace, projection, collector,
                     metrics,
                 );
+                streams[next].seen.push(item);
             }
         }
 

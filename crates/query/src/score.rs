@@ -12,122 +12,231 @@
 //! attenuated by the rule weight; an answer's score is the product of its
 //! pattern probabilities (kept in log space); the score of an answer is
 //! the max over its derivations.
+//!
+//! [`ScoredMatches`] is a thin view over the store's shared posting
+//! machinery ([`trinit_xkg::PostingList`]): patterns without repeated
+//! variables delegate directly — predicate-only and unbound shapes are
+//! borrowed slices of the build-time posting index, zero allocation and
+//! zero sorting per query. Patterns that repeat a variable (`?x p ?x`)
+//! filter the shared list and renormalize over the filtered set; since
+//! the source is already score-sorted, filtering preserves order and no
+//! re-sort happens. A [`PostingCache`] shares materialized lists across
+//! an execution, so structural variants touching the same canonical
+//! pattern never rebuild its matches.
 
-use trinit_relax::QPattern;
-use trinit_xkg::{TripleId, XkgStore};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use trinit_relax::{QPattern, QTerm};
+use trinit_xkg::{Posting, PostingList, SlotPattern, TripleId, XkgStore};
+
+/// Bitmask of within-pattern variable-equality constraints: bit 0 =
+/// subject/predicate, bit 1 = subject/object, bit 2 = predicate/object.
+/// Two patterns with equal slot patterns and equal masks have identical
+/// match sets and probabilities regardless of variable naming.
+fn repetition_mask(pattern: &QPattern) -> u8 {
+    let slots = pattern.slots();
+    let mut mask = 0u8;
+    for (bit, (i, j)) in [(0usize, 1usize), (0, 2), (1, 2)].into_iter().enumerate() {
+        if let (QTerm::Var(a), QTerm::Var(b)) = (slots[i], slots[j]) {
+            if a == b {
+                mask |= 1 << bit;
+            }
+        }
+    }
+    mask
+}
+
+/// True if `triple` satisfies the variable-equality constraints in `mask`.
+#[inline]
+fn satisfies_mask(store: &XkgStore, id: TripleId, mask: u8) -> bool {
+    if mask == 0 {
+        return true;
+    }
+    let t = store.triple(id);
+    (mask & 0b001 == 0 || t.s == t.p)
+        && (mask & 0b010 == 0 || t.s == t.o)
+        && (mask & 0b100 == 0 || t.p == t.o)
+}
+
+/// Canonical identity of a pattern's match set: the storage-level slot
+/// pattern plus the repetition constraints.
+pub type CanonicalPattern = (SlotPattern, u8);
+
+/// The canonical key under which a pattern's matches are cached.
+pub fn canonical_pattern(pattern: &QPattern) -> CanonicalPattern {
+    (pattern.slot_pattern(), repetition_mask(pattern))
+}
+
+/// Per-execution cache of materialized posting lists, keyed by
+/// [`CanonicalPattern`]. Borrow-served pattern shapes are never inserted
+/// (they are already free); only shapes that would re-sort or re-filter
+/// are shared.
+#[derive(Debug, Default)]
+pub struct PostingCache {
+    map: HashMap<CanonicalPattern, (Rc<[Posting]>, f64)>,
+}
+
+impl PostingCache {
+    /// An empty cache.
+    pub fn new() -> PostingCache {
+        PostingCache::default()
+    }
+
+    /// Number of cached lists.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// Matches of a query pattern in descending probability order, with a
 /// cursor for incremental sorted access.
 ///
-/// Unlike [`trinit_xkg::PostingList`], this respects *within-pattern*
+/// Unlike a raw [`trinit_xkg::PostingList`], this respects *within-pattern*
 /// variable repetition (`?x p ?x` only matches triples with `s == o`) and
 /// normalizes probabilities over the filtered match set.
 #[derive(Debug, Clone)]
-pub struct ScoredMatches {
-    entries: Vec<(TripleId, f64)>,
-    total_weight: f64,
-    cursor: usize,
+pub struct ScoredMatches<'s> {
+    list: PostingList<'s>,
 }
 
-impl ScoredMatches {
+impl<'s> ScoredMatches<'s> {
     /// Builds the scored matches of `pattern` over `store`.
-    pub fn build(store: &XkgStore, pattern: &QPattern) -> ScoredMatches {
-        let slot = pattern.slot_pattern();
-        let candidates = store.lookup(&slot);
-        let mut entries: Vec<(TripleId, f64)> = Vec::with_capacity(candidates.len());
-        let mut total_weight = 0.0f64;
-        for &id in candidates {
-            if !within_pattern_consistent(pattern, store, id) {
-                continue;
-            }
-            let w = store.provenance(id).weight();
-            total_weight += w;
-            entries.push((id, w));
-        }
-        for e in &mut entries {
-            e.1 = if total_weight > 0.0 {
-                e.1 / total_weight
-            } else {
-                0.0
+    pub fn build(store: &'s XkgStore, pattern: &QPattern) -> ScoredMatches<'s> {
+        let (slot, mask) = canonical_pattern(pattern);
+        if mask == 0 {
+            return ScoredMatches {
+                list: PostingList::build(store, &slot),
             };
         }
-        entries.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("probabilities are finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        let (entries, total) = filtered_entries(store, &slot, mask);
         ScoredMatches {
-            entries,
-            total_weight,
-            cursor: 0,
+            list: PostingList::from_owned(entries, total),
         }
+    }
+
+    /// Builds through `cache`, sharing materialized lists across patterns
+    /// with the same canonical form. Returns the view and whether it was
+    /// served from the cache. Borrow-served shapes bypass the cache
+    /// entirely (they cost nothing to begin with).
+    pub fn build_cached(
+        store: &'s XkgStore,
+        pattern: &QPattern,
+        cache: &mut PostingCache,
+    ) -> (ScoredMatches<'s>, bool) {
+        let key = canonical_pattern(pattern);
+        let (slot, mask) = key;
+        if mask == 0 && is_borrow_served(&slot) {
+            return (
+                ScoredMatches {
+                    list: PostingList::build(store, &slot),
+                },
+                false,
+            );
+        }
+        if let Some((entries, total)) = cache.map.get(&key) {
+            return (
+                ScoredMatches {
+                    list: PostingList::from_shared(Rc::clone(entries), *total),
+                },
+                true,
+            );
+        }
+        let (entries, total) = if mask == 0 {
+            let built = PostingList::build(store, &slot);
+            let total = built.total_weight();
+            (built.into_entries(), total)
+        } else {
+            filtered_entries(store, &slot, mask)
+        };
+        let shared: Rc<[Posting]> = entries.into();
+        cache.map.insert(key, (Rc::clone(&shared), total));
+        (
+            ScoredMatches {
+                list: PostingList::from_shared(shared, total),
+            },
+            false,
+        )
     }
 
     /// Number of (filtered) matches.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.list.len()
     }
 
     /// True if the pattern has no matches.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.list.is_empty()
     }
 
     /// Total emission weight over the filtered matches.
     pub fn total_weight(&self) -> f64 {
-        self.total_weight
+        self.list.total_weight()
     }
 
-    /// All `(triple, probability)` entries in descending order.
-    pub fn entries(&self) -> &[(TripleId, f64)] {
-        &self.entries
+    /// All entries in descending probability order (ignores the cursor).
+    pub fn entries(&self) -> &[Posting] {
+        self.list.entries()
     }
 
     /// Emission probability of one triple under this pattern (0.0 if the
     /// triple does not match).
     pub fn prob_of(&self, id: TripleId) -> f64 {
-        self.entries
+        self.list
+            .entries()
             .iter()
-            .find(|(t, _)| *t == id)
-            .map(|(_, p)| *p)
+            .find(|e| e.triple == id)
+            .map(|e| e.prob)
             .unwrap_or(0.0)
     }
 
     /// Probability of the next unconsumed entry.
     pub fn peek_prob(&self) -> Option<f64> {
-        self.entries.get(self.cursor).map(|(_, p)| *p)
+        self.list.peek_prob()
     }
 
     /// Consumes and returns the next entry in descending order.
     pub fn next_entry(&mut self) -> Option<(TripleId, f64)> {
-        let e = self.entries.get(self.cursor).copied()?;
-        self.cursor += 1;
-        Some(e)
+        self.list.next_posting().map(|p| (p.triple, p.prob))
     }
 
     /// Entries consumed so far.
     pub fn consumed(&self) -> usize {
-        self.cursor
+        self.list.consumed()
     }
 }
 
-/// Checks within-pattern variable-equality constraints of `pattern`
-/// against a concrete triple.
-fn within_pattern_consistent(pattern: &QPattern, store: &XkgStore, id: TripleId) -> bool {
-    use trinit_relax::QTerm;
-    let t = store.triple(id);
-    let slots = pattern.slots();
-    let values = [t.s, t.p, t.o];
-    for i in 0..3 {
-        for j in (i + 1)..3 {
-            if let (QTerm::Var(a), QTerm::Var(b)) = (slots[i], slots[j]) {
-                if a == b && values[i] != values[j] {
-                    return false;
-                }
-            }
-        }
+/// True if [`PostingList::build`] serves this shape as a borrowed slice
+/// of the precomputed posting index.
+#[inline]
+fn is_borrow_served(slot: &SlotPattern) -> bool {
+    matches!(
+        (slot.s, slot.p, slot.o),
+        (None, Some(_), None) | (None, None, None)
+    )
+}
+
+/// Filters the shared posting list by the repetition constraints and
+/// renormalizes. The source is already score-sorted, so the filtered
+/// subset needs no re-sort.
+fn filtered_entries(store: &XkgStore, slot: &SlotPattern, mask: u8) -> (Vec<Posting>, f64) {
+    let source = PostingList::build(store, slot);
+    let mut entries: Vec<Posting> = source
+        .entries()
+        .iter()
+        .filter(|e| satisfies_mask(store, e.triple, mask))
+        .copied()
+        .collect();
+    let total: f64 = entries.iter().map(|e| e.weight).sum();
+    for e in &mut entries {
+        e.prob = if total > 0.0 { e.weight / total } else { 0.0 };
     }
-    true
+    (entries, total)
 }
 
 /// A log-space score. Probabilities multiply; log scores add.
@@ -172,10 +281,10 @@ mod tests {
         let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
         let m = ScoredMatches::build(&store, &p);
         assert_eq!(m.len(), 4);
-        let sum: f64 = m.entries().iter().map(|(_, p)| p).sum();
+        let sum: f64 = m.entries().iter().map(|e| e.prob).sum();
         assert!((sum - 1.0).abs() < 1e-9);
         // KG facts (weight 1.0) outrank the 0.5-confidence extraction.
-        assert!(m.entries()[0].1 > m.entries()[3].1 - 1e-12);
+        assert!(m.entries()[0].prob > m.entries()[3].prob - 1e-12);
         assert!((m.total_weight() - 3.5).abs() < 1e-9);
     }
 
@@ -186,10 +295,10 @@ mod tests {
         let p = pat(&store, v, v);
         let m = ScoredMatches::build(&store, &p);
         assert_eq!(m.len(), 1, "only the self-loop matches ?x p ?x");
-        let (id, prob) = m.entries()[0];
-        let t = store.triple(id);
+        let e = m.entries()[0];
+        let t = store.triple(e.triple);
         assert_eq!(t.s, t.o);
-        assert!((prob - 1.0).abs() < 1e-9, "renormalized over filtered set");
+        assert!((e.prob - 1.0).abs() < 1e-9, "renormalized over filtered set");
     }
 
     #[test]
@@ -202,7 +311,7 @@ mod tests {
         let narrow = pat(&store, QTerm::Term(a), QTerm::Var(VarId(1)));
         let mb = ScoredMatches::build(&store, &broad);
         let mn = ScoredMatches::build(&store, &narrow);
-        let (id, _) = mn.entries()[0];
+        let id = mn.entries()[0].triple;
         assert!(mn.prob_of(id) > mb.prob_of(id));
     }
 
@@ -226,6 +335,48 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.peek_prob(), None);
         assert_eq!(m.next_entry(), None);
+    }
+
+    #[test]
+    fn cached_build_shares_materialized_lists() {
+        let store = store();
+        let mut cache = PostingCache::new();
+        // Bound-subject pattern: materialized, so cached.
+        let a = store.resource("a").unwrap();
+        let narrow = pat(&store, QTerm::Term(a), QTerm::Var(VarId(1)));
+        let (m1, hit1) = ScoredMatches::build_cached(&store, &narrow, &mut cache);
+        assert!(!hit1);
+        assert_eq!(cache.len(), 1);
+        // Same canonical pattern under different variable names: hit.
+        let renamed = pat(&store, QTerm::Term(a), QTerm::Var(VarId(7)));
+        let (m2, hit2) = ScoredMatches::build_cached(&store, &renamed, &mut cache);
+        assert!(hit2);
+        assert_eq!(m1.entries(), m2.entries());
+        assert_eq!(m1.total_weight(), m2.total_weight());
+        // Borrow-served shape (predicate-only): never inserted.
+        let broad = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let (_, hit3) = ScoredMatches::build_cached(&store, &broad, &mut cache);
+        assert!(!hit3);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree() {
+        let store = store();
+        let mut cache = PostingCache::new();
+        let v = QTerm::Var(VarId(0));
+        for p in [
+            pat(&store, v, v),
+            pat(&store, v, QTerm::Var(VarId(1))),
+            pat(&store, QTerm::Term(store.resource("a").unwrap()), v),
+        ] {
+            let plain = ScoredMatches::build(&store, &p);
+            let (cached, _) = ScoredMatches::build_cached(&store, &p, &mut cache);
+            assert_eq!(plain.entries(), cached.entries());
+            // And a second cached build (the hit path) agrees too.
+            let (hit, _) = ScoredMatches::build_cached(&store, &p, &mut cache);
+            assert_eq!(plain.entries(), hit.entries());
+        }
     }
 
     #[test]

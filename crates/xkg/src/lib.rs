@@ -14,10 +14,13 @@
 //!   compact [`TermId`]s;
 //! * [`XkgBuilder`] / [`XkgStore`] — a deduplicating triple store with
 //!   per-fact [`Provenance`] (stratum, confidence, support, sources);
-//! * six permutation indexes ([`index::TripleIndex`]) answering every
-//!   [`SlotPattern`] shape with a binary-searched range;
-//! * [`PostingList`] — score-sorted access to a pattern's matches, the
-//!   primitive required by the incremental top-k processor (paper §4);
+//! * six columnar permutation indexes ([`index::TripleIndex`]) answering
+//!   every [`SlotPattern`] shape with an allocation-free binary-searched
+//!   range over inline keys;
+//! * [`PostingIndex`] / [`PostingList`] — build-time score-sorted access
+//!   to a pattern's matches, the primitive required by the incremental
+//!   top-k processor (paper §4); predicate-only and unbound patterns are
+//!   served as borrowed slices without per-query sorting;
 //! * [`stats`] — predicate statistics and the `args(p)` sets used by the
 //!   relaxation miner (paper §3).
 
@@ -35,7 +38,7 @@ pub mod triple;
 
 pub use dict::TermDict;
 pub use pattern::SlotPattern;
-pub use posting::{Posting, PostingList};
+pub use posting::{Posting, PostingIndex, PostingList};
 pub use stats::{args_pairs, cardinality, PredicateStats, StoreStats};
 pub use store::{XkgBuilder, XkgStore};
 pub use term::{TermId, TermKind};

@@ -4,15 +4,31 @@
 //! of each triple pattern: "top-k query processing is based on the ability
 //! to access answers for a triple pattern in sorted order of their scores".
 //!
-//! A [`PostingList`] materializes the matches of a [`SlotPattern`] ordered
-//! by descending emission weight (`support × confidence`, the tf-like
-//! component) and exposes the pattern's total weight, whose reciprocal is
-//! the idf-like selectivity component: the emission probability of a match
-//! is `weight / total_weight`.
+//! # Precomputed posting index
+//!
+//! The store freezes a [`PostingIndex`] at build time — the paper's
+//! "triple pattern index lists" made literal:
+//!
+//! * **Per predicate**: every triple, grouped by predicate, each group
+//!   ordered by descending emission weight (`support × confidence`) with
+//!   ties broken by triple id, probabilities pre-normalized over the
+//!   group, and prefix-summed weights for O(1) weight-of-prefix queries.
+//! * **Unbound-predicate stratum**: one global list of all triples in the
+//!   same order, normalized over the whole store, serving patterns that
+//!   bind no slot at all.
+//!
+//! [`PostingList::build`] therefore answers the two pattern shapes the
+//! query engines hammer — predicate-only and fully unbound — as **borrowed
+//! slices**: `O(1)` hash probe, zero allocations, zero sorting. Other
+//! shapes (subject/object bound) fall back to materializing and sorting
+//! the pattern's (small) permutation-index range, exactly as before.
+
+use std::collections::HashMap;
 
 use crate::pattern::SlotPattern;
 use crate::store::XkgStore;
-use crate::triple::TripleId;
+use crate::term::TermId;
+use crate::triple::{Provenance, TripleId};
 
 /// A single scored entry of a posting list.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,48 +43,289 @@ pub struct Posting {
     pub prob: f64,
 }
 
+/// One predicate's contiguous range in the posting index.
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    start: u32,
+    end: u32,
+    total_weight: f64,
+}
+
+/// Build-time score-sorted posting index over a frozen triple table.
+///
+/// Adds 24 bytes per triple for the per-predicate list, 24 for the global
+/// list, and 16 for the two prefix-sum columns (64 bytes per triple
+/// total) in exchange for allocation-free `O(1)` sorted access on the
+/// top-k hot path.
+#[derive(Debug, Default)]
+pub struct PostingIndex {
+    /// All triples sorted by (predicate, weight desc, id asc).
+    by_pred: Vec<Posting>,
+    /// Prefix sums over `by_pred` weights (`len + 1` entries).
+    by_pred_prefix: Vec<f64>,
+    /// Predicate → its contiguous group.
+    groups: HashMap<TermId, Group>,
+    /// Predicates in ascending term-id order (deterministic iteration).
+    predicates: Vec<TermId>,
+    /// All triples sorted by (weight desc, id asc), normalized globally.
+    all: Vec<Posting>,
+    /// Prefix sums over `all` weights (`len + 1` entries).
+    all_prefix: Vec<f64>,
+    /// Total emission weight of the whole store.
+    all_total: f64,
+}
+
+impl PostingIndex {
+    /// Builds the index. `prov[i]` belongs to the triple with id `i`;
+    /// `predicate_of(i)` resolves a triple id to its predicate term.
+    pub(crate) fn build(prov: &[Provenance], predicate_of: impl Fn(usize) -> TermId) -> PostingIndex {
+        let n = prov.len();
+        let weights: Vec<f64> = prov.iter().map(Provenance::weight).collect();
+
+        // (predicate, weight desc, id asc) order for the per-predicate lists.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (pa, pb) = (predicate_of(a as usize), predicate_of(b as usize));
+            pa.cmp(&pb)
+                .then_with(|| {
+                    weights[b as usize]
+                        .partial_cmp(&weights[a as usize])
+                        .expect("weights are finite")
+                })
+                .then_with(|| a.cmp(&b))
+        });
+
+        // Group boundaries + per-group totals, then normalized entries.
+        let mut by_pred: Vec<Posting> = Vec::with_capacity(n);
+        let mut by_pred_prefix: Vec<f64> = Vec::with_capacity(n + 1);
+        by_pred_prefix.push(0.0);
+        let mut groups: HashMap<TermId, Group> = HashMap::new();
+        let mut predicates: Vec<TermId> = Vec::new();
+        let mut i = 0usize;
+        while i < n {
+            let pred = predicate_of(order[i] as usize);
+            let mut j = i;
+            let mut total = 0.0f64;
+            while j < n && predicate_of(order[j] as usize) == pred {
+                total += weights[order[j] as usize];
+                j += 1;
+            }
+            for &id in &order[i..j] {
+                let weight = weights[id as usize];
+                by_pred.push(Posting {
+                    triple: TripleId(id),
+                    weight,
+                    prob: if total > 0.0 { weight / total } else { 0.0 },
+                });
+                by_pred_prefix.push(by_pred_prefix.last().unwrap() + weight);
+            }
+            groups.insert(
+                pred,
+                Group {
+                    start: i as u32,
+                    end: j as u32,
+                    total_weight: total,
+                },
+            );
+            predicates.push(pred);
+            i = j;
+        }
+        predicates.sort_unstable();
+
+        // Global (weight desc, id asc) order for the unbound stratum.
+        let mut all_order: Vec<u32> = (0..n as u32).collect();
+        all_order.sort_unstable_by(|&a, &b| {
+            weights[b as usize]
+                .partial_cmp(&weights[a as usize])
+                .expect("weights are finite")
+                .then_with(|| a.cmp(&b))
+        });
+        let all_total: f64 = weights.iter().sum();
+        let mut all: Vec<Posting> = Vec::with_capacity(n);
+        let mut all_prefix: Vec<f64> = Vec::with_capacity(n + 1);
+        all_prefix.push(0.0);
+        for &id in &all_order {
+            let weight = weights[id as usize];
+            all.push(Posting {
+                triple: TripleId(id),
+                weight,
+                prob: if all_total > 0.0 { weight / all_total } else { 0.0 },
+            });
+            all_prefix.push(all_prefix.last().unwrap() + weight);
+        }
+
+        PostingIndex {
+            by_pred,
+            by_pred_prefix,
+            groups,
+            predicates,
+            all,
+            all_prefix,
+            all_total,
+        }
+    }
+
+    /// The predicates present in the store, ascending by term id.
+    pub fn predicates(&self) -> &[TermId] {
+        &self.predicates
+    }
+
+    /// One predicate's score-sorted postings (empty if absent).
+    pub fn predicate_postings(&self, p: TermId) -> &[Posting] {
+        match self.groups.get(&p) {
+            Some(g) => &self.by_pred[g.start as usize..g.end as usize],
+            None => &[],
+        }
+    }
+
+    /// Total emission weight under one predicate.
+    pub fn predicate_total_weight(&self, p: TermId) -> f64 {
+        self.groups.get(&p).map_or(0.0, |g| g.total_weight)
+    }
+
+    /// All postings, score-sorted, normalized over the whole store.
+    pub fn all_postings(&self) -> &[Posting] {
+        &self.all
+    }
+
+    /// Total emission weight of the store.
+    pub fn total_weight(&self) -> f64 {
+        self.all_total
+    }
+
+    /// Prefix-sum slice aligned with `predicate_postings(p)` (one entry
+    /// longer than the group).
+    fn predicate_prefix(&self, p: TermId) -> Option<&[f64]> {
+        self.groups
+            .get(&p)
+            .map(|g| &self.by_pred_prefix[g.start as usize..=g.end as usize])
+    }
+}
+
+/// Where a posting list's entries live.
+#[derive(Debug, Clone)]
+enum Entries<'s> {
+    /// Borrowed straight from the store's [`PostingIndex`] (hot path:
+    /// zero allocations, zero sorting).
+    Borrowed(&'s [Posting]),
+    /// Materialized for pattern shapes outside the precomputed index.
+    Owned(Vec<Posting>),
+    /// Shared with a caller-managed cache (see the query layer's
+    /// per-execution posting cache); each list keeps its own cursor.
+    Shared(std::rc::Rc<[Posting]>),
+}
+
+impl Entries<'_> {
+    #[inline]
+    fn as_slice(&self) -> &[Posting] {
+        match self {
+            Entries::Borrowed(s) => s,
+            Entries::Owned(v) => v,
+            Entries::Shared(rc) => rc,
+        }
+    }
+}
+
 /// The matches of a triple pattern in descending score order, with a cursor
 /// for incremental sorted access.
+///
+/// Borrows from the store's precomputed [`PostingIndex`] when the pattern
+/// shape allows (predicate-only and fully unbound patterns); other shapes
+/// own a materialized list.
 #[derive(Debug, Clone)]
-pub struct PostingList {
-    entries: Vec<Posting>,
+pub struct PostingList<'s> {
+    entries: Entries<'s>,
+    /// Prefix-summed weights aligned with `entries` (one entry longer),
+    /// when served from the precomputed index.
+    prefix: Option<&'s [f64]>,
     total_weight: f64,
     cursor: usize,
 }
 
-impl PostingList {
+impl<'s> PostingList<'s> {
     /// Builds the posting list for `pattern` over `store`.
     ///
     /// Ties in weight are broken by triple id so iteration order is
-    /// deterministic.
-    pub fn build(store: &XkgStore, pattern: &SlotPattern) -> PostingList {
-        let ids = store.lookup(pattern);
-        let mut raw: Vec<(TripleId, f64)> = ids
-            .iter()
-            .map(|&id| (id, store.provenance(id).weight()))
-            .collect();
-        let total_weight: f64 = raw.iter().map(|(_, w)| w).sum();
-        raw.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("weights are finite")
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        let entries = raw
-            .into_iter()
-            .map(|(triple, weight)| Posting {
-                triple,
-                weight,
-                prob: if total_weight > 0.0 {
-                    weight / total_weight
-                } else {
-                    0.0
-                },
-            })
-            .collect();
+    /// deterministic. Predicate-only and fully unbound patterns are served
+    /// as borrowed slices of the store's posting index without allocating.
+    pub fn build(store: &'s XkgStore, pattern: &SlotPattern) -> PostingList<'s> {
+        let index = store.posting_index();
+        match (pattern.s, pattern.p, pattern.o) {
+            (None, Some(p), None) => PostingList {
+                entries: Entries::Borrowed(index.predicate_postings(p)),
+                prefix: index.predicate_prefix(p),
+                total_weight: index.predicate_total_weight(p),
+                cursor: 0,
+            },
+            (None, None, None) => PostingList {
+                entries: Entries::Borrowed(index.all_postings()),
+                prefix: Some(&index.all_prefix),
+                total_weight: index.total_weight(),
+                cursor: 0,
+            },
+            _ => {
+                let ids = store.lookup(pattern);
+                let mut raw: Vec<(TripleId, f64)> = ids
+                    .iter()
+                    .map(|&id| (id, store.provenance(id).weight()))
+                    .collect();
+                let total_weight: f64 = raw.iter().map(|(_, w)| w).sum();
+                raw.sort_unstable_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("weights are finite")
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                let entries = raw
+                    .into_iter()
+                    .map(|(triple, weight)| Posting {
+                        triple,
+                        weight,
+                        prob: if total_weight > 0.0 {
+                            weight / total_weight
+                        } else {
+                            0.0
+                        },
+                    })
+                    .collect();
+                PostingList {
+                    entries: Entries::Owned(entries),
+                    prefix: None,
+                    total_weight,
+                    cursor: 0,
+                }
+            }
+        }
+    }
+
+    /// Wraps an externally materialized, already score-sorted entry list.
+    /// Used by the query layer's filtered views over this machinery.
+    pub fn from_owned(entries: Vec<Posting>, total_weight: f64) -> PostingList<'static> {
         PostingList {
-            entries,
+            entries: Entries::Owned(entries),
+            prefix: None,
             total_weight,
             cursor: 0,
+        }
+    }
+
+    /// Wraps a cache-shared, already score-sorted entry list. The list
+    /// gets its own cursor; the entries are not copied.
+    pub fn from_shared(entries: std::rc::Rc<[Posting]>, total_weight: f64) -> PostingList<'static> {
+        PostingList {
+            entries: Entries::Shared(entries),
+            prefix: None,
+            total_weight,
+            cursor: 0,
+        }
+    }
+
+    /// Consumes the list into an owned entry vector (no copy when the
+    /// entries were already materialized).
+    pub fn into_entries(self) -> Vec<Posting> {
+        match self.entries {
+            Entries::Owned(v) => v,
+            Entries::Borrowed(s) => s.to_vec(),
+            Entries::Shared(rc) => rc.to_vec(),
         }
     }
 
@@ -81,25 +338,25 @@ impl PostingList {
     /// Number of matches.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.as_slice().len()
     }
 
     /// True if the pattern has no matches.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.as_slice().is_empty()
     }
 
     /// Entries in descending score order (ignores the cursor).
     #[inline]
     pub fn entries(&self) -> &[Posting] {
-        &self.entries
+        self.entries.as_slice()
     }
 
     /// The next unconsumed posting, without advancing.
     #[inline]
     pub fn peek(&self) -> Option<Posting> {
-        self.entries.get(self.cursor).copied()
+        self.entries.as_slice().get(self.cursor).copied()
     }
 
     /// The emission probability of the next unconsumed posting (an upper
@@ -123,6 +380,24 @@ impl PostingList {
         self.cursor
     }
 
+    /// Combined weight of the first `upto` entries. O(1) when served from
+    /// the precomputed index (prefix sums), O(upto) otherwise.
+    pub fn prefix_weight(&self, upto: usize) -> f64 {
+        let upto = upto.min(self.len());
+        match self.prefix {
+            Some(pre) => pre[upto] - pre[0],
+            None => self.entries.as_slice()[..upto]
+                .iter()
+                .map(|e| e.weight)
+                .sum(),
+        }
+    }
+
+    /// Emission weight not yet consumed by the cursor.
+    pub fn remaining_weight(&self) -> f64 {
+        self.total_weight - self.prefix_weight(self.cursor)
+    }
+
     /// Resets the cursor to the start of the list.
     pub fn rewind(&mut self) {
         self.cursor = 0;
@@ -132,7 +407,7 @@ impl PostingList {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::XkgBuilder;
+    use crate::store::{XkgBuilder, XkgStore};
 
     fn store_with_weights() -> XkgStore {
         let mut b = XkgBuilder::new();
@@ -189,5 +464,56 @@ mod tests {
         assert_eq!(list.peek_prob(), None);
         assert_eq!(list.next_posting(), None);
         assert_eq!(list.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn unbound_pattern_serves_global_list() {
+        let store = store_with_weights();
+        let list = PostingList::build(&store, &SlotPattern::any());
+        assert_eq!(list.len(), store.len());
+        let probs: Vec<f64> = list.entries().iter().map(|e| e.prob).collect();
+        assert!(probs.windows(2).all(|w| w[0] >= w[1]));
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_subject_falls_back_to_materialized_list() {
+        let store = store_with_weights();
+        let s = store.resource("person0").unwrap();
+        let list = PostingList::build(&store, &SlotPattern::new(Some(s), None, None));
+        assert_eq!(list.len(), 1);
+        assert!((list.entries()[0].prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_weights_match_direct_sums() {
+        let store = store_with_weights();
+        let p = store.dict().get(crate::TermKind::Resource, "lecturedAt").unwrap();
+        let mut list = PostingList::build(&store, &SlotPattern::with_p(p));
+        for upto in 0..=list.len() {
+            let direct: f64 = list.entries()[..upto].iter().map(|e| e.weight).sum();
+            assert!((list.prefix_weight(upto) - direct).abs() < 1e-9, "upto {upto}");
+        }
+        list.next_posting();
+        let rest: f64 = list.entries()[1..].iter().map(|e| e.weight).sum();
+        assert!((list.remaining_weight() - rest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn posting_index_groups_cover_every_predicate() {
+        let store = store_with_weights();
+        let idx = store.posting_index();
+        let mut covered = 0;
+        for &p in idx.predicates() {
+            let group = idx.predicate_postings(p);
+            assert!(!group.is_empty());
+            assert!(group.windows(2).all(|w| {
+                w[0].weight > w[1].weight
+                    || (w[0].weight == w[1].weight && w[0].triple < w[1].triple)
+            }));
+            covered += group.len();
+        }
+        assert_eq!(covered, store.len());
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! The relaxation miner (paper §3) needs `args(p)` — the set of
 //! (subject, object) pairs connected by predicate `p` in the XKG — and the
-//! query planner needs cardinality estimates. Both are derived here from
-//! the permutation indexes, so they are exact.
+//! query planner needs cardinality estimates. Both are derived from the
+//! store's precomputed posting-index predicate groups, so they are exact
+//! and never scan the full triple table per predicate.
 
 use std::collections::HashMap;
 
@@ -37,41 +38,46 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
-    /// Computes statistics for every predicate in `store`.
+    /// Computes statistics for every predicate in `store`, walking the
+    /// posting index's per-predicate groups (each group is visited once;
+    /// counts and total weights come straight from the group).
     pub fn compute(store: &XkgStore) -> StoreStats {
-        let mut by_predicate: HashMap<TermId, PredicateStats> = HashMap::new();
-        let mut subjects: HashMap<TermId, Vec<TermId>> = HashMap::new();
-        let mut objects: HashMap<TermId, Vec<TermId>> = HashMap::new();
-        for (id, t) in store.iter() {
-            let prov = store.provenance(id);
-            let entry = by_predicate.entry(t.p).or_insert_with(|| PredicateStats {
-                predicate: t.p,
-                triples: 0,
-                distinct_subjects: 0,
-                distinct_objects: 0,
-                kg_triples: 0,
-                total_weight: 0.0,
-            });
-            entry.triples += 1;
-            entry.total_weight += prov.weight();
-            if prov.graph == GraphTag::Kg {
-                entry.kg_triples += 1;
+        let predicates: Vec<TermId> = store.predicates().to_vec();
+        let mut by_predicate: HashMap<TermId, PredicateStats> =
+            HashMap::with_capacity(predicates.len());
+        let mut subs: Vec<TermId> = Vec::new();
+        let mut objs: Vec<TermId> = Vec::new();
+        for &p in &predicates {
+            let group = store.predicate_postings(p);
+            let mut kg_triples = 0;
+            let mut total_weight = 0.0f64;
+            subs.clear();
+            objs.clear();
+            for e in group {
+                let t = store.triple(e.triple);
+                subs.push(t.s);
+                objs.push(t.o);
+                total_weight += e.weight;
+                if store.provenance(e.triple).graph == GraphTag::Kg {
+                    kg_triples += 1;
+                }
             }
-            subjects.entry(t.p).or_default().push(t.s);
-            objects.entry(t.p).or_default().push(t.o);
-        }
-        for (p, stats) in by_predicate.iter_mut() {
-            let mut subs = subjects.remove(p).unwrap_or_default();
             subs.sort_unstable();
             subs.dedup();
-            stats.distinct_subjects = subs.len();
-            let mut objs = objects.remove(p).unwrap_or_default();
             objs.sort_unstable();
             objs.dedup();
-            stats.distinct_objects = objs.len();
+            by_predicate.insert(
+                p,
+                PredicateStats {
+                    predicate: p,
+                    triples: group.len(),
+                    distinct_subjects: subs.len(),
+                    distinct_objects: objs.len(),
+                    kg_triples,
+                    total_weight,
+                },
+            );
         }
-        let mut predicates: Vec<TermId> = by_predicate.keys().copied().collect();
-        predicates.sort_unstable();
         StoreStats {
             by_predicate,
             predicates,

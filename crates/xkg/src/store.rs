@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use crate::dict::TermDict;
 use crate::index::TripleIndex;
 use crate::pattern::SlotPattern;
+use crate::posting::{Posting, PostingIndex};
 use crate::term::{TermId, TermKind};
 use crate::triple::{GraphTag, Provenance, SourceId, Triple, TripleId};
 
@@ -111,15 +112,26 @@ impl XkgBuilder {
         self.triples.is_empty()
     }
 
-    /// Freezes the builder into an immutable, fully indexed store.
+    /// Freezes the builder into an immutable, fully indexed store: the six
+    /// columnar permutation indexes, the score-sorted posting index, and
+    /// per-stratum counts are all computed here, once.
     pub fn build(self) -> XkgStore {
         let index = TripleIndex::build(&self.triples);
+        let triples = self.triples;
+        let postings = PostingIndex::build(&self.prov, |i| triples[i].p);
+        let kg_len = self
+            .prov
+            .iter()
+            .filter(|p| p.graph == GraphTag::Kg)
+            .count();
         XkgStore {
             dict: self.dict,
-            triples: self.triples,
+            triples,
             prov: self.prov,
             sources: self.sources,
             index,
+            postings,
+            kg_len,
         }
     }
 }
@@ -147,6 +159,8 @@ pub struct XkgStore {
     prov: Vec<Provenance>,
     sources: Vec<Box<str>>,
     index: TripleIndex,
+    postings: PostingIndex,
+    kg_len: usize,
 }
 
 impl XkgStore {
@@ -183,9 +197,13 @@ impl XkgStore {
         self.triples.is_empty()
     }
 
-    /// Number of distinct triples in a stratum.
+    /// Number of distinct triples in a stratum. O(1): the counts are
+    /// frozen at [`XkgBuilder::build`] time.
     pub fn len_of(&self, graph: GraphTag) -> usize {
-        self.prov.iter().filter(|p| p.graph == graph).count()
+        match graph {
+            GraphTag::Kg => self.kg_len,
+            GraphTag::Xkg => self.triples.len() - self.kg_len,
+        }
     }
 
     /// The triple with the given id.
@@ -214,15 +232,36 @@ impl XkgStore {
     }
 
     /// All triple ids matching `pattern`, as a contiguous index range.
+    /// Allocation-free: served from the columnar permutation indexes.
     #[inline]
     pub fn lookup(&self, pattern: &SlotPattern) -> &[TripleId] {
-        self.index.lookup(&self.triples, pattern)
+        self.index.lookup(pattern)
     }
 
     /// Exact number of triples matching `pattern`.
     #[inline]
     pub fn count(&self, pattern: &SlotPattern) -> usize {
-        self.index.count(&self.triples, pattern)
+        self.index.count(pattern)
+    }
+
+    /// The precomputed score-sorted posting index (the paper's "triple
+    /// pattern index lists").
+    #[inline]
+    pub fn posting_index(&self) -> &PostingIndex {
+        &self.postings
+    }
+
+    /// Predicates present in the store, ascending by term id.
+    #[inline]
+    pub fn predicates(&self) -> &[TermId] {
+        self.postings.predicates()
+    }
+
+    /// One predicate's matches in descending emission-weight order, with
+    /// probabilities normalized over the predicate. O(1), allocation-free.
+    #[inline]
+    pub fn predicate_postings(&self, p: TermId) -> &[Posting] {
+        self.postings.predicate_postings(p)
     }
 
     /// Iterates all stored triples with their ids.

@@ -118,4 +118,122 @@ proptest! {
         let pattern = SlotPattern::new(None, p, o);
         prop_assert_eq!(store.count(&pattern), store.lookup(&pattern).len());
     }
+
+    /// The columnar lookup and the posting-index slices agree with a
+    /// linear scan for **all 8 pattern shapes**: same match set, and the
+    /// posting list's scores are exactly the linear scan's weights.
+    #[test]
+    fn columnar_lookup_and_postings_agree_with_linear_scan_all_shapes(
+        triples in proptest::collection::vec((triple(5), 0.01f32..1.0, 0u8..4), 0..60),
+        s in term_id(TermKind::Resource, 5),
+        p in term_id(TermKind::Resource, 5),
+        o in term_id(TermKind::Resource, 5),
+    ) {
+        let store = store_from(&triples);
+        for mask in 0u8..8 {
+            let pattern = SlotPattern::new(
+                (mask & 1 != 0).then_some(s),
+                (mask & 2 != 0).then_some(p),
+                (mask & 4 != 0).then_some(o),
+            );
+            let mut want: Vec<u32> = store
+                .iter()
+                .filter(|(_, t)| pattern.matches(*t))
+                .map(|(id, _)| id.0)
+                .collect();
+            want.sort_unstable();
+
+            // Columnar permutation lookup.
+            let mut got: Vec<u32> = store.lookup(&pattern).iter().map(|t| t.0).collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want, "lookup disagrees for shape {:#05b}", mask);
+
+            // Posting list over the same pattern (borrowed slice for the
+            // predicate-only and unbound shapes, materialized otherwise).
+            let list = trinit_xkg::PostingList::build(&store, &pattern);
+            let mut posting_ids: Vec<u32> = list.entries().iter().map(|e| e.triple.0).collect();
+            posting_ids.sort_unstable();
+            prop_assert_eq!(&posting_ids, &want, "postings disagree for shape {:#05b}", mask);
+            for e in list.entries() {
+                let w = store.provenance(e.triple).weight();
+                prop_assert!((e.weight - w).abs() < 1e-12, "weight mismatch");
+            }
+        }
+    }
+
+    /// Posting order is identical to the seed implementation's: the full
+    /// match set sorted by descending weight with ties broken by ascending
+    /// triple id, and probabilities `weight / total` with the total over
+    /// the whole match set.
+    #[test]
+    fn posting_order_matches_seed_reference(
+        triples in proptest::collection::vec((triple(5), 0.01f32..1.0, 0u8..4), 0..60),
+        p in proptest::option::of(term_id(TermKind::Resource, 5)),
+    ) {
+        let store = store_from(&triples);
+        let pattern = SlotPattern::new(None, p, None);
+        // Reference: the seed's per-query materialize-and-sort.
+        let mut reference: Vec<(u32, f64)> = store
+            .lookup(&pattern)
+            .iter()
+            .map(|&id| (id.0, store.provenance(id).weight()))
+            .collect();
+        let total: f64 = reference.iter().map(|(_, w)| w).sum();
+        reference.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
+        });
+
+        let list = trinit_xkg::PostingList::build(&store, &pattern);
+        prop_assert_eq!(list.len(), reference.len());
+        for (e, (id, w)) in list.entries().iter().zip(&reference) {
+            prop_assert_eq!(e.triple.0, *id, "order differs from seed implementation");
+            prop_assert!((e.weight - w).abs() < 1e-12);
+            let expect_prob = if total > 0.0 { w / total } else { 0.0 };
+            prop_assert!((e.prob - expect_prob).abs() < 1e-9, "prob differs: {} vs {}", e.prob, expect_prob);
+        }
+        prop_assert!((list.total_weight() - total).abs() < 1e-9);
+    }
+
+    /// Prefix-summed weights agree with direct summation at every depth.
+    #[test]
+    fn prefix_weights_agree_with_direct_sums(
+        triples in proptest::collection::vec((triple(4), 0.01f32..1.0, 0u8..4), 0..40),
+        p in proptest::option::of(term_id(TermKind::Resource, 4)),
+    ) {
+        let store = store_from(&triples);
+        let pattern = SlotPattern::new(None, p, None);
+        let list = trinit_xkg::PostingList::build(&store, &pattern);
+        for upto in 0..=list.len() {
+            let direct: f64 = list.entries()[..upto].iter().map(|e| e.weight).sum();
+            prop_assert!((list.prefix_weight(upto) - direct).abs() < 1e-9);
+        }
+    }
+
+    /// Per-stratum counts (now frozen at build time) match a full scan.
+    #[test]
+    fn stratum_counts_match_scan(
+        triples in proptest::collection::vec((triple(4), 0.01f32..1.0, 0u8..2), 0..40),
+        kg_every in 2usize..5,
+    ) {
+        let mut b = XkgBuilder::new();
+        for (i, (t, conf, support)) in triples.iter().enumerate() {
+            if i % kg_every == 0 {
+                b.add(*t, Provenance::kg());
+            } else {
+                let mut prov = Provenance::extraction(*conf, SourceId(0));
+                prov.support = u32::from(*support) + 1;
+                b.add(*t, prov);
+            }
+        }
+        let store = b.build();
+        let kg_scan = store
+            .iter()
+            .filter(|(id, _)| store.provenance(*id).graph == trinit_xkg::GraphTag::Kg)
+            .count();
+        prop_assert_eq!(store.len_of(trinit_xkg::GraphTag::Kg), kg_scan);
+        prop_assert_eq!(
+            store.len_of(trinit_xkg::GraphTag::Xkg),
+            store.len() - kg_scan
+        );
+    }
 }

@@ -1,0 +1,9 @@
+//! Umbrella crate for the TriniT reproduction.
+//!
+//! Hosts the workspace-level integration tests (`tests/`) and runnable
+//! examples (`examples/`); all functionality lives in the sub-crates and
+//! is re-exported through [`trinit_core`].
+
+#![warn(missing_docs)]
+
+pub use trinit_core::*;
