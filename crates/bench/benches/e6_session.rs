@@ -1,0 +1,69 @@
+//! E6 bench: session-level interactive workload — one user re-issuing
+//! related queries within a [`Session`], the access pattern the
+//! store-level posting cache targets (paper §5/E6: exploratory sessions
+//! return to the same predicates and entity anchors again and again).
+//!
+//! Two shapes over the same query set:
+//!
+//! * `repeated_workload_one_session` — a single session runs the whole
+//!   set three times; canonical patterns recur across consecutive
+//!   queries, so cross-query posting-list reuse pays.
+//! * `fresh_session_per_query` — a new session per query; no state can
+//!   carry over, bounding what per-query work costs without reuse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trinit_core::Session;
+use trinit_eval::{build_full_system, build_world, generate_benchmark, BenchmarkConfig, EvalConfig};
+
+fn bench_session(c: &mut Criterion) {
+    let cfg = EvalConfig {
+        seed: 42,
+        scale: 0.08,
+        per_category: 3,
+    };
+    let (world, kg) = build_world(&cfg);
+    let system = build_full_system(&world, &cfg);
+    let queries = generate_benchmark(
+        &world,
+        &kg,
+        &BenchmarkConfig {
+            seed: 2,
+            per_category: cfg.per_category,
+        },
+    );
+    let texts: Vec<&str> = queries.iter().map(|q| q.text.as_str()).collect();
+
+    let mut group = c.benchmark_group("e6_session");
+    group.sample_size(10);
+
+    group.bench_function("repeated_workload_one_session", |b| {
+        b.iter(|| {
+            let session = Session::new(&system);
+            let mut answers = 0usize;
+            for _round in 0..3 {
+                for t in &texts {
+                    answers += session.query(t).expect("benchmark queries parse").answers.len();
+                }
+            }
+            answers
+        })
+    });
+
+    group.bench_function("fresh_session_per_query", |b| {
+        b.iter(|| {
+            let mut answers = 0usize;
+            for _round in 0..3 {
+                for t in &texts {
+                    let session = Session::new(&system);
+                    answers += session.query(t).expect("benchmark queries parse").answers.len();
+                }
+            }
+            answers
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_session);
+criterion_main!(benches);

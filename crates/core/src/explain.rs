@@ -158,6 +158,10 @@ pub fn processing_report(
         m.posting_cache_hits
     ));
     out.push_str(&format!(
+        "  session-cache hits:          {}\n",
+        m.shared_cache_hits
+    ));
+    out.push_str(&format!(
         "  relaxations invoked:         {}\n",
         m.relaxations_opened
     ));
@@ -168,6 +172,14 @@ pub fn processing_report(
     out.push_str(&format!(
         "  join candidates tested:      {}\n",
         m.join_candidates
+    ));
+    out.push_str(&format!(
+        "  rank-join pulls:             {}\n",
+        m.pulls
+    ));
+    out.push_str(&format!(
+        "  early threshold cutoffs:     {}\n",
+        m.early_cutoffs
     ));
 
     // Which rules actually contributed to returned answers.

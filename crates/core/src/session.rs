@@ -5,17 +5,28 @@
 //! §5, Figure 5 shows rules 3 and 4 entered in the UI). A [`Session`]
 //! overlays user rules on the system rule set without mutating the
 //! shared system.
+//!
+//! Each session also owns a bounded LRU [`SharedPostingCache`]:
+//! interactive exploration (the paper's E6 workload) re-issues queries
+//! over the same predicates and entity anchors, so materialized posting
+//! lists are reused across consecutive queries of the session —
+//! [`ExecMetrics::shared_cache_hits`](trinit_query::ExecMetrics) counts
+//! the reuse. Caches are per-session, never shared between users.
 
-use trinit_query::Query;
+use trinit_query::{Query, SharedCacheStats, SharedPostingCache};
 use trinit_relax::{Rule, RuleId, RuleSet};
 
 use crate::trinit::{Engine, QueryOutcome, Trinit};
+
+/// Default capacity of a session's posting cache (materialized lists).
+pub const SESSION_CACHE_CAPACITY: usize = 256;
 
 /// One user's interactive session.
 pub struct Session<'a> {
     system: &'a Trinit,
     rules: RuleSet,
     user_rules: usize,
+    posting_cache: SharedPostingCache,
 }
 
 impl<'a> Session<'a> {
@@ -29,6 +40,7 @@ impl<'a> Session<'a> {
             system,
             rules,
             user_rules: 0,
+            posting_cache: SharedPostingCache::new(SESSION_CACHE_CAPACITY),
         }
     }
 
@@ -38,7 +50,26 @@ impl<'a> Session<'a> {
             system,
             rules: RuleSet::new(),
             user_rules: 0,
+            posting_cache: SharedPostingCache::new(SESSION_CACHE_CAPACITY),
         }
+    }
+
+    /// Replaces the session posting cache with one of `capacity`
+    /// materialized lists (0 disables retention). Drops cached lists
+    /// and counters.
+    pub fn set_posting_cache_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.posting_cache = SharedPostingCache::new(capacity);
+        self
+    }
+
+    /// The session's posting cache (stats, capacity, manual clearing).
+    pub fn posting_cache(&self) -> &SharedPostingCache {
+        &self.posting_cache
+    }
+
+    /// Hit/miss/eviction counters of the session posting cache.
+    pub fn cache_stats(&self) -> SharedCacheStats {
+        self.posting_cache.stats()
     }
 
     /// Adds a user-defined rule, returning its id in this session.
@@ -68,9 +99,11 @@ impl<'a> Session<'a> {
         Ok(self.run(query, Engine::IncrementalTopK))
     }
 
-    /// Runs a compiled query with the session rule set.
+    /// Runs a compiled query with the session rule set, reusing posting
+    /// lists cached by this session's earlier queries.
     pub fn run(&self, query: Query, engine: Engine) -> QueryOutcome {
-        self.system.run_with_rules(query, engine, &self.rules)
+        self.system
+            .run_with_rules_cached(query, engine, &self.rules, Some(&self.posting_cache))
     }
 }
 
@@ -121,6 +154,80 @@ mod tests {
         assert_eq!(outcome.answers.len(), 1);
         let kleiner = sys.store().resource("AlfredKleiner").unwrap();
         assert_eq!(outcome.answers[0].key[0].1, Some(kleiner));
+    }
+
+    #[test]
+    fn session_cache_hits_across_consecutive_queries() {
+        let sys = system();
+        let session = Session::new(&sys);
+        // Bound-subject patterns materialize posting lists, which the
+        // session cache retains across queries.
+        let q = "AlbertEinstein affiliation ?x LIMIT 5";
+        let first = session.query(q).unwrap();
+        let stats_after_first = session.cache_stats();
+        assert_eq!(stats_after_first.hits, 0, "cold cache cannot hit");
+        assert!(stats_after_first.misses > 0, "first run must consult and miss");
+        assert_eq!(first.metrics.shared_cache_hits, 0);
+
+        let second = session.query(q).unwrap();
+        let stats_after_second = session.cache_stats();
+        assert!(stats_after_second.hits > 0, "second run reuses cached lists");
+        assert_eq!(
+            stats_after_second.misses, stats_after_first.misses,
+            "a repeated query must not miss again"
+        );
+        assert!(second.metrics.shared_cache_hits > 0);
+        assert_eq!(second.metrics.posting_lists_built + second.metrics.shared_cache_hits
+            + second.metrics.posting_cache_hits,
+            first.metrics.posting_lists_built + first.metrics.posting_cache_hits,
+            "every open is served by exactly one tier");
+
+        // And the cache never changes answers.
+        assert_eq!(first.answers.len(), second.answers.len());
+        for (a, b) in first.answers.iter().zip(&second.answers) {
+            assert_eq!(a.key, b.key);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+        let uncached = sys.query(q).unwrap();
+        assert_eq!(uncached.answers.len(), second.answers.len());
+        for (a, b) in uncached.answers.iter().zip(&second.answers) {
+            assert_eq!(a.key, b.key);
+        }
+    }
+
+    #[test]
+    fn session_cache_evicts_at_capacity() {
+        let sys = system();
+        let mut session = Session::new(&sys);
+        session.set_posting_cache_capacity(1);
+        // Two different materialized patterns cannot coexist in a
+        // capacity-1 cache: alternating queries keep evicting.
+        let qa = "AlbertEinstein affiliation ?x LIMIT 5";
+        let qb = "AlfredKleiner hasStudent ?x LIMIT 5";
+        session.query(qa).unwrap();
+        session.query(qb).unwrap();
+        session.query(qa).unwrap();
+        let stats = session.cache_stats();
+        assert!(stats.evictions > 0, "capacity 1 must evict: {stats:?}");
+        assert!(session.posting_cache().len() <= 1);
+    }
+
+    #[test]
+    fn session_caches_are_isolated_between_sessions() {
+        let sys = system();
+        let a = Session::new(&sys);
+        let b = Session::new(&sys);
+        let q = "AlbertEinstein affiliation ?x LIMIT 5";
+        a.query(q).unwrap();
+        a.query(q).unwrap();
+        assert!(a.cache_stats().hits > 0);
+        // Session b never ran anything: its cache saw no traffic at all,
+        // and its first run misses (a's cached lists are invisible).
+        assert_eq!(b.cache_stats(), trinit_query::SharedCacheStats::default());
+        let outcome = b.query(q).unwrap();
+        assert_eq!(outcome.metrics.shared_cache_hits, 0);
+        assert!(b.cache_stats().misses > 0);
+        assert_eq!(b.cache_stats().hits, 0);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use trinit_openie::{Linker, OpenIePipeline, PipelineConfig};
 use trinit_query::exec::{exact, expand, topk};
 use trinit_query::{
-    Answer, AnswerCollector, ExecMetrics, Query, TopkConfig,
+    Answer, AnswerCollector, ExecMetrics, Query, SharedPostingCache, TopkConfig,
 };
 use trinit_relax::{
     CooccurrenceOperator, ExpandOptions, GranularityMinerConfig, GranularityOperator,
@@ -261,6 +261,7 @@ impl TrinitBuilder {
             expand: self.options.expand,
             suggest_cfg: SuggestConfig::default(),
             stats,
+            posting_cache: None,
         }
     }
 }
@@ -274,6 +275,9 @@ pub struct Trinit {
     expand: ExpandOptions,
     suggest_cfg: SuggestConfig,
     stats: BuildStats,
+    /// Optional store-level posting cache shared across every query
+    /// answered through this system (see [`Trinit::enable_posting_cache`]).
+    posting_cache: Option<SharedPostingCache>,
 }
 
 impl Trinit {
@@ -296,6 +300,7 @@ impl Trinit {
             expand: ExpandOptions::default(),
             suggest_cfg: SuggestConfig::default(),
             stats,
+            posting_cache: None,
         }
     }
 
@@ -319,6 +324,21 @@ impl Trinit {
         &self.topk
     }
 
+    /// Enables the system-level posting cache: a bounded LRU of
+    /// materialized posting lists shared across *every* query answered
+    /// through this system. Sessions carry their own cache (see
+    /// [`crate::Session`]); enable this tier when one system serves many
+    /// queries directly. Returns `self` for chaining.
+    pub fn enable_posting_cache(&mut self, capacity: usize) -> &mut Self {
+        self.posting_cache = Some(SharedPostingCache::new(capacity));
+        self
+    }
+
+    /// The system-level posting cache, if enabled.
+    pub fn posting_cache(&self) -> Option<&SharedPostingCache> {
+        self.posting_cache.as_ref()
+    }
+
     /// Parses a query string against this system's vocabulary.
     pub fn parse(&self, text: &str) -> Result<Query, trinit_query::ParseError> {
         trinit_query::parse(&self.store, text)
@@ -337,8 +357,24 @@ impl Trinit {
     }
 
     /// Runs a compiled query with a caller-supplied rule set (sessions
-    /// with user-defined rules, evaluation ablations).
+    /// with user-defined rules, evaluation ablations). Consults the
+    /// system-level posting cache if one was enabled.
     pub fn run_with_rules(&self, query: Query, engine: Engine, rules: &RuleSet) -> QueryOutcome {
+        self.run_with_rules_cached(query, engine, rules, self.posting_cache.as_ref())
+    }
+
+    /// Runs a compiled query with a caller-supplied rule set and an
+    /// explicit store-level posting cache ([`Session`]s pass their own,
+    /// keeping cached lists session-isolated).
+    ///
+    /// [`Session`]: crate::Session
+    pub fn run_with_rules_cached(
+        &self,
+        query: Query,
+        engine: Engine,
+        rules: &RuleSet,
+        cache: Option<&SharedPostingCache>,
+    ) -> QueryOutcome {
         let (answers, metrics) = match engine {
             Engine::Exact => {
                 let mut metrics = ExecMetrics::default();
@@ -357,7 +393,9 @@ impl Trinit {
                 (collector.into_top_k(query.k), metrics)
             }
             Engine::FullExpansion => expand::run(&self.store, &query, rules, &self.expand),
-            Engine::IncrementalTopK => topk::run(&self.store, &query, rules, &self.topk),
+            Engine::IncrementalTopK => {
+                topk::run_cached(&self.store, &query, rules, &self.topk, cache)
+            }
         };
         QueryOutcome {
             query,
@@ -461,5 +499,42 @@ mod tests {
         let sys = Trinit::from_parts(store, rules);
         let outcome = sys.query("?x bornIn Ulm").unwrap();
         assert_eq!(outcome.answers.len(), 1);
+    }
+
+    #[test]
+    fn trinit_is_send_and_sync() {
+        // The flagship type must stay shareable across threads — the
+        // "one system serves many queries" deployment wraps it in an
+        // `Arc`. The embedded posting cache uses `Mutex`/`Arc`
+        // internally precisely to keep this holding.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Trinit>();
+        assert_send_sync::<SharedPostingCache>();
+    }
+
+    #[test]
+    fn system_level_posting_cache_serves_repeated_queries() {
+        let store = crate::fixtures::paper_store();
+        let rules = crate::fixtures::paper_rules(&store);
+        let mut sys = Trinit::from_parts(store, rules);
+        let q = "AlbertEinstein affiliation ?x LIMIT 5";
+        // Without the cache enabled, repeated queries share nothing.
+        let plain = sys.query(q).unwrap();
+        assert_eq!(sys.query(q).unwrap().metrics.shared_cache_hits, 0);
+        assert!(sys.posting_cache().is_none());
+
+        sys.enable_posting_cache(64);
+        let cold = sys.query(q).unwrap();
+        assert_eq!(cold.metrics.shared_cache_hits, 0);
+        let warm = sys.query(q).unwrap();
+        assert!(warm.metrics.shared_cache_hits > 0);
+        let stats = sys.posting_cache().unwrap().stats();
+        assert!(stats.hits > 0 && stats.misses > 0);
+        // Answers are cache-invisible.
+        assert_eq!(plain.answers.len(), warm.answers.len());
+        for (a, b) in plain.answers.iter().zip(&warm.answers) {
+            assert_eq!(a.key, b.key);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
     }
 }

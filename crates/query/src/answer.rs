@@ -48,6 +48,34 @@ impl Bindings {
         }
     }
 
+    /// Removes the binding of `v`, if any. Supports undo-based
+    /// backtracking in the join engines, which bind candidate values
+    /// into one shared scratch assignment instead of cloning it per
+    /// candidate.
+    #[inline]
+    pub fn unbind(&mut self, v: VarId) {
+        if let Some(slot) = self.slots.get_mut(v.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Binds `v` to `t` against the current assignment, recording a
+    /// newly created binding in `undo` so the caller can backtrack with
+    /// [`Bindings::unbind`]. Returns `false` on conflict without
+    /// touching `undo` — the shared validate-then-bind discipline of
+    /// both join engines.
+    #[inline]
+    pub fn try_bind_recorded(&mut self, v: VarId, t: TermId, undo: &mut Vec<VarId>) -> bool {
+        match self.get(v) {
+            Some(existing) => existing == t,
+            None => {
+                self.bind(v, t);
+                undo.push(v);
+                true
+            }
+        }
+    }
+
     /// True if the two assignments agree on every commonly bound variable.
     pub fn compatible(&self, other: &Bindings) -> bool {
         self.slots
@@ -163,14 +191,17 @@ impl AnswerCollector {
     }
 
     /// The score of the `k`-th best answer (1-based), or `None` if fewer
-    /// than `k` answers are held. Used as the top-k termination bound.
+    /// than `k` answers are held. Used as the top-k termination bound —
+    /// called once per rank-join pull, so it selects (O(n)) rather than
+    /// sorts.
     pub fn kth_score(&self, k: usize) -> Option<f64> {
         if k == 0 || self.best.len() < k {
             return None;
         }
         let mut scores: Vec<f64> = self.best.values().map(|a| a.score).collect();
-        scores.sort_unstable_by(|a, b| b.partial_cmp(a).expect("finite scores"));
-        Some(scores[k - 1])
+        let (_, kth, _) =
+            scores.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).expect("finite scores"));
+        Some(*kth)
     }
 
     /// Finalizes into the top-`k` answers, sorted by descending score

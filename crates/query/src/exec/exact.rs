@@ -124,14 +124,19 @@ fn recurse(
     let pattern = &patterns[pi];
     let lookup = substituted(pattern, bindings);
     let candidates = store.lookup(&lookup);
+    // Validate-then-bind with undo: candidate compatibility is checked
+    // against the shared assignment in place, so a failing candidate
+    // costs no allocation (the old per-candidate `Bindings` clone made
+    // every rejected triple pay for the accepted ones).
+    let mut newly_bound: Vec<trinit_relax::VarId> = Vec::with_capacity(3);
     for &id in candidates {
         metrics.postings_scanned += 1;
         let t = store.triple(id);
-        let saved = bindings.clone();
+        newly_bound.clear();
         let mut ok = true;
         for (slot, value) in pattern.slots().into_iter().zip([t.s, t.p, t.o]) {
             if let QTerm::Var(v) = slot {
-                if !bindings.bind(v, value) {
+                if !bindings.try_bind_recorded(v, value, &mut newly_bound) {
                     ok = false;
                     break;
                 }
@@ -156,7 +161,9 @@ fn recurse(
             );
             matched.pop();
         }
-        *bindings = saved;
+        for &v in &newly_bound {
+            bindings.unbind(v);
+        }
     }
 }
 

@@ -29,6 +29,9 @@ pub struct ExecMetrics {
     /// Posting lists served from the per-execution cache instead of
     /// being rebuilt (structural variants sharing a canonical pattern).
     pub posting_cache_hits: usize,
+    /// Posting lists served from a store-level shared cache (consecutive
+    /// queries of a session touching the same canonical pattern).
+    pub shared_cache_hits: usize,
     /// Entries consumed from posting lists (depth of sorted access).
     pub postings_scanned: usize,
     /// Relaxed pattern alternatives actually opened.
@@ -37,6 +40,12 @@ pub struct ExecMetrics {
     pub rewritings_evaluated: usize,
     /// Join candidate combinations tested.
     pub join_candidates: usize,
+    /// Items pulled from the per-pattern incremental merges by the rank
+    /// join (sorted-access rounds of the top-k loop).
+    pub pulls: usize,
+    /// Rank-join streams and query variants retired early by the
+    /// tightened (head-bound / remaining-mass) termination threshold.
+    pub early_cutoffs: usize,
 }
 
 impl ExecMetrics {
@@ -44,9 +53,12 @@ impl ExecMetrics {
     pub fn merge(&mut self, other: &ExecMetrics) {
         self.posting_lists_built += other.posting_lists_built;
         self.posting_cache_hits += other.posting_cache_hits;
+        self.shared_cache_hits += other.shared_cache_hits;
         self.postings_scanned += other.postings_scanned;
         self.relaxations_opened += other.relaxations_opened;
         self.rewritings_evaluated += other.rewritings_evaluated;
         self.join_candidates += other.join_candidates;
+        self.pulls += other.pulls;
+        self.early_cutoffs += other.early_cutoffs;
     }
 }

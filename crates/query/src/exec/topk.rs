@@ -20,26 +20,62 @@
 //!   (`weight × 1.0`); an alternative's posting list is materialized only
 //!   when that bound rises to the top — the "invoked only when it can
 //!   contribute" behaviour.
-//! * **Rank join** — HRJN-style: streams are pulled highest-frontier
-//!   first; each new item joins against the seen items of other streams;
-//!   the threshold `T = max_i (frontier_i + Σ_{j≠i} best_j)` bounds every
-//!   unseen combination, and processing stops once the k-th answer's
-//!   score reaches it.
+//! * **Hash-partitioned rank join** — HRJN-style: streams are pulled
+//!   highest-frontier first; each new item joins against the seen items
+//!   of the other streams. Each stream keeps its seen items partitioned
+//!   by the values of its *join variables* (variables shared with other
+//!   streams in the variant), so an arriving item probes exactly one
+//!   bucket per stream instead of scanning every seen item — the
+//!   Yannakakis-style observation that only join-compatible partners can
+//!   ever merge. Items whose relaxed form dropped a join variable land
+//!   in a small always-scanned residual list, and streams with no shared
+//!   variables degrade to a single bucket (a true cross product). The
+//!   combination loop works in a single scratch [`Bindings`] with
+//!   undo-based backtracking; a combined `Bindings` is allocated once
+//!   per *successful* full join, never speculatively.
+//! * **Tightened termination** — the classic threshold
+//!   `T = max_i (frontier_i + Σ_{j≠i} best_j)` bounds every unseen
+//!   combination; processing stops once the k-th answer's score reaches
+//!   it. On top, the store's precomputed posting index is wired into the
+//!   bound: unopened alternatives of index-served shapes start at their
+//!   *exact* head emission probability instead of the trivial `weight ×
+//!   1.0`, whole variants are pruned when even their head-bound product
+//!   cannot beat the k-th answer, and individual streams stop being
+//!   pulled (are "capped") as soon as their frontier cannot contribute
+//!   a better combination. The merge also tracks its remaining emission
+//!   mass O(1) — via the index's prefix-sum columns for index-served
+//!   lists, an incremental consumed-weight cursor otherwise
+//!   ([`IncrementalMerge::remaining_mass`]); it provably dominates the
+//!   frontier (a property test pins the invariant), so it serves as the
+//!   bound's verified soundness envelope and as an observability
+//!   surface rather than the capping criterion itself. Early
+//!   retirements are counted in [`ExecMetrics::early_cutoffs`];
+//!   sorted-access rounds in [`ExecMetrics::pulls`].
+//!   `TopkConfig::tighten_threshold` disables the tightening for A/B
+//!   comparison — answers are identical either way.
 //! * **Structural variants** — multi-pattern rules (e.g. paper rule 1)
 //!   rewrite the query as a whole; each variant runs through the machinery
 //!   above, sharing one global answer collector.
+//! * **Cache hierarchy** — materialized posting lists are shared at two
+//!   levels: a per-execution [`PostingCache`] (structural variants of one
+//!   query reuse a canonical pattern's list) and an optional store-level
+//!   [`SharedPostingCache`] LRU (consecutive queries of an interactive
+//!   session reuse lists across executions; see [`run_cached`]).
 
 use std::cell::RefCell;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 
 use trinit_relax::{apply_rule, apply_rule_with, canonical_key, QPattern, QTerm, Rule, RuleId, RuleSet, VarId};
-use trinit_xkg::{TripleId, XkgStore};
+use trinit_xkg::{TermId, TripleId, XkgStore};
 
 use crate::answer::{Answer, AnswerCollector, Bindings, Derivation};
 use crate::ast::Query;
 use crate::exec::ExecMetrics;
-use crate::score::{ln_weight, PostingCache, ScoredMatches, LOG_ZERO};
+use crate::score::{
+    head_prob_bound, ln_weight, CacheSource, PostingCache, ScoredMatches, SharedPostingCache,
+    LOG_ZERO,
+};
 
 /// Configuration of the incremental top-k processor.
 #[derive(Debug, Clone)]
@@ -55,6 +91,12 @@ pub struct TopkConfig {
     pub max_alternatives: usize,
     /// Cap on structural query variants.
     pub max_variants: usize,
+    /// Wire the precomputed posting index into the termination bound:
+    /// exact head probabilities for unopened alternatives, head-bound
+    /// variant pruning, and remaining-mass stream capping. Answers are
+    /// identical with or without; tightening only reduces the work
+    /// ([`ExecMetrics::pulls`]).
+    pub tighten_threshold: bool,
 }
 
 impl Default for TopkConfig {
@@ -65,6 +107,7 @@ impl Default for TopkConfig {
             min_weight: 0.05,
             max_alternatives: 64,
             max_variants: 16,
+            tighten_threshold: true,
         }
     }
 }
@@ -82,6 +125,10 @@ struct Alternative<'s> {
     weight: f64,
     trace: Vec<RuleId>,
     matches: Option<ScoredMatches<'s>>,
+    /// Sound upper bound on this alternative's best emission probability
+    /// before its list is opened: the exact head probability for
+    /// index-served shapes under the tightened threshold, 1.0 otherwise.
+    head_bound: f64,
 }
 
 /// Computes the alternatives of one pattern under the mergeable rules.
@@ -100,6 +147,7 @@ fn pattern_alternatives<'s>(
         weight: 1.0,
         trace: Vec::new(),
         matches: None,
+        head_bound: 1.0,
     }];
     let mut fresh_next = fresh_base;
     let mut frontier = vec![0usize]; // indices into `out`
@@ -150,6 +198,7 @@ fn pattern_alternatives<'s>(
                                 weight,
                                 trace,
                                 matches: None,
+                                head_bound: 1.0,
                             });
                             next_frontier.push(out.len() - 1);
                         }
@@ -245,27 +294,49 @@ pub struct IncrementalMerge<'a> {
     /// alternatives with the same canonical pattern reuse one
     /// materialized list.
     cache: Rc<RefCell<PostingCache>>,
+    /// Optional store-level cache shared across executions (sessions).
+    shared: Option<&'a SharedPostingCache>,
+    /// Incrementally maintained sound upper bound on every single
+    /// emission the merge can still produce: Σ over alternatives of
+    /// `weight × remaining`, where `remaining` is the head bound until
+    /// an alternative opens and its list's unconsumed mass afterwards
+    /// (each of which bounds that alternative's next emission). Each
+    /// emission subtracts its own contribution, so reading the bound is
+    /// O(1) per capping round.
+    mass_upper: f64,
 }
 
 impl<'a> IncrementalMerge<'a> {
     fn new(
         store: &'a XkgStore,
-        alts: Vec<Alternative<'a>>,
+        mut alts: Vec<Alternative<'a>>,
         cache: Rc<RefCell<PostingCache>>,
+        shared: Option<&'a SharedPostingCache>,
+        tighten: bool,
     ) -> IncrementalMerge<'a> {
         let mut heap = BinaryHeap::with_capacity(alts.len());
-        for (i, alt) in alts.iter().enumerate() {
+        for (i, alt) in alts.iter_mut().enumerate() {
+            if tighten {
+                // Exact head probability for index-served shapes, read in
+                // O(1) from the precomputed posting index — the
+                // alternative enters the queue at its true first-emission
+                // bound instead of the trivial `weight × 1.0`.
+                alt.head_bound = head_prob_bound(store, &alt.pattern);
+            }
             heap.push(MergeEntry {
-                bound: alt.weight, // × max possible probability 1.0
+                bound: alt.weight * alt.head_bound,
                 alt: i,
                 opened: false,
             });
         }
+        let mass_upper = alts.iter().map(|a| a.weight * a.head_bound).sum();
         IncrementalMerge {
             store,
             alts,
             heap,
             cache,
+            shared,
+            mass_upper,
         }
     }
 
@@ -273,6 +344,15 @@ impl<'a> IncrementalMerge<'a> {
     /// exhausted.
     pub fn peek_bound(&self) -> Option<f64> {
         self.heap.peek().map(|e| e.bound)
+    }
+
+    /// Upper bound on any probability the merge can still emit — and,
+    /// once alternatives are open, on their collective unconsumed mass
+    /// (kept current by the list cursors' O(1) weight tracking; unopened
+    /// alternatives contribute their head bound). Always ≥ any single
+    /// future emission, hence a sound — if loose — termination bound.
+    pub fn remaining_mass(&self) -> f64 {
+        self.mass_upper.max(0.0)
     }
 
     /// Produces the next emission in descending order.
@@ -287,15 +367,16 @@ impl<'a> IncrementalMerge<'a> {
                 if !alt.trace.is_empty() {
                     metrics.relaxations_opened += 1;
                 }
-                let (matches, cache_hit) = ScoredMatches::build_cached(
+                let (matches, source) = ScoredMatches::build_tiered(
                     self.store,
                     &alt.pattern,
                     &mut self.cache.borrow_mut(),
+                    self.shared,
                 );
-                if cache_hit {
-                    metrics.posting_cache_hits += 1;
-                } else {
-                    metrics.posting_lists_built += 1;
+                match source {
+                    CacheSource::Built => metrics.posting_lists_built += 1,
+                    CacheSource::ExecHit => metrics.posting_cache_hits += 1,
+                    CacheSource::SharedHit => metrics.shared_cache_hits += 1,
                 }
                 if let Some(p) = matches.peek_prob() {
                     self.heap.push(MergeEntry {
@@ -304,6 +385,9 @@ impl<'a> IncrementalMerge<'a> {
                         opened: true,
                     });
                 }
+                // Replace the alternative's head-bound contribution with
+                // its actual (full) list mass.
+                self.mass_upper += alt.weight * (matches.remaining_mass() - alt.head_bound);
                 alt.matches = Some(matches);
                 continue;
             }
@@ -311,6 +395,7 @@ impl<'a> IncrementalMerge<'a> {
             let Some((triple, prob)) = matches.next_entry() else {
                 continue;
             };
+            self.mass_upper -= alt.weight * prob;
             metrics.postings_scanned += 1;
             if let Some(p) = matches.peek_prob() {
                 self.heap.push(MergeEntry {
@@ -330,10 +415,15 @@ impl<'a> IncrementalMerge<'a> {
     }
 }
 
-/// An item seen by one rank-join stream.
+/// An item seen by one rank-join stream: the (few) variable bindings its
+/// triple induced, plus provenance for derivations.
 #[derive(Debug, Clone)]
 struct SeenItem {
-    bindings: Bindings,
+    /// `(variable, value)` pairs bound by this item's pattern — at most
+    /// three, deduplicated. Stored as pairs (not a dense [`Bindings`])
+    /// so joining is an O(|pairs|) probe into the shared scratch
+    /// assignment instead of a per-candidate vector clone.
+    bound: Vec<(VarId, TermId)>,
     log_score: f64,
     pattern: QPattern,
     triple: TripleId,
@@ -344,8 +434,24 @@ struct SeenItem {
 struct Stream<'a> {
     merge: IncrementalMerge<'a>,
     seen: Vec<SeenItem>,
+    /// This stream's join variables: variables of its variant pattern
+    /// shared with at least one other stream. Sorted, deduplicated; the
+    /// partition key is their value tuple.
+    join_vars: Vec<VarId>,
+    /// Seen items that bind every join variable, partitioned by their
+    /// join-key values. With no join variables all items share the empty
+    /// key (a deliberate single-bucket cross product).
+    buckets: HashMap<Vec<TermId>, Vec<u32>>,
+    /// Seen items whose (relaxed) pattern dropped a join variable; they
+    /// are compatible with any key value there, so every probe scans
+    /// this residual list as well.
+    partial: Vec<u32>,
     best_log: f64,
     exhausted: bool,
+    /// Retired by the tightened threshold: no unseen item of this stream
+    /// can improve the top-k, so it is no longer pulled (its seen items
+    /// keep participating in other streams' joins).
+    capped: bool,
 }
 
 impl Stream<'_> {
@@ -365,22 +471,53 @@ impl Stream<'_> {
             self.best_log
         }
     }
+
+    /// Remembers an item, filing it under its join-key partition.
+    fn push_seen(&mut self, item: SeenItem) {
+        if self.seen.is_empty() {
+            self.best_log = item.log_score;
+        }
+        let idx = self.seen.len() as u32;
+        let mut key = Vec::with_capacity(self.join_vars.len());
+        let mut complete = true;
+        for &v in &self.join_vars {
+            match item.bound.iter().find(|(u, _)| *u == v) {
+                Some(&(_, t)) => key.push(t),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            self.buckets.entry(key).or_default().push(idx);
+        } else {
+            self.partial.push(idx);
+        }
+        self.seen.push(item);
+    }
 }
 
-/// Binds a pattern's variables against a concrete triple. Returns `None`
-/// on conflict (cannot happen for triples from the pattern's own match
-/// list, but kept defensive).
-fn bind_triple(pattern: &QPattern, store: &XkgStore, triple: TripleId, n_vars: usize) -> Option<Bindings> {
+/// The `(variable, value)` pairs a pattern induces against a concrete
+/// triple, deduplicated. Returns `None` if a repeated variable meets two
+/// different values (cannot happen for triples from the pattern's own
+/// match list, which pre-filters repetition, but kept defensive).
+fn bind_pairs(pattern: &QPattern, store: &XkgStore, triple: TripleId) -> Option<Vec<(VarId, TermId)>> {
     let t = store.triple(triple);
-    let mut b = Bindings::new(n_vars);
+    let mut out: Vec<(VarId, TermId)> = Vec::with_capacity(3);
     for (slot, value) in pattern.slots().into_iter().zip([t.s, t.p, t.o]) {
         if let QTerm::Var(v) = slot {
-            if !b.bind(v, value) {
-                return None;
+            match out.iter().find(|(u, _)| *u == v) {
+                Some(&(_, existing)) => {
+                    if existing != value {
+                        return None;
+                    }
+                }
+                None => out.push((v, value)),
             }
         }
     }
-    Some(b)
+    Some(out)
 }
 
 /// Enumerates structural query variants (non-mergeable rules applied at
@@ -446,6 +583,22 @@ pub fn run(
     rules: &RuleSet,
     cfg: &TopkConfig,
 ) -> (Vec<Answer>, ExecMetrics) {
+    run_cached(store, query, rules, cfg, None)
+}
+
+/// Like [`run`], additionally consulting a store-level posting cache
+/// shared across executions — the session tier of the cache hierarchy.
+/// Interactive workloads that re-issue queries over the same canonical
+/// patterns (the paper's E6 setting) reuse materialized lists across
+/// consecutive queries; hits are counted in
+/// [`ExecMetrics::shared_cache_hits`].
+pub fn run_cached(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shared: Option<&SharedPostingCache>,
+) -> (Vec<Answer>, ExecMetrics) {
     let mut metrics = ExecMetrics::default();
     let mut collector = AnswerCollector::new();
     let projection = query.effective_projection();
@@ -468,6 +621,7 @@ pub fn run(
             &projection,
             k,
             &cache,
+            shared,
             &mut collector,
             &mut metrics,
         );
@@ -487,6 +641,7 @@ fn run_variant(
     projection: &[VarId],
     k: usize,
     cache: &Rc<RefCell<PostingCache>>,
+    shared: Option<&SharedPostingCache>,
     collector: &mut AnswerCollector,
     metrics: &mut ExecMetrics,
 ) {
@@ -494,6 +649,7 @@ fn run_variant(
         return;
     }
     let variant_log = ln_weight(variant_weight);
+    let tighten = cfg.tighten_threshold;
     let max_var = patterns
         .iter()
         .filter_map(QPattern::max_var)
@@ -507,21 +663,59 @@ fn run_variant(
         .map(|(i, p)| {
             let fresh_base = max_var + (i as u16) * 8;
             let alts = pattern_alternatives(p, rules, cfg, fresh_base);
+            // Join variables of this stream: variables shared with any
+            // other pattern of the variant. Relaxed alternatives only
+            // rename rule-introduced *fresh* variables (into per-stream
+            // disjoint ranges), so shared variables are exactly the
+            // shared variables of the variant patterns themselves.
+            let mut join_vars: Vec<VarId> = p.vars().collect();
+            join_vars.sort_unstable();
+            join_vars.dedup();
+            join_vars.retain(|v| {
+                patterns
+                    .iter()
+                    .enumerate()
+                    .any(|(j, q)| j != i && q.vars().any(|w| w == *v))
+            });
             Stream {
-                merge: IncrementalMerge::new(store, alts, Rc::clone(cache)),
+                merge: IncrementalMerge::new(store, alts, Rc::clone(cache), shared, tighten),
                 seen: Vec::new(),
+                join_vars,
+                buckets: HashMap::new(),
+                partial: Vec::new(),
                 best_log: LOG_ZERO,
                 exhausted: false,
+                capped: false,
             }
         })
         .collect();
 
-    // Pick the non-exhausted stream with the highest frontier each round.
+    // Head-bound variant pruning: every answer of this variant scores at
+    // most variant_weight × Π_i (best emission of stream i), and each
+    // stream's initial frontier is exactly that head bound. If the k-th
+    // collected answer already matches it, nothing here can enter the
+    // top-k — skip the variant without opening a single posting list.
+    if tighten {
+        if let Some(kth) = collector.kth_score(k) {
+            let bound: f64 = variant_log + streams.iter().map(Stream::frontier_log).sum::<f64>();
+            if kth >= bound {
+                metrics.early_cutoffs += 1;
+                return;
+            }
+        }
+    }
+
+    // Scratch assignment for the combination loop; `join_with_others`
+    // always restores it to fully unbound.
+    let mut scratch = Bindings::new(n_vars);
+
+    // Pick the non-exhausted, non-capped stream with the highest
+    // frontier each round.
     while let Some(next) = (0..streams.len())
-        .filter(|&i| !streams[i].exhausted)
+        .filter(|&i| !streams[i].exhausted && !streams[i].capped)
         .max_by(|&a, &b| streams[a].frontier_log().total_cmp(&streams[b].frontier_log()))
     {
-
+        metrics.pulls += 1;
         let merged = streams[next].merge.next_merged(metrics);
         match merged {
             None => {
@@ -532,37 +726,36 @@ fn run_variant(
                 }
             }
             Some(m) => {
-                let Some(bindings) = bind_triple(&m.pattern, store, m.triple, n_vars) else {
+                let Some(bound) = bind_pairs(&m.pattern, store, m.triple) else {
                     continue;
                 };
                 let log_score = ln_weight(m.prob);
                 let item = SeenItem {
-                    bindings,
+                    bound,
                     log_score,
                     pattern: m.pattern,
                     triple: m.triple,
                     trace: m.trace,
                     weight: m.weight,
                 };
-                if streams[next].seen.is_empty() {
-                    streams[next].best_log = log_score;
-                }
 
                 // Join the new item with the seen items of other streams
                 // (its own stream is skipped, so joining before remembering
-                // the item is equivalent and saves a clone).
+                // the item is equivalent).
                 join_with_others(
-                    &streams, next, &item, variant_log, variant_trace, projection, collector,
-                    metrics,
+                    &streams, next, &item, variant_log, variant_trace, projection, &mut scratch,
+                    collector, metrics,
                 );
-                streams[next].seen.push(item);
+                streams[next].push_seen(item);
             }
         }
 
         // Threshold: best score any unseen combination can still achieve.
+        // Capped streams produce no further items, so they drop out of
+        // the outer max; their seen items still bound the inner product.
         let threshold = variant_log
             + (0..streams.len())
-                .filter(|&i| !streams[i].exhausted)
+                .filter(|&i| !streams[i].exhausted && !streams[i].capped)
                 .map(|i| {
                     streams[i].frontier_log()
                         + (0..streams.len())
@@ -579,13 +772,157 @@ fn run_variant(
             if kth >= threshold {
                 break;
             }
+            if tighten && streams.len() > 1 {
+                // Stream capping: retire stream i once its frontier —
+                // with the head-bound refinement, a tight bound on every
+                // unseen item of i (the merge's O(1)-tracked remaining
+                // mass dominates it and serves as the verified
+                // soundness envelope) — combined
+                // with the other streams' contribution bounds cannot
+                // beat the k-th answer. Later rounds then stop pulling i
+                // entirely instead of draining its tail. (Single-stream
+                // variants skip this: there the cap condition is exactly
+                // the global break above.)
+                for i in 0..streams.len() {
+                    if streams[i].exhausted || streams[i].capped {
+                        continue;
+                    }
+                    let others: f64 = (0..streams.len())
+                        .filter(|&j| j != i)
+                        .map(|j| streams[j].contribution_bound())
+                        .sum();
+                    let stream_bound = streams[i].frontier_log();
+                    if kth >= variant_log + stream_bound + others {
+                        streams[i].capped = true;
+                        metrics.early_cutoffs += 1;
+                        // A capped stream with nothing seen can never
+                        // complete a combination: the variant is done.
+                        if streams[i].seen.is_empty() {
+                            return;
+                        }
+                    }
+                }
+            }
         }
     }
 }
 
-/// One joined item during combination: pattern, triple, chain trace, and
-/// alternative weight.
-type JoinItem = (QPattern, TripleId, Vec<RuleId>, f64);
+/// Binds an item's `(variable, value)` pairs into the scratch
+/// assignment, recording newly bound variables in `undo`. On conflict,
+/// rolls back the partial binds and returns `false` — nothing is
+/// allocated either way.
+fn bind_all(scratch: &mut Bindings, bound: &[(VarId, TermId)], undo: &mut Vec<VarId>) -> bool {
+    for &(v, t) in bound {
+        if !scratch.try_bind_recorded(v, t, undo) {
+            for &u in undo.iter() {
+                scratch.unbind(u);
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// The join-key values of `join_vars` under the scratch assignment, or
+/// `None` if some join variable is still unbound (the accumulated
+/// streams do not cover it, so every partition stays reachable).
+fn probe_key(scratch: &Bindings, join_vars: &[VarId]) -> Option<Vec<TermId>> {
+    let mut key = Vec::with_capacity(join_vars.len());
+    for &v in join_vars {
+        key.push(scratch.get(v)?);
+    }
+    Some(key)
+}
+
+/// Depth-first combination over the other streams' seen items. Each
+/// stream is entered through its join-key partition: one hash probe
+/// selects the only bucket whose items can merge with the accumulated
+/// assignment (plus the residual list of items missing a join variable).
+/// The scratch assignment is shared across the whole recursion with
+/// undo-based backtracking; a combined `Bindings` is only materialized
+/// inside `emit`, once per successful full join.
+#[allow(clippy::too_many_arguments)]
+fn combine<'s>(
+    streams: &'s [Stream<'_>],
+    skip: usize,
+    idx: usize,
+    scratch: &mut Bindings,
+    acc_score: f64,
+    acc_items: &mut Vec<&'s SeenItem>,
+    emit: &mut dyn FnMut(&Bindings, f64, &[&SeenItem]),
+    metrics: &mut ExecMetrics,
+) {
+    if idx == streams.len() {
+        emit(scratch, acc_score, acc_items);
+        return;
+    }
+    if idx == skip {
+        combine(
+            streams, skip, idx + 1, scratch, acc_score, acc_items, emit, metrics,
+        );
+        return;
+    }
+    let stream = &streams[idx];
+    let mut undo: Vec<VarId> = Vec::new();
+    let try_candidate = |item: &'s SeenItem,
+                             scratch: &mut Bindings,
+                             acc_items: &mut Vec<&'s SeenItem>,
+                             undo: &mut Vec<VarId>,
+                             emit: &mut dyn FnMut(&Bindings, f64, &[&SeenItem]),
+                             metrics: &mut ExecMetrics| {
+        metrics.join_candidates += 1;
+        undo.clear();
+        if !bind_all(scratch, &item.bound, undo) {
+            return;
+        }
+        acc_items.push(item);
+        combine(
+            streams,
+            skip,
+            idx + 1,
+            scratch,
+            acc_score + item.log_score,
+            acc_items,
+            emit,
+            metrics,
+        );
+        acc_items.pop();
+        for &v in undo.iter() {
+            scratch.unbind(v);
+        }
+    };
+    match probe_key(scratch, &stream.join_vars) {
+        Some(key) => {
+            if let Some(bucket) = stream.buckets.get(&key) {
+                for &i in bucket {
+                    try_candidate(
+                        &stream.seen[i as usize],
+                        scratch,
+                        acc_items,
+                        &mut undo,
+                        emit,
+                        metrics,
+                    );
+                }
+            }
+            for &i in &stream.partial {
+                try_candidate(
+                    &stream.seen[i as usize],
+                    scratch,
+                    acc_items,
+                    &mut undo,
+                    emit,
+                    metrics,
+                );
+            }
+        }
+        None => {
+            for item in &stream.seen {
+                try_candidate(item, scratch, acc_items, &mut undo, emit, metrics);
+            }
+        }
+    }
+}
 
 #[allow(clippy::too_many_arguments)]
 fn join_with_others(
@@ -595,70 +932,29 @@ fn join_with_others(
     variant_log: f64,
     variant_trace: &[RuleId],
     projection: &[VarId],
+    scratch: &mut Bindings,
     collector: &mut AnswerCollector,
     metrics: &mut ExecMetrics,
 ) {
-    // Depth-first combination over the other streams' seen lists.
-    fn combine(
-        streams: &[Stream<'_>],
-        skip: usize,
-        idx: usize,
-        acc_bindings: &Bindings,
-        acc_score: f64,
-        acc_items: &mut Vec<JoinItem>,
-        emit: &mut dyn FnMut(&Bindings, f64, &[JoinItem]),
-        metrics: &mut ExecMetrics,
-    ) {
-        if idx == streams.len() {
-            emit(acc_bindings, acc_score, acc_items);
-            return;
-        }
-        if idx == skip {
-            combine(
-                streams, skip, idx + 1, acc_bindings, acc_score, acc_items, emit, metrics,
-            );
-            return;
-        }
-        for item in &streams[idx].seen {
-            metrics.join_candidates += 1;
-            if let Some(merged) = acc_bindings.merged(&item.bindings) {
-                acc_items.push((item.pattern, item.triple, item.trace.clone(), item.weight));
-                combine(
-                    streams,
-                    skip,
-                    idx + 1,
-                    &merged,
-                    acc_score + item.log_score,
-                    acc_items,
-                    emit,
-                    metrics,
-                );
-                acc_items.pop();
-            }
-        }
+    let mut base_undo: Vec<VarId> = Vec::new();
+    if !bind_all(scratch, &new_item.bound, &mut base_undo) {
+        return; // scratch starts unbound, so this cannot conflict; defensive
     }
-
-    let mut acc_items = vec![(
-        new_item.pattern,
-        new_item.triple,
-        new_item.trace.clone(),
-        new_item.weight,
-    )];
-    let base_bindings = new_item.bindings.clone();
+    let mut acc_items: Vec<&SeenItem> = vec![new_item];
     let base_score = new_item.log_score + variant_log;
     combine(
         streams,
         new_stream,
         0,
-        &base_bindings,
+        scratch,
         base_score,
         &mut acc_items,
         &mut |bindings, score, items| {
             let mut rules: Vec<RuleId> = variant_trace.to_vec();
             let mut rule_weight = 1.0;
-            for (_, _, trace, weight) in items {
-                rules.extend_from_slice(trace);
-                rule_weight *= weight;
+            for item in items {
+                rules.extend_from_slice(&item.trace);
+                rule_weight *= item.weight;
             }
             // Variant weight folds into the derivation weight as well.
             if variant_log.is_finite() {
@@ -669,7 +965,7 @@ fn join_with_others(
                 bindings: bindings.clone(),
                 score,
                 derivation: Derivation {
-                    triples: items.iter().map(|(p, t, _, _)| (*p, *t)).collect(),
+                    triples: items.iter().map(|it| (it.pattern, it.triple)).collect(),
                     rules,
                     rule_weight,
                 },
@@ -677,6 +973,9 @@ fn join_with_others(
         },
         metrics,
     );
+    for &v in &base_undo {
+        scratch.unbind(v);
+    }
 }
 
 #[cfg(test)]
@@ -891,5 +1190,367 @@ mod tests {
             .build();
         let (answers, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
         assert!(answers.is_empty());
+    }
+
+    /// Reference evaluation for the partition tests: full expansion
+    /// evaluates every rewriting with a nested-loop join, so its answer
+    /// set is exactly what the hash-partitioned combine must reproduce.
+    fn reference(store: &XkgStore, q: &crate::ast::Query, rules: &RuleSet) -> Vec<crate::answer::Answer> {
+        let (full, _) = expand::run(
+            store,
+            q,
+            rules,
+            &ExpandOptions {
+                max_depth: 2,
+                min_weight: 0.0,
+                max_rewritings: 4096,
+            },
+        );
+        full
+    }
+
+    fn assert_same_answers(a: &[crate::answer::Answer], b: &[crate::answer::Answer]) {
+        assert_eq!(a.len(), b.len(), "answer counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.key, y.key, "answer keys differ");
+            assert!((x.score - y.score).abs() < 1e-9, "scores differ");
+        }
+    }
+
+    #[test]
+    fn no_shared_variables_is_a_cross_product() {
+        // Streams without join variables share the single empty-key
+        // bucket: every seen item of the other stream is probed, i.e. a
+        // genuine cross product, identical to nested-loop evaluation.
+        let mut b = XkgBuilder::new();
+        for i in 0..3 {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{i}"));
+        }
+        for i in 0..4 {
+            b.add_kg_resources(&format!("t{i}"), "q", &format!("u{i}"));
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("a", "p", "b")
+            .pattern_v_r_v("c", "q", "d")
+            .limit(1000)
+            .build();
+        let (inc, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert_eq!(inc.len(), 12, "3 × 4 cross product");
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn repeated_variable_pattern_joins_correctly() {
+        // `?x p ?x` filters to self-loops and shares ?x with the second
+        // stream; the partition key must use the deduplicated binding.
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("loop", "p", "loop");
+        b.add_kg_resources("a", "p", "b"); // not a self-loop
+        b.add_kg_resources("loop", "q", "c");
+        b.add_kg_resources("a", "q", "d");
+        let store = b.build();
+        let mut qb = QueryBuilder::new(&store);
+        let x = QTerm::Var(qb.var("x"));
+        let y = QTerm::Var(qb.var("y"));
+        let p = QTerm::Term(qb.resource("p"));
+        let qq = QTerm::Term(qb.resource("q"));
+        let q = qb.pattern(x, p, x).pattern(x, qq, y).limit(1000).build();
+        let (inc, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert_eq!(inc.len(), 1, "only the self-loop joins");
+        let loop_id = store.resource("loop").unwrap();
+        assert_eq!(inc[0].bindings.get(trinit_relax::VarId(0)), Some(loop_id));
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn empty_bucket_probes_produce_nothing_and_test_no_candidates() {
+        // Join-key value sets are disjoint: every probe lands in an
+        // absent bucket, so the combine tests zero candidates (a full
+        // scan would have tested every pair) and yields no answers.
+        let mut b = XkgBuilder::new();
+        for i in 0..5 {
+            b.add_kg_resources(&format!("a{i}"), "p", &format!("y{i}"));
+            b.add_kg_resources(&format!("b{i}"), "q", &format!("z{i}"));
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "p", "y")
+            .pattern_v_r_v("x", "q", "z")
+            .limit(1000)
+            .build();
+        let (inc, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert!(inc.is_empty());
+        assert_eq!(
+            metrics.join_candidates, 0,
+            "disjoint keys must never be probed: {metrics:?}"
+        );
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn partitioning_cuts_join_candidates_on_one_to_one_joins() {
+        // 30 1:1 join pairs. A full seen-list scan tests O(n²)
+        // candidates; the partitioned probe touches one bucket of size 1
+        // per arriving item.
+        let n = 30usize;
+        let mut b = XkgBuilder::new();
+        for i in 0..n {
+            b.add_kg_resources(&format!("x{i}"), "p", &format!("y{i}"));
+            b.add_kg_resources(&format!("x{i}"), "q", &format!("z{i}"));
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "p", "y")
+            .pattern_v_r_v("x", "q", "z")
+            .limit(1000)
+            .build();
+        let (inc, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert_eq!(inc.len(), n);
+        assert!(
+            metrics.join_candidates <= 2 * n,
+            "partitioned probes should be linear, got {} for n = {n}",
+            metrics.join_candidates
+        );
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn partition_buckets_and_residual_list() {
+        // White-box: items binding every join variable land in the
+        // keyed bucket; items whose (relaxed) pattern dropped a join
+        // variable go to the always-scanned residual list.
+        let store = store();
+        let p = store.resource("affiliation").unwrap();
+        let pattern = QPattern::new(QTerm::Var(VarId(0)), QTerm::Term(p), QTerm::Var(VarId(1)));
+        let alts = pattern_alternatives(&pattern, &RuleSet::new(), &TopkConfig::default(), 10);
+        let cache = Rc::new(RefCell::new(PostingCache::new()));
+        let mut stream = Stream {
+            merge: IncrementalMerge::new(&store, alts, cache, None, true),
+            seen: Vec::new(),
+            join_vars: vec![VarId(0)],
+            buckets: HashMap::new(),
+            partial: Vec::new(),
+            best_log: LOG_ZERO,
+            exhausted: false,
+            capped: false,
+        };
+        let einstein = store.resource("AlbertEinstein").unwrap();
+        let ias = store.resource("IAS").unwrap();
+        let item = |bound: Vec<(VarId, TermId)>, score: f64| SeenItem {
+            bound,
+            log_score: score,
+            pattern,
+            triple: TripleId(0),
+            trace: Vec::new(),
+            weight: 1.0,
+        };
+        stream.push_seen(item(vec![(VarId(0), einstein), (VarId(1), ias)], -0.1));
+        stream.push_seen(item(vec![(VarId(1), ias)], -0.2)); // dropped ?x
+        stream.push_seen(item(vec![(VarId(0), einstein), (VarId(1), einstein)], -0.3));
+        assert_eq!(stream.buckets.get(&vec![einstein]), Some(&vec![0u32, 2]));
+        assert_eq!(stream.partial, vec![1u32]);
+        assert_eq!(stream.best_log, -0.1);
+
+        // Probe keys resolve through the scratch assignment.
+        let mut scratch = Bindings::new(4);
+        assert_eq!(probe_key(&scratch, &stream.join_vars), None, "unbound join var");
+        scratch.bind(VarId(0), einstein);
+        assert_eq!(probe_key(&scratch, &stream.join_vars), Some(vec![einstein]));
+        assert_eq!(probe_key(&scratch, &[]), Some(Vec::new()), "cross product key");
+    }
+
+    #[test]
+    fn bind_pairs_dedupes_and_detects_conflicts() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        // Find the (AlbertEinstein, affiliation, IAS) triple.
+        let einstein = store.resource("AlbertEinstein").unwrap();
+        let triple = store
+            .iter()
+            .find(|(_, t)| t.p == aff && t.s == einstein)
+            .map(|(id, _)| id)
+            .unwrap();
+        let v = QTerm::Var(VarId(0));
+        let w = QTerm::Var(VarId(1));
+        let pairs = bind_pairs(&QPattern::new(v, QTerm::Term(aff), w), &store, triple).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, VarId(0));
+        assert_eq!(pairs[0].1, einstein);
+        // Repeated variable over distinct slot values: conflict.
+        assert!(bind_pairs(&QPattern::new(v, QTerm::Term(aff), v), &store, triple).is_none());
+        // Ground pattern binds nothing.
+        let t = store.triple(triple);
+        let ground = QPattern::new(QTerm::Term(t.s), QTerm::Term(t.p), QTerm::Term(t.o));
+        assert!(bind_pairs(&ground, &store, triple).unwrap().is_empty());
+    }
+
+    #[test]
+    fn tightened_threshold_caps_hopeless_streams() {
+        // Stream A: one strong lonely item, one joining item, then a
+        // heavy tail of lonely items whose frontier stays above stream
+        // B's. Stream B: a strong joining head and a long tail. Once the
+        // best join is collected, no unseen A item can beat it (its
+        // frontier × B's best is below the answer), but B must still be
+        // drained. The untightened engine keeps pulling A (highest
+        // frontier); the tightened one caps A and pulls only B.
+        let mut b = XkgBuilder::new();
+        let p = b.dict_mut().resource("p");
+        let q = b.dict_mut().resource("q");
+        let src = b.intern_source("d");
+        let add = |s: &str, pred: trinit_xkg::TermId, o: &str, conf: f32, b: &mut XkgBuilder| {
+            let s = b.dict_mut().resource(s);
+            let o = b.dict_mut().resource(o);
+            b.add_extracted(s, pred, o, conf, src);
+        };
+        add("LA", p, "y0", 0.9, &mut b);
+        add("J", p, "y1", 0.018, &mut b);
+        for i in 0..50 {
+            add(&format!("a{i}"), p, &format!("ya{i}"), 0.016, &mut b);
+        }
+        add("J", q, "z0", 0.9, &mut b);
+        for i in 0..150 {
+            add(&format!("b{i}"), q, &format!("zb{i}"), 0.5, &mut b);
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "p", "y")
+            .pattern_v_r_v("x", "q", "z")
+            .limit(1)
+            .build();
+        let rules = RuleSet::new();
+        let (tight, m_tight) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                tighten_threshold: true,
+                ..TopkConfig::default()
+            },
+        );
+        let (loose, m_loose) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                tighten_threshold: false,
+                ..TopkConfig::default()
+            },
+        );
+        assert_same_answers(&tight, &loose);
+        assert_eq!(tight.len(), 1);
+        assert!(
+            m_tight.pulls < m_loose.pulls,
+            "capping must save pulls: {} vs {}",
+            m_tight.pulls,
+            m_loose.pulls
+        );
+        assert!(m_tight.early_cutoffs > 0, "{m_tight:?}");
+        assert_eq!(m_loose.early_cutoffs, 0, "{m_loose:?}");
+    }
+
+    #[test]
+    fn remaining_mass_dominates_frontier_throughout() {
+        // The soundness envelope the capping bound relies on: at every
+        // point of a merge's lifetime, the O(1)-tracked remaining mass
+        // is ≥ the frontier (the next emission's upper bound), so
+        // capping on the frontier can never be less sound than capping
+        // on the mass. Exercised across relaxation chains, cache hits,
+        // and exhaustion.
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let housed = store.token("housed in").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite("a", aff, lectured, 0.7, RuleProvenance::UserDefined));
+        rules.add(Rule::predicate_rewrite("b", aff, housed, 0.6, RuleProvenance::UserDefined));
+        let cfg = TopkConfig {
+            min_weight: 0.0,
+            ..TopkConfig::default()
+        };
+        for pattern in [
+            QPattern::new(QTerm::Var(VarId(0)), QTerm::Term(aff), QTerm::Var(VarId(1))),
+            QPattern::new(
+                QTerm::Term(store.resource("AlbertEinstein").unwrap()),
+                QTerm::Term(aff),
+                QTerm::Var(VarId(1)),
+            ),
+        ] {
+            for tighten in [true, false] {
+                let alts = pattern_alternatives(&pattern, &rules, &cfg, 10);
+                let cache = Rc::new(RefCell::new(PostingCache::new()));
+                let mut merge = IncrementalMerge::new(&store, alts, cache, None, tighten);
+                let mut metrics = ExecMetrics::default();
+                let mut total_emitted = 0.0;
+                loop {
+                    let mass = merge.remaining_mass();
+                    match merge.peek_bound() {
+                        Some(bound) => assert!(
+                            mass >= bound - 1e-12,
+                            "mass {mass} < frontier {bound} (tighten={tighten})"
+                        ),
+                        None => break,
+                    }
+                    let Some(m) = merge.next_merged(&mut metrics) else {
+                        break;
+                    };
+                    // The emission itself is covered by the pre-pull mass.
+                    assert!(mass >= m.prob - 1e-12);
+                    total_emitted += m.prob;
+                }
+                assert!(merge.remaining_mass() >= -1e-12);
+                assert!(total_emitted > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn head_bound_prunes_hopeless_variants() {
+        // A structural variant whose head-bound product cannot reach the
+        // already-collected k-th answer is skipped without opening a
+        // single posting list.
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let housed = store.token("housed in").unwrap();
+        let mut rules = RuleSet::new();
+        // A non-mergeable (two-RHS) rule creates a structural variant
+        // with a tiny weight (paper rule 3 shape).
+        let (x, y, z) = (
+            trinit_relax::TTerm::Var(trinit_relax::RVar(0)),
+            trinit_relax::TTerm::Var(trinit_relax::RVar(1)),
+            trinit_relax::TTerm::Var(trinit_relax::RVar(2)),
+        );
+        rules.add(Rule::structural(
+            "weak structural",
+            vec![trinit_relax::Template::new(
+                x,
+                trinit_relax::TTerm::Const(aff),
+                y,
+            )],
+            vec![
+                trinit_relax::Template::new(x, trinit_relax::TTerm::Const(aff), z),
+                trinit_relax::Template::new(z, trinit_relax::TTerm::Const(housed), y),
+            ],
+            0.0001,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("AlbertEinstein", "affiliation", "y")
+            .limit(1)
+            .build();
+        let (answers, metrics) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                min_weight: 0.0,
+                ..TopkConfig::default()
+            },
+        );
+        assert_eq!(answers.len(), 1);
+        assert!(
+            metrics.early_cutoffs > 0,
+            "weak variant should be pruned by its head bound: {metrics:?}"
+        );
     }
 }

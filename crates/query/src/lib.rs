@@ -23,7 +23,10 @@ pub use exec::topk::{IncrementalMerge, TopkConfig};
 pub use exec::ExecMetrics;
 pub use parser::{parse, ParseError};
 pub use plan::plan_order;
-pub use score::{ln_weight, ScoredMatches, LOG_ZERO};
+pub use score::{
+    ln_weight, CacheSource, PostingCache, ScoredMatches, SharedCacheStats, SharedPostingCache,
+    LOG_ZERO,
+};
 
 // Re-export the pattern language for downstream convenience.
 pub use trinit_relax::{QPattern, QTerm, VarId};

@@ -25,7 +25,7 @@
 //! pattern never rebuild its matches.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use trinit_relax::{QPattern, QTerm};
 use trinit_xkg::{Posting, PostingList, SlotPattern, TripleId, XkgStore};
@@ -74,7 +74,7 @@ pub fn canonical_pattern(pattern: &QPattern) -> CanonicalPattern {
 /// are shared.
 #[derive(Debug, Default)]
 pub struct PostingCache {
-    map: HashMap<CanonicalPattern, (Rc<[Posting]>, f64)>,
+    map: HashMap<CanonicalPattern, (Arc<[Posting]>, f64)>,
 }
 
 impl PostingCache {
@@ -91,6 +91,152 @@ impl PostingCache {
     /// True if nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+}
+
+/// Where a cached posting-list build was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Materialized fresh (or borrow-served, which costs nothing).
+    Built,
+    /// Served from the per-execution [`PostingCache`].
+    ExecHit,
+    /// Served from a store-level [`SharedPostingCache`].
+    SharedHit,
+}
+
+/// Hit/miss/eviction accounting of a [`SharedPostingCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to materialize (consultations that missed).
+    pub misses: usize,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: usize,
+}
+
+#[derive(Debug)]
+struct SharedEntry {
+    entries: Arc<[Posting]>,
+    total: f64,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    map: HashMap<CanonicalPattern, SharedEntry>,
+    capacity: usize,
+    tick: u64,
+    stats: SharedCacheStats,
+}
+
+/// Store-level bounded LRU of materialized posting lists, keyed by
+/// [`CanonicalPattern`] — the second cache tier above the per-execution
+/// [`PostingCache`].
+///
+/// Interactive sessions (the paper's E6 workload) re-issue queries over
+/// the same predicates and entity anchors; the per-execution cache dies
+/// with each query, so consecutive queries rebuilt identical lists. A
+/// `SharedPostingCache` lives behind a `Session` (or an entire system)
+/// and hands out `Arc`-shared entry slices across queries. Borrow-served
+/// shapes (predicate-only, fully unbound) bypass it — they are already
+/// O(1) reads of the store's frozen posting index.
+///
+/// Eviction is least-recently-used over a monotone access tick; capacity
+/// 0 disables retention entirely (every consultation misses).
+#[derive(Debug)]
+pub struct SharedPostingCache {
+    inner: Mutex<SharedInner>,
+}
+
+impl SharedPostingCache {
+    /// A cache holding at most `capacity` materialized lists.
+    pub fn new(capacity: usize) -> SharedPostingCache {
+        SharedPostingCache {
+            inner: Mutex::new(SharedInner {
+                map: HashMap::new(),
+                capacity,
+                tick: 0,
+                stats: SharedCacheStats::default(),
+            }),
+        }
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("posting cache poisoned").capacity
+    }
+
+    /// Number of lists currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("posting cache poisoned").map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().expect("posting cache poisoned").map.is_empty()
+    }
+
+    /// Accumulated hit/miss/eviction counters.
+    pub fn stats(&self) -> SharedCacheStats {
+        self.inner.lock().expect("posting cache poisoned").stats
+    }
+
+    /// Drops all cached lists (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().expect("posting cache poisoned").map.clear();
+    }
+
+    /// Looks up a canonical pattern, bumping its recency on hit. Counts
+    /// one hit or one miss.
+    fn get(&self, key: &CanonicalPattern) -> Option<(Arc<[Posting]>, f64)> {
+        let mut inner = self.inner.lock().expect("posting cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                let out = (Arc::clone(&entry.entries), entry.total);
+                inner.stats.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a materialized list, evicting the least-recently-used
+    /// entries if the capacity bound would be exceeded.
+    fn insert(&self, key: CanonicalPattern, entries: Arc<[Posting]>, total: f64) {
+        let mut inner = self.inner.lock().expect("posting cache poisoned");
+        if inner.capacity == 0 {
+            return;
+        }
+        while inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
+            let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            inner.map.remove(&lru);
+            inner.stats.evictions += 1;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            SharedEntry {
+                entries,
+                total,
+                last_used: tick,
+            },
+        );
     }
 }
 
@@ -120,15 +266,29 @@ impl<'s> ScoredMatches<'s> {
         }
     }
 
-    /// Builds through `cache`, sharing materialized lists across patterns
-    /// with the same canonical form. Returns the view and whether it was
-    /// served from the cache. Borrow-served shapes bypass the cache
-    /// entirely (they cost nothing to begin with).
+    /// Builds through the per-execution `cache` only. See
+    /// [`ScoredMatches::build_tiered`] for the two-tier variant.
     pub fn build_cached(
         store: &'s XkgStore,
         pattern: &QPattern,
         cache: &mut PostingCache,
-    ) -> (ScoredMatches<'s>, bool) {
+    ) -> (ScoredMatches<'s>, CacheSource) {
+        ScoredMatches::build_tiered(store, pattern, cache, None)
+    }
+
+    /// Builds through the cache hierarchy: the per-execution `cache`
+    /// (L1, shared across structural variants of one query), then the
+    /// optional store-level `shared` LRU (L2, shared across queries of a
+    /// session). Returns the view and where it was served from. Shared
+    /// hits are promoted into the execution cache; fresh builds populate
+    /// both tiers. Borrow-served shapes bypass both (they cost nothing
+    /// to begin with).
+    pub fn build_tiered(
+        store: &'s XkgStore,
+        pattern: &QPattern,
+        cache: &mut PostingCache,
+        shared: Option<&SharedPostingCache>,
+    ) -> (ScoredMatches<'s>, CacheSource) {
         let key = canonical_pattern(pattern);
         let (slot, mask) = key;
         if mask == 0 && is_borrow_served(&slot) {
@@ -136,16 +296,27 @@ impl<'s> ScoredMatches<'s> {
                 ScoredMatches {
                     list: PostingList::build(store, &slot),
                 },
-                false,
+                CacheSource::Built,
             );
         }
         if let Some((entries, total)) = cache.map.get(&key) {
             return (
                 ScoredMatches {
-                    list: PostingList::from_shared(Rc::clone(entries), *total),
+                    list: PostingList::from_shared(Arc::clone(entries), *total),
                 },
-                true,
+                CacheSource::ExecHit,
             );
+        }
+        if let Some(store_cache) = shared {
+            if let Some((entries, total)) = store_cache.get(&key) {
+                cache.map.insert(key, (Arc::clone(&entries), total));
+                return (
+                    ScoredMatches {
+                        list: PostingList::from_shared(entries, total),
+                    },
+                    CacheSource::SharedHit,
+                );
+            }
         }
         let (entries, total) = if mask == 0 {
             let built = PostingList::build(store, &slot);
@@ -154,13 +325,16 @@ impl<'s> ScoredMatches<'s> {
         } else {
             filtered_entries(store, &slot, mask)
         };
-        let shared: Rc<[Posting]> = entries.into();
-        cache.map.insert(key, (Rc::clone(&shared), total));
+        let rc: Arc<[Posting]> = entries.into();
+        cache.map.insert(key, (Arc::clone(&rc), total));
+        if let Some(store_cache) = shared {
+            store_cache.insert(key, Arc::clone(&rc), total);
+        }
         (
             ScoredMatches {
-                list: PostingList::from_shared(shared, total),
+                list: PostingList::from_shared(rc, total),
             },
-            false,
+            CacheSource::Built,
         )
     }
 
@@ -209,6 +383,34 @@ impl<'s> ScoredMatches<'s> {
     pub fn consumed(&self) -> usize {
         self.list.consumed()
     }
+
+    /// Fraction of the emission mass not yet consumed by the cursor, in
+    /// `[0, 1]`. O(1) for every list — the build-time prefix-sum columns
+    /// for index-served lists, an incrementally tracked consumed weight
+    /// for materialized ones. An upper bound on the probability of every
+    /// remaining entry — and on their sum.
+    pub fn remaining_mass(&self) -> f64 {
+        let total = self.list.total_weight();
+        if total > 0.0 {
+            self.list.remaining_weight() / total
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Cheap sound upper bound on the head (best) emission probability of
+/// `pattern`, without materializing its match list: exact for the shapes
+/// the precomputed posting index serves (predicate-only and fully
+/// unbound, no repeated variables), trivial (1.0) otherwise. Patterns
+/// with repeated variables renormalize over a *filtered* subset, which
+/// can only raise probabilities, so the group head is not a bound there.
+pub fn head_prob_bound(store: &XkgStore, pattern: &QPattern) -> f64 {
+    let (slot, mask) = canonical_pattern(pattern);
+    if mask != 0 {
+        return 1.0;
+    }
+    store.head_prob(&slot).unwrap_or(1.0)
 }
 
 /// True if [`PostingList::build`] serves this shape as a borrowed slice
@@ -344,19 +546,19 @@ mod tests {
         // Bound-subject pattern: materialized, so cached.
         let a = store.resource("a").unwrap();
         let narrow = pat(&store, QTerm::Term(a), QTerm::Var(VarId(1)));
-        let (m1, hit1) = ScoredMatches::build_cached(&store, &narrow, &mut cache);
-        assert!(!hit1);
+        let (m1, src1) = ScoredMatches::build_cached(&store, &narrow, &mut cache);
+        assert_eq!(src1, CacheSource::Built);
         assert_eq!(cache.len(), 1);
         // Same canonical pattern under different variable names: hit.
         let renamed = pat(&store, QTerm::Term(a), QTerm::Var(VarId(7)));
-        let (m2, hit2) = ScoredMatches::build_cached(&store, &renamed, &mut cache);
-        assert!(hit2);
+        let (m2, src2) = ScoredMatches::build_cached(&store, &renamed, &mut cache);
+        assert_eq!(src2, CacheSource::ExecHit);
         assert_eq!(m1.entries(), m2.entries());
         assert_eq!(m1.total_weight(), m2.total_weight());
         // Borrow-served shape (predicate-only): never inserted.
         let broad = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
-        let (_, hit3) = ScoredMatches::build_cached(&store, &broad, &mut cache);
-        assert!(!hit3);
+        let (_, src3) = ScoredMatches::build_cached(&store, &broad, &mut cache);
+        assert_eq!(src3, CacheSource::Built);
         assert_eq!(cache.len(), 1);
     }
 
@@ -377,6 +579,123 @@ mod tests {
             let (hit, _) = ScoredMatches::build_cached(&store, &p, &mut cache);
             assert_eq!(plain.entries(), hit.entries());
         }
+    }
+
+    #[test]
+    fn shared_cache_serves_across_executions() {
+        let store = store();
+        let shared = SharedPostingCache::new(8);
+        let a = store.resource("a").unwrap();
+        let narrow = pat(&store, QTerm::Term(a), QTerm::Var(VarId(1)));
+        // First execution: builds and populates both tiers.
+        let mut exec1 = PostingCache::new();
+        let (m1, src1) = ScoredMatches::build_tiered(&store, &narrow, &mut exec1, Some(&shared));
+        assert_eq!(src1, CacheSource::Built);
+        assert_eq!(shared.len(), 1);
+        assert_eq!(shared.stats().misses, 1);
+        // Second execution (fresh L1): served by the shared tier and
+        // promoted into the new execution cache.
+        let mut exec2 = PostingCache::new();
+        let (m2, src2) = ScoredMatches::build_tiered(&store, &narrow, &mut exec2, Some(&shared));
+        assert_eq!(src2, CacheSource::SharedHit);
+        assert_eq!(shared.stats().hits, 1);
+        assert_eq!(exec2.len(), 1);
+        assert_eq!(m1.entries(), m2.entries());
+        // Within the same execution, L1 answers without touching L2.
+        let (_, src3) = ScoredMatches::build_tiered(&store, &narrow, &mut exec2, Some(&shared));
+        assert_eq!(src3, CacheSource::ExecHit);
+        assert_eq!(shared.stats().hits, 1);
+    }
+
+    #[test]
+    fn shared_cache_evicts_least_recently_used() {
+        let store = store();
+        let shared = SharedPostingCache::new(2);
+        let terms: Vec<_> = ["a", "b", "c"]
+            .iter()
+            .map(|n| store.resource(n).unwrap())
+            .collect();
+        let pats: Vec<QPattern> = terms
+            .iter()
+            .map(|&t| pat(&store, QTerm::Term(t), QTerm::Var(VarId(1))))
+            .collect();
+        let mut exec = PostingCache::new();
+        ScoredMatches::build_tiered(&store, &pats[0], &mut exec, Some(&shared));
+        ScoredMatches::build_tiered(&store, &pats[1], &mut exec, Some(&shared));
+        assert_eq!(shared.len(), 2);
+        // Touch pattern 0 through a fresh execution cache to bump recency.
+        let mut exec2 = PostingCache::new();
+        let (_, src) = ScoredMatches::build_tiered(&store, &pats[0], &mut exec2, Some(&shared));
+        assert_eq!(src, CacheSource::SharedHit);
+        // Inserting a third list evicts pattern 1 (the LRU), not 0.
+        ScoredMatches::build_tiered(&store, &pats[2], &mut exec2, Some(&shared));
+        assert_eq!(shared.len(), 2);
+        assert_eq!(shared.stats().evictions, 1);
+        let mut exec3 = PostingCache::new();
+        let (_, again0) = ScoredMatches::build_tiered(&store, &pats[0], &mut exec3, Some(&shared));
+        assert_eq!(again0, CacheSource::SharedHit);
+        let (_, again1) = ScoredMatches::build_tiered(&store, &pats[1], &mut exec3, Some(&shared));
+        assert_eq!(again1, CacheSource::Built, "pattern 1 was evicted");
+    }
+
+    #[test]
+    fn shared_cache_zero_capacity_retains_nothing() {
+        let store = store();
+        let shared = SharedPostingCache::new(0);
+        let a = store.resource("a").unwrap();
+        let narrow = pat(&store, QTerm::Term(a), QTerm::Var(VarId(1)));
+        let mut exec = PostingCache::new();
+        ScoredMatches::build_tiered(&store, &narrow, &mut exec, Some(&shared));
+        assert!(shared.is_empty());
+        let mut exec2 = PostingCache::new();
+        let (_, src) = ScoredMatches::build_tiered(&store, &narrow, &mut exec2, Some(&shared));
+        assert_eq!(src, CacheSource::Built);
+        assert_eq!(shared.stats().misses, 2);
+    }
+
+    #[test]
+    fn head_bound_is_exact_for_index_served_shapes() {
+        let store = store();
+        let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let m = ScoredMatches::build(&store, &p);
+        let head = m.peek_prob().unwrap();
+        assert!((head_prob_bound(&store, &p) - head).abs() < 1e-12);
+        // Repeated-variable and anchored shapes fall back to the trivial
+        // bound.
+        let v = QTerm::Var(VarId(0));
+        assert_eq!(head_prob_bound(&store, &pat(&store, v, v)), 1.0);
+        let a = store.resource("a").unwrap();
+        assert_eq!(
+            head_prob_bound(&store, &pat(&store, QTerm::Term(a), QTerm::Var(VarId(1)))),
+            1.0
+        );
+        // The bound is sound: never below the actual head emission.
+        for q in [
+            pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1))),
+            pat(&store, v, v),
+            pat(&store, QTerm::Term(a), QTerm::Var(VarId(1))),
+        ] {
+            let actual = ScoredMatches::build(&store, &q).peek_prob().unwrap_or(0.0);
+            assert!(head_prob_bound(&store, &q) >= actual - 1e-12);
+        }
+    }
+
+    #[test]
+    fn remaining_mass_tracks_cursor() {
+        let store = store();
+        let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let mut m = ScoredMatches::build(&store, &p);
+        assert!((m.remaining_mass() - 1.0).abs() < 1e-9);
+        let mut consumed_prob = 0.0;
+        while let Some((_, prob)) = m.next_entry() {
+            consumed_prob += prob;
+            assert!((m.remaining_mass() - (1.0 - consumed_prob)).abs() < 1e-9);
+            // The mass bounds every remaining entry.
+            if let Some(peek) = m.peek_prob() {
+                assert!(m.remaining_mass() >= peek - 1e-12);
+            }
+        }
+        assert!(m.remaining_mass().abs() < 1e-9);
     }
 
     #[test]

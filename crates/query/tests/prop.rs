@@ -87,6 +87,53 @@ fn rules_strategy(universe: u32) -> impl Strategy<Value = Vec<Rule>> {
     )
 }
 
+/// Rules whose RHS predicates never occur as an LHS predicate (LHS drawn
+/// from `[0, lhs_universe)`, RHS from `[lhs_universe, universe)`), so no
+/// rule can chain on another's output. Under such sets, full expansion
+/// with `max_depth ≥ #patterns` reaches exactly the same rewritings as
+/// per-pattern incremental merging with `chain_depth ≥ 1` — which makes
+/// multi-pattern topk ≡ expansion a well-defined property.
+fn nonchainable_rules_strategy(lhs_universe: u32, universe: u32) -> impl Strategy<Value = Vec<Rule>> {
+    proptest::collection::vec(
+        (
+            0..lhs_universe,
+            lhs_universe..universe,
+            0.15f64..1.0,
+            proptest::bool::ANY,
+        )
+            .prop_map(|(p1, p2, w, inv)| {
+                if inv {
+                    Rule::inversion("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                } else {
+                    Rule::predicate_rewrite("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                }
+            }),
+        0..4,
+    )
+}
+
+/// Asserts `got` matches `want` up to membership of the trailing
+/// tied-score group: scores must agree pairwise everywhere, keys
+/// wherever the score is strictly above the boundary score. (When the
+/// k-cut lands inside a group of equal-scored answers, both engines keep
+/// *some* k members of the group; which ones is tie-break detail.)
+fn assert_answers_equivalent(got: &[trinit_query::Answer], want: &[trinit_query::Answer]) {
+    assert_eq!(got.len(), want.len(), "answer counts differ");
+    let Some(last) = got.last() else { return };
+    let boundary = last.score;
+    for (a, b) in got.iter().zip(want) {
+        assert!(
+            (a.score - b.score).abs() < 1e-9,
+            "scores differ: {} vs {}",
+            a.score,
+            b.score
+        );
+        if (a.score - boundary).abs() > 1e-9 {
+            assert_eq!(&a.key, &b.key, "answer order differs above the tie boundary");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -115,7 +162,7 @@ proptest! {
                 structural_depth: 0,
                 min_weight: 0.0,
                 max_alternatives: 256,
-                max_variants: 16,
+                ..TopkConfig::default()
             },
         );
         let (full, _) = expand::run(
@@ -133,6 +180,121 @@ proptest! {
             prop_assert_eq!(&a.key, &b.key, "answer order differs");
             prop_assert!((a.score - b.score).abs() < 1e-9, "scores differ: {} vs {}", a.score, b.score);
         }
+    }
+
+    /// The hash-partitioned rank join ≡ full expansion on multi-pattern
+    /// *join* queries with relaxation, for random stores, rule sets, and
+    /// k. Rule sets are non-chainable so both engines reach the same
+    /// rewriting space (see [`nonchainable_rules_strategy`]); beyond
+    /// that, the partitioned combine must produce exactly the answers a
+    /// nested-loop evaluation of every rewriting produces.
+    #[test]
+    fn partitioned_join_equals_full_expansion(
+        rows in store_strategy(6, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 6), 1..4),
+        rules in nonchainable_rules_strategy(3, 6),
+        k in 1usize..12,
+    ) {
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let q1 = query_from(patterns.clone(), k);
+        let q2 = query_from(patterns, k);
+        let (inc, _) = topk::run(
+            &store,
+            &q1,
+            &set,
+            &TopkConfig {
+                structural_depth: 0,
+                min_weight: 0.0,
+                ..TopkConfig::default()
+            },
+        );
+        let (full, _) = expand::run(
+            &store,
+            &q2,
+            &set,
+            &ExpandOptions {
+                max_depth: 4,
+                min_weight: 0.0,
+                max_rewritings: 4096,
+            },
+        );
+        assert_answers_equivalent(&inc, &full);
+    }
+
+    /// Remaining-mass/head-bound threshold tightening never changes
+    /// answers — it only reduces sorted-access work. The tightened run
+    /// must report pulls ≤ the untightened run's.
+    #[test]
+    fn tightened_threshold_preserves_answers_and_reduces_pulls(
+        rows in store_strategy(5, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+    ) {
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let q1 = query_from(patterns.clone(), k);
+        let q2 = query_from(patterns, k);
+        let (tight, m_tight) = topk::run(
+            &store,
+            &q1,
+            &set,
+            &TopkConfig {
+                tighten_threshold: true,
+                ..TopkConfig::default()
+            },
+        );
+        let (loose, m_loose) = topk::run(
+            &store,
+            &q2,
+            &set,
+            &TopkConfig {
+                tighten_threshold: false,
+                ..TopkConfig::default()
+            },
+        );
+        assert_answers_equivalent(&tight, &loose);
+        prop_assert!(
+            m_tight.pulls <= m_loose.pulls,
+            "tightening increased pulls: {} > {}",
+            m_tight.pulls,
+            m_loose.pulls
+        );
+        prop_assert_eq!(m_loose.early_cutoffs, 0, "untightened path must not cut off");
+    }
+
+    /// A store-level posting cache is invisible in answers: running the
+    /// same query repeatedly through one shared cache returns exactly
+    /// what the uncached engine returns, every time.
+    #[test]
+    fn shared_posting_cache_preserves_answers(
+        rows in store_strategy(5, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+    ) {
+        use trinit_query::SharedPostingCache;
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        let (plain, _) = topk::run(&store, &query_from(patterns.clone(), k), &set, &cfg);
+        let cache = SharedPostingCache::new(64);
+        let (cold, _) = topk::run_cached(&store, &query_from(patterns.clone(), k), &set, &cfg, Some(&cache));
+        let (warm, m_warm) = topk::run_cached(&store, &query_from(patterns, k), &set, &cfg, Some(&cache));
+        prop_assert_eq!(plain.len(), cold.len());
+        prop_assert_eq!(cold.len(), warm.len());
+        for ((a, b), c) in plain.iter().zip(&cold).zip(&warm) {
+            prop_assert_eq!(&a.key, &b.key);
+            prop_assert_eq!(&b.key, &c.key);
+            prop_assert!((a.score - b.score).abs() < 1e-12);
+            prop_assert!((b.score - c.score).abs() < 1e-12);
+        }
+        // Accounting is exact: the execution-level L1 shields the shared
+        // cache within a run, so the cold run never hits it — every
+        // shared-cache hit the cache counted belongs to the warm run's
+        // metrics.
+        prop_assert_eq!(cache.stats().hits, m_warm.shared_cache_hits);
     }
 
     /// With no rules at all, both engines reduce to exact evaluation and

@@ -178,6 +178,20 @@ impl PostingIndex {
         }
     }
 
+    /// Emission probability of the best-scored match under predicate `p`
+    /// (the head of its score-sorted group), or 0.0 for an absent or
+    /// zero-weight predicate. O(1): one hash probe into the precomputed
+    /// index, no materialization.
+    pub fn predicate_head_prob(&self, p: TermId) -> f64 {
+        self.predicate_postings(p).first().map_or(0.0, |e| e.prob)
+    }
+
+    /// Emission probability of the globally best-scored triple (head of
+    /// the unbound-predicate stratum), or 0.0 for an empty store. O(1).
+    pub fn global_head_prob(&self) -> f64 {
+        self.all.first().map_or(0.0, |e| e.prob)
+    }
+
     /// Total emission weight under one predicate.
     pub fn predicate_total_weight(&self, p: TermId) -> f64 {
         self.groups.get(&p).map_or(0.0, |g| g.total_weight)
@@ -211,8 +225,9 @@ enum Entries<'s> {
     /// Materialized for pattern shapes outside the precomputed index.
     Owned(Vec<Posting>),
     /// Shared with a caller-managed cache (see the query layer's
-    /// per-execution posting cache); each list keeps its own cursor.
-    Shared(std::rc::Rc<[Posting]>),
+    /// posting-cache hierarchy); each list keeps its own cursor.
+    /// `Arc` so cross-query caches can live behind `Sync` facades.
+    Shared(std::sync::Arc<[Posting]>),
 }
 
 impl Entries<'_> {
@@ -239,6 +254,10 @@ pub struct PostingList<'s> {
     /// when served from the precomputed index.
     prefix: Option<&'s [f64]>,
     total_weight: f64,
+    /// Weight consumed by the cursor so far, maintained incrementally so
+    /// [`PostingList::remaining_weight`] is O(1) even for materialized
+    /// lists without a prefix column.
+    consumed_weight: f64,
     cursor: usize,
 }
 
@@ -255,12 +274,14 @@ impl<'s> PostingList<'s> {
                 entries: Entries::Borrowed(index.predicate_postings(p)),
                 prefix: index.predicate_prefix(p),
                 total_weight: index.predicate_total_weight(p),
+                consumed_weight: 0.0,
                 cursor: 0,
             },
             (None, None, None) => PostingList {
                 entries: Entries::Borrowed(index.all_postings()),
                 prefix: Some(&index.all_prefix),
                 total_weight: index.total_weight(),
+                consumed_weight: 0.0,
                 cursor: 0,
             },
             _ => {
@@ -291,6 +312,7 @@ impl<'s> PostingList<'s> {
                     entries: Entries::Owned(entries),
                     prefix: None,
                     total_weight,
+                    consumed_weight: 0.0,
                     cursor: 0,
                 }
             }
@@ -304,17 +326,19 @@ impl<'s> PostingList<'s> {
             entries: Entries::Owned(entries),
             prefix: None,
             total_weight,
+            consumed_weight: 0.0,
             cursor: 0,
         }
     }
 
     /// Wraps a cache-shared, already score-sorted entry list. The list
     /// gets its own cursor; the entries are not copied.
-    pub fn from_shared(entries: std::rc::Rc<[Posting]>, total_weight: f64) -> PostingList<'static> {
+    pub fn from_shared(entries: std::sync::Arc<[Posting]>, total_weight: f64) -> PostingList<'static> {
         PostingList {
             entries: Entries::Shared(entries),
             prefix: None,
             total_weight,
+            consumed_weight: 0.0,
             cursor: 0,
         }
     }
@@ -371,6 +395,7 @@ impl<'s> PostingList<'s> {
     pub fn next_posting(&mut self) -> Option<Posting> {
         let p = self.peek()?;
         self.cursor += 1;
+        self.consumed_weight += p.weight;
         Some(p)
     }
 
@@ -393,14 +418,23 @@ impl<'s> PostingList<'s> {
         }
     }
 
-    /// Emission weight not yet consumed by the cursor.
+    /// Emission weight not yet consumed by the cursor. O(1) for every
+    /// list: index-served lists read the build-time prefix-sum columns,
+    /// materialized lists use the consumed weight tracked by
+    /// [`PostingList::next_posting`]. (The rank-join threshold asks for
+    /// this every capping round.)
+    #[inline]
     pub fn remaining_weight(&self) -> f64 {
-        self.total_weight - self.prefix_weight(self.cursor)
+        match self.prefix {
+            Some(pre) => (self.total_weight - (pre[self.cursor] - pre[0])).max(0.0),
+            None => (self.total_weight - self.consumed_weight).max(0.0),
+        }
     }
 
     /// Resets the cursor to the start of the list.
     pub fn rewind(&mut self) {
         self.cursor = 0;
+        self.consumed_weight = 0.0;
     }
 }
 

@@ -264,6 +264,19 @@ impl XkgStore {
         self.postings.predicate_postings(p)
     }
 
+    /// Exact head probability (best emission) of `pattern`'s posting
+    /// list for the shapes the precomputed index serves — predicate-only
+    /// and fully unbound — without materializing anything. `None` for
+    /// shapes the index cannot answer in O(1); callers must fall back to
+    /// a trivial bound (1.0) or build the list.
+    pub fn head_prob(&self, pattern: &SlotPattern) -> Option<f64> {
+        match (pattern.s, pattern.p, pattern.o) {
+            (None, Some(p), None) => Some(self.postings.predicate_head_prob(p)),
+            (None, None, None) => Some(self.postings.global_head_prob()),
+            _ => None,
+        }
+    }
+
     /// Iterates all stored triples with their ids.
     pub fn iter(&self) -> impl Iterator<Item = (TripleId, Triple)> + '_ {
         self.triples
