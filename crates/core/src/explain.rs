@@ -7,7 +7,52 @@
 
 use trinit_query::{Answer, Query};
 use trinit_relax::RuleSet;
-use trinit_xkg::{GraphTag, XkgStore};
+use trinit_shard::ShardedStore;
+use trinit_xkg::{GraphTag, Provenance, SourceId, TermId, TripleId, XkgStore};
+
+/// What an explanation needs from the graph: term/triple rendering and
+/// provenance, by (possibly global) triple id. Implemented by the
+/// monolithic store and by the sharded store, whose ids span shards.
+pub trait ExplainSource {
+    /// Renders a term for display.
+    fn render_term(&self, id: TermId) -> String;
+    /// Renders a triple in `S P O` form.
+    fn render_triple(&self, id: TripleId) -> String;
+    /// Provenance of a triple.
+    fn provenance_of(&self, id: TripleId) -> &Provenance;
+    /// Resolves a source id to its document identifier.
+    fn source(&self, id: SourceId) -> Option<&str>;
+}
+
+impl ExplainSource for XkgStore {
+    fn render_term(&self, id: TermId) -> String {
+        self.display_term(id)
+    }
+    fn render_triple(&self, id: TripleId) -> String {
+        self.display_triple(id)
+    }
+    fn provenance_of(&self, id: TripleId) -> &Provenance {
+        self.provenance(id)
+    }
+    fn source(&self, id: SourceId) -> Option<&str> {
+        self.source_name(id)
+    }
+}
+
+impl ExplainSource for ShardedStore {
+    fn render_term(&self, id: TermId) -> String {
+        self.display_term(id)
+    }
+    fn render_triple(&self, id: TripleId) -> String {
+        self.display_triple(id)
+    }
+    fn provenance_of(&self, id: TripleId) -> &Provenance {
+        self.provenance(id)
+    }
+    fn source(&self, id: SourceId) -> Option<&str> {
+        self.source_name(id)
+    }
+}
 
 /// A structured answer explanation.
 #[derive(Debug, Clone)]
@@ -56,15 +101,26 @@ impl Explanation {
     }
 }
 
-/// Builds the explanation of one answer.
+/// Builds the explanation of one answer against a monolithic store.
 pub fn explain(store: &XkgStore, query: &Query, rules: &RuleSet, answer: &Answer) -> Explanation {
+    explain_from(store, query, rules, answer)
+}
+
+/// Builds the explanation of one answer from any [`ExplainSource`] —
+/// the sharded entry point, where derivation ids are global.
+pub fn explain_from(
+    store: &dyn ExplainSource,
+    query: &Query,
+    rules: &RuleSet,
+    answer: &Answer,
+) -> Explanation {
     let answer_line = answer
         .key
         .iter()
         .map(|(v, t)| {
             let name = query.var_name(*v);
             match t {
-                Some(id) => format!("?{name} = {}", store.display_term(*id)),
+                Some(id) => format!("?{name} = {}", store.render_term(*id)),
                 None => format!("?{name} = (unbound)"),
             }
         })
@@ -74,15 +130,15 @@ pub fn explain(store: &XkgStore, query: &Query, rules: &RuleSet, answer: &Answer
     let mut kg_triples = Vec::new();
     let mut xkg_triples = Vec::new();
     for (_, triple_id) in &answer.derivation.triples {
-        let prov = store.provenance(*triple_id);
-        let rendered = store.display_triple(*triple_id);
+        let prov = store.provenance_of(*triple_id);
+        let rendered = store.render_triple(*triple_id);
         match prov.graph {
             GraphTag::Kg => kg_triples.push(rendered),
             GraphTag::Xkg => {
                 let sources: Vec<&str> = prov
                     .sources
                     .iter()
-                    .filter_map(|s| store.source_name(*s))
+                    .filter_map(|s| store.source(*s))
                     .collect();
                 xkg_triples.push(format!(
                     "{rendered}   [confidence {:.2}, support {}, from {}]",

@@ -39,14 +39,15 @@ pub mod suggest;
 pub mod trinit;
 
 pub use complete::{Completer, Completion};
-pub use explain::{explain, processing_report, Explanation};
+pub use explain::{explain, explain_from, processing_report, ExplainSource, Explanation};
 pub use session::{Session, SESSION_CACHE_CAPACITY};
-pub use suggest::{suggest, SuggestConfig, Suggestion};
+pub use suggest::{suggest, suggest_sharded, SuggestConfig, Suggestion};
 pub use trinit::{BuildOptions, BuildStats, Engine, QueryOutcome, Trinit, TrinitBuilder};
 
 // Re-export the sub-crates so downstream users need only one dependency.
 pub use trinit_openie as openie;
 pub use trinit_query as query;
 pub use trinit_relax as relax;
+pub use trinit_shard as shard;
 pub use trinit_worldgen as worldgen;
 pub use trinit_xkg as xkg;

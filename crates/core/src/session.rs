@@ -26,50 +26,82 @@ pub struct Session<'a> {
     system: &'a Trinit,
     rules: RuleSet,
     user_rules: usize,
+    /// The cache serving a monolithic system's queries.
     posting_cache: SharedPostingCache,
+    /// On a sharded system: one session-owned cache per shard (cached
+    /// lists are shard-specific, so shards never share one). Empty for
+    /// monolithic systems.
+    shard_caches: Vec<SharedPostingCache>,
 }
 
 impl<'a> Session<'a> {
+    fn with_rules(system: &'a Trinit, rules: RuleSet) -> Session<'a> {
+        let shard_caches = match system.sharded_store() {
+            Some(sharded) => (0..sharded.shard_count())
+                .map(|_| SharedPostingCache::new(SESSION_CACHE_CAPACITY))
+                .collect(),
+            None => Vec::new(),
+        };
+        Session {
+            system,
+            rules,
+            user_rules: 0,
+            posting_cache: SharedPostingCache::new(SESSION_CACHE_CAPACITY),
+            shard_caches,
+        }
+    }
+
     /// Opens a session over a system; starts with the system rule set.
     pub fn new(system: &'a Trinit) -> Session<'a> {
         let mut rules = RuleSet::new();
         for (_, rule) in system.rules().iter() {
             rules.add(rule.clone());
         }
-        Session {
-            system,
-            rules,
-            user_rules: 0,
-            posting_cache: SharedPostingCache::new(SESSION_CACHE_CAPACITY),
-        }
+        Session::with_rules(system, rules)
     }
 
     /// Opens a session that ignores the system rules (pure user rules).
     pub fn without_system_rules(system: &'a Trinit) -> Session<'a> {
-        Session {
-            system,
-            rules: RuleSet::new(),
-            user_rules: 0,
-            posting_cache: SharedPostingCache::new(SESSION_CACHE_CAPACITY),
-        }
+        Session::with_rules(system, RuleSet::new())
     }
 
-    /// Replaces the session posting cache with one of `capacity`
-    /// materialized lists (0 disables retention). Drops cached lists
-    /// and counters.
+    /// Replaces the session posting cache(s) with ones holding
+    /// `capacity` materialized lists (0 disables retention; sharded
+    /// systems get `capacity` per shard). Drops cached lists and
+    /// counters.
     pub fn set_posting_cache_capacity(&mut self, capacity: usize) -> &mut Self {
         self.posting_cache = SharedPostingCache::new(capacity);
+        for cache in &mut self.shard_caches {
+            *cache = SharedPostingCache::new(capacity);
+        }
         self
     }
 
     /// The session's posting cache (stats, capacity, manual clearing).
+    /// Serves queries on monolithic systems; on sharded systems the
+    /// per-shard caches ([`Session::shard_posting_caches`]) serve
+    /// instead.
     pub fn posting_cache(&self) -> &SharedPostingCache {
         &self.posting_cache
     }
 
-    /// Hit/miss/eviction counters of the session posting cache.
+    /// The session's per-shard posting caches (empty on monolithic
+    /// systems).
+    pub fn shard_posting_caches(&self) -> &[SharedPostingCache] {
+        &self.shard_caches
+    }
+
+    /// Hit/miss/eviction counters of the session posting cache(s),
+    /// summed across shards on a sharded system.
     pub fn cache_stats(&self) -> SharedCacheStats {
-        self.posting_cache.stats()
+        let mut stats = self.posting_cache.stats();
+        for cache in &self.shard_caches {
+            let s = cache.stats();
+            stats.hits += s.hits;
+            stats.misses += s.misses;
+            stats.evictions += s.evictions;
+        }
+        stats
     }
 
     /// Adds a user-defined rule, returning its id in this session.
@@ -100,10 +132,21 @@ impl<'a> Session<'a> {
     }
 
     /// Runs a compiled query with the session rule set, reusing posting
-    /// lists cached by this session's earlier queries.
+    /// lists cached by this session's earlier queries (per-shard caches
+    /// on a sharded system; caches are session-isolated either way).
     pub fn run(&self, query: Query, engine: Engine) -> QueryOutcome {
-        self.system
-            .run_with_rules_cached(query, engine, &self.rules, Some(&self.posting_cache))
+        if self.system.sharded_store().is_some() {
+            self.system.run_with_rules_shard_cached(
+                query,
+                engine,
+                &self.rules,
+                Some(&self.shard_caches),
+                trinit_shard::SeedMode::Parallel,
+            )
+        } else {
+            self.system
+                .run_with_rules_cached(query, engine, &self.rules, Some(&self.posting_cache))
+        }
     }
 }
 
@@ -228,6 +271,37 @@ mod tests {
         assert_eq!(outcome.metrics.shared_cache_hits, 0);
         assert!(b.cache_stats().misses > 0);
         assert_eq!(b.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn sharded_sessions_route_and_cache_per_shard() {
+        use trinit_worldgen::{CorpusConfig, KgConfig, World, WorldConfig};
+        let world = World::generate(WorldConfig::tiny(11));
+        let mut builder = crate::TrinitBuilder::from_world(
+            &world,
+            &KgConfig::default(),
+            &CorpusConfig::tiny(7),
+        );
+        builder.options_mut().shards(3);
+        let sys = builder.build();
+        let session = Session::new(&sys);
+        assert_eq!(session.shard_posting_caches().len(), 3);
+        let q = "?x type person LIMIT 4";
+        let first = session.query(q).unwrap();
+        let second = session.query(q).unwrap();
+        assert!(
+            second.metrics.shared_cache_hits > 0,
+            "repeat query must reuse session shard caches: {:?}",
+            second.metrics
+        );
+        assert!(session.cache_stats().hits > 0);
+        for (a, b) in first.answers.iter().zip(&second.answers) {
+            assert_eq!(a.key, b.key);
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+        // Session isolation: a fresh session's caches saw no traffic.
+        let other = Session::new(&sys);
+        assert_eq!(other.cache_stats(), trinit_query::SharedCacheStats::default());
     }
 
     #[test]

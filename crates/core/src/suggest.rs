@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use trinit_query::{Answer, Query};
 use trinit_relax::{QTerm, RuleKind, RuleSet};
+use trinit_shard::ShardedStore;
 use trinit_xkg::{args_pairs, StoreStats, TermId, XkgStore};
 
 /// One suggestion shown to the user after a query.
@@ -131,6 +132,58 @@ pub fn token_resource_suggestions(
     cfg: &SuggestConfig,
 ) -> Vec<Suggestion> {
     let stats = StoreStats::compute(store);
+    let predicates = stats.predicates().to_vec();
+    token_resource_from(
+        &|id| store.dict().resolve(id).map(str::to_string),
+        &predicates,
+        &|p| args_pairs(store, p),
+        query,
+        cfg,
+    )
+}
+
+/// The sharded counterpart of [`suggest`]: predicate argument sets are
+/// the sorted union of every shard's (subject-hash partitioning spreads
+/// one predicate's triples across shards, so a single shard's `args(p)`
+/// would miss overlaps).
+pub fn suggest_sharded(
+    store: &ShardedStore,
+    query: &Query,
+    rules: &RuleSet,
+    answers: &[Answer],
+    cfg: &SuggestConfig,
+) -> Vec<Suggestion> {
+    let mut out = token_resource_from(
+        &|id| store.dict().resolve(id).map(str::to_string),
+        store.predicates(),
+        &|p| {
+            let mut pairs: Vec<(TermId, TermId)> = store
+                .shards()
+                .iter()
+                .flat_map(|shard| args_pairs(shard, p))
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            pairs
+        },
+        query,
+        cfg,
+    );
+    out.extend(rule_invocation_notices(rules, answers));
+    out
+}
+
+/// Backend-independent core of the token → resource heuristic:
+/// `predicates` enumerates the graph's predicates, `args_of` yields a
+/// predicate's sorted, deduplicated `(subject, object)` set, `resolve`
+/// renders term ids.
+fn token_resource_from(
+    resolve: &dyn Fn(TermId) -> Option<String>,
+    predicates: &[TermId],
+    args_of: &dyn Fn(TermId) -> Vec<(TermId, TermId)>,
+    query: &Query,
+    cfg: &SuggestConfig,
+) -> Vec<Suggestion> {
     let mut out = Vec::new();
 
     // Token predicates appearing in the query.
@@ -144,16 +197,16 @@ pub fn token_resource_suggestions(
     token_preds.dedup();
 
     for tp in token_preds {
-        let token_args = args_pairs(store, tp);
+        let token_args = args_of(tp);
         if token_args.is_empty() {
             continue;
         }
         let mut candidates: Vec<(f64, bool, TermId)> = Vec::new();
-        for &rp in stats.predicates() {
+        for &rp in predicates {
             if !rp.is_resource() {
                 continue;
             }
-            let res_args = args_pairs(store, rp);
+            let res_args = args_of(rp);
             let forward = sorted_overlap(&token_args, &res_args);
             // Inverted relations ('studied under' vs hasStudent) overlap
             // only with swapped arguments.
@@ -178,16 +231,8 @@ pub fn token_resource_suggestions(
         });
         for (frac, inverted, rp) in candidates.into_iter().take(cfg.per_token) {
             out.push(Suggestion::ReplaceToken {
-                token: store
-                    .dict()
-                    .resolve(tp)
-                    .unwrap_or("<unknown>")
-                    .to_string(),
-                resource: store
-                    .dict()
-                    .resolve(rp)
-                    .unwrap_or("<unknown>")
-                    .to_string(),
+                token: resolve(tp).unwrap_or_else(|| "<unknown>".to_string()),
+                resource: resolve(rp).unwrap_or_else(|| "<unknown>".to_string()),
                 overlap: frac,
                 inverted,
             });

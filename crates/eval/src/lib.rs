@@ -19,6 +19,7 @@ pub use benchmark::{generate_benchmark, BenchQuery, BenchmarkConfig, Category};
 pub use judge::grade_ranking;
 pub use metrics::{average_precision, dcg_at, mean, ndcg_at, precision_at};
 pub use runner::{
-    build_full_system, build_kg_only_system, build_world, efficiency_sweep, run_evaluation,
+    build_full_system, build_kg_only_system, build_sharded_system, build_world, efficiency_sweep,
+    run_evaluation,
     EfficiencyRow, EvalConfig, Evaluation, SystemScores,
 };

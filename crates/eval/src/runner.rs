@@ -102,6 +102,21 @@ pub fn build_full_system(world: &World, cfg: &EvalConfig) -> Trinit {
     TrinitBuilder::from_world(world, &cfg.kg_config(), &cfg.corpus_config()).build()
 }
 
+/// Builds the full system over a sharded store backend (`shards` store
+/// slices; see `trinit_core::BuildOptions::shards`).
+///
+/// Intended for throughput/scaling measurements (the E7 bench). Do not
+/// feed sharded systems to engine-comparison sweeps
+/// ([`efficiency_sweep`], [`score_system`] with `Engine::FullExpansion`
+/// / `Engine::Exact`): a sharded backend serves *every* engine through
+/// the partitioned top-k path, so such rows would compare top-k against
+/// itself under a different label.
+pub fn build_sharded_system(world: &World, cfg: &EvalConfig, shards: usize) -> Trinit {
+    let mut builder = TrinitBuilder::from_world(world, &cfg.kg_config(), &cfg.corpus_config());
+    builder.options_mut().shards(shards);
+    builder.build()
+}
+
 /// Builds the KG-only system (no corpus; rules mined from the KG alone).
 pub fn build_kg_only_system(world: &World, cfg: &EvalConfig) -> Trinit {
     let mut c = cfg.corpus_config();

@@ -15,7 +15,26 @@
 
 pub mod exact;
 pub mod expand;
+pub mod sharded;
 pub mod topk;
+
+/// Resolves triple ids to triples during the rank join.
+///
+/// The monolithic engine resolves against one [`XkgStore`]; a sharded
+/// executor resolves *global* ids (shard-offset + local id) against the
+/// owning shard. Only the lookup the join actually needs is abstracted —
+/// everything else the engine touches is per-shard and stays concrete.
+pub trait TripleLookup {
+    /// The triple with the given id.
+    fn triple_of(&self, id: trinit_xkg::TripleId) -> trinit_xkg::Triple;
+}
+
+impl TripleLookup for trinit_xkg::XkgStore {
+    #[inline]
+    fn triple_of(&self, id: trinit_xkg::TripleId) -> trinit_xkg::Triple {
+        self.triple(id)
+    }
+}
 
 /// Counters describing the work an engine performed — the currency in
 /// which the paper's efficiency claim (§4) is measured.

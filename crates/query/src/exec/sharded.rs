@@ -1,0 +1,230 @@
+//! Partitioned top-k execution: the rank join over shard slices.
+//!
+//! A sharded store splits the triple table into N independent
+//! [`XkgStore`] slices (subject-hash partitioned, sharing one term
+//! dictionary — see `trinit-xkg`'s `XkgBuilder::build_sharded`). This
+//! module runs the *same* incremental top-k algorithm over all slices at
+//! once:
+//!
+//! * each query pattern gets one [`ShardedMerge`] — a merge-of-merges
+//!   holding one [`IncrementalMerge`] per shard, emitting the union of
+//!   the shards' posting streams in globally descending probability
+//!   order;
+//! * probabilities are normalized by a [`GlobalTotals`] provider, so a
+//!   shard's emissions carry exactly the probability the monolithic
+//!   engine would assign them (a shard-local denominator would inflate
+//!   them);
+//! * the emitted triple ids are remapped into a global id space
+//!   (per-shard offset + local id), and the rank join resolves them
+//!   through a caller-supplied [`TripleLookup`];
+//! * the join, threshold, and capping logic is byte-for-byte the
+//!   monolithic engine's ([`topk::rank_join`] is generic over the
+//!   stream source). Each shard's posting-index head bounds enter the
+//!   merge exactly as the single store's do, so the global k-th answer
+//!   terminates the join as soon as it dominates every shard's
+//!   remaining frontier.
+//!
+//! **Soundness / completeness.** The union of the shards' match sets is
+//! exactly the monolithic match set (the partition is total and
+//! disjoint), and [`ShardedMerge::next_merged`] only emits a shard's
+//! head after [`IncrementalMerge::tighten_head`] has made it exact and
+//! no other shard's upper bound exceeds it — so the union stream is
+//! emitted in the same globally descending order the monolithic merge
+//! produces, and every threshold argument of the single-store engine
+//! carries over verbatim.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use trinit_relax::{ConditionOracle, RuleSet};
+use trinit_xkg::{TripleId, XkgStore};
+
+use crate::answer::{Answer, AnswerCollector};
+use crate::ast::Query;
+use crate::exec::topk::{
+    self, IncrementalMerge, Merged, RankSource, Stream, TopkConfig,
+};
+use crate::exec::{ExecMetrics, TripleLookup};
+use crate::score::{ln_weight, GlobalTotals, PostingCache, SharedPostingCache};
+
+/// Per-pattern sorted access over every shard of a partitioned store:
+/// one [`IncrementalMerge`] per shard, pulled head-first across shards.
+pub struct ShardedMerge<'a> {
+    shards: Vec<IncrementalMerge<'a>>,
+    offsets: &'a [u32],
+    /// Work counters attributed per shard, shared by every pattern's
+    /// merge of one execution (drained into the aggregate at the end).
+    metrics: Rc<RefCell<Vec<ExecMetrics>>>,
+}
+
+impl RankSource for ShardedMerge<'_> {
+    fn peek_bound(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .filter_map(IncrementalMerge::peek_bound)
+            .max_by(f64::total_cmp)
+    }
+
+    fn next_merged(&mut self, _metrics: &mut ExecMetrics) -> Option<Merged> {
+        let mut shard_metrics = self.metrics.borrow_mut();
+        loop {
+            // The shard with the highest upper bound (ties to the lowest
+            // shard index, keeping emission order deterministic).
+            let mut best: Option<(usize, f64)> = None;
+            for (i, m) in self.shards.iter().enumerate() {
+                if let Some(b) = m.peek_bound() {
+                    if best.is_none_or(|(_, cur)| b > cur) {
+                        best = Some((i, b));
+                    }
+                }
+            }
+            let (i, _) = best?;
+            // A bound can be loose (unopened alternatives). Tighten the
+            // candidate's head to its exact next probability; if another
+            // shard's bound now exceeds it, re-elect.
+            let Some(tight) = self.shards[i].tighten_head(&mut shard_metrics[i]) else {
+                continue;
+            };
+            let dominated = self
+                .shards
+                .iter()
+                .enumerate()
+                .any(|(j, m)| j != i && m.peek_bound().is_some_and(|b| b > tight));
+            if dominated {
+                continue;
+            }
+            let mut merged = self.shards[i]
+                .next_merged(&mut shard_metrics[i])
+                .expect("tightened head must emit");
+            // Remap into the global id space.
+            merged.triple = TripleId(self.offsets[i] + merged.triple.0);
+            return Some(merged);
+        }
+    }
+}
+
+/// The result of one partitioned execution.
+#[derive(Debug)]
+pub struct PartitionedRun {
+    /// Top-k answers, best first. Derivation triple ids are global
+    /// (shard offset + local id).
+    pub answers: Vec<Answer>,
+    /// Aggregate work counters, per-shard merge work included.
+    pub metrics: ExecMetrics,
+    /// Merge-level work (posting lists built, postings scanned, cache
+    /// hits, relaxations opened) attributed to each shard.
+    pub per_shard: Vec<ExecMetrics>,
+}
+
+/// Runs incremental top-k over the shards of a partitioned store,
+/// returning exactly the answers (keys *and* scores) the monolithic
+/// engine returns on the union of the shards.
+///
+/// * `offsets[i]` is shard `i`'s base in the global triple-id space;
+///   `lookup` resolves those global ids.
+/// * `totals` supplies cross-shard normalization totals; `oracle`
+///   verifies structural-rule data conditions across every shard.
+/// * `shard_caches`, when given, holds one store-level posting cache
+///   *per shard* (cached lists are slice-specific, so shards must never
+///   share one).
+/// * `seed` pre-loads the answer collector — a sharded executor passes
+///   the answers its parallel per-shard runs already found, so the
+///   threshold starts tight. Seeds must carry true (globally
+///   normalized) scores and global triple ids.
+#[allow(clippy::too_many_arguments)]
+pub fn run_partitioned(
+    shards: &[&XkgStore],
+    offsets: &[u32],
+    lookup: &dyn TripleLookup,
+    totals: &dyn GlobalTotals,
+    oracle: Option<&dyn ConditionOracle>,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shard_caches: Option<&[SharedPostingCache]>,
+    seed: Vec<Answer>,
+) -> PartitionedRun {
+    assert_eq!(shards.len(), offsets.len(), "one offset per shard");
+    if let Some(caches) = shard_caches {
+        assert_eq!(caches.len(), shards.len(), "one cache per shard");
+    }
+    let n_shards = shards.len();
+    let mut metrics = ExecMetrics::default();
+    let mut collector = AnswerCollector::new();
+    for answer in seed {
+        collector.offer(answer);
+    }
+    let projection = query.effective_projection();
+    let k = query.k.max(1);
+
+    // One per-execution posting cache per shard: a cached list holds one
+    // slice's entries, so the cache key space is per shard.
+    let exec_caches: Vec<Rc<RefCell<PostingCache>>> = (0..n_shards)
+        .map(|_| Rc::new(RefCell::new(PostingCache::new())))
+        .collect();
+    let shard_metrics = Rc::new(RefCell::new(vec![ExecMetrics::default(); n_shards]));
+
+    let variants = topk::structural_variants(oracle, &query.patterns, rules, cfg);
+    for (patterns, variant_weight, variant_trace) in variants {
+        metrics.rewritings_evaluated += 1;
+        if patterns.is_empty() {
+            continue;
+        }
+        let max_var = topk::max_var_of(&patterns);
+        let join_vars = topk::join_vars_of(&patterns);
+        let mut streams: Vec<Stream<ShardedMerge<'_>>> = patterns
+            .iter()
+            .zip(join_vars)
+            .enumerate()
+            .map(|(i, (pattern, join_vars))| {
+                // The same fresh-variable base per pattern across shards:
+                // every shard derives the identical alternative set.
+                let fresh_base = max_var + (i as u16) * 8;
+                let merges = (0..n_shards)
+                    .map(|s| {
+                        IncrementalMerge::for_pattern(
+                            shards[s],
+                            pattern,
+                            rules,
+                            cfg,
+                            fresh_base,
+                            Rc::clone(&exec_caches[s]),
+                            shard_caches.map(|c| &c[s]),
+                            Some(totals),
+                        )
+                    })
+                    .collect();
+                Stream::new(
+                    ShardedMerge {
+                        shards: merges,
+                        offsets,
+                        metrics: Rc::clone(&shard_metrics),
+                    },
+                    join_vars,
+                )
+            })
+            .collect();
+        topk::rank_join(
+            lookup,
+            cfg,
+            &mut streams,
+            ln_weight(variant_weight),
+            &variant_trace,
+            &projection,
+            k,
+            max_var as usize + 64,
+            &mut collector,
+            &mut metrics,
+        );
+    }
+
+    let per_shard = shard_metrics.borrow().clone();
+    for m in &per_shard {
+        metrics.merge(m);
+    }
+    PartitionedRun {
+        answers: collector.into_top_k(query.k),
+        metrics,
+        per_shard,
+    }
+}

@@ -66,15 +66,18 @@ use std::cell::RefCell;
 use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
 
-use trinit_relax::{apply_rule, apply_rule_with, canonical_key, QPattern, QTerm, Rule, RuleId, RuleSet, VarId};
+use trinit_relax::{
+    apply_rule, apply_rule_oracle, canonical_key, ConditionOracle, QPattern, QTerm, Rule, RuleId,
+    RuleSet, VarId,
+};
 use trinit_xkg::{TermId, TripleId, XkgStore};
 
 use crate::answer::{Answer, AnswerCollector, Bindings, Derivation};
 use crate::ast::Query;
-use crate::exec::ExecMetrics;
+use crate::exec::{ExecMetrics, TripleLookup};
 use crate::score::{
-    head_prob_bound, ln_weight, CacheSource, PostingCache, ScoredMatches, SharedPostingCache,
-    LOG_ZERO,
+    head_prob_bound_global, ln_weight, CacheSource, GlobalTotals, PostingCache, ScoredMatches,
+    SharedPostingCache, LOG_ZERO,
 };
 
 /// Configuration of the incremental top-k processor.
@@ -267,6 +270,23 @@ impl Ord for MergeEntry {
     }
 }
 
+/// A source of rank-join stream items: emissions in globally descending
+/// combined-probability order with a sound upper bound on the next one.
+///
+/// [`IncrementalMerge`] is the single-store source; the sharded executor
+/// merges one `IncrementalMerge` per shard into a
+/// [`crate::exec::sharded::ShardedMerge`]. The rank join itself is
+/// generic over this trait, so partitioned execution reuses the exact
+/// join, threshold, and capping machinery of the monolithic engine.
+pub trait RankSource {
+    /// Upper bound on the probability of the next emission, or `None`
+    /// if exhausted.
+    fn peek_bound(&self) -> Option<f64>;
+
+    /// Produces the next emission in descending order.
+    fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged>;
+}
+
 /// An emission of the incremental merge.
 #[derive(Debug, Clone)]
 pub struct Merged {
@@ -296,6 +316,9 @@ pub struct IncrementalMerge<'a> {
     cache: Rc<RefCell<PostingCache>>,
     /// Optional store-level cache shared across executions (sessions).
     shared: Option<&'a SharedPostingCache>,
+    /// Optional global normalization totals: set when `store` is one
+    /// shard of a partitioned store, `None` for monolithic execution.
+    totals: Option<&'a dyn GlobalTotals>,
     /// Incrementally maintained sound upper bound on every single
     /// emission the merge can still produce: Σ over alternatives of
     /// `weight × remaining`, where `remaining` is the head bound until
@@ -313,6 +336,7 @@ impl<'a> IncrementalMerge<'a> {
         cache: Rc<RefCell<PostingCache>>,
         shared: Option<&'a SharedPostingCache>,
         tighten: bool,
+        totals: Option<&'a dyn GlobalTotals>,
     ) -> IncrementalMerge<'a> {
         let mut heap = BinaryHeap::with_capacity(alts.len());
         for (i, alt) in alts.iter_mut().enumerate() {
@@ -320,8 +344,11 @@ impl<'a> IncrementalMerge<'a> {
                 // Exact head probability for index-served shapes, read in
                 // O(1) from the precomputed posting index — the
                 // alternative enters the queue at its true first-emission
-                // bound instead of the trivial `weight × 1.0`.
-                alt.head_bound = head_prob_bound(store, &alt.pattern);
+                // bound instead of the trivial `weight × 1.0`. Under a
+                // partitioned store the head weight is divided by the
+                // *global* total, so each shard enters the merge at its
+                // exact globally-normalized head.
+                alt.head_bound = head_prob_bound_global(store, &alt.pattern, totals);
             }
             heap.push(MergeEntry {
                 bound: alt.weight * alt.head_bound,
@@ -336,8 +363,26 @@ impl<'a> IncrementalMerge<'a> {
             heap,
             cache,
             shared,
+            totals,
             mass_upper,
         }
+    }
+
+    /// Builds the merge over `pattern`'s alternatives under `rules` —
+    /// the building block the sharded merge instantiates once per shard.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn for_pattern(
+        store: &'a XkgStore,
+        pattern: &QPattern,
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+        fresh_base: u16,
+        cache: Rc<RefCell<PostingCache>>,
+        shared: Option<&'a SharedPostingCache>,
+        totals: Option<&'a dyn GlobalTotals>,
+    ) -> IncrementalMerge<'a> {
+        let alts = pattern_alternatives(pattern, rules, cfg, fresh_base);
+        IncrementalMerge::new(store, alts, cache, shared, cfg.tighten_threshold, totals)
     }
 
     /// Upper bound on the probability of the next emission, or `None` if
@@ -355,42 +400,67 @@ impl<'a> IncrementalMerge<'a> {
         self.mass_upper.max(0.0)
     }
 
+    /// Opens an unopened heap entry's posting list — the moment its
+    /// relaxation is "invoked" — and re-queues it at its exact head
+    /// probability.
+    fn open_entry(&mut self, entry: MergeEntry, metrics: &mut ExecMetrics) {
+        let alt = &mut self.alts[entry.alt];
+        // The cache serves structural variants sharing this canonical
+        // pattern.
+        if !alt.trace.is_empty() {
+            metrics.relaxations_opened += 1;
+        }
+        let (matches, source) = ScoredMatches::build_global(
+            self.store,
+            &alt.pattern,
+            &mut self.cache.borrow_mut(),
+            self.shared,
+            self.totals,
+        );
+        match source {
+            CacheSource::Built => metrics.posting_lists_built += 1,
+            CacheSource::ExecHit => metrics.posting_cache_hits += 1,
+            CacheSource::SharedHit => metrics.shared_cache_hits += 1,
+        }
+        if let Some(p) = matches.peek_prob() {
+            self.heap.push(MergeEntry {
+                bound: alt.weight * p,
+                alt: entry.alt,
+                opened: true,
+            });
+        }
+        // Replace the alternative's head-bound contribution with its
+        // actual (full) list mass.
+        self.mass_upper += alt.weight * (matches.remaining_mass() - alt.head_bound);
+        alt.matches = Some(matches);
+    }
+
+    /// Opens alternatives until the top of the queue is an *opened* list
+    /// head, making [`IncrementalMerge::peek_bound`] the exact
+    /// probability of the next emission (not just an upper bound).
+    /// Returns that exact bound, or `None` if the merge is exhausted.
+    /// The sharded merge uses this to order emissions across shards
+    /// without pulling speculatively.
+    pub fn tighten_head(&mut self, metrics: &mut ExecMetrics) -> Option<f64> {
+        loop {
+            let opened = self.heap.peek()?.opened;
+            if opened {
+                return self.peek_bound();
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            self.open_entry(entry, metrics);
+        }
+    }
+
     /// Produces the next emission in descending order.
     pub fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged> {
         loop {
             let entry = self.heap.pop()?;
-            let alt = &mut self.alts[entry.alt];
             if !entry.opened {
-                // Materialize the alternative's posting list now — this is
-                // the moment the relaxation is "invoked". The cache serves
-                // structural variants sharing this canonical pattern.
-                if !alt.trace.is_empty() {
-                    metrics.relaxations_opened += 1;
-                }
-                let (matches, source) = ScoredMatches::build_tiered(
-                    self.store,
-                    &alt.pattern,
-                    &mut self.cache.borrow_mut(),
-                    self.shared,
-                );
-                match source {
-                    CacheSource::Built => metrics.posting_lists_built += 1,
-                    CacheSource::ExecHit => metrics.posting_cache_hits += 1,
-                    CacheSource::SharedHit => metrics.shared_cache_hits += 1,
-                }
-                if let Some(p) = matches.peek_prob() {
-                    self.heap.push(MergeEntry {
-                        bound: alt.weight * p,
-                        alt: entry.alt,
-                        opened: true,
-                    });
-                }
-                // Replace the alternative's head-bound contribution with
-                // its actual (full) list mass.
-                self.mass_upper += alt.weight * (matches.remaining_mass() - alt.head_bound);
-                alt.matches = Some(matches);
+                self.open_entry(entry, metrics);
                 continue;
             }
+            let alt = &mut self.alts[entry.alt];
             let matches = alt.matches.as_mut().expect("opened alternative");
             let Some((triple, prob)) = matches.next_entry() else {
                 continue;
@@ -415,10 +485,22 @@ impl<'a> IncrementalMerge<'a> {
     }
 }
 
+impl RankSource for IncrementalMerge<'_> {
+    #[inline]
+    fn peek_bound(&self) -> Option<f64> {
+        IncrementalMerge::peek_bound(self)
+    }
+
+    #[inline]
+    fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged> {
+        IncrementalMerge::next_merged(self, metrics)
+    }
+}
+
 /// An item seen by one rank-join stream: the (few) variable bindings its
 /// triple induced, plus provenance for derivations.
 #[derive(Debug, Clone)]
-struct SeenItem {
+pub(crate) struct SeenItem {
     /// `(variable, value)` pairs bound by this item's pattern — at most
     /// three, deduplicated. Stored as pairs (not a dense [`Bindings`])
     /// so joining is an O(|pairs|) probe into the shared scratch
@@ -431,8 +513,8 @@ struct SeenItem {
     weight: f64,
 }
 
-struct Stream<'a> {
-    merge: IncrementalMerge<'a>,
+pub(crate) struct Stream<M> {
+    merge: M,
     seen: Vec<SeenItem>,
     /// This stream's join variables: variables of its variant pattern
     /// shared with at least one other stream. Sorted, deduplicated; the
@@ -454,7 +536,21 @@ struct Stream<'a> {
     capped: bool,
 }
 
-impl Stream<'_> {
+impl<M: RankSource> Stream<M> {
+    /// A fresh stream over `merge` with the given join variables.
+    pub(crate) fn new(merge: M, join_vars: Vec<VarId>) -> Stream<M> {
+        Stream {
+            merge,
+            seen: Vec::new(),
+            join_vars,
+            buckets: HashMap::new(),
+            partial: Vec::new(),
+            best_log: LOG_ZERO,
+            exhausted: false,
+            capped: false,
+        }
+    }
+
     fn frontier_log(&self) -> f64 {
         if self.exhausted {
             LOG_ZERO
@@ -502,8 +598,12 @@ impl Stream<'_> {
 /// triple, deduplicated. Returns `None` if a repeated variable meets two
 /// different values (cannot happen for triples from the pattern's own
 /// match list, which pre-filters repetition, but kept defensive).
-fn bind_pairs(pattern: &QPattern, store: &XkgStore, triple: TripleId) -> Option<Vec<(VarId, TermId)>> {
-    let t = store.triple(triple);
+fn bind_pairs(
+    pattern: &QPattern,
+    lookup: &dyn TripleLookup,
+    triple: TripleId,
+) -> Option<Vec<(VarId, TermId)>> {
+    let t = lookup.triple_of(triple);
     let mut out: Vec<(VarId, TermId)> = Vec::with_capacity(3);
     for (slot, value) in pattern.slots().into_iter().zip([t.s, t.p, t.o]) {
         if let QTerm::Var(v) = slot {
@@ -521,9 +621,11 @@ fn bind_pairs(pattern: &QPattern, store: &XkgStore, triple: TripleId) -> Option<
 }
 
 /// Enumerates structural query variants (non-mergeable rules applied at
-/// the query level), keeping original rule ids in traces.
-fn structural_variants(
-    store: &XkgStore,
+/// the query level), keeping original rule ids in traces. Data
+/// conditions are verified through `oracle` — the whole store for the
+/// monolithic engine, a cross-shard oracle for partitioned execution.
+pub(crate) fn structural_variants(
+    oracle: Option<&dyn ConditionOracle>,
     patterns: &[QPattern],
     rules: &RuleSet,
     cfg: &TopkConfig,
@@ -549,7 +651,7 @@ fn structural_variants(
                 if weight < cfg.min_weight {
                     continue;
                 }
-                for rewriting in apply_rule_with(&cur_patterns, rule, rule_id, Some(store)) {
+                for rewriting in apply_rule_oracle(&cur_patterns, rule, rule_id, oracle) {
                     let key = canonical_key(&rewriting.patterns, original_vars);
                     if keys.contains(&key) || out.len() >= cfg.max_variants {
                         continue;
@@ -599,20 +701,46 @@ pub fn run_cached(
     cfg: &TopkConfig,
     shared: Option<&SharedPostingCache>,
 ) -> (Vec<Answer>, ExecMetrics) {
+    run_scaled(store, query, rules, cfg, shared, None, Some(store), Vec::new())
+}
+
+/// Like [`run_cached`], with the three extension points partitioned
+/// execution needs: a [`GlobalTotals`] provider (so a store *slice*
+/// scores its emissions with globally-correct normalization), an
+/// explicit [`ConditionOracle`] for structural-rule data conditions
+/// (existence across every slice), and a `seed` of already-known answers
+/// offered to the collector before any posting list is opened (a
+/// sharded executor seeds with the answers its per-shard runs found,
+/// tightening the threshold from the first pull). With `totals = None`,
+/// `oracle = Some(store)`, and an empty seed this *is* the monolithic
+/// engine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scaled(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shared: Option<&SharedPostingCache>,
+    totals: Option<&dyn GlobalTotals>,
+    oracle: Option<&dyn ConditionOracle>,
+    seed: Vec<Answer>,
+) -> (Vec<Answer>, ExecMetrics) {
     let mut metrics = ExecMetrics::default();
     let mut collector = AnswerCollector::new();
+    for answer in seed {
+        collector.offer(answer);
+    }
     let projection = query.effective_projection();
     let k = query.k.max(1);
 
     // One posting cache for the whole execution: structural variants that
     // share a relaxed pattern never rebuild its matches.
     let cache = Rc::new(RefCell::new(PostingCache::new()));
-    let variants = structural_variants(store, &query.patterns, rules, cfg);
+    let variants = structural_variants(oracle, &query.patterns, rules, cfg);
     for (variant_patterns, variant_weight, variant_trace) in variants {
         metrics.rewritings_evaluated += 1;
         run_variant(
             store,
-            query,
             rules,
             cfg,
             &variant_patterns,
@@ -622,6 +750,7 @@ pub fn run_cached(
             k,
             &cache,
             shared,
+            totals,
             &mut collector,
             &mut metrics,
         );
@@ -629,45 +758,16 @@ pub fn run_cached(
     (collector.into_top_k(query.k), metrics)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_variant(
-    store: &XkgStore,
-    _query: &Query,
-    rules: &RuleSet,
-    cfg: &TopkConfig,
-    patterns: &[QPattern],
-    variant_weight: f64,
-    variant_trace: &[RuleId],
-    projection: &[VarId],
-    k: usize,
-    cache: &Rc<RefCell<PostingCache>>,
-    shared: Option<&SharedPostingCache>,
-    collector: &mut AnswerCollector,
-    metrics: &mut ExecMetrics,
-) {
-    if patterns.is_empty() {
-        return;
-    }
-    let variant_log = ln_weight(variant_weight);
-    let tighten = cfg.tighten_threshold;
-    let max_var = patterns
-        .iter()
-        .filter_map(QPattern::max_var)
-        .max()
-        .map_or(0, |m| m + 1);
-    let n_vars = max_var as usize + 64; // headroom for fresh variables
-
-    let mut streams: Vec<Stream<'_>> = patterns
+/// The join variables of each pattern: variables shared with at least
+/// one other pattern of the variant. Relaxed alternatives only rename
+/// rule-introduced *fresh* variables (into per-stream disjoint ranges),
+/// so shared variables are exactly the shared variables of the variant
+/// patterns themselves.
+pub(crate) fn join_vars_of(patterns: &[QPattern]) -> Vec<Vec<VarId>> {
+    patterns
         .iter()
         .enumerate()
         .map(|(i, p)| {
-            let fresh_base = max_var + (i as u16) * 8;
-            let alts = pattern_alternatives(p, rules, cfg, fresh_base);
-            // Join variables of this stream: variables shared with any
-            // other pattern of the variant. Relaxed alternatives only
-            // rename rule-introduced *fresh* variables (into per-stream
-            // disjoint ranges), so shared variables are exactly the
-            // shared variables of the variant patterns themselves.
             let mut join_vars: Vec<VarId> = p.vars().collect();
             join_vars.sort_unstable();
             join_vars.dedup();
@@ -677,18 +777,99 @@ fn run_variant(
                     .enumerate()
                     .any(|(j, q)| j != i && q.vars().any(|w| w == *v))
             });
-            Stream {
-                merge: IncrementalMerge::new(store, alts, Rc::clone(cache), shared, tighten),
-                seen: Vec::new(),
+            join_vars
+        })
+        .collect()
+}
+
+/// The first variable id beyond every variable used by `patterns`.
+pub(crate) fn max_var_of(patterns: &[QPattern]) -> u16 {
+    patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m + 1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_variant(
+    store: &XkgStore,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    patterns: &[QPattern],
+    variant_weight: f64,
+    variant_trace: &[RuleId],
+    projection: &[VarId],
+    k: usize,
+    cache: &Rc<RefCell<PostingCache>>,
+    shared: Option<&SharedPostingCache>,
+    totals: Option<&dyn GlobalTotals>,
+    collector: &mut AnswerCollector,
+    metrics: &mut ExecMetrics,
+) {
+    if patterns.is_empty() {
+        return;
+    }
+    let tighten = cfg.tighten_threshold;
+    let max_var = max_var_of(patterns);
+    let join_vars = join_vars_of(patterns);
+    let mut streams: Vec<Stream<IncrementalMerge<'_>>> = patterns
+        .iter()
+        .zip(join_vars)
+        .enumerate()
+        .map(|(i, (p, join_vars))| {
+            let fresh_base = max_var + (i as u16) * 8;
+            let alts = pattern_alternatives(p, rules, cfg, fresh_base);
+            Stream::new(
+                IncrementalMerge::new(store, alts, Rc::clone(cache), shared, tighten, totals),
                 join_vars,
-                buckets: HashMap::new(),
-                partial: Vec::new(),
-                best_log: LOG_ZERO,
-                exhausted: false,
-                capped: false,
-            }
+            )
         })
         .collect();
+
+    rank_join(
+        store,
+        cfg,
+        &mut streams,
+        ln_weight(variant_weight),
+        variant_trace,
+        projection,
+        k,
+        max_var as usize + 64, // headroom for fresh variables
+        collector,
+        metrics,
+    );
+}
+
+/// The rank join over one variant's streams: pulls the highest-frontier
+/// stream, joins each arrival against the other streams' seen
+/// partitions, and stops under the (optionally tightened) threshold.
+/// Generic over the stream source so the monolithic and sharded engines
+/// share every line of join, threshold, and capping logic; `lookup`
+/// resolves emitted triple ids (global ids, for a sharded source).
+///
+/// Per round, the capping pass needs every stream's "others"
+/// contribution sum. These are maintained as prefix/suffix sums over the
+/// per-stream contribution bounds — O(streams) per round rather than the
+/// O(streams²) of recomputing each exclusion sum from scratch. For up to
+/// three streams the floating-point result is identical to the direct
+/// exclusion sum; at higher arity the summation associates differently
+/// (`(c0+(c2+c3))` vs `((c0+c2)+c3)`), an ULP-level difference between
+/// two equally sound bounds on the same exact quantity.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rank_join<M: RankSource>(
+    lookup: &dyn TripleLookup,
+    cfg: &TopkConfig,
+    streams: &mut [Stream<M>],
+    variant_log: f64,
+    variant_trace: &[RuleId],
+    projection: &[VarId],
+    k: usize,
+    n_vars: usize,
+    collector: &mut AnswerCollector,
+    metrics: &mut ExecMetrics,
+) {
+    let tighten = cfg.tighten_threshold;
 
     // Head-bound variant pruning: every answer of this variant scores at
     // most variant_weight × Π_i (best emission of stream i), and each
@@ -709,6 +890,12 @@ fn run_variant(
     // always restores it to fully unbound.
     let mut scratch = Bindings::new(n_vars);
 
+    // Per-round scratch for the contribution prefix/suffix sums.
+    let n = streams.len();
+    let mut contrib = vec![0.0f64; n];
+    let mut prefix = vec![0.0f64; n + 1];
+    let mut suffix = vec![0.0f64; n + 1];
+
     // Pick the non-exhausted, non-capped stream with the highest
     // frontier each round.
     while let Some(next) = (0..streams.len())
@@ -726,7 +913,7 @@ fn run_variant(
                 }
             }
             Some(m) => {
-                let Some(bound) = bind_pairs(&m.pattern, store, m.triple) else {
+                let Some(bound) = bind_pairs(&m.pattern, lookup, m.triple) else {
                     continue;
                 };
                 let log_score = ln_weight(m.prob);
@@ -743,12 +930,26 @@ fn run_variant(
                 // (its own stream is skipped, so joining before remembering
                 // the item is equivalent).
                 join_with_others(
-                    &streams, next, &item, variant_log, variant_trace, projection, &mut scratch,
+                    streams, next, &item, variant_log, variant_trace, projection, &mut scratch,
                     collector, metrics,
                 );
                 streams[next].push_seen(item);
             }
         }
+
+        // Running contribution totals: Σ_{j≠i} contribution_bound(j) for
+        // every i, via prefix/suffix sums over this round's bounds.
+        for (i, c) in contrib.iter_mut().enumerate() {
+            *c = streams[i].contribution_bound();
+        }
+        for i in 0..n {
+            prefix[i + 1] = prefix[i] + contrib[i];
+        }
+        suffix[n] = 0.0;
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + contrib[i];
+        }
+        let others = |i: usize| prefix[i] + suffix[i + 1];
 
         // Threshold: best score any unseen combination can still achieve.
         // Capped streams produce no further items, so they drop out of
@@ -756,13 +957,7 @@ fn run_variant(
         let threshold = variant_log
             + (0..streams.len())
                 .filter(|&i| !streams[i].exhausted && !streams[i].capped)
-                .map(|i| {
-                    streams[i].frontier_log()
-                        + (0..streams.len())
-                            .filter(|&j| j != i)
-                            .map(|j| streams[j].contribution_bound())
-                            .sum::<f64>()
-                })
+                .map(|i| streams[i].frontier_log() + others(i))
                 .fold(LOG_ZERO, f64::max);
 
         if threshold == LOG_ZERO {
@@ -783,21 +978,17 @@ fn run_variant(
                 // entirely instead of draining its tail. (Single-stream
                 // variants skip this: there the cap condition is exactly
                 // the global break above.)
-                for i in 0..streams.len() {
-                    if streams[i].exhausted || streams[i].capped {
+                for (i, stream) in streams.iter_mut().enumerate() {
+                    if stream.exhausted || stream.capped {
                         continue;
                     }
-                    let others: f64 = (0..streams.len())
-                        .filter(|&j| j != i)
-                        .map(|j| streams[j].contribution_bound())
-                        .sum();
-                    let stream_bound = streams[i].frontier_log();
-                    if kth >= variant_log + stream_bound + others {
-                        streams[i].capped = true;
+                    let stream_bound = stream.frontier_log();
+                    if kth >= variant_log + stream_bound + others(i) {
+                        stream.capped = true;
                         metrics.early_cutoffs += 1;
                         // A capped stream with nothing seen can never
                         // complete a combination: the variant is done.
-                        if streams[i].seen.is_empty() {
+                        if stream.seen.is_empty() {
                             return;
                         }
                     }
@@ -842,8 +1033,8 @@ fn probe_key(scratch: &Bindings, join_vars: &[VarId]) -> Option<Vec<TermId>> {
 /// undo-based backtracking; a combined `Bindings` is only materialized
 /// inside `emit`, once per successful full join.
 #[allow(clippy::too_many_arguments)]
-fn combine<'s>(
-    streams: &'s [Stream<'_>],
+fn combine<'s, M>(
+    streams: &'s [Stream<M>],
     skip: usize,
     idx: usize,
     scratch: &mut Bindings,
@@ -925,8 +1116,8 @@ fn combine<'s>(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn join_with_others(
-    streams: &[Stream<'_>],
+fn join_with_others<M>(
+    streams: &[Stream<M>],
     new_stream: usize,
     new_item: &SeenItem,
     variant_log: f64,
@@ -1326,7 +1517,7 @@ mod tests {
         let alts = pattern_alternatives(&pattern, &RuleSet::new(), &TopkConfig::default(), 10);
         let cache = Rc::new(RefCell::new(PostingCache::new()));
         let mut stream = Stream {
-            merge: IncrementalMerge::new(&store, alts, cache, None, true),
+            merge: IncrementalMerge::new(&store, alts, cache, None, true, None),
             seen: Vec::new(),
             join_vars: vec![VarId(0)],
             buckets: HashMap::new(),
@@ -1479,7 +1670,7 @@ mod tests {
             for tighten in [true, false] {
                 let alts = pattern_alternatives(&pattern, &rules, &cfg, 10);
                 let cache = Rc::new(RefCell::new(PostingCache::new()));
-                let mut merge = IncrementalMerge::new(&store, alts, cache, None, tighten);
+                let mut merge = IncrementalMerge::new(&store, alts, cache, None, tighten, None);
                 let mut metrics = ExecMetrics::default();
                 let mut total_emitted = 0.0;
                 loop {

@@ -24,8 +24,9 @@ pub use exec::ExecMetrics;
 pub use parser::{parse, ParseError};
 pub use plan::plan_order;
 pub use score::{
-    ln_weight, CacheSource, PostingCache, ScoredMatches, SharedCacheStats, SharedPostingCache,
-    LOG_ZERO,
+    canonical_pattern, head_prob_bound_global, ln_weight, satisfies_mask, CacheSource,
+    CanonicalPattern, GlobalTotals, PostingCache, ScoredMatches, SharedCacheStats,
+    SharedPostingCache, LOG_ZERO,
 };
 
 // Re-export the pattern language for downstream convenience.

@@ -47,9 +47,12 @@ fn repetition_mask(pattern: &QPattern) -> u8 {
     mask
 }
 
-/// True if `triple` satisfies the variable-equality constraints in `mask`.
+/// True if `triple` satisfies the variable-equality constraints in
+/// `mask` (see [`canonical_pattern`]). Public so shard-level totals
+/// providers can apply the exact same repetition semantics when they
+/// aggregate a filtered pattern's emission weight across store slices.
 #[inline]
-fn satisfies_mask(store: &XkgStore, id: TripleId, mask: u8) -> bool {
+pub fn satisfies_mask(store: &XkgStore, id: TripleId, mask: u8) -> bool {
     if mask == 0 {
         return true;
     }
@@ -94,6 +97,26 @@ impl PostingCache {
     }
 }
 
+/// Supplies *global* normalization totals when the query engine runs
+/// over one slice (shard) of a partitioned store.
+///
+/// The scoring model normalizes a pattern's emission probabilities over
+/// the total weight of its match set (§4's idf-like selectivity). A
+/// shard only sees its local matches, so a shard-local total would
+/// inflate probabilities and break score equality with the monolithic
+/// engine. A `GlobalTotals` provider answers, per canonical pattern,
+/// the total emission weight of the match set *across every shard*;
+/// [`ScoredMatches::build_global`] then normalizes local entries by
+/// that global denominator, making every per-shard emission carry
+/// exactly the probability the single-store engine would assign it.
+pub trait GlobalTotals: Sync {
+    /// Global total emission weight of `key`'s match set, or `None`
+    /// when the local slice's own total is already global (for
+    /// subject-bound shapes under subject-hash partitioning, all
+    /// matches are co-located, so local *is* global).
+    fn pattern_total(&self, key: &CanonicalPattern) -> Option<f64>;
+}
+
 /// Where a cached posting-list build was served from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheSource {
@@ -116,19 +139,75 @@ pub struct SharedCacheStats {
     pub evictions: usize,
 }
 
+/// Sentinel slab index marking the end of the intrusive LRU list.
+const LRU_NONE: usize = usize::MAX;
+
+/// One resident list: the payload plus its links in the intrusive
+/// recency list (slab indices, [`LRU_NONE`]-terminated).
 #[derive(Debug)]
 struct SharedEntry {
+    key: CanonicalPattern,
     entries: Arc<[Posting]>,
     total: f64,
-    last_used: u64,
+    prev: usize,
+    next: usize,
 }
 
+/// Cache state: a slab of entries threaded onto a doubly linked recency
+/// list (head = most recently used, tail = least), with a key → slab
+/// index map. Recency bumps and evictions are O(1) pointer splices —
+/// no scan over residents, however large the capacity.
 #[derive(Debug)]
 struct SharedInner {
-    map: HashMap<CanonicalPattern, SharedEntry>,
+    map: HashMap<CanonicalPattern, usize>,
+    slab: Vec<SharedEntry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
     capacity: usize,
-    tick: u64,
     stats: SharedCacheStats,
+}
+
+impl SharedInner {
+    /// Detaches slab entry `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slab[i].prev, self.slab[i].next);
+        if prev == LRU_NONE {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == LRU_NONE {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+        self.slab[i].prev = LRU_NONE;
+        self.slab[i].next = LRU_NONE;
+    }
+
+    /// Attaches slab entry `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        self.slab[i].prev = LRU_NONE;
+        self.slab[i].next = self.head;
+        if self.head == LRU_NONE {
+            self.tail = i;
+        } else {
+            self.slab[self.head].prev = i;
+        }
+        self.head = i;
+    }
+
+    /// Evicts the least-recently-used entry, recycling its slab slot.
+    fn evict_tail(&mut self) {
+        let i = self.tail;
+        debug_assert!(i != LRU_NONE, "evict on empty cache");
+        self.unlink(i);
+        self.map.remove(&self.slab[i].key);
+        self.slab[i].entries = Vec::new().into();
+        self.free.push(i);
+        self.stats.evictions += 1;
+    }
 }
 
 /// Store-level bounded LRU of materialized posting lists, keyed by
@@ -143,8 +222,10 @@ struct SharedInner {
 /// shapes (predicate-only, fully unbound) bypass it — they are already
 /// O(1) reads of the store's frozen posting index.
 ///
-/// Eviction is least-recently-used over a monotone access tick; capacity
-/// 0 disables retention entirely (every consultation misses).
+/// Eviction is least-recently-used over an intrusive doubly linked
+/// recency list, so hits and evictions are O(1) regardless of how many
+/// lists are resident; capacity 0 disables retention entirely (every
+/// consultation misses).
 #[derive(Debug)]
 pub struct SharedPostingCache {
     inner: Mutex<SharedInner>,
@@ -156,8 +237,11 @@ impl SharedPostingCache {
         SharedPostingCache {
             inner: Mutex::new(SharedInner {
                 map: HashMap::new(),
+                slab: Vec::new(),
+                free: Vec::new(),
+                head: LRU_NONE,
+                tail: LRU_NONE,
                 capacity,
-                tick: 0,
                 stats: SharedCacheStats::default(),
             }),
         }
@@ -185,21 +269,24 @@ impl SharedPostingCache {
 
     /// Drops all cached lists (counters are kept).
     pub fn clear(&self) {
-        self.inner.lock().expect("posting cache poisoned").map.clear();
+        let mut inner = self.inner.lock().expect("posting cache poisoned");
+        inner.map.clear();
+        inner.slab.clear();
+        inner.free.clear();
+        inner.head = LRU_NONE;
+        inner.tail = LRU_NONE;
     }
 
     /// Looks up a canonical pattern, bumping its recency on hit. Counts
-    /// one hit or one miss.
+    /// one hit or one miss. O(1).
     fn get(&self, key: &CanonicalPattern) -> Option<(Arc<[Posting]>, f64)> {
         let mut inner = self.inner.lock().expect("posting cache poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some(entry) => {
-                entry.last_used = tick;
-                let out = (Arc::clone(&entry.entries), entry.total);
+        match inner.map.get(key).copied() {
+            Some(i) => {
+                inner.unlink(i);
+                inner.push_front(i);
                 inner.stats.hits += 1;
-                Some(out)
+                Some((Arc::clone(&inner.slab[i].entries), inner.slab[i].total))
             }
             None => {
                 inner.stats.misses += 1;
@@ -208,35 +295,43 @@ impl SharedPostingCache {
         }
     }
 
-    /// Inserts a materialized list, evicting the least-recently-used
-    /// entries if the capacity bound would be exceeded.
+    /// Inserts a materialized list, evicting least-recently-used entries
+    /// (O(1) each, off the recency list's tail) if the capacity bound
+    /// would be exceeded.
     fn insert(&self, key: CanonicalPattern, entries: Arc<[Posting]>, total: f64) {
         let mut inner = self.inner.lock().expect("posting cache poisoned");
         if inner.capacity == 0 {
             return;
         }
-        while inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
-            let Some(lru) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            else {
-                break;
-            };
-            inner.map.remove(&lru);
-            inner.stats.evictions += 1;
+        if let Some(i) = inner.map.get(&key).copied() {
+            inner.slab[i].entries = entries;
+            inner.slab[i].total = total;
+            inner.unlink(i);
+            inner.push_front(i);
+            return;
         }
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(
+        while inner.map.len() >= inner.capacity {
+            inner.evict_tail();
+        }
+        let node = SharedEntry {
             key,
-            SharedEntry {
-                entries,
-                total,
-                last_used: tick,
-            },
-        );
+            entries,
+            total,
+            prev: LRU_NONE,
+            next: LRU_NONE,
+        };
+        let i = match inner.free.pop() {
+            Some(i) => {
+                inner.slab[i] = node;
+                i
+            }
+            None => {
+                inner.slab.push(node);
+                inner.slab.len() - 1
+            }
+        };
+        inner.map.insert(key, i);
+        inner.push_front(i);
     }
 }
 
@@ -249,21 +344,27 @@ impl SharedPostingCache {
 #[derive(Debug, Clone)]
 pub struct ScoredMatches<'s> {
     list: PostingList<'s>,
+    /// Multiplier applied to every probability the cursor API reports.
+    /// 1.0 for locally normalized lists; `local_total / global_total`
+    /// when a borrow-served list is re-normalized by a [`GlobalTotals`]
+    /// provider *without* materializing a copy (the entries keep their
+    /// baked-in local probabilities; the view rescales on the fly).
+    scale: f64,
 }
 
 impl<'s> ScoredMatches<'s> {
+    fn unscaled(list: PostingList<'s>) -> ScoredMatches<'s> {
+        ScoredMatches { list, scale: 1.0 }
+    }
+
     /// Builds the scored matches of `pattern` over `store`.
     pub fn build(store: &'s XkgStore, pattern: &QPattern) -> ScoredMatches<'s> {
         let (slot, mask) = canonical_pattern(pattern);
         if mask == 0 {
-            return ScoredMatches {
-                list: PostingList::build(store, &slot),
-            };
+            return ScoredMatches::unscaled(PostingList::build(store, &slot));
         }
         let (entries, total) = filtered_entries(store, &slot, mask);
-        ScoredMatches {
-            list: PostingList::from_owned(entries, total),
-        }
+        ScoredMatches::unscaled(PostingList::from_owned(entries, total))
     }
 
     /// Builds through the per-execution `cache` only. See
@@ -289,21 +390,42 @@ impl<'s> ScoredMatches<'s> {
         cache: &mut PostingCache,
         shared: Option<&SharedPostingCache>,
     ) -> (ScoredMatches<'s>, CacheSource) {
+        ScoredMatches::build_global(store, pattern, cache, shared, None)
+    }
+
+    /// Like [`ScoredMatches::build_tiered`], additionally renormalizing
+    /// probabilities by a [`GlobalTotals`] provider — the build path of
+    /// per-shard execution over a partitioned store. When the provider
+    /// returns a global total for the pattern, the local slice's entries
+    /// are materialized with `prob = weight / global_total` (borrow-served
+    /// shapes included: their baked-in probabilities are shard-local, so
+    /// they must be re-scaled); caches passed here must be dedicated to
+    /// this store slice, since the entries they hold are slice-specific.
+    pub fn build_global(
+        store: &'s XkgStore,
+        pattern: &QPattern,
+        cache: &mut PostingCache,
+        shared: Option<&SharedPostingCache>,
+        totals: Option<&dyn GlobalTotals>,
+    ) -> (ScoredMatches<'s>, CacheSource) {
         let key = canonical_pattern(pattern);
         let (slot, mask) = key;
+        let global = totals.and_then(|t| t.pattern_total(&key));
         if mask == 0 && is_borrow_served(&slot) {
-            return (
-                ScoredMatches {
-                    list: PostingList::build(store, &slot),
-                },
-                CacheSource::Built,
-            );
+            // Zero-alloc either way: a global total only changes the
+            // normalization constant, so the borrowed slice is reused
+            // with an on-the-fly probability rescale instead of a copy.
+            let list = PostingList::build(store, &slot);
+            let scale = match global {
+                Some(t) if t > 0.0 => list.total_weight() / t,
+                Some(_) => 0.0,
+                None => 1.0,
+            };
+            return (ScoredMatches { list, scale }, CacheSource::Built);
         }
         if let Some((entries, total)) = cache.map.get(&key) {
             return (
-                ScoredMatches {
-                    list: PostingList::from_shared(Arc::clone(entries), *total),
-                },
+                ScoredMatches::unscaled(PostingList::from_shared(Arc::clone(entries), *total)),
                 CacheSource::ExecHit,
             );
         }
@@ -311,19 +433,19 @@ impl<'s> ScoredMatches<'s> {
             if let Some((entries, total)) = store_cache.get(&key) {
                 cache.map.insert(key, (Arc::clone(&entries), total));
                 return (
-                    ScoredMatches {
-                        list: PostingList::from_shared(entries, total),
-                    },
+                    ScoredMatches::unscaled(PostingList::from_shared(entries, total)),
                     CacheSource::SharedHit,
                 );
             }
         }
-        let (entries, total) = if mask == 0 {
-            let built = PostingList::build(store, &slot);
-            let total = built.total_weight();
-            (built.into_entries(), total)
-        } else {
-            filtered_entries(store, &slot, mask)
+        let (entries, total) = match global {
+            Some(t) => scaled_entries(store, &slot, mask, t),
+            None if mask == 0 => {
+                let built = PostingList::build(store, &slot);
+                let total = built.total_weight();
+                (built.into_entries(), total)
+            }
+            None => filtered_entries(store, &slot, mask),
         };
         let rc: Arc<[Posting]> = entries.into();
         cache.map.insert(key, (Arc::clone(&rc), total));
@@ -331,9 +453,7 @@ impl<'s> ScoredMatches<'s> {
             store_cache.insert(key, Arc::clone(&rc), total);
         }
         (
-            ScoredMatches {
-                list: PostingList::from_shared(rc, total),
-            },
+            ScoredMatches::unscaled(PostingList::from_shared(rc, total)),
             CacheSource::Built,
         )
     }
@@ -365,18 +485,20 @@ impl<'s> ScoredMatches<'s> {
             .entries()
             .iter()
             .find(|e| e.triple == id)
-            .map(|e| e.prob)
+            .map(|e| e.prob * self.scale)
             .unwrap_or(0.0)
     }
 
     /// Probability of the next unconsumed entry.
     pub fn peek_prob(&self) -> Option<f64> {
-        self.list.peek_prob()
+        self.list.peek_prob().map(|p| p * self.scale)
     }
 
     /// Consumes and returns the next entry in descending order.
     pub fn next_entry(&mut self) -> Option<(TripleId, f64)> {
-        self.list.next_posting().map(|p| (p.triple, p.prob))
+        self.list
+            .next_posting()
+            .map(|p| (p.triple, p.prob * self.scale))
     }
 
     /// Entries consumed so far.
@@ -388,11 +510,12 @@ impl<'s> ScoredMatches<'s> {
     /// `[0, 1]`. O(1) for every list — the build-time prefix-sum columns
     /// for index-served lists, an incrementally tracked consumed weight
     /// for materialized ones. An upper bound on the probability of every
-    /// remaining entry — and on their sum.
+    /// remaining entry — and on their sum. Globally re-normalized views
+    /// rescale exactly as the cursor probabilities do.
     pub fn remaining_mass(&self) -> f64 {
         let total = self.list.total_weight();
         if total > 0.0 {
-            self.list.remaining_weight() / total
+            (self.list.remaining_weight() / total) * self.scale
         } else {
             0.0
         }
@@ -413,6 +536,52 @@ pub fn head_prob_bound(store: &XkgStore, pattern: &QPattern) -> f64 {
     store.head_prob(&slot).unwrap_or(1.0)
 }
 
+/// [`head_prob_bound`] under a [`GlobalTotals`] provider: the bound on a
+/// *shard's* best emission when probabilities are normalized globally.
+/// For index-served shapes this reads the shard's precomputed head
+/// *weight* and divides by the global total — each shard enters the
+/// sharded merge at its exact local head, which is ≤ the monolithic
+/// store's head bound for the same pattern. Shapes the index cannot
+/// answer fall back to the trivial bound (probabilities are ≤ 1 by
+/// construction, since every local weight participates in the global
+/// total).
+pub fn head_prob_bound_global(
+    store: &XkgStore,
+    pattern: &QPattern,
+    totals: Option<&dyn GlobalTotals>,
+) -> f64 {
+    let key = canonical_pattern(pattern);
+    let Some(t) = totals.and_then(|g| g.pattern_total(&key)) else {
+        return head_prob_bound(store, pattern);
+    };
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let (slot, _) = key;
+    // Head *weight* of the shard-local group; for repeated-variable
+    // masks the unfiltered group head still bounds the filtered head.
+    let head_weight = match (slot.s, slot.p, slot.o) {
+        (None, Some(p), None) => Some(
+            store
+                .predicate_postings(p)
+                .first()
+                .map_or(0.0, |e| e.weight),
+        ),
+        (None, None, None) => Some(
+            store
+                .posting_index()
+                .all_postings()
+                .first()
+                .map_or(0.0, |e| e.weight),
+        ),
+        _ => None,
+    };
+    match head_weight {
+        Some(w) => (w / t).min(1.0),
+        None => 1.0,
+    }
+}
+
 /// True if [`PostingList::build`] serves this shape as a borrowed slice
 /// of the precomputed posting index.
 #[inline]
@@ -421,6 +590,29 @@ fn is_borrow_served(slot: &SlotPattern) -> bool {
         (slot.s, slot.p, slot.o),
         (None, Some(_), None) | (None, None, None)
     )
+}
+
+/// Materializes the local slice's (possibly mask-filtered) entries with
+/// probabilities normalized by an externally supplied global total. The
+/// source list is already score-sorted; scaling by a constant preserves
+/// the order.
+fn scaled_entries(
+    store: &XkgStore,
+    slot: &SlotPattern,
+    mask: u8,
+    total: f64,
+) -> (Vec<Posting>, f64) {
+    let source = PostingList::build(store, slot);
+    let mut entries: Vec<Posting> = source
+        .entries()
+        .iter()
+        .filter(|e| mask == 0 || satisfies_mask(store, e.triple, mask))
+        .copied()
+        .collect();
+    for e in &mut entries {
+        e.prob = if total > 0.0 { e.weight / total } else { 0.0 };
+    }
+    (entries, total)
 }
 
 /// Filters the shared posting list by the repetition constraints and

@@ -13,11 +13,29 @@
 
 use std::collections::HashMap;
 
-use trinit_xkg::{SlotPattern, XkgStore};
+use trinit_xkg::{SlotPattern, TermId, XkgStore};
 
 use crate::pattern::{QPattern, QTerm, VarId};
 use crate::rule::{RVar, Rule, RuleId, TTerm, Template};
 use crate::ruleset::RuleSet;
+
+/// Ground-fact existence oracle backing rule *data conditions*: an LHS
+/// template absent from the query licenses a rule when its ground
+/// instantiation is asserted in the data. A monolithic [`XkgStore`] is
+/// the canonical oracle; a sharded store implements the same check by
+/// probing the subject's shard (subject-hash partitioning guarantees a
+/// ground triple can only live there).
+pub trait ConditionOracle {
+    /// True if the ground triple `(s, p, o)` is asserted.
+    fn ground_holds(&self, s: TermId, p: TermId, o: TermId) -> bool;
+}
+
+impl ConditionOracle for XkgStore {
+    #[inline]
+    fn ground_holds(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        self.count(&SlotPattern::new(Some(s), Some(p), Some(o))) > 0
+    }
+}
 
 /// One rewriting produced by a single rule application.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +100,7 @@ fn instantiate_slot(t: TTerm, bindings: &Bindings, fresh: &HashMap<RVar, VarId>)
 fn search(
     lhs: &[Template],
     query: &[QPattern],
-    store: Option<&XkgStore>,
+    oracle: Option<&dyn ConditionOracle>,
     used: &mut Vec<usize>,
     conditions: &mut Vec<Template>,
     bindings: &mut Bindings,
@@ -94,9 +112,9 @@ fn search(
         if used.is_empty() {
             return;
         }
-        if let Some(store) = store {
+        if let Some(oracle) = oracle {
             for cond in conditions.iter() {
-                if !condition_holds(cond, bindings, store) {
+                if !condition_holds(cond, bindings, oracle) {
                     return;
                 }
             }
@@ -111,21 +129,21 @@ fn search(
         let mut trial = bindings.clone();
         if unify_pattern(template, q, &mut trial) {
             used.push(i);
-            search(&lhs[1..], query, store, used, conditions, &mut trial, out);
+            search(&lhs[1..], query, oracle, used, conditions, &mut trial, out);
             used.pop();
         }
     }
-    if store.is_some() {
+    if oracle.is_some() {
         // Condition branch: check this template against the data instead.
         conditions.push(*template);
-        search(&lhs[1..], query, store, used, conditions, bindings, out);
+        search(&lhs[1..], query, oracle, used, conditions, bindings, out);
         conditions.pop();
     }
 }
 
 /// True if `template`, instantiated under `bindings`, is a ground triple
 /// asserted in the store.
-fn condition_holds(template: &Template, bindings: &Bindings, store: &XkgStore) -> bool {
+fn condition_holds(template: &Template, bindings: &Bindings, oracle: &dyn ConditionOracle) -> bool {
     let ground = |t: TTerm| -> Option<trinit_xkg::TermId> {
         match t {
             TTerm::Const(c) => Some(c),
@@ -139,7 +157,7 @@ fn condition_holds(template: &Template, bindings: &Bindings, store: &XkgStore) -
     else {
         return false;
     };
-    store.count(&SlotPattern::new(Some(s), Some(p), Some(o))) > 0
+    oracle.ground_holds(s, p, o)
 }
 
 /// Applies `rule` to `query` in every possible way, returning the distinct
@@ -158,11 +176,23 @@ pub fn apply_rule_with(
     rule_id: RuleId,
     store: Option<&XkgStore>,
 ) -> Vec<Rewriting> {
+    apply_rule_oracle(query, rule, rule_id, store.map(|s| s as &dyn ConditionOracle))
+}
+
+/// Applies `rule` to `query`, verifying unmatched LHS patterns as ground
+/// conditions through an arbitrary [`ConditionOracle`] — the entry point
+/// sharded executors use, where "asserted in the data" spans every shard.
+pub fn apply_rule_oracle(
+    query: &[QPattern],
+    rule: &Rule,
+    rule_id: RuleId,
+    oracle: Option<&dyn ConditionOracle>,
+) -> Vec<Rewriting> {
     let mut matches = Vec::new();
     search(
         &rule.lhs,
         query,
-        store,
+        oracle,
         &mut Vec::new(),
         &mut Vec::new(),
         &mut Bindings::new(),

@@ -29,7 +29,8 @@ pub mod rule;
 pub mod ruleset;
 
 pub use apply::{
-    apply_rule, apply_rule_with, canonical_key, expand, expand_with, ExpandOptions,
+    apply_rule, apply_rule_oracle, apply_rule_with, canonical_key, expand, expand_with,
+    ConditionOracle, ExpandOptions,
     RelaxedQuery, Rewriting,
 };
 pub use mine::{mine_cooccurrence, MinedRule, MinerConfig};

@@ -1,0 +1,424 @@
+//! The sharded executor: per-shard seeding on scoped threads, the
+//! cross-shard merge phase, and the batch query pool.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use trinit_query::exec::sharded::run_partitioned;
+use trinit_query::exec::topk::{run_scaled, TopkConfig};
+use trinit_query::{Answer, ExecMetrics, Query, SharedPostingCache};
+use trinit_relax::{ConditionOracle, RuleSet};
+use trinit_xkg::TripleId;
+
+use crate::store::ShardedStore;
+
+/// How [`ShardedExecutor::run`] seeds the global merge with per-shard
+/// answers before the cross-shard phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Run every shard's local top-k on its own scoped thread — the
+    /// latency-oriented mode: the seed phase takes one shard's time
+    /// instead of the sum, and the merge phase starts with a tight
+    /// k-th score.
+    Parallel,
+    /// Run the per-shard seeds one after another on the calling thread.
+    /// Used inside batch pools, where the parallelism budget is already
+    /// spent across queries.
+    Sequential,
+    /// Skip seeding: go straight to the cross-shard merge. Cheapest in
+    /// total work — the merge phase alone is complete and exact.
+    Off,
+}
+
+/// The outcome of one sharded execution.
+#[derive(Debug)]
+pub struct ShardedRun {
+    /// Top-k answers, best first; derivation triple ids are global
+    /// (resolve them with [`ShardedStore::resolve`]).
+    pub answers: Vec<Answer>,
+    /// Aggregate work counters across the seed and merge phases.
+    pub metrics: ExecMetrics,
+    /// Per-shard work: each shard's seed-phase run plus its share of
+    /// the merge phase's posting work.
+    pub per_shard: Vec<ExecMetrics>,
+}
+
+/// Executes queries over a [`ShardedStore`]: fans the query out to
+/// per-shard top-k executions (the seed phase) and merges the shards'
+/// posting streams under the engine's tightened global threshold (the
+/// merge phase, which is always complete and exact).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedExecutor<'a> {
+    store: &'a ShardedStore,
+    /// One store-level posting cache per shard, if caching is enabled.
+    caches: Option<&'a [SharedPostingCache]>,
+}
+
+impl<'a> ShardedExecutor<'a> {
+    /// An executor without store-level posting caches.
+    pub fn new(store: &'a ShardedStore) -> ShardedExecutor<'a> {
+        ShardedExecutor {
+            store,
+            caches: None,
+        }
+    }
+
+    /// Attaches one store-level posting cache per shard (cached lists
+    /// are shard-specific, so the set's length must equal the shard
+    /// count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `caches.len()` differs from the shard count.
+    pub fn with_caches(mut self, caches: &'a [SharedPostingCache]) -> ShardedExecutor<'a> {
+        assert_eq!(
+            caches.len(),
+            self.store.shard_count(),
+            "one posting cache per shard"
+        );
+        self.caches = Some(caches);
+        self
+    }
+
+    /// Runs one shard's local top-k (all patterns restricted to the
+    /// shard's slice, scores globally normalized) and remaps the
+    /// answers' derivation ids into the global space.
+    fn seed_shard(
+        &self,
+        shard: usize,
+        query: &Query,
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+    ) -> (Vec<Answer>, ExecMetrics) {
+        let store = self.store.shard(shard);
+        let offset = self.store.offsets()[shard];
+        let (mut answers, metrics) = run_scaled(
+            store,
+            query,
+            rules,
+            cfg,
+            self.caches.map(|c| &c[shard]),
+            Some(self.store),
+            Some(self.store as &dyn ConditionOracle),
+            Vec::new(),
+        );
+        for answer in &mut answers {
+            for (_, id) in &mut answer.derivation.triples {
+                *id = TripleId(offset + id.0);
+            }
+        }
+        (answers, metrics)
+    }
+
+    /// Answers `query`: seed phase per `seed`, then the cross-shard
+    /// merge. The merge phase alone is complete, so every mode returns
+    /// identical answers; seeding only changes how the work is spent.
+    pub fn run(
+        &self,
+        query: &Query,
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+        seed: SeedMode,
+    ) -> ShardedRun {
+        let n = self.store.shard_count();
+        let mut per_shard = vec![ExecMetrics::default(); n];
+        let mut seeds: Vec<Answer> = Vec::new();
+        match seed {
+            SeedMode::Off => {}
+            SeedMode::Sequential => {
+                for (shard, acc) in per_shard.iter_mut().enumerate() {
+                    let (answers, metrics) = self.seed_shard(shard, query, rules, cfg);
+                    seeds.extend(answers);
+                    acc.merge(&metrics);
+                }
+            }
+            SeedMode::Parallel => {
+                let results = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..n)
+                        .map(|shard| {
+                            scope.spawn(move || self.seed_shard(shard, query, rules, cfg))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("seed thread panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for (shard, (answers, metrics)) in results.into_iter().enumerate() {
+                    seeds.extend(answers);
+                    per_shard[shard].merge(&metrics);
+                }
+            }
+        }
+
+        let shard_refs: Vec<&trinit_xkg::XkgStore> = self.store.shards().iter().collect();
+        let run = run_partitioned(
+            &shard_refs,
+            self.store.offsets(),
+            self.store,
+            self.store,
+            Some(self.store as &dyn ConditionOracle),
+            query,
+            rules,
+            cfg,
+            self.caches,
+            seeds,
+        );
+
+        let mut metrics = run.metrics;
+        for (acc, phase2) in per_shard.iter_mut().zip(&run.per_shard) {
+            metrics.merge(acc); // seed-phase work into the aggregate
+            acc.merge(phase2);
+        }
+        ShardedRun {
+            answers: run.answers,
+            metrics,
+            per_shard,
+        }
+    }
+}
+
+/// A fixed-size worker pool executing independent queries concurrently
+/// over a shared engine — the shard deployment's batch surface. Workers
+/// claim queries off an atomic cursor; results land in input order.
+#[derive(Debug)]
+pub struct QueryPool {
+    workers: usize,
+}
+
+impl QueryPool {
+    /// A pool of `workers` concurrent workers (at least one).
+    pub fn new(workers: usize) -> QueryPool {
+        QueryPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `run` once per input concurrently, returning outputs in
+    /// input order. `run` must be safe to call from multiple threads —
+    /// the query engines are read-only over `Sync` stores, so closures
+    /// capturing a store or executor qualify.
+    pub fn execute<I, O, F>(&self, inputs: Vec<I>, run: F) -> Vec<O>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        let n = inputs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.workers.min(n);
+        if threads == 1 {
+            return inputs.into_iter().map(run).collect();
+        }
+        let slots: Vec<Mutex<Option<I>>> = inputs
+            .into_iter()
+            .map(|i| Mutex::new(Some(i)))
+            .collect();
+        let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let input = slots[i]
+                        .lock()
+                        .expect("input slot poisoned")
+                        .take()
+                        .expect("input claimed once");
+                    let result = run(input);
+                    *out[i].lock().expect("output slot poisoned") = Some(result);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("output slot poisoned")
+                    .expect("every input produced an output")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_query::exec::topk;
+    use trinit_query::QueryBuilder;
+    use trinit_relax::{Rule, RuleProvenance};
+    use trinit_xkg::XkgBuilder;
+
+    fn builder() -> XkgBuilder {
+        let mut b = XkgBuilder::new();
+        for i in 0..20u32 {
+            b.add_kg_resources(&format!("x{i}"), "p", &format!("y{i}"));
+            b.add_kg_resources(&format!("y{i}"), "q", &format!("z{}", i % 4));
+        }
+        let src = b.intern_source("doc");
+        for i in 0..8u32 {
+            let s = b.dict_mut().resource(&format!("x{i}"));
+            let p = b.dict_mut().token("close to");
+            let o = b.dict_mut().resource(&format!("y{}", (i + 3) % 20));
+            b.add_extracted(s, p, o, 0.6, src);
+        }
+        b
+    }
+
+    fn rules(store: &trinit_xkg::XkgStore) -> RuleSet {
+        let p = store.resource("p").unwrap();
+        let close = store.token("close to").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "p ~ close to",
+            p,
+            close,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        rules
+    }
+
+    use crate::testkit::assert_answers_score_equivalent as assert_same_answers;
+
+    #[test]
+    fn every_seed_mode_matches_the_monolith() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 3);
+        let cfg = TopkConfig::default();
+        let q = QueryBuilder::new(&single)
+            .pattern_v_r_v("a", "p", "b")
+            .pattern_v_r_v("b", "q", "c")
+            .limit(12)
+            .build();
+        let (mono, _) = topk::run(&single, &q, &rules, &cfg);
+        let exec = ShardedExecutor::new(&sharded);
+        for mode in [SeedMode::Off, SeedMode::Sequential, SeedMode::Parallel] {
+            let run = exec.run(&q, &rules, &cfg, mode);
+            assert_same_answers(&run.answers, &mono);
+            assert_eq!(run.per_shard.len(), 3);
+        }
+    }
+
+    #[test]
+    fn sharded_derivations_resolve_globally() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 4);
+        let q = QueryBuilder::new(&single)
+            .pattern_r_r_v("x1", "p", "b")
+            .limit(5)
+            .build();
+        let run = ShardedExecutor::new(&sharded).run(
+            &q,
+            &rules,
+            &TopkConfig::default(),
+            SeedMode::Parallel,
+        );
+        assert!(!run.answers.is_empty());
+        for answer in &run.answers {
+            for (pattern, id) in &answer.derivation.triples {
+                // Global ids resolve to real triples matching the
+                // evaluated pattern's constants.
+                let t = sharded.triple(*id);
+                if let trinit_relax::QTerm::Term(s) = pattern.s {
+                    assert_eq!(t.s, s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_caches_serve_repeat_queries_without_changing_answers() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 3);
+        let caches: Vec<SharedPostingCache> =
+            (0..3).map(|_| SharedPostingCache::new(64)).collect();
+        let exec = ShardedExecutor::new(&sharded).with_caches(&caches);
+        let q = QueryBuilder::new(&single)
+            .pattern_r_r_v("x2", "p", "b")
+            .limit(5)
+            .build();
+        let cfg = TopkConfig::default();
+        let cold = exec.run(&q, &rules, &cfg, SeedMode::Sequential);
+        let warm = exec.run(&q, &rules, &cfg, SeedMode::Sequential);
+        assert_same_answers(&cold.answers, &warm.answers);
+        assert!(
+            warm.metrics.shared_cache_hits > 0,
+            "repeat query must hit the shard caches: {:?}",
+            warm.metrics
+        );
+    }
+
+    #[test]
+    fn metrics_aggregate_per_shard_work() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 3);
+        let q = QueryBuilder::new(&single)
+            .pattern_v_r_v("a", "p", "b")
+            .limit(8)
+            .build();
+        let run = ShardedExecutor::new(&sharded).run(
+            &q,
+            &rules,
+            &TopkConfig::default(),
+            SeedMode::Sequential,
+        );
+        let scanned: usize = run.per_shard.iter().map(|m| m.postings_scanned).sum();
+        assert_eq!(
+            scanned, run.metrics.postings_scanned,
+            "aggregate postings must equal the per-shard sum"
+        );
+        assert!(run.metrics.pulls > 0);
+    }
+
+    #[test]
+    fn query_pool_preserves_input_order() {
+        let pool = QueryPool::new(4);
+        let inputs: Vec<usize> = (0..57).collect();
+        let out = pool.execute(inputs, |i| i * 3);
+        assert_eq!(out, (0..57).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(pool.workers() == 4);
+        let empty: Vec<usize> = pool.execute(Vec::new(), |i: usize| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn query_pool_runs_sharded_queries_concurrently() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 2);
+        let cfg = TopkConfig::default();
+        let queries: Vec<_> = (0..6)
+            .map(|i| {
+                QueryBuilder::new(&single)
+                    .pattern_r_r_v(&format!("x{i}"), "p", "b")
+                    .limit(4)
+                    .build()
+            })
+            .collect();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| topk::run(&single, q, &rules, &cfg).0)
+            .collect();
+        let exec = ShardedExecutor::new(&sharded);
+        let got = QueryPool::new(2).execute(queries, |q| {
+            exec.run(&q, &rules, &cfg, SeedMode::Off).answers
+        });
+        for (g, e) in got.iter().zip(&expected) {
+            assert_same_answers(g, e);
+        }
+    }
+}

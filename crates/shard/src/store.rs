@@ -1,0 +1,436 @@
+//! The sharded store: N subject-hash-partitioned [`XkgStore`] slices
+//! behind one global façade.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use trinit_query::exec::TripleLookup;
+use trinit_query::{satisfies_mask, CanonicalPattern, GlobalTotals};
+use trinit_relax::ConditionOracle;
+use trinit_xkg::{
+    GraphTag, Provenance, SlotPattern, SourceId, TermDict, TermId, TermKind, Triple, TripleId,
+    XkgBuilder, XkgStore,
+};
+
+/// N subject-hash-partitioned store shards sharing one term dictionary,
+/// plus the global aggregates partitioned execution needs: per-predicate
+/// and whole-store emission-weight totals (frozen at build time) and a
+/// memo of scanned totals for pattern shapes that span shards.
+///
+/// Triple ids exposed by this type are **global**: shard `i`'s local id
+/// `t` maps to `offsets[i] + t`. Term and source ids need no mapping —
+/// the shards share one dictionary and source table.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<XkgStore>,
+    /// Shard `i`'s base in the global triple-id space.
+    offsets: Vec<u32>,
+    /// Global emission-weight total per predicate (Σ over shards).
+    pred_totals: HashMap<TermId, f64>,
+    /// Global emission-weight total of the whole store.
+    global_total: f64,
+    /// Union of the shards' predicates, ascending by term id.
+    predicates: Vec<TermId>,
+    len: usize,
+    kg_len: usize,
+    /// Memoized cross-shard totals for non-precomputed shapes
+    /// (object-bound and repeated-variable patterns).
+    totals_memo: Mutex<HashMap<CanonicalPattern, f64>>,
+}
+
+impl ShardedStore {
+    /// Freezes `builder` into `shards` subject-hash-partitioned slices
+    /// (see [`XkgBuilder::build_sharded`]) and aggregates the global
+    /// statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn build(builder: XkgBuilder, shards: usize) -> ShardedStore {
+        ShardedStore::from_shards(builder.build_sharded(shards))
+    }
+
+    /// Wraps already-built shards. They must share one term dictionary —
+    /// i.e. come from one [`XkgBuilder::build_sharded`] call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty or the shards do not share a
+    /// dictionary.
+    pub fn from_shards(shards: Vec<XkgStore>) -> ShardedStore {
+        assert!(!shards.is_empty(), "at least one shard required");
+        let dict = shards[0].dict_handle();
+        for shard in &shards[1..] {
+            assert!(
+                Arc::ptr_eq(&dict, &shard.dict_handle()),
+                "shards must share one term dictionary"
+            );
+        }
+        let mut offsets = Vec::with_capacity(shards.len());
+        let mut base: u64 = 0;
+        for shard in &shards {
+            offsets.push(u32::try_from(base).expect("global triple-id overflow"));
+            base += shard.len() as u64;
+        }
+        let mut pred_totals: HashMap<TermId, f64> = HashMap::new();
+        let mut global_total = 0.0;
+        for shard in &shards {
+            let index = shard.posting_index();
+            for &p in shard.predicates() {
+                *pred_totals.entry(p).or_insert(0.0) += index.predicate_total_weight(p);
+            }
+            global_total += index.total_weight();
+        }
+        let mut predicates: Vec<TermId> = pred_totals.keys().copied().collect();
+        predicates.sort_unstable();
+        let len = shards.iter().map(XkgStore::len).sum();
+        let kg_len = shards.iter().map(|s| s.len_of(GraphTag::Kg)).sum();
+        ShardedStore {
+            shards,
+            offsets,
+            pred_totals,
+            global_total,
+            predicates,
+            len,
+            kg_len,
+            totals_memo: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard slices.
+    #[inline]
+    pub fn shards(&self) -> &[XkgStore] {
+        &self.shards
+    }
+
+    /// One shard slice.
+    #[inline]
+    pub fn shard(&self, i: usize) -> &XkgStore {
+        &self.shards[i]
+    }
+
+    /// Per-shard bases in the global triple-id space.
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Total number of distinct triples across shards.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no shard holds a triple.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct triples in a stratum, across shards.
+    pub fn len_of(&self, graph: GraphTag) -> usize {
+        match graph {
+            GraphTag::Kg => self.kg_len,
+            GraphTag::Xkg => self.len - self.kg_len,
+        }
+    }
+
+    /// The shared term dictionary.
+    #[inline]
+    pub fn dict(&self) -> &TermDict {
+        self.shards[0].dict()
+    }
+
+    /// Looks up an existing resource term by name.
+    pub fn resource(&self, name: &str) -> Option<TermId> {
+        self.dict().get(TermKind::Resource, name)
+    }
+
+    /// Looks up an existing token term by phrase.
+    pub fn token(&self, phrase: &str) -> Option<TermId> {
+        self.dict().get(TermKind::Token, phrase)
+    }
+
+    /// Looks up an existing literal term by value.
+    pub fn literal(&self, value: &str) -> Option<TermId> {
+        self.dict().get(TermKind::Literal, value)
+    }
+
+    /// Union of the shards' predicates, ascending by term id.
+    #[inline]
+    pub fn predicates(&self) -> &[TermId] {
+        &self.predicates
+    }
+
+    /// Global emission-weight total of one predicate's match set.
+    pub fn predicate_total_weight(&self, p: TermId) -> f64 {
+        self.pred_totals.get(&p).copied().unwrap_or(0.0)
+    }
+
+    /// Resolves a global triple id to `(shard index, local id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn resolve(&self, id: TripleId) -> (usize, TripleId) {
+        let shard = self.offsets.partition_point(|&base| base <= id.0) - 1;
+        let local = TripleId(id.0 - self.offsets[shard]);
+        assert!(
+            local.idx() < self.shards[shard].len(),
+            "triple id {id:?} not issued by this store"
+        );
+        (shard, local)
+    }
+
+    /// The global id of shard `i`'s local triple `t`.
+    #[inline]
+    pub fn global_id(&self, shard: usize, local: TripleId) -> TripleId {
+        TripleId(self.offsets[shard] + local.0)
+    }
+
+    /// The triple with the given global id.
+    pub fn triple(&self, id: TripleId) -> Triple {
+        let (shard, local) = self.resolve(id);
+        self.shards[shard].triple(local)
+    }
+
+    /// Provenance of the triple with the given global id.
+    pub fn provenance(&self, id: TripleId) -> &Provenance {
+        let (shard, local) = self.resolve(id);
+        self.shards[shard].provenance(local)
+    }
+
+    /// Resolves a source id to its document identifier (the source table
+    /// is shared, so any shard answers).
+    pub fn source_name(&self, id: SourceId) -> Option<&str> {
+        self.shards[0].source_name(id)
+    }
+
+    /// Renders a term for display (shared dictionary).
+    pub fn display_term(&self, id: TermId) -> String {
+        self.shards[0].display_term(id)
+    }
+
+    /// Renders a triple with a global id in `S P O` form.
+    pub fn display_triple(&self, id: TripleId) -> String {
+        let (shard, local) = self.resolve(id);
+        self.shards[shard].display_triple(local)
+    }
+
+    /// Exact number of triples matching `pattern`, across shards.
+    pub fn count(&self, pattern: &SlotPattern) -> usize {
+        match pattern.s {
+            // Subject-bound patterns are co-located.
+            Some(s) => self.shards[s.shard_of(self.shards.len())].count(pattern),
+            None => self.shards.iter().map(|sh| sh.count(pattern)).sum(),
+        }
+    }
+
+    /// Cross-shard total emission weight of a canonical pattern's
+    /// (mask-filtered) match set — the slow path behind
+    /// [`GlobalTotals::pattern_total`], memoized per store.
+    fn scan_total(&self, key: &CanonicalPattern) -> f64 {
+        let (slot, mask) = *key;
+        self.shards
+            .iter()
+            .map(|shard| {
+                shard
+                    .lookup(&slot)
+                    .iter()
+                    .filter(|&&id| mask == 0 || satisfies_mask(shard, id, mask))
+                    .map(|&id| shard.provenance(id).weight())
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+}
+
+impl GlobalTotals for ShardedStore {
+    fn pattern_total(&self, key: &CanonicalPattern) -> Option<f64> {
+        let (slot, mask) = *key;
+        if slot.s.is_some() {
+            // Subject-bound: all matches are co-located, so the shard's
+            // local total is already the global total.
+            return None;
+        }
+        if mask == 0 {
+            match (slot.p, slot.o) {
+                (Some(p), None) => return Some(self.predicate_total_weight(p)),
+                (None, None) => return Some(self.global_total),
+                _ => {}
+            }
+        }
+        let mut memo = self.totals_memo.lock().expect("totals memo poisoned");
+        if let Some(&t) = memo.get(key) {
+            return Some(t);
+        }
+        let t = self.scan_total(key);
+        memo.insert(*key, t);
+        Some(t)
+    }
+}
+
+impl ConditionOracle for ShardedStore {
+    fn ground_holds(&self, s: TermId, p: TermId, o: TermId) -> bool {
+        // Subject-hash partitioning: a ground triple can only live in
+        // its subject's shard.
+        let shard = s.shard_of(self.shards.len());
+        self.shards[shard].count(&SlotPattern::new(Some(s), Some(p), Some(o))) > 0
+    }
+}
+
+impl TripleLookup for ShardedStore {
+    #[inline]
+    fn triple_of(&self, id: TripleId) -> Triple {
+        self.triple(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trinit_query::QPattern;
+    use trinit_relax::{QTerm, VarId};
+
+    fn builder() -> XkgBuilder {
+        let mut b = XkgBuilder::new();
+        for i in 0..30u32 {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{i}"));
+            b.add_kg_resources(&format!("s{i}"), "q", "hub");
+        }
+        let src = b.intern_source("doc");
+        for i in 0..10u32 {
+            let s = b.dict_mut().resource(&format!("s{i}"));
+            let p = b.dict_mut().token("linked to");
+            let o = b.dict_mut().resource(&format!("s{}", (i + 1) % 10));
+            b.add_extracted(s, p, o, 0.5 + (i % 4) as f32 * 0.1, src);
+        }
+        // A self-loop for repeated-variable totals.
+        b.add_kg_resources("loop", "p", "loop");
+        b
+    }
+
+    #[test]
+    fn global_aggregates_match_monolith() {
+        let single = builder().build();
+        let sharded = ShardedStore::build(builder(), 4);
+        assert_eq!(sharded.len(), single.len());
+        assert_eq!(sharded.len_of(GraphTag::Kg), single.len_of(GraphTag::Kg));
+        assert_eq!(sharded.predicates(), single.predicates());
+        let idx = single.posting_index();
+        assert!((sharded.global_total - idx.total_weight()).abs() < 1e-9);
+        for &p in single.predicates() {
+            assert!(
+                (sharded.predicate_total_weight(p) - idx.predicate_total_weight(p)).abs() < 1e-9,
+                "predicate total diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn global_ids_resolve_across_shards() {
+        let single = builder().build();
+        let sharded = ShardedStore::build(builder(), 3);
+        let mut seen = 0usize;
+        for shard_idx in 0..sharded.shard_count() {
+            for (local, t) in sharded.shard(shard_idx).iter().collect::<Vec<_>>() {
+                let gid = sharded.global_id(shard_idx, local);
+                assert_eq!(sharded.resolve(gid), (shard_idx, local));
+                assert_eq!(sharded.triple(gid), t);
+                assert_eq!(sharded.triple_of(gid), t);
+                // Display and provenance agree with the monolith.
+                let slot = SlotPattern::new(Some(t.s), Some(t.p), Some(t.o));
+                let mono_id = single.lookup(&slot)[0];
+                assert_eq!(sharded.display_triple(gid), single.display_triple(mono_id));
+                assert_eq!(
+                    sharded.provenance(gid).weight(),
+                    single.provenance(mono_id).weight()
+                );
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, single.len());
+    }
+
+    #[test]
+    fn condition_oracle_agrees_with_monolith() {
+        let single = builder().build();
+        let sharded = ShardedStore::build(builder(), 5);
+        let p = single.resource("p").unwrap();
+        let q = single.resource("q").unwrap();
+        for i in 0..30u32 {
+            let s = single.resource(&format!("s{i}")).unwrap();
+            let o = single.resource(&format!("o{i}")).unwrap();
+            let hub = single.resource("hub").unwrap();
+            assert!(sharded.ground_holds(s, p, o));
+            assert!(sharded.ground_holds(s, q, hub));
+            assert!(!sharded.ground_holds(s, q, o));
+        }
+    }
+
+    #[test]
+    fn pattern_totals_are_global() {
+        let single = builder().build();
+        let sharded = ShardedStore::build(builder(), 4);
+        let p = single.resource("p").unwrap();
+        let v0 = QTerm::Var(VarId(0));
+        let v1 = QTerm::Var(VarId(1));
+        // Predicate-only: O(1) precomputed aggregate.
+        let key = trinit_query::canonical_pattern(&QPattern::new(v0, QTerm::Term(p), v1));
+        let expected = single.posting_index().predicate_total_weight(p);
+        assert!((sharded.pattern_total(&key).unwrap() - expected).abs() < 1e-9);
+        // Object-bound: memoized cross-shard scan.
+        let hub = single.resource("hub").unwrap();
+        let q = single.resource("q").unwrap();
+        let obj_key =
+            trinit_query::canonical_pattern(&QPattern::new(v0, QTerm::Term(q), QTerm::Term(hub)));
+        let direct: f64 = single
+            .lookup(&SlotPattern::new(None, Some(q), Some(hub)))
+            .iter()
+            .map(|&id| single.provenance(id).weight())
+            .sum();
+        assert!((sharded.pattern_total(&obj_key).unwrap() - direct).abs() < 1e-9);
+        // Memo hit returns the same value.
+        assert_eq!(
+            sharded.pattern_total(&obj_key),
+            sharded.pattern_total(&obj_key)
+        );
+        // Repeated-variable (self-loop) shape: filtered scan.
+        let rep_key = trinit_query::canonical_pattern(&QPattern::new(v0, QTerm::Term(p), v0));
+        let loop_s = single.resource("loop").unwrap();
+        let loop_weight: f64 = single
+            .lookup(&SlotPattern::new(Some(loop_s), Some(p), Some(loop_s)))
+            .iter()
+            .map(|&id| single.provenance(id).weight())
+            .sum();
+        assert!((sharded.pattern_total(&rep_key).unwrap() - loop_weight).abs() < 1e-9);
+        // Subject-bound: local is global.
+        let s0 = single.resource("s0").unwrap();
+        let sub_key =
+            trinit_query::canonical_pattern(&QPattern::new(QTerm::Term(s0), QTerm::Term(p), v1));
+        assert_eq!(sharded.pattern_total(&sub_key), None);
+    }
+
+    #[test]
+    fn counts_aggregate_across_shards() {
+        let single = builder().build();
+        let sharded = ShardedStore::build(builder(), 3);
+        let p = single.resource("p").unwrap();
+        assert_eq!(
+            sharded.count(&SlotPattern::with_p(p)),
+            single.count(&SlotPattern::with_p(p))
+        );
+        let s3 = single.resource("s3").unwrap();
+        assert_eq!(
+            sharded.count(&SlotPattern::new(Some(s3), None, None)),
+            single.count(&SlotPattern::new(Some(s3), None, None))
+        );
+        assert_eq!(sharded.count(&SlotPattern::any()), single.len());
+    }
+}

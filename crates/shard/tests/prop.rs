@@ -1,0 +1,148 @@
+//! Property tests for partitioned execution.
+//!
+//! The headline property — the acceptance bar of the sharding subsystem:
+//! **sharded execution returns answers score-equal to the single-store
+//! engine** on arbitrary stores, multi-pattern (join) queries, and
+//! relaxation rule sets, at 1, 2, 4, and 7 shards, with and without the
+//! parallel per-shard seed phase. Both sides run the *same* top-k
+//! configuration, so the comparison is exact (no rewriting-budget
+//! mismatch to tolerate); only membership of a trailing tied-score group
+//! is tie-break detail.
+
+use proptest::prelude::*;
+
+use trinit_query::exec::topk::{self, TopkConfig};
+use trinit_query::Query;
+use trinit_relax::{QPattern, QTerm, Rule, RuleProvenance, RuleSet, VarId};
+use trinit_shard::{SeedMode, ShardedExecutor, ShardedStore};
+use trinit_xkg::{Provenance, SourceId, TermId, TermKind, Triple, XkgBuilder};
+
+fn tid(i: u32) -> TermId {
+    TermId::new(TermKind::Resource, i)
+}
+
+/// A random store over a small universe: up to `max_triples` triples
+/// with random confidences and supports.
+fn store_strategy(
+    universe: u32,
+    max_triples: usize,
+) -> impl Strategy<Value = Vec<(u32, u32, u32, f32, u8)>> {
+    proptest::collection::vec(
+        (0..universe, 0..universe, 0..universe, 0.05f32..1.0, 0u8..4),
+        1..max_triples,
+    )
+}
+
+fn builder_from(rows: &[(u32, u32, u32, f32, u8)]) -> XkgBuilder {
+    let mut b = XkgBuilder::new();
+    for &(s, p, o, conf, support) in rows {
+        let mut prov = Provenance::extraction(conf, SourceId(0));
+        prov.support = u32::from(support) + 1;
+        b.add(Triple::new(tid(s), tid(p), tid(o)), prov);
+    }
+    b
+}
+
+fn query_from(patterns: Vec<QPattern>, k: usize) -> Query {
+    let n_vars = patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    Query {
+        patterns,
+        projection: Vec::new(),
+        k,
+        var_names: (0..n_vars).map(|i| format!("v{i}")).collect(),
+        unknown_terms: Vec::new(),
+    }
+}
+
+fn qterm(vars: u16, universe: u32) -> impl Strategy<Value = QTerm> {
+    prop_oneof![
+        (0..vars).prop_map(|v| QTerm::Var(VarId(v))),
+        (0..universe).prop_map(|t| QTerm::Term(tid(t))),
+    ]
+}
+
+fn pattern_strategy(vars: u16, universe: u32) -> impl Strategy<Value = QPattern> {
+    (
+        qterm(vars, universe),
+        (0..universe).prop_map(|t| QTerm::Term(tid(t))),
+        qterm(vars, universe),
+    )
+        .prop_map(|(s, p, o)| QPattern::new(s, p, o))
+}
+
+fn rules_strategy(universe: u32) -> impl Strategy<Value = Vec<Rule>> {
+    proptest::collection::vec(
+        (0..universe, 0..universe, 0.15f64..1.0, proptest::bool::ANY).prop_map(
+            |(p1, p2, w, inv)| {
+                if inv {
+                    Rule::inversion("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                } else {
+                    Rule::predicate_rewrite("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                }
+            },
+        ),
+        0..4,
+    )
+}
+
+use trinit_shard::testkit::assert_answers_score_equivalent as assert_answers_equivalent;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Sharded ≡ single-store on multi-pattern queries with relaxation,
+    /// across shard counts and seed modes.
+    #[test]
+    fn sharded_execution_equals_single_store(
+        rows in store_strategy(6, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 6), 1..4),
+        rules in rules_strategy(6),
+        k in 1usize..12,
+    ) {
+        let single = builder_from(&rows).build();
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        let query = query_from(patterns, k);
+        let (mono, _) = topk::run(&single, &query, &set, &cfg);
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = ShardedStore::build(builder_from(&rows), shards);
+            let exec = ShardedExecutor::new(&sharded);
+            for mode in [SeedMode::Off, SeedMode::Parallel] {
+                let run = exec.run(&query, &set, &cfg, mode);
+                assert_answers_equivalent(&run.answers, &mono);
+            }
+        }
+    }
+
+    /// The tightened threshold stays answer-invisible under sharding,
+    /// exactly as it is on the monolith.
+    #[test]
+    fn sharded_tightening_preserves_answers(
+        rows in store_strategy(5, 30),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+    ) {
+        let set: RuleSet = rules.into_iter().collect();
+        let query = query_from(patterns, k);
+        let sharded = ShardedStore::build(builder_from(&rows), 3);
+        let exec = ShardedExecutor::new(&sharded);
+        let tight = exec.run(
+            &query,
+            &set,
+            &TopkConfig { tighten_threshold: true, ..TopkConfig::default() },
+            SeedMode::Off,
+        );
+        let loose = exec.run(
+            &query,
+            &set,
+            &TopkConfig { tighten_threshold: false, ..TopkConfig::default() },
+            SeedMode::Off,
+        );
+        assert_answers_equivalent(&tight.answers, &loose.answers);
+    }
+}

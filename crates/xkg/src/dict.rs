@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use crate::term::{TermId, TermKind};
 
 /// Per-kind interning table.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct KindTable {
     strings: Vec<Box<str>>,
     lookup: HashMap<Box<str>, u32>,
@@ -54,7 +54,7 @@ impl KindTable {
 /// // Interning is idempotent.
 /// assert_eq!(dict.intern(TermKind::Resource, "AlbertEinstein"), einstein);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TermDict {
     tables: [KindTable; 3],
 }

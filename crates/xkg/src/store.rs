@@ -7,6 +7,7 @@
 //! (KG load + Open IE extraction), then queried interactively.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::dict::TermDict;
 use crate::index::TripleIndex;
@@ -16,7 +17,7 @@ use crate::term::{TermId, TermKind};
 use crate::triple::{GraphTag, Provenance, SourceId, Triple, TripleId};
 
 /// Accumulates triples and provenance before freezing into an [`XkgStore`].
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct XkgBuilder {
     dict: TermDict,
     triples: Vec<Triple>,
@@ -116,23 +117,60 @@ impl XkgBuilder {
     /// columnar permutation indexes, the score-sorted posting index, and
     /// per-stratum counts are all computed here, once.
     pub fn build(self) -> XkgStore {
-        let index = TripleIndex::build(&self.triples);
-        let triples = self.triples;
-        let postings = PostingIndex::build(&self.prov, |i| triples[i].p);
-        let kg_len = self
-            .prov
-            .iter()
-            .filter(|p| p.graph == GraphTag::Kg)
-            .count();
-        XkgStore {
-            dict: self.dict,
-            triples,
-            prov: self.prov,
-            sources: self.sources,
-            index,
-            postings,
-            kg_len,
+        let sources: Arc<[Box<str>]> = self.sources.into();
+        XkgStore::freeze(
+            Arc::new(self.dict),
+            self.triples,
+            self.prov,
+            sources,
+        )
+    }
+
+    /// Freezes the builder into `shards` independent [`XkgStore`]s that
+    /// hash-partition the triples by **subject term**
+    /// ([`TermId::shard_of`]): every triple lands in exactly one shard,
+    /// and all triples sharing a subject are co-located. The shards share
+    /// one term dictionary and one source table (`Arc`), so [`TermId`]s
+    /// and [`SourceId`]s are globally consistent — a query parsed against
+    /// any shard is valid against every shard.
+    ///
+    /// Each shard freezes its own permutation and posting indexes over
+    /// its slice, exactly as [`XkgBuilder::build`] does for the whole
+    /// store; relative triple order is preserved within a shard, so a
+    /// shard's local [`TripleId`]s enumerate its slice in global
+    /// insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn build_sharded(self, shards: usize) -> Vec<XkgStore> {
+        assert!(shards > 0, "shard count must be positive");
+        let dict = Arc::new(self.dict);
+        let sources: Arc<[Box<str>]> = self.sources.into();
+        let mut parts: Vec<(Vec<Triple>, Vec<Provenance>)> =
+            (0..shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (triple, prov) in self.triples.into_iter().zip(self.prov) {
+            let shard = triple.s.shard_of(shards);
+            parts[shard].0.push(triple);
+            parts[shard].1.push(prov);
         }
+        // Freeze shard indexes in parallel: each shard's permutation and
+        // posting builds are independent. (The per-shard TripleIndex
+        // build itself goes parallel only above its own size threshold.)
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|(triples, prov)| {
+                    let dict = Arc::clone(&dict);
+                    let sources = Arc::clone(&sources);
+                    scope.spawn(move || XkgStore::freeze(dict, triples, prov, sources))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard build thread panicked"))
+                .collect()
+        })
     }
 }
 
@@ -154,20 +192,53 @@ impl XkgBuilder {
 /// ```
 #[derive(Debug)]
 pub struct XkgStore {
-    dict: TermDict,
+    /// Shared so shards of one logical store agree on term ids; a
+    /// monolithic store is simply the sole owner.
+    dict: Arc<TermDict>,
     triples: Vec<Triple>,
     prov: Vec<Provenance>,
-    sources: Vec<Box<str>>,
+    /// Shared for the same reason: [`SourceId`]s are issued by one
+    /// builder and must resolve identically in every shard.
+    sources: Arc<[Box<str>]>,
     index: TripleIndex,
     postings: PostingIndex,
     kg_len: usize,
 }
 
 impl XkgStore {
+    /// Freezes already-interned parts into a fully indexed store.
+    fn freeze(
+        dict: Arc<TermDict>,
+        triples: Vec<Triple>,
+        prov: Vec<Provenance>,
+        sources: Arc<[Box<str>]>,
+    ) -> XkgStore {
+        let index = TripleIndex::build(&triples);
+        let postings = PostingIndex::build(&prov, |i| triples[i].p);
+        let kg_len = prov.iter().filter(|p| p.graph == GraphTag::Kg).count();
+        XkgStore {
+            dict,
+            triples,
+            prov,
+            sources,
+            index,
+            postings,
+            kg_len,
+        }
+    }
+
     /// The term dictionary.
     #[inline]
     pub fn dict(&self) -> &TermDict {
         &self.dict
+    }
+
+    /// A shared handle to the term dictionary. Shards of one logical
+    /// store return handles to the *same* dictionary (pointer-equal),
+    /// which is how a sharded deployment keeps term ids global.
+    #[inline]
+    pub fn dict_handle(&self) -> Arc<TermDict> {
+        Arc::clone(&self.dict)
     }
 
     /// Looks up an existing resource term by name.
@@ -394,5 +465,97 @@ mod tests {
         let store = XkgBuilder::new().build();
         assert!(store.is_empty());
         assert_eq!(store.lookup(&SlotPattern::any()).len(), 0);
+    }
+
+    fn many_subject_builder(n: u32) -> XkgBuilder {
+        let mut b = XkgBuilder::new();
+        for i in 0..n {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{i}"));
+            if i % 3 == 0 {
+                let s = b.dict_mut().resource(&format!("s{i}"));
+                let p = b.dict_mut().token("linked to");
+                let o = b.dict_mut().resource(&format!("x{i}"));
+                let src = b.intern_source(&format!("doc{i}"));
+                b.add_extracted(s, p, o, 0.5 + (i % 5) as f32 * 0.1, src);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn sharded_build_partitions_without_loss() {
+        let builder = many_subject_builder(40);
+        let single = builder.clone().build();
+        for shards in [1usize, 2, 3, 7] {
+            let parts = builder.clone().build_sharded(shards);
+            assert_eq!(parts.len(), shards);
+            let total: usize = parts.iter().map(XkgStore::len).sum();
+            assert_eq!(total, single.len(), "{shards} shards lose triples");
+            let kg: usize = parts.iter().map(|s| s.len_of(GraphTag::Kg)).sum();
+            assert_eq!(kg, single.len_of(GraphTag::Kg));
+            // Every triple of every shard exists in the monolith.
+            for part in &parts {
+                for (_, t) in part.iter() {
+                    assert_eq!(
+                        single.count(&SlotPattern::new(Some(t.s), Some(t.p), Some(t.o))),
+                        1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_build_colocates_subjects_and_shares_dict() {
+        let parts = many_subject_builder(40).build_sharded(4);
+        for (k, part) in parts.iter().enumerate() {
+            // Co-location: each triple is in the shard its subject hashes to.
+            for (_, t) in part.iter() {
+                assert_eq!(t.s.shard_of(4), k, "triple in wrong shard");
+            }
+            // One shared dictionary and source table across shards.
+            assert!(Arc::ptr_eq(&parts[0].dict_handle(), &part.dict_handle()));
+            assert_eq!(
+                part.source_name(SourceId(0)),
+                parts[0].source_name(SourceId(0))
+            );
+        }
+        // Shared dict means terms resolve in shards that hold no triple
+        // for them.
+        let s0 = parts[0].resource("s1").unwrap();
+        assert_eq!(parts[1].resource("s1"), Some(s0));
+    }
+
+    #[test]
+    fn sharded_build_preserves_global_insertion_order_within_shard() {
+        let builder = many_subject_builder(30);
+        let single = builder.clone().build();
+        let parts = builder.build_sharded(3);
+        for part in &parts {
+            // Local id order must enumerate the shard's triples in the
+            // monolith's insertion order (the partition is stable).
+            let mut last_global: Option<u32> = None;
+            for (_, t) in part.iter() {
+                let slot = SlotPattern::new(Some(t.s), Some(t.p), Some(t.o));
+                let global = single.lookup(&slot)[0].0;
+                if let Some(prev) = last_global {
+                    assert!(global > prev, "partition reordered triples");
+                }
+                last_global = Some(global);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for i in 0..500u32 {
+            let id = TermId::new(TermKind::Resource, i);
+            for n in [1usize, 2, 5, 16] {
+                let s = id.shard_of(n);
+                assert!(s < n);
+                assert_eq!(s, id.shard_of(n), "hash must be deterministic");
+            }
+            assert_eq!(id.shard_of(1), 0);
+        }
     }
 }

@@ -123,6 +123,25 @@ impl TermId {
     pub fn is_literal(self) -> bool {
         self.kind() == TermKind::Literal
     }
+
+    /// The shard (in `0..shards`) this term hashes to under the store's
+    /// subject-hash partitioning scheme (see
+    /// [`XkgBuilder::build_sharded`](crate::store::XkgBuilder::build_sharded)).
+    ///
+    /// Deterministic across processes: a Fibonacci-multiplicative hash of
+    /// the packed id followed by a fixed-point range reduction, so every
+    /// component that needs to locate a subject's shard (builders,
+    /// executors, condition oracles) agrees without sharing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[inline]
+    pub fn shard_of(self, shards: usize) -> usize {
+        assert!(shards > 0, "shard count must be positive");
+        let h = self.0.wrapping_mul(0x9E37_79B9);
+        ((u64::from(h) * shards as u64) >> 32) as usize
+    }
 }
 
 impl fmt::Debug for TermId {
