@@ -154,30 +154,103 @@ pub struct Answer {
     pub derivation: Derivation,
 }
 
+/// One collected answer plus its insertion sequence number — the stable
+/// identity the tracked top-k list refers to (cheaper than cloning keys).
+#[derive(Debug)]
+struct Slot {
+    seq: u64,
+    answer: Answer,
+}
+
 /// Collects answers, deduplicating by projected key and keeping the
 /// maximum score per key (paper §4: "the score of an answer \[is\] the
 /// maximal one obtained through any such sequence").
+///
+/// A collector built with [`AnswerCollector::tracking`] additionally
+/// maintains the current top-`k` scores **persistently on insert** — a
+/// sorted size-k array updated in O(log k) search + O(k) shift per
+/// accepted offer — so [`AnswerCollector::kth_score`] is O(1) with zero
+/// allocation per call. The rank join calls it on every pull; the
+/// previous implementation allocated and `select_nth`-ed a vector of
+/// *all* candidate scores each time.
 #[derive(Debug, Default)]
 pub struct AnswerCollector {
-    best: HashMap<Vec<(VarId, Option<TermId>)>, Answer>,
+    best: HashMap<Vec<(VarId, Option<TermId>)>, Slot>,
+    /// The `k` this collector tracks persistently; 0 = untracked (the
+    /// generic engines that never ask for a threshold).
+    track_k: usize,
+    /// `(score, seq)` of the current top `track_k` answers, descending
+    /// by score. Invariant: every key outside this list has a score ≤
+    /// the list's minimum (removals only happen when re-inserting a
+    /// higher score for the same key or evicting the minimum, so the
+    /// minimum never decreases).
+    top: Vec<(f64, u64)>,
+    next_seq: u64,
 }
 
 impl AnswerCollector {
-    /// Creates an empty collector.
+    /// Creates an empty, untracked collector.
     pub fn new() -> AnswerCollector {
         AnswerCollector::default()
+    }
+
+    /// Creates a collector that persistently tracks the top-`k` scores,
+    /// making [`AnswerCollector::kth_score`] for that `k` O(1) and
+    /// allocation-free per call.
+    pub fn tracking(k: usize) -> AnswerCollector {
+        AnswerCollector {
+            track_k: k,
+            top: Vec::with_capacity(k.min(4096)),
+            ..AnswerCollector::default()
+        }
     }
 
     /// Offers an answer; kept only if it beats the current best for its
     /// key. Returns `true` if the collector changed.
     pub fn offer(&mut self, answer: Answer) -> bool {
-        match self.best.get(&answer.key) {
-            Some(existing) if existing.score >= answer.score => false,
-            _ => {
-                self.best.insert(answer.key.clone(), answer);
+        match self.best.get_mut(&answer.key) {
+            Some(slot) if slot.answer.score >= answer.score => false,
+            Some(slot) => {
+                let seq = slot.seq;
+                let score = answer.score;
+                slot.answer = answer;
+                if self.track_k > 0 {
+                    // The key's old score may sit in the tracked list;
+                    // drop it before re-offering the improved score.
+                    if let Some(i) = self.top.iter().position(|&(_, s)| s == seq) {
+                        self.top.remove(i);
+                    }
+                    self.offer_top(score, seq);
+                }
+                true
+            }
+            None => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let score = answer.score;
+                self.best.insert(answer.key.clone(), Slot { seq, answer });
+                if self.track_k > 0 {
+                    self.offer_top(score, seq);
+                }
                 true
             }
         }
+    }
+
+    /// Inserts a candidate into the tracked top list, evicting the
+    /// minimum when over capacity. Scores only ever enter here after the
+    /// key's stale entry (if any) was removed.
+    fn offer_top(&mut self, score: f64, seq: u64) {
+        if self.top.len() >= self.track_k {
+            // A full list only admits scores above its minimum; equal
+            // scores leave the k-th value unchanged either way.
+            if self.top.last().is_some_and(|&(min, _)| score <= min) {
+                return;
+            }
+        }
+        let at = self.top.partition_point(|&(s, _)| s >= score);
+        self.top.insert(at, (score, seq));
+        self.top.truncate(self.track_k);
     }
 
     /// Number of distinct answers collected.
@@ -191,27 +264,30 @@ impl AnswerCollector {
     }
 
     /// The score of the `k`-th best answer (1-based), or `None` if fewer
-    /// than `k` answers are held. Used as the top-k termination bound —
-    /// called once per rank-join pull, so it selects (O(n)) rather than
-    /// sorts.
+    /// than `k` answers are held. O(1) and allocation-free when this
+    /// collector was built with [`AnswerCollector::tracking`] for the
+    /// same `k` (the rank join's per-pull path); other `k`s select over
+    /// a scratch vector as before.
     pub fn kth_score(&self, k: usize) -> Option<f64> {
         if k == 0 || self.best.len() < k {
             return None;
         }
-        let mut scores: Vec<f64> = self.best.values().map(|a| a.score).collect();
-        let (_, kth, _) =
-            scores.select_nth_unstable_by(k - 1, |a, b| b.partial_cmp(a).expect("finite scores"));
+        if k == self.track_k {
+            debug_assert_eq!(self.top.len(), k.min(self.best.len()));
+            return self.top.last().map(|&(s, _)| s);
+        }
+        let mut scores: Vec<f64> = self.best.values().map(|s| s.answer.score).collect();
+        let (_, kth, _) = scores.select_nth_unstable_by(k - 1, |a, b| b.total_cmp(a));
         Some(*kth)
     }
 
     /// Finalizes into the top-`k` answers, sorted by descending score
     /// (ties broken by key for determinism).
     pub fn into_top_k(self, k: usize) -> Vec<Answer> {
-        let mut out: Vec<Answer> = self.best.into_values().collect();
+        let mut out: Vec<Answer> = self.best.into_values().map(|s| s.answer).collect();
         out.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .expect("finite scores")
+                .total_cmp(&a.score)
                 .then_with(|| a.key.cmp(&b.key))
         });
         out.truncate(k);
@@ -302,6 +378,66 @@ mod tests {
         let out = c.into_top_k(3);
         assert_eq!(out.len(), 3);
         assert!(out.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn tracked_kth_score_matches_selection_under_updates() {
+        // A deterministic pseudo-random stream of offers, including
+        // score *upgrades* for existing keys (the case where a stale
+        // entry may sit inside the tracked top list). After every offer,
+        // the tracked O(1) kth must equal a from-scratch selection.
+        for k in [1usize, 2, 3, 5, 8] {
+            let mut tracked = AnswerCollector::tracking(k);
+            let mut state: u64 = 0x9e3779b97f4a7c15;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..400 {
+                let key = (rng() % 24) as u32;
+                let score = -((rng() % 1000) as f64) / 100.0;
+                tracked.offer(answer(key, score));
+                // Reference: selection over all current scores.
+                let reference = {
+                    if tracked.len() < k {
+                        None
+                    } else {
+                        let mut scores: Vec<f64> =
+                            tracked.best.values().map(|s| s.answer.score).collect();
+                        scores.sort_by(|a, b| b.total_cmp(a));
+                        Some(scores[k - 1])
+                    }
+                };
+                assert_eq!(tracked.kth_score(k), reference, "k = {k}");
+                // Untracked k values still answer via selection.
+                if k > 1 {
+                    let mut plain_scores: Vec<f64> =
+                        tracked.best.values().map(|s| s.answer.score).collect();
+                    plain_scores.sort_by(|a, b| b.total_cmp(a));
+                    let want = (tracked.len() >= k - 1).then(|| plain_scores[k - 2]);
+                    assert_eq!(tracked.kth_score(k - 1), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_collector_finalizes_like_untracked() {
+        let mut a = AnswerCollector::new();
+        let mut b = AnswerCollector::tracking(3);
+        for (key, score) in [(1u32, -2.0), (2, -1.0), (1, -0.5), (3, -3.0), (4, -0.7)] {
+            a.offer(answer(key, score));
+            b.offer(answer(key, score));
+        }
+        let xa = a.into_top_k(3);
+        let xb = b.into_top_k(3);
+        assert_eq!(xa.len(), xb.len());
+        for (x, y) in xa.iter().zip(&xb) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.score, y.score);
+        }
     }
 
     #[test]

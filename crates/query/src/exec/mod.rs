@@ -65,6 +65,21 @@ pub struct ExecMetrics {
     /// Rank-join streams and query variants retired early by the
     /// tightened (head-bound / remaining-mass) termination threshold.
     pub early_cutoffs: usize,
+    /// Posting lists served from the anchored (subject/object) index
+    /// strata: borrowed slices for s-/o-bound shapes, one-allocation
+    /// group filters for the composite shapes. None of these sort.
+    pub anchored_serves: usize,
+    /// Selective composite serves that materialized and weight-ordered
+    /// the permutation index's *exact* match range because it was ≥4×
+    /// smaller than every covering group. These do sort — O(matches ·
+    /// log matches), bounded above by the group walk they replace — and
+    /// are deliberately separate from [`ExecMetrics::posting_sorts`].
+    pub ranged_serves: usize,
+    /// Posting lists built by the pre-index full materialize-and-sort
+    /// fallback (`ServeKind::Scanned`). The precomputed index covers
+    /// every shape, so this stays 0; a nonzero count means a pattern
+    /// shape regressed onto the unbounded sort path.
+    pub posting_sorts: usize,
 }
 
 impl ExecMetrics {
@@ -79,5 +94,8 @@ impl ExecMetrics {
         self.join_candidates += other.join_candidates;
         self.pulls += other.pulls;
         self.early_cutoffs += other.early_cutoffs;
+        self.anchored_serves += other.anchored_serves;
+        self.ranged_serves += other.ranged_serves;
+        self.posting_sorts += other.posting_sorts;
     }
 }

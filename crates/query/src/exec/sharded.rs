@@ -150,12 +150,14 @@ pub fn run_partitioned(
     }
     let n_shards = shards.len();
     let mut metrics = ExecMetrics::default();
-    let mut collector = AnswerCollector::new();
+    let projection = query.effective_projection();
+    let k = query.k.max(1);
+    // Same tracked collector as the monolithic engine: the per-pull
+    // k-th-score read is O(1), zero allocation.
+    let mut collector = AnswerCollector::tracking(k);
     for answer in seed {
         collector.offer(answer);
     }
-    let projection = query.effective_projection();
-    let k = query.k.max(1);
 
     // One per-execution posting cache per shard: a cached list holds one
     // slice's entries, so the cache key space is per shard.

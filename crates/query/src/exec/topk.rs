@@ -341,7 +341,8 @@ impl<'a> IncrementalMerge<'a> {
         let mut heap = BinaryHeap::with_capacity(alts.len());
         for (i, alt) in alts.iter_mut().enumerate() {
             if tighten {
-                // Exact head probability for index-served shapes, read in
+                // Exact head probability for index-served shapes
+                // (anchored subject/object strata included), read in
                 // O(1) from the precomputed posting index — the
                 // alternative enters the queue at its true first-emission
                 // bound instead of the trivial `weight × 1.0`. Under a
@@ -349,6 +350,15 @@ impl<'a> IncrementalMerge<'a> {
                 // *global* total, so each shard enters the merge at its
                 // exact globally-normalized head.
                 alt.head_bound = head_prob_bound_global(store, &alt.pattern, totals);
+                // A head bound of exactly 0 is only reported for
+                // index-served shapes whose match set carries no
+                // emission mass (empty or all-zero-weight groups, which
+                // the index serves as empty lists): skip such
+                // alternatives outright instead of letting a zero-keyed
+                // heap entry linger for the threshold to trip over.
+                if alt.head_bound <= 0.0 {
+                    continue;
+                }
             }
             heap.push(MergeEntry {
                 bound: alt.weight * alt.head_bound,
@@ -421,6 +431,19 @@ impl<'a> IncrementalMerge<'a> {
             CacheSource::Built => metrics.posting_lists_built += 1,
             CacheSource::ExecHit => metrics.posting_cache_hits += 1,
             CacheSource::SharedHit => metrics.shared_cache_hits += 1,
+        }
+        // Serve-kind accounting for fresh builds: anchored-index serves
+        // never sort; `ranged_serves` are the selective exact-range
+        // orderings (bounded sorts, chosen over larger group walks);
+        // `posting_sorts` counts the unbounded materialize-and-sort
+        // fallback, which the index makes unreachable — it must stay 0.
+        if let Some(kind) = matches.build_kind() {
+            match kind {
+                k if k.is_anchored() => metrics.anchored_serves += 1,
+                trinit_xkg::ServeKind::Range => metrics.ranged_serves += 1,
+                trinit_xkg::ServeKind::Scanned => metrics.posting_sorts += 1,
+                _ => {}
+            }
         }
         if let Some(p) = matches.peek_prob() {
             self.heap.push(MergeEntry {
@@ -726,12 +749,15 @@ pub fn run_scaled(
     seed: Vec<Answer>,
 ) -> (Vec<Answer>, ExecMetrics) {
     let mut metrics = ExecMetrics::default();
-    let mut collector = AnswerCollector::new();
+    let projection = query.effective_projection();
+    let k = query.k.max(1);
+    // Tracked collector: the k-th score the threshold reads on every
+    // pull is maintained persistently on insert (O(1), zero allocation
+    // per pull) instead of re-selected from all candidate scores.
+    let mut collector = AnswerCollector::tracking(k);
     for answer in seed {
         collector.offer(answer);
     }
-    let projection = query.effective_projection();
-    let k = query.k.max(1);
 
     // One posting cache for the whole execution: structural variants that
     // share a relaxed pattern never rebuild its matches.
@@ -1743,5 +1769,118 @@ mod tests {
             metrics.early_cutoffs > 0,
             "weak variant should be pruned by its head bound: {metrics:?}"
         );
+    }
+
+    #[test]
+    fn zero_mass_groups_agree_with_untightened_and_expansion() {
+        // A predicate whose entire match set has weight 0 (confidence 0
+        // extractions): its posting group serves as an empty list and
+        // its head bound is 0. The tightened threshold skips the
+        // alternative outright; the untightened engine and the
+        // full-expansion reference open it and emit nothing. All three
+        // must agree — this is the satellite's "head bound 0 caps the
+        // stream before pulling" regression.
+        let mut b = XkgBuilder::new();
+        let ghost = b.dict_mut().resource("ghost");
+        let p = b.dict_mut().resource("p");
+        let src = b.intern_source("d");
+        for i in 0..5u32 {
+            let s = b.dict_mut().resource(&format!("g{i}"));
+            let o = b.dict_mut().resource(&format!("go{i}"));
+            b.add_extracted(s, ghost, o, 0.0, src);
+        }
+        // Zero-weight self-loops: the repeated-variable (masked) shape
+        // `?x ghost ?x` filters to a zero-mass set too.
+        for i in 0..2u32 {
+            let s = b.dict_mut().resource(&format!("loop{i}"));
+            b.add_extracted(s, ghost, s, 0.0, src);
+        }
+        for i in 0..4u32 {
+            let s = b.dict_mut().resource(&format!("s{i}"));
+            let o = b.dict_mut().resource(&format!("o{i}"));
+            b.add_extracted(s, p, o, 0.5 + 0.1 * i as f32, src);
+        }
+        let store = b.build();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "into the void",
+            store.resource("p").unwrap(),
+            store.resource("ghost").unwrap(),
+            0.9,
+            RuleProvenance::UserDefined,
+        ));
+        let repeated = {
+            let mut qb = QueryBuilder::new(&store);
+            let x = QTerm::Var(qb.var("x"));
+            let g = QTerm::Term(qb.resource("ghost"));
+            qb.pattern(x, g, x).limit(20).build()
+        };
+        for query in [
+            QueryBuilder::new(&store).pattern_v_r_v("x", "p", "y").limit(20).build(),
+            QueryBuilder::new(&store).pattern_v_r_v("x", "ghost", "y").limit(20).build(),
+            repeated,
+        ] {
+            let (tight, _) = run(
+                &store,
+                &query,
+                &rules,
+                &TopkConfig { tighten_threshold: true, min_weight: 0.0, ..Default::default() },
+            );
+            let (loose, _) = run(
+                &store,
+                &query,
+                &rules,
+                &TopkConfig { tighten_threshold: false, min_weight: 0.0, ..Default::default() },
+            );
+            assert_same_answers(&tight, &loose);
+            let (full, _) = expand::run(
+                &store,
+                &query,
+                &rules,
+                &ExpandOptions { max_depth: 2, min_weight: 0.0, max_rewritings: 1024 },
+            );
+            assert_same_answers(&tight, &full);
+        }
+    }
+
+    #[test]
+    fn anchored_patterns_serve_from_index_without_sorting() {
+        // The acceptance counter: an anchored-heavy query performs zero
+        // materialize-and-sort list builds; s-/o-bound patterns are
+        // anchored-index serves.
+        let mut b = XkgBuilder::new();
+        for i in 0..20u32 {
+            b.add_kg_resources(&format!("s{i}"), "p", "hub");
+            b.add_kg_resources(&format!("s{i}"), "q", &format!("o{i}"));
+        }
+        let store = b.build();
+        let queries = [
+            // s-bound (subject stratum, borrowed slice).
+            QueryBuilder::new(&store).pattern_r_r_v("s3", "p", "y").limit(5).build(),
+            // o-bound via a variable predicate: (?x ?p hub).
+            {
+                let mut qb = QueryBuilder::new(&store);
+                let x = QTerm::Var(qb.var("x"));
+                let pv = QTerm::Var(qb.var("pv"));
+                let hub = QTerm::Term(qb.resource("hub"));
+                qb.pattern(x, pv, hub).limit(5).build()
+            },
+        ];
+        for q in queries {
+            let (answers, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+            assert!(!answers.is_empty());
+            assert!(
+                metrics.anchored_serves > 0,
+                "anchored shapes must be served by the index: {metrics:?}"
+            );
+            assert_eq!(
+                metrics.posting_sorts, 0,
+                "the unbounded materialize-and-sort fallback must be unreachable: {metrics:?}"
+            );
+            assert_eq!(
+                metrics.ranged_serves, 0,
+                "these anchored lookups fit their groups — no range cutover expected: {metrics:?}"
+            );
+        }
     }
 }

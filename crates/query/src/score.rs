@@ -15,20 +15,23 @@
 //!
 //! [`ScoredMatches`] is a thin view over the store's shared posting
 //! machinery ([`trinit_xkg::PostingList`]): patterns without repeated
-//! variables delegate directly — predicate-only and unbound shapes are
-//! borrowed slices of the build-time posting index, zero allocation and
-//! zero sorting per query. Patterns that repeat a variable (`?x p ?x`)
-//! filter the shared list and renormalize over the filtered set; since
-//! the source is already score-sorted, filtering preserves order and no
-//! re-sort happens. A [`PostingCache`] shares materialized lists across
-//! an execution, so structural variants touching the same canonical
-//! pattern never rebuild its matches.
+//! variables delegate directly — predicate-only, unbound, subject-only,
+//! and object-only shapes are borrowed slices of the build-time posting
+//! index (its anchored strata included), zero allocation and zero
+//! sorting per query; the composite shapes filter an already-sorted
+//! group. Patterns that repeat a variable (`?x p ?x`) filter the shared
+//! list and renormalize over the filtered set; since the source is
+//! already score-sorted, filtering preserves order and no re-sort
+//! happens. A [`PostingCache`] shares materialized lists across an
+//! execution, so structural variants touching the same canonical pattern
+//! never rebuild its matches; the borrow-served shapes bypass the caches
+//! entirely — they are already O(1).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use trinit_relax::{QPattern, QTerm};
-use trinit_xkg::{Posting, PostingList, SlotPattern, TripleId, XkgStore};
+use trinit_xkg::{Posting, PostingList, ServeKind, SlotPattern, TripleId, XkgStore};
 
 /// Bitmask of within-pattern variable-equality constraints: bit 0 =
 /// subject/predicate, bit 1 = subject/object, bit 2 = predicate/object.
@@ -219,8 +222,9 @@ impl SharedInner {
 /// with each query, so consecutive queries rebuilt identical lists. A
 /// `SharedPostingCache` lives behind a `Session` (or an entire system)
 /// and hands out `Arc`-shared entry slices across queries. Borrow-served
-/// shapes (predicate-only, fully unbound) bypass it — they are already
-/// O(1) reads of the store's frozen posting index.
+/// shapes (predicate-only, fully unbound, subject-only, object-only)
+/// bypass it — they are already O(1) reads of the store's frozen posting
+/// index, anchored strata included.
 ///
 /// Eviction is least-recently-used over an intrusive doubly linked
 /// recency list, so hits and evictions are O(1) regardless of how many
@@ -350,21 +354,45 @@ pub struct ScoredMatches<'s> {
     /// provider *without* materializing a copy (the entries keep their
     /// baked-in local probabilities; the view rescales on the fly).
     scale: f64,
+    /// How the underlying list was built when this view materialized it
+    /// fresh (`None` for cache hits) — feeds the engine's
+    /// `anchored_serves` / `posting_sorts` work counters.
+    built: Option<ServeKind>,
 }
 
 impl<'s> ScoredMatches<'s> {
     fn unscaled(list: PostingList<'s>) -> ScoredMatches<'s> {
-        ScoredMatches { list, scale: 1.0 }
+        ScoredMatches {
+            list,
+            scale: 1.0,
+            built: None,
+        }
+    }
+
+    fn fresh(list: PostingList<'s>, kind: ServeKind) -> ScoredMatches<'s> {
+        ScoredMatches {
+            list,
+            scale: 1.0,
+            built: Some(kind),
+        }
     }
 
     /// Builds the scored matches of `pattern` over `store`.
     pub fn build(store: &'s XkgStore, pattern: &QPattern) -> ScoredMatches<'s> {
         let (slot, mask) = canonical_pattern(pattern);
         if mask == 0 {
-            return ScoredMatches::unscaled(PostingList::build(store, &slot));
+            let list = PostingList::build(store, &slot);
+            let kind = list.serve_kind();
+            return ScoredMatches::fresh(list, kind);
         }
-        let (entries, total) = filtered_entries(store, &slot, mask);
-        ScoredMatches::unscaled(PostingList::from_owned(entries, total))
+        let (entries, total, kind) = filtered_entries(store, &slot, mask);
+        ScoredMatches::fresh(PostingList::from_owned(entries, total), kind)
+    }
+
+    /// How the underlying posting list was served, when this view built
+    /// it fresh; `None` for lists shared out of a cache.
+    pub fn build_kind(&self) -> Option<ServeKind> {
+        self.built
     }
 
     /// Builds through the per-execution `cache` only. See
@@ -415,13 +443,24 @@ impl<'s> ScoredMatches<'s> {
             // Zero-alloc either way: a global total only changes the
             // normalization constant, so the borrowed slice is reused
             // with an on-the-fly probability rescale instead of a copy.
+            // Anchored (s-/o-bound) shapes take this path too — under
+            // subject-hash sharding their lists stay per-shard borrowed
+            // slices with no per-shard materialization at all.
             let list = PostingList::build(store, &slot);
             let scale = match global {
                 Some(t) if t > 0.0 => list.total_weight() / t,
                 Some(_) => 0.0,
                 None => 1.0,
             };
-            return (ScoredMatches { list, scale }, CacheSource::Built);
+            let kind = list.serve_kind();
+            return (
+                ScoredMatches {
+                    list,
+                    scale,
+                    built: Some(kind),
+                },
+                CacheSource::Built,
+            );
         }
         if let Some((entries, total)) = cache.map.get(&key) {
             return (
@@ -438,12 +477,13 @@ impl<'s> ScoredMatches<'s> {
                 );
             }
         }
-        let (entries, total) = match global {
+        let (entries, total, kind) = match global {
             Some(t) => scaled_entries(store, &slot, mask, t),
             None if mask == 0 => {
                 let built = PostingList::build(store, &slot);
                 let total = built.total_weight();
-                (built.into_entries(), total)
+                let kind = built.serve_kind();
+                (built.into_entries(), total, kind)
             }
             None => filtered_entries(store, &slot, mask),
         };
@@ -453,7 +493,11 @@ impl<'s> ScoredMatches<'s> {
             store_cache.insert(key, Arc::clone(&rc), total);
         }
         (
-            ScoredMatches::unscaled(PostingList::from_shared(rc, total)),
+            ScoredMatches {
+                list: PostingList::from_shared(rc, total),
+                scale: 1.0,
+                built: Some(kind),
+            },
             CacheSource::Built,
         )
     }
@@ -524,10 +568,12 @@ impl<'s> ScoredMatches<'s> {
 
 /// Cheap sound upper bound on the head (best) emission probability of
 /// `pattern`, without materializing its match list: exact for the shapes
-/// the precomputed posting index serves (predicate-only and fully
-/// unbound, no repeated variables), trivial (1.0) otherwise. Patterns
-/// with repeated variables renormalize over a *filtered* subset, which
-/// can only raise probabilities, so the group head is not a bound there.
+/// the precomputed posting index serves (predicate-only, fully unbound,
+/// subject-only, and object-only, no repeated variables), trivial (1.0)
+/// otherwise. Patterns with repeated variables renormalize over a
+/// *filtered* subset, which can only raise probabilities, so the group
+/// head is not a bound there; composite anchored shapes renormalize over
+/// a filtered group total for the same reason.
 pub fn head_prob_bound(store: &XkgStore, pattern: &QPattern) -> f64 {
     let (slot, mask) = canonical_pattern(pattern);
     if mask != 0 {
@@ -538,13 +584,13 @@ pub fn head_prob_bound(store: &XkgStore, pattern: &QPattern) -> f64 {
 
 /// [`head_prob_bound`] under a [`GlobalTotals`] provider: the bound on a
 /// *shard's* best emission when probabilities are normalized globally.
-/// For index-served shapes this reads the shard's precomputed head
-/// *weight* and divides by the global total — each shard enters the
-/// sharded merge at its exact local head, which is ≤ the monolithic
-/// store's head bound for the same pattern. Shapes the index cannot
-/// answer fall back to the trivial bound (probabilities are ≤ 1 by
-/// construction, since every local weight participates in the global
-/// total).
+/// For index-served shapes (the anchored strata included) this reads the
+/// shard's precomputed head *weight* and divides by the global total —
+/// each shard enters the sharded merge at its exact local head, which is
+/// ≤ the monolithic store's head bound for the same pattern. Shapes the
+/// index cannot answer fall back to the trivial bound (probabilities are
+/// ≤ 1 by construction, since every local weight participates in the
+/// global total).
 pub fn head_prob_bound_global(
     store: &XkgStore,
     pattern: &QPattern,
@@ -560,35 +606,21 @@ pub fn head_prob_bound_global(
     let (slot, _) = key;
     // Head *weight* of the shard-local group; for repeated-variable
     // masks the unfiltered group head still bounds the filtered head.
-    let head_weight = match (slot.s, slot.p, slot.o) {
-        (None, Some(p), None) => Some(
-            store
-                .predicate_postings(p)
-                .first()
-                .map_or(0.0, |e| e.weight),
-        ),
-        (None, None, None) => Some(
-            store
-                .posting_index()
-                .all_postings()
-                .first()
-                .map_or(0.0, |e| e.weight),
-        ),
-        _ => None,
-    };
-    match head_weight {
+    match store.head_weight(&slot) {
         Some(w) => (w / t).min(1.0),
         None => 1.0,
     }
 }
 
 /// True if [`PostingList::build`] serves this shape as a borrowed slice
-/// of the precomputed posting index.
+/// of the precomputed posting index: predicate-only, fully unbound, and
+/// the anchored subject-only / object-only strata. These shapes are O(1)
+/// and are therefore never inserted into the posting caches.
 #[inline]
 fn is_borrow_served(slot: &SlotPattern) -> bool {
     matches!(
         (slot.s, slot.p, slot.o),
-        (None, Some(_), None) | (None, None, None)
+        (None, Some(_), None) | (None, None, None) | (Some(_), None, None) | (None, None, Some(_))
     )
 }
 
@@ -601,8 +633,15 @@ fn scaled_entries(
     slot: &SlotPattern,
     mask: u8,
     total: f64,
-) -> (Vec<Posting>, f64) {
+) -> (Vec<Posting>, f64, ServeKind) {
     let source = PostingList::build(store, slot);
+    let kind = source.serve_kind();
+    // A zero global total means the match set carries no emission mass
+    // anywhere: serve empty, exactly like the index's own zero-mass
+    // groups, so the 0 head bound reported for such patterns is exact.
+    if total <= 0.0 {
+        return (Vec::new(), 0.0, kind);
+    }
     let mut entries: Vec<Posting> = source
         .entries()
         .iter()
@@ -610,16 +649,17 @@ fn scaled_entries(
         .copied()
         .collect();
     for e in &mut entries {
-        e.prob = if total > 0.0 { e.weight / total } else { 0.0 };
+        e.prob = e.weight / total;
     }
-    (entries, total)
+    (entries, total, kind)
 }
 
 /// Filters the shared posting list by the repetition constraints and
 /// renormalizes. The source is already score-sorted, so the filtered
 /// subset needs no re-sort.
-fn filtered_entries(store: &XkgStore, slot: &SlotPattern, mask: u8) -> (Vec<Posting>, f64) {
+fn filtered_entries(store: &XkgStore, slot: &SlotPattern, mask: u8) -> (Vec<Posting>, f64, ServeKind) {
     let source = PostingList::build(store, slot);
+    let kind = source.serve_kind();
     let mut entries: Vec<Posting> = source
         .entries()
         .iter()
@@ -627,10 +667,16 @@ fn filtered_entries(store: &XkgStore, slot: &SlotPattern, mask: u8) -> (Vec<Post
         .copied()
         .collect();
     let total: f64 = entries.iter().map(|e| e.weight).sum();
-    for e in &mut entries {
-        e.prob = if total > 0.0 { e.weight / total } else { 0.0 };
+    // Zero-mass filtered sets emit nothing — the same contract as the
+    // index's zero-mass groups, keeping masked shapes consistent with
+    // the unmasked ones across every engine and the tightened skip.
+    if total <= 0.0 {
+        return (Vec::new(), 0.0, kind);
     }
-    (entries, total)
+    for e in &mut entries {
+        e.prob = e.weight / total;
+    }
+    (entries, total, kind)
 }
 
 /// A log-space score. Probabilities multiply; log scores add.

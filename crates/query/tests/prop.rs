@@ -278,10 +278,17 @@ proptest! {
         let store = build_store(&rows);
         let set: RuleSet = rules.into_iter().collect();
         let cfg = TopkConfig::default();
-        let (plain, _) = topk::run(&store, &query_from(patterns.clone(), k), &set, &cfg);
+        let (plain, m_plain) = topk::run(&store, &query_from(patterns.clone(), k), &set, &cfg);
         let cache = SharedPostingCache::new(64);
-        let (cold, _) = topk::run_cached(&store, &query_from(patterns.clone(), k), &set, &cfg, Some(&cache));
+        let (cold, m_cold) = topk::run_cached(&store, &query_from(patterns.clone(), k), &set, &cfg, Some(&cache));
         let (warm, m_warm) = topk::run_cached(&store, &query_from(patterns, k), &set, &cfg, Some(&cache));
+        // Pull-count parity: caching changes where lists come from, never
+        // how far sorted access walks — and the persistently tracked
+        // k-th score must drive the threshold identically on every run.
+        prop_assert_eq!(m_plain.pulls, m_cold.pulls, "cold run diverged");
+        prop_assert_eq!(m_cold.pulls, m_warm.pulls, "warm run diverged");
+        // The precomputed index covers every shape: nothing may sort.
+        prop_assert_eq!(m_plain.posting_sorts, 0);
         prop_assert_eq!(plain.len(), cold.len());
         prop_assert_eq!(cold.len(), warm.len());
         for ((a, b), c) in plain.iter().zip(&cold).zip(&warm) {

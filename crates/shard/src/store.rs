@@ -263,6 +263,20 @@ impl GlobalTotals for ShardedStore {
             match (slot.p, slot.o) {
                 (Some(p), None) => return Some(self.predicate_total_weight(p)),
                 (None, None) => return Some(self.global_total),
+                // Object-anchored: each shard's object-group total is an
+                // O(log n) prefix-sum read, so the global total is a sum
+                // over shards instead of a memoized cross-shard scan —
+                // and the shard-local lists themselves stay borrowed
+                // slices (no per-shard materialization for anchored
+                // lookups).
+                (None, Some(o)) => {
+                    return Some(
+                        self.shards
+                            .iter()
+                            .map(|sh| sh.object_total_weight(o))
+                            .sum(),
+                    )
+                }
                 _ => {}
             }
         }
@@ -401,6 +415,16 @@ mod tests {
             sharded.pattern_total(&obj_key),
             sharded.pattern_total(&obj_key)
         );
+        // Object-anchored (o-only): summed from the shards' O(log n)
+        // object-group prefix columns, no scan.
+        let hub_only_key =
+            trinit_query::canonical_pattern(&QPattern::new(v0, v1, QTerm::Term(hub)));
+        let direct_o: f64 = single
+            .lookup(&SlotPattern::new(None, None, Some(hub)))
+            .iter()
+            .map(|&id| single.provenance(id).weight())
+            .sum();
+        assert!((sharded.pattern_total(&hub_only_key).unwrap() - direct_o).abs() < 1e-9);
         // Repeated-variable (self-loop) shape: filtered scan.
         let rep_key = trinit_query::canonical_pattern(&QPattern::new(v0, QTerm::Term(p), v0));
         let loop_s = single.resource("loop").unwrap();

@@ -15,7 +15,7 @@ use trinit_query::exec::topk::{self, TopkConfig};
 use trinit_query::Query;
 use trinit_relax::{QPattern, QTerm, Rule, RuleProvenance, RuleSet, VarId};
 use trinit_shard::{SeedMode, ShardedExecutor, ShardedStore};
-use trinit_xkg::{Provenance, SourceId, TermId, TermKind, Triple, XkgBuilder};
+use trinit_xkg::{PostingList, Provenance, SlotPattern, SourceId, TermId, TermKind, Triple, XkgBuilder};
 
 fn tid(i: u32) -> TermId {
     TermId::new(TermKind::Resource, i)
@@ -91,6 +91,50 @@ fn rules_strategy(universe: u32) -> impl Strategy<Value = Vec<Rule>> {
 
 use trinit_shard::testkit::assert_answers_score_equivalent as assert_answers_equivalent;
 
+/// Zero-mass match sets under sharding: a repeated-variable (masked)
+/// pattern whose filtered matches all weigh 0 gets a global total of 0,
+/// so the tightened engine's 0 head bound skips the stream outright.
+/// That skip is only sound because masked zero-mass lists serve empty —
+/// tightened, untightened, and the monolithic engine must agree.
+#[test]
+fn sharded_zero_mass_repeated_variable_agrees_with_monolith() {
+    let build = || {
+        let mut b = XkgBuilder::new();
+        // Positive-weight background facts plus zero-weight self-loops
+        // spread across subjects (hence shards).
+        for i in 0..8u32 {
+            b.add(
+                Triple::new(tid(100 + i), tid(0), tid(200 + i)),
+                Provenance::extraction(0.5, SourceId(0)),
+            );
+            b.add(
+                Triple::new(tid(300 + i), tid(1), tid(300 + i)),
+                Provenance::extraction(0.0, SourceId(0)),
+            );
+        }
+        b
+    };
+    let single = build().build();
+    let v = QTerm::Var(VarId(0));
+    // `?x p1 ?x` filters to the zero-weight self-loops only.
+    let query = query_from(vec![QPattern::new(v, QTerm::Term(tid(1)), v)], 10);
+    let cfg_tight = TopkConfig::default();
+    let cfg_loose = TopkConfig {
+        tighten_threshold: false,
+        ..TopkConfig::default()
+    };
+    let (mono, _) = topk::run(&single, &query, &RuleSet::new(), &cfg_tight);
+    assert!(mono.is_empty(), "zero-mass sets emit nothing");
+    for shards in [2usize, 4] {
+        let sharded = ShardedStore::build(build(), shards);
+        let exec = ShardedExecutor::new(&sharded);
+        for cfg in [&cfg_tight, &cfg_loose] {
+            let run = exec.run(&query, &RuleSet::new(), cfg, SeedMode::Off);
+            assert_answers_equivalent(&run.answers, &mono);
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
@@ -114,6 +158,129 @@ proptest! {
             for mode in [SeedMode::Off, SeedMode::Parallel] {
                 let run = exec.run(&query, &set, &cfg, mode);
                 assert_answers_equivalent(&run.answers, &mono);
+            }
+        }
+    }
+
+    /// Anchored-index-served posting lists are entry-for-entry equal to
+    /// the materialize-and-sort reference on **every shard slice** —
+    /// all 8 pattern shapes, monolithic and at 1/2/4/7 shards. (The
+    /// monolithic variant lives in `crates/xkg/tests/prop.rs`; this one
+    /// pins that per-shard stores built by the partitioner behave
+    /// identically on their slices.)
+    #[test]
+    fn anchored_lists_equal_scan_reference_on_every_shard(
+        rows in store_strategy(6, 40),
+        s in 0u32..6,
+        p in 0u32..6,
+        o in 0u32..6,
+    ) {
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = ShardedStore::build(builder_from(&rows), shards);
+            for shard in sharded.shards() {
+                for mask in 0u8..8 {
+                    let pattern = SlotPattern::new(
+                        (mask & 1 != 0).then_some(tid(s)),
+                        (mask & 2 != 0).then_some(tid(p)),
+                        (mask & 4 != 0).then_some(tid(o)),
+                    );
+                    let indexed = PostingList::build(shard, &pattern);
+                    let reference = PostingList::build_by_scan(shard, &pattern);
+                    prop_assert_eq!(indexed.len(), reference.len(), "shape {:#05b}", mask);
+                    for (a, b) in indexed.entries().iter().zip(reference.entries()) {
+                        prop_assert_eq!(a.triple, b.triple, "order, shape {:#05b}", mask);
+                        prop_assert_eq!(a.weight, b.weight);
+                        prop_assert!((a.prob - b.prob).abs() <= 1e-12);
+                    }
+                    for upto in 0..=indexed.len() {
+                        prop_assert!(
+                            (indexed.prefix_weight(upto) - reference.prefix_weight(upto)).abs()
+                                < 1e-9
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Cross-shard tie order is pinned to the deterministic
+    /// (score desc, key asc) order `into_top_k` promises: with no k-cut,
+    /// answers with bit-equal scores from *different shards* interleave
+    /// in exactly the monolith's key order (never shard-major emission
+    /// order); with a cut inside a tied group, everything above the
+    /// boundary matches the monolith exactly and the returned tied run
+    /// is still key-ascending. Weights are small integers (conf 1.0) so
+    /// every normalization total and probability is computed on
+    /// identical operands mono and sharded, making scores bit-equal and
+    /// the assertions exact. (Which members of the boundary tie survive
+    /// the cut is emission-order tie-break detail, documented in
+    /// `testkit::assert_answers_score_equivalent`.)
+    #[test]
+    fn cross_shard_ties_keep_deterministic_key_order(
+        supports in proptest::collection::vec(1u8..4, 8..24),
+        k in 1usize..10,
+    ) {
+        let build = |supports: &[u8]| {
+            let mut b = XkgBuilder::new();
+            for (i, &sup) in supports.iter().enumerate() {
+                // Many subjects → different shards; one shared object so
+                // an op-bound pattern spans every shard. Repeating
+                // support values manufactures exact score ties.
+                let mut prov = Provenance::kg();
+                prov.support = u32::from(sup);
+                b.add(
+                    Triple::new(tid(100 + i as u32), tid(0), tid(50)),
+                    prov,
+                );
+            }
+            b
+        };
+        let single = build(&supports).build();
+        let pattern = QPattern::new(
+            QTerm::Var(VarId(0)),
+            QTerm::Term(tid(0)),
+            QTerm::Term(tid(50)),
+        );
+        let cfg = TopkConfig::default();
+
+        // No cut (k ≥ distinct answers): the full sequences must be
+        // identical — cross-shard ties interleave by key, not by shard.
+        let full_query = query_from(vec![pattern], 1000);
+        let (mono_full, _) = topk::run(&single, &full_query, &RuleSet::new(), &cfg);
+        // Cut inside ties: the prefix above the boundary score is exact.
+        let cut_query = query_from(vec![pattern], k);
+        let (mono_cut, _) = topk::run(&single, &cut_query, &RuleSet::new(), &cfg);
+
+        for shards in [2usize, 4, 7] {
+            let sharded = ShardedStore::build(build(&supports), shards);
+            let exec = ShardedExecutor::new(&sharded);
+            for mode in [SeedMode::Off, SeedMode::Parallel] {
+                let full = exec.run(&full_query, &RuleSet::new(), &cfg, mode);
+                prop_assert_eq!(full.answers.len(), mono_full.len());
+                for (a, b) in full.answers.iter().zip(&mono_full) {
+                    prop_assert_eq!(
+                        &a.key, &b.key,
+                        "uncut tie order diverged at {} shards ({:?})", shards, mode
+                    );
+                    prop_assert_eq!(a.score, b.score, "scores must be bit-equal");
+                }
+
+                let cut = exec.run(&cut_query, &RuleSet::new(), &cfg, mode);
+                prop_assert_eq!(cut.answers.len(), mono_cut.len());
+                let boundary = mono_cut.last().map(|a| a.score);
+                for (a, b) in cut.answers.iter().zip(&mono_cut) {
+                    prop_assert_eq!(a.score, b.score, "scores must be bit-equal");
+                    if Some(a.score) != boundary {
+                        prop_assert_eq!(&a.key, &b.key, "order above the tie boundary");
+                    }
+                }
+                // Within the returned ranking, every tied run is in
+                // ascending key order — the promise `into_top_k` makes.
+                for w in cut.answers.windows(2) {
+                    if w[0].score == w[1].score {
+                        prop_assert!(w[0].key < w[1].key, "tied run not key-sorted");
+                    }
+                }
             }
         }
     }

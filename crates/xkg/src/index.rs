@@ -187,16 +187,27 @@ impl TripleIndex {
     /// Allocation-free: two `partition_point` calls over the inline key
     /// column.
     pub fn lookup(&self, pattern: &SlotPattern) -> &[TripleId] {
+        let span = self.span(pattern);
+        let perm = Permutation::for_pattern(pattern);
+        &self.perms[perm as usize].ids[span]
+    }
+
+    /// The positions of `pattern`'s matches inside its permutation's
+    /// columns. Because the posting index's anchored strata share the
+    /// primary-key order of the SPO (subject-only) and OSP (object-only)
+    /// permutations, this span doubles as the anchored group's range —
+    /// the storage sharing that spares those strata a group directory.
+    pub(crate) fn span(&self, pattern: &SlotPattern) -> std::ops::Range<usize> {
         let perm = Permutation::for_pattern(pattern);
         let col = &self.perms[perm as usize];
         let (prefix, len) = perm.prefix(pattern);
         if len == 0 {
-            return &col.ids;
+            return 0..col.ids.len();
         }
         let prefix = &prefix[..len];
         let lo = col.keys.partition_point(|k| &k[..len] < prefix);
         let hi = lo + col.keys[lo..].partition_point(|k| &k[..len] <= prefix);
-        &col.ids[lo..hi]
+        lo..hi
     }
 
     /// Number of triples matching `pattern` (exact, via the range bounds).

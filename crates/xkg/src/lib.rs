@@ -19,8 +19,10 @@
 //!   range over inline keys;
 //! * [`PostingIndex`] / [`PostingList`] — build-time score-sorted access
 //!   to a pattern's matches, the primitive required by the incremental
-//!   top-k processor (paper §4); predicate-only and unbound patterns are
-//!   served as borrowed slices without per-query sorting;
+//!   top-k processor (paper §4); predicate-only, unbound, and anchored
+//!   (subject-/object-bound) patterns are served as borrowed slices
+//!   without per-query sorting, and the remaining shapes filter an
+//!   already-sorted group — no query ever sorts post-build;
 //! * [`stats`] — predicate statistics and the `args(p)` sets used by the
 //!   relaxation miner (paper §3).
 
@@ -38,8 +40,8 @@ pub mod triple;
 
 pub use dict::TermDict;
 pub use pattern::SlotPattern;
-pub use posting::{Posting, PostingIndex, PostingList};
+pub use posting::{Posting, PostingIndex, PostingList, ServeKind};
 pub use stats::{args_pairs, cardinality, PredicateStats, StoreStats};
-pub use store::{XkgBuilder, XkgStore};
+pub use store::{XkgBuilder, XkgError, XkgStore};
 pub use term::{TermId, TermKind};
 pub use triple::{GraphTag, Provenance, SourceId, Triple, TripleId};

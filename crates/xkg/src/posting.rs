@@ -13,22 +13,46 @@
 //!   ordered by descending emission weight (`support × confidence`) with
 //!   ties broken by triple id, probabilities pre-normalized over the
 //!   group, and prefix-summed weights for O(1) weight-of-prefix queries.
+//! * **Per subject / per object (anchored strata)**: the same layout
+//!   grouped by subject and by object, serving the anchored pattern
+//!   shapes relationship queries hammer. The groups appear in ascending
+//!   anchor-term order — exactly the primary-key order of the SPO
+//!   (subject) and OSP (object) permutation columns in
+//!   [`crate::index::TripleIndex`] — so the strata store **no group
+//!   map** of their own: a group's span is recovered from the
+//!   permutation's binary-searched range (the storage sharing that keeps
+//!   the anchored strata at 32 bytes/triple each instead of duplicating
+//!   the predicate stratum's group directory).
 //! * **Unbound-predicate stratum**: one global list of all triples in the
 //!   same order, normalized over the whole store, serving patterns that
 //!   bind no slot at all.
 //!
-//! [`PostingList::build`] therefore answers the two pattern shapes the
-//! query engines hammer — predicate-only and fully unbound — as **borrowed
-//! slices**: `O(1)` hash probe, zero allocations, zero sorting. Other
-//! shapes (subject/object bound) fall back to materializing and sorting
-//! the pattern's (small) permutation-index range, exactly as before.
+//! [`PostingList::build`] therefore answers **every** pattern shape
+//! without sorting: predicate-only, fully unbound, subject-only, and
+//! object-only patterns are **borrowed slices** (`O(1)` probe, zero
+//! allocations); the remaining shapes (sp / op / so / ground) filter the
+//! smallest covering group — already score-sorted, so the single
+//! allocated pass preserves order. The pre-index materialize-and-sort
+//! path survives only as [`PostingList::build_by_scan`], the reference
+//! implementation property tests and benchmarks compare against.
+//!
+//! # Float edges
+//!
+//! Weights are validated at ingestion ([`crate::store::XkgBuilder`]
+//! rejects or sanitizes non-finite confidences), and every comparison in
+//! here uses `f64::total_cmp` — a NaN that slipped through cannot panic
+//! the build. Groups whose total emission weight is zero serve **empty**
+//! lists: a zero-mass match set emits nothing in any engine, so the
+//! rank-join head bound of 0 the precomputed index reports for such
+//! groups is exact rather than a trap for the tightened threshold.
 
 use std::collections::HashMap;
+use std::ops::Range;
 
 use crate::pattern::SlotPattern;
 use crate::store::XkgStore;
 use crate::term::TermId;
-use crate::triple::{Provenance, TripleId};
+use crate::triple::{Provenance, Triple, TripleId};
 
 /// A single scored entry of a posting list.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,12 +75,165 @@ struct Group {
     total_weight: f64,
 }
 
+/// How [`PostingList::build`] served a pattern — the observability hook
+/// behind the query layer's `ExecMetrics` anchored-serve counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeKind {
+    /// Borrowed from the per-predicate stratum (zero allocation).
+    Predicate,
+    /// Borrowed from the global unbound stratum (zero allocation).
+    Unbound,
+    /// Borrowed from the subject-anchored stratum (zero allocation).
+    Subject,
+    /// Borrowed from the object-anchored stratum (zero allocation).
+    Object,
+    /// The smallest covering index group filtered by the remaining bound
+    /// slots: one allocation, zero sorts (the group is already ordered).
+    Filtered,
+    /// A highly selective composite shape: the permutation index's exact
+    /// match range, materialized and weight-ordered. Chosen when that
+    /// range is far smaller than every covering group (e.g. a ground
+    /// pattern over three hub terms), where ordering O(matches) entries
+    /// beats walking a group that may be arbitrarily larger.
+    Range,
+    /// Materialized from the permutation range and sorted — the pre-index
+    /// reference path ([`PostingList::build_by_scan`]); never produced by
+    /// [`PostingList::build`].
+    Scanned,
+    /// Wrapped externally materialized entries (cache shares and the
+    /// query layer's filtered views).
+    External,
+}
+
+impl ServeKind {
+    /// True for lists served from the anchored (subject/object) strata,
+    /// including the filtered composite shapes.
+    pub fn is_anchored(self) -> bool {
+        matches!(
+            self,
+            ServeKind::Subject | ServeKind::Object | ServeKind::Filtered
+        )
+    }
+
+    /// True for zero-allocation borrowed slices of the precomputed index.
+    pub fn is_borrowed(self) -> bool {
+        matches!(
+            self,
+            ServeKind::Predicate | ServeKind::Unbound | ServeKind::Subject | ServeKind::Object
+        )
+    }
+}
+
+/// One grouped stratum under construction: entries in (key, weight desc,
+/// id asc) order with globally cumulative prefix sums, plus the group
+/// directory when the caller needs one.
+struct Stratum {
+    entries: Vec<Posting>,
+    prefix: Vec<f64>,
+    groups: HashMap<TermId, Group>,
+    keys: Vec<TermId>,
+}
+
+/// Sorts all triples by `(key, weight desc, id asc)` and normalizes each
+/// key's run over its own total. Group totals are accumulated in sorted
+/// order, so a probability here is bit-identical to what the reference
+/// scan path computes for the same match set.
+fn grouped_stratum(
+    weights: &[f64],
+    key_of: impl Fn(usize) -> TermId,
+    with_groups: bool,
+) -> Stratum {
+    let n = weights.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        key_of(a as usize)
+            .cmp(&key_of(b as usize))
+            .then_with(|| weights[b as usize].total_cmp(&weights[a as usize]))
+            .then_with(|| a.cmp(&b))
+    });
+
+    let mut entries: Vec<Posting> = Vec::with_capacity(n);
+    let mut prefix: Vec<f64> = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    let mut groups: HashMap<TermId, Group> = HashMap::new();
+    let mut keys: Vec<TermId> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let key = key_of(order[i] as usize);
+        let mut j = i;
+        let mut total = 0.0f64;
+        while j < n && key_of(order[j] as usize) == key {
+            total += weights[order[j] as usize];
+            j += 1;
+        }
+        for &id in &order[i..j] {
+            let weight = weights[id as usize];
+            entries.push(Posting {
+                triple: TripleId(id),
+                weight,
+                prob: if total > 0.0 { weight / total } else { 0.0 },
+            });
+            prefix.push(prefix.last().unwrap() + weight);
+        }
+        if with_groups {
+            groups.insert(
+                key,
+                Group {
+                    start: i as u32,
+                    end: j as u32,
+                    total_weight: total,
+                },
+            );
+            keys.push(key);
+        }
+        i = j;
+    }
+    keys.sort_unstable();
+    Stratum {
+        entries,
+        prefix,
+        groups,
+        keys,
+    }
+}
+
+/// The global `(weight desc, id asc)` stratum, normalized over the store.
+fn global_stratum(weights: &[f64]) -> (Vec<Posting>, Vec<f64>, f64) {
+    let n = weights.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        weights[b as usize]
+            .total_cmp(&weights[a as usize])
+            .then_with(|| a.cmp(&b))
+    });
+    let total: f64 = weights.iter().sum();
+    let mut entries: Vec<Posting> = Vec::with_capacity(n);
+    let mut prefix: Vec<f64> = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &id in &order {
+        let weight = weights[id as usize];
+        entries.push(Posting {
+            triple: TripleId(id),
+            weight,
+            prob: if total > 0.0 { weight / total } else { 0.0 },
+        });
+        prefix.push(prefix.last().unwrap() + weight);
+    }
+    (entries, prefix, total)
+}
+
+/// Below this table size the four strata build sequentially; above it,
+/// each sorts on its own scoped thread (they are independent).
+const PARALLEL_STRATA_THRESHOLD: usize = 4096;
+
 /// Build-time score-sorted posting index over a frozen triple table.
 ///
-/// Adds 24 bytes per triple for the per-predicate list, 24 for the global
-/// list, and 16 for the two prefix-sum columns (64 bytes per triple
-/// total) in exchange for allocation-free `O(1)` sorted access on the
-/// top-k hot path.
+/// Memory: 32 bytes/triple each (24-byte entry + 8-byte prefix sum) for
+/// the predicate, subject, object, and global strata — 128 bytes/triple
+/// total. The anchored (subject/object) strata carry **no group
+/// directory**: their group order is the primary-key order of the SPO /
+/// OSP permutation columns, so a group's span is the permutation's
+/// binary-searched range, shared rather than duplicated.
 #[derive(Debug, Default)]
 pub struct PostingIndex {
     /// All triples sorted by (predicate, weight desc, id asc).
@@ -67,6 +244,16 @@ pub struct PostingIndex {
     groups: HashMap<TermId, Group>,
     /// Predicates in ascending term-id order (deterministic iteration).
     predicates: Vec<TermId>,
+    /// All triples sorted by (subject, weight desc, id asc). Group spans
+    /// are shared with the SPO permutation column.
+    by_subj: Vec<Posting>,
+    /// Prefix sums over `by_subj` weights (`len + 1` entries).
+    by_subj_prefix: Vec<f64>,
+    /// All triples sorted by (object, weight desc, id asc). Group spans
+    /// are shared with the OSP permutation column.
+    by_obj: Vec<Posting>,
+    /// Prefix sums over `by_obj` weights (`len + 1` entries).
+    by_obj_prefix: Vec<f64>,
     /// All triples sorted by (weight desc, id asc), normalized globally.
     all: Vec<Posting>,
     /// Prefix sums over `all` weights (`len + 1` entries).
@@ -76,89 +263,49 @@ pub struct PostingIndex {
 }
 
 impl PostingIndex {
-    /// Builds the index. `prov[i]` belongs to the triple with id `i`;
-    /// `predicate_of(i)` resolves a triple id to its predicate term.
-    pub(crate) fn build(prov: &[Provenance], predicate_of: impl Fn(usize) -> TermId) -> PostingIndex {
+    /// Builds the four strata. `prov[i]` and `triples[i]` belong to the
+    /// triple with id `i`. Weights are assumed finite (enforced at
+    /// ingestion by `XkgBuilder`); ordering uses `total_cmp`, so even a
+    /// hostile weight cannot panic here.
+    pub(crate) fn build(triples: &[Triple], prov: &[Provenance]) -> PostingIndex {
         let n = prov.len();
         let weights: Vec<f64> = prov.iter().map(Provenance::weight).collect();
+        debug_assert!(
+            weights.iter().all(|w| w.is_finite()),
+            "weights are validated at ingestion"
+        );
 
-        // (predicate, weight desc, id asc) order for the per-predicate lists.
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_unstable_by(|&a, &b| {
-            let (pa, pb) = (predicate_of(a as usize), predicate_of(b as usize));
-            pa.cmp(&pb)
-                .then_with(|| {
-                    weights[b as usize]
-                        .partial_cmp(&weights[a as usize])
-                        .expect("weights are finite")
-                })
-                .then_with(|| a.cmp(&b))
-        });
+        let weights = &weights;
+        let build_pred = || grouped_stratum(weights, |i| triples[i].p, true);
+        let build_subj = || grouped_stratum(weights, |i| triples[i].s, false);
+        let build_obj = || grouped_stratum(weights, |i| triples[i].o, false);
+        let build_all = || global_stratum(weights);
 
-        // Group boundaries + per-group totals, then normalized entries.
-        let mut by_pred: Vec<Posting> = Vec::with_capacity(n);
-        let mut by_pred_prefix: Vec<f64> = Vec::with_capacity(n + 1);
-        by_pred_prefix.push(0.0);
-        let mut groups: HashMap<TermId, Group> = HashMap::new();
-        let mut predicates: Vec<TermId> = Vec::new();
-        let mut i = 0usize;
-        while i < n {
-            let pred = predicate_of(order[i] as usize);
-            let mut j = i;
-            let mut total = 0.0f64;
-            while j < n && predicate_of(order[j] as usize) == pred {
-                total += weights[order[j] as usize];
-                j += 1;
-            }
-            for &id in &order[i..j] {
-                let weight = weights[id as usize];
-                by_pred.push(Posting {
-                    triple: TripleId(id),
-                    weight,
-                    prob: if total > 0.0 { weight / total } else { 0.0 },
-                });
-                by_pred_prefix.push(by_pred_prefix.last().unwrap() + weight);
-            }
-            groups.insert(
-                pred,
-                Group {
-                    start: i as u32,
-                    end: j as u32,
-                    total_weight: total,
-                },
-            );
-            predicates.push(pred);
-            i = j;
-        }
-        predicates.sort_unstable();
-
-        // Global (weight desc, id asc) order for the unbound stratum.
-        let mut all_order: Vec<u32> = (0..n as u32).collect();
-        all_order.sort_unstable_by(|&a, &b| {
-            weights[b as usize]
-                .partial_cmp(&weights[a as usize])
-                .expect("weights are finite")
-                .then_with(|| a.cmp(&b))
-        });
-        let all_total: f64 = weights.iter().sum();
-        let mut all: Vec<Posting> = Vec::with_capacity(n);
-        let mut all_prefix: Vec<f64> = Vec::with_capacity(n + 1);
-        all_prefix.push(0.0);
-        for &id in &all_order {
-            let weight = weights[id as usize];
-            all.push(Posting {
-                triple: TripleId(id),
-                weight,
-                prob: if all_total > 0.0 { weight / all_total } else { 0.0 },
-            });
-            all_prefix.push(all_prefix.last().unwrap() + weight);
-        }
+        let (pred, subj, obj, (all, all_prefix, all_total)) = if n < PARALLEL_STRATA_THRESHOLD {
+            (build_pred(), build_subj(), build_obj(), build_all())
+        } else {
+            std::thread::scope(|scope| {
+                let hs = scope.spawn(build_subj);
+                let ho = scope.spawn(build_obj);
+                let ha = scope.spawn(build_all);
+                (
+                    build_pred(),
+                    hs.join().expect("subject stratum thread panicked"),
+                    ho.join().expect("object stratum thread panicked"),
+                    ha.join().expect("global stratum thread panicked"),
+                )
+            })
+        };
 
         PostingIndex {
-            by_pred,
-            by_pred_prefix,
-            groups,
-            predicates,
+            by_pred: pred.entries,
+            by_pred_prefix: pred.prefix,
+            groups: pred.groups,
+            predicates: pred.keys,
+            by_subj: subj.entries,
+            by_subj_prefix: subj.prefix,
+            by_obj: obj.entries,
+            by_obj_prefix: obj.prefix,
             all,
             all_prefix,
             all_total,
@@ -214,6 +361,25 @@ impl PostingIndex {
             .get(&p)
             .map(|g| &self.by_pred_prefix[g.start as usize..=g.end as usize])
     }
+
+    /// The subject stratum's entries and prefix sums over `span` — the
+    /// SPO permutation's range for that subject (the two share key
+    /// order, which is why no subject group map exists).
+    pub(crate) fn subject_slice(&self, span: Range<usize>) -> (&[Posting], &[f64]) {
+        (
+            &self.by_subj[span.clone()],
+            &self.by_subj_prefix[span.start..=span.end],
+        )
+    }
+
+    /// The object stratum's entries and prefix sums over `span` — the
+    /// OSP permutation's range for that object.
+    pub(crate) fn object_slice(&self, span: Range<usize>) -> (&[Posting], &[f64]) {
+        (
+            &self.by_obj[span.clone()],
+            &self.by_obj_prefix[span.start..=span.end],
+        )
+    }
 }
 
 /// Where a posting list's entries live.
@@ -245,8 +411,9 @@ impl Entries<'_> {
 /// for incremental sorted access.
 ///
 /// Borrows from the store's precomputed [`PostingIndex`] when the pattern
-/// shape allows (predicate-only and fully unbound patterns); other shapes
-/// own a materialized list.
+/// shape allows (predicate-only, unbound, subject-only, and object-only
+/// patterns); composite anchored shapes own a single filtered —
+/// never sorted — list.
 #[derive(Debug, Clone)]
 pub struct PostingList<'s> {
     entries: Entries<'s>,
@@ -259,64 +426,175 @@ pub struct PostingList<'s> {
     /// lists without a prefix column.
     consumed_weight: f64,
     cursor: usize,
+    kind: ServeKind,
 }
 
 impl<'s> PostingList<'s> {
+    /// A borrowed index slice, or the canonical empty list when the
+    /// slice's emission mass is zero (a zero-mass match set emits
+    /// nothing — its entries all carry probability 0).
+    fn borrowed(
+        entries: &'s [Posting],
+        prefix: Option<&'s [f64]>,
+        total_weight: f64,
+        kind: ServeKind,
+    ) -> PostingList<'s> {
+        if total_weight <= 0.0 {
+            return PostingList {
+                entries: Entries::Borrowed(&[]),
+                prefix: None,
+                total_weight: 0.0,
+                consumed_weight: 0.0,
+                cursor: 0,
+                kind,
+            };
+        }
+        PostingList {
+            entries: Entries::Borrowed(entries),
+            prefix,
+            total_weight,
+            consumed_weight: 0.0,
+            cursor: 0,
+            kind,
+        }
+    }
+
+    /// An owned list from already-ordered entries (empty when massless).
+    fn owned(entries: Vec<Posting>, total_weight: f64, kind: ServeKind) -> PostingList<'static> {
+        if total_weight <= 0.0 {
+            return PostingList {
+                entries: Entries::Owned(Vec::new()),
+                prefix: None,
+                total_weight: 0.0,
+                consumed_weight: 0.0,
+                cursor: 0,
+                kind,
+            };
+        }
+        PostingList {
+            entries: Entries::Owned(entries),
+            prefix: None,
+            total_weight,
+            consumed_weight: 0.0,
+            cursor: 0,
+            kind,
+        }
+    }
+
     /// Builds the posting list for `pattern` over `store`.
     ///
     /// Ties in weight are broken by triple id so iteration order is
-    /// deterministic. Predicate-only and fully unbound patterns are served
-    /// as borrowed slices of the store's posting index without allocating.
+    /// deterministic. Predicate-only, unbound, subject-only, and
+    /// object-only patterns are served as borrowed slices of the store's
+    /// posting index without allocating; every other shape filters the
+    /// smallest covering group — one allocation, zero sorts.
     pub fn build(store: &'s XkgStore, pattern: &SlotPattern) -> PostingList<'s> {
         let index = store.posting_index();
         match (pattern.s, pattern.p, pattern.o) {
-            (None, Some(p), None) => PostingList {
-                entries: Entries::Borrowed(index.predicate_postings(p)),
-                prefix: index.predicate_prefix(p),
-                total_weight: index.predicate_total_weight(p),
-                consumed_weight: 0.0,
-                cursor: 0,
-            },
-            (None, None, None) => PostingList {
-                entries: Entries::Borrowed(index.all_postings()),
-                prefix: Some(&index.all_prefix),
-                total_weight: index.total_weight(),
-                consumed_weight: 0.0,
-                cursor: 0,
-            },
-            _ => {
-                let ids = store.lookup(pattern);
-                let mut raw: Vec<(TripleId, f64)> = ids
-                    .iter()
-                    .map(|&id| (id, store.provenance(id).weight()))
-                    .collect();
-                let total_weight: f64 = raw.iter().map(|(_, w)| w).sum();
-                raw.sort_unstable_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .expect("weights are finite")
-                        .then_with(|| a.0.cmp(&b.0))
-                });
-                let entries = raw
-                    .into_iter()
-                    .map(|(triple, weight)| Posting {
-                        triple,
-                        weight,
-                        prob: if total_weight > 0.0 {
-                            weight / total_weight
-                        } else {
-                            0.0
-                        },
-                    })
-                    .collect();
-                PostingList {
-                    entries: Entries::Owned(entries),
-                    prefix: None,
-                    total_weight,
-                    consumed_weight: 0.0,
-                    cursor: 0,
-                }
+            (None, Some(p), None) => PostingList::borrowed(
+                index.predicate_postings(p),
+                index.predicate_prefix(p),
+                index.predicate_total_weight(p),
+                ServeKind::Predicate,
+            ),
+            (None, None, None) => PostingList::borrowed(
+                index.all_postings(),
+                Some(&index.all_prefix),
+                index.total_weight(),
+                ServeKind::Unbound,
+            ),
+            (Some(s), None, None) => {
+                let (entries, prefix) = store.subject_group(s);
+                let total = prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0);
+                PostingList::borrowed(entries, Some(prefix), total, ServeKind::Subject)
             }
+            (None, None, Some(o)) => {
+                let (entries, prefix) = store.object_group(o);
+                let total = prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0);
+                PostingList::borrowed(entries, Some(prefix), total, ServeKind::Object)
+            }
+            _ => PostingList::filtered(store, pattern),
         }
+    }
+
+    /// Serves a composite shape (sp / op / so / ground) from the index.
+    /// The default path filters the smallest covering group — already in
+    /// (weight desc, id asc) order, so no sort; probabilities
+    /// renormalize over the filtered total, summed in entry order
+    /// (bit-identical to the scan reference). When the permutation
+    /// index's *exact* match range is far smaller than every covering
+    /// group (a ground pattern over hub terms can match 1 triple while
+    /// each group holds millions), the range itself is materialized and
+    /// weight-ordered instead — O(matches · log matches) beats an
+    /// unbounded group walk.
+    fn filtered(store: &'s XkgStore, pattern: &SlotPattern) -> PostingList<'s> {
+        let matches = store.lookup(pattern);
+        if matches.is_empty() {
+            return PostingList::owned(Vec::new(), 0.0, ServeKind::Filtered);
+        }
+        let mut group: Option<&[Posting]> = None;
+        let mut consider = |candidate: &'s [Posting]| {
+            if group.is_none_or(|g| candidate.len() < g.len()) {
+                group = Some(candidate);
+            }
+        };
+        if let Some(s) = pattern.s {
+            consider(store.subject_group(s).0);
+        }
+        if let Some(o) = pattern.o {
+            consider(store.object_group(o).0);
+        }
+        if let Some(p) = pattern.p {
+            consider(store.posting_index().predicate_postings(p));
+        }
+        let group = group.expect("filtered shapes bind at least one slot");
+        if matches.len() * 4 <= group.len() {
+            return PostingList::from_match_ids(store, matches, ServeKind::Range);
+        }
+        let mut entries: Vec<Posting> = group
+            .iter()
+            .filter(|e| pattern.matches(store.triple(e.triple)))
+            .copied()
+            .collect();
+        let total: f64 = entries.iter().map(|e| e.weight).sum();
+        for e in &mut entries {
+            e.prob = if total > 0.0 { e.weight / total } else { 0.0 };
+        }
+        PostingList::owned(entries, total, ServeKind::Filtered)
+    }
+
+    /// Materializes an exact match-id set and orders it by
+    /// (weight desc, id asc), totalling in sorted order — bit-identical
+    /// to the index strata's per-group accumulation.
+    fn from_match_ids(
+        store: &XkgStore,
+        ids: &[TripleId],
+        kind: ServeKind,
+    ) -> PostingList<'static> {
+        let mut raw: Vec<(TripleId, f64)> = ids
+            .iter()
+            .map(|&id| (id, store.provenance(id).weight()))
+            .collect();
+        raw.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let total: f64 = raw.iter().map(|(_, w)| w).sum();
+        let entries = raw
+            .into_iter()
+            .map(|(triple, weight)| Posting {
+                triple,
+                weight,
+                prob: if total > 0.0 { weight / total } else { 0.0 },
+            })
+            .collect();
+        PostingList::owned(entries, total, kind)
+    }
+
+    /// The pre-index reference implementation: materializes the
+    /// permutation range and sorts it by (weight desc, id asc). Kept for
+    /// property tests (every [`PostingList::build`] result must be
+    /// entry-for-entry equal) and as the "before" side of the anchored
+    /// benchmark; the engines never call it.
+    pub fn build_by_scan(store: &XkgStore, pattern: &SlotPattern) -> PostingList<'static> {
+        PostingList::from_match_ids(store, store.lookup(pattern), ServeKind::Scanned)
     }
 
     /// Wraps an externally materialized, already score-sorted entry list.
@@ -328,6 +606,7 @@ impl<'s> PostingList<'s> {
             total_weight,
             consumed_weight: 0.0,
             cursor: 0,
+            kind: ServeKind::External,
         }
     }
 
@@ -340,6 +619,7 @@ impl<'s> PostingList<'s> {
             total_weight,
             consumed_weight: 0.0,
             cursor: 0,
+            kind: ServeKind::External,
         }
     }
 
@@ -351,6 +631,12 @@ impl<'s> PostingList<'s> {
             Entries::Borrowed(s) => s.to_vec(),
             Entries::Shared(rc) => rc.to_vec(),
         }
+    }
+
+    /// How this list was served (see [`ServeKind`]).
+    #[inline]
+    pub fn serve_kind(&self) -> ServeKind {
+        self.kind
     }
 
     /// Total emission weight of all matches (the idf-like normalizer).
@@ -461,6 +747,7 @@ mod tests {
         let p = store.dict().get(crate::TermKind::Resource, "lecturedAt").unwrap();
         let list = PostingList::build(&store, &SlotPattern::with_p(p));
         assert_eq!(list.len(), 3);
+        assert_eq!(list.serve_kind(), ServeKind::Predicate);
         let weights: Vec<f64> = list.entries().iter().map(|e| e.weight).collect();
         assert!(weights.windows(2).all(|w| w[0] >= w[1]));
         assert!((list.total_weight() - 2.1).abs() < 1e-6);
@@ -505,6 +792,7 @@ mod tests {
         let store = store_with_weights();
         let list = PostingList::build(&store, &SlotPattern::any());
         assert_eq!(list.len(), store.len());
+        assert_eq!(list.serve_kind(), ServeKind::Unbound);
         let probs: Vec<f64> = list.entries().iter().map(|e| e.prob).collect();
         assert!(probs.windows(2).all(|w| w[0] >= w[1]));
         let sum: f64 = probs.iter().sum();
@@ -512,12 +800,133 @@ mod tests {
     }
 
     #[test]
-    fn bound_subject_falls_back_to_materialized_list() {
+    fn bound_subject_serves_anchored_stratum() {
         let store = store_with_weights();
         let s = store.resource("person0").unwrap();
         let list = PostingList::build(&store, &SlotPattern::new(Some(s), None, None));
         assert_eq!(list.len(), 1);
+        assert_eq!(list.serve_kind(), ServeKind::Subject);
         assert!((list.entries()[0].prob - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_object_serves_anchored_stratum() {
+        let store = store_with_weights();
+        let o = store.resource("Princeton").unwrap();
+        let list = PostingList::build(&store, &SlotPattern::new(None, None, Some(o)));
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.serve_kind(), ServeKind::Object);
+        let probs: Vec<f64> = list.entries().iter().map(|e| e.prob).collect();
+        assert!(probs.windows(2).all(|w| w[0] >= w[1]));
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn composite_shapes_filter_without_sorting() {
+        let store = store_with_weights();
+        let s = store.resource("person1").unwrap();
+        let p = store.resource("lecturedAt").unwrap();
+        let o = store.resource("Princeton").unwrap();
+        for pattern in [
+            SlotPattern::with_sp(s, p),
+            SlotPattern::with_po(p, o),
+            SlotPattern::new(Some(s), None, Some(o)),
+            SlotPattern::new(Some(s), Some(p), Some(o)),
+        ] {
+            let list = PostingList::build(&store, &pattern);
+            assert_eq!(list.serve_kind(), ServeKind::Filtered, "{pattern}");
+            let reference = PostingList::build_by_scan(&store, &pattern);
+            assert_eq!(list.entries(), reference.entries(), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn every_shape_matches_scan_reference() {
+        let store = store_with_weights();
+        let s = store.resource("person2").unwrap();
+        let p = store.resource("lecturedAt").unwrap();
+        let o = store.resource("Princeton").unwrap();
+        for mask in 0u8..8 {
+            let pattern = SlotPattern::new(
+                (mask & 1 != 0).then_some(s),
+                (mask & 2 != 0).then_some(p),
+                (mask & 4 != 0).then_some(o),
+            );
+            let list = PostingList::build(&store, &pattern);
+            let reference = PostingList::build_by_scan(&store, &pattern);
+            assert_eq!(list.entries(), reference.entries(), "shape {mask:#05b}");
+        }
+    }
+
+    #[test]
+    fn selective_composite_shapes_use_the_exact_range() {
+        // Hub-shaped store: the subject, predicate, and object groups of
+        // the probe pattern are all large, but the pattern itself
+        // matches one triple. The serve must come from the permutation
+        // range (O(matches)), not a group walk, and still match the
+        // scan reference bit for bit.
+        let mut b = XkgBuilder::new();
+        let hub_s = b.dict_mut().resource("hubS");
+        let hub_p = b.dict_mut().resource("hubP");
+        let hub_o = b.dict_mut().resource("hubO");
+        let src = b.intern_source("doc");
+        for i in 0..40u32 {
+            let x = b.dict_mut().resource(&format!("x{i}"));
+            let y = b.dict_mut().resource(&format!("y{i}"));
+            b.add_extracted(hub_s, hub_p, y, 0.5, src); // fans out the s and p groups
+            b.add_extracted(x, hub_p, hub_o, 0.6, src); // fans out the p and o groups
+        }
+        b.add_extracted(hub_s, hub_p, hub_o, 0.9, src); // the 1 real match
+        let store = b.build();
+        let ground = SlotPattern::new(Some(hub_s), Some(hub_p), Some(hub_o));
+        let list = PostingList::build(&store, &ground);
+        assert_eq!(list.serve_kind(), ServeKind::Range);
+        assert_eq!(list.len(), 1);
+        let reference = PostingList::build_by_scan(&store, &ground);
+        assert_eq!(list.entries(), reference.entries());
+        // A no-match composite shape short-circuits on the empty range
+        // without touching any group.
+        let ghost = SlotPattern::new(Some(hub_o), Some(hub_p), Some(hub_s));
+        let empty = PostingList::build(&store, &ghost);
+        assert!(empty.is_empty());
+        assert_eq!(empty.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn zero_mass_group_serves_empty_list() {
+        let mut b = XkgBuilder::new();
+        let p = b.dict_mut().resource("ghostly");
+        let q = b.dict_mut().resource("solid");
+        let o = b.dict_mut().resource("obj");
+        let src = b.intern_source("doc");
+        for i in 0..3u32 {
+            let s = b.dict_mut().resource(&format!("z{i}"));
+            b.add_extracted(s, p, o, 0.0, src);
+        }
+        let s = b.dict_mut().resource("z0");
+        b.add_extracted(s, q, o, 0.8, src);
+        let store = b.build();
+
+        // The zero-confidence predicate group has entries but no mass:
+        // it serves as the canonical empty list, and its head bound is 0.
+        let list = PostingList::build(&store, &SlotPattern::with_p(p));
+        assert!(list.is_empty());
+        assert_eq!(list.total_weight(), 0.0);
+        assert_eq!(store.posting_index().predicate_head_prob(p), 0.0);
+        // The scan reference agrees.
+        let reference = PostingList::build_by_scan(&store, &SlotPattern::with_p(p));
+        assert!(reference.is_empty());
+        // A subject whose triples are all massless serves empty too,
+        // while its mixed sibling keeps only implicit zero-prob entries.
+        let z1 = store.resource("z1").unwrap();
+        let sub = PostingList::build(&store, &SlotPattern::new(Some(z1), None, None));
+        assert!(sub.is_empty());
+        let z0 = store.resource("z0").unwrap();
+        let mixed = PostingList::build(&store, &SlotPattern::new(Some(z0), None, None));
+        assert_eq!(mixed.len(), 2);
+        assert!((mixed.entries()[0].prob - 1.0).abs() < 1e-12);
+        assert_eq!(mixed.entries()[1].prob, 0.0);
     }
 
     #[test]
@@ -525,6 +934,21 @@ mod tests {
         let store = store_with_weights();
         let p = store.dict().get(crate::TermKind::Resource, "lecturedAt").unwrap();
         let mut list = PostingList::build(&store, &SlotPattern::with_p(p));
+        for upto in 0..=list.len() {
+            let direct: f64 = list.entries()[..upto].iter().map(|e| e.weight).sum();
+            assert!((list.prefix_weight(upto) - direct).abs() < 1e-9, "upto {upto}");
+        }
+        list.next_posting();
+        let rest: f64 = list.entries()[1..].iter().map(|e| e.weight).sum();
+        assert!((list.remaining_weight() - rest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchored_prefix_weights_match_direct_sums() {
+        let store = store_with_weights();
+        let o = store.resource("Princeton").unwrap();
+        let mut list = PostingList::build(&store, &SlotPattern::new(None, None, Some(o)));
+        assert_eq!(list.serve_kind(), ServeKind::Object);
         for upto in 0..=list.len() {
             let direct: f64 = list.entries()[..upto].iter().map(|e| e.weight).sum();
             assert!((list.prefix_weight(upto) - direct).abs() < 1e-9, "upto {upto}");

@@ -7,6 +7,7 @@
 //! (KG load + Open IE extraction), then queried interactively.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 
 use crate::dict::TermDict;
@@ -15,6 +16,38 @@ use crate::pattern::SlotPattern;
 use crate::posting::{Posting, PostingIndex};
 use crate::term::{TermId, TermKind};
 use crate::triple::{GraphTag, Provenance, SourceId, Triple, TripleId};
+
+/// Ingestion-time validation failure.
+///
+/// Emission weights are `support × confidence`; a non-finite confidence
+/// would otherwise surface as a NaN/∞ weight deep inside the posting
+/// index build. Validation happens where the fact enters the builder, so
+/// the error names the offending triple instead of a sort comparator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum XkgError {
+    /// The provenance carried a NaN or infinite confidence.
+    NonFiniteConfidence {
+        /// The triple whose provenance was rejected.
+        triple: Triple,
+        /// The offending confidence value.
+        confidence: f32,
+    },
+}
+
+impl fmt::Display for XkgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XkgError::NonFiniteConfidence { triple, confidence } => write!(
+                f,
+                "non-finite extraction confidence {confidence} for triple \
+                 {:?} {:?} {:?}",
+                triple.s, triple.p, triple.o
+            ),
+        }
+    }
+}
+
+impl std::error::Error for XkgError {}
 
 /// Accumulates triples and provenance before freezing into an [`XkgStore`].
 #[derive(Debug, Clone, Default)]
@@ -57,7 +90,38 @@ impl XkgBuilder {
 
     /// Adds a triple with explicit provenance, merging with any existing
     /// record for the same `(s, p, o)`.
-    pub fn add(&mut self, triple: Triple, prov: Provenance) -> TripleId {
+    ///
+    /// Weights are sanitized rather than rejected: a negative confidence
+    /// clamps to 0, a non-finite one collapses to the nearest bound (NaN
+    /// and −∞ to 0, +∞ to 1). Use [`XkgBuilder::try_add`] to surface a
+    /// typed error for non-finite confidences instead.
+    pub fn add(&mut self, triple: Triple, mut prov: Provenance) -> TripleId {
+        if !prov.confidence.is_finite() {
+            prov.confidence = if prov.confidence == f32::INFINITY { 1.0 } else { 0.0 };
+        }
+        prov.confidence = prov.confidence.clamp(0.0, 1.0);
+        self.insert(triple, prov)
+    }
+
+    /// Like [`XkgBuilder::add`], but a NaN or infinite confidence returns
+    /// [`XkgError::NonFiniteConfidence`] instead of being sanitized.
+    /// Negative confidences still clamp to 0 (a weight can never be
+    /// negative).
+    pub fn try_add(&mut self, triple: Triple, mut prov: Provenance) -> Result<TripleId, XkgError> {
+        if !prov.confidence.is_finite() {
+            return Err(XkgError::NonFiniteConfidence {
+                triple,
+                confidence: prov.confidence,
+            });
+        }
+        prov.confidence = prov.confidence.clamp(0.0, 1.0);
+        Ok(self.insert(triple, prov))
+    }
+
+    /// The dedup-merging insert behind both `add` flavours; `prov` must
+    /// already carry a finite, clamped confidence.
+    fn insert(&mut self, triple: Triple, prov: Provenance) -> TripleId {
+        debug_assert!(prov.weight().is_finite(), "weights validated at ingestion");
         if let Some(&id) = self.dedup.get(&triple) {
             self.prov[id.idx()].absorb(&prov);
             return id;
@@ -91,7 +155,9 @@ impl XkgBuilder {
         self.add_kg(s, p, o)
     }
 
-    /// Adds an Open IE extraction observed once in `source`.
+    /// Adds an Open IE extraction observed once in `source`. Non-finite
+    /// confidences are sanitized (see [`XkgBuilder::add`]); use
+    /// [`XkgBuilder::try_add_extracted`] to reject them instead.
     pub fn add_extracted(
         &mut self,
         s: TermId,
@@ -101,6 +167,28 @@ impl XkgBuilder {
         source: SourceId,
     ) -> TripleId {
         self.add(Triple::new(s, p, o), Provenance::extraction(confidence, source))
+    }
+
+    /// Adds an Open IE extraction, returning a typed error for a NaN or
+    /// infinite confidence instead of panicking later inside the posting
+    /// index build (negative confidences clamp to 0).
+    pub fn try_add_extracted(
+        &mut self,
+        s: TermId,
+        p: TermId,
+        o: TermId,
+        confidence: f32,
+        source: SourceId,
+    ) -> Result<TripleId, XkgError> {
+        // Validate before `Provenance::extraction`'s clamp folds +∞ into
+        // the legal range.
+        if !confidence.is_finite() {
+            return Err(XkgError::NonFiniteConfidence {
+                triple: Triple::new(s, p, o),
+                confidence,
+            });
+        }
+        self.try_add(Triple::new(s, p, o), Provenance::extraction(confidence, source))
     }
 
     /// Number of distinct triples accumulated so far.
@@ -214,7 +302,7 @@ impl XkgStore {
         sources: Arc<[Box<str>]>,
     ) -> XkgStore {
         let index = TripleIndex::build(&triples);
-        let postings = PostingIndex::build(&prov, |i| triples[i].p);
+        let postings = PostingIndex::build(&triples, &prov);
         let kg_len = prov.iter().filter(|p| p.graph == GraphTag::Kg).count();
         XkgStore {
             dict,
@@ -335,15 +423,96 @@ impl XkgStore {
         self.postings.predicate_postings(p)
     }
 
+    /// The subject-anchored stratum's entries and prefix sums for `s`:
+    /// the stratum shares the SPO permutation's primary-key order, so the
+    /// group span is the permutation's binary-searched range (no group
+    /// directory exists for the anchored strata).
+    pub(crate) fn subject_group(&self, s: TermId) -> (&[Posting], &[f64]) {
+        let span = self.index.span(&SlotPattern::new(Some(s), None, None));
+        self.postings.subject_slice(span)
+    }
+
+    /// The object-anchored stratum's entries and prefix sums for `o`
+    /// (group span shared with the OSP permutation's range).
+    pub(crate) fn object_group(&self, o: TermId) -> (&[Posting], &[f64]) {
+        let span = self.index.span(&SlotPattern::new(None, None, Some(o)));
+        self.postings.object_slice(span)
+    }
+
+    /// One subject's matches in descending emission-weight order, with
+    /// probabilities normalized over the subject's group. O(log n),
+    /// allocation-free.
+    #[inline]
+    pub fn subject_postings(&self, s: TermId) -> &[Posting] {
+        self.subject_group(s).0
+    }
+
+    /// One object's matches in descending emission-weight order, with
+    /// probabilities normalized over the object's group. O(log n),
+    /// allocation-free.
+    #[inline]
+    pub fn object_postings(&self, o: TermId) -> &[Posting] {
+        self.object_group(o).0
+    }
+
+    /// Total emission weight of one subject's matches, read from the
+    /// anchored stratum's prefix-sum column. O(log n), allocation-free.
+    pub fn subject_total_weight(&self, s: TermId) -> f64 {
+        let (_, prefix) = self.subject_group(s);
+        prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0)
+    }
+
+    /// Total emission weight of one object's matches (see
+    /// [`XkgStore::subject_total_weight`]).
+    pub fn object_total_weight(&self, o: TermId) -> f64 {
+        let (_, prefix) = self.object_group(o);
+        prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0)
+    }
+
     /// Exact head probability (best emission) of `pattern`'s posting
-    /// list for the shapes the precomputed index serves — predicate-only
-    /// and fully unbound — without materializing anything. `None` for
-    /// shapes the index cannot answer in O(1); callers must fall back to
-    /// a trivial bound (1.0) or build the list.
+    /// list for the shapes the precomputed index serves — predicate-only,
+    /// fully unbound, subject-only, and object-only — without
+    /// materializing anything. `None` for shapes the index cannot answer
+    /// without filtering; callers must fall back to a trivial bound (1.0)
+    /// or build the list.
     pub fn head_prob(&self, pattern: &SlotPattern) -> Option<f64> {
         match (pattern.s, pattern.p, pattern.o) {
             (None, Some(p), None) => Some(self.postings.predicate_head_prob(p)),
             (None, None, None) => Some(self.postings.global_head_prob()),
+            (Some(s), None, None) => {
+                Some(self.subject_postings(s).first().map_or(0.0, |e| e.prob))
+            }
+            (None, None, Some(o)) => {
+                Some(self.object_postings(o).first().map_or(0.0, |e| e.prob))
+            }
+            _ => None,
+        }
+    }
+
+    /// Raw head emission *weight* of `pattern`'s match set for the four
+    /// index-served shapes, `None` otherwise. Partitioned execution
+    /// divides a shard's head weight by a *global* total to get the
+    /// shard's exact globally-normalized head bound.
+    pub fn head_weight(&self, pattern: &SlotPattern) -> Option<f64> {
+        match (pattern.s, pattern.p, pattern.o) {
+            (None, Some(p), None) => Some(
+                self.postings
+                    .predicate_postings(p)
+                    .first()
+                    .map_or(0.0, |e| e.weight),
+            ),
+            (None, None, None) => Some(
+                self.postings
+                    .all_postings()
+                    .first()
+                    .map_or(0.0, |e| e.weight),
+            ),
+            (Some(s), None, None) => {
+                Some(self.subject_postings(s).first().map_or(0.0, |e| e.weight))
+            }
+            (None, None, Some(o)) => {
+                Some(self.object_postings(o).first().map_or(0.0, |e| e.weight))
+            }
             _ => None,
         }
     }
@@ -424,6 +593,99 @@ mod tests {
         assert_eq!(prov.graph, GraphTag::Xkg);
         assert_eq!(prov.sources.len(), 1);
         assert_eq!(store.source_name(prov.sources[0]), Some("clueweb:doc-17"));
+    }
+
+    #[test]
+    fn nan_confidence_returns_typed_error_instead_of_panicking() {
+        let mut b = XkgBuilder::new();
+        let s = b.dict_mut().resource("s");
+        let p = b.dict_mut().resource("p");
+        let o = b.dict_mut().resource("o");
+        let src = b.intern_source("doc");
+        let err = b.try_add_extracted(s, p, o, f32::NAN, src).unwrap_err();
+        assert!(matches!(err, XkgError::NonFiniteConfidence { .. }));
+        assert!(err.to_string().contains("non-finite"));
+        let err = b.try_add_extracted(s, p, o, f32::INFINITY, src).unwrap_err();
+        assert!(matches!(
+            err,
+            XkgError::NonFiniteConfidence { confidence, .. } if confidence == f32::INFINITY
+        ));
+        // A raw provenance with a poisoned confidence is rejected too.
+        let mut prov = Provenance::extraction(0.5, src);
+        prov.confidence = f32::NAN;
+        assert!(b.try_add(Triple::new(s, p, o), prov).is_err());
+        assert!(b.is_empty(), "rejected facts must not be stored");
+        // The infallible path sanitizes instead — and the build (which
+        // used to panic on a NaN weight deep in the posting sort) is fine.
+        let mut prov = Provenance::extraction(0.5, src);
+        prov.confidence = f32::NAN;
+        let id = b.add(Triple::new(s, p, o), prov);
+        let store = b.build();
+        assert_eq!(store.provenance(id).weight(), 0.0);
+    }
+
+    #[test]
+    fn negative_confidence_clamps_to_zero() {
+        let mut b = XkgBuilder::new();
+        let s = b.dict_mut().resource("s");
+        let p = b.dict_mut().resource("p");
+        let o = b.dict_mut().resource("o");
+        let src = b.intern_source("doc");
+        let mut prov = Provenance::extraction(0.5, src);
+        prov.confidence = -0.25; // bypass extraction()'s clamp
+        let id = b.try_add(Triple::new(s, p, o), prov).unwrap();
+        let store = b.build();
+        assert_eq!(store.provenance(id).confidence, 0.0);
+        assert_eq!(store.provenance(id).weight(), 0.0);
+    }
+
+    #[test]
+    fn anchored_groups_share_permutation_spans() {
+        let store = sample();
+        let einstein = store.resource("AlbertEinstein").unwrap();
+        let group = store.subject_postings(einstein);
+        assert_eq!(
+            group.len(),
+            store.lookup(&SlotPattern::new(Some(einstein), None, None)).len()
+        );
+        assert!(group
+            .iter()
+            .all(|e| store.triple(e.triple).s == einstein));
+        assert!(group.windows(2).all(|w| w[0].weight >= w[1].weight));
+        let total: f64 = group.iter().map(|e| e.weight).sum();
+        assert!((store.subject_total_weight(einstein) - total).abs() < 1e-9);
+
+        let princeton = store.resource("PrincetonUniversity");
+        if let Some(princeton) = princeton {
+            let ogroup = store.object_postings(princeton);
+            assert!(ogroup.iter().all(|e| store.triple(e.triple).o == princeton));
+        }
+        // Absent anchors serve empty groups and zero totals.
+        let ghost = TermId::new(TermKind::Resource, 9999);
+        assert!(store.subject_postings(ghost).is_empty());
+        assert_eq!(store.object_total_weight(ghost), 0.0);
+    }
+
+    #[test]
+    fn head_prob_covers_anchored_shapes() {
+        let store = sample();
+        let einstein = store.resource("AlbertEinstein").unwrap();
+        let ulm = store.resource("Ulm").unwrap();
+        for pattern in [
+            SlotPattern::new(Some(einstein), None, None),
+            SlotPattern::new(None, None, Some(ulm)),
+        ] {
+            let head = store.head_prob(&pattern).expect("anchored head is O(1)");
+            let list = crate::posting::PostingList::build(&store, &pattern);
+            let actual = list.peek_prob().unwrap_or(0.0);
+            assert!((head - actual).abs() < 1e-12, "{pattern}");
+            let hw = store.head_weight(&pattern).expect("anchored head weight");
+            assert!((hw - list.entries().first().map_or(0.0, |e| e.weight)).abs() < 1e-12);
+        }
+        // Composite shapes still decline.
+        let sp = SlotPattern::with_sp(einstein, store.resource("bornIn").unwrap());
+        assert_eq!(store.head_prob(&sp), None);
+        assert_eq!(store.head_weight(&sp), None);
     }
 
     #[test]

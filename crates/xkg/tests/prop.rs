@@ -209,6 +209,72 @@ proptest! {
         }
     }
 
+    /// The precomputed index serves **all 8 pattern shapes**
+    /// entry-for-entry equal to the pre-index materialize-and-sort
+    /// reference: same triples in the same order, the same probabilities
+    /// and prefix sums, the same totals — including zero-weight facts
+    /// (zero-mass match sets serve empty on both paths).
+    #[test]
+    fn anchored_index_equals_scan_reference_all_shapes(
+        triples in proptest::collection::vec(
+            (
+                triple(5),
+                // ~20% exact zero-weight facts to exercise massless
+                // groups (the shim has no `Just`, so map a range).
+                (0.0f32..1.0).prop_map(|c| if c < 0.2 { 0.0 } else { c }),
+                0u8..4,
+            ),
+            0..60,
+        ),
+        s in term_id(TermKind::Resource, 5),
+        p in term_id(TermKind::Resource, 5),
+        o in term_id(TermKind::Resource, 5),
+    ) {
+        let store = store_from(&triples);
+        for mask in 0u8..8 {
+            let pattern = SlotPattern::new(
+                (mask & 1 != 0).then_some(s),
+                (mask & 2 != 0).then_some(p),
+                (mask & 4 != 0).then_some(o),
+            );
+            let indexed = trinit_xkg::PostingList::build(&store, &pattern);
+            let reference = trinit_xkg::PostingList::build_by_scan(&store, &pattern);
+            prop_assert_eq!(
+                indexed.len(),
+                reference.len(),
+                "length differs for shape {:#05b}",
+                mask
+            );
+            for (a, b) in indexed.entries().iter().zip(reference.entries()) {
+                prop_assert_eq!(a.triple, b.triple, "order differs for shape {:#05b}", mask);
+                prop_assert_eq!(a.weight, b.weight, "weight differs for shape {:#05b}", mask);
+                prop_assert!(
+                    (a.prob - b.prob).abs() <= 1e-12,
+                    "prob differs for shape {:#05b}: {} vs {}",
+                    mask, a.prob, b.prob
+                );
+            }
+            prop_assert!(
+                (indexed.total_weight() - reference.total_weight()).abs() < 1e-9,
+                "total differs for shape {:#05b}",
+                mask
+            );
+            for upto in 0..=indexed.len() {
+                prop_assert!(
+                    (indexed.prefix_weight(upto) - reference.prefix_weight(upto)).abs() < 1e-9,
+                    "prefix sum differs for shape {:#05b} at {}",
+                    mask, upto
+                );
+            }
+            // The borrowed anchored slices never allocate or sort; the
+            // composite shapes filter (one allocation); nothing scans.
+            prop_assert!(
+                indexed.serve_kind() != trinit_xkg::ServeKind::Scanned,
+                "engine-facing build must never sort"
+            );
+        }
+    }
+
     /// Per-stratum counts (now frozen at build time) match a full scan.
     #[test]
     fn stratum_counts_match_scan(
