@@ -436,6 +436,23 @@ impl Trinit {
         &self.topk
     }
 
+    /// The rule set an engine variant executes with on the sharded
+    /// path: `Exact` runs the partitioned engine with no rules (top-k
+    /// without rules reduces to exact evaluation); the relaxing engines
+    /// use `rules` as given. The single mapping the batch schedulers
+    /// and per-query sharded execution share — `scratch` hosts the
+    /// empty set for the `Exact` case.
+    fn engine_rules<'s>(
+        engine: Engine,
+        rules: &'s RuleSet,
+        scratch: &'s mut Option<RuleSet>,
+    ) -> &'s RuleSet {
+        match engine {
+            Engine::Exact => scratch.insert(RuleSet::new()),
+            Engine::FullExpansion | Engine::IncrementalTopK => rules,
+        }
+    }
+
     /// Enables the system-level posting cache: a bounded LRU of
     /// materialized posting lists shared across *every* query answered
     /// through this system. Sessions carry their own cache (see
@@ -579,15 +596,9 @@ impl Trinit {
         if let Some(caches) = caches {
             executor = executor.with_caches(caches);
         }
-        let empty;
-        let (rules, cfg) = match engine {
-            Engine::Exact => {
-                empty = RuleSet::new();
-                (&empty, &self.topk)
-            }
-            Engine::FullExpansion | Engine::IncrementalTopK => (rules, &self.topk),
-        };
-        let run = executor.run(&query, rules, cfg, seed);
+        let mut scratch = None;
+        let rules = Self::engine_rules(engine, rules, &mut scratch);
+        let run = executor.run(&query, rules, &self.topk, seed);
         QueryOutcome {
             query,
             answers: run.answers,
@@ -597,20 +608,74 @@ impl Trinit {
     }
 
     /// Executes a batch of independent queries concurrently and returns
-    /// their outcomes in input order. The worker pool is sized to the
-    /// shard count (monolithic systems use the available hardware
-    /// parallelism); inside the pool, sharded executions skip the
-    /// per-shard seed phase entirely — the merge phase alone is complete
-    /// and exact, and the parallelism budget is already spent across
-    /// queries.
+    /// their outcomes in input order.
+    ///
+    /// On a sharded system the scheduling adapts to where the
+    /// parallelism budget actually goes. A batch with at least as many
+    /// queries as workers keeps every worker busy on whole queries, so
+    /// it runs through the fixed pool with the seed phase skipped — the
+    /// throughput path; spending per-shard seed work there buys no
+    /// latency, it only doubles the work. A batch *smaller* than the
+    /// worker set is exactly where workers would otherwise idle, so it
+    /// routes through the **work-stealing batch scheduler**
+    /// ([`Trinit::run_batch_stealing`]): the unit of scheduling becomes
+    /// one per-shard *seed task*, idle workers lift the remaining seed
+    /// work of in-flight queries, and each query's merge starts the
+    /// moment its own seeds finish, with a collector pre-loaded from
+    /// them ([`ExecMetrics::seed_steals`] reports the stolen tasks per
+    /// query). Monolithic systems use a fixed pool over the available
+    /// hardware parallelism (whole queries are their only unit of
+    /// work). Every mode returns identical answers.
     pub fn run_batch(&self, queries: Vec<Query>, engine: Engine) -> Vec<QueryOutcome> {
-        let workers = match &self.backend {
-            Backend::Sharded(sharded) => sharded.shard_count(),
-            Backend::Single(_) => std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
+        match &self.backend {
+            Backend::Sharded(sharded) => {
+                let workers = sharded.shard_count();
+                if queries.len() < workers {
+                    self.run_batch_stealing(queries, engine, workers)
+                } else {
+                    self.run_batch_with_workers(queries, engine, workers)
+                }
+            }
+            Backend::Single(_) => {
+                let workers = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                self.run_batch_with_workers(queries, engine, workers)
+            }
+        }
+    }
+
+    /// Executes a batch through the work-stealing seed-task scheduler
+    /// with an explicit worker count (see [`Trinit::run_batch`]).
+    /// Answers are identical to every other batch mode; only the work
+    /// placement differs. Monolithic systems have no per-shard seed
+    /// tasks to steal and fall back to the fixed pool.
+    pub fn run_batch_stealing(
+        &self,
+        queries: Vec<Query>,
+        engine: Engine,
+        workers: usize,
+    ) -> Vec<QueryOutcome> {
+        let Backend::Sharded(sharded) = &self.backend else {
+            return self.run_batch_with_workers(queries, engine, workers);
         };
-        self.run_batch_with_workers(queries, engine, workers)
+        let mut executor = ShardedExecutor::new(sharded);
+        if let Some(caches) = self.shard_caches.as_deref() {
+            executor = executor.with_caches(caches);
+        }
+        let mut scratch = None;
+        let rules = Self::engine_rules(engine, &self.rules, &mut scratch);
+        let runs = executor.run_batch_stealing(&queries, rules, &self.topk, workers);
+        queries
+            .into_iter()
+            .zip(runs)
+            .map(|(query, run)| QueryOutcome {
+                query,
+                answers: run.answers,
+                metrics: run.metrics,
+                shard_metrics: run.per_shard,
+            })
+            .collect()
     }
 
     /// [`Trinit::run_batch`] with an explicit worker count (benchmarks
@@ -845,6 +910,26 @@ mod tests {
                 for (x, y) in got.answers.iter().zip(want) {
                     assert!((x.score - y.score).abs() < 1e-9);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn small_batches_route_through_stealing_with_identical_answers() {
+        // Fewer queries than workers: run_batch takes the seed-stealing
+        // path (idle workers exist); at or above the worker count it
+        // takes the fixed pool. Both must agree with per-query runs —
+        // and with each other.
+        let sys = tiny_sharded_system(3);
+        let texts = ["?x type person LIMIT 4", "?x type university LIMIT 3"];
+        let queries: Vec<Query> = texts.iter().map(|t| sys.parse(t).unwrap()).collect();
+        let sequential: Vec<_> = texts.iter().map(|t| sys.query(t).unwrap().answers).collect();
+        let small = sys.run_batch(queries.clone(), Engine::IncrementalTopK);
+        let explicit = sys.run_batch_stealing(queries, Engine::IncrementalTopK, 3);
+        for (got, want) in small.iter().chain(&explicit).zip(sequential.iter().cycle()) {
+            assert_eq!(got.answers.len(), want.len());
+            for (x, y) in got.answers.iter().zip(want) {
+                assert!((x.score - y.score).abs() < 1e-9);
             }
         }
     }

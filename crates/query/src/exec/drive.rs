@@ -1,0 +1,1115 @@
+//! Stage 4 of the top-k operator pipeline: the **driver** — variant
+//! enumeration, stream assembly, and the pull loop.
+//!
+//! "TriniT uses a top-k approach to query processing that is an extension
+//! of the incremental top-k algorithm of [Theobald et al., SIGIR'05],
+//! guided by \[the\] scoring scheme ... Top-k query processing is based on
+//! the ability to access answers for a triple pattern in sorted order of
+//! their scores, allowing us to go only as far as necessary into each
+//! triple pattern index list." (paper §4)
+//!
+//! The driver composes the three stages below it through two narrow
+//! seams and owns nothing else:
+//!
+//! * **[`crate::exec::merge`]** (stage 1) supplies per-pattern sorted
+//!   access behind the [`RankSource`] trait. The driver never sees
+//!   posting lists, caches, or relaxation chains — only
+//!   `peek_bound` / `next_merged` / `remaining_mass`.
+//! * **[`crate::exec::join`]** (stage 2) holds the per-stream join
+//!   state ([`Stream`]) and combines each arrival against the other
+//!   streams' partitions ([`join::join_with_others`]).
+//! * **[`crate::exec::threshold`]** (stage 3) decides termination: the
+//!   driver asks [`ThresholdPolicy::admit_variant`] before opening a
+//!   variant and [`ThresholdPolicy::after_round`] after every pull.
+//!
+//! [`run_pipeline`] is the seam partitioned execution shares: it is
+//! generic over a *source factory* (`FnMut(&QPattern, u16) -> M`), so
+//! the monolithic engine ([`run_scaled`] with an [`IncrementalMerge`]
+//! factory) and the sharded engine
+//! ([`crate::exec::sharded::run_partitioned`] with a `ShardedMerge`
+//! factory) assemble the identical pipeline around different stage-1
+//! sources — every line of join, threshold, capping, and collection
+//! logic is shared, which is what makes the sharded engine's
+//! score-equality (and the ε mode's guarantee) carry over verbatim.
+//!
+//! **Structural variants** (multi-pattern rules, e.g. paper rule 1)
+//! rewrite the query as a whole; each variant runs through the pipeline
+//! above, sharing one global answer collector.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use trinit_relax::{
+    apply_rule_oracle, canonical_key, ConditionOracle, QPattern, RuleId, RuleSet,
+};
+use trinit_xkg::XkgStore;
+
+use crate::answer::{Answer, AnswerCollector, Bindings};
+use crate::ast::Query;
+use crate::exec::join::{self, Stream};
+use crate::exec::merge::{is_mergeable, IncrementalMerge, RankSource};
+use crate::exec::threshold::{RoundVerdict, ThresholdPolicy};
+use crate::exec::{ExecMetrics, TripleLookup};
+use crate::score::{ln_weight, GlobalTotals, PostingCache, SharedPostingCache};
+
+/// Configuration of the incremental top-k processor.
+#[derive(Debug, Clone)]
+pub struct TopkConfig {
+    /// Maximum chain length of single-pattern rules per pattern.
+    pub chain_depth: usize,
+    /// Maximum applications of structural (multi-pattern / multi-RHS)
+    /// rules at the query level.
+    pub structural_depth: usize,
+    /// Alternatives and variants below this weight are pruned.
+    pub min_weight: f64,
+    /// Cap on alternatives per pattern.
+    pub max_alternatives: usize,
+    /// Cap on structural query variants.
+    pub max_variants: usize,
+    /// Wire the precomputed posting index into the termination bound:
+    /// exact head probabilities for unopened alternatives, head-bound
+    /// variant pruning, and remaining-mass stream capping. Answers are
+    /// identical with or without; tightening only reduces the work
+    /// ([`ExecMetrics::pulls`]).
+    pub tighten_threshold: bool,
+    /// ε-approximate top-k: answers forfeited by early termination are
+    /// guaranteed to score at most ε (probability space, absolute), so
+    /// for every rank `r` the returned answer satisfies
+    /// `prob(approx[r]) ≥ prob(exact[r]) − ε` while carrying its exact
+    /// score. The merge stage's prefix-sum remaining-mass envelope is
+    /// the load-bearing criterion (see [`crate::exec::threshold`]):
+    /// streams retire once everything they can still contribute is
+    /// within ε, and hopeless variants are skipped outright —
+    /// retirements counted in [`ExecMetrics::approx_cutoffs`]. `0.0`
+    /// (the default) is the exact mode, bit-identical in answers *and*
+    /// pull counts to an engine without the criterion.
+    pub epsilon: f64,
+}
+
+impl Default for TopkConfig {
+    fn default() -> Self {
+        TopkConfig {
+            chain_depth: 2,
+            structural_depth: 1,
+            min_weight: 0.05,
+            max_alternatives: 64,
+            max_variants: 16,
+            tighten_threshold: true,
+            epsilon: 0.0,
+        }
+    }
+}
+
+/// Enumerates structural query variants (non-mergeable rules applied at
+/// the query level), keeping original rule ids in traces. Data
+/// conditions are verified through `oracle` — the whole store for the
+/// monolithic engine, a cross-shard oracle for partitioned execution.
+pub(crate) fn structural_variants(
+    oracle: Option<&dyn ConditionOracle>,
+    patterns: &[QPattern],
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+) -> Vec<(Vec<QPattern>, f64, Vec<RuleId>)> {
+    let original_vars = patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut out: Vec<(Vec<QPattern>, f64, Vec<RuleId>)> =
+        vec![(patterns.to_vec(), 1.0, Vec::new())];
+    let mut keys = vec![canonical_key(patterns, original_vars)];
+    let mut frontier = vec![0usize];
+    for _ in 0..cfg.structural_depth {
+        let mut next_frontier = Vec::new();
+        for &idx in &frontier {
+            let (cur_patterns, cur_weight, cur_trace) = out[idx].clone();
+            for (rule_id, rule) in rules.iter() {
+                if is_mergeable(rule) {
+                    continue;
+                }
+                let weight = cur_weight * rule.weight;
+                if weight < cfg.min_weight {
+                    continue;
+                }
+                for rewriting in apply_rule_oracle(&cur_patterns, rule, rule_id, oracle) {
+                    let key = canonical_key(&rewriting.patterns, original_vars);
+                    if keys.contains(&key) || out.len() >= cfg.max_variants {
+                        continue;
+                    }
+                    keys.push(key);
+                    let mut trace = cur_trace.clone();
+                    trace.push(rule_id);
+                    out.push((rewriting.patterns, weight, trace));
+                    next_frontier.push(out.len() - 1);
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    out
+}
+
+/// Runs incremental top-k processing for `query` under `rules`.
+///
+/// Returns the top `query.k` answers (identical to what
+/// [`crate::exec::expand::run`] would return for an equivalent rule
+/// budget) and the work metrics, which are the point: posting lists are
+/// only materialized, and relaxations only invoked, when they can still
+/// contribute to the top-k.
+pub fn run(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+) -> (Vec<Answer>, ExecMetrics) {
+    run_cached(store, query, rules, cfg, None)
+}
+
+/// Like [`run`], additionally consulting a store-level posting cache
+/// shared across executions — the session tier of the cache hierarchy.
+/// Interactive workloads that re-issue queries over the same canonical
+/// patterns (the paper's E6 setting) reuse materialized lists across
+/// consecutive queries; hits are counted in
+/// [`ExecMetrics::shared_cache_hits`].
+pub fn run_cached(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shared: Option<&SharedPostingCache>,
+) -> (Vec<Answer>, ExecMetrics) {
+    run_scaled(store, query, rules, cfg, shared, None, Some(store), Vec::new())
+}
+
+/// Like [`run_cached`], with the three extension points partitioned
+/// execution needs: a [`GlobalTotals`] provider (so a store *slice*
+/// scores its emissions with globally-correct normalization), an
+/// explicit [`ConditionOracle`] for structural-rule data conditions
+/// (existence across every slice), and a `seed` of already-known answers
+/// offered to the collector before any posting list is opened (a
+/// sharded executor seeds with the answers its per-shard runs found,
+/// tightening the threshold from the first pull). With `totals = None`,
+/// `oracle = Some(store)`, and an empty seed this *is* the monolithic
+/// engine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scaled(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shared: Option<&SharedPostingCache>,
+    totals: Option<&dyn GlobalTotals>,
+    oracle: Option<&dyn ConditionOracle>,
+    seed: Vec<Answer>,
+) -> (Vec<Answer>, ExecMetrics) {
+    let mut metrics = ExecMetrics::default();
+    // One posting cache for the whole execution: structural variants that
+    // share a relaxed pattern never rebuild its matches.
+    let cache = Rc::new(RefCell::new(PostingCache::new()));
+    let answers = run_pipeline(
+        store,
+        oracle,
+        query,
+        rules,
+        cfg,
+        seed,
+        &mut metrics,
+        |pattern, fresh_base| {
+            IncrementalMerge::for_pattern(
+                store,
+                pattern,
+                rules,
+                cfg,
+                fresh_base,
+                Rc::clone(&cache),
+                shared,
+                totals,
+            )
+        },
+    );
+    (answers, metrics)
+}
+
+/// Assembles and drives the full pipeline for one query: enumerates
+/// structural variants, builds one [`Stream`] per pattern around the
+/// stage-1 source `source_for` yields, and runs the rank join per
+/// variant into one shared collector.
+///
+/// This is the composition seam between the monolithic and partitioned
+/// engines: [`run_scaled`] passes an [`IncrementalMerge`] factory,
+/// [`crate::exec::sharded::run_partitioned`] a `ShardedMerge` factory —
+/// everything downstream of the factory is the same code.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pipeline<M: RankSource>(
+    lookup: &dyn TripleLookup,
+    oracle: Option<&dyn ConditionOracle>,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    seed: Vec<Answer>,
+    metrics: &mut ExecMetrics,
+    mut source_for: impl FnMut(&QPattern, u16) -> M,
+) -> Vec<Answer> {
+    let projection = query.effective_projection();
+    let k = query.k.max(1);
+    // Tracked collector: the k-th score the threshold reads on every
+    // pull is maintained persistently on insert (O(1), zero allocation
+    // per pull) instead of re-selected from all candidate scores.
+    let mut collector = AnswerCollector::tracking(k);
+    for answer in seed {
+        collector.offer(answer);
+    }
+    let variants = structural_variants(oracle, &query.patterns, rules, cfg);
+    for (patterns, variant_weight, variant_trace) in variants {
+        metrics.rewritings_evaluated += 1;
+        if patterns.is_empty() {
+            continue;
+        }
+        let max_var = join::max_var_of(&patterns);
+        let join_vars = join::join_vars_of(&patterns);
+        let mut streams: Vec<Stream<M>> = patterns
+            .iter()
+            .zip(join_vars)
+            .enumerate()
+            .map(|(i, (pattern, join_vars))| {
+                // Disjoint fresh-variable ranges per pattern — and the
+                // same base across shards, so every slice derives the
+                // identical alternative set.
+                let fresh_base = max_var + (i as u16) * 8;
+                Stream::new(source_for(pattern, fresh_base), join_vars)
+            })
+            .collect();
+        rank_join(
+            lookup,
+            cfg,
+            &mut streams,
+            ln_weight(variant_weight),
+            &variant_trace,
+            &projection,
+            k,
+            max_var as usize + 64, // headroom for fresh variables
+            &mut collector,
+            metrics,
+        );
+    }
+    collector.into_top_k(query.k)
+}
+
+/// The rank join over one variant's streams: pulls the highest-frontier
+/// stream, joins each arrival against the other streams' seen
+/// partitions (stage 2), and stops when the termination policy (stage
+/// 3) says so. Generic over the stream source so the monolithic and
+/// sharded engines share every line of join, threshold, and capping
+/// logic; `lookup` resolves emitted triple ids (global ids, for a
+/// sharded source).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rank_join<M: RankSource>(
+    lookup: &dyn TripleLookup,
+    cfg: &TopkConfig,
+    streams: &mut [Stream<M>],
+    variant_log: f64,
+    variant_trace: &[RuleId],
+    projection: &[trinit_relax::VarId],
+    k: usize,
+    n_vars: usize,
+    collector: &mut AnswerCollector,
+    metrics: &mut ExecMetrics,
+) {
+    let mut policy = ThresholdPolicy::new(cfg, k, streams.len());
+    if !policy.admit_variant(streams, variant_log, collector, metrics) {
+        return;
+    }
+
+    // Scratch assignment for the combination loop; `join_with_others`
+    // always restores it to fully unbound.
+    let mut scratch = Bindings::new(n_vars);
+
+    // Pick the non-exhausted, non-capped stream with the highest
+    // frontier each round.
+    while let Some(next) = (0..streams.len())
+        .filter(|&i| !streams[i].exhausted && !streams[i].capped)
+        .max_by(|&a, &b| streams[a].frontier_log().total_cmp(&streams[b].frontier_log()))
+    {
+        metrics.pulls += 1;
+        let merged = streams[next].merge.next_merged(metrics);
+        match merged {
+            None => {
+                streams[next].exhausted = true;
+                // A stream with no matches at all kills the variant.
+                if streams[next].seen.is_empty() {
+                    return;
+                }
+            }
+            Some(m) => {
+                let Some(bound) = join::bind_pairs(&m.pattern, lookup, m.triple) else {
+                    continue;
+                };
+                let log_score = ln_weight(m.prob);
+                let item = join::SeenItem {
+                    bound,
+                    log_score,
+                    pattern: m.pattern,
+                    triple: m.triple,
+                    trace: m.trace,
+                    weight: m.weight,
+                };
+
+                // Join the new item with the seen items of other streams
+                // (its own stream is skipped, so joining before remembering
+                // the item is equivalent).
+                join::join_with_others(
+                    streams, next, &item, variant_log, variant_trace, projection, &mut scratch,
+                    collector, metrics,
+                );
+                streams[next].push_seen(item);
+            }
+        }
+
+        match policy.after_round(streams, variant_log, collector, metrics) {
+            RoundVerdict::Continue => {}
+            RoundVerdict::Done => break,
+            RoundVerdict::DeadVariant => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryBuilder;
+    use crate::exec::expand;
+    use crate::exec::testfix::store;
+    use trinit_relax::{ExpandOptions, QTerm, Rule, RuleProvenance, RuleSet};
+    use trinit_xkg::XkgBuilder;
+
+    fn advisor_rules(store: &XkgStore) -> (RuleSet, trinit_xkg::TermId) {
+        let mut qb = QueryBuilder::new(store);
+        let has_advisor = qb.resource("hasAdvisor");
+        let has_student = store.resource("hasStudent").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::inversion(
+            "advisor/student",
+            has_advisor,
+            has_student,
+            1.0,
+            RuleProvenance::UserDefined,
+        ));
+        (rules, has_advisor)
+    }
+
+    #[test]
+    fn lazy_merge_recovers_inverted_answer() {
+        let store = store();
+        let (rules, _) = advisor_rules(&store);
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("AlbertEinstein", "hasAdvisor", "x")
+            .build();
+        let (answers, metrics) = run(&store, &q, &rules, &TopkConfig::default());
+        assert_eq!(answers.len(), 1);
+        let kleiner = store.resource("AlfredKleiner").unwrap();
+        assert_eq!(answers[0].key[0].1, Some(kleiner));
+        assert_eq!(metrics.relaxations_opened, 1);
+    }
+
+    #[test]
+    fn lectured_at_relaxation_for_affiliation() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "rule4",
+            aff,
+            lectured,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("AlbertEinstein", "affiliation", "y")
+            .limit(5)
+            .build();
+        let (answers, _) = run(&store, &q, &rules, &TopkConfig::default());
+        assert_eq!(answers.len(), 2);
+        let ias = store.resource("IAS").unwrap();
+        let princeton = store.resource("PrincetonUniversity").unwrap();
+        assert_eq!(answers[0].key[0].1, Some(ias));
+        assert_eq!(answers[1].key[0].1, Some(princeton));
+        assert!(answers[1].score < answers[0].score);
+    }
+
+    #[test]
+    fn agrees_with_full_expansion() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let housed = store.token("housed in").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "a",
+            aff,
+            lectured,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        rules.add(Rule::predicate_rewrite(
+            "b",
+            aff,
+            housed,
+            0.6,
+            RuleProvenance::UserDefined,
+        ));
+        rules.add(Rule::predicate_rewrite(
+            "c",
+            lectured,
+            housed,
+            0.5,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "affiliation", "y")
+            .limit(50)
+            .build();
+        let (inc, _) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                chain_depth: 2,
+                structural_depth: 0,
+                min_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        let (full, _) = expand::run(
+            &store,
+            &q,
+            &rules,
+            &ExpandOptions {
+                max_depth: 2,
+                min_weight: 0.0,
+                max_rewritings: 1024,
+            },
+        );
+        assert_eq!(inc.len(), full.len());
+        for (a, b) in inc.iter().zip(&full) {
+            assert_eq!(a.key, b.key, "same answers in same order");
+            assert!((a.score - b.score).abs() < 1e-9, "same scores");
+        }
+    }
+
+    #[test]
+    fn relaxations_not_opened_when_k_satisfied_early() {
+        // With k=1 and a strong exact answer, the weak relaxation's
+        // posting list should never be materialized.
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("E", "p", "O1");
+        let weak = b.dict_mut().token("weak predicate");
+        for i in 0..100 {
+            let s = b.dict_mut().resource(&format!("s{i}"));
+            let o = b.dict_mut().resource(&format!("o{i}"));
+            let src = b.intern_source("d");
+            b.add_extracted(s, weak, o, 0.9, src);
+        }
+        let store = b.build();
+        let p = store.resource("p").unwrap();
+        let weak = store.token("weak predicate").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "weak",
+            p,
+            weak,
+            0.05,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("E", "p", "y")
+            .limit(1)
+            .build();
+        let (answers, metrics) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                min_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(answers.len(), 1);
+        // Exact match has prob 1.0 > bound 0.05 of the relaxation.
+        assert_eq!(metrics.relaxations_opened, 0, "{metrics:?}");
+    }
+
+    #[test]
+    fn join_query_with_relaxation() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "rule4",
+            aff,
+            lectured,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        // Who is affiliated with something housed in Princeton?
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "affiliation", "y")
+            .pattern_r_t_v("IAS", "housed in", "z")
+            .limit(10)
+            .build();
+        let (answers, _) = run(&store, &q, &rules, &TopkConfig::default());
+        assert!(!answers.is_empty());
+    }
+
+    #[test]
+    fn empty_query_variant_is_safe() {
+        let store = store();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_r("x", "nonexistentPredicate", "Nowhere")
+            .build();
+        let (answers, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert!(answers.is_empty());
+    }
+
+    /// Reference evaluation for the partition tests: full expansion
+    /// evaluates every rewriting with a nested-loop join, so its answer
+    /// set is exactly what the hash-partitioned combine must reproduce.
+    fn reference(store: &XkgStore, q: &crate::ast::Query, rules: &RuleSet) -> Vec<crate::answer::Answer> {
+        let (full, _) = expand::run(
+            store,
+            q,
+            rules,
+            &ExpandOptions {
+                max_depth: 2,
+                min_weight: 0.0,
+                max_rewritings: 4096,
+            },
+        );
+        full
+    }
+
+    fn assert_same_answers(a: &[crate::answer::Answer], b: &[crate::answer::Answer]) {
+        assert_eq!(a.len(), b.len(), "answer counts differ");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.key, y.key, "answer keys differ");
+            assert!((x.score - y.score).abs() < 1e-9, "scores differ");
+        }
+    }
+
+    #[test]
+    fn no_shared_variables_is_a_cross_product() {
+        // Streams without join variables share the single empty-key
+        // bucket: every seen item of the other stream is probed, i.e. a
+        // genuine cross product, identical to nested-loop evaluation.
+        let mut b = XkgBuilder::new();
+        for i in 0..3 {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{i}"));
+        }
+        for i in 0..4 {
+            b.add_kg_resources(&format!("t{i}"), "q", &format!("u{i}"));
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("a", "p", "b")
+            .pattern_v_r_v("c", "q", "d")
+            .limit(1000)
+            .build();
+        let (inc, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert_eq!(inc.len(), 12, "3 × 4 cross product");
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn repeated_variable_pattern_joins_correctly() {
+        // `?x p ?x` filters to self-loops and shares ?x with the second
+        // stream; the partition key must use the deduplicated binding.
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("loop", "p", "loop");
+        b.add_kg_resources("a", "p", "b"); // not a self-loop
+        b.add_kg_resources("loop", "q", "c");
+        b.add_kg_resources("a", "q", "d");
+        let store = b.build();
+        let mut qb = QueryBuilder::new(&store);
+        let x = QTerm::Var(qb.var("x"));
+        let y = QTerm::Var(qb.var("y"));
+        let p = QTerm::Term(qb.resource("p"));
+        let qq = QTerm::Term(qb.resource("q"));
+        let q = qb.pattern(x, p, x).pattern(x, qq, y).limit(1000).build();
+        let (inc, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert_eq!(inc.len(), 1, "only the self-loop joins");
+        let loop_id = store.resource("loop").unwrap();
+        assert_eq!(inc[0].bindings.get(trinit_relax::VarId(0)), Some(loop_id));
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn empty_bucket_probes_produce_nothing_and_test_no_candidates() {
+        // Join-key value sets are disjoint: every probe lands in an
+        // absent bucket, so the combine tests zero candidates (a full
+        // scan would have tested every pair) and yields no answers.
+        let mut b = XkgBuilder::new();
+        for i in 0..5 {
+            b.add_kg_resources(&format!("a{i}"), "p", &format!("y{i}"));
+            b.add_kg_resources(&format!("b{i}"), "q", &format!("z{i}"));
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "p", "y")
+            .pattern_v_r_v("x", "q", "z")
+            .limit(1000)
+            .build();
+        let (inc, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert!(inc.is_empty());
+        assert_eq!(
+            metrics.join_candidates, 0,
+            "disjoint keys must never be probed: {metrics:?}"
+        );
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn partitioning_cuts_join_candidates_on_one_to_one_joins() {
+        // 30 1:1 join pairs. A full seen-list scan tests O(n²)
+        // candidates; the partitioned probe touches one bucket of size 1
+        // per arriving item.
+        let n = 30usize;
+        let mut b = XkgBuilder::new();
+        for i in 0..n {
+            b.add_kg_resources(&format!("x{i}"), "p", &format!("y{i}"));
+            b.add_kg_resources(&format!("x{i}"), "q", &format!("z{i}"));
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "p", "y")
+            .pattern_v_r_v("x", "q", "z")
+            .limit(1000)
+            .build();
+        let (inc, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert_eq!(inc.len(), n);
+        assert!(
+            metrics.join_candidates <= 2 * n,
+            "partitioned probes should be linear, got {} for n = {n}",
+            metrics.join_candidates
+        );
+        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn tightened_threshold_caps_hopeless_streams() {
+        // Stream A: one strong lonely item, one joining item, then a
+        // heavy tail of lonely items whose frontier stays above stream
+        // B's. Stream B: a strong joining head and a long tail. Once the
+        // best join is collected, no unseen A item can beat it (its
+        // frontier × B's best is below the answer), but B must still be
+        // drained. The untightened engine keeps pulling A (highest
+        // frontier); the tightened one caps A and pulls only B.
+        let mut b = XkgBuilder::new();
+        let p = b.dict_mut().resource("p");
+        let q = b.dict_mut().resource("q");
+        let src = b.intern_source("d");
+        let add = |s: &str, pred: trinit_xkg::TermId, o: &str, conf: f32, b: &mut XkgBuilder| {
+            let s = b.dict_mut().resource(s);
+            let o = b.dict_mut().resource(o);
+            b.add_extracted(s, pred, o, conf, src);
+        };
+        add("LA", p, "y0", 0.9, &mut b);
+        add("J", p, "y1", 0.018, &mut b);
+        for i in 0..50 {
+            add(&format!("a{i}"), p, &format!("ya{i}"), 0.016, &mut b);
+        }
+        add("J", q, "z0", 0.9, &mut b);
+        for i in 0..150 {
+            add(&format!("b{i}"), q, &format!("zb{i}"), 0.5, &mut b);
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("x", "p", "y")
+            .pattern_v_r_v("x", "q", "z")
+            .limit(1)
+            .build();
+        let rules = RuleSet::new();
+        let (tight, m_tight) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                tighten_threshold: true,
+                ..TopkConfig::default()
+            },
+        );
+        let (loose, m_loose) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                tighten_threshold: false,
+                ..TopkConfig::default()
+            },
+        );
+        assert_same_answers(&tight, &loose);
+        assert_eq!(tight.len(), 1);
+        assert!(
+            m_tight.pulls < m_loose.pulls,
+            "capping must save pulls: {} vs {}",
+            m_tight.pulls,
+            m_loose.pulls
+        );
+        assert!(m_tight.early_cutoffs > 0, "{m_tight:?}");
+        assert_eq!(m_loose.early_cutoffs, 0, "{m_loose:?}");
+    }
+
+    #[test]
+    fn head_bound_prunes_hopeless_variants() {
+        // A structural variant whose head-bound product cannot reach the
+        // already-collected k-th answer is skipped without opening a
+        // single posting list.
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let housed = store.token("housed in").unwrap();
+        let mut rules = RuleSet::new();
+        // A non-mergeable (two-RHS) rule creates a structural variant
+        // with a tiny weight (paper rule 3 shape).
+        let (x, y, z) = (
+            trinit_relax::TTerm::Var(trinit_relax::RVar(0)),
+            trinit_relax::TTerm::Var(trinit_relax::RVar(1)),
+            trinit_relax::TTerm::Var(trinit_relax::RVar(2)),
+        );
+        rules.add(Rule::structural(
+            "weak structural",
+            vec![trinit_relax::Template::new(
+                x,
+                trinit_relax::TTerm::Const(aff),
+                y,
+            )],
+            vec![
+                trinit_relax::Template::new(x, trinit_relax::TTerm::Const(aff), z),
+                trinit_relax::Template::new(z, trinit_relax::TTerm::Const(housed), y),
+            ],
+            0.0001,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("AlbertEinstein", "affiliation", "y")
+            .limit(1)
+            .build();
+        let (answers, metrics) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                min_weight: 0.0,
+                ..TopkConfig::default()
+            },
+        );
+        assert_eq!(answers.len(), 1);
+        assert!(
+            metrics.early_cutoffs > 0,
+            "weak variant should be pruned by its head bound: {metrics:?}"
+        );
+    }
+
+    #[test]
+    fn zero_mass_groups_agree_with_untightened_and_expansion() {
+        // A predicate whose entire match set has weight 0 (confidence 0
+        // extractions): its posting group serves as an empty list and
+        // its head bound is 0. The tightened threshold skips the
+        // alternative outright; the untightened engine and the
+        // full-expansion reference open it and emit nothing. All three
+        // must agree — this is the "head bound 0 caps the stream before
+        // pulling" regression.
+        let mut b = XkgBuilder::new();
+        let ghost = b.dict_mut().resource("ghost");
+        let p = b.dict_mut().resource("p");
+        let src = b.intern_source("d");
+        for i in 0..5u32 {
+            let s = b.dict_mut().resource(&format!("g{i}"));
+            let o = b.dict_mut().resource(&format!("go{i}"));
+            b.add_extracted(s, ghost, o, 0.0, src);
+        }
+        // Zero-weight self-loops: the repeated-variable (masked) shape
+        // `?x ghost ?x` filters to a zero-mass set too.
+        for i in 0..2u32 {
+            let s = b.dict_mut().resource(&format!("loop{i}"));
+            b.add_extracted(s, ghost, s, 0.0, src);
+        }
+        for i in 0..4u32 {
+            let s = b.dict_mut().resource(&format!("s{i}"));
+            let o = b.dict_mut().resource(&format!("o{i}"));
+            b.add_extracted(s, p, o, 0.5 + 0.1 * i as f32, src);
+        }
+        let store = b.build();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "into the void",
+            store.resource("p").unwrap(),
+            store.resource("ghost").unwrap(),
+            0.9,
+            RuleProvenance::UserDefined,
+        ));
+        let repeated = {
+            let mut qb = QueryBuilder::new(&store);
+            let x = QTerm::Var(qb.var("x"));
+            let g = QTerm::Term(qb.resource("ghost"));
+            qb.pattern(x, g, x).limit(20).build()
+        };
+        for query in [
+            QueryBuilder::new(&store).pattern_v_r_v("x", "p", "y").limit(20).build(),
+            QueryBuilder::new(&store).pattern_v_r_v("x", "ghost", "y").limit(20).build(),
+            repeated,
+        ] {
+            let (tight, _) = run(
+                &store,
+                &query,
+                &rules,
+                &TopkConfig { tighten_threshold: true, min_weight: 0.0, ..Default::default() },
+            );
+            let (loose, _) = run(
+                &store,
+                &query,
+                &rules,
+                &TopkConfig { tighten_threshold: false, min_weight: 0.0, ..Default::default() },
+            );
+            assert_same_answers(&tight, &loose);
+            let (full, _) = expand::run(
+                &store,
+                &query,
+                &rules,
+                &ExpandOptions { max_depth: 2, min_weight: 0.0, max_rewritings: 1024 },
+            );
+            assert_same_answers(&tight, &full);
+        }
+    }
+
+    #[test]
+    fn anchored_patterns_serve_from_index_without_sorting() {
+        // The acceptance counter: an anchored-heavy query performs zero
+        // materialize-and-sort list builds; s-/o-bound patterns are
+        // anchored-index serves.
+        let mut b = XkgBuilder::new();
+        for i in 0..20u32 {
+            b.add_kg_resources(&format!("s{i}"), "p", "hub");
+            b.add_kg_resources(&format!("s{i}"), "q", &format!("o{i}"));
+        }
+        let store = b.build();
+        let queries = [
+            // s-bound (subject stratum, borrowed slice).
+            QueryBuilder::new(&store).pattern_r_r_v("s3", "p", "y").limit(5).build(),
+            // o-bound via a variable predicate: (?x ?p hub).
+            {
+                let mut qb = QueryBuilder::new(&store);
+                let x = QTerm::Var(qb.var("x"));
+                let pv = QTerm::Var(qb.var("pv"));
+                let hub = QTerm::Term(qb.resource("hub"));
+                qb.pattern(x, pv, hub).limit(5).build()
+            },
+        ];
+        for q in queries {
+            let (answers, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+            assert!(!answers.is_empty());
+            assert!(
+                metrics.anchored_serves > 0,
+                "anchored shapes must be served by the index: {metrics:?}"
+            );
+            assert_eq!(
+                metrics.posting_sorts, 0,
+                "the unbounded materialize-and-sort fallback must be unreachable: {metrics:?}"
+            );
+            assert_eq!(
+                metrics.ranged_serves, 0,
+                "these anchored lookups fit their groups — no range cutover expected: {metrics:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn selective_hub_probe_counts_as_ranged_serve_with_identical_answers() {
+        // A ground probe over hub terms whose exact permutation range is
+        // ≥4× smaller than every covering group takes the
+        // `ServeKind::Range` cutover. The cutover may only change the
+        // `ranged_serves` vs `anchored_serves` accounting — answers (and
+        // scores) must match the full-expansion reference exactly.
+        let mut b = XkgBuilder::new();
+        // Hub subject and hub object, each with many triples, so the sp
+        // probe's covering groups are all large while its exact match
+        // range is a single triple.
+        for i in 0..40u32 {
+            b.add_kg_resources("hubS", "p", &format!("o{i}"));
+            b.add_kg_resources(&format!("s{i}"), "p", "hubO");
+        }
+        b.add_kg_resources("hubS", "rare", "hubO");
+        let store = b.build();
+        let mut qb = QueryBuilder::new(&store);
+        let pv = QTerm::Var(qb.var("pv"));
+        let hub_s = QTerm::Term(qb.resource("hubS"));
+        let hub_o = QTerm::Term(qb.resource("hubO"));
+        // (hubS ?p hubO): so-shape, 1 exact match, covering groups of 41.
+        let q = qb.pattern(hub_s, pv, hub_o).limit(5).build();
+        let (answers, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
+        assert_eq!(answers.len(), 1);
+        assert!(
+            metrics.ranged_serves > 0,
+            "selective composite probe must take the range cutover: {metrics:?}"
+        );
+        assert_eq!(metrics.posting_sorts, 0, "{metrics:?}");
+        assert_same_answers(&answers, &reference(&store, &q, &RuleSet::new()));
+    }
+
+    #[test]
+    fn epsilon_zero_is_exact_with_no_approx_cutoffs() {
+        // ε = 0 must be the exact engine, bit-identical: same answers,
+        // same pull counts, and the approximate criterion never fires.
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let lectured = store.token("lectured at").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "rule4",
+            aff,
+            lectured,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        for query in [
+            QueryBuilder::new(&store).pattern_v_r_v("x", "affiliation", "y").limit(5).build(),
+            QueryBuilder::new(&store)
+                .pattern_v_r_v("x", "affiliation", "y")
+                .pattern_r_t_v("IAS", "housed in", "z")
+                .limit(10)
+                .build(),
+        ] {
+            let (exact, m_exact) = run(&store, &query, &rules, &TopkConfig::default());
+            let (eps0, m_eps0) = run(
+                &store,
+                &query,
+                &rules,
+                &TopkConfig { epsilon: 0.0, ..TopkConfig::default() },
+            );
+            assert_same_answers(&eps0, &exact);
+            assert_eq!(m_eps0.pulls, m_exact.pulls, "ε=0 must not change pull counts");
+            assert_eq!(m_eps0.approx_cutoffs, 0);
+            assert_eq!(m_exact.approx_cutoffs, 0);
+        }
+    }
+
+    #[test]
+    fn epsilon_mode_retires_negligible_tails_within_guarantee() {
+        // k exceeds the number of strong answers, so the exact engine
+        // can never establish a k-th score and must drain the weak
+        // relaxation's entire 200-entry list. The ε engine retires the
+        // stream as soon as its remaining mass (weak alternative weight
+        // 0.04 after the strong list drains) is within ε = 0.05 —
+        // forfeiting only answers provably ≤ ε.
+        let mut b = XkgBuilder::new();
+        let src = b.intern_source("d");
+        let p = b.dict_mut().resource("p");
+        let weak = b.dict_mut().token("weakly related");
+        let e = b.dict_mut().resource("E");
+        for i in 0..3u32 {
+            let o = b.dict_mut().resource(&format!("strong{i}"));
+            b.add_extracted(e, p, o, 0.9, src);
+        }
+        for i in 0..200u32 {
+            let o = b.dict_mut().resource(&format!("weak{i}"));
+            b.add_extracted(e, weak, o, 0.9, src);
+        }
+        let store = b.build();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "weak",
+            store.resource("p").unwrap(),
+            store.token("weakly related").unwrap(),
+            0.04,
+            RuleProvenance::UserDefined,
+        ));
+        // k above the total answer count (203): the exact engine never
+        // collects a k-th score, so nothing bounds the weak tail.
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("E", "p", "y")
+            .limit(300)
+            .build();
+        let cfg = TopkConfig { min_weight: 0.0, ..TopkConfig::default() };
+        let (exact, m_exact) = run(&store, &q, &rules, &cfg);
+        let (approx, m_approx) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig { epsilon: 0.05, ..cfg.clone() },
+        );
+        assert!(m_exact.pulls > 200, "exact must drain the weak tail: {m_exact:?}");
+        assert!(
+            m_approx.pulls < m_exact.pulls / 10,
+            "ε mode must retire the tail: {} vs {}",
+            m_approx.pulls,
+            m_exact.pulls
+        );
+        assert!(m_approx.approx_cutoffs > 0, "{m_approx:?}");
+        // Rank-wise guarantee: prob(approx[r]) ≥ prob(exact[r]) − ε.
+        for (r, e_ans) in exact.iter().enumerate() {
+            let pe = e_ans.score.exp();
+            let pa = approx.get(r).map_or(0.0, |a| a.score.exp());
+            assert!(
+                pa >= pe - 0.05 - 1e-9,
+                "rank {r}: approx {pa} not within ε of exact {pe}"
+            );
+        }
+        // The strong answers survive with their exact scores.
+        assert!(approx.len() >= 3);
+        for (a, e_ans) in approx.iter().take(3).zip(exact.iter().take(3)) {
+            assert_eq!(a.key, e_ans.key);
+            assert!((a.score - e_ans.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn epsilon_skips_hopeless_variants_before_opening_lists() {
+        // A structural variant whose best conceivable answer is ≤ ε is
+        // skipped by the admission check without a single posting-list
+        // open — even when no k-th answer exists yet.
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        let housed = store.token("housed in").unwrap();
+        let mut rules = RuleSet::new();
+        let (x, y, z) = (
+            trinit_relax::TTerm::Var(trinit_relax::RVar(0)),
+            trinit_relax::TTerm::Var(trinit_relax::RVar(1)),
+            trinit_relax::TTerm::Var(trinit_relax::RVar(2)),
+        );
+        rules.add(Rule::structural(
+            "negligible structural",
+            vec![trinit_relax::Template::new(
+                x,
+                trinit_relax::TTerm::Const(aff),
+                y,
+            )],
+            vec![
+                trinit_relax::Template::new(x, trinit_relax::TTerm::Const(aff), z),
+                trinit_relax::Template::new(z, trinit_relax::TTerm::Const(housed), y),
+            ],
+            0.0001,
+            RuleProvenance::UserDefined,
+        ));
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("MaxPlanck", "affiliation", "y")
+            .limit(50) // k far above the answer count: no kth to prune with
+            .build();
+        let cfg = TopkConfig { min_weight: 0.0, ..TopkConfig::default() };
+        let (exact, m_exact) = run(&store, &q, &rules, &cfg);
+        let (approx, m_approx) = run(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig { epsilon: 0.01, ..cfg },
+        );
+        assert!(m_approx.approx_cutoffs > 0, "{m_approx:?}");
+        assert!(m_approx.pulls < m_exact.pulls, "{m_approx:?} vs {m_exact:?}");
+        for (r, e_ans) in exact.iter().enumerate() {
+            let pe = e_ans.score.exp();
+            let pa = approx.get(r).map_or(0.0, |a| a.score.exp());
+            assert!(pa >= pe - 0.01 - 1e-9, "rank {r}: {pa} vs {pe}");
+        }
+    }
+}

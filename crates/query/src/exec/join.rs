@@ -1,0 +1,452 @@
+//! Stage 2 of the top-k operator pipeline: the **hash-partitioned rank
+//! join**.
+//!
+//! Consumes emissions from any [`RankSource`] (stage 1,
+//! [`crate::exec::merge`]) and combines them across a variant's streams,
+//! HRJN-style: each new item joins against the seen items of the other
+//! streams. Each [`Stream`] keeps its seen items partitioned by the
+//! values of its *join variables* (variables shared with other streams
+//! in the variant), so an arriving item probes exactly one bucket per
+//! stream instead of scanning every seen item — the Yannakakis-style
+//! observation that only join-compatible partners can ever merge. Items
+//! whose relaxed form dropped a join variable land in a small
+//! always-scanned residual list, and streams with no shared variables
+//! degrade to a single bucket (a true cross product).
+//!
+//! The combination loop works in a single scratch [`Bindings`] with
+//! undo-based backtracking; a combined `Bindings` is allocated once per
+//! *successful* full join, never speculatively.
+//!
+//! This module knows nothing about thresholds or termination — pulls
+//! are sequenced by the driver ([`crate::exec::drive`]) under the
+//! policy of [`crate::exec::threshold`]. The seams it exposes upward
+//! are [`Stream`] (per-stream join state plus the frontier /
+//! contribution bounds the threshold reads) and [`join_with_others`]
+//! (combine one arrival against the other streams' partitions).
+
+use std::collections::HashMap;
+
+use trinit_relax::{QPattern, QTerm, RuleId, VarId};
+use trinit_xkg::{TermId, TripleId};
+
+use crate::answer::{Answer, AnswerCollector, Bindings, Derivation};
+use crate::exec::merge::RankSource;
+use crate::exec::{ExecMetrics, TripleLookup};
+use crate::score::LOG_ZERO;
+
+/// An item seen by one rank-join stream: the (few) variable bindings its
+/// triple induced, plus provenance for derivations.
+#[derive(Debug, Clone)]
+pub(crate) struct SeenItem {
+    /// `(variable, value)` pairs bound by this item's pattern — at most
+    /// three, deduplicated. Stored as pairs (not a dense [`Bindings`])
+    /// so joining is an O(|pairs|) probe into the shared scratch
+    /// assignment instead of a per-candidate vector clone.
+    pub(crate) bound: Vec<(VarId, TermId)>,
+    pub(crate) log_score: f64,
+    pub(crate) pattern: QPattern,
+    pub(crate) triple: TripleId,
+    pub(crate) trace: Vec<RuleId>,
+    pub(crate) weight: f64,
+}
+
+/// One rank-join stream: a stage-1 source plus the partitioned seen-item
+/// state the join probes and the bounds the threshold policy reads.
+pub(crate) struct Stream<M> {
+    pub(crate) merge: M,
+    pub(crate) seen: Vec<SeenItem>,
+    /// This stream's join variables: variables of its variant pattern
+    /// shared with at least one other stream. Sorted, deduplicated; the
+    /// partition key is their value tuple.
+    pub(crate) join_vars: Vec<VarId>,
+    /// Seen items that bind every join variable, partitioned by their
+    /// join-key values. With no join variables all items share the empty
+    /// key (a deliberate single-bucket cross product).
+    pub(crate) buckets: HashMap<Vec<TermId>, Vec<u32>>,
+    /// Seen items whose (relaxed) pattern dropped a join variable; they
+    /// are compatible with any key value there, so every probe scans
+    /// this residual list as well.
+    pub(crate) partial: Vec<u32>,
+    pub(crate) best_log: f64,
+    pub(crate) exhausted: bool,
+    /// Retired by the termination policy: no unseen item of this stream
+    /// can improve the top-k (exact capping) or everything it can still
+    /// contribute is within the ε tolerance (approximate capping), so it
+    /// is no longer pulled (its seen items keep participating in other
+    /// streams' joins).
+    pub(crate) capped: bool,
+}
+
+impl<M: RankSource> Stream<M> {
+    /// A fresh stream over `merge` with the given join variables.
+    pub(crate) fn new(merge: M, join_vars: Vec<VarId>) -> Stream<M> {
+        Stream {
+            merge,
+            seen: Vec::new(),
+            join_vars,
+            buckets: HashMap::new(),
+            partial: Vec::new(),
+            best_log: LOG_ZERO,
+            exhausted: false,
+            capped: false,
+        }
+    }
+
+    /// Upper bound (log) on this stream's next emission; [`LOG_ZERO`]
+    /// once exhausted.
+    pub(crate) fn frontier_log(&self) -> f64 {
+        if self.exhausted {
+            LOG_ZERO
+        } else {
+            self.merge.peek_bound().map_or(LOG_ZERO, crate::score::ln_weight)
+        }
+    }
+
+    /// Upper bound on any item this stream can contribute.
+    pub(crate) fn contribution_bound(&self) -> f64 {
+        if self.seen.is_empty() {
+            self.frontier_log()
+        } else {
+            self.best_log
+        }
+    }
+
+    /// Remembers an item, filing it under its join-key partition.
+    pub(crate) fn push_seen(&mut self, item: SeenItem) {
+        if self.seen.is_empty() {
+            self.best_log = item.log_score;
+        }
+        let idx = self.seen.len() as u32;
+        let mut key = Vec::with_capacity(self.join_vars.len());
+        let mut complete = true;
+        for &v in &self.join_vars {
+            match item.bound.iter().find(|(u, _)| *u == v) {
+                Some(&(_, t)) => key.push(t),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            self.buckets.entry(key).or_default().push(idx);
+        } else {
+            self.partial.push(idx);
+        }
+        self.seen.push(item);
+    }
+}
+
+/// The `(variable, value)` pairs a pattern induces against a concrete
+/// triple, deduplicated. Returns `None` if a repeated variable meets two
+/// different values (cannot happen for triples from the pattern's own
+/// match list, which pre-filters repetition, but kept defensive).
+pub(crate) fn bind_pairs(
+    pattern: &QPattern,
+    lookup: &dyn TripleLookup,
+    triple: TripleId,
+) -> Option<Vec<(VarId, TermId)>> {
+    let t = lookup.triple_of(triple);
+    let mut out: Vec<(VarId, TermId)> = Vec::with_capacity(3);
+    for (slot, value) in pattern.slots().into_iter().zip([t.s, t.p, t.o]) {
+        if let QTerm::Var(v) = slot {
+            match out.iter().find(|(u, _)| *u == v) {
+                Some(&(_, existing)) => {
+                    if existing != value {
+                        return None;
+                    }
+                }
+                None => out.push((v, value)),
+            }
+        }
+    }
+    Some(out)
+}
+
+/// The join variables of each pattern: variables shared with at least
+/// one other pattern of the variant. Relaxed alternatives only rename
+/// rule-introduced *fresh* variables (into per-stream disjoint ranges),
+/// so shared variables are exactly the shared variables of the variant
+/// patterns themselves.
+pub(crate) fn join_vars_of(patterns: &[QPattern]) -> Vec<Vec<VarId>> {
+    patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let mut join_vars: Vec<VarId> = p.vars().collect();
+            join_vars.sort_unstable();
+            join_vars.dedup();
+            join_vars.retain(|v| {
+                patterns
+                    .iter()
+                    .enumerate()
+                    .any(|(j, q)| j != i && q.vars().any(|w| w == *v))
+            });
+            join_vars
+        })
+        .collect()
+}
+
+/// The first variable id beyond every variable used by `patterns`.
+pub(crate) fn max_var_of(patterns: &[QPattern]) -> u16 {
+    patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m + 1)
+}
+
+/// Binds an item's `(variable, value)` pairs into the scratch
+/// assignment, recording newly bound variables in `undo`. On conflict,
+/// rolls back the partial binds and returns `false` — nothing is
+/// allocated either way.
+fn bind_all(scratch: &mut Bindings, bound: &[(VarId, TermId)], undo: &mut Vec<VarId>) -> bool {
+    for &(v, t) in bound {
+        if !scratch.try_bind_recorded(v, t, undo) {
+            for &u in undo.iter() {
+                scratch.unbind(u);
+            }
+            return false;
+        }
+    }
+    true
+}
+
+/// The join-key values of `join_vars` under the scratch assignment, or
+/// `None` if some join variable is still unbound (the accumulated
+/// streams do not cover it, so every partition stays reachable).
+fn probe_key(scratch: &Bindings, join_vars: &[VarId]) -> Option<Vec<TermId>> {
+    let mut key = Vec::with_capacity(join_vars.len());
+    for &v in join_vars {
+        key.push(scratch.get(v)?);
+    }
+    Some(key)
+}
+
+/// Depth-first combination over the other streams' seen items. Each
+/// stream is entered through its join-key partition: one hash probe
+/// selects the only bucket whose items can merge with the accumulated
+/// assignment (plus the residual list of items missing a join variable).
+/// The scratch assignment is shared across the whole recursion with
+/// undo-based backtracking; a combined `Bindings` is only materialized
+/// inside `emit`, once per successful full join.
+#[allow(clippy::too_many_arguments)]
+fn combine<'s, M>(
+    streams: &'s [Stream<M>],
+    skip: usize,
+    idx: usize,
+    scratch: &mut Bindings,
+    acc_score: f64,
+    acc_items: &mut Vec<&'s SeenItem>,
+    emit: &mut dyn FnMut(&Bindings, f64, &[&SeenItem]),
+    metrics: &mut ExecMetrics,
+) {
+    if idx == streams.len() {
+        emit(scratch, acc_score, acc_items);
+        return;
+    }
+    if idx == skip {
+        combine(
+            streams, skip, idx + 1, scratch, acc_score, acc_items, emit, metrics,
+        );
+        return;
+    }
+    let stream = &streams[idx];
+    let mut undo: Vec<VarId> = Vec::new();
+    let try_candidate = |item: &'s SeenItem,
+                             scratch: &mut Bindings,
+                             acc_items: &mut Vec<&'s SeenItem>,
+                             undo: &mut Vec<VarId>,
+                             emit: &mut dyn FnMut(&Bindings, f64, &[&SeenItem]),
+                             metrics: &mut ExecMetrics| {
+        metrics.join_candidates += 1;
+        undo.clear();
+        if !bind_all(scratch, &item.bound, undo) {
+            return;
+        }
+        acc_items.push(item);
+        combine(
+            streams,
+            skip,
+            idx + 1,
+            scratch,
+            acc_score + item.log_score,
+            acc_items,
+            emit,
+            metrics,
+        );
+        acc_items.pop();
+        for &v in undo.iter() {
+            scratch.unbind(v);
+        }
+    };
+    match probe_key(scratch, &stream.join_vars) {
+        Some(key) => {
+            if let Some(bucket) = stream.buckets.get(&key) {
+                for &i in bucket {
+                    try_candidate(
+                        &stream.seen[i as usize],
+                        scratch,
+                        acc_items,
+                        &mut undo,
+                        emit,
+                        metrics,
+                    );
+                }
+            }
+            for &i in &stream.partial {
+                try_candidate(
+                    &stream.seen[i as usize],
+                    scratch,
+                    acc_items,
+                    &mut undo,
+                    emit,
+                    metrics,
+                );
+            }
+        }
+        None => {
+            for item in &stream.seen {
+                try_candidate(item, scratch, acc_items, &mut undo, emit, metrics);
+            }
+        }
+    }
+}
+
+/// Joins one arrival against the other streams' seen partitions,
+/// offering every completed combination to the collector.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn join_with_others<M>(
+    streams: &[Stream<M>],
+    new_stream: usize,
+    new_item: &SeenItem,
+    variant_log: f64,
+    variant_trace: &[RuleId],
+    projection: &[VarId],
+    scratch: &mut Bindings,
+    collector: &mut AnswerCollector,
+    metrics: &mut ExecMetrics,
+) {
+    let mut base_undo: Vec<VarId> = Vec::new();
+    if !bind_all(scratch, &new_item.bound, &mut base_undo) {
+        return; // scratch starts unbound, so this cannot conflict; defensive
+    }
+    let mut acc_items: Vec<&SeenItem> = vec![new_item];
+    let base_score = new_item.log_score + variant_log;
+    combine(
+        streams,
+        new_stream,
+        0,
+        scratch,
+        base_score,
+        &mut acc_items,
+        &mut |bindings, score, items| {
+            let mut rules: Vec<RuleId> = variant_trace.to_vec();
+            let mut rule_weight = 1.0;
+            for item in items {
+                rules.extend_from_slice(&item.trace);
+                rule_weight *= item.weight;
+            }
+            // Variant weight folds into the derivation weight as well.
+            if variant_log.is_finite() {
+                rule_weight *= variant_log.exp();
+            }
+            collector.offer(Answer {
+                key: bindings.project(projection),
+                bindings: bindings.clone(),
+                score,
+                derivation: Derivation {
+                    triples: items.iter().map(|it| (it.pattern, it.triple)).collect(),
+                    rules,
+                    rule_weight,
+                },
+            });
+        },
+        metrics,
+    );
+    for &v in &base_undo {
+        scratch.unbind(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::drive::TopkConfig;
+    use crate::exec::merge::{pattern_alternatives, IncrementalMerge};
+    use crate::exec::testfix::store;
+    use crate::score::PostingCache;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use trinit_relax::RuleSet;
+
+    #[test]
+    fn partition_buckets_and_residual_list() {
+        // White-box: items binding every join variable land in the
+        // keyed bucket; items whose (relaxed) pattern dropped a join
+        // variable go to the always-scanned residual list.
+        let store = store();
+        let p = store.resource("affiliation").unwrap();
+        let pattern = QPattern::new(QTerm::Var(VarId(0)), QTerm::Term(p), QTerm::Var(VarId(1)));
+        let alts = pattern_alternatives(&pattern, &RuleSet::new(), &TopkConfig::default(), 10);
+        let cache = Rc::new(RefCell::new(PostingCache::new()));
+        let mut stream = Stream {
+            merge: IncrementalMerge::new(&store, alts, cache, None, true, None),
+            seen: Vec::new(),
+            join_vars: vec![VarId(0)],
+            buckets: HashMap::new(),
+            partial: Vec::new(),
+            best_log: LOG_ZERO,
+            exhausted: false,
+            capped: false,
+        };
+        let einstein = store.resource("AlbertEinstein").unwrap();
+        let ias = store.resource("IAS").unwrap();
+        let item = |bound: Vec<(VarId, TermId)>, score: f64| SeenItem {
+            bound,
+            log_score: score,
+            pattern,
+            triple: TripleId(0),
+            trace: Vec::new(),
+            weight: 1.0,
+        };
+        stream.push_seen(item(vec![(VarId(0), einstein), (VarId(1), ias)], -0.1));
+        stream.push_seen(item(vec![(VarId(1), ias)], -0.2)); // dropped ?x
+        stream.push_seen(item(vec![(VarId(0), einstein), (VarId(1), einstein)], -0.3));
+        assert_eq!(stream.buckets.get(&vec![einstein]), Some(&vec![0u32, 2]));
+        assert_eq!(stream.partial, vec![1u32]);
+        assert_eq!(stream.best_log, -0.1);
+
+        // Probe keys resolve through the scratch assignment.
+        let mut scratch = Bindings::new(4);
+        assert_eq!(probe_key(&scratch, &stream.join_vars), None, "unbound join var");
+        scratch.bind(VarId(0), einstein);
+        assert_eq!(probe_key(&scratch, &stream.join_vars), Some(vec![einstein]));
+        assert_eq!(probe_key(&scratch, &[]), Some(Vec::new()), "cross product key");
+    }
+
+    #[test]
+    fn bind_pairs_dedupes_and_detects_conflicts() {
+        let store = store();
+        let aff = store.resource("affiliation").unwrap();
+        // Find the (AlbertEinstein, affiliation, IAS) triple.
+        let einstein = store.resource("AlbertEinstein").unwrap();
+        let triple = store
+            .iter()
+            .find(|(_, t)| t.p == aff && t.s == einstein)
+            .map(|(id, _)| id)
+            .unwrap();
+        let v = QTerm::Var(VarId(0));
+        let w = QTerm::Var(VarId(1));
+        let pairs = bind_pairs(&QPattern::new(v, QTerm::Term(aff), w), &store, triple).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, VarId(0));
+        assert_eq!(pairs[0].1, einstein);
+        // Repeated variable over distinct slot values: conflict.
+        assert!(bind_pairs(&QPattern::new(v, QTerm::Term(aff), v), &store, triple).is_none());
+        // Ground pattern binds nothing.
+        let t = store.triple(triple);
+        let ground = QPattern::new(QTerm::Term(t.s), QTerm::Term(t.p), QTerm::Term(t.o));
+        assert!(bind_pairs(&ground, &store, triple).unwrap().is_empty());
+    }
+}

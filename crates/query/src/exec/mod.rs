@@ -12,10 +12,22 @@
 //! * [`topk`] — the paper's incremental top-k processor: per-pattern
 //!   incremental merge over lazily opened relaxations (after Theobald et
 //!   al. \[11\]) combined by a rank join with threshold-based termination.
+//!
+//! The top-k processor is a staged operator pipeline spread over four
+//! modules — [`merge`] (sorted-access sources), [`join`] (the
+//! hash-partitioned rank join), [`threshold`] (termination policy,
+//! including the ε-approximate mass criterion), and [`drive`] (variant
+//! enumeration and the pull loop). [`topk`] remains as a thin
+//! re-export façade; [`sharded`] composes the same stages around a
+//! cross-shard merge source.
 
+pub mod drive;
 pub mod exact;
 pub mod expand;
+pub mod join;
+pub mod merge;
 pub mod sharded;
+pub mod threshold;
 pub mod topk;
 
 /// Resolves triple ids to triples during the rank join.
@@ -80,6 +92,15 @@ pub struct ExecMetrics {
     /// every shape, so this stays 0; a nonzero count means a pattern
     /// shape regressed onto the unbounded sort path.
     pub posting_sorts: usize,
+    /// Rank-join streams and query variants retired by the
+    /// ε-approximate remaining-mass criterion
+    /// ([`crate::exec::drive::TopkConfig::epsilon`]). Always 0 in exact
+    /// (ε = 0) runs.
+    pub approx_cutoffs: usize,
+    /// Per-shard seed tasks of this query executed by a worker other
+    /// than the query's owning worker under the work-stealing batch
+    /// scheduler (0 outside stolen batch execution).
+    pub seed_steals: usize,
 }
 
 impl ExecMetrics {
@@ -97,5 +118,83 @@ impl ExecMetrics {
         self.anchored_serves += other.anchored_serves;
         self.ranged_serves += other.ranged_serves;
         self.posting_sorts += other.posting_sorts;
+        self.approx_cutoffs += other.approx_cutoffs;
+        self.seed_steals += other.seed_steals;
+    }
+}
+
+/// Shared store fixture for the pipeline stages' unit tests.
+#[cfg(test)]
+pub(crate) mod testfix {
+    use trinit_xkg::{XkgBuilder, XkgStore};
+
+    /// The small paper-flavoured store the stage tests share: curated
+    /// KG facts plus two extractions with sub-1.0 confidence.
+    pub(crate) fn store() -> XkgStore {
+        let mut b = XkgBuilder::new();
+        b.add_kg_resources("AlfredKleiner", "hasStudent", "AlbertEinstein");
+        b.add_kg_resources("AlbertEinstein", "affiliation", "IAS");
+        b.add_kg_resources("MaxPlanck", "affiliation", "BerlinUniversity");
+        let src = b.intern_source("doc");
+        let s = b.dict_mut().resource("IAS");
+        let housed = b.dict_mut().token("housed in");
+        let o = b.dict_mut().resource("PrincetonUniversity");
+        b.add_extracted(s, housed, o, 0.9, src);
+        let s2 = b.dict_mut().resource("AlbertEinstein");
+        let lectured = b.dict_mut().token("lectured at");
+        b.add_extracted(s2, lectured, o, 0.7, src);
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ExecMetrics;
+
+    /// Merge completeness: constructed with *every* field set (as a
+    /// full struct literal, so adding a field without updating
+    /// [`ExecMetrics::merge`] — and this test — fails to compile),
+    /// merging into a default must reproduce every value, and merging
+    /// two full sets must sum each field. A field silently dropped by
+    /// `merge` fails the round-trip assertion.
+    #[test]
+    fn metrics_merge_covers_every_field() {
+        let full = ExecMetrics {
+            posting_lists_built: 1,
+            posting_cache_hits: 2,
+            shared_cache_hits: 3,
+            postings_scanned: 4,
+            relaxations_opened: 5,
+            rewritings_evaluated: 6,
+            join_candidates: 7,
+            pulls: 8,
+            early_cutoffs: 9,
+            anchored_serves: 10,
+            ranged_serves: 11,
+            posting_sorts: 12,
+            approx_cutoffs: 13,
+            seed_steals: 14,
+        };
+        let mut merged = ExecMetrics::default();
+        merged.merge(&full);
+        assert_eq!(merged, full, "merge into default must reproduce every field");
+        merged.merge(&full);
+        let doubled = ExecMetrics {
+            posting_lists_built: 2,
+            posting_cache_hits: 4,
+            shared_cache_hits: 6,
+            postings_scanned: 8,
+            relaxations_opened: 10,
+            rewritings_evaluated: 12,
+            join_candidates: 14,
+            pulls: 16,
+            early_cutoffs: 18,
+            anchored_serves: 20,
+            ranged_serves: 22,
+            posting_sorts: 24,
+            approx_cutoffs: 26,
+            seed_steals: 28,
+        };
+        assert_eq!(merged, doubled, "merge must sum every field");
     }
 }

@@ -1,15 +1,16 @@
-//! Partitioned top-k execution: the rank join over shard slices.
+//! Partitioned top-k execution: the staged pipeline over shard slices.
 //!
 //! A sharded store splits the triple table into N independent
 //! [`XkgStore`] slices (subject-hash partitioned, sharing one term
 //! dictionary — see `trinit-xkg`'s `XkgBuilder::build_sharded`). This
-//! module runs the *same* incremental top-k algorithm over all slices at
-//! once:
+//! module runs the *same* staged operator pipeline over all slices at
+//! once by swapping only stage 1:
 //!
 //! * each query pattern gets one [`ShardedMerge`] — a merge-of-merges
 //!   holding one [`IncrementalMerge`] per shard, emitting the union of
 //!   the shards' posting streams in globally descending probability
-//!   order;
+//!   order behind the same [`RankSource`] seam the monolithic source
+//!   implements;
 //! * probabilities are normalized by a [`GlobalTotals`] provider, so a
 //!   shard's emissions carry exactly the probability the monolithic
 //!   engine would assign them (a shard-local denominator would inflate
@@ -17,12 +18,16 @@
 //! * the emitted triple ids are remapped into a global id space
 //!   (per-shard offset + local id), and the rank join resolves them
 //!   through a caller-supplied [`TripleLookup`];
-//! * the join, threshold, and capping logic is byte-for-byte the
-//!   monolithic engine's ([`topk::rank_join`] is generic over the
-//!   stream source). Each shard's posting-index head bounds enter the
-//!   merge exactly as the single store's do, so the global k-th answer
-//!   terminates the join as soon as it dominates every shard's
-//!   remaining frontier.
+//! * stages 2–4 — the join, threshold/capping policy, and the driver
+//!   loop — are literally the monolithic engine's code:
+//!   [`run_partitioned`] calls the same
+//!   [`drive::run_pipeline`](crate::exec::drive::run_pipeline) with a
+//!   `ShardedMerge` factory instead of an `IncrementalMerge` factory.
+//!   Each shard's posting-index head bounds enter the merge exactly as
+//!   the single store's do, so the global k-th answer terminates the
+//!   join as soon as it dominates every shard's remaining frontier —
+//!   and the ε-approximate mass criterion sums the shards' remaining
+//!   masses into one envelope with the same guarantee.
 //!
 //! **Soundness / completeness.** The union of the shards' match sets is
 //! exactly the monolithic match set (the partition is total and
@@ -39,13 +44,12 @@ use std::rc::Rc;
 use trinit_relax::{ConditionOracle, RuleSet};
 use trinit_xkg::{TripleId, XkgStore};
 
-use crate::answer::{Answer, AnswerCollector};
+use crate::answer::Answer;
 use crate::ast::Query;
-use crate::exec::topk::{
-    self, IncrementalMerge, Merged, RankSource, Stream, TopkConfig,
-};
+use crate::exec::drive::{self, TopkConfig};
+use crate::exec::merge::{IncrementalMerge, Merged, RankSource};
 use crate::exec::{ExecMetrics, TripleLookup};
-use crate::score::{ln_weight, GlobalTotals, PostingCache, SharedPostingCache};
+use crate::score::{GlobalTotals, PostingCache, SharedPostingCache};
 
 /// Per-pattern sorted access over every shard of a partitioned store:
 /// one [`IncrementalMerge`] per shard, pulled head-first across shards.
@@ -101,6 +105,18 @@ impl RankSource for ShardedMerge<'_> {
             return Some(merged);
         }
     }
+
+    fn remaining_mass(&self) -> f64 {
+        // The shards' match sets are disjoint, so their per-slice mass
+        // envelopes sum to a sound envelope on the union stream: the
+        // sum dominates each shard's own mass, hence every future
+        // emission, and also the collective unconsumed mass. O(shards)
+        // of O(1) reads — the same order as the head election every
+        // emission already pays, and each shard's envelope moves inside
+        // `tighten_head`/`next_merged`, so there is no cheaper place to
+        // maintain the sum without threading deltas out of them.
+        self.shards.iter().map(IncrementalMerge::remaining_mass).sum()
+    }
 }
 
 /// The result of one partitioned execution.
@@ -150,14 +166,6 @@ pub fn run_partitioned(
     }
     let n_shards = shards.len();
     let mut metrics = ExecMetrics::default();
-    let projection = query.effective_projection();
-    let k = query.k.max(1);
-    // Same tracked collector as the monolithic engine: the per-pull
-    // k-th-score read is O(1), zero allocation.
-    let mut collector = AnswerCollector::tracking(k);
-    for answer in seed {
-        collector.offer(answer);
-    }
 
     // One per-execution posting cache per shard: a cached list holds one
     // slice's entries, so the cache key space is per shard.
@@ -166,66 +174,46 @@ pub fn run_partitioned(
         .collect();
     let shard_metrics = Rc::new(RefCell::new(vec![ExecMetrics::default(); n_shards]));
 
-    let variants = topk::structural_variants(oracle, &query.patterns, rules, cfg);
-    for (patterns, variant_weight, variant_trace) in variants {
-        metrics.rewritings_evaluated += 1;
-        if patterns.is_empty() {
-            continue;
-        }
-        let max_var = topk::max_var_of(&patterns);
-        let join_vars = topk::join_vars_of(&patterns);
-        let mut streams: Vec<Stream<ShardedMerge<'_>>> = patterns
-            .iter()
-            .zip(join_vars)
-            .enumerate()
-            .map(|(i, (pattern, join_vars))| {
-                // The same fresh-variable base per pattern across shards:
-                // every shard derives the identical alternative set.
-                let fresh_base = max_var + (i as u16) * 8;
-                let merges = (0..n_shards)
-                    .map(|s| {
-                        IncrementalMerge::for_pattern(
-                            shards[s],
-                            pattern,
-                            rules,
-                            cfg,
-                            fresh_base,
-                            Rc::clone(&exec_caches[s]),
-                            shard_caches.map(|c| &c[s]),
-                            Some(totals),
-                        )
-                    })
-                    .collect();
-                Stream::new(
-                    ShardedMerge {
-                        shards: merges,
-                        offsets,
-                        metrics: Rc::clone(&shard_metrics),
-                    },
-                    join_vars,
-                )
-            })
-            .collect();
-        topk::rank_join(
-            lookup,
-            cfg,
-            &mut streams,
-            ln_weight(variant_weight),
-            &variant_trace,
-            &projection,
-            k,
-            max_var as usize + 64,
-            &mut collector,
-            &mut metrics,
-        );
-    }
+    // The same pipeline as the monolithic engine, assembled around a
+    // cross-shard stage-1 source: one IncrementalMerge per shard per
+    // pattern, unioned by ShardedMerge behind the RankSource seam.
+    let answers = drive::run_pipeline(
+        lookup,
+        oracle,
+        query,
+        rules,
+        cfg,
+        seed,
+        &mut metrics,
+        |pattern, fresh_base| {
+            let merges = (0..n_shards)
+                .map(|s| {
+                    IncrementalMerge::for_pattern(
+                        shards[s],
+                        pattern,
+                        rules,
+                        cfg,
+                        fresh_base,
+                        Rc::clone(&exec_caches[s]),
+                        shard_caches.map(|c| &c[s]),
+                        Some(totals),
+                    )
+                })
+                .collect();
+            ShardedMerge {
+                shards: merges,
+                offsets,
+                metrics: Rc::clone(&shard_metrics),
+            }
+        },
+    );
 
     let per_shard = shard_metrics.borrow().clone();
     for m in &per_shard {
         metrics.merge(m);
     }
     PartitionedRun {
-        answers: collector.into_top_k(query.k),
+        answers,
         metrics,
         per_shard,
     }

@@ -1,0 +1,250 @@
+//! Stage 3 of the top-k operator pipeline: **termination policy** —
+//! the tightened threshold, stream capping, and the remaining-mass
+//! envelope that powers the ε-approximate mode.
+//!
+//! The driver ([`crate::exec::drive`]) consults a [`ThresholdPolicy`]
+//! at two points: once per variant before any posting list is opened
+//! ([`ThresholdPolicy::admit_variant`]) and once per pull round
+//! ([`ThresholdPolicy::after_round`]). The policy owns every decision
+//! about *stopping*; it never touches the join state beyond the
+//! `capped` flags.
+//!
+//! ## The exact criterion
+//!
+//! The classic rank-join threshold `T = max_i (frontier_i + Σ_{j≠i}
+//! best_j)` (log space) bounds every unseen combination; processing
+//! stops once the k-th answer's score reaches it. With
+//! `tighten_threshold`, the store's precomputed posting index feeds the
+//! bound (exact head probabilities for unopened alternatives, variant
+//! pruning, per-stream capping); answers are provably identical either
+//! way — tightening only reduces pulls.
+//!
+//! Per round, the capping pass needs every stream's "others"
+//! contribution sum. These are maintained as prefix/suffix sums over
+//! the per-stream contribution bounds — O(streams) per round rather
+//! than the O(streams²) of recomputing each exclusion sum from scratch.
+//! For up to three streams the floating-point result is identical to
+//! the direct exclusion sum; at higher arity the summation associates
+//! differently, an ULP-level difference between two equally sound
+//! bounds on the same exact quantity.
+//!
+//! ## The ε-approximate criterion (mass envelope, load-bearing)
+//!
+//! With [`TopkConfig::epsilon`] ε > 0, the merge stage's O(1)
+//! remaining-mass envelope ([`RankSource::remaining_mass`]) becomes the
+//! termination criterion instead of a diagnostic. A stream `i` is
+//! retired as soon as
+//!
+//! ```text
+//! variant_w × mass_i × Π_{j≠i} best_j ≤ ε        (probability space)
+//! ```
+//!
+//! where `mass_i` bounds every future emission of `i` (it dominates the
+//! frontier — property-pinned in [`crate::exec::merge`]) and `best_j`
+//! bounds every item, seen or unseen, of stream `j` (emissions are
+//! descending, so the first bounds the rest; for unseeded streams the
+//! frontier does). Any answer not found therefore needed an unseen item
+//! of some retired stream and has probability ≤ ε. Returned answers
+//! carry their exact scores, so for every rank `r`:
+//!
+//! > `prob(approx[r]) ≥ prob(exact[r]) − ε`
+//!
+//! (If `prob(exact[r]) > ε`, none of the exact top-(r+1) can have been
+//! forfeited — each would have needed a retired stream's unseen item,
+//! bounding it by ε — so `approx[r] ≥ exact[r]`; otherwise the claim is
+//! trivial.) The same argument skips whole variants whose best possible
+//! answer is ≤ ε before opening a single posting list. With ε = 0 the
+//! criterion is `≤ ln(0) = -∞`, which never fires: the ε = 0 run is
+//! bit-identical — answers *and* pull counts — to the exact engine
+//! (property-pinned monolithic and at 1/2/4/7 shards).
+//!
+//! Unlike the per-item frontier (which the exact path caps on), the
+//! mass envelope can retire a stream whose *aggregate* tail is
+//! negligible even while its frontier still exceeds the k-th answer —
+//! the pull reduction recorded in `BENCH_e9.json`. Retirements by this
+//! criterion are counted in [`ExecMetrics::approx_cutoffs`]; exact
+//! retirements stay in [`ExecMetrics::early_cutoffs`].
+//!
+//! [`TopkConfig::epsilon`]: crate::exec::drive::TopkConfig::epsilon
+//! [`RankSource::remaining_mass`]: crate::exec::merge::RankSource::remaining_mass
+
+use crate::answer::AnswerCollector;
+use crate::exec::drive::TopkConfig;
+use crate::exec::join::Stream;
+use crate::exec::merge::RankSource;
+use crate::exec::ExecMetrics;
+use crate::score::{ln_weight, LOG_ZERO};
+
+/// What the policy decided after a pull round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RoundVerdict {
+    /// Keep pulling.
+    Continue,
+    /// The top-k is settled (within ε, if ε > 0): stop this variant's
+    /// join loop normally.
+    Done,
+    /// A stream with no seen items was retired — no combination of this
+    /// variant can ever complete; abandon the variant immediately.
+    DeadVariant,
+}
+
+/// Per-variant termination policy: owns the threshold computation, the
+/// capping decisions, and the round-scratch buffers.
+pub(crate) struct ThresholdPolicy {
+    tighten: bool,
+    /// `ln ε` — the approximate mode's forfeit tolerance in log space.
+    /// [`LOG_ZERO`] (ε = 0) disables the criterion: no comparison
+    /// against it can ever succeed, keeping the exact path bit-identical.
+    ln_eps: f64,
+    k: usize,
+    /// Round scratch: per-stream contribution bounds and their
+    /// prefix/suffix running totals (lengths `n` and `n + 1`).
+    contrib: Vec<f64>,
+    prefix: Vec<f64>,
+    suffix: Vec<f64>,
+}
+
+impl ThresholdPolicy {
+    /// A policy for one variant with `n` streams.
+    pub(crate) fn new(cfg: &TopkConfig, k: usize, n: usize) -> ThresholdPolicy {
+        ThresholdPolicy {
+            tighten: cfg.tighten_threshold,
+            ln_eps: ln_weight(cfg.epsilon),
+            k,
+            contrib: vec![0.0; n],
+            prefix: vec![0.0; n + 1],
+            suffix: vec![0.0; n + 1],
+        }
+    }
+
+    /// Variant admission, checked before any posting list is opened.
+    /// Every answer of the variant scores at most `variant_weight × Π_i
+    /// (best emission of stream i)`, and each stream's initial frontier
+    /// is exactly that head bound. Returns `false` (and counts the
+    /// cutoff) if the k-th collected answer already matches it
+    /// (head-bound variant pruning, tightened mode) or if even the best
+    /// possible answer is within the ε tolerance (approximate mode).
+    pub(crate) fn admit_variant<M: RankSource>(
+        &self,
+        streams: &[Stream<M>],
+        variant_log: f64,
+        collector: &AnswerCollector,
+        metrics: &mut ExecMetrics,
+    ) -> bool {
+        let kth = if self.tighten {
+            collector.kth_score(self.k)
+        } else {
+            None
+        };
+        if kth.is_none() && self.ln_eps <= LOG_ZERO {
+            return true;
+        }
+        let bound: f64 = variant_log + streams.iter().map(Stream::frontier_log).sum::<f64>();
+        if let Some(kth) = kth {
+            if kth >= bound {
+                metrics.early_cutoffs += 1;
+                return false;
+            }
+        }
+        if self.ln_eps > LOG_ZERO && bound <= self.ln_eps {
+            metrics.approx_cutoffs += 1;
+            return false;
+        }
+        true
+    }
+
+    /// The per-round termination pass: recomputes the contribution
+    /// prefix/suffix sums, evaluates the global threshold, and runs the
+    /// exact and ε capping criteria.
+    pub(crate) fn after_round<M: RankSource>(
+        &mut self,
+        streams: &mut [Stream<M>],
+        variant_log: f64,
+        collector: &AnswerCollector,
+        metrics: &mut ExecMetrics,
+    ) -> RoundVerdict {
+        let n = streams.len();
+
+        // Running contribution totals: Σ_{j≠i} contribution_bound(j) for
+        // every i, via prefix/suffix sums over this round's bounds.
+        for (i, c) in self.contrib.iter_mut().enumerate() {
+            *c = streams[i].contribution_bound();
+        }
+        for i in 0..n {
+            self.prefix[i + 1] = self.prefix[i] + self.contrib[i];
+        }
+        self.suffix[n] = 0.0;
+        for i in (0..n).rev() {
+            self.suffix[i] = self.suffix[i + 1] + self.contrib[i];
+        }
+        let (prefix, suffix) = (&self.prefix, &self.suffix);
+        let others = |i: usize| prefix[i] + suffix[i + 1];
+
+        // Threshold: best score any unseen combination can still achieve.
+        // Capped streams produce no further items, so they drop out of
+        // the outer max; their seen items still bound the inner product.
+        let threshold = variant_log
+            + (0..n)
+                .filter(|&i| !streams[i].exhausted && !streams[i].capped)
+                .map(|i| streams[i].frontier_log() + others(i))
+                .fold(LOG_ZERO, f64::max);
+
+        if threshold == LOG_ZERO {
+            return RoundVerdict::Done;
+        }
+        if let Some(kth) = collector.kth_score(self.k) {
+            if kth >= threshold {
+                return RoundVerdict::Done;
+            }
+            if self.tighten && n > 1 {
+                // Exact stream capping: retire stream i once its
+                // frontier — with the head-bound refinement, a tight
+                // bound on every unseen item of i (the merge's
+                // O(1)-tracked remaining mass dominates it and serves as
+                // the verified soundness envelope) — combined with the
+                // other streams' contribution bounds cannot beat the
+                // k-th answer. Later rounds then stop pulling i entirely
+                // instead of draining its tail. (Single-stream variants
+                // skip this: there the cap condition is exactly the
+                // global break above.)
+                for (i, stream) in streams.iter_mut().enumerate() {
+                    if stream.exhausted || stream.capped {
+                        continue;
+                    }
+                    let stream_bound = stream.frontier_log();
+                    if kth >= variant_log + stream_bound + others(i) {
+                        stream.capped = true;
+                        metrics.early_cutoffs += 1;
+                        // A capped stream with nothing seen can never
+                        // complete a combination: the variant is done.
+                        if stream.seen.is_empty() {
+                            return RoundVerdict::DeadVariant;
+                        }
+                    }
+                }
+            }
+        }
+        // ε capping: the mass envelope as the load-bearing criterion.
+        // Everything stream i can still contribute — the *sum* of its
+        // future emissions, not just the next one — combined with the
+        // other streams' bounds is within the forfeit tolerance, so the
+        // stream retires even while its frontier alone would keep it
+        // alive. Needs no k-th answer: the bound is absolute.
+        if self.ln_eps > LOG_ZERO {
+            for (i, stream) in streams.iter_mut().enumerate() {
+                if stream.exhausted || stream.capped {
+                    continue;
+                }
+                let mass_log = ln_weight(stream.merge.remaining_mass());
+                if variant_log + mass_log + others(i) <= self.ln_eps {
+                    stream.capped = true;
+                    metrics.approx_cutoffs += 1;
+                    if stream.seen.is_empty() {
+                        return RoundVerdict::DeadVariant;
+                    }
+                }
+            }
+        }
+        RoundVerdict::Continue
+    }
+}

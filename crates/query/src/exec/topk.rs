@@ -1,1886 +1,25 @@
-//! Incremental top-k query processing (paper §4).
+//! Incremental top-k query processing (paper §4) — compatibility
+//! façade over the staged operator pipeline.
 //!
-//! "TriniT uses a top-k approach to query processing that is an extension
-//! of the incremental top-k algorithm of [Theobald et al., SIGIR'05],
-//! guided by \[the\] scoring scheme ... Top-k query processing is based on
-//! the ability to access answers for a triple pattern in sorted order of
-//! their scores, allowing us to go only as far as necessary into each
-//! triple pattern index list. Additionally, query processing utilizes
-//! incremental merging of triple patterns and their relaxed forms,
-//! invoking a relaxation only when it can contribute to the top-k
-//! answers."
+//! The former monolithic implementation now lives in four stage
+//! modules with narrow seams between them:
 //!
-//! Architecture:
+//! * [`crate::exec::merge`] — stage 1: pattern alternatives and the
+//!   [`IncrementalMerge`] sorted-access source behind the
+//!   [`RankSource`] seam.
+//! * [`crate::exec::join`] — stage 2: the hash-partitioned rank join
+//!   and the scratch-[`Bindings`](crate::answer::Bindings) combine.
+//! * [`crate::exec::threshold`] — stage 3: the (optionally tightened)
+//!   termination bound, stream capping, and the remaining-mass
+//!   envelope that is the load-bearing criterion of the ε-approximate
+//!   mode ([`TopkConfig::epsilon`]).
+//! * [`crate::exec::drive`] — stage 4: variant enumeration, stream
+//!   assembly, and the pull loop; `run_pipeline` is the composition
+//!   seam the sharded engine shares.
 //!
-//! * **Pattern alternatives** — each original pattern plus its relaxed
-//!   forms under single-pattern rules (chained up to a depth), each with
-//!   a combined weight.
-//! * **[`IncrementalMerge`]** — a priority queue over the alternatives of
-//!   one pattern. Unopened alternatives are held at their upper bound
-//!   (`weight × 1.0`); an alternative's posting list is materialized only
-//!   when that bound rises to the top — the "invoked only when it can
-//!   contribute" behaviour.
-//! * **Hash-partitioned rank join** — HRJN-style: streams are pulled
-//!   highest-frontier first; each new item joins against the seen items
-//!   of the other streams. Each stream keeps its seen items partitioned
-//!   by the values of its *join variables* (variables shared with other
-//!   streams in the variant), so an arriving item probes exactly one
-//!   bucket per stream instead of scanning every seen item — the
-//!   Yannakakis-style observation that only join-compatible partners can
-//!   ever merge. Items whose relaxed form dropped a join variable land
-//!   in a small always-scanned residual list, and streams with no shared
-//!   variables degrade to a single bucket (a true cross product). The
-//!   combination loop works in a single scratch [`Bindings`] with
-//!   undo-based backtracking; a combined `Bindings` is allocated once
-//!   per *successful* full join, never speculatively.
-//! * **Tightened termination** — the classic threshold
-//!   `T = max_i (frontier_i + Σ_{j≠i} best_j)` bounds every unseen
-//!   combination; processing stops once the k-th answer's score reaches
-//!   it. On top, the store's precomputed posting index is wired into the
-//!   bound: unopened alternatives of index-served shapes start at their
-//!   *exact* head emission probability instead of the trivial `weight ×
-//!   1.0`, whole variants are pruned when even their head-bound product
-//!   cannot beat the k-th answer, and individual streams stop being
-//!   pulled (are "capped") as soon as their frontier cannot contribute
-//!   a better combination. The merge also tracks its remaining emission
-//!   mass O(1) — via the index's prefix-sum columns for index-served
-//!   lists, an incremental consumed-weight cursor otherwise
-//!   ([`IncrementalMerge::remaining_mass`]); it provably dominates the
-//!   frontier (a property test pins the invariant), so it serves as the
-//!   bound's verified soundness envelope and as an observability
-//!   surface rather than the capping criterion itself. Early
-//!   retirements are counted in [`ExecMetrics::early_cutoffs`];
-//!   sorted-access rounds in [`ExecMetrics::pulls`].
-//!   `TopkConfig::tighten_threshold` disables the tightening for A/B
-//!   comparison — answers are identical either way.
-//! * **Structural variants** — multi-pattern rules (e.g. paper rule 1)
-//!   rewrite the query as a whole; each variant runs through the machinery
-//!   above, sharing one global answer collector.
-//! * **Cache hierarchy** — materialized posting lists are shared at two
-//!   levels: a per-execution [`PostingCache`] (structural variants of one
-//!   query reuse a canonical pattern's list) and an optional store-level
-//!   [`SharedPostingCache`] LRU (consecutive queries of an interactive
-//!   session reuse lists across executions; see [`run_cached`]).
-
-use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashMap};
-use std::rc::Rc;
-
-use trinit_relax::{
-    apply_rule, apply_rule_oracle, canonical_key, ConditionOracle, QPattern, QTerm, Rule, RuleId,
-    RuleSet, VarId,
-};
-use trinit_xkg::{TermId, TripleId, XkgStore};
-
-use crate::answer::{Answer, AnswerCollector, Bindings, Derivation};
-use crate::ast::Query;
-use crate::exec::{ExecMetrics, TripleLookup};
-use crate::score::{
-    head_prob_bound_global, ln_weight, CacheSource, GlobalTotals, PostingCache, ScoredMatches,
-    SharedPostingCache, LOG_ZERO,
-};
-
-/// Configuration of the incremental top-k processor.
-#[derive(Debug, Clone)]
-pub struct TopkConfig {
-    /// Maximum chain length of single-pattern rules per pattern.
-    pub chain_depth: usize,
-    /// Maximum applications of structural (multi-pattern / multi-RHS)
-    /// rules at the query level.
-    pub structural_depth: usize,
-    /// Alternatives and variants below this weight are pruned.
-    pub min_weight: f64,
-    /// Cap on alternatives per pattern.
-    pub max_alternatives: usize,
-    /// Cap on structural query variants.
-    pub max_variants: usize,
-    /// Wire the precomputed posting index into the termination bound:
-    /// exact head probabilities for unopened alternatives, head-bound
-    /// variant pruning, and remaining-mass stream capping. Answers are
-    /// identical with or without; tightening only reduces the work
-    /// ([`ExecMetrics::pulls`]).
-    pub tighten_threshold: bool,
-}
-
-impl Default for TopkConfig {
-    fn default() -> Self {
-        TopkConfig {
-            chain_depth: 2,
-            structural_depth: 1,
-            min_weight: 0.05,
-            max_alternatives: 64,
-            max_variants: 16,
-            tighten_threshold: true,
-        }
-    }
-}
-
-/// True if a rule can participate in per-pattern incremental merging:
-/// one pattern in, one pattern out, constant LHS predicate.
-fn is_mergeable(rule: &Rule) -> bool {
-    rule.lhs.len() == 1 && rule.rhs.len() == 1 && rule.lhs_predicate().is_some()
-}
-
-/// One relaxed form of a single pattern.
-#[derive(Debug, Clone)]
-struct Alternative<'s> {
-    pattern: QPattern,
-    weight: f64,
-    trace: Vec<RuleId>,
-    matches: Option<ScoredMatches<'s>>,
-    /// Sound upper bound on this alternative's best emission probability
-    /// before its list is opened: the exact head probability for
-    /// index-served shapes under the tightened threshold, 1.0 otherwise.
-    head_bound: f64,
-}
-
-/// Computes the alternatives of one pattern under the mergeable rules.
-///
-/// `fresh_base` is the first variable id this pattern may allocate for
-/// RHS-fresh rule variables; callers give each pattern a disjoint range
-/// so fresh variables of different streams never alias.
-fn pattern_alternatives<'s>(
-    pattern: &QPattern,
-    rules: &RuleSet,
-    cfg: &TopkConfig,
-    fresh_base: u16,
-) -> Vec<Alternative<'s>> {
-    let mut out: Vec<Alternative<'s>> = vec![Alternative {
-        pattern: *pattern,
-        weight: 1.0,
-        trace: Vec::new(),
-        matches: None,
-        head_bound: 1.0,
-    }];
-    let mut fresh_next = fresh_base;
-    let mut frontier = vec![0usize]; // indices into `out`
-    for _ in 0..cfg.chain_depth {
-        let mut next_frontier = Vec::new();
-        for &idx in &frontier {
-            let (cur_pattern, cur_weight, cur_trace) = {
-                let a = &out[idx];
-                (a.pattern, a.weight, a.trace.clone())
-            };
-            let Some(pred) = cur_pattern.p.term() else {
-                continue;
-            };
-            for &rule_id in rules.rules_for_predicate(pred) {
-                let rule = rules.get(rule_id);
-                if !is_mergeable(rule) {
-                    continue;
-                }
-                let weight = cur_weight * rule.weight;
-                if weight < cfg.min_weight {
-                    continue;
-                }
-                for rewriting in apply_rule(&[cur_pattern], rule, rule_id) {
-                    let [new_pattern] = rewriting.patterns.as_slice() else {
-                        continue;
-                    };
-                    // Remap any fresh variables into this pattern's range.
-                    let new_pattern = remap_fresh(*new_pattern, &cur_pattern, &mut fresh_next);
-                    match out.iter_mut().find(|a| a.pattern == new_pattern) {
-                        Some(existing) => {
-                            if weight > existing.weight {
-                                existing.weight = weight;
-                                existing.trace = cur_trace
-                                    .iter()
-                                    .copied()
-                                    .chain(std::iter::once(rule_id))
-                                    .collect();
-                            }
-                        }
-                        None => {
-                            if out.len() >= cfg.max_alternatives {
-                                continue;
-                            }
-                            let mut trace = cur_trace.clone();
-                            trace.push(rule_id);
-                            out.push(Alternative {
-                                pattern: new_pattern,
-                                weight,
-                                trace,
-                                matches: None,
-                                head_bound: 1.0,
-                            });
-                            next_frontier.push(out.len() - 1);
-                        }
-                    }
-                }
-            }
-        }
-        if next_frontier.is_empty() {
-            break;
-        }
-        frontier = next_frontier;
-    }
-    out
-}
-
-/// Remaps variables of `pattern` that do not occur in `origin` (i.e.
-/// rule-introduced fresh variables) into the caller-controlled range.
-fn remap_fresh(pattern: QPattern, origin: &QPattern, fresh_next: &mut u16) -> QPattern {
-    let origin_vars: Vec<VarId> = origin.vars().collect();
-    let mut mapping: Vec<(VarId, VarId)> = Vec::new();
-    let map = |t: QTerm, fresh_next: &mut u16, mapping: &mut Vec<(VarId, VarId)>| match t {
-        QTerm::Var(v) if !origin_vars.contains(&v) => {
-            if let Some(&(_, nv)) = mapping.iter().find(|(old, _)| *old == v) {
-                QTerm::Var(nv)
-            } else {
-                let nv = VarId(*fresh_next);
-                *fresh_next += 1;
-                mapping.push((v, nv));
-                QTerm::Var(nv)
-            }
-        }
-        other => other,
-    };
-    QPattern::new(
-        map(pattern.s, fresh_next, &mut mapping),
-        map(pattern.p, fresh_next, &mut mapping),
-        map(pattern.o, fresh_next, &mut mapping),
-    )
-}
-
-/// Heap entry of the incremental merge: an alternative keyed by an upper
-/// bound on its next emission.
-#[derive(Debug)]
-struct MergeEntry {
-    bound: f64,
-    alt: usize,
-    opened: bool,
-}
-
-impl PartialEq for MergeEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound && self.alt == other.alt && self.opened == other.opened
-    }
-}
-impl Eq for MergeEntry {}
-impl PartialOrd for MergeEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for MergeEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.bound
-            .total_cmp(&other.bound)
-            .then_with(|| other.alt.cmp(&self.alt))
-    }
-}
-
-/// A source of rank-join stream items: emissions in globally descending
-/// combined-probability order with a sound upper bound on the next one.
-///
-/// [`IncrementalMerge`] is the single-store source; the sharded executor
-/// merges one `IncrementalMerge` per shard into a
-/// [`crate::exec::sharded::ShardedMerge`]. The rank join itself is
-/// generic over this trait, so partitioned execution reuses the exact
-/// join, threshold, and capping machinery of the monolithic engine.
-pub trait RankSource {
-    /// Upper bound on the probability of the next emission, or `None`
-    /// if exhausted.
-    fn peek_bound(&self) -> Option<f64>;
-
-    /// Produces the next emission in descending order.
-    fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged>;
-}
-
-/// An emission of the incremental merge.
-#[derive(Debug, Clone)]
-pub struct Merged {
-    /// The matched triple.
-    pub triple: TripleId,
-    /// Combined probability `w_alt × P(t | alt pattern)`.
-    pub prob: f64,
-    /// The alternative's pattern (needed to bind variables).
-    pub pattern: QPattern,
-    /// Rules on the alternative's chain.
-    pub trace: Vec<RuleId>,
-    /// The alternative's weight.
-    pub weight: f64,
-}
-
-/// Incremental merge over one pattern's alternatives (Theobald et al.
-/// style): emits matches across all alternatives in globally descending
-/// combined-probability order, opening an alternative's posting list only
-/// when its upper bound reaches the top of the queue.
-pub struct IncrementalMerge<'a> {
-    store: &'a XkgStore,
-    alts: Vec<Alternative<'a>>,
-    heap: BinaryHeap<MergeEntry>,
-    /// Shared per-execution posting cache: structural variants and
-    /// alternatives with the same canonical pattern reuse one
-    /// materialized list.
-    cache: Rc<RefCell<PostingCache>>,
-    /// Optional store-level cache shared across executions (sessions).
-    shared: Option<&'a SharedPostingCache>,
-    /// Optional global normalization totals: set when `store` is one
-    /// shard of a partitioned store, `None` for monolithic execution.
-    totals: Option<&'a dyn GlobalTotals>,
-    /// Incrementally maintained sound upper bound on every single
-    /// emission the merge can still produce: Σ over alternatives of
-    /// `weight × remaining`, where `remaining` is the head bound until
-    /// an alternative opens and its list's unconsumed mass afterwards
-    /// (each of which bounds that alternative's next emission). Each
-    /// emission subtracts its own contribution, so reading the bound is
-    /// O(1) per capping round.
-    mass_upper: f64,
-}
-
-impl<'a> IncrementalMerge<'a> {
-    fn new(
-        store: &'a XkgStore,
-        mut alts: Vec<Alternative<'a>>,
-        cache: Rc<RefCell<PostingCache>>,
-        shared: Option<&'a SharedPostingCache>,
-        tighten: bool,
-        totals: Option<&'a dyn GlobalTotals>,
-    ) -> IncrementalMerge<'a> {
-        let mut heap = BinaryHeap::with_capacity(alts.len());
-        for (i, alt) in alts.iter_mut().enumerate() {
-            if tighten {
-                // Exact head probability for index-served shapes
-                // (anchored subject/object strata included), read in
-                // O(1) from the precomputed posting index — the
-                // alternative enters the queue at its true first-emission
-                // bound instead of the trivial `weight × 1.0`. Under a
-                // partitioned store the head weight is divided by the
-                // *global* total, so each shard enters the merge at its
-                // exact globally-normalized head.
-                alt.head_bound = head_prob_bound_global(store, &alt.pattern, totals);
-                // A head bound of exactly 0 is only reported for
-                // index-served shapes whose match set carries no
-                // emission mass (empty or all-zero-weight groups, which
-                // the index serves as empty lists): skip such
-                // alternatives outright instead of letting a zero-keyed
-                // heap entry linger for the threshold to trip over.
-                if alt.head_bound <= 0.0 {
-                    continue;
-                }
-            }
-            heap.push(MergeEntry {
-                bound: alt.weight * alt.head_bound,
-                alt: i,
-                opened: false,
-            });
-        }
-        let mass_upper = alts.iter().map(|a| a.weight * a.head_bound).sum();
-        IncrementalMerge {
-            store,
-            alts,
-            heap,
-            cache,
-            shared,
-            totals,
-            mass_upper,
-        }
-    }
-
-    /// Builds the merge over `pattern`'s alternatives under `rules` —
-    /// the building block the sharded merge instantiates once per shard.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn for_pattern(
-        store: &'a XkgStore,
-        pattern: &QPattern,
-        rules: &RuleSet,
-        cfg: &TopkConfig,
-        fresh_base: u16,
-        cache: Rc<RefCell<PostingCache>>,
-        shared: Option<&'a SharedPostingCache>,
-        totals: Option<&'a dyn GlobalTotals>,
-    ) -> IncrementalMerge<'a> {
-        let alts = pattern_alternatives(pattern, rules, cfg, fresh_base);
-        IncrementalMerge::new(store, alts, cache, shared, cfg.tighten_threshold, totals)
-    }
-
-    /// Upper bound on the probability of the next emission, or `None` if
-    /// exhausted.
-    pub fn peek_bound(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.bound)
-    }
-
-    /// Upper bound on any probability the merge can still emit — and,
-    /// once alternatives are open, on their collective unconsumed mass
-    /// (kept current by the list cursors' O(1) weight tracking; unopened
-    /// alternatives contribute their head bound). Always ≥ any single
-    /// future emission, hence a sound — if loose — termination bound.
-    pub fn remaining_mass(&self) -> f64 {
-        self.mass_upper.max(0.0)
-    }
-
-    /// Opens an unopened heap entry's posting list — the moment its
-    /// relaxation is "invoked" — and re-queues it at its exact head
-    /// probability.
-    fn open_entry(&mut self, entry: MergeEntry, metrics: &mut ExecMetrics) {
-        let alt = &mut self.alts[entry.alt];
-        // The cache serves structural variants sharing this canonical
-        // pattern.
-        if !alt.trace.is_empty() {
-            metrics.relaxations_opened += 1;
-        }
-        let (matches, source) = ScoredMatches::build_global(
-            self.store,
-            &alt.pattern,
-            &mut self.cache.borrow_mut(),
-            self.shared,
-            self.totals,
-        );
-        match source {
-            CacheSource::Built => metrics.posting_lists_built += 1,
-            CacheSource::ExecHit => metrics.posting_cache_hits += 1,
-            CacheSource::SharedHit => metrics.shared_cache_hits += 1,
-        }
-        // Serve-kind accounting for fresh builds: anchored-index serves
-        // never sort; `ranged_serves` are the selective exact-range
-        // orderings (bounded sorts, chosen over larger group walks);
-        // `posting_sorts` counts the unbounded materialize-and-sort
-        // fallback, which the index makes unreachable — it must stay 0.
-        if let Some(kind) = matches.build_kind() {
-            match kind {
-                k if k.is_anchored() => metrics.anchored_serves += 1,
-                trinit_xkg::ServeKind::Range => metrics.ranged_serves += 1,
-                trinit_xkg::ServeKind::Scanned => metrics.posting_sorts += 1,
-                _ => {}
-            }
-        }
-        if let Some(p) = matches.peek_prob() {
-            self.heap.push(MergeEntry {
-                bound: alt.weight * p,
-                alt: entry.alt,
-                opened: true,
-            });
-        }
-        // Replace the alternative's head-bound contribution with its
-        // actual (full) list mass.
-        self.mass_upper += alt.weight * (matches.remaining_mass() - alt.head_bound);
-        alt.matches = Some(matches);
-    }
-
-    /// Opens alternatives until the top of the queue is an *opened* list
-    /// head, making [`IncrementalMerge::peek_bound`] the exact
-    /// probability of the next emission (not just an upper bound).
-    /// Returns that exact bound, or `None` if the merge is exhausted.
-    /// The sharded merge uses this to order emissions across shards
-    /// without pulling speculatively.
-    pub fn tighten_head(&mut self, metrics: &mut ExecMetrics) -> Option<f64> {
-        loop {
-            let opened = self.heap.peek()?.opened;
-            if opened {
-                return self.peek_bound();
-            }
-            let entry = self.heap.pop().expect("peeked entry exists");
-            self.open_entry(entry, metrics);
-        }
-    }
-
-    /// Produces the next emission in descending order.
-    pub fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged> {
-        loop {
-            let entry = self.heap.pop()?;
-            if !entry.opened {
-                self.open_entry(entry, metrics);
-                continue;
-            }
-            let alt = &mut self.alts[entry.alt];
-            let matches = alt.matches.as_mut().expect("opened alternative");
-            let Some((triple, prob)) = matches.next_entry() else {
-                continue;
-            };
-            self.mass_upper -= alt.weight * prob;
-            metrics.postings_scanned += 1;
-            if let Some(p) = matches.peek_prob() {
-                self.heap.push(MergeEntry {
-                    bound: alt.weight * p,
-                    alt: entry.alt,
-                    opened: true,
-                });
-            }
-            return Some(Merged {
-                triple,
-                prob: alt.weight * prob,
-                pattern: alt.pattern,
-                trace: alt.trace.clone(),
-                weight: alt.weight,
-            });
-        }
-    }
-}
-
-impl RankSource for IncrementalMerge<'_> {
-    #[inline]
-    fn peek_bound(&self) -> Option<f64> {
-        IncrementalMerge::peek_bound(self)
-    }
-
-    #[inline]
-    fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged> {
-        IncrementalMerge::next_merged(self, metrics)
-    }
-}
-
-/// An item seen by one rank-join stream: the (few) variable bindings its
-/// triple induced, plus provenance for derivations.
-#[derive(Debug, Clone)]
-pub(crate) struct SeenItem {
-    /// `(variable, value)` pairs bound by this item's pattern — at most
-    /// three, deduplicated. Stored as pairs (not a dense [`Bindings`])
-    /// so joining is an O(|pairs|) probe into the shared scratch
-    /// assignment instead of a per-candidate vector clone.
-    bound: Vec<(VarId, TermId)>,
-    log_score: f64,
-    pattern: QPattern,
-    triple: TripleId,
-    trace: Vec<RuleId>,
-    weight: f64,
-}
-
-pub(crate) struct Stream<M> {
-    merge: M,
-    seen: Vec<SeenItem>,
-    /// This stream's join variables: variables of its variant pattern
-    /// shared with at least one other stream. Sorted, deduplicated; the
-    /// partition key is their value tuple.
-    join_vars: Vec<VarId>,
-    /// Seen items that bind every join variable, partitioned by their
-    /// join-key values. With no join variables all items share the empty
-    /// key (a deliberate single-bucket cross product).
-    buckets: HashMap<Vec<TermId>, Vec<u32>>,
-    /// Seen items whose (relaxed) pattern dropped a join variable; they
-    /// are compatible with any key value there, so every probe scans
-    /// this residual list as well.
-    partial: Vec<u32>,
-    best_log: f64,
-    exhausted: bool,
-    /// Retired by the tightened threshold: no unseen item of this stream
-    /// can improve the top-k, so it is no longer pulled (its seen items
-    /// keep participating in other streams' joins).
-    capped: bool,
-}
-
-impl<M: RankSource> Stream<M> {
-    /// A fresh stream over `merge` with the given join variables.
-    pub(crate) fn new(merge: M, join_vars: Vec<VarId>) -> Stream<M> {
-        Stream {
-            merge,
-            seen: Vec::new(),
-            join_vars,
-            buckets: HashMap::new(),
-            partial: Vec::new(),
-            best_log: LOG_ZERO,
-            exhausted: false,
-            capped: false,
-        }
-    }
-
-    fn frontier_log(&self) -> f64 {
-        if self.exhausted {
-            LOG_ZERO
-        } else {
-            self.merge.peek_bound().map_or(LOG_ZERO, ln_weight)
-        }
-    }
-
-    /// Upper bound on any item this stream can contribute.
-    fn contribution_bound(&self) -> f64 {
-        if self.seen.is_empty() {
-            self.frontier_log()
-        } else {
-            self.best_log
-        }
-    }
-
-    /// Remembers an item, filing it under its join-key partition.
-    fn push_seen(&mut self, item: SeenItem) {
-        if self.seen.is_empty() {
-            self.best_log = item.log_score;
-        }
-        let idx = self.seen.len() as u32;
-        let mut key = Vec::with_capacity(self.join_vars.len());
-        let mut complete = true;
-        for &v in &self.join_vars {
-            match item.bound.iter().find(|(u, _)| *u == v) {
-                Some(&(_, t)) => key.push(t),
-                None => {
-                    complete = false;
-                    break;
-                }
-            }
-        }
-        if complete {
-            self.buckets.entry(key).or_default().push(idx);
-        } else {
-            self.partial.push(idx);
-        }
-        self.seen.push(item);
-    }
-}
-
-/// The `(variable, value)` pairs a pattern induces against a concrete
-/// triple, deduplicated. Returns `None` if a repeated variable meets two
-/// different values (cannot happen for triples from the pattern's own
-/// match list, which pre-filters repetition, but kept defensive).
-fn bind_pairs(
-    pattern: &QPattern,
-    lookup: &dyn TripleLookup,
-    triple: TripleId,
-) -> Option<Vec<(VarId, TermId)>> {
-    let t = lookup.triple_of(triple);
-    let mut out: Vec<(VarId, TermId)> = Vec::with_capacity(3);
-    for (slot, value) in pattern.slots().into_iter().zip([t.s, t.p, t.o]) {
-        if let QTerm::Var(v) = slot {
-            match out.iter().find(|(u, _)| *u == v) {
-                Some(&(_, existing)) => {
-                    if existing != value {
-                        return None;
-                    }
-                }
-                None => out.push((v, value)),
-            }
-        }
-    }
-    Some(out)
-}
-
-/// Enumerates structural query variants (non-mergeable rules applied at
-/// the query level), keeping original rule ids in traces. Data
-/// conditions are verified through `oracle` — the whole store for the
-/// monolithic engine, a cross-shard oracle for partitioned execution.
-pub(crate) fn structural_variants(
-    oracle: Option<&dyn ConditionOracle>,
-    patterns: &[QPattern],
-    rules: &RuleSet,
-    cfg: &TopkConfig,
-) -> Vec<(Vec<QPattern>, f64, Vec<RuleId>)> {
-    let original_vars = patterns
-        .iter()
-        .filter_map(QPattern::max_var)
-        .max()
-        .map_or(0, |m| m + 1);
-    let mut out: Vec<(Vec<QPattern>, f64, Vec<RuleId>)> =
-        vec![(patterns.to_vec(), 1.0, Vec::new())];
-    let mut keys = vec![canonical_key(patterns, original_vars)];
-    let mut frontier = vec![0usize];
-    for _ in 0..cfg.structural_depth {
-        let mut next_frontier = Vec::new();
-        for &idx in &frontier {
-            let (cur_patterns, cur_weight, cur_trace) = out[idx].clone();
-            for (rule_id, rule) in rules.iter() {
-                if is_mergeable(rule) {
-                    continue;
-                }
-                let weight = cur_weight * rule.weight;
-                if weight < cfg.min_weight {
-                    continue;
-                }
-                for rewriting in apply_rule_oracle(&cur_patterns, rule, rule_id, oracle) {
-                    let key = canonical_key(&rewriting.patterns, original_vars);
-                    if keys.contains(&key) || out.len() >= cfg.max_variants {
-                        continue;
-                    }
-                    keys.push(key);
-                    let mut trace = cur_trace.clone();
-                    trace.push(rule_id);
-                    out.push((rewriting.patterns, weight, trace));
-                    next_frontier.push(out.len() - 1);
-                }
-            }
-        }
-        if next_frontier.is_empty() {
-            break;
-        }
-        frontier = next_frontier;
-    }
-    out
-}
-
-/// Runs incremental top-k processing for `query` under `rules`.
-///
-/// Returns the top `query.k` answers (identical to what
-/// [`crate::exec::expand::run`] would return for an equivalent rule
-/// budget) and the work metrics, which are the point: posting lists are
-/// only materialized, and relaxations only invoked, when they can still
-/// contribute to the top-k.
-pub fn run(
-    store: &XkgStore,
-    query: &Query,
-    rules: &RuleSet,
-    cfg: &TopkConfig,
-) -> (Vec<Answer>, ExecMetrics) {
-    run_cached(store, query, rules, cfg, None)
-}
-
-/// Like [`run`], additionally consulting a store-level posting cache
-/// shared across executions — the session tier of the cache hierarchy.
-/// Interactive workloads that re-issue queries over the same canonical
-/// patterns (the paper's E6 setting) reuse materialized lists across
-/// consecutive queries; hits are counted in
-/// [`ExecMetrics::shared_cache_hits`].
-pub fn run_cached(
-    store: &XkgStore,
-    query: &Query,
-    rules: &RuleSet,
-    cfg: &TopkConfig,
-    shared: Option<&SharedPostingCache>,
-) -> (Vec<Answer>, ExecMetrics) {
-    run_scaled(store, query, rules, cfg, shared, None, Some(store), Vec::new())
-}
-
-/// Like [`run_cached`], with the three extension points partitioned
-/// execution needs: a [`GlobalTotals`] provider (so a store *slice*
-/// scores its emissions with globally-correct normalization), an
-/// explicit [`ConditionOracle`] for structural-rule data conditions
-/// (existence across every slice), and a `seed` of already-known answers
-/// offered to the collector before any posting list is opened (a
-/// sharded executor seeds with the answers its per-shard runs found,
-/// tightening the threshold from the first pull). With `totals = None`,
-/// `oracle = Some(store)`, and an empty seed this *is* the monolithic
-/// engine.
-#[allow(clippy::too_many_arguments)]
-pub fn run_scaled(
-    store: &XkgStore,
-    query: &Query,
-    rules: &RuleSet,
-    cfg: &TopkConfig,
-    shared: Option<&SharedPostingCache>,
-    totals: Option<&dyn GlobalTotals>,
-    oracle: Option<&dyn ConditionOracle>,
-    seed: Vec<Answer>,
-) -> (Vec<Answer>, ExecMetrics) {
-    let mut metrics = ExecMetrics::default();
-    let projection = query.effective_projection();
-    let k = query.k.max(1);
-    // Tracked collector: the k-th score the threshold reads on every
-    // pull is maintained persistently on insert (O(1), zero allocation
-    // per pull) instead of re-selected from all candidate scores.
-    let mut collector = AnswerCollector::tracking(k);
-    for answer in seed {
-        collector.offer(answer);
-    }
-
-    // One posting cache for the whole execution: structural variants that
-    // share a relaxed pattern never rebuild its matches.
-    let cache = Rc::new(RefCell::new(PostingCache::new()));
-    let variants = structural_variants(oracle, &query.patterns, rules, cfg);
-    for (variant_patterns, variant_weight, variant_trace) in variants {
-        metrics.rewritings_evaluated += 1;
-        run_variant(
-            store,
-            rules,
-            cfg,
-            &variant_patterns,
-            variant_weight,
-            &variant_trace,
-            &projection,
-            k,
-            &cache,
-            shared,
-            totals,
-            &mut collector,
-            &mut metrics,
-        );
-    }
-    (collector.into_top_k(query.k), metrics)
-}
-
-/// The join variables of each pattern: variables shared with at least
-/// one other pattern of the variant. Relaxed alternatives only rename
-/// rule-introduced *fresh* variables (into per-stream disjoint ranges),
-/// so shared variables are exactly the shared variables of the variant
-/// patterns themselves.
-pub(crate) fn join_vars_of(patterns: &[QPattern]) -> Vec<Vec<VarId>> {
-    patterns
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            let mut join_vars: Vec<VarId> = p.vars().collect();
-            join_vars.sort_unstable();
-            join_vars.dedup();
-            join_vars.retain(|v| {
-                patterns
-                    .iter()
-                    .enumerate()
-                    .any(|(j, q)| j != i && q.vars().any(|w| w == *v))
-            });
-            join_vars
-        })
-        .collect()
-}
-
-/// The first variable id beyond every variable used by `patterns`.
-pub(crate) fn max_var_of(patterns: &[QPattern]) -> u16 {
-    patterns
-        .iter()
-        .filter_map(QPattern::max_var)
-        .max()
-        .map_or(0, |m| m + 1)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_variant(
-    store: &XkgStore,
-    rules: &RuleSet,
-    cfg: &TopkConfig,
-    patterns: &[QPattern],
-    variant_weight: f64,
-    variant_trace: &[RuleId],
-    projection: &[VarId],
-    k: usize,
-    cache: &Rc<RefCell<PostingCache>>,
-    shared: Option<&SharedPostingCache>,
-    totals: Option<&dyn GlobalTotals>,
-    collector: &mut AnswerCollector,
-    metrics: &mut ExecMetrics,
-) {
-    if patterns.is_empty() {
-        return;
-    }
-    let tighten = cfg.tighten_threshold;
-    let max_var = max_var_of(patterns);
-    let join_vars = join_vars_of(patterns);
-    let mut streams: Vec<Stream<IncrementalMerge<'_>>> = patterns
-        .iter()
-        .zip(join_vars)
-        .enumerate()
-        .map(|(i, (p, join_vars))| {
-            let fresh_base = max_var + (i as u16) * 8;
-            let alts = pattern_alternatives(p, rules, cfg, fresh_base);
-            Stream::new(
-                IncrementalMerge::new(store, alts, Rc::clone(cache), shared, tighten, totals),
-                join_vars,
-            )
-        })
-        .collect();
-
-    rank_join(
-        store,
-        cfg,
-        &mut streams,
-        ln_weight(variant_weight),
-        variant_trace,
-        projection,
-        k,
-        max_var as usize + 64, // headroom for fresh variables
-        collector,
-        metrics,
-    );
-}
-
-/// The rank join over one variant's streams: pulls the highest-frontier
-/// stream, joins each arrival against the other streams' seen
-/// partitions, and stops under the (optionally tightened) threshold.
-/// Generic over the stream source so the monolithic and sharded engines
-/// share every line of join, threshold, and capping logic; `lookup`
-/// resolves emitted triple ids (global ids, for a sharded source).
-///
-/// Per round, the capping pass needs every stream's "others"
-/// contribution sum. These are maintained as prefix/suffix sums over the
-/// per-stream contribution bounds — O(streams) per round rather than the
-/// O(streams²) of recomputing each exclusion sum from scratch. For up to
-/// three streams the floating-point result is identical to the direct
-/// exclusion sum; at higher arity the summation associates differently
-/// (`(c0+(c2+c3))` vs `((c0+c2)+c3)`), an ULP-level difference between
-/// two equally sound bounds on the same exact quantity.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn rank_join<M: RankSource>(
-    lookup: &dyn TripleLookup,
-    cfg: &TopkConfig,
-    streams: &mut [Stream<M>],
-    variant_log: f64,
-    variant_trace: &[RuleId],
-    projection: &[VarId],
-    k: usize,
-    n_vars: usize,
-    collector: &mut AnswerCollector,
-    metrics: &mut ExecMetrics,
-) {
-    let tighten = cfg.tighten_threshold;
-
-    // Head-bound variant pruning: every answer of this variant scores at
-    // most variant_weight × Π_i (best emission of stream i), and each
-    // stream's initial frontier is exactly that head bound. If the k-th
-    // collected answer already matches it, nothing here can enter the
-    // top-k — skip the variant without opening a single posting list.
-    if tighten {
-        if let Some(kth) = collector.kth_score(k) {
-            let bound: f64 = variant_log + streams.iter().map(Stream::frontier_log).sum::<f64>();
-            if kth >= bound {
-                metrics.early_cutoffs += 1;
-                return;
-            }
-        }
-    }
-
-    // Scratch assignment for the combination loop; `join_with_others`
-    // always restores it to fully unbound.
-    let mut scratch = Bindings::new(n_vars);
-
-    // Per-round scratch for the contribution prefix/suffix sums.
-    let n = streams.len();
-    let mut contrib = vec![0.0f64; n];
-    let mut prefix = vec![0.0f64; n + 1];
-    let mut suffix = vec![0.0f64; n + 1];
-
-    // Pick the non-exhausted, non-capped stream with the highest
-    // frontier each round.
-    while let Some(next) = (0..streams.len())
-        .filter(|&i| !streams[i].exhausted && !streams[i].capped)
-        .max_by(|&a, &b| streams[a].frontier_log().total_cmp(&streams[b].frontier_log()))
-    {
-        metrics.pulls += 1;
-        let merged = streams[next].merge.next_merged(metrics);
-        match merged {
-            None => {
-                streams[next].exhausted = true;
-                // A stream with no matches at all kills the variant.
-                if streams[next].seen.is_empty() {
-                    return;
-                }
-            }
-            Some(m) => {
-                let Some(bound) = bind_pairs(&m.pattern, lookup, m.triple) else {
-                    continue;
-                };
-                let log_score = ln_weight(m.prob);
-                let item = SeenItem {
-                    bound,
-                    log_score,
-                    pattern: m.pattern,
-                    triple: m.triple,
-                    trace: m.trace,
-                    weight: m.weight,
-                };
-
-                // Join the new item with the seen items of other streams
-                // (its own stream is skipped, so joining before remembering
-                // the item is equivalent).
-                join_with_others(
-                    streams, next, &item, variant_log, variant_trace, projection, &mut scratch,
-                    collector, metrics,
-                );
-                streams[next].push_seen(item);
-            }
-        }
-
-        // Running contribution totals: Σ_{j≠i} contribution_bound(j) for
-        // every i, via prefix/suffix sums over this round's bounds.
-        for (i, c) in contrib.iter_mut().enumerate() {
-            *c = streams[i].contribution_bound();
-        }
-        for i in 0..n {
-            prefix[i + 1] = prefix[i] + contrib[i];
-        }
-        suffix[n] = 0.0;
-        for i in (0..n).rev() {
-            suffix[i] = suffix[i + 1] + contrib[i];
-        }
-        let others = |i: usize| prefix[i] + suffix[i + 1];
-
-        // Threshold: best score any unseen combination can still achieve.
-        // Capped streams produce no further items, so they drop out of
-        // the outer max; their seen items still bound the inner product.
-        let threshold = variant_log
-            + (0..streams.len())
-                .filter(|&i| !streams[i].exhausted && !streams[i].capped)
-                .map(|i| streams[i].frontier_log() + others(i))
-                .fold(LOG_ZERO, f64::max);
-
-        if threshold == LOG_ZERO {
-            break;
-        }
-        if let Some(kth) = collector.kth_score(k) {
-            if kth >= threshold {
-                break;
-            }
-            if tighten && streams.len() > 1 {
-                // Stream capping: retire stream i once its frontier —
-                // with the head-bound refinement, a tight bound on every
-                // unseen item of i (the merge's O(1)-tracked remaining
-                // mass dominates it and serves as the verified
-                // soundness envelope) — combined
-                // with the other streams' contribution bounds cannot
-                // beat the k-th answer. Later rounds then stop pulling i
-                // entirely instead of draining its tail. (Single-stream
-                // variants skip this: there the cap condition is exactly
-                // the global break above.)
-                for (i, stream) in streams.iter_mut().enumerate() {
-                    if stream.exhausted || stream.capped {
-                        continue;
-                    }
-                    let stream_bound = stream.frontier_log();
-                    if kth >= variant_log + stream_bound + others(i) {
-                        stream.capped = true;
-                        metrics.early_cutoffs += 1;
-                        // A capped stream with nothing seen can never
-                        // complete a combination: the variant is done.
-                        if stream.seen.is_empty() {
-                            return;
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Binds an item's `(variable, value)` pairs into the scratch
-/// assignment, recording newly bound variables in `undo`. On conflict,
-/// rolls back the partial binds and returns `false` — nothing is
-/// allocated either way.
-fn bind_all(scratch: &mut Bindings, bound: &[(VarId, TermId)], undo: &mut Vec<VarId>) -> bool {
-    for &(v, t) in bound {
-        if !scratch.try_bind_recorded(v, t, undo) {
-            for &u in undo.iter() {
-                scratch.unbind(u);
-            }
-            return false;
-        }
-    }
-    true
-}
-
-/// The join-key values of `join_vars` under the scratch assignment, or
-/// `None` if some join variable is still unbound (the accumulated
-/// streams do not cover it, so every partition stays reachable).
-fn probe_key(scratch: &Bindings, join_vars: &[VarId]) -> Option<Vec<TermId>> {
-    let mut key = Vec::with_capacity(join_vars.len());
-    for &v in join_vars {
-        key.push(scratch.get(v)?);
-    }
-    Some(key)
-}
-
-/// Depth-first combination over the other streams' seen items. Each
-/// stream is entered through its join-key partition: one hash probe
-/// selects the only bucket whose items can merge with the accumulated
-/// assignment (plus the residual list of items missing a join variable).
-/// The scratch assignment is shared across the whole recursion with
-/// undo-based backtracking; a combined `Bindings` is only materialized
-/// inside `emit`, once per successful full join.
-#[allow(clippy::too_many_arguments)]
-fn combine<'s, M>(
-    streams: &'s [Stream<M>],
-    skip: usize,
-    idx: usize,
-    scratch: &mut Bindings,
-    acc_score: f64,
-    acc_items: &mut Vec<&'s SeenItem>,
-    emit: &mut dyn FnMut(&Bindings, f64, &[&SeenItem]),
-    metrics: &mut ExecMetrics,
-) {
-    if idx == streams.len() {
-        emit(scratch, acc_score, acc_items);
-        return;
-    }
-    if idx == skip {
-        combine(
-            streams, skip, idx + 1, scratch, acc_score, acc_items, emit, metrics,
-        );
-        return;
-    }
-    let stream = &streams[idx];
-    let mut undo: Vec<VarId> = Vec::new();
-    let try_candidate = |item: &'s SeenItem,
-                             scratch: &mut Bindings,
-                             acc_items: &mut Vec<&'s SeenItem>,
-                             undo: &mut Vec<VarId>,
-                             emit: &mut dyn FnMut(&Bindings, f64, &[&SeenItem]),
-                             metrics: &mut ExecMetrics| {
-        metrics.join_candidates += 1;
-        undo.clear();
-        if !bind_all(scratch, &item.bound, undo) {
-            return;
-        }
-        acc_items.push(item);
-        combine(
-            streams,
-            skip,
-            idx + 1,
-            scratch,
-            acc_score + item.log_score,
-            acc_items,
-            emit,
-            metrics,
-        );
-        acc_items.pop();
-        for &v in undo.iter() {
-            scratch.unbind(v);
-        }
-    };
-    match probe_key(scratch, &stream.join_vars) {
-        Some(key) => {
-            if let Some(bucket) = stream.buckets.get(&key) {
-                for &i in bucket {
-                    try_candidate(
-                        &stream.seen[i as usize],
-                        scratch,
-                        acc_items,
-                        &mut undo,
-                        emit,
-                        metrics,
-                    );
-                }
-            }
-            for &i in &stream.partial {
-                try_candidate(
-                    &stream.seen[i as usize],
-                    scratch,
-                    acc_items,
-                    &mut undo,
-                    emit,
-                    metrics,
-                );
-            }
-        }
-        None => {
-            for item in &stream.seen {
-                try_candidate(item, scratch, acc_items, &mut undo, emit, metrics);
-            }
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn join_with_others<M>(
-    streams: &[Stream<M>],
-    new_stream: usize,
-    new_item: &SeenItem,
-    variant_log: f64,
-    variant_trace: &[RuleId],
-    projection: &[VarId],
-    scratch: &mut Bindings,
-    collector: &mut AnswerCollector,
-    metrics: &mut ExecMetrics,
-) {
-    let mut base_undo: Vec<VarId> = Vec::new();
-    if !bind_all(scratch, &new_item.bound, &mut base_undo) {
-        return; // scratch starts unbound, so this cannot conflict; defensive
-    }
-    let mut acc_items: Vec<&SeenItem> = vec![new_item];
-    let base_score = new_item.log_score + variant_log;
-    combine(
-        streams,
-        new_stream,
-        0,
-        scratch,
-        base_score,
-        &mut acc_items,
-        &mut |bindings, score, items| {
-            let mut rules: Vec<RuleId> = variant_trace.to_vec();
-            let mut rule_weight = 1.0;
-            for item in items {
-                rules.extend_from_slice(&item.trace);
-                rule_weight *= item.weight;
-            }
-            // Variant weight folds into the derivation weight as well.
-            if variant_log.is_finite() {
-                rule_weight *= variant_log.exp();
-            }
-            collector.offer(Answer {
-                key: bindings.project(projection),
-                bindings: bindings.clone(),
-                score,
-                derivation: Derivation {
-                    triples: items.iter().map(|it| (it.pattern, it.triple)).collect(),
-                    rules,
-                    rule_weight,
-                },
-            });
-        },
-        metrics,
-    );
-    for &v in &base_undo {
-        scratch.unbind(v);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ast::QueryBuilder;
-    use crate::exec::expand;
-    use trinit_relax::{ExpandOptions, Rule, RuleProvenance};
-    use trinit_xkg::XkgBuilder;
-
-    fn store() -> XkgStore {
-        let mut b = XkgBuilder::new();
-        b.add_kg_resources("AlfredKleiner", "hasStudent", "AlbertEinstein");
-        b.add_kg_resources("AlbertEinstein", "affiliation", "IAS");
-        b.add_kg_resources("MaxPlanck", "affiliation", "BerlinUniversity");
-        let src = b.intern_source("doc");
-        let s = b.dict_mut().resource("IAS");
-        let housed = b.dict_mut().token("housed in");
-        let o = b.dict_mut().resource("PrincetonUniversity");
-        b.add_extracted(s, housed, o, 0.9, src);
-        let s2 = b.dict_mut().resource("AlbertEinstein");
-        let lectured = b.dict_mut().token("lectured at");
-        b.add_extracted(s2, lectured, o, 0.7, src);
-        b.build()
-    }
-
-    fn advisor_rules(store: &XkgStore) -> (RuleSet, trinit_xkg::TermId) {
-        let mut qb = QueryBuilder::new(store);
-        let has_advisor = qb.resource("hasAdvisor");
-        let has_student = store.resource("hasStudent").unwrap();
-        let mut rules = RuleSet::new();
-        rules.add(Rule::inversion(
-            "advisor/student",
-            has_advisor,
-            has_student,
-            1.0,
-            RuleProvenance::UserDefined,
-        ));
-        (rules, has_advisor)
-    }
-
-    #[test]
-    fn lazy_merge_recovers_inverted_answer() {
-        let store = store();
-        let (rules, _) = advisor_rules(&store);
-        let q = QueryBuilder::new(&store)
-            .pattern_r_r_v("AlbertEinstein", "hasAdvisor", "x")
-            .build();
-        let (answers, metrics) = run(&store, &q, &rules, &TopkConfig::default());
-        assert_eq!(answers.len(), 1);
-        let kleiner = store.resource("AlfredKleiner").unwrap();
-        assert_eq!(answers[0].key[0].1, Some(kleiner));
-        assert_eq!(metrics.relaxations_opened, 1);
-    }
-
-    #[test]
-    fn lectured_at_relaxation_for_affiliation() {
-        let store = store();
-        let aff = store.resource("affiliation").unwrap();
-        let lectured = store.token("lectured at").unwrap();
-        let mut rules = RuleSet::new();
-        rules.add(Rule::predicate_rewrite(
-            "rule4",
-            aff,
-            lectured,
-            0.7,
-            RuleProvenance::UserDefined,
-        ));
-        let q = QueryBuilder::new(&store)
-            .pattern_r_r_v("AlbertEinstein", "affiliation", "y")
-            .limit(5)
-            .build();
-        let (answers, _) = run(&store, &q, &rules, &TopkConfig::default());
-        assert_eq!(answers.len(), 2);
-        let ias = store.resource("IAS").unwrap();
-        let princeton = store.resource("PrincetonUniversity").unwrap();
-        assert_eq!(answers[0].key[0].1, Some(ias));
-        assert_eq!(answers[1].key[0].1, Some(princeton));
-        assert!(answers[1].score < answers[0].score);
-    }
-
-    #[test]
-    fn agrees_with_full_expansion() {
-        let store = store();
-        let aff = store.resource("affiliation").unwrap();
-        let lectured = store.token("lectured at").unwrap();
-        let housed = store.token("housed in").unwrap();
-        let mut rules = RuleSet::new();
-        rules.add(Rule::predicate_rewrite(
-            "a",
-            aff,
-            lectured,
-            0.7,
-            RuleProvenance::UserDefined,
-        ));
-        rules.add(Rule::predicate_rewrite(
-            "b",
-            aff,
-            housed,
-            0.6,
-            RuleProvenance::UserDefined,
-        ));
-        rules.add(Rule::predicate_rewrite(
-            "c",
-            lectured,
-            housed,
-            0.5,
-            RuleProvenance::UserDefined,
-        ));
-        let q = QueryBuilder::new(&store)
-            .pattern_v_r_v("x", "affiliation", "y")
-            .limit(50)
-            .build();
-        let (inc, _) = run(
-            &store,
-            &q,
-            &rules,
-            &TopkConfig {
-                chain_depth: 2,
-                structural_depth: 0,
-                min_weight: 0.0,
-                ..Default::default()
-            },
-        );
-        let (full, _) = expand::run(
-            &store,
-            &q,
-            &rules,
-            &ExpandOptions {
-                max_depth: 2,
-                min_weight: 0.0,
-                max_rewritings: 1024,
-            },
-        );
-        assert_eq!(inc.len(), full.len());
-        for (a, b) in inc.iter().zip(&full) {
-            assert_eq!(a.key, b.key, "same answers in same order");
-            assert!((a.score - b.score).abs() < 1e-9, "same scores");
-        }
-    }
-
-    #[test]
-    fn relaxations_not_opened_when_k_satisfied_early() {
-        // With k=1 and a strong exact answer, the weak relaxation's
-        // posting list should never be materialized.
-        let mut b = XkgBuilder::new();
-        b.add_kg_resources("E", "p", "O1");
-        let weak = b.dict_mut().token("weak predicate");
-        for i in 0..100 {
-            let s = b.dict_mut().resource(&format!("s{i}"));
-            let o = b.dict_mut().resource(&format!("o{i}"));
-            let src = b.intern_source("d");
-            b.add_extracted(s, weak, o, 0.9, src);
-        }
-        let store = b.build();
-        let p = store.resource("p").unwrap();
-        let weak = store.token("weak predicate").unwrap();
-        let mut rules = RuleSet::new();
-        rules.add(Rule::predicate_rewrite(
-            "weak",
-            p,
-            weak,
-            0.05,
-            RuleProvenance::UserDefined,
-        ));
-        let q = QueryBuilder::new(&store)
-            .pattern_r_r_v("E", "p", "y")
-            .limit(1)
-            .build();
-        let (answers, metrics) = run(
-            &store,
-            &q,
-            &rules,
-            &TopkConfig {
-                min_weight: 0.0,
-                ..Default::default()
-            },
-        );
-        assert_eq!(answers.len(), 1);
-        // Exact match has prob 1.0 > bound 0.05 of the relaxation.
-        assert_eq!(metrics.relaxations_opened, 0, "{metrics:?}");
-    }
-
-    #[test]
-    fn join_query_with_relaxation() {
-        let store = store();
-        let aff = store.resource("affiliation").unwrap();
-        let lectured = store.token("lectured at").unwrap();
-        let mut rules = RuleSet::new();
-        rules.add(Rule::predicate_rewrite(
-            "rule4",
-            aff,
-            lectured,
-            0.7,
-            RuleProvenance::UserDefined,
-        ));
-        // Who is affiliated with something housed in Princeton?
-        let q = QueryBuilder::new(&store)
-            .pattern_v_r_v("x", "affiliation", "y")
-            .pattern_r_t_v("IAS", "housed in", "z")
-            .limit(10)
-            .build();
-        let (answers, _) = run(&store, &q, &rules, &TopkConfig::default());
-        assert!(!answers.is_empty());
-    }
-
-    #[test]
-    fn empty_query_variant_is_safe() {
-        let store = store();
-        let q = QueryBuilder::new(&store)
-            .pattern_v_r_r("x", "nonexistentPredicate", "Nowhere")
-            .build();
-        let (answers, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
-        assert!(answers.is_empty());
-    }
-
-    /// Reference evaluation for the partition tests: full expansion
-    /// evaluates every rewriting with a nested-loop join, so its answer
-    /// set is exactly what the hash-partitioned combine must reproduce.
-    fn reference(store: &XkgStore, q: &crate::ast::Query, rules: &RuleSet) -> Vec<crate::answer::Answer> {
-        let (full, _) = expand::run(
-            store,
-            q,
-            rules,
-            &ExpandOptions {
-                max_depth: 2,
-                min_weight: 0.0,
-                max_rewritings: 4096,
-            },
-        );
-        full
-    }
-
-    fn assert_same_answers(a: &[crate::answer::Answer], b: &[crate::answer::Answer]) {
-        assert_eq!(a.len(), b.len(), "answer counts differ");
-        for (x, y) in a.iter().zip(b) {
-            assert_eq!(x.key, y.key, "answer keys differ");
-            assert!((x.score - y.score).abs() < 1e-9, "scores differ");
-        }
-    }
-
-    #[test]
-    fn no_shared_variables_is_a_cross_product() {
-        // Streams without join variables share the single empty-key
-        // bucket: every seen item of the other stream is probed, i.e. a
-        // genuine cross product, identical to nested-loop evaluation.
-        let mut b = XkgBuilder::new();
-        for i in 0..3 {
-            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{i}"));
-        }
-        for i in 0..4 {
-            b.add_kg_resources(&format!("t{i}"), "q", &format!("u{i}"));
-        }
-        let store = b.build();
-        let q = QueryBuilder::new(&store)
-            .pattern_v_r_v("a", "p", "b")
-            .pattern_v_r_v("c", "q", "d")
-            .limit(1000)
-            .build();
-        let (inc, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
-        assert_eq!(inc.len(), 12, "3 × 4 cross product");
-        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
-    }
-
-    #[test]
-    fn repeated_variable_pattern_joins_correctly() {
-        // `?x p ?x` filters to self-loops and shares ?x with the second
-        // stream; the partition key must use the deduplicated binding.
-        let mut b = XkgBuilder::new();
-        b.add_kg_resources("loop", "p", "loop");
-        b.add_kg_resources("a", "p", "b"); // not a self-loop
-        b.add_kg_resources("loop", "q", "c");
-        b.add_kg_resources("a", "q", "d");
-        let store = b.build();
-        let mut qb = QueryBuilder::new(&store);
-        let x = QTerm::Var(qb.var("x"));
-        let y = QTerm::Var(qb.var("y"));
-        let p = QTerm::Term(qb.resource("p"));
-        let qq = QTerm::Term(qb.resource("q"));
-        let q = qb.pattern(x, p, x).pattern(x, qq, y).limit(1000).build();
-        let (inc, _) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
-        assert_eq!(inc.len(), 1, "only the self-loop joins");
-        let loop_id = store.resource("loop").unwrap();
-        assert_eq!(inc[0].bindings.get(trinit_relax::VarId(0)), Some(loop_id));
-        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
-    }
-
-    #[test]
-    fn empty_bucket_probes_produce_nothing_and_test_no_candidates() {
-        // Join-key value sets are disjoint: every probe lands in an
-        // absent bucket, so the combine tests zero candidates (a full
-        // scan would have tested every pair) and yields no answers.
-        let mut b = XkgBuilder::new();
-        for i in 0..5 {
-            b.add_kg_resources(&format!("a{i}"), "p", &format!("y{i}"));
-            b.add_kg_resources(&format!("b{i}"), "q", &format!("z{i}"));
-        }
-        let store = b.build();
-        let q = QueryBuilder::new(&store)
-            .pattern_v_r_v("x", "p", "y")
-            .pattern_v_r_v("x", "q", "z")
-            .limit(1000)
-            .build();
-        let (inc, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
-        assert!(inc.is_empty());
-        assert_eq!(
-            metrics.join_candidates, 0,
-            "disjoint keys must never be probed: {metrics:?}"
-        );
-        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
-    }
-
-    #[test]
-    fn partitioning_cuts_join_candidates_on_one_to_one_joins() {
-        // 30 1:1 join pairs. A full seen-list scan tests O(n²)
-        // candidates; the partitioned probe touches one bucket of size 1
-        // per arriving item.
-        let n = 30usize;
-        let mut b = XkgBuilder::new();
-        for i in 0..n {
-            b.add_kg_resources(&format!("x{i}"), "p", &format!("y{i}"));
-            b.add_kg_resources(&format!("x{i}"), "q", &format!("z{i}"));
-        }
-        let store = b.build();
-        let q = QueryBuilder::new(&store)
-            .pattern_v_r_v("x", "p", "y")
-            .pattern_v_r_v("x", "q", "z")
-            .limit(1000)
-            .build();
-        let (inc, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
-        assert_eq!(inc.len(), n);
-        assert!(
-            metrics.join_candidates <= 2 * n,
-            "partitioned probes should be linear, got {} for n = {n}",
-            metrics.join_candidates
-        );
-        assert_same_answers(&inc, &reference(&store, &q, &RuleSet::new()));
-    }
-
-    #[test]
-    fn partition_buckets_and_residual_list() {
-        // White-box: items binding every join variable land in the
-        // keyed bucket; items whose (relaxed) pattern dropped a join
-        // variable go to the always-scanned residual list.
-        let store = store();
-        let p = store.resource("affiliation").unwrap();
-        let pattern = QPattern::new(QTerm::Var(VarId(0)), QTerm::Term(p), QTerm::Var(VarId(1)));
-        let alts = pattern_alternatives(&pattern, &RuleSet::new(), &TopkConfig::default(), 10);
-        let cache = Rc::new(RefCell::new(PostingCache::new()));
-        let mut stream = Stream {
-            merge: IncrementalMerge::new(&store, alts, cache, None, true, None),
-            seen: Vec::new(),
-            join_vars: vec![VarId(0)],
-            buckets: HashMap::new(),
-            partial: Vec::new(),
-            best_log: LOG_ZERO,
-            exhausted: false,
-            capped: false,
-        };
-        let einstein = store.resource("AlbertEinstein").unwrap();
-        let ias = store.resource("IAS").unwrap();
-        let item = |bound: Vec<(VarId, TermId)>, score: f64| SeenItem {
-            bound,
-            log_score: score,
-            pattern,
-            triple: TripleId(0),
-            trace: Vec::new(),
-            weight: 1.0,
-        };
-        stream.push_seen(item(vec![(VarId(0), einstein), (VarId(1), ias)], -0.1));
-        stream.push_seen(item(vec![(VarId(1), ias)], -0.2)); // dropped ?x
-        stream.push_seen(item(vec![(VarId(0), einstein), (VarId(1), einstein)], -0.3));
-        assert_eq!(stream.buckets.get(&vec![einstein]), Some(&vec![0u32, 2]));
-        assert_eq!(stream.partial, vec![1u32]);
-        assert_eq!(stream.best_log, -0.1);
-
-        // Probe keys resolve through the scratch assignment.
-        let mut scratch = Bindings::new(4);
-        assert_eq!(probe_key(&scratch, &stream.join_vars), None, "unbound join var");
-        scratch.bind(VarId(0), einstein);
-        assert_eq!(probe_key(&scratch, &stream.join_vars), Some(vec![einstein]));
-        assert_eq!(probe_key(&scratch, &[]), Some(Vec::new()), "cross product key");
-    }
-
-    #[test]
-    fn bind_pairs_dedupes_and_detects_conflicts() {
-        let store = store();
-        let aff = store.resource("affiliation").unwrap();
-        // Find the (AlbertEinstein, affiliation, IAS) triple.
-        let einstein = store.resource("AlbertEinstein").unwrap();
-        let triple = store
-            .iter()
-            .find(|(_, t)| t.p == aff && t.s == einstein)
-            .map(|(id, _)| id)
-            .unwrap();
-        let v = QTerm::Var(VarId(0));
-        let w = QTerm::Var(VarId(1));
-        let pairs = bind_pairs(&QPattern::new(v, QTerm::Term(aff), w), &store, triple).unwrap();
-        assert_eq!(pairs.len(), 2);
-        assert_eq!(pairs[0].0, VarId(0));
-        assert_eq!(pairs[0].1, einstein);
-        // Repeated variable over distinct slot values: conflict.
-        assert!(bind_pairs(&QPattern::new(v, QTerm::Term(aff), v), &store, triple).is_none());
-        // Ground pattern binds nothing.
-        let t = store.triple(triple);
-        let ground = QPattern::new(QTerm::Term(t.s), QTerm::Term(t.p), QTerm::Term(t.o));
-        assert!(bind_pairs(&ground, &store, triple).unwrap().is_empty());
-    }
-
-    #[test]
-    fn tightened_threshold_caps_hopeless_streams() {
-        // Stream A: one strong lonely item, one joining item, then a
-        // heavy tail of lonely items whose frontier stays above stream
-        // B's. Stream B: a strong joining head and a long tail. Once the
-        // best join is collected, no unseen A item can beat it (its
-        // frontier × B's best is below the answer), but B must still be
-        // drained. The untightened engine keeps pulling A (highest
-        // frontier); the tightened one caps A and pulls only B.
-        let mut b = XkgBuilder::new();
-        let p = b.dict_mut().resource("p");
-        let q = b.dict_mut().resource("q");
-        let src = b.intern_source("d");
-        let add = |s: &str, pred: trinit_xkg::TermId, o: &str, conf: f32, b: &mut XkgBuilder| {
-            let s = b.dict_mut().resource(s);
-            let o = b.dict_mut().resource(o);
-            b.add_extracted(s, pred, o, conf, src);
-        };
-        add("LA", p, "y0", 0.9, &mut b);
-        add("J", p, "y1", 0.018, &mut b);
-        for i in 0..50 {
-            add(&format!("a{i}"), p, &format!("ya{i}"), 0.016, &mut b);
-        }
-        add("J", q, "z0", 0.9, &mut b);
-        for i in 0..150 {
-            add(&format!("b{i}"), q, &format!("zb{i}"), 0.5, &mut b);
-        }
-        let store = b.build();
-        let q = QueryBuilder::new(&store)
-            .pattern_v_r_v("x", "p", "y")
-            .pattern_v_r_v("x", "q", "z")
-            .limit(1)
-            .build();
-        let rules = RuleSet::new();
-        let (tight, m_tight) = run(
-            &store,
-            &q,
-            &rules,
-            &TopkConfig {
-                tighten_threshold: true,
-                ..TopkConfig::default()
-            },
-        );
-        let (loose, m_loose) = run(
-            &store,
-            &q,
-            &rules,
-            &TopkConfig {
-                tighten_threshold: false,
-                ..TopkConfig::default()
-            },
-        );
-        assert_same_answers(&tight, &loose);
-        assert_eq!(tight.len(), 1);
-        assert!(
-            m_tight.pulls < m_loose.pulls,
-            "capping must save pulls: {} vs {}",
-            m_tight.pulls,
-            m_loose.pulls
-        );
-        assert!(m_tight.early_cutoffs > 0, "{m_tight:?}");
-        assert_eq!(m_loose.early_cutoffs, 0, "{m_loose:?}");
-    }
-
-    #[test]
-    fn remaining_mass_dominates_frontier_throughout() {
-        // The soundness envelope the capping bound relies on: at every
-        // point of a merge's lifetime, the O(1)-tracked remaining mass
-        // is ≥ the frontier (the next emission's upper bound), so
-        // capping on the frontier can never be less sound than capping
-        // on the mass. Exercised across relaxation chains, cache hits,
-        // and exhaustion.
-        let store = store();
-        let aff = store.resource("affiliation").unwrap();
-        let lectured = store.token("lectured at").unwrap();
-        let housed = store.token("housed in").unwrap();
-        let mut rules = RuleSet::new();
-        rules.add(Rule::predicate_rewrite("a", aff, lectured, 0.7, RuleProvenance::UserDefined));
-        rules.add(Rule::predicate_rewrite("b", aff, housed, 0.6, RuleProvenance::UserDefined));
-        let cfg = TopkConfig {
-            min_weight: 0.0,
-            ..TopkConfig::default()
-        };
-        for pattern in [
-            QPattern::new(QTerm::Var(VarId(0)), QTerm::Term(aff), QTerm::Var(VarId(1))),
-            QPattern::new(
-                QTerm::Term(store.resource("AlbertEinstein").unwrap()),
-                QTerm::Term(aff),
-                QTerm::Var(VarId(1)),
-            ),
-        ] {
-            for tighten in [true, false] {
-                let alts = pattern_alternatives(&pattern, &rules, &cfg, 10);
-                let cache = Rc::new(RefCell::new(PostingCache::new()));
-                let mut merge = IncrementalMerge::new(&store, alts, cache, None, tighten, None);
-                let mut metrics = ExecMetrics::default();
-                let mut total_emitted = 0.0;
-                loop {
-                    let mass = merge.remaining_mass();
-                    match merge.peek_bound() {
-                        Some(bound) => assert!(
-                            mass >= bound - 1e-12,
-                            "mass {mass} < frontier {bound} (tighten={tighten})"
-                        ),
-                        None => break,
-                    }
-                    let Some(m) = merge.next_merged(&mut metrics) else {
-                        break;
-                    };
-                    // The emission itself is covered by the pre-pull mass.
-                    assert!(mass >= m.prob - 1e-12);
-                    total_emitted += m.prob;
-                }
-                assert!(merge.remaining_mass() >= -1e-12);
-                assert!(total_emitted > 0.0);
-            }
-        }
-    }
-
-    #[test]
-    fn head_bound_prunes_hopeless_variants() {
-        // A structural variant whose head-bound product cannot reach the
-        // already-collected k-th answer is skipped without opening a
-        // single posting list.
-        let store = store();
-        let aff = store.resource("affiliation").unwrap();
-        let housed = store.token("housed in").unwrap();
-        let mut rules = RuleSet::new();
-        // A non-mergeable (two-RHS) rule creates a structural variant
-        // with a tiny weight (paper rule 3 shape).
-        let (x, y, z) = (
-            trinit_relax::TTerm::Var(trinit_relax::RVar(0)),
-            trinit_relax::TTerm::Var(trinit_relax::RVar(1)),
-            trinit_relax::TTerm::Var(trinit_relax::RVar(2)),
-        );
-        rules.add(Rule::structural(
-            "weak structural",
-            vec![trinit_relax::Template::new(
-                x,
-                trinit_relax::TTerm::Const(aff),
-                y,
-            )],
-            vec![
-                trinit_relax::Template::new(x, trinit_relax::TTerm::Const(aff), z),
-                trinit_relax::Template::new(z, trinit_relax::TTerm::Const(housed), y),
-            ],
-            0.0001,
-            RuleProvenance::UserDefined,
-        ));
-        let q = QueryBuilder::new(&store)
-            .pattern_r_r_v("AlbertEinstein", "affiliation", "y")
-            .limit(1)
-            .build();
-        let (answers, metrics) = run(
-            &store,
-            &q,
-            &rules,
-            &TopkConfig {
-                min_weight: 0.0,
-                ..TopkConfig::default()
-            },
-        );
-        assert_eq!(answers.len(), 1);
-        assert!(
-            metrics.early_cutoffs > 0,
-            "weak variant should be pruned by its head bound: {metrics:?}"
-        );
-    }
-
-    #[test]
-    fn zero_mass_groups_agree_with_untightened_and_expansion() {
-        // A predicate whose entire match set has weight 0 (confidence 0
-        // extractions): its posting group serves as an empty list and
-        // its head bound is 0. The tightened threshold skips the
-        // alternative outright; the untightened engine and the
-        // full-expansion reference open it and emit nothing. All three
-        // must agree — this is the satellite's "head bound 0 caps the
-        // stream before pulling" regression.
-        let mut b = XkgBuilder::new();
-        let ghost = b.dict_mut().resource("ghost");
-        let p = b.dict_mut().resource("p");
-        let src = b.intern_source("d");
-        for i in 0..5u32 {
-            let s = b.dict_mut().resource(&format!("g{i}"));
-            let o = b.dict_mut().resource(&format!("go{i}"));
-            b.add_extracted(s, ghost, o, 0.0, src);
-        }
-        // Zero-weight self-loops: the repeated-variable (masked) shape
-        // `?x ghost ?x` filters to a zero-mass set too.
-        for i in 0..2u32 {
-            let s = b.dict_mut().resource(&format!("loop{i}"));
-            b.add_extracted(s, ghost, s, 0.0, src);
-        }
-        for i in 0..4u32 {
-            let s = b.dict_mut().resource(&format!("s{i}"));
-            let o = b.dict_mut().resource(&format!("o{i}"));
-            b.add_extracted(s, p, o, 0.5 + 0.1 * i as f32, src);
-        }
-        let store = b.build();
-        let mut rules = RuleSet::new();
-        rules.add(Rule::predicate_rewrite(
-            "into the void",
-            store.resource("p").unwrap(),
-            store.resource("ghost").unwrap(),
-            0.9,
-            RuleProvenance::UserDefined,
-        ));
-        let repeated = {
-            let mut qb = QueryBuilder::new(&store);
-            let x = QTerm::Var(qb.var("x"));
-            let g = QTerm::Term(qb.resource("ghost"));
-            qb.pattern(x, g, x).limit(20).build()
-        };
-        for query in [
-            QueryBuilder::new(&store).pattern_v_r_v("x", "p", "y").limit(20).build(),
-            QueryBuilder::new(&store).pattern_v_r_v("x", "ghost", "y").limit(20).build(),
-            repeated,
-        ] {
-            let (tight, _) = run(
-                &store,
-                &query,
-                &rules,
-                &TopkConfig { tighten_threshold: true, min_weight: 0.0, ..Default::default() },
-            );
-            let (loose, _) = run(
-                &store,
-                &query,
-                &rules,
-                &TopkConfig { tighten_threshold: false, min_weight: 0.0, ..Default::default() },
-            );
-            assert_same_answers(&tight, &loose);
-            let (full, _) = expand::run(
-                &store,
-                &query,
-                &rules,
-                &ExpandOptions { max_depth: 2, min_weight: 0.0, max_rewritings: 1024 },
-            );
-            assert_same_answers(&tight, &full);
-        }
-    }
-
-    #[test]
-    fn anchored_patterns_serve_from_index_without_sorting() {
-        // The acceptance counter: an anchored-heavy query performs zero
-        // materialize-and-sort list builds; s-/o-bound patterns are
-        // anchored-index serves.
-        let mut b = XkgBuilder::new();
-        for i in 0..20u32 {
-            b.add_kg_resources(&format!("s{i}"), "p", "hub");
-            b.add_kg_resources(&format!("s{i}"), "q", &format!("o{i}"));
-        }
-        let store = b.build();
-        let queries = [
-            // s-bound (subject stratum, borrowed slice).
-            QueryBuilder::new(&store).pattern_r_r_v("s3", "p", "y").limit(5).build(),
-            // o-bound via a variable predicate: (?x ?p hub).
-            {
-                let mut qb = QueryBuilder::new(&store);
-                let x = QTerm::Var(qb.var("x"));
-                let pv = QTerm::Var(qb.var("pv"));
-                let hub = QTerm::Term(qb.resource("hub"));
-                qb.pattern(x, pv, hub).limit(5).build()
-            },
-        ];
-        for q in queries {
-            let (answers, metrics) = run(&store, &q, &RuleSet::new(), &TopkConfig::default());
-            assert!(!answers.is_empty());
-            assert!(
-                metrics.anchored_serves > 0,
-                "anchored shapes must be served by the index: {metrics:?}"
-            );
-            assert_eq!(
-                metrics.posting_sorts, 0,
-                "the unbounded materialize-and-sort fallback must be unreachable: {metrics:?}"
-            );
-            assert_eq!(
-                metrics.ranged_serves, 0,
-                "these anchored lookups fit their groups — no range cutover expected: {metrics:?}"
-            );
-        }
-    }
-}
+//! This module re-exports the public surface so existing callers (and
+//! the paper-anchored docs that reference `exec::topk`) keep working;
+//! new code should import from the stage modules directly.
+
+pub use crate::exec::drive::{run, run_cached, run_scaled, TopkConfig};
+pub use crate::exec::merge::{IncrementalMerge, Merged, RankSource};

@@ -9,6 +9,15 @@ use trinit_relax::{QPattern, VarId};
 use trinit_xkg::XkgStore;
 
 /// Returns the evaluation order of `patterns` as indices.
+///
+/// The greedy selection scans the remaining patterns each round
+/// (inherent to left-deep planning), but its bookkeeping is sub-linear:
+/// the bound-variable set is kept **sorted** so connectivity checks are
+/// a binary search instead of a linear `contains`, and the picked
+/// pattern leaves `remaining` by **swap-remove** at its scanned
+/// position instead of a full `retain` pass. Tie order is still
+/// deterministic — the selection key ends in the pattern *index*, which
+/// is independent of `remaining`'s internal order.
 pub fn plan_order(store: &XkgStore, patterns: &[QPattern]) -> Vec<usize> {
     let cards: Vec<usize> = patterns
         .iter()
@@ -16,16 +25,19 @@ pub fn plan_order(store: &XkgStore, patterns: &[QPattern]) -> Vec<usize> {
         .collect();
     let mut remaining: Vec<usize> = (0..patterns.len()).collect();
     let mut order = Vec::with_capacity(patterns.len());
+    // Sorted at all times: membership is a binary search.
     let mut bound_vars: Vec<VarId> = Vec::new();
 
     while !remaining.is_empty() {
-        let pick = remaining
+        let (pos, _) = remaining
             .iter()
-            .copied()
-            .min_by_key(|&i| {
-                let connected = patterns[i].vars().any(|v| bound_vars.contains(&v));
+            .enumerate()
+            .min_by_key(|&(_, &i)| {
+                let connected = patterns[i]
+                    .vars()
+                    .any(|v| bound_vars.binary_search(&v).is_ok());
                 // Connected patterns first (0), then by cardinality, then
-                // by index for determinism.
+                // by pattern index for determinism.
                 (
                     if order.is_empty() || connected { 0 } else { 1 },
                     cards[i],
@@ -33,10 +45,10 @@ pub fn plan_order(store: &XkgStore, patterns: &[QPattern]) -> Vec<usize> {
                 )
             })
             .expect("remaining is non-empty");
-        remaining.retain(|&i| i != pick);
+        let pick = remaining.swap_remove(pos);
         for v in patterns[pick].vars() {
-            if !bound_vars.contains(&v) {
-                bound_vars.push(v);
+            if let Err(insert_at) = bound_vars.binary_search(&v) {
+                bound_vars.insert(insert_at, v);
             }
         }
         order.push(pick);
@@ -97,5 +109,86 @@ mod tests {
     fn empty_query_plans_empty() {
         let store = XkgBuilder::new().build();
         assert!(plan_order(&store, &[]).is_empty());
+    }
+
+    /// The sorted-set / swap-remove bookkeeping is behaviourally
+    /// identical to the original `contains` / `retain` version — pinned
+    /// against a local reference implementation, including on tied
+    /// cardinalities (where determinism comes from the pattern-index
+    /// tie-break, not from `remaining`'s internal order).
+    #[test]
+    fn matches_reference_bookkeeping_with_ties() {
+        fn reference(store: &XkgStore, patterns: &[QPattern]) -> Vec<usize> {
+            let cards: Vec<usize> = patterns
+                .iter()
+                .map(|p| store.count(&p.slot_pattern()))
+                .collect();
+            let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+            let mut order = Vec::with_capacity(patterns.len());
+            let mut bound_vars: Vec<VarId> = Vec::new();
+            while !remaining.is_empty() {
+                let pick = remaining
+                    .iter()
+                    .copied()
+                    .min_by_key(|&i| {
+                        let connected = patterns[i].vars().any(|v| bound_vars.contains(&v));
+                        (
+                            if order.is_empty() || connected { 0 } else { 1 },
+                            cards[i],
+                            i,
+                        )
+                    })
+                    .expect("remaining is non-empty");
+                remaining.retain(|&i| i != pick);
+                for v in patterns[pick].vars() {
+                    if !bound_vars.contains(&v) {
+                        bound_vars.push(v);
+                    }
+                }
+                order.push(pick);
+            }
+            order
+        }
+
+        let mut b = XkgBuilder::new();
+        for i in 0..6 {
+            b.add_kg_resources(&format!("s{i}"), "p", "hub");
+            b.add_kg_resources(&format!("s{i}"), "q", "hub");
+            b.add_kg_resources("solo", &format!("r{i}"), &format!("t{i}"));
+        }
+        let store = b.build();
+        let p = store.resource("p").unwrap();
+        let q = store.resource("q").unwrap();
+        let r0 = store.resource("r0").unwrap();
+        let r1 = store.resource("r1").unwrap();
+        let vars: Vec<QTerm> = (0..6).map(|i| QTerm::Var(VarId(i))).collect();
+        let cases: Vec<Vec<QPattern>> = vec![
+            // Tied cardinalities (p and q both match 6).
+            vec![
+                QPattern::new(vars[0], QTerm::Term(q), vars[1]),
+                QPattern::new(vars[0], QTerm::Term(p), vars[1]),
+                QPattern::new(vars[2], QTerm::Term(r0), vars[3]),
+            ],
+            // Chain with disconnected tail and repeated variables.
+            vec![
+                QPattern::new(vars[0], QTerm::Term(p), vars[0]),
+                QPattern::new(vars[1], QTerm::Term(r1), vars[2]),
+                QPattern::new(vars[0], QTerm::Term(q), vars[3]),
+                QPattern::new(vars[4], QTerm::Term(r0), vars[5]),
+            ],
+            // Single pattern and fully disconnected set.
+            vec![QPattern::new(vars[0], QTerm::Term(p), vars[1])],
+            vec![
+                QPattern::new(vars[0], QTerm::Term(r0), vars[1]),
+                QPattern::new(vars[2], QTerm::Term(r1), vars[3]),
+            ],
+        ];
+        for patterns in &cases {
+            assert_eq!(
+                plan_order(&store, patterns),
+                reference(&store, patterns),
+                "order diverged for {patterns:?}"
+            );
+        }
     }
 }

@@ -404,3 +404,78 @@ proptest! {
         prop_assert_eq!(normalize(&a1), normalize(&a2));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ε-approximate mode's guarantee, on arbitrary stores, join
+    /// queries, and rule sets: every returned answer carries its exact
+    /// score, pulls never exceed the exact engine's, and rank-wise the
+    /// approximate ranking is within ε of the exact one in probability
+    /// space — `prob(approx[r]) ≥ prob(exact[r]) − ε` for every rank r.
+    #[test]
+    fn epsilon_approximate_is_within_eps_of_exact(
+        rows in store_strategy(5, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+        eps_pick in proptest::bool::ANY,
+    ) {
+        let eps = if eps_pick { 0.05 } else { 0.01 };
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        let (exact, m_exact) = topk::run(&store, &query_from(patterns.clone(), k), &set, &cfg);
+        let (approx, m_approx) = topk::run(
+            &store,
+            &query_from(patterns, k),
+            &set,
+            &TopkConfig { epsilon: eps, ..cfg },
+        );
+        prop_assert!(
+            m_approx.pulls <= m_exact.pulls,
+            "ε mode must never pull more: {} > {}",
+            m_approx.pulls,
+            m_exact.pulls
+        );
+        for (r, e) in exact.iter().enumerate() {
+            let pe = e.score.exp();
+            let pa = approx.get(r).map_or(0.0, |a| a.score.exp());
+            prop_assert!(
+                pa >= pe - eps - 1e-9,
+                "rank {}: approximate {} not within ε={} of exact {}",
+                r, pa, eps, pe
+            );
+        }
+    }
+
+    /// ε = 0 *is* the exact engine: identical answers and identical
+    /// pull counts (the approximate criterion compares against ln 0 =
+    /// −∞ and can never fire), with zero approx cutoffs.
+    #[test]
+    fn epsilon_zero_is_pull_count_identical_to_exact(
+        rows in store_strategy(5, 40),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+    ) {
+        let store = build_store(&rows);
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        let (exact, m_exact) = topk::run(&store, &query_from(patterns.clone(), k), &set, &cfg);
+        let (eps0, m_eps0) = topk::run(
+            &store,
+            &query_from(patterns, k),
+            &set,
+            &TopkConfig { epsilon: 0.0, ..cfg },
+        );
+        prop_assert_eq!(exact.len(), eps0.len());
+        for (a, b) in exact.iter().zip(&eps0) {
+            prop_assert_eq!(&a.key, &b.key, "ε=0 changed an answer key");
+            prop_assert_eq!(a.score, b.score, "ε=0 changed a score bit pattern");
+        }
+        prop_assert_eq!(m_exact.pulls, m_eps0.pulls, "ε=0 changed the pull count");
+        prop_assert_eq!(m_eps0.approx_cutoffs, 0);
+        prop_assert_eq!(m_exact.approx_cutoffs, 0);
+    }
+}

@@ -49,9 +49,9 @@ pub struct ShardedRun {
 /// merge phase, which is always complete and exact).
 #[derive(Debug, Clone, Copy)]
 pub struct ShardedExecutor<'a> {
-    store: &'a ShardedStore,
+    pub(crate) store: &'a ShardedStore,
     /// One store-level posting cache per shard, if caching is enabled.
-    caches: Option<&'a [SharedPostingCache]>,
+    pub(crate) caches: Option<&'a [SharedPostingCache]>,
 }
 
 impl<'a> ShardedExecutor<'a> {
@@ -82,8 +82,9 @@ impl<'a> ShardedExecutor<'a> {
 
     /// Runs one shard's local top-k (all patterns restricted to the
     /// shard's slice, scores globally normalized) and remaps the
-    /// answers' derivation ids into the global space.
-    fn seed_shard(
+    /// answers' derivation ids into the global space. One seed task of
+    /// the work-stealing batch scheduler ([`crate::schedule`]).
+    pub(crate) fn seed_shard(
         &self,
         shard: usize,
         query: &Query,
@@ -151,6 +152,22 @@ impl<'a> ShardedExecutor<'a> {
             }
         }
 
+        self.merge_with_seeds(query, rules, cfg, seeds, per_shard)
+    }
+
+    /// The cross-shard merge phase: runs the partitioned pipeline with
+    /// the collector pre-loaded from `seeds`, folding the seed phase's
+    /// per-shard work (`per_shard`) into the aggregate counters. Shared
+    /// by [`ShardedExecutor::run`] and the work-stealing batch
+    /// scheduler, whose stolen seed tasks feed the same merge.
+    pub(crate) fn merge_with_seeds(
+        &self,
+        query: &Query,
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+        seeds: Vec<Answer>,
+        mut per_shard: Vec<ExecMetrics>,
+    ) -> ShardedRun {
         let shard_refs: Vec<&trinit_xkg::XkgStore> = self.store.shards().iter().collect();
         let run = run_partitioned(
             &shard_refs,

@@ -64,6 +64,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod exec;
+pub mod schedule;
 pub mod store;
 
 pub use exec::{QueryPool, SeedMode, ShardedExecutor, ShardedRun};

@@ -1,0 +1,298 @@
+//! Work-stealing batch scheduler: per-shard **seed tasks** as the unit
+//! of stolen work.
+//!
+//! The fixed [`QueryPool`](crate::exec::QueryPool) assigns one whole
+//! query per worker and, to keep the parallelism budget spent across
+//! queries, skips the per-shard seed phase entirely — so a batch gets
+//! throughput, but each query inside it runs at single-worker latency
+//! and its merge phase starts with an empty collector. This scheduler
+//! closes that gap by making the unit of scheduling one *(query,
+//! shard)* seed task instead of one query:
+//!
+//! * every query in the batch contributes `shard_count` seed tasks to a
+//!   shared injector (an atomic cursor over the task space — lock-free
+//!   claiming, no idle waiting);
+//! * workers drain the injector: a query is nominally *owned* by the
+//!   worker that claims its first task, and every one of its seed tasks
+//!   executed by a different worker is a **steal** — idle workers
+//!   naturally lift the remaining seed work of in-flight queries
+//!   instead of parking ([`ExecMetrics::seed_steals`] counts them per
+//!   query);
+//! * the worker that completes a query's *last* seed task immediately
+//!   drives its cross-shard merge phase
+//!   ([`ShardedExecutor::merge_with_seeds`](crate::ShardedExecutor)),
+//!   with the collector pre-loaded from every shard's seed answers — so
+//!   the merge starts with a tight k-th score, exactly like the
+//!   latency-oriented [`SeedMode::Parallel`](crate::SeedMode) path, and
+//!   no barrier ever holds a finished query hostage to a straggler
+//!   elsewhere in the batch.
+//!
+//! Answers are identical to every other execution mode (the merge phase
+//! alone is complete and exact; seeding only changes where the work is
+//! spent — a property the equivalence tests pin). Results land in input
+//! order. Determinism: seed answers are collected *per shard slot* and
+//! offered in shard order, so the merge phase sees the same seed
+//! sequence no matter which worker ran which task.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use trinit_query::exec::topk::TopkConfig;
+use trinit_query::{Answer, ExecMetrics, Query};
+use trinit_relax::RuleSet;
+
+use crate::exec::{ShardedExecutor, ShardedRun};
+
+/// Sentinel: no worker has claimed this query yet.
+const NO_OWNER: usize = usize::MAX;
+
+/// One shard's completed seed task: the answers it found (global ids,
+/// globally normalized scores) and the work it cost.
+type SeedResult = (Vec<Answer>, ExecMetrics);
+
+/// Shared per-query scheduling state.
+struct QueryState {
+    /// Seed tasks still outstanding; the worker that takes this to zero
+    /// drives the merge phase.
+    remaining: AtomicUsize,
+    /// The worker that claimed this query's first seed task.
+    owner: AtomicUsize,
+    /// Seed tasks executed by non-owner workers.
+    steals: AtomicUsize,
+    /// Per-shard seed results, slotted by shard index so the merge sees
+    /// a deterministic seed order regardless of completion order.
+    seeds: Mutex<Vec<Option<SeedResult>>>,
+    /// The finished run, written by the merge-driving worker.
+    outcome: Mutex<Option<ShardedRun>>,
+}
+
+impl<'a> ShardedExecutor<'a> {
+    /// Executes a batch of independent queries across `workers` threads
+    /// with per-shard seed-task stealing, returning one [`ShardedRun`]
+    /// per query in input order.
+    ///
+    /// Each run's `metrics.seed_steals` reports how many of the query's
+    /// seed tasks were lifted by workers other than its owner; the rest
+    /// of the counters aggregate the seed and merge phases exactly like
+    /// [`ShardedExecutor::run`] with [`SeedMode`](crate::SeedMode)
+    /// seeding.
+    pub fn run_batch_stealing(
+        &self,
+        queries: &[Query],
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+        workers: usize,
+    ) -> Vec<ShardedRun> {
+        let n_shards = self.store.shard_count();
+        let n_queries = queries.len();
+        if n_queries == 0 {
+            return Vec::new();
+        }
+        let total_tasks = n_queries * n_shards;
+        let workers = workers.max(1).min(total_tasks);
+
+        let states: Vec<QueryState> = (0..n_queries)
+            .map(|_| QueryState {
+                remaining: AtomicUsize::new(n_shards),
+                owner: AtomicUsize::new(NO_OWNER),
+                steals: AtomicUsize::new(0),
+                seeds: Mutex::new(vec![None; n_shards]),
+                outcome: Mutex::new(None),
+            })
+            .collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for worker in 0..workers {
+                let states = &states;
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    // Claim the next seed task off the shared injector.
+                    let task = cursor.fetch_add(1, Ordering::Relaxed);
+                    if task >= total_tasks {
+                        break;
+                    }
+                    let (qi, shard) = (task / n_shards, task % n_shards);
+                    let state = &states[qi];
+                    let claimed_first = state
+                        .owner
+                        .compare_exchange(NO_OWNER, worker, Ordering::AcqRel, Ordering::Acquire);
+                    if let Err(owner) = claimed_first {
+                        if owner != worker {
+                            state.steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    let seeded = self.seed_shard(shard, &queries[qi], rules, cfg);
+                    state.seeds.lock().expect("seed slots poisoned")[shard] = Some(seeded);
+                    // The release of the mutex above pairs with the
+                    // acquire below: the last finisher observes every
+                    // shard's seed result.
+                    if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let slots = std::mem::take(
+                            &mut *state.seeds.lock().expect("seed slots poisoned"),
+                        );
+                        let mut seeds: Vec<Answer> = Vec::new();
+                        let mut per_shard = Vec::with_capacity(n_shards);
+                        for slot in slots {
+                            let (answers, metrics) = slot.expect("every seed task completed");
+                            seeds.extend(answers);
+                            per_shard.push(metrics);
+                        }
+                        let run =
+                            self.merge_with_seeds(&queries[qi], rules, cfg, seeds, per_shard);
+                        *state.outcome.lock().expect("outcome slot poisoned") = Some(run);
+                    }
+                });
+            }
+        });
+
+        states
+            .into_iter()
+            .map(|state| {
+                let mut run = state
+                    .outcome
+                    .into_inner()
+                    .expect("outcome slot poisoned")
+                    .expect("every query merged");
+                run.metrics.seed_steals = state.steals.into_inner();
+                run
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SeedMode;
+    use crate::store::ShardedStore;
+    use crate::testkit::assert_answers_score_equivalent as assert_same_answers;
+    use trinit_query::QueryBuilder;
+    use trinit_relax::{Rule, RuleProvenance};
+    use trinit_xkg::XkgBuilder;
+
+    fn builder() -> XkgBuilder {
+        let mut b = XkgBuilder::new();
+        for i in 0..24u32 {
+            b.add_kg_resources(&format!("x{i}"), "p", &format!("y{i}"));
+            b.add_kg_resources(&format!("y{i}"), "q", &format!("z{}", i % 5));
+        }
+        let src = b.intern_source("doc");
+        for i in 0..10u32 {
+            let s = b.dict_mut().resource(&format!("x{i}"));
+            let p = b.dict_mut().token("close to");
+            let o = b.dict_mut().resource(&format!("y{}", (i + 5) % 24));
+            b.add_extracted(s, p, o, 0.6, src);
+        }
+        b
+    }
+
+    fn rules(store: &trinit_xkg::XkgStore) -> RuleSet {
+        let p = store.resource("p").unwrap();
+        let close = store.token("close to").unwrap();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "p ~ close to",
+            p,
+            close,
+            0.7,
+            RuleProvenance::UserDefined,
+        ));
+        rules
+    }
+
+    #[test]
+    fn stolen_batches_match_per_query_runs() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let cfg = TopkConfig::default();
+        let queries: Vec<Query> = (0..7)
+            .map(|i| {
+                QueryBuilder::new(&single)
+                    .pattern_r_r_v(&format!("x{i}"), "p", "b")
+                    .limit(4)
+                    .build()
+            })
+            .chain(std::iter::once(
+                QueryBuilder::new(&single)
+                    .pattern_v_r_v("a", "p", "b")
+                    .pattern_v_r_v("b", "q", "c")
+                    .limit(9)
+                    .build(),
+            ))
+            .collect();
+        for shards in [2usize, 3] {
+            let sharded = ShardedStore::build(builder(), shards);
+            let exec = ShardedExecutor::new(&sharded);
+            let expected: Vec<_> = queries
+                .iter()
+                .map(|q| exec.run(q, &rules, &cfg, SeedMode::Off).answers)
+                .collect();
+            for workers in [1usize, 2, 4] {
+                let runs = exec.run_batch_stealing(&queries, &rules, &cfg, workers);
+                assert_eq!(runs.len(), queries.len());
+                for (run, want) in runs.iter().zip(&expected) {
+                    assert_same_answers(&run.answers, want);
+                    assert_eq!(run.per_shard.len(), shards);
+                    assert!(run.metrics.pulls > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_every_task_and_steals_nothing() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 4);
+        let exec = ShardedExecutor::new(&sharded);
+        let queries: Vec<Query> = (0..3)
+            .map(|i| {
+                QueryBuilder::new(&single)
+                    .pattern_r_r_v(&format!("x{i}"), "p", "b")
+                    .limit(3)
+                    .build()
+            })
+            .collect();
+        let runs = exec.run_batch_stealing(&queries, &rules, &TopkConfig::default(), 1);
+        for run in &runs {
+            assert_eq!(run.metrics.seed_steals, 0, "one worker cannot steal from itself");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let sharded = ShardedStore::build(builder(), 2);
+        let exec = ShardedExecutor::new(&sharded);
+        let runs = exec.run_batch_stealing(&[], &RuleSet::new(), &TopkConfig::default(), 4);
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn seed_metrics_fold_into_the_aggregate() {
+        // The stolen batch's counters must match the equivalent
+        // seed-then-merge execution: per-shard seed work plus the merge
+        // phase's posting work, exactly like SeedMode::Sequential.
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 3);
+        let exec = ShardedExecutor::new(&sharded);
+        let q = QueryBuilder::new(&single)
+            .pattern_v_r_v("a", "p", "b")
+            .limit(8)
+            .build();
+        let runs = exec.run_batch_stealing(
+            std::slice::from_ref(&q),
+            &rules,
+            &TopkConfig::default(),
+            2,
+        );
+        let reference = exec.run(&q, &rules, &TopkConfig::default(), SeedMode::Sequential);
+        assert_same_answers(&runs[0].answers, &reference.answers);
+        assert_eq!(
+            runs[0].metrics.postings_scanned, reference.metrics.postings_scanned,
+            "stolen seed + merge work must equal the sequential seed + merge work"
+        );
+        assert_eq!(runs[0].metrics.pulls, reference.metrics.pulls);
+    }
+}

@@ -313,3 +313,96 @@ proptest! {
         assert_answers_equivalent(&tight.answers, &loose.answers);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The ε-approximate guarantee under sharding, at 1/2/4/7 shards
+    /// and both seed modes: rank-wise the sharded approximate ranking
+    /// is within ε of the *monolithic exact* ranking in probability
+    /// space, and ε = 0 stays answer-identical (bit-equal scores) and
+    /// pull-count-identical to the sharded exact engine.
+    #[test]
+    fn sharded_epsilon_within_eps_of_exact_monolith(
+        rows in store_strategy(5, 32),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+        eps_pick in proptest::bool::ANY,
+    ) {
+        let eps = if eps_pick { 0.05 } else { 0.01 };
+        let single = builder_from(&rows).build();
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        let query = query_from(patterns, k);
+        let (mono, _) = topk::run(&single, &query, &set, &cfg);
+        let approx_cfg = TopkConfig { epsilon: eps, ..cfg.clone() };
+        let eps0_cfg = TopkConfig { epsilon: 0.0, ..cfg.clone() };
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = ShardedStore::build(builder_from(&rows), shards);
+            let exec = ShardedExecutor::new(&sharded);
+            for mode in [SeedMode::Off, SeedMode::Parallel] {
+                let exact_run = exec.run(&query, &set, &cfg, mode);
+                let approx_run = exec.run(&query, &set, &approx_cfg, mode);
+                for (r, e) in mono.iter().enumerate() {
+                    let pe = e.score.exp();
+                    let pa = approx_run.answers.get(r).map_or(0.0, |a| a.score.exp());
+                    prop_assert!(
+                        pa >= pe - eps - 1e-9,
+                        "{} shards ({:?}), rank {}: approx {} not within ε={} of exact {}",
+                        shards, mode, r, pa, eps, pe
+                    );
+                }
+                prop_assert!(
+                    approx_run.metrics.pulls <= exact_run.metrics.pulls,
+                    "{} shards ({:?}): ε pulled more ({} > {})",
+                    shards, mode, approx_run.metrics.pulls, exact_run.metrics.pulls
+                );
+                // ε = 0: bit-identical to the sharded exact engine.
+                let eps0_run = exec.run(&query, &set, &eps0_cfg, mode);
+                prop_assert_eq!(eps0_run.answers.len(), exact_run.answers.len());
+                for (a, b) in eps0_run.answers.iter().zip(&exact_run.answers) {
+                    prop_assert_eq!(&a.key, &b.key);
+                    prop_assert_eq!(a.score, b.score, "ε=0 changed a sharded score");
+                }
+                prop_assert_eq!(
+                    eps0_run.metrics.pulls, exact_run.metrics.pulls,
+                    "ε=0 changed sharded pull counts"
+                );
+                prop_assert_eq!(eps0_run.metrics.approx_cutoffs, 0);
+            }
+        }
+    }
+
+    /// The work-stealing batch scheduler is answer-invisible: for
+    /// arbitrary stores, rule sets, and query batches, stolen execution
+    /// returns exactly what per-query execution returns, at every
+    /// worker count.
+    #[test]
+    fn stolen_batches_equal_per_query_execution(
+        rows in store_strategy(5, 32),
+        patterns_a in pattern_strategy(3, 5),
+        patterns_b in pattern_strategy(3, 5),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+        workers in 1usize..5,
+    ) {
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        let queries = vec![
+            query_from(vec![patterns_a], k),
+            query_from(vec![patterns_b], k + 1),
+            query_from(vec![patterns_a, patterns_b], k),
+        ];
+        for shards in [2usize, 3] {
+            let sharded = ShardedStore::build(builder_from(&rows), shards);
+            let exec = ShardedExecutor::new(&sharded);
+            let runs = exec.run_batch_stealing(&queries, &set, &cfg, workers);
+            prop_assert_eq!(runs.len(), queries.len());
+            for (run, q) in runs.iter().zip(&queries) {
+                let want = exec.run(q, &set, &cfg, SeedMode::Off);
+                assert_answers_equivalent(&run.answers, &want.answers);
+            }
+        }
+    }
+}

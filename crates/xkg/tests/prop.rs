@@ -303,3 +303,97 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// The `ServeKind::Range` cutover rule — materialize and order the
+    /// permutation index's exact match range when it is ≥4× smaller
+    /// than every covering group — selects only *how* a composite shape
+    /// is served, never *what*: the served entries are bit-for-bit the
+    /// scan reference's either way, and the chosen kind follows the
+    /// selectivity rule exactly (so the engine-level `ranged_serves` vs
+    /// `anchored_serves` accounting is the rule's only observable).
+    /// Hub-concentrated objects make both sides of the 4× boundary
+    /// common in one store.
+    #[test]
+    fn range_cutover_changes_accounting_not_contents(
+        triples in proptest::collection::vec(
+            (triple(8), 0.01f32..1.0, 0u8..4),
+            0..80,
+        ),
+        hub_fanout in 1usize..30,
+        s in term_id(TermKind::Resource, 8),
+        p in term_id(TermKind::Resource, 8),
+        o in term_id(TermKind::Resource, 8),
+    ) {
+        // Concentrate extra triples on one (subject, predicate) hub so
+        // composite probes meet large covering groups.
+        let mut rows = triples.clone();
+        for i in 0..hub_fanout {
+            rows.push((
+                Triple::new(s, p, TermId::new(TermKind::Resource, 100 + i as u32)),
+                0.5,
+                1,
+            ));
+        }
+        let store = store_from(&rows);
+        // The four composite shapes (≥2 bound slots): sp, so, po, spo.
+        for mask in [0b011u8, 0b101, 0b110, 0b111] {
+            let pattern = SlotPattern::new(
+                (mask & 1 != 0).then_some(s),
+                (mask & 2 != 0).then_some(p),
+                (mask & 4 != 0).then_some(o),
+            );
+            let matches = store.lookup(&pattern).len();
+            // The smallest covering already-sorted group, exactly as the
+            // serving path considers them.
+            let mut group: Option<usize> = None;
+            let mut consider = |len: usize| {
+                if group.is_none_or(|g| len < g) {
+                    group = Some(len);
+                }
+            };
+            if mask & 1 != 0 {
+                consider(store.subject_postings(s).len());
+            }
+            if mask & 4 != 0 {
+                consider(store.object_postings(o).len());
+            }
+            if mask & 2 != 0 {
+                consider(store.posting_index().predicate_postings(p).len());
+            }
+            let group = group.expect("composite shapes bind a slot");
+
+            let list = trinit_xkg::PostingList::build(&store, &pattern);
+            if matches == 0 {
+                prop_assert_eq!(list.len(), 0, "shape {:#05b}", mask);
+                continue;
+            }
+            let expect_range = matches * 4 <= group;
+            prop_assert_eq!(
+                list.serve_kind() == trinit_xkg::ServeKind::Range,
+                expect_range,
+                "cutover rule mismatch for shape {:#05b}: {} matches vs group {}",
+                mask, matches, group
+            );
+
+            // Contents are the scan reference's, bit for bit, on both
+            // sides of the rule.
+            let reference = trinit_xkg::PostingList::build_by_scan(&store, &pattern);
+            prop_assert_eq!(list.len(), reference.len(), "shape {:#05b}", mask);
+            for (a, b) in list.entries().iter().zip(reference.entries()) {
+                prop_assert_eq!(a.triple, b.triple, "order differs, shape {:#05b}", mask);
+                prop_assert_eq!(a.weight, b.weight, "weight differs, shape {:#05b}", mask);
+                prop_assert!(
+                    (a.prob - b.prob).abs() <= 1e-12,
+                    "prob differs, shape {:#05b}: {} vs {}",
+                    mask, a.prob, b.prob
+                );
+            }
+            prop_assert!(
+                (list.total_weight() - reference.total_weight()).abs() < 1e-9,
+                "total differs, shape {:#05b}",
+                mask
+            );
+        }
+    }
+}
