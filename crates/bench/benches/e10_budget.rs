@@ -1,0 +1,117 @@
+//! E10 bench: budgeted execution — answers vs. deadline, with the
+//! degradation ladder armed.
+//!
+//! Pushes the E5 query set (k = 50, the tail-draining regime) through
+//! the governed monolithic engine under a wall-clock deadline sweep,
+//! from unlimited down to 100 µs. Each point reports, as an
+//! `E10_CURVE` JSON line, how many answers survived the budget and how
+//! they are classified: exact runs, runs an ε / θ ladder rung retired
+//! early (scores still exact), and truncated runs together with the sum
+//! of their guaranteed ranks (leading answers that provably coincide
+//! with the exact top-k). `deadline_cutoffs` and `degradation_steps`
+//! expose which mechanism actually fired — the acceptance criterion is
+//! that completeness degrades only when a cutoff really fired, never
+//! spuriously at generous deadlines.
+//!
+//! `E10_ORDER=rev` reverses the sweep so two runs cancel warm-up bias
+//! in BENCH_e10.json.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trinit_eval::{build_full_system, build_world, generate_benchmark, BenchmarkConfig, EvalConfig};
+use trinit_query::exec::topk::{self, TopkConfig};
+use trinit_query::{Completeness, DegradationRung, ExecBudget, Query};
+
+fn bench_budget_curve(c: &mut Criterion) {
+    let cfg = EvalConfig {
+        seed: 42,
+        scale: 0.08,
+        per_category: 3,
+    };
+    let (world, kg) = build_world(&cfg);
+    let queries = generate_benchmark(
+        &world,
+        &kg,
+        &BenchmarkConfig {
+            seed: 2,
+            per_category: cfg.per_category,
+        },
+    );
+    let system = build_full_system(&world, &cfg);
+    let store = system.store();
+    let rules = system.rules();
+    let parsed: Vec<Query> = queries
+        .iter()
+        .filter_map(|q| system.parse(&q.text).ok())
+        .map(|mut q| {
+            q.k = 50;
+            q
+        })
+        .collect();
+
+    // Unlimited first, then tightening deadlines (µs). 0 = unlimited.
+    let mut deadlines_us: Vec<u64> = vec![0, 20_000, 2_000, 500, 100, 50, 20];
+    if std::env::var("E10_ORDER").as_deref() == Ok("rev") {
+        deadlines_us.reverse();
+    }
+
+    let mut group = c.benchmark_group("e10_budget");
+    group.sample_size(10);
+    for &us in &deadlines_us {
+        let topk_cfg = TopkConfig {
+            budget: ExecBudget {
+                deadline: (us > 0).then(|| Duration::from_micros(us)),
+                soft_fraction: 0.5,
+                ladder: vec![
+                    DegradationRung {
+                        epsilon: 0.02,
+                        theta: 0.0,
+                    },
+                    DegradationRung {
+                        epsilon: 0.05,
+                        theta: 0.02,
+                    },
+                ],
+                ..ExecBudget::default()
+            },
+            ..TopkConfig::default()
+        };
+        let (mut answers, mut pulls) = (0usize, 0usize);
+        let (mut exact, mut approx, mut truncated, mut guaranteed) = (0usize, 0usize, 0usize, 0usize);
+        let (mut cutoffs, mut steps) = (0usize, 0usize);
+        for q in &parsed {
+            let run = topk::run_governed(store, q, rules, &topk_cfg, None);
+            answers += run.answers.len();
+            pulls += run.metrics.pulls;
+            cutoffs += run.metrics.deadline_cutoffs;
+            steps += run.metrics.degradation_steps;
+            match run.completeness {
+                Completeness::Exact => exact += 1,
+                Completeness::Approx { .. } => approx += 1,
+                Completeness::Truncated { guaranteed_rank, .. } => {
+                    truncated += 1;
+                    guaranteed += guaranteed_rank;
+                }
+            }
+        }
+        println!(
+            "E10_CURVE {{\"deadline_us\": {us}, \"answers\": {answers}, \"pulls\": {pulls}, \
+             \"exact\": {exact}, \"approx\": {approx}, \"truncated\": {truncated}, \
+             \"guaranteed_rank_sum\": {guaranteed}, \"deadline_cutoffs\": {cutoffs}, \
+             \"degradation_steps\": {steps}}}"
+        );
+        group.bench_function(BenchmarkId::new("deadline_us", us), |b| {
+            b.iter(|| {
+                parsed
+                    .iter()
+                    .map(|q| topk::run_governed(store, q, rules, &topk_cfg, None).answers.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_budget_curve);
+criterion_main!(benches);

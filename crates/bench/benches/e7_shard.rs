@@ -67,7 +67,10 @@ fn bench_shard_scaling(c: &mut Criterion) {
                     Engine::IncrementalTopK,
                     shards,
                 );
-                outcomes.iter().map(|o| o.answers.len()).sum::<usize>()
+                outcomes
+                    .iter()
+                    .map(|o| o.as_ref().expect("no worker panicked").answers.len())
+                    .sum::<usize>()
             })
         });
     }

@@ -77,6 +77,10 @@ fn bench_steal_vs_pool(c: &mut Criterion) {
                 system.run_batch_stealing(batch.clone(), Engine::IncrementalTopK, shards),
             ),
         ] {
+            let outcomes: Vec<_> = outcomes
+                .iter()
+                .map(|o| o.as_ref().expect("no worker panicked"))
+                .collect();
             let pulls: usize = outcomes.iter().map(|o| o.metrics.pulls).sum();
             let scanned: usize = outcomes.iter().map(|o| o.metrics.postings_scanned).sum();
             let steals: usize = outcomes.iter().map(|o| o.metrics.seed_steals).sum();
@@ -92,14 +96,20 @@ fn bench_steal_vs_pool(c: &mut Criterion) {
                     Engine::IncrementalTopK,
                     shards,
                 );
-                outcomes.iter().map(|o| o.answers.len()).sum::<usize>()
+                outcomes
+                    .iter()
+                    .map(|o| o.as_ref().expect("no worker panicked").answers.len())
+                    .sum::<usize>()
             })
         });
         group.bench_function(BenchmarkId::new("batch_steal", shards), |b| {
             b.iter(|| {
                 let outcomes =
                     system.run_batch_stealing(batch.clone(), Engine::IncrementalTopK, shards);
-                outcomes.iter().map(|o| o.answers.len()).sum::<usize>()
+                outcomes
+                    .iter()
+                    .map(|o| o.as_ref().expect("no worker panicked").answers.len())
+                    .sum::<usize>()
             })
         });
     }

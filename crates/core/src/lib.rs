@@ -44,6 +44,19 @@ pub use session::{Session, SESSION_CACHE_CAPACITY};
 pub use suggest::{suggest, suggest_sharded, SuggestConfig, Suggestion};
 pub use trinit::{BuildOptions, BuildStats, Engine, QueryOutcome, Trinit, TrinitBuilder};
 
+// Budgeted-execution surface: the serving tier reads a query's typed
+// completeness and handles per-query worker panics without unwrapping
+// through the sub-crates.
+pub use trinit_query::{
+    Completeness, CutoffReason, DegradationRung, ExecBudget, ExecError,
+};
+
+/// Deterministic fault-injection harness (feature `faults`): install a
+/// [`faults::FaultPlan`] to arm seeded panics, per-pull latency, and
+/// allocation pressure in robustness tests.
+#[cfg(feature = "faults")]
+pub use trinit_query::faults;
+
 // Re-export the sub-crates so downstream users need only one dependency.
 pub use trinit_openie as openie;
 pub use trinit_query as query;

@@ -9,7 +9,8 @@
 use trinit_openie::{Linker, OpenIePipeline, PipelineConfig};
 use trinit_query::exec::{exact, expand, topk};
 use trinit_query::{
-    Answer, AnswerCollector, ExecMetrics, Query, SharedPostingCache, TopkConfig,
+    Answer, AnswerCollector, Completeness, ExecError, ExecMetrics, Query, SharedPostingCache,
+    TopkConfig,
 };
 use trinit_relax::{
     CooccurrenceOperator, ExpandOptions, GranularityMinerConfig, GranularityOperator,
@@ -59,6 +60,12 @@ pub struct QueryOutcome {
     /// `i`'s seed-phase run plus its share of the merge phase's posting
     /// work.
     pub shard_metrics: Vec<ExecMetrics>,
+    /// What the ranking is guaranteed to be relative to the exact
+    /// engine: [`Completeness::Exact`] unless a budget cutoff or an
+    /// ε / θ degradation actually fired during the run. The `Exact`
+    /// and `FullExpansion` engines always report `Exact` (they run to
+    /// completion by construction).
+    pub completeness: Completeness,
 }
 
 /// Statistics describing a built system (the E2 dataset table).
@@ -535,7 +542,7 @@ impl Trinit {
                 )
             }
         };
-        let (answers, metrics) = match engine {
+        let (answers, metrics, completeness) = match engine {
             Engine::Exact => {
                 let mut metrics = ExecMetrics::default();
                 let all = exact::evaluate(
@@ -550,11 +557,15 @@ impl Trinit {
                 for a in all {
                     collector.offer(a);
                 }
-                (collector.into_top_k(query.k), metrics)
+                (collector.into_top_k(query.k), metrics, Completeness::Exact)
             }
-            Engine::FullExpansion => expand::run(store, &query, rules, &self.expand),
+            Engine::FullExpansion => {
+                let (answers, metrics) = expand::run(store, &query, rules, &self.expand);
+                (answers, metrics, Completeness::Exact)
+            }
             Engine::IncrementalTopK => {
-                topk::run_cached(store, &query, rules, &self.topk, cache)
+                let run = topk::run_governed(store, &query, rules, &self.topk, cache);
+                (run.answers, run.metrics, run.completeness)
             }
         };
         QueryOutcome {
@@ -562,6 +573,7 @@ impl Trinit {
             answers,
             metrics,
             shard_metrics: Vec::new(),
+            completeness,
         }
     }
 
@@ -604,6 +616,7 @@ impl Trinit {
             answers: run.answers,
             metrics: run.metrics,
             shard_metrics: run.per_shard,
+            completeness: run.completeness,
         }
     }
 
@@ -626,7 +639,16 @@ impl Trinit {
     /// query). Monolithic systems use a fixed pool over the available
     /// hardware parallelism (whole queries are their only unit of
     /// work). Every mode returns identical answers.
-    pub fn run_batch(&self, queries: Vec<Query>, engine: Engine) -> Vec<QueryOutcome> {
+    ///
+    /// Worker panics are isolated per query: a query whose execution
+    /// panicked yields [`ExecError::WorkerPanicked`] in its slot while
+    /// every other query in the batch completes normally — a batch
+    /// never aborts the process.
+    pub fn run_batch(
+        &self,
+        queries: Vec<Query>,
+        engine: Engine,
+    ) -> Vec<Result<QueryOutcome, ExecError>> {
         match &self.backend {
             Backend::Sharded(sharded) => {
                 let workers = sharded.shard_count();
@@ -655,7 +677,7 @@ impl Trinit {
         queries: Vec<Query>,
         engine: Engine,
         workers: usize,
-    ) -> Vec<QueryOutcome> {
+    ) -> Vec<Result<QueryOutcome, ExecError>> {
         let Backend::Sharded(sharded) = &self.backend else {
             return self.run_batch_with_workers(queries, engine, workers);
         };
@@ -669,11 +691,14 @@ impl Trinit {
         queries
             .into_iter()
             .zip(runs)
-            .map(|(query, run)| QueryOutcome {
-                query,
-                answers: run.answers,
-                metrics: run.metrics,
-                shard_metrics: run.per_shard,
+            .map(|(query, run)| {
+                run.map(|run| QueryOutcome {
+                    query,
+                    answers: run.answers,
+                    metrics: run.metrics,
+                    shard_metrics: run.per_shard,
+                    completeness: run.completeness,
+                })
             })
             .collect()
     }
@@ -686,11 +711,11 @@ impl Trinit {
         queries: Vec<Query>,
         engine: Engine,
         workers: usize,
-    ) -> Vec<QueryOutcome> {
+    ) -> Vec<Result<QueryOutcome, ExecError>> {
         let pool = QueryPool::new(workers);
         match &self.backend {
-            Backend::Single(_) => pool.execute(queries, |q| self.run(q, engine)),
-            Backend::Sharded(_) => pool.execute(queries, |q| {
+            Backend::Single(_) => pool.try_execute(queries, |q| self.run(q, engine)),
+            Backend::Sharded(_) => pool.try_execute(queries, |q| {
                 self.run_with_rules_shard_cached(
                     q,
                     engine,
@@ -906,6 +931,8 @@ mod tests {
             let batch = sys.run_batch(queries, Engine::IncrementalTopK);
             assert_eq!(batch.len(), texts.len());
             for (got, want) in batch.iter().zip(&sequential) {
+                let got = got.as_ref().expect("no worker panicked");
+                assert_eq!(got.completeness, Completeness::Exact);
                 assert_eq!(got.answers.len(), want.len());
                 for (x, y) in got.answers.iter().zip(want) {
                     assert!((x.score - y.score).abs() < 1e-9);
@@ -927,6 +954,7 @@ mod tests {
         let small = sys.run_batch(queries.clone(), Engine::IncrementalTopK);
         let explicit = sys.run_batch_stealing(queries, Engine::IncrementalTopK, 3);
         for (got, want) in small.iter().chain(&explicit).zip(sequential.iter().cycle()) {
+            let got = got.as_ref().expect("no worker panicked");
             assert_eq!(got.answers.len(), want.len());
             for (x, y) in got.answers.iter().zip(want) {
                 assert!((x.score - y.score).abs() < 1e-9);

@@ -46,9 +46,10 @@ use trinit_xkg::XkgStore;
 
 use crate::answer::{Answer, AnswerCollector, Bindings};
 use crate::ast::Query;
+use crate::exec::budget::{BudgetTracker, Completeness, ExecBudget, Governor};
 use crate::exec::join::{self, Stream};
 use crate::exec::merge::{is_mergeable, IncrementalMerge, RankSource};
-use crate::exec::threshold::{RoundVerdict, ThresholdPolicy};
+use crate::exec::threshold::{Admission, RoundVerdict, ThresholdPolicy};
 use crate::exec::{ExecMetrics, TripleLookup};
 use crate::score::{ln_weight, GlobalTotals, PostingCache, SharedPostingCache};
 
@@ -84,6 +85,20 @@ pub struct TopkConfig {
     /// (the default) is the exact mode, bit-identical in answers *and*
     /// pull counts to an engine without the criterion.
     pub epsilon: f64,
+    /// Relative-θ approximate top-k (θ ∈ \[0, 1)): the round loop also
+    /// stops once `kth ≥ threshold · (1 − θ)` in probability space, so
+    /// every returned rank `r` keeps `prob(approx[r]) ≥ (1 − θ) ·
+    /// prob(exact[r])` — a scale-free counterpart to the absolute ε
+    /// criterion (see [`crate::exec::threshold`]). `0.0` (the default)
+    /// coincides with the exact criterion and changes nothing.
+    pub theta: f64,
+    /// Execution budget: wall-clock deadline, pull limit,
+    /// answer-materialization limit, and the degradation ladder that
+    /// escalates ε / θ inside the soft budget region instead of dying
+    /// at the wall ([`crate::exec::budget`]). Unlimited by default —
+    /// and then every governed check reduces to one branch, keeping
+    /// the exact path bit-identical.
+    pub budget: ExecBudget,
 }
 
 impl Default for TopkConfig {
@@ -96,6 +111,8 @@ impl Default for TopkConfig {
             max_variants: 16,
             tighten_threshold: true,
             epsilon: 0.0,
+            theta: 0.0,
+            budget: ExecBudget::default(),
         }
     }
 }
@@ -205,6 +222,38 @@ pub fn run_scaled(
     oracle: Option<&dyn ConditionOracle>,
     seed: Vec<Answer>,
 ) -> (Vec<Answer>, ExecMetrics) {
+    let tracker = BudgetTracker::new(cfg);
+    run_scaled_with(
+        store,
+        query,
+        rules,
+        cfg,
+        shared,
+        totals,
+        oracle,
+        seed,
+        Governor::primary(&tracker),
+    )
+}
+
+/// [`run_scaled`] with an explicit budget [`Governor`]: the seam a
+/// sharded executor uses to make every phase of one query (per-shard
+/// seed tasks, the cross-shard merge) observe a *shared*
+/// [`BudgetTracker`]. Seed phases pass an advisory governor — they
+/// draw down the budget and stop on cutoffs, but only a primary phase
+/// determines the run's [`Completeness`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_scaled_with(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shared: Option<&SharedPostingCache>,
+    totals: Option<&dyn GlobalTotals>,
+    oracle: Option<&dyn ConditionOracle>,
+    seed: Vec<Answer>,
+    governor: Governor<'_>,
+) -> (Vec<Answer>, ExecMetrics) {
     let mut metrics = ExecMetrics::default();
     // One posting cache for the whole execution: structural variants that
     // share a relaxed pattern never rebuild its matches.
@@ -217,6 +266,7 @@ pub fn run_scaled(
         cfg,
         seed,
         &mut metrics,
+        governor,
         |pattern, fresh_base| {
             IncrementalMerge::for_pattern(
                 store,
@@ -231,6 +281,50 @@ pub fn run_scaled(
         },
     );
     (answers, metrics)
+}
+
+/// A governed monolithic run: answers, metrics, and the typed
+/// [`Completeness`] of the result.
+#[derive(Debug)]
+pub struct GovernedRun {
+    /// Top-k answers, best first.
+    pub answers: Vec<Answer>,
+    /// Work counters, budget cutoffs and degradation steps included.
+    pub metrics: ExecMetrics,
+    /// What the ranking is guaranteed to be relative to the exact
+    /// engine's ([`Completeness::Exact`] unless a cutoff or an ε / θ
+    /// retirement actually fired).
+    pub completeness: Completeness,
+}
+
+/// Like [`run_cached`], additionally reporting the run's typed
+/// [`Completeness`] — the serving-tier entry point for budgeted
+/// monolithic execution.
+pub fn run_governed(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shared: Option<&SharedPostingCache>,
+) -> GovernedRun {
+    let tracker = BudgetTracker::new(cfg);
+    let (answers, metrics) = run_scaled_with(
+        store,
+        query,
+        rules,
+        cfg,
+        shared,
+        None,
+        Some(store),
+        Vec::new(),
+        Governor::primary(&tracker),
+    );
+    let completeness = tracker.completeness(&answers);
+    GovernedRun {
+        answers,
+        metrics,
+        completeness,
+    }
 }
 
 /// Assembles and drives the full pipeline for one query: enumerates
@@ -251,6 +345,7 @@ pub(crate) fn run_pipeline<M: RankSource>(
     cfg: &TopkConfig,
     seed: Vec<Answer>,
     metrics: &mut ExecMetrics,
+    governor: Governor<'_>,
     mut source_for: impl FnMut(&QPattern, u16) -> M,
 ) -> Vec<Answer> {
     let projection = query.effective_projection();
@@ -263,7 +358,16 @@ pub(crate) fn run_pipeline<M: RankSource>(
         collector.offer(answer);
     }
     let variants = structural_variants(oracle, &query.patterns, rules, cfg);
+    let mut cut = false;
     for (patterns, variant_weight, variant_trace) in variants {
+        if cut {
+            // A hard budget cutoff stopped the pipeline: the remaining
+            // variants are forfeited wholesale. Their answers score at
+            // most the variant weight (stream probabilities are ≤ 1),
+            // which keeps the truncation bound sound.
+            governor.note_truncated(ln_weight(variant_weight));
+            continue;
+        }
         metrics.rewritings_evaluated += 1;
         if patterns.is_empty() {
             continue;
@@ -282,7 +386,7 @@ pub(crate) fn run_pipeline<M: RankSource>(
                 Stream::new(source_for(pattern, fresh_base), join_vars)
             })
             .collect();
-        rank_join(
+        cut = !rank_join(
             lookup,
             cfg,
             &mut streams,
@@ -293,6 +397,7 @@ pub(crate) fn run_pipeline<M: RankSource>(
             max_var as usize + 64, // headroom for fresh variables
             &mut collector,
             metrics,
+            governor,
         );
     }
     collector.into_top_k(query.k)
@@ -305,6 +410,10 @@ pub(crate) fn run_pipeline<M: RankSource>(
 /// sharded engines share every line of join, threshold, and capping
 /// logic; `lookup` resolves emitted triple ids (global ids, for a
 /// sharded source).
+///
+/// Returns `false` when a hard budget cutoff fired — the caller must
+/// stop opening further variants (the policy has already recorded the
+/// forfeit bound); `true` on every normal termination.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn rank_join<M: RankSource>(
     lookup: &dyn TripleLookup,
@@ -317,10 +426,13 @@ pub(crate) fn rank_join<M: RankSource>(
     n_vars: usize,
     collector: &mut AnswerCollector,
     metrics: &mut ExecMetrics,
-) {
-    let mut policy = ThresholdPolicy::new(cfg, k, streams.len());
-    if !policy.admit_variant(streams, variant_log, collector, metrics) {
-        return;
+    governor: Governor<'_>,
+) -> bool {
+    let mut policy = ThresholdPolicy::new(cfg, k, streams.len(), governor);
+    match policy.admit_variant(streams, variant_log, collector, metrics) {
+        Admission::Admit => {}
+        Admission::Skip => return true,
+        Admission::Stop(_) => return false,
     }
 
     // Scratch assignment for the combination loop; `join_with_others`
@@ -334,13 +446,16 @@ pub(crate) fn rank_join<M: RankSource>(
         .max_by(|&a, &b| streams[a].frontier_log().total_cmp(&streams[b].frontier_log()))
     {
         metrics.pulls += 1;
+        governor.on_pull();
+        #[cfg(feature = "faults")]
+        crate::exec::faults::on_pull();
         let merged = streams[next].merge.next_merged(metrics);
         match merged {
             None => {
                 streams[next].exhausted = true;
                 // A stream with no matches at all kills the variant.
                 if streams[next].seen.is_empty() {
-                    return;
+                    return true;
                 }
             }
             Some(m) => {
@@ -371,15 +486,18 @@ pub(crate) fn rank_join<M: RankSource>(
         match policy.after_round(streams, variant_log, collector, metrics) {
             RoundVerdict::Continue => {}
             RoundVerdict::Done => break,
-            RoundVerdict::DeadVariant => return,
+            RoundVerdict::DeadVariant => return true,
+            RoundVerdict::Cutoff(_) => return false,
         }
     }
+    true
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ast::QueryBuilder;
+    use crate::exec::budget::{CutoffReason, DegradationRung};
     use crate::exec::expand;
     use crate::exec::testfix::store;
     use trinit_relax::{ExpandOptions, QTerm, Rule, RuleProvenance, RuleSet};
@@ -1110,6 +1228,294 @@ mod tests {
             let pe = e_ans.score.exp();
             let pa = approx.get(r).map_or(0.0, |a| a.score.exp());
             assert!(pa >= pe - 0.01 - 1e-9, "rank {r}: {pa} vs {pe}");
+        }
+    }
+
+    /// The store the budget tests share: a 3-strong / 200-weak-tail
+    /// relaxation workload where the exact engine must drain the tail.
+    fn weak_tail_store() -> (XkgStore, RuleSet) {
+        let mut b = XkgBuilder::new();
+        let src = b.intern_source("d");
+        let p = b.dict_mut().resource("p");
+        let weak = b.dict_mut().token("weakly related");
+        let e = b.dict_mut().resource("E");
+        for i in 0..3u32 {
+            let o = b.dict_mut().resource(&format!("strong{i}"));
+            b.add_extracted(e, p, o, 0.9, src);
+        }
+        for i in 0..200u32 {
+            let o = b.dict_mut().resource(&format!("weak{i}"));
+            b.add_extracted(e, weak, o, 0.9, src);
+        }
+        let store = b.build();
+        let mut rules = RuleSet::new();
+        rules.add(Rule::predicate_rewrite(
+            "weak",
+            store.resource("p").unwrap(),
+            store.token("weakly related").unwrap(),
+            0.04,
+            RuleProvenance::UserDefined,
+        ));
+        (store, rules)
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_exact_and_labeled_exact() {
+        // The ungoverned default — and a ladder with no limits to pace
+        // it against — must reproduce the exact engine bit for bit:
+        // same answers, same pull counts, Completeness::Exact.
+        let (store, rules) = weak_tail_store();
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("E", "p", "y")
+            .limit(300)
+            .build();
+        let cfg = TopkConfig { min_weight: 0.0, ..TopkConfig::default() };
+        let (exact, m_exact) = run(&store, &q, &rules, &cfg);
+        for budget in [
+            ExecBudget::default(),
+            // Ladder rungs without any hard limit: no budget fraction
+            // exists, so the rungs must never engage.
+            ExecBudget {
+                ladder: vec![DegradationRung { epsilon: 0.5, theta: 0.5 }],
+                ..ExecBudget::default()
+            },
+        ] {
+            let governed = run_governed(
+                &store,
+                &q,
+                &rules,
+                &TopkConfig { budget, ..cfg.clone() },
+                None,
+            );
+            assert_same_answers(&governed.answers, &exact);
+            assert_eq!(governed.metrics.pulls, m_exact.pulls, "bit-identical pull counts");
+            assert_eq!(governed.completeness, Completeness::Exact);
+            assert_eq!(governed.metrics.degradation_steps, 0);
+            assert_eq!(governed.metrics.budget_cutoffs, 0);
+            assert_eq!(governed.metrics.deadline_cutoffs, 0);
+        }
+    }
+
+    #[test]
+    fn max_pulls_cutoff_truncates_honestly_with_guaranteed_prefix() {
+        // A pull budget far below the exact engine's demand: the run
+        // must stop near the limit and label itself Truncated{Pulls},
+        // with the guaranteed prefix carrying exact answers.
+        let (store, rules) = weak_tail_store();
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("E", "p", "y")
+            .limit(300)
+            .build();
+        let cfg = TopkConfig { min_weight: 0.0, ..TopkConfig::default() };
+        let (exact, m_exact) = run(&store, &q, &rules, &cfg);
+        let governed = run_governed(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                budget: ExecBudget { max_pulls: Some(10), ..ExecBudget::default() },
+                ..cfg
+            },
+            None,
+        );
+        assert!(
+            governed.metrics.pulls <= 11,
+            "cutoff must stop near the limit: {:?}",
+            governed.metrics
+        );
+        assert!(governed.metrics.pulls < m_exact.pulls);
+        assert_eq!(governed.metrics.budget_cutoffs, 1, "{:?}", governed.metrics);
+        let Completeness::Truncated { reason, guaranteed_rank } = governed.completeness else {
+            panic!("expected truncation, got {:?}", governed.completeness);
+        };
+        assert_eq!(reason, CutoffReason::Pulls);
+        // The guaranteed prefix must agree with the exact ranking.
+        assert!(guaranteed_rank <= governed.answers.len());
+        for (r, exact_answer) in exact.iter().enumerate().take(guaranteed_rank) {
+            assert_eq!(governed.answers[r].key, exact_answer.key, "guaranteed rank {r}");
+            assert!((governed.answers[r].score - exact_answer.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_deadline_truncates_with_deadline_reason() {
+        let (store, rules) = weak_tail_store();
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("E", "p", "y")
+            .limit(300)
+            .build();
+        let governed = run_governed(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                min_weight: 0.0,
+                budget: ExecBudget {
+                    deadline: Some(std::time::Duration::ZERO),
+                    ..ExecBudget::default()
+                },
+                ..TopkConfig::default()
+            },
+            None,
+        );
+        assert!(governed.metrics.deadline_cutoffs >= 1, "{:?}", governed.metrics);
+        assert!(
+            matches!(
+                governed.completeness,
+                Completeness::Truncated { reason: CutoffReason::Deadline, .. }
+            ),
+            "got {:?}",
+            governed.completeness
+        );
+    }
+
+    #[test]
+    fn max_answers_cutoff_reports_answers_reason() {
+        // 3 × 4 cross product materializes 12 answers; capping at 5
+        // must fire the answers budget.
+        let mut b = XkgBuilder::new();
+        for i in 0..3 {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{i}"));
+        }
+        for i in 0..4 {
+            b.add_kg_resources(&format!("t{i}"), "q", &format!("u{i}"));
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("a", "p", "b")
+            .pattern_v_r_v("c", "q", "d")
+            .limit(1000)
+            .build();
+        let governed = run_governed(
+            &store,
+            &q,
+            &RuleSet::new(),
+            &TopkConfig {
+                budget: ExecBudget { max_answers: Some(5), ..ExecBudget::default() },
+                ..TopkConfig::default()
+            },
+            None,
+        );
+        assert!(governed.answers.len() < 12, "{}", governed.answers.len());
+        assert_eq!(governed.metrics.budget_cutoffs, 1, "{:?}", governed.metrics);
+        assert!(
+            matches!(
+                governed.completeness,
+                Completeness::Truncated { reason: CutoffReason::Answers, .. }
+            ),
+            "got {:?}",
+            governed.completeness
+        );
+    }
+
+    #[test]
+    fn degradation_ladder_escalates_epsilon_instead_of_dying_at_the_wall() {
+        // A generous pull budget whose soft region starts almost
+        // immediately, with an ε rung big enough to retire the weak
+        // tail: the run degrades to Approx (the ladder's ε criterion
+        // finishes it) instead of hitting the hard cutoff.
+        let (store, rules) = weak_tail_store();
+        let q = QueryBuilder::new(&store)
+            .pattern_r_r_v("E", "p", "y")
+            .limit(300)
+            .build();
+        let cfg = TopkConfig { min_weight: 0.0, ..TopkConfig::default() };
+        let (exact, m_exact) = run(&store, &q, &rules, &cfg);
+        let governed = run_governed(
+            &store,
+            &q,
+            &rules,
+            &TopkConfig {
+                budget: ExecBudget {
+                    max_pulls: Some(m_exact.pulls * 2),
+                    soft_fraction: 0.01,
+                    ladder: vec![DegradationRung { epsilon: 0.05, theta: 0.0 }],
+                    ..ExecBudget::default()
+                },
+                ..cfg
+            },
+            None,
+        );
+        assert!(governed.metrics.degradation_steps >= 1, "{:?}", governed.metrics);
+        assert_eq!(governed.metrics.budget_cutoffs, 0, "{:?}", governed.metrics);
+        assert!(
+            governed.metrics.pulls < m_exact.pulls / 10,
+            "the escalated ε must retire the tail: {} vs {}",
+            governed.metrics.pulls,
+            m_exact.pulls
+        );
+        let Completeness::Approx { epsilon, .. } = governed.completeness else {
+            panic!("expected Approx, got {:?}", governed.completeness);
+        };
+        assert!((epsilon - 0.05).abs() < 1e-12);
+        // The ladder's ε guarantee holds rank-wise.
+        for (r, e_ans) in exact.iter().enumerate() {
+            let pe = e_ans.score.exp();
+            let pa = governed.answers.get(r).map_or(0.0, |a| a.score.exp());
+            assert!(pa >= pe - 0.05 - 1e-9, "rank {r}: {pa} vs {pe}");
+        }
+    }
+
+    #[test]
+    fn relative_theta_stops_early_with_rankwise_ratio_guarantee() {
+        // Two-stream cross product with slowly declining scores: the
+        // exact threshold needs a deep drain before the k-th answer
+        // dominates every frontier product, while θ accepts once the
+        // k-th is within a (1−θ) factor — strictly fewer pulls, and
+        // every returned rank keeps prob ≥ (1−θ)·prob(exact).
+        let mut b = XkgBuilder::new();
+        let src = b.intern_source("d");
+        let p = b.dict_mut().resource("p");
+        let qq = b.dict_mut().resource("q");
+        for i in 0..40u32 {
+            let s = b.dict_mut().resource(&format!("s{i}"));
+            let o = b.dict_mut().resource(&format!("o{i}"));
+            b.add_extracted(s, p, o, 0.9 - 0.01 * i as f32, src);
+            let t = b.dict_mut().resource(&format!("t{i}"));
+            let u = b.dict_mut().resource(&format!("u{i}"));
+            b.add_extracted(t, qq, u, 0.9 - 0.01 * i as f32, src);
+        }
+        let store = b.build();
+        let q = QueryBuilder::new(&store)
+            .pattern_v_r_v("a", "p", "b")
+            .pattern_v_r_v("c", "q", "d")
+            .limit(30)
+            .build();
+        let rules = RuleSet::new();
+        let cfg = TopkConfig::default();
+        let (exact, m_exact) = run(&store, &q, &rules, &cfg);
+        let theta = 0.5;
+        let (approx, m_theta) = {
+            let governed = run_governed(
+                &store,
+                &q,
+                &rules,
+                &TopkConfig { theta, ..cfg },
+                None,
+            );
+            assert_eq!(
+                governed.completeness,
+                Completeness::Approx { epsilon: 0.0, theta },
+                "metrics: {:?}",
+                governed.metrics
+            );
+            (governed.answers, governed.metrics)
+        };
+        assert!(m_theta.approx_cutoffs > 0, "{m_theta:?}");
+        assert!(
+            m_theta.pulls < m_exact.pulls,
+            "θ must terminate earlier: {} vs {}",
+            m_theta.pulls,
+            m_exact.pulls
+        );
+        assert_eq!(approx.len(), exact.len());
+        for (r, e_ans) in exact.iter().enumerate() {
+            let pe = e_ans.score.exp();
+            let pa = approx[r].score.exp();
+            assert!(
+                pa >= (1.0 - theta) * pe - 1e-12,
+                "rank {r}: {pa} below (1−θ)·{pe}"
+            );
         }
     }
 }

@@ -21,9 +21,12 @@
 //! re-export façade; [`sharded`] composes the same stages around a
 //! cross-shard merge source.
 
+pub mod budget;
 pub mod drive;
 pub mod exact;
 pub mod expand;
+#[cfg(feature = "faults")]
+pub mod faults;
 pub mod join;
 pub mod merge;
 pub mod sharded;
@@ -101,6 +104,21 @@ pub struct ExecMetrics {
     /// than the query's owning worker under the work-stealing batch
     /// scheduler (0 outside stolen batch execution).
     pub seed_steals: usize,
+    /// Hard budget cutoffs fired by the wall-clock deadline
+    /// ([`crate::exec::budget::ExecBudget::deadline`]).
+    pub deadline_cutoffs: usize,
+    /// Hard budget cutoffs fired by a work limit
+    /// ([`crate::exec::budget::ExecBudget::max_pulls`] /
+    /// [`crate::exec::budget::ExecBudget::max_answers`]).
+    pub budget_cutoffs: usize,
+    /// Degradation-ladder rungs climbed
+    /// ([`crate::exec::budget::ExecBudget::ladder`]): escalations of
+    /// the effective ε / θ inside the soft budget region.
+    pub degradation_steps: usize,
+    /// Seed tasks pruned by adaptive seeding under the work-stealing
+    /// batch scheduler: subject-bound queries seed only their subject's
+    /// home shard, and the skipped tasks are counted here.
+    pub seed_skips: usize,
 }
 
 impl ExecMetrics {
@@ -120,6 +138,10 @@ impl ExecMetrics {
         self.posting_sorts += other.posting_sorts;
         self.approx_cutoffs += other.approx_cutoffs;
         self.seed_steals += other.seed_steals;
+        self.deadline_cutoffs += other.deadline_cutoffs;
+        self.budget_cutoffs += other.budget_cutoffs;
+        self.degradation_steps += other.degradation_steps;
+        self.seed_skips += other.seed_skips;
     }
 }
 
@@ -174,6 +196,10 @@ mod tests {
             posting_sorts: 12,
             approx_cutoffs: 13,
             seed_steals: 14,
+            deadline_cutoffs: 15,
+            budget_cutoffs: 16,
+            degradation_steps: 17,
+            seed_skips: 18,
         };
         let mut merged = ExecMetrics::default();
         merged.merge(&full);
@@ -194,6 +220,10 @@ mod tests {
             posting_sorts: 24,
             approx_cutoffs: 26,
             seed_steals: 28,
+            deadline_cutoffs: 30,
+            budget_cutoffs: 32,
+            degradation_steps: 34,
+            seed_skips: 36,
         };
         assert_eq!(merged, doubled, "merge must sum every field");
     }

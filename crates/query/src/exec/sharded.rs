@@ -46,6 +46,7 @@ use trinit_xkg::{TripleId, XkgStore};
 
 use crate::answer::Answer;
 use crate::ast::Query;
+use crate::exec::budget::{Completeness, Governor};
 use crate::exec::drive::{self, TopkConfig};
 use crate::exec::merge::{IncrementalMerge, Merged, RankSource};
 use crate::exec::{ExecMetrics, TripleLookup};
@@ -130,6 +131,10 @@ pub struct PartitionedRun {
     /// Merge-level work (posting lists built, postings scanned, cache
     /// hits, relaxations opened) attributed to each shard.
     pub per_shard: Vec<ExecMetrics>,
+    /// The exactness guarantee of `answers`, read off the run's budget
+    /// tracker: `Exact` unless an ε/θ criterion genuinely retired work
+    /// or a hard budget cutoff fired.
+    pub completeness: Completeness,
 }
 
 /// Runs incremental top-k over the shards of a partitioned store,
@@ -147,6 +152,11 @@ pub struct PartitionedRun {
 ///   the answers its parallel per-shard runs already found, so the
 ///   threshold starts tight. Seeds must carry true (globally
 ///   normalized) scores and global triple ids.
+/// * `governor` carries the query's budget state into the pipeline
+///   (pass `Governor::primary` over a fresh
+///   [`BudgetTracker`](crate::exec::budget::BudgetTracker) for a
+///   standalone run); the returned completeness is read off its
+///   tracker.
 #[allow(clippy::too_many_arguments)]
 pub fn run_partitioned(
     shards: &[&XkgStore],
@@ -159,6 +169,7 @@ pub fn run_partitioned(
     cfg: &TopkConfig,
     shard_caches: Option<&[SharedPostingCache]>,
     seed: Vec<Answer>,
+    governor: Governor<'_>,
 ) -> PartitionedRun {
     assert_eq!(shards.len(), offsets.len(), "one offset per shard");
     if let Some(caches) = shard_caches {
@@ -185,6 +196,7 @@ pub fn run_partitioned(
         cfg,
         seed,
         &mut metrics,
+        governor,
         |pattern, fresh_base| {
             let merges = (0..n_shards)
                 .map(|s| {
@@ -212,9 +224,11 @@ pub fn run_partitioned(
     for m in &per_shard {
         metrics.merge(m);
     }
+    let completeness = governor.tracker().completeness(&answers);
     PartitionedRun {
         answers,
         metrics,
         per_shard,
+        completeness,
     }
 }

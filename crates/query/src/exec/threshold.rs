@@ -65,10 +65,33 @@
 //! criterion are counted in [`ExecMetrics::approx_cutoffs`]; exact
 //! retirements stay in [`ExecMetrics::early_cutoffs`].
 //!
+//! ## The relative-θ criterion
+//!
+//! With [`TopkConfig::theta`] θ ∈ (0, 1), the round loop additionally
+//! stops once `kth ≥ threshold + ln(1 − θ)` (log space): every unseen
+//! combination is then bounded by `kth / (1 − θ)` in probability space,
+//! so for every returned rank `r`, `prob(approx[r]) ≥ (1 − θ) ·
+//! prob(exact[r])` — a *relative* guarantee that adapts to the score
+//! scale where the absolute ε criterion needs calibration. θ = 0 makes
+//! the criterion coincide with the exact `kth ≥ threshold` test and
+//! changes nothing.
+//!
+//! ## Budget governance
+//!
+//! The policy also carries the query's [`Governor`]: each round it
+//! consults [`BudgetTracker::directive`] — O(1), a single branch when
+//! the budget is unlimited — to pick up ladder-escalated effective
+//! ε / θ values and to observe hard cutoffs, which it converts into
+//! [`RoundVerdict::Cutoff`] after recording a sound bound (the current
+//! threshold) on everything the cutoff forfeits.
+//!
 //! [`TopkConfig::epsilon`]: crate::exec::drive::TopkConfig::epsilon
+//! [`TopkConfig::theta`]: crate::exec::drive::TopkConfig::theta
 //! [`RankSource::remaining_mass`]: crate::exec::merge::RankSource::remaining_mass
+//! [`BudgetTracker::directive`]: crate::exec::budget::BudgetTracker::directive
 
 use crate::answer::AnswerCollector;
+use crate::exec::budget::{CutoffReason, Directive, Governor};
 use crate::exec::drive::TopkConfig;
 use crate::exec::join::Stream;
 use crate::exec::merge::RankSource;
@@ -80,22 +103,47 @@ use crate::score::{ln_weight, LOG_ZERO};
 pub(crate) enum RoundVerdict {
     /// Keep pulling.
     Continue,
-    /// The top-k is settled (within ε, if ε > 0): stop this variant's
+    /// The top-k is settled (within ε / θ, if set): stop this variant's
     /// join loop normally.
     Done,
     /// A stream with no seen items was retired — no combination of this
     /// variant can ever complete; abandon the variant immediately.
     DeadVariant,
+    /// A hard budget cutoff fired: stop the whole pipeline, returning
+    /// what was collected so far.
+    Cutoff(CutoffReason),
+}
+
+/// What the policy decided about opening a variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Open the variant's posting lists and run the join.
+    Admit,
+    /// Skip this variant (pruned by the head bound or ε); continue with
+    /// the next one.
+    Skip,
+    /// A hard budget cutoff fired: stop the whole pipeline.
+    Stop(CutoffReason),
 }
 
 /// Per-variant termination policy: owns the threshold computation, the
-/// capping decisions, and the round-scratch buffers.
-pub(crate) struct ThresholdPolicy {
+/// capping decisions, the budget governance, and the round-scratch
+/// buffers.
+pub(crate) struct ThresholdPolicy<'a> {
     tighten: bool,
+    /// The query's budget governor (shared tracker, phase role).
+    governor: Governor<'a>,
+    /// Effective ε (probability space) after any ladder escalation.
+    eff_eps: f64,
     /// `ln ε` — the approximate mode's forfeit tolerance in log space.
     /// [`LOG_ZERO`] (ε = 0) disables the criterion: no comparison
     /// against it can ever succeed, keeping the exact path bit-identical.
     ln_eps: f64,
+    /// Effective relative θ after any ladder escalation.
+    eff_theta: f64,
+    /// `ln(1 − θ)` — the relative criterion's slack in log space. `0.0`
+    /// (θ = 0) makes the θ test coincide with the exact one.
+    ln_keep: f64,
     k: usize,
     /// Round scratch: per-stream contribution bounds and their
     /// prefix/suffix running totals (lengths `n` and `n + 1`).
@@ -104,12 +152,22 @@ pub(crate) struct ThresholdPolicy {
     suffix: Vec<f64>,
 }
 
-impl ThresholdPolicy {
-    /// A policy for one variant with `n` streams.
-    pub(crate) fn new(cfg: &TopkConfig, k: usize, n: usize) -> ThresholdPolicy {
+impl<'a> ThresholdPolicy<'a> {
+    /// A policy for one variant with `n` streams, governed by the
+    /// query's budget tracker through `governor`.
+    pub(crate) fn new(
+        cfg: &TopkConfig,
+        k: usize,
+        n: usize,
+        governor: Governor<'a>,
+    ) -> ThresholdPolicy<'a> {
         ThresholdPolicy {
             tighten: cfg.tighten_threshold,
+            governor,
+            eff_eps: cfg.epsilon,
             ln_eps: ln_weight(cfg.epsilon),
+            eff_theta: cfg.theta,
+            ln_keep: ln_weight(1.0 - cfg.theta),
             k,
             contrib: vec![0.0; n],
             prefix: vec![0.0; n + 1],
@@ -117,40 +175,83 @@ impl ThresholdPolicy {
         }
     }
 
+    /// Applies a governed round directive: refreshes the cached
+    /// effective ε / θ (recomputing the logs only on change) and counts
+    /// ladder escalations. Returns the hard cutoff, if one fired, after
+    /// counting it in the matching metric.
+    fn apply_directive(
+        &mut self,
+        d: Directive,
+        metrics: &mut ExecMetrics,
+    ) -> Option<CutoffReason> {
+        if d.escalations > 0 {
+            metrics.degradation_steps += d.escalations;
+        }
+        if d.epsilon != self.eff_eps {
+            self.eff_eps = d.epsilon;
+            self.ln_eps = ln_weight(d.epsilon);
+        }
+        if d.theta != self.eff_theta {
+            self.eff_theta = d.theta;
+            self.ln_keep = ln_weight(1.0 - d.theta);
+        }
+        if let Some(reason) = d.cutoff {
+            match reason {
+                CutoffReason::Deadline => metrics.deadline_cutoffs += 1,
+                CutoffReason::Pulls | CutoffReason::Answers => metrics.budget_cutoffs += 1,
+            }
+            return Some(reason);
+        }
+        None
+    }
+
     /// Variant admission, checked before any posting list is opened.
     /// Every answer of the variant scores at most `variant_weight × Π_i
     /// (best emission of stream i)`, and each stream's initial frontier
-    /// is exactly that head bound. Returns `false` (and counts the
-    /// cutoff) if the k-th collected answer already matches it
-    /// (head-bound variant pruning, tightened mode) or if even the best
-    /// possible answer is within the ε tolerance (approximate mode).
+    /// is exactly that head bound. Returns [`Admission::Skip`] (and
+    /// counts the cutoff) if the k-th collected answer already matches
+    /// it (head-bound variant pruning, tightened mode) or if even the
+    /// best possible answer is within the ε tolerance (approximate
+    /// mode); returns [`Admission::Stop`] when the budget governor
+    /// reports a hard cutoff, recording the head bound as the sound
+    /// forfeit envelope.
     pub(crate) fn admit_variant<M: RankSource>(
-        &self,
+        &mut self,
         streams: &[Stream<M>],
         variant_log: f64,
         collector: &AnswerCollector,
         metrics: &mut ExecMetrics,
-    ) -> bool {
+    ) -> Admission {
         let kth = if self.tighten {
             collector.kth_score(self.k)
         } else {
             None
         };
-        if kth.is_none() && self.ln_eps <= LOG_ZERO {
-            return true;
+        if kth.is_none() && self.ln_eps <= LOG_ZERO && !self.governor.is_governed() {
+            return Admission::Admit;
         }
         let bound: f64 = variant_log + streams.iter().map(Stream::frontier_log).sum::<f64>();
+        if self.governor.is_governed() {
+            let d = self.governor.directive(collector.len());
+            if let Some(reason) = self.apply_directive(d, metrics) {
+                // Nothing of this variant was explored: the head bound
+                // caps everything it could have contributed.
+                self.governor.note_truncated(bound);
+                return Admission::Stop(reason);
+            }
+        }
         if let Some(kth) = kth {
             if kth >= bound {
                 metrics.early_cutoffs += 1;
-                return false;
+                return Admission::Skip;
             }
         }
         if self.ln_eps > LOG_ZERO && bound <= self.ln_eps {
             metrics.approx_cutoffs += 1;
-            return false;
+            self.governor.note_approx();
+            return Admission::Skip;
         }
-        true
+        Admission::Admit
     }
 
     /// The per-round termination pass: recomputes the contribution
@@ -177,23 +278,59 @@ impl ThresholdPolicy {
         for i in (0..n).rev() {
             self.suffix[i] = self.suffix[i + 1] + self.contrib[i];
         }
-        let (prefix, suffix) = (&self.prefix, &self.suffix);
-        let others = |i: usize| prefix[i] + suffix[i + 1];
-
         // Threshold: best score any unseen combination can still achieve.
         // Capped streams produce no further items, so they drop out of
         // the outer max; their seen items still bound the inner product.
-        let threshold = variant_log
-            + (0..n)
-                .filter(|&i| !streams[i].exhausted && !streams[i].capped)
-                .map(|i| streams[i].frontier_log() + others(i))
-                .fold(LOG_ZERO, f64::max);
+        // (The prefix/suffix borrow is scoped so the governed block
+        // below can take `&mut self` for the directive refresh.)
+        let threshold = {
+            let (prefix, suffix) = (&self.prefix, &self.suffix);
+            variant_log
+                + (0..n)
+                    .filter(|&i| !streams[i].exhausted && !streams[i].capped)
+                    .map(|i| streams[i].frontier_log() + prefix[i] + suffix[i + 1])
+                    .fold(LOG_ZERO, f64::max)
+        };
 
         if threshold == LOG_ZERO {
             return RoundVerdict::Done;
         }
+        // Budget governance: pick up ladder escalations (effective ε/θ)
+        // and hard cutoffs. A cutoff records the current threshold as
+        // the forfeit envelope — every unseen combination of this
+        // variant is bounded by it — before stopping the pipeline.
+        // Exact termination is checked *after* the escalation refresh
+        // but cutoffs are honored first, so a run is only labeled
+        // truncated when the cutoff genuinely preempted termination.
+        if self.governor.is_governed() {
+            let d = self.governor.directive(collector.len());
+            if let Some(reason) = self.apply_directive(d, metrics) {
+                if collector
+                    .kth_score(self.k)
+                    .is_some_and(|kth| kth >= threshold)
+                {
+                    // The exact criterion held this very round: finish
+                    // normally instead of reporting a truncation.
+                    return RoundVerdict::Done;
+                }
+                self.governor.note_truncated(threshold);
+                return RoundVerdict::Cutoff(reason);
+            }
+        }
+        let (prefix, suffix) = (&self.prefix, &self.suffix);
+        let others = |i: usize| prefix[i] + suffix[i + 1];
         if let Some(kth) = collector.kth_score(self.k) {
             if kth >= threshold {
+                return RoundVerdict::Done;
+            }
+            // Relative-θ termination: unseen combinations are bounded
+            // by threshold ≤ kth − ln(1−θ), i.e. kth/(1−θ) in
+            // probability space, so every returned rank keeps
+            // prob(approx[r]) ≥ (1−θ)·prob(exact[r]). θ = 0 coincides
+            // with the exact test above and never fires separately.
+            if self.eff_theta > 0.0 && kth >= threshold + self.ln_keep {
+                metrics.approx_cutoffs += 1;
+                self.governor.note_approx();
                 return RoundVerdict::Done;
             }
             if self.tighten && n > 1 {
@@ -239,6 +376,7 @@ impl ThresholdPolicy {
                 if variant_log + mass_log + others(i) <= self.ln_eps {
                     stream.capped = true;
                     metrics.approx_cutoffs += 1;
+                    self.governor.note_approx();
                     if stream.seen.is_empty() {
                         return RoundVerdict::DeadVariant;
                     }

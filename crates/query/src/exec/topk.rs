@@ -21,5 +21,11 @@
 //! the paper-anchored docs that reference `exec::topk`) keep working;
 //! new code should import from the stage modules directly.
 
-pub use crate::exec::drive::{run, run_cached, run_scaled, TopkConfig};
+pub use crate::exec::budget::{
+    describe_panic, BudgetTracker, Completeness, CutoffReason, DegradationRung, ExecBudget,
+    ExecError, Governor,
+};
+pub use crate::exec::drive::{
+    run, run_cached, run_governed, run_scaled, run_scaled_with, GovernedRun, TopkConfig,
+};
 pub use crate::exec::merge::{IncrementalMerge, Merged, RankSource};

@@ -19,6 +19,12 @@ pub mod score;
 
 pub use answer::{Answer, AnswerCollector, Bindings, Derivation};
 pub use ast::{Query, QueryBuilder};
+pub use exec::budget::{
+    describe_panic, BudgetTracker, Completeness, CutoffReason, DegradationRung, ExecBudget,
+    ExecError, Governor,
+};
+#[cfg(feature = "faults")]
+pub use exec::faults;
 pub use exec::topk::{IncrementalMerge, TopkConfig};
 pub use exec::ExecMetrics;
 pub use parser::{parse, ParseError};

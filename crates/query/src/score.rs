@@ -28,7 +28,7 @@
 //! entirely — they are already O(1).
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use trinit_relax::{QPattern, QTerm};
 use trinit_xkg::{Posting, PostingList, ServeKind, SlotPattern, TripleId, XkgStore};
@@ -140,6 +140,10 @@ pub struct SharedCacheStats {
     pub misses: usize,
     /// Entries evicted to respect the capacity bound.
     pub evictions: usize,
+    /// Times the cache recovered from mutex poisoning (a panicking
+    /// holder): the resident lists are dropped and execution degrades
+    /// to cold misses instead of aborting.
+    pub poison_recoveries: usize,
 }
 
 /// Sentinel slab index marking the end of the intrusive LRU list.
@@ -251,29 +255,53 @@ impl SharedPostingCache {
         }
     }
 
+    /// Locks the cache, recovering from mutex poisoning. A panicking
+    /// holder may have left the recency list half-spliced, so the
+    /// poisoned state is not trusted: resident lists are dropped and
+    /// the cache restarts cold (every list re-materializes on demand)
+    /// — a performance degradation, never an abort. Capacity and
+    /// counters survive; the poison flag is cleared so subsequent
+    /// locks succeed normally.
+    fn lock(&self) -> MutexGuard<'_, SharedInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.slab.clear();
+                guard.free.clear();
+                guard.head = LRU_NONE;
+                guard.tail = LRU_NONE;
+                guard.stats.poison_recoveries += 1;
+                self.inner.clear_poison();
+                guard
+            }
+        }
+    }
+
     /// The capacity bound.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().expect("posting cache poisoned").capacity
+        self.lock().capacity
     }
 
     /// Number of lists currently held.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("posting cache poisoned").map.len()
+        self.lock().map.len()
     }
 
     /// True if nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().expect("posting cache poisoned").map.is_empty()
+        self.lock().map.is_empty()
     }
 
     /// Accumulated hit/miss/eviction counters.
     pub fn stats(&self) -> SharedCacheStats {
-        self.inner.lock().expect("posting cache poisoned").stats
+        self.lock().stats
     }
 
     /// Drops all cached lists (counters are kept).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("posting cache poisoned");
+        let mut inner = self.lock();
         inner.map.clear();
         inner.slab.clear();
         inner.free.clear();
@@ -284,7 +312,7 @@ impl SharedPostingCache {
     /// Looks up a canonical pattern, bumping its recency on hit. Counts
     /// one hit or one miss. O(1).
     fn get(&self, key: &CanonicalPattern) -> Option<(Arc<[Posting]>, f64)> {
-        let mut inner = self.inner.lock().expect("posting cache poisoned");
+        let mut inner = self.lock();
         match inner.map.get(key).copied() {
             Some(i) => {
                 inner.unlink(i);
@@ -303,7 +331,7 @@ impl SharedPostingCache {
     /// (O(1) each, off the recency list's tail) if the capacity bound
     /// would be exceeded.
     fn insert(&self, key: CanonicalPattern, entries: Arc<[Posting]>, total: f64) {
-        let mut inner = self.inner.lock().expect("posting cache poisoned");
+        let mut inner = self.lock();
         if inner.capacity == 0 {
             return;
         }
@@ -941,5 +969,37 @@ mod tests {
         assert_eq!(ln_weight(0.0), LOG_ZERO);
         assert_eq!(ln_weight(-1.0), LOG_ZERO);
         assert!((ln_weight(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_cache_recovers_from_poisoning_as_cold_restart() {
+        let store = store();
+        let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let key = canonical_pattern(&p);
+        let cache = SharedPostingCache::new(8);
+        cache.insert(key, Vec::new().into(), 1.0);
+        assert_eq!(cache.len(), 1);
+
+        // Poison the mutex: a holder panics with the guard live.
+        let died = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.inner.lock().unwrap();
+                panic!("holder dies mid-update");
+            })
+            .join()
+        });
+        assert!(died.is_err(), "the holder must have panicked");
+
+        // Every subsequent operation degrades to a cold cache instead
+        // of aborting: residents are gone, structure is consistent.
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().poison_recoveries, 1);
+        assert!(cache.get(&key).is_none(), "resident list dropped, not trusted");
+        assert_eq!(cache.capacity(), 8, "capacity survives recovery");
+
+        // And the cache is fully usable again (poison flag cleared).
+        cache.insert(key, Vec::new().into(), 1.0);
+        assert!(cache.get(&key).is_some());
+        assert_eq!(cache.stats().poison_recoveries, 1, "recovered once, not per lock");
     }
 }

@@ -1,12 +1,16 @@
 //! The sharded executor: per-shard seeding on scoped threads, the
 //! cross-shard merge phase, and the batch query pool.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use trinit_query::exec::sharded::run_partitioned;
-use trinit_query::exec::topk::{run_scaled, TopkConfig};
-use trinit_query::{Answer, ExecMetrics, Query, SharedPostingCache};
+use trinit_query::exec::topk::{run_scaled_with, TopkConfig};
+use trinit_query::{
+    describe_panic, Answer, BudgetTracker, Completeness, ExecError, ExecMetrics, Governor, Query,
+    SharedPostingCache,
+};
 use trinit_relax::{ConditionOracle, RuleSet};
 use trinit_xkg::TripleId;
 
@@ -41,6 +45,12 @@ pub struct ShardedRun {
     /// Per-shard work: each shard's seed-phase run plus its share of
     /// the merge phase's posting work.
     pub per_shard: Vec<ExecMetrics>,
+    /// The exactness guarantee of `answers` under the query's
+    /// [`trinit_query::ExecBudget`]: `Exact` unless an ε/θ criterion
+    /// retired work in the merge phase or a hard budget cutoff fired.
+    /// Seed-phase retirements never degrade the label — the merge
+    /// phase alone is complete and exact.
+    pub completeness: Completeness,
 }
 
 /// Executes queries over a [`ShardedStore`]: fans the query out to
@@ -90,10 +100,15 @@ impl<'a> ShardedExecutor<'a> {
         query: &Query,
         rules: &RuleSet,
         cfg: &TopkConfig,
+        tracker: &BudgetTracker,
     ) -> (Vec<Answer>, ExecMetrics) {
         let store = self.store.shard(shard);
         let offset = self.store.offsets()[shard];
-        let (mut answers, metrics) = run_scaled(
+        // Advisory governance: seed pulls consume the shared budget and
+        // pick up ladder escalations, but a cutoff or ε retirement here
+        // never marks the query non-exact — seeds only warm the merge
+        // phase's collector, and the merge phase alone is complete.
+        let (mut answers, metrics) = run_scaled_with(
             store,
             query,
             rules,
@@ -102,6 +117,7 @@ impl<'a> ShardedExecutor<'a> {
             Some(self.store),
             Some(self.store as &dyn ConditionOracle),
             Vec::new(),
+            Governor::advisory(tracker),
         );
         for answer in &mut answers {
             for (_, id) in &mut answer.derivation.triples {
@@ -122,37 +138,45 @@ impl<'a> ShardedExecutor<'a> {
         seed: SeedMode,
     ) -> ShardedRun {
         let n = self.store.shard_count();
+        let tracker = BudgetTracker::new(cfg);
         let mut per_shard = vec![ExecMetrics::default(); n];
         let mut seeds: Vec<Answer> = Vec::new();
         match seed {
             SeedMode::Off => {}
             SeedMode::Sequential => {
                 for (shard, acc) in per_shard.iter_mut().enumerate() {
-                    let (answers, metrics) = self.seed_shard(shard, query, rules, cfg);
+                    let (answers, metrics) = self.seed_shard(shard, query, rules, cfg, &tracker);
                     seeds.extend(answers);
                     acc.merge(&metrics);
                 }
             }
             SeedMode::Parallel => {
+                let tracker = &tracker;
                 let results = std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..n)
                         .map(|shard| {
-                            scope.spawn(move || self.seed_shard(shard, query, rules, cfg))
+                            scope.spawn(move || {
+                                self.seed_shard(shard, query, rules, cfg, tracker)
+                            })
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("seed thread panicked"))
+                        .map(|h| h.join())
                         .collect::<Vec<_>>()
                 });
-                for (shard, (answers, metrics)) in results.into_iter().enumerate() {
+                for (shard, joined) in results.into_iter().enumerate() {
+                    // A panicked seed thread forfeits only its warm
+                    // start: the merge phase is complete on its own, so
+                    // the query still returns its exact answers.
+                    let (answers, metrics) = joined.unwrap_or_default();
                     seeds.extend(answers);
                     per_shard[shard].merge(&metrics);
                 }
             }
         }
 
-        self.merge_with_seeds(query, rules, cfg, seeds, per_shard)
+        self.merge_with_seeds(query, rules, cfg, seeds, per_shard, &tracker)
     }
 
     /// The cross-shard merge phase: runs the partitioned pipeline with
@@ -167,6 +191,7 @@ impl<'a> ShardedExecutor<'a> {
         cfg: &TopkConfig,
         seeds: Vec<Answer>,
         mut per_shard: Vec<ExecMetrics>,
+        tracker: &BudgetTracker,
     ) -> ShardedRun {
         let shard_refs: Vec<&trinit_xkg::XkgStore> = self.store.shards().iter().collect();
         let run = run_partitioned(
@@ -180,6 +205,7 @@ impl<'a> ShardedExecutor<'a> {
             cfg,
             self.caches,
             seeds,
+            Governor::primary(tracker),
         );
 
         let mut metrics = run.metrics;
@@ -191,6 +217,7 @@ impl<'a> ShardedExecutor<'a> {
             answers: run.answers,
             metrics,
             per_shard,
+            completeness: run.completeness,
         }
     }
 }
@@ -264,6 +291,30 @@ impl QueryPool {
                     .expect("every input produced an output")
             })
             .collect()
+    }
+
+    /// [`QueryPool::execute`] with panic isolation: each input's `run`
+    /// call is wrapped in [`catch_unwind`], so one query's panic
+    /// becomes a typed [`ExecError::WorkerPanicked`] in its own output
+    /// slot while every other query completes normally. The worker
+    /// thread that caught the panic keeps claiming further inputs.
+    pub fn try_execute<I, O, F>(&self, inputs: Vec<I>, run: F) -> Vec<Result<O, ExecError>>
+    where
+        I: Send,
+        O: Send,
+        F: Fn(I) -> O + Sync,
+    {
+        let n = inputs.len();
+        let indexed: Vec<(usize, I)> = inputs.into_iter().enumerate().collect();
+        debug_assert_eq!(indexed.len(), n);
+        self.execute(indexed, |(i, input)| {
+            catch_unwind(AssertUnwindSafe(|| run(input))).map_err(|payload| {
+                ExecError::WorkerPanicked {
+                    context: format!("batch query {i}"),
+                    payload: describe_panic(payload.as_ref()),
+                }
+            })
+        })
     }
 }
 

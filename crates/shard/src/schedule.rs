@@ -33,12 +33,22 @@
 //! order. Determinism: seed answers are collected *per shard slot* and
 //! offered in shard order, so the merge phase sees the same seed
 //! sequence no matter which worker ran which task.
+//!
+//! Robustness: every seed task and merge phase runs under
+//! `catch_unwind`, so a panicking worker converts into a typed
+//! [`ExecError`] for its own query and the rest of the batch finishes
+//! untouched; subject-bound queries prune their seed fan-out to the
+//! subject's home shard (adaptive seeding, counted in
+//! [`ExecMetrics::seed_skips`]).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use trinit_query::exec::topk::TopkConfig;
-use trinit_query::{Answer, ExecMetrics, Query};
+use trinit_query::{
+    describe_panic, Answer, BudgetTracker, ExecError, ExecMetrics, QTerm, Query,
+};
 use trinit_relax::RuleSet;
 
 use crate::exec::{ShardedExecutor, ShardedRun};
@@ -61,15 +71,70 @@ struct QueryState {
     steals: AtomicUsize,
     /// Per-shard seed results, slotted by shard index so the merge sees
     /// a deterministic seed order regardless of completion order.
+    /// Adaptively skipped shards leave their slot empty.
     seeds: Mutex<Vec<Option<SeedResult>>>,
-    /// The finished run, written by the merge-driving worker.
-    outcome: Mutex<Option<ShardedRun>>,
+    /// The finished run — or the typed error of the first panic caught
+    /// on this query's work — written under panic isolation.
+    outcome: Mutex<Option<Result<ShardedRun, ExecError>>>,
+}
+
+impl QueryState {
+    /// Records a caught panic as this query's outcome (first panic
+    /// wins) without disturbing the rest of the batch.
+    fn poison(&self, context: String, payload: &(dyn std::any::Any + Send)) {
+        let mut outcome = self.outcome.lock().expect("outcome slot poisoned");
+        if outcome.is_none() {
+            *outcome = Some(Err(ExecError::WorkerPanicked {
+                context,
+                payload: describe_panic(payload),
+            }));
+        }
+    }
 }
 
 impl<'a> ShardedExecutor<'a> {
+    /// The single home shard of a subject-bound query, if it has one:
+    /// every pattern's subject is a ground term and all of them hash to
+    /// the same shard. Subject-hash partitioning places those patterns'
+    /// direct matches on that shard alone, so seeding elsewhere is
+    /// wasted work *for the warm start* — relaxation may still surface
+    /// cross-shard matches (an inversion rule swaps subject and
+    /// object), which is safe precisely because seeding is advisory:
+    /// the merge phase alone is complete and exact.
+    fn single_shard_of(&self, query: &Query) -> Option<usize> {
+        let n = self.store.shard_count();
+        if n <= 1 {
+            return None;
+        }
+        let mut home: Option<usize> = None;
+        for pattern in &query.patterns {
+            let QTerm::Term(s) = pattern.s else {
+                return None;
+            };
+            let shard = s.shard_of(n);
+            match home {
+                None => home = Some(shard),
+                Some(h) if h == shard => {}
+                Some(_) => return None,
+            }
+        }
+        home
+    }
+
     /// Executes a batch of independent queries across `workers` threads
-    /// with per-shard seed-task stealing, returning one [`ShardedRun`]
-    /// per query in input order.
+    /// with per-shard seed-task stealing, returning one result per
+    /// query in input order.
+    ///
+    /// **Panic isolation.** Every seed task and merge phase runs under
+    /// [`catch_unwind`]: a panicking worker poisons only the query it
+    /// was serving — that query's slot becomes
+    /// [`ExecError::WorkerPanicked`] and every other query completes
+    /// normally.
+    ///
+    /// **Adaptive seeding.** Subject-bound queries (every pattern's
+    /// subject ground, all on one home shard) contribute a single seed
+    /// task instead of one per shard; the pruned tasks are counted in
+    /// `metrics.seed_skips`.
     ///
     /// Each run's `metrics.seed_steals` reports how many of the query's
     /// seed tasks were lifted by workers other than its owner; the rest
@@ -82,18 +147,41 @@ impl<'a> ShardedExecutor<'a> {
         rules: &RuleSet,
         cfg: &TopkConfig,
         workers: usize,
-    ) -> Vec<ShardedRun> {
+    ) -> Vec<Result<ShardedRun, ExecError>> {
         let n_shards = self.store.shard_count();
         let n_queries = queries.len();
         if n_queries == 0 {
             return Vec::new();
         }
-        let total_tasks = n_queries * n_shards;
+
+        // The flat task space the injector's cursor walks: one (query,
+        // shard) seed task per entry, subject-bound queries pruned to
+        // their home shard.
+        let mut tasks: Vec<(usize, usize)> = Vec::with_capacity(n_queries * n_shards);
+        let mut task_counts = vec![0usize; n_queries];
+        let mut skips = vec![0usize; n_queries];
+        for (qi, query) in queries.iter().enumerate() {
+            match self.single_shard_of(query) {
+                Some(home) => {
+                    tasks.push((qi, home));
+                    task_counts[qi] = 1;
+                    skips[qi] = n_shards - 1;
+                }
+                None => {
+                    tasks.extend((0..n_shards).map(|shard| (qi, shard)));
+                    task_counts[qi] = n_shards;
+                }
+            }
+        }
+        let total_tasks = tasks.len();
         let workers = workers.max(1).min(total_tasks);
 
-        let states: Vec<QueryState> = (0..n_queries)
-            .map(|_| QueryState {
-                remaining: AtomicUsize::new(n_shards),
+        let trackers: Vec<BudgetTracker> =
+            queries.iter().map(|_| BudgetTracker::new(cfg)).collect();
+        let states: Vec<QueryState> = task_counts
+            .iter()
+            .map(|&count| QueryState {
+                remaining: AtomicUsize::new(count),
                 owner: AtomicUsize::new(NO_OWNER),
                 steals: AtomicUsize::new(0),
                 seeds: Mutex::new(vec![None; n_shards]),
@@ -105,6 +193,8 @@ impl<'a> ShardedExecutor<'a> {
         std::thread::scope(|scope| {
             for worker in 0..workers {
                 let states = &states;
+                let trackers = &trackers;
+                let tasks = &tasks;
                 let cursor = &cursor;
                 scope.spawn(move || loop {
                     // Claim the next seed task off the shared injector.
@@ -112,7 +202,7 @@ impl<'a> ShardedExecutor<'a> {
                     if task >= total_tasks {
                         break;
                     }
-                    let (qi, shard) = (task / n_shards, task % n_shards);
+                    let (qi, shard) = tasks[task];
                     let state = &states[qi];
                     let claimed_first = state
                         .owner
@@ -122,25 +212,72 @@ impl<'a> ShardedExecutor<'a> {
                             state.steals.fetch_add(1, Ordering::Relaxed);
                         }
                     }
-                    let seeded = self.seed_shard(shard, &queries[qi], rules, cfg);
-                    state.seeds.lock().expect("seed slots poisoned")[shard] = Some(seeded);
-                    // The release of the mutex above pairs with the
-                    // acquire below: the last finisher observes every
-                    // shard's seed result.
+                    let seeded = catch_unwind(AssertUnwindSafe(|| {
+                        #[cfg(feature = "faults")]
+                        trinit_query::faults::on_seed_task(qi, shard);
+                        self.seed_shard(shard, &queries[qi], rules, cfg, &trackers[qi])
+                    }));
+                    match seeded {
+                        Ok(result) => {
+                            state.seeds.lock().expect("seed slots poisoned")[shard] =
+                                Some(result);
+                        }
+                        Err(payload) => {
+                            state.poison(
+                                format!("seed task (query {qi}, shard {shard})"),
+                                payload.as_ref(),
+                            );
+                        }
+                    }
+                    // The releases above (seed-slot or outcome mutex)
+                    // pair with the acquires below: the last finisher
+                    // observes every seed result and any poisoning.
                     if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        if state
+                            .outcome
+                            .lock()
+                            .expect("outcome slot poisoned")
+                            .is_some()
+                        {
+                            // A seed panic already decided this query.
+                            continue;
+                        }
                         let slots = std::mem::take(
                             &mut *state.seeds.lock().expect("seed slots poisoned"),
                         );
                         let mut seeds: Vec<Answer> = Vec::new();
-                        let mut per_shard = Vec::with_capacity(n_shards);
-                        for slot in slots {
-                            let (answers, metrics) = slot.expect("every seed task completed");
-                            seeds.extend(answers);
-                            per_shard.push(metrics);
+                        let mut per_shard = vec![ExecMetrics::default(); n_shards];
+                        for (shard, slot) in slots.into_iter().enumerate() {
+                            // Empty slots are adaptively skipped shards.
+                            if let Some((answers, metrics)) = slot {
+                                seeds.extend(answers);
+                                per_shard[shard] = metrics;
+                            }
                         }
-                        let run =
-                            self.merge_with_seeds(&queries[qi], rules, cfg, seeds, per_shard);
-                        *state.outcome.lock().expect("outcome slot poisoned") = Some(run);
+                        let merged = catch_unwind(AssertUnwindSafe(|| {
+                            #[cfg(feature = "faults")]
+                            trinit_query::faults::on_merge(qi);
+                            self.merge_with_seeds(
+                                &queries[qi],
+                                rules,
+                                cfg,
+                                seeds,
+                                per_shard,
+                                &trackers[qi],
+                            )
+                        }));
+                        match merged {
+                            Ok(run) => {
+                                *state.outcome.lock().expect("outcome slot poisoned") =
+                                    Some(Ok(run));
+                            }
+                            Err(payload) => {
+                                state.poison(
+                                    format!("merge phase (query {qi})"),
+                                    payload.as_ref(),
+                                );
+                            }
+                        }
                     }
                 });
             }
@@ -148,14 +285,18 @@ impl<'a> ShardedExecutor<'a> {
 
         states
             .into_iter()
-            .map(|state| {
-                let mut run = state
+            .enumerate()
+            .map(|(qi, state)| {
+                let result = state
                     .outcome
                     .into_inner()
                     .expect("outcome slot poisoned")
-                    .expect("every query merged");
-                run.metrics.seed_steals = state.steals.into_inner();
-                run
+                    .expect("every query resolved");
+                result.map(|mut run| {
+                    run.metrics.seed_steals = state.steals.into_inner();
+                    run.metrics.seed_skips = skips[qi];
+                    run
+                })
             })
             .collect()
     }
@@ -232,6 +373,7 @@ mod tests {
                 let runs = exec.run_batch_stealing(&queries, &rules, &cfg, workers);
                 assert_eq!(runs.len(), queries.len());
                 for (run, want) in runs.iter().zip(&expected) {
+                    let run = run.as_ref().expect("no worker panicked");
                     assert_same_answers(&run.answers, want);
                     assert_eq!(run.per_shard.len(), shards);
                     assert!(run.metrics.pulls > 0);
@@ -256,6 +398,7 @@ mod tests {
             .collect();
         let runs = exec.run_batch_stealing(&queries, &rules, &TopkConfig::default(), 1);
         for run in &runs {
+            let run = run.as_ref().expect("no worker panicked");
             assert_eq!(run.metrics.seed_steals, 0, "one worker cannot steal from itself");
         }
     }
@@ -287,12 +430,69 @@ mod tests {
             &TopkConfig::default(),
             2,
         );
+        let run = runs[0].as_ref().expect("no worker panicked");
         let reference = exec.run(&q, &rules, &TopkConfig::default(), SeedMode::Sequential);
-        assert_same_answers(&runs[0].answers, &reference.answers);
+        assert_same_answers(&run.answers, &reference.answers);
         assert_eq!(
-            runs[0].metrics.postings_scanned, reference.metrics.postings_scanned,
+            run.metrics.postings_scanned, reference.metrics.postings_scanned,
             "stolen seed + merge work must equal the sequential seed + merge work"
         );
-        assert_eq!(runs[0].metrics.pulls, reference.metrics.pulls);
+        assert_eq!(run.metrics.pulls, reference.metrics.pulls);
+    }
+
+    #[test]
+    fn adaptive_seeding_prunes_subject_bound_queries_to_one_shard() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let shards = 4;
+        let sharded = ShardedStore::build(builder(), shards);
+        let exec = ShardedExecutor::new(&sharded);
+        let cfg = TopkConfig::default();
+        // A subject-bound query (ground subject on every pattern) and an
+        // open one, in the same batch.
+        let bound = QueryBuilder::new(&single)
+            .pattern_r_r_v("x3", "p", "b")
+            .limit(4)
+            .build();
+        let open = QueryBuilder::new(&single)
+            .pattern_v_r_v("a", "p", "b")
+            .limit(4)
+            .build();
+        let expected_bound = exec.run(&bound, &rules, &cfg, SeedMode::Off);
+        let expected_open = exec.run(&open, &rules, &cfg, SeedMode::Off);
+        let runs =
+            exec.run_batch_stealing(&[bound, open], &rules, &cfg, 2);
+        let bound_run = runs[0].as_ref().expect("no worker panicked");
+        let open_run = runs[1].as_ref().expect("no worker panicked");
+        assert_eq!(
+            bound_run.metrics.seed_skips,
+            shards - 1,
+            "subject-bound query seeds only its home shard: {:?}",
+            bound_run.metrics
+        );
+        assert_eq!(open_run.metrics.seed_skips, 0, "{:?}", open_run.metrics);
+        // Pruned seeding is advisory: answers stay identical.
+        assert_same_answers(&bound_run.answers, &expected_bound.answers);
+        assert_same_answers(&open_run.answers, &expected_open.answers);
+    }
+
+    #[test]
+    fn single_shard_store_never_prunes() {
+        let single = builder().build();
+        let rules = rules(&single);
+        let sharded = ShardedStore::build(builder(), 1);
+        let exec = ShardedExecutor::new(&sharded);
+        let q = QueryBuilder::new(&single)
+            .pattern_r_r_v("x2", "p", "b")
+            .limit(3)
+            .build();
+        let runs = exec.run_batch_stealing(
+            std::slice::from_ref(&q),
+            &rules,
+            &TopkConfig::default(),
+            2,
+        );
+        let run = runs[0].as_ref().expect("no worker panicked");
+        assert_eq!(run.metrics.seed_skips, 0, "nothing to skip at one shard");
     }
 }

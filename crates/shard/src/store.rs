@@ -280,7 +280,20 @@ impl GlobalTotals for ShardedStore {
                 _ => {}
             }
         }
-        let mut memo = self.totals_memo.lock().expect("totals memo poisoned");
+        // Poison recovery: a panicking holder can at worst have left a
+        // partially inserted memo entry; entries are immutable once
+        // written and derived purely from the frozen store, so the memo
+        // is dropped wholesale (totals recompute on demand) rather than
+        // trusted — a cache-warmth loss, never an abort.
+        let mut memo = match self.totals_memo.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.totals_memo.clear_poison();
+                guard
+            }
+        };
         if let Some(&t) = memo.get(key) {
             return Some(t);
         }

@@ -1,0 +1,218 @@
+//! Fault-injection robustness suite (feature `faults`).
+//!
+//! Drives the deterministic harness in `trinit_query::faults` against
+//! the work-stealing batch scheduler: any single task's panic must be
+//! isolated to its own query, deterministic seeds must replay, and
+//! budgeted runs must hold their deadline under injected latency.
+
+#![cfg(feature = "faults")]
+
+use std::time::{Duration, Instant};
+
+use trinit_query::exec::topk::TopkConfig;
+use trinit_query::faults::{FaultPlan, FaultScope};
+use trinit_query::{Completeness, CutoffReason, ExecBudget, ExecError, Query, QueryBuilder};
+use trinit_relax::{Rule, RuleProvenance, RuleSet};
+use trinit_shard::{SeedMode, ShardedExecutor, ShardedStore};
+use trinit_xkg::XkgBuilder;
+
+fn builder() -> XkgBuilder {
+    let mut b = XkgBuilder::new();
+    for i in 0..24u32 {
+        b.add_kg_resources(&format!("x{i}"), "p", &format!("y{i}"));
+        b.add_kg_resources(&format!("y{i}"), "q", &format!("z{}", i % 5));
+    }
+    let src = b.intern_source("doc");
+    for i in 0..10u32 {
+        let s = b.dict_mut().resource(&format!("x{i}"));
+        let p = b.dict_mut().token("close to");
+        let o = b.dict_mut().resource(&format!("y{}", (i + 5) % 24));
+        b.add_extracted(s, p, o, 0.6, src);
+    }
+    b
+}
+
+fn rules(store: &trinit_xkg::XkgStore) -> RuleSet {
+    let p = store.resource("p").unwrap();
+    let close = store.token("close to").unwrap();
+    let mut rules = RuleSet::new();
+    rules.add(Rule::predicate_rewrite(
+        "p ~ close to",
+        p,
+        close,
+        0.7,
+        RuleProvenance::UserDefined,
+    ));
+    rules
+}
+
+/// Open (variable-subject) queries, so every query seeds every shard
+/// and any (query, shard) pair is a live injection target.
+fn open_queries(single: &trinit_xkg::XkgStore, n: usize) -> Vec<Query> {
+    (0..n)
+        .map(|i| {
+            QueryBuilder::new(single)
+                .pattern_v_r_v("a", "p", "b")
+                .limit(3 + i)
+                .build()
+        })
+        .collect()
+}
+
+#[test]
+fn batch_survives_any_single_seed_task_panic() {
+    let single = builder().build();
+    let rules = rules(&single);
+    let shards = 3;
+    let sharded = ShardedStore::build(builder(), shards);
+    let exec = ShardedExecutor::new(&sharded);
+    let cfg = TopkConfig::default();
+    let queries = open_queries(&single, 4);
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| exec.run(q, &rules, &cfg, SeedMode::Off).answers)
+        .collect();
+
+    // Exhaustive: panic every single (query, shard) seed task in turn.
+    for victim_q in 0..queries.len() {
+        for victim_shard in 0..shards {
+            let _scope = FaultScope::install(FaultPlan {
+                seed_panics: vec![(victim_q, victim_shard)],
+                ..FaultPlan::default()
+            });
+            let runs = exec.run_batch_stealing(&queries, &rules, &cfg, 3);
+            assert_eq!(runs.len(), queries.len());
+            for (qi, run) in runs.iter().enumerate() {
+                if qi == victim_q {
+                    let err = run.as_ref().expect_err("victim query must error");
+                    let ExecError::WorkerPanicked { context, payload } = err;
+                    assert!(
+                        context.contains(&format!("query {victim_q}, shard {victim_shard}")),
+                        "context was: {context}"
+                    );
+                    assert!(payload.contains("injected fault"), "payload was: {payload}");
+                } else {
+                    let run = run.as_ref().expect("bystander query must complete");
+                    trinit_shard::testkit::assert_answers_score_equivalent(
+                        &run.answers,
+                        &expected[qi],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_panic_poisons_only_its_query() {
+    let single = builder().build();
+    let rules = rules(&single);
+    let sharded = ShardedStore::build(builder(), 2);
+    let exec = ShardedExecutor::new(&sharded);
+    let cfg = TopkConfig::default();
+    let queries = open_queries(&single, 3);
+    let _scope = FaultScope::install(FaultPlan {
+        merge_panics: vec![1],
+        ..FaultPlan::default()
+    });
+    let runs = exec.run_batch_stealing(&queries, &rules, &cfg, 2);
+    let err = runs[1].as_ref().expect_err("merge victim must error");
+    let ExecError::WorkerPanicked { context, .. } = err;
+    assert!(context.contains("merge phase (query 1)"), "context: {context}");
+    for qi in [0, 2] {
+        let run = runs[qi].as_ref().expect("bystanders complete");
+        assert!(!run.answers.is_empty());
+    }
+}
+
+#[test]
+fn probabilistic_injection_replays_from_its_seed() {
+    let single = builder().build();
+    let rules = rules(&single);
+    let sharded = ShardedStore::build(builder(), 3);
+    let exec = ShardedExecutor::new(&sharded);
+    let cfg = TopkConfig::default();
+    let queries = open_queries(&single, 5);
+    let outcome_shape = |seed: u64| -> Vec<bool> {
+        let _scope = FaultScope::install(FaultPlan {
+            seed_panic_seed: seed,
+            seed_panic_prob: 0.4,
+            ..FaultPlan::default()
+        });
+        exec.run_batch_stealing(&queries, &rules, &cfg, 2)
+            .iter()
+            .map(Result::is_ok)
+            .collect()
+    };
+    let first = outcome_shape(7);
+    assert!(
+        first.iter().any(|ok| !ok),
+        "prob 0.4 over 15 tasks should poison something"
+    );
+    assert_eq!(first, outcome_shape(7), "same seed must replay identically");
+}
+
+#[test]
+fn deadline_holds_under_injected_pull_latency() {
+    let single = builder().build();
+    let rules = rules(&single);
+    let sharded = ShardedStore::build(builder(), 2);
+    let exec = ShardedExecutor::new(&sharded);
+    let deadline = Duration::from_millis(25);
+    let cfg = TopkConfig {
+        budget: ExecBudget {
+            deadline: Some(deadline),
+            ..ExecBudget::default()
+        },
+        ..TopkConfig::default()
+    };
+    let q = QueryBuilder::new(&single)
+        .pattern_v_r_v("a", "p", "b")
+        .limit(50)
+        .build();
+    let _scope = FaultScope::install(FaultPlan {
+        pull_delay: Some(Duration::from_millis(3)),
+        alloc_pressure: 1 << 16,
+        ..FaultPlan::default()
+    });
+    let started = Instant::now();
+    let run = exec.run(&q, &rules, &cfg, SeedMode::Off);
+    let elapsed = started.elapsed();
+    // The cutoff is checked per pull, so the run overshoots by at most
+    // one injected pull plus scheduling noise — far below the exact
+    // run's demand (dozens of 3 ms pulls).
+    assert!(
+        elapsed < deadline + Duration::from_millis(250),
+        "run must respect its deadline: took {elapsed:?}"
+    );
+    assert!(
+        matches!(
+            run.completeness,
+            Completeness::Truncated { reason: CutoffReason::Deadline, .. }
+        ),
+        "latency must trip the deadline: {:?}",
+        run.completeness
+    );
+    assert!(run.metrics.deadline_cutoffs >= 1, "{:?}", run.metrics);
+}
+
+#[test]
+fn unfaulted_runs_are_unaffected_by_a_cleared_plan() {
+    let single = builder().build();
+    let rules = rules(&single);
+    let sharded = ShardedStore::build(builder(), 2);
+    let exec = ShardedExecutor::new(&sharded);
+    let cfg = TopkConfig::default();
+    let queries = open_queries(&single, 2);
+    {
+        let _scope = FaultScope::install(FaultPlan {
+            seed_panics: vec![(0, 0)],
+            ..FaultPlan::default()
+        });
+        let runs = exec.run_batch_stealing(&queries, &rules, &cfg, 2);
+        assert!(runs[0].is_err());
+    }
+    // Scope dropped: the same batch now completes cleanly.
+    let runs = exec.run_batch_stealing(&queries, &rules, &cfg, 2);
+    assert!(runs.iter().all(Result::is_ok), "cleared plan must not leak");
+}

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 
 use trinit_query::exec::topk::{self, TopkConfig};
-use trinit_query::Query;
+use trinit_query::{Completeness, ExecBudget, Query};
 use trinit_relax::{QPattern, QTerm, Rule, RuleProvenance, RuleSet, VarId};
 use trinit_shard::{SeedMode, ShardedExecutor, ShardedStore};
 use trinit_xkg::{PostingList, Provenance, SlotPattern, SourceId, TermId, TermKind, Triple, XkgBuilder};
@@ -400,8 +400,74 @@ proptest! {
             let runs = exec.run_batch_stealing(&queries, &set, &cfg, workers);
             prop_assert_eq!(runs.len(), queries.len());
             for (run, q) in runs.iter().zip(&queries) {
+                let run = run.as_ref().expect("no worker panicked");
                 let want = exec.run(q, &set, &cfg, SeedMode::Off);
                 assert_answers_equivalent(&run.answers, &want.answers);
+            }
+        }
+    }
+
+    /// Budget governance is free when nothing binds: ε = 0 under an
+    /// effectively infinite budget is **bit-identical** to the
+    /// ungoverned exact path — same answers, same scores, same pull
+    /// counts — monolithic and at 1/2/4/7 shards in both seed modes,
+    /// and every run is labeled [`Completeness::Exact`].
+    #[test]
+    fn governed_unlimited_budget_is_bit_identical_to_exact(
+        rows in store_strategy(5, 32),
+        patterns in proptest::collection::vec(pattern_strategy(3, 5), 1..3),
+        rules in rules_strategy(5),
+        k in 1usize..8,
+    ) {
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        // Limits present (the governed code path is exercised) but
+        // unreachable: one hour and half the address space of pulls.
+        let governed_cfg = TopkConfig {
+            epsilon: 0.0,
+            budget: ExecBudget {
+                deadline: Some(std::time::Duration::from_secs(3600)),
+                max_pulls: Some(usize::MAX / 2),
+                ..ExecBudget::default()
+            },
+            ..cfg.clone()
+        };
+        let query = query_from(patterns, k);
+
+        let single = builder_from(&rows).build();
+        let (mono, m_mono) = topk::run(&single, &query, &set, &cfg);
+        let governed = topk::run_governed(&single, &query, &set, &governed_cfg, None);
+        prop_assert_eq!(governed.answers.len(), mono.len());
+        for (a, b) in governed.answers.iter().zip(&mono) {
+            prop_assert_eq!(&a.key, &b.key);
+            prop_assert_eq!(a.score, b.score, "governed run changed a monolithic score");
+        }
+        prop_assert_eq!(
+            governed.metrics.pulls, m_mono.pulls,
+            "governed run changed monolithic pull counts"
+        );
+        prop_assert_eq!(governed.completeness, Completeness::Exact);
+        prop_assert_eq!(governed.metrics.degradation_steps, 0);
+
+        for shards in [1usize, 2, 4, 7] {
+            let sharded = ShardedStore::build(builder_from(&rows), shards);
+            let exec = ShardedExecutor::new(&sharded);
+            for mode in [SeedMode::Off, SeedMode::Parallel] {
+                let exact_run = exec.run(&query, &set, &cfg, mode);
+                let gov_run = exec.run(&query, &set, &governed_cfg, mode);
+                prop_assert_eq!(gov_run.answers.len(), exact_run.answers.len());
+                for (a, b) in gov_run.answers.iter().zip(&exact_run.answers) {
+                    prop_assert_eq!(&a.key, &b.key);
+                    prop_assert_eq!(
+                        a.score, b.score,
+                        "budget changed a sharded score at {} shards ({:?})", shards, mode
+                    );
+                }
+                prop_assert_eq!(
+                    gov_run.metrics.pulls, exact_run.metrics.pulls,
+                    "budget changed sharded pull counts at {} shards ({:?})", shards, mode
+                );
+                prop_assert_eq!(gov_run.completeness, Completeness::Exact);
             }
         }
     }
