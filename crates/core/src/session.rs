@@ -131,6 +131,32 @@ impl<'a> Session<'a> {
         Ok(self.run(query, Engine::IncrementalTopK))
     }
 
+    /// The semi-naive delta question under the session rule set: which
+    /// of `query`'s top-k answers use at least one triple from the
+    /// system's live delta segment (the most recent un-compacted
+    /// [`Trinit::ingest`] batches)? Runs one restricted query variant
+    /// per triple pattern — that pattern's merge source confined to the
+    /// delta — and unions the results; scores equal the same answers'
+    /// scores under a full run. Returns no answers when no delta is
+    /// live.
+    pub fn answers_introduced_by(&self, query: Query) -> QueryOutcome {
+        if self.system.sharded_store().is_some() {
+            self.system.answers_introduced_by_cached(
+                query,
+                &self.rules,
+                None,
+                Some(&self.shard_caches),
+            )
+        } else {
+            self.system.answers_introduced_by_cached(
+                query,
+                &self.rules,
+                Some(&self.posting_cache),
+                None,
+            )
+        }
+    }
+
     /// Runs a compiled query with the session rule set, reusing posting
     /// lists cached by this session's earlier queries (per-shard caches
     /// on a sharded system; caches are session-isolated either way).

@@ -7,23 +7,25 @@
 //! auto-completion — the full demo surface of the paper.
 
 use trinit_openie::{Linker, OpenIePipeline, PipelineConfig};
+use trinit_query::exec::segmented::SegmentedExec;
+use trinit_query::exec::sharded::{run_partitioned, PartitionedRun};
 use trinit_query::exec::{exact, expand, topk};
 use trinit_query::{
-    Answer, AnswerCollector, Completeness, ExecError, ExecMetrics, Query, SharedPostingCache,
-    TopkConfig,
+    Answer, AnswerCollector, BudgetTracker, Completeness, ExecError, ExecMetrics, Governor,
+    Query, SharedPostingCache, TopkConfig,
 };
 use trinit_relax::{
-    CooccurrenceOperator, ExpandOptions, GranularityMinerConfig, GranularityOperator,
-    MinerConfig, OperatorRegistry, ParaphraseGroup, ParaphraseOperator, RelaxationOperator,
-    RuleSet,
+    ConditionOracle, CooccurrenceOperator, ExpandOptions, GranularityMinerConfig,
+    GranularityOperator, MinerConfig, OperatorRegistry, ParaphraseGroup, ParaphraseOperator,
+    RelaxationOperator, RuleSet,
 };
 use trinit_shard::{QueryPool, SeedMode, ShardedExecutor, ShardedStore};
 use trinit_worldgen::corpus::generate_corpus;
 use trinit_worldgen::{alias_catalog, project_kg, CorpusConfig, KgConfig, World};
-use trinit_xkg::{GraphTag, XkgBuilder, XkgStore};
+use trinit_xkg::{GraphTag, SegmentedStore, XkgBuilder, XkgStore};
 
 use crate::complete::{Completer, Completion};
-use crate::explain::{explain, Explanation};
+use crate::explain::Explanation;
 use crate::suggest::{suggest, SuggestConfig, Suggestion};
 
 /// Which execution engine answers a query.
@@ -303,9 +305,9 @@ impl TrinitBuilder {
         let backend = match sharded_builder {
             Some(builder) => {
                 drop(store);
-                Backend::Sharded(ShardedStore::build(builder, shard_count))
+                Backend::Sharded(Box::new(ShardedStore::build(builder, shard_count)))
             }
-            None => Backend::Single(Box::new(store)),
+            None => Backend::Single(Box::new(SegmentedStore::new(store))),
         };
         Trinit {
             backend,
@@ -323,12 +325,16 @@ impl TrinitBuilder {
 
 /// The storage/execution backend of a built system.
 enum Backend {
-    /// One monolithic store; every engine runs directly against it
-    /// (boxed: the sharded variant would otherwise dwarf it).
-    Single(Box<XkgStore>),
+    /// One segmented store — a frozen base plus a live-ingestion delta
+    /// segment (empty until [`Trinit::ingest`] runs). While the delta
+    /// is empty every engine runs directly against the frozen base;
+    /// with a live delta, queries serve base ∪ delta through the
+    /// partitioned pipeline (boxed: variant size balance).
+    Single(Box<SegmentedStore>),
     /// Subject-hash-partitioned shards; queries route through the
     /// partitioned top-k engine ([`trinit_shard::ShardedExecutor`]).
-    Sharded(ShardedStore),
+    /// Boxed like `Single`: the delta bookkeeping makes the store wide.
+    Sharded(Box<ShardedStore>),
 }
 
 /// A built TriniT system: frozen XKG (monolithic or sharded), mined
@@ -362,7 +368,7 @@ impl Trinit {
             rules: rules.len(),
         };
         Trinit {
-            backend: Backend::Single(Box::new(store)),
+            backend: Backend::Single(Box::new(SegmentedStore::new(store))),
             rules,
             completer,
             topk: TopkConfig::default(),
@@ -385,7 +391,7 @@ impl Trinit {
             rules: rules.len(),
         };
         Trinit {
-            backend: Backend::Sharded(store),
+            backend: Backend::Sharded(Box::new(store)),
             rules,
             completer,
             topk: TopkConfig::default(),
@@ -397,17 +403,26 @@ impl Trinit {
         }
     }
 
-    /// The underlying store: the monolith, or the first shard of a
-    /// sharded system. On a sharded system every *dictionary-level*
-    /// operation through this reference (parsing, term lookup and
-    /// display, completion) is exact, because shards share one term
-    /// dictionary; per-triple operations (`triple`, `provenance`,
-    /// `lookup`) see only the first shard's slice — resolve those
-    /// through [`Trinit::sharded_store`] instead.
+    /// The vocabulary store: the monolith's base (or its delta view
+    /// while an ingested delta is live — a superset dictionary with
+    /// identical ids for shared terms), or the equivalent for a sharded
+    /// system. Every *dictionary-level* operation through this
+    /// reference (parsing, term lookup and display, completion) is
+    /// exact; per-triple operations (`triple`, `provenance`, `lookup`)
+    /// see only one slice — resolve those through
+    /// [`Trinit::sharded_store`] / [`Trinit::segmented_store`] instead.
     pub fn store(&self) -> &XkgStore {
         match &self.backend {
-            Backend::Single(store) => store,
-            Backend::Sharded(sharded) => sharded.shard(0),
+            Backend::Single(seg) => seg.vocab(),
+            Backend::Sharded(sharded) => sharded.vocab(),
+        }
+    }
+
+    /// The segmented (base + delta) store of a monolithic system.
+    pub fn segmented_store(&self) -> Option<&SegmentedStore> {
+        match &self.backend {
+            Backend::Single(seg) => Some(seg),
+            Backend::Sharded(_) => None,
         }
     }
 
@@ -418,6 +433,63 @@ impl Trinit {
             Backend::Single(_) => None,
             Backend::Sharded(sharded) => Some(sharded),
         }
+    }
+
+    /// The store generation: bumped by every [`Trinit::ingest`] and
+    /// [`Trinit::compact`]. Store-level posting caches stamp their
+    /// entries with this and drop them when it moves.
+    pub fn generation(&self) -> u64 {
+        match &self.backend {
+            Backend::Single(seg) => seg.generation(),
+            Backend::Sharded(sharded) => sharded.generation(),
+        }
+    }
+
+    /// True if an ingested, not-yet-compacted delta segment is live.
+    pub fn has_delta(&self) -> bool {
+        match &self.backend {
+            Backend::Single(seg) => seg.delta_view().is_some(),
+            Backend::Sharded(sharded) => sharded.has_delta(),
+        }
+    }
+
+    /// Ingests a batch of triples into the live delta segment: `fill`
+    /// appends into a builder whose dictionary and source table extend
+    /// the current vocabulary, and subsequent queries serve base ∪
+    /// delta with scores identical to a from-scratch rebuild. Returns
+    /// the number of *new* triples appended; re-observations of frozen
+    /// triples are queued as pending provenance absorbs applied at the
+    /// next [`Trinit::compact`] (until then the base serves them with
+    /// their pre-ingest weight).
+    pub fn ingest(&mut self, fill: impl FnOnce(&mut XkgBuilder)) -> usize {
+        let appended = match &mut self.backend {
+            Backend::Single(seg) => seg.ingest(fill),
+            Backend::Sharded(sharded) => sharded.ingest(fill),
+        };
+        self.refresh_strata_stats();
+        appended
+    }
+
+    /// Re-freezes the delta into the base: triples, pending provenance
+    /// absorbs, and fresh terms merge into rebuilt sorted strata, and
+    /// the delta empties. Answers are identical before and after; only
+    /// the serving topology (and triple-id assignment) changes.
+    pub fn compact(&mut self) {
+        match &mut self.backend {
+            Backend::Single(seg) => seg.compact(),
+            Backend::Sharded(sharded) => sharded.compact(),
+        }
+        self.refresh_strata_stats();
+    }
+
+    /// Re-derives the per-stratum triple counts after a mutation.
+    fn refresh_strata_stats(&mut self) {
+        let (kg, xkg) = match &self.backend {
+            Backend::Single(seg) => (seg.len_of(GraphTag::Kg), seg.len_of(GraphTag::Xkg)),
+            Backend::Sharded(s) => (s.len_of(GraphTag::Kg), s.len_of(GraphTag::Xkg)),
+        };
+        self.stats.kg_triples = kg;
+        self.stats.xkg_triples = xkg;
     }
 
     /// Number of store shards (1 for a monolithic system).
@@ -530,8 +602,8 @@ impl Trinit {
         rules: &RuleSet,
         cache: Option<&SharedPostingCache>,
     ) -> QueryOutcome {
-        let store = match &self.backend {
-            Backend::Single(store) => store,
+        let seg = match &self.backend {
+            Backend::Single(seg) => seg,
             Backend::Sharded(_) => {
                 return self.run_with_rules_shard_cached(
                     query,
@@ -542,6 +614,15 @@ impl Trinit {
                 )
             }
         };
+        // Cached posting lists embed store-generation-specific scaling;
+        // a stale cache is dropped wholesale before serving.
+        if let Some(cache) = cache {
+            cache.ensure_generation(seg.generation());
+        }
+        if seg.delta_view().is_some() {
+            return self.run_segmented(seg, query, engine, rules, cache);
+        }
+        let store = seg.base();
         let (answers, metrics, completeness) = match engine {
             Engine::Exact => {
                 let mut metrics = ExecMetrics::default();
@@ -577,6 +658,180 @@ impl Trinit {
         }
     }
 
+    /// One partitioned run over a monolithic system's live segments
+    /// (base + delta view), optionally restricting one query pattern to
+    /// the delta slice. The caller owns the budget tracker so
+    /// multi-run unions share one budget.
+    fn run_segmented_once(
+        &self,
+        seg: &SegmentedStore,
+        query: &Query,
+        rules: &RuleSet,
+        cache: Option<&SharedPostingCache>,
+        tracker: &BudgetTracker,
+        restrict: Option<usize>,
+    ) -> PartitionedRun {
+        let delta = seg
+            .delta_view()
+            .expect("segmented execution requires a live delta");
+        let base = seg.base();
+        let slices = [base, delta];
+        let offsets = [0u32, base.len() as u32];
+        let exec = SegmentedExec::new(&slices, &offsets);
+        run_partitioned(
+            &slices,
+            &offsets,
+            &exec,
+            &exec,
+            Some(&exec as &dyn ConditionOracle),
+            query,
+            rules,
+            &self.topk,
+            // The store-level cache holds frozen-base lists; the delta
+            // slice (rebuilt every ingest) runs uncached.
+            cache.map(std::slice::from_ref),
+            Vec::new(),
+            Governor::primary(tracker),
+            restrict.map(|j| (j, 1..2)),
+        )
+    }
+
+    /// Answers a query over a monolithic system with a live delta: the
+    /// base and the delta view are two slices of the partitioned
+    /// pipeline, normalized over the union's totals — answers (keys
+    /// *and* scores) equal a from-scratch rebuild's. As on the sharded
+    /// path, every engine routes through the partitioned top-k
+    /// processor: `Exact` runs it with an empty rule set,
+    /// `FullExpansion` with the full set under the [`TopkConfig`]
+    /// budget.
+    fn run_segmented(
+        &self,
+        seg: &SegmentedStore,
+        query: Query,
+        engine: Engine,
+        rules: &RuleSet,
+        cache: Option<&SharedPostingCache>,
+    ) -> QueryOutcome {
+        let mut scratch = None;
+        let rules = Self::engine_rules(engine, rules, &mut scratch);
+        let tracker = BudgetTracker::new(&self.topk);
+        let run = self.run_segmented_once(seg, &query, rules, cache, &tracker, None);
+        QueryOutcome {
+            query,
+            answers: run.answers,
+            metrics: run.metrics,
+            shard_metrics: Vec::new(),
+            completeness: run.completeness,
+        }
+    }
+
+    /// The semi-naive delta question: which of `query`'s top-k answers
+    /// use at least one triple from the live delta segment? Runs one
+    /// restricted variant per query pattern — pattern `j`'s merge
+    /// source confined to the delta slices, every other pattern reading
+    /// the full base ∪ delta union — and unions the results (an answer
+    /// joining two fresh triples surfaces in two variants; the
+    /// collector keeps one). Scores equal the same answers' scores
+    /// under a full run. Returns no answers when no delta is live —
+    /// an empty batch introduces nothing.
+    ///
+    /// Pre-existing answers whose scores merely *changed* because the
+    /// delta shifted the normalization totals are not reported; this
+    /// surfaces answers with fresh evidence, the re-query–vs–rebuild
+    /// trade the `e11_ingest` benchmark measures.
+    pub fn answers_introduced_by(&self, query: Query) -> QueryOutcome {
+        self.answers_introduced_by_cached(
+            query,
+            &self.rules,
+            self.posting_cache.as_ref(),
+            self.shard_caches.as_deref(),
+        )
+    }
+
+    /// [`Trinit::answers_introduced_by`] with a caller-supplied rule
+    /// set and caller-owned posting caches ([`Session`]s pass their
+    /// session-isolated caches and combined rules).
+    ///
+    /// [`Session`]: crate::Session
+    pub fn answers_introduced_by_cached(
+        &self,
+        query: Query,
+        rules: &RuleSet,
+        mono_cache: Option<&SharedPostingCache>,
+        shard_caches: Option<&[SharedPostingCache]>,
+    ) -> QueryOutcome {
+        let tracker = BudgetTracker::new(&self.topk);
+        let mut collector = AnswerCollector::new();
+        let mut metrics = ExecMetrics::default();
+        let mut shard_metrics: Vec<ExecMetrics> = Vec::new();
+        match &self.backend {
+            Backend::Single(seg) => {
+                if seg.delta_view().is_none() {
+                    return QueryOutcome {
+                        query,
+                        answers: Vec::new(),
+                        metrics,
+                        shard_metrics,
+                        completeness: Completeness::Exact,
+                    };
+                }
+                if let Some(cache) = mono_cache {
+                    cache.ensure_generation(seg.generation());
+                }
+                for j in 0..query.patterns.len() {
+                    let run =
+                        self.run_segmented_once(seg, &query, rules, mono_cache, &tracker, Some(j));
+                    metrics.merge(&run.metrics);
+                    for a in run.answers {
+                        collector.offer(a);
+                    }
+                }
+            }
+            Backend::Sharded(sharded) => {
+                if !sharded.has_delta() {
+                    return QueryOutcome {
+                        query,
+                        answers: Vec::new(),
+                        metrics,
+                        shard_metrics,
+                        completeness: Completeness::Exact,
+                    };
+                }
+                if let Some(caches) = shard_caches {
+                    for cache in caches {
+                        cache.ensure_generation(sharded.generation());
+                    }
+                }
+                let mut executor = ShardedExecutor::new(sharded);
+                if let Some(caches) = shard_caches {
+                    executor = executor.with_caches(caches);
+                }
+                for j in 0..query.patterns.len() {
+                    let run = executor.run_delta_restricted(&query, rules, &self.topk, j, &tracker);
+                    metrics.merge(&run.metrics);
+                    if shard_metrics.len() < run.per_shard.len() {
+                        shard_metrics.resize(run.per_shard.len(), ExecMetrics::default());
+                    }
+                    for (acc, m) in shard_metrics.iter_mut().zip(&run.per_shard) {
+                        acc.merge(m);
+                    }
+                    for a in run.answers {
+                        collector.offer(a);
+                    }
+                }
+            }
+        }
+        let answers = collector.into_top_k(query.k);
+        let completeness = tracker.completeness(&answers);
+        QueryOutcome {
+            query,
+            answers,
+            metrics,
+            shard_metrics,
+            completeness,
+        }
+    }
+
     /// Runs a compiled query over the sharded backend with caller-owned
     /// per-shard posting caches (sharded [`Session`]s pass their own set,
     /// keeping cached lists session-isolated).
@@ -606,6 +861,11 @@ impl Trinit {
         };
         let mut executor = ShardedExecutor::new(sharded);
         if let Some(caches) = caches {
+            // Cached posting lists embed generation-specific scaling;
+            // stale caches are dropped wholesale before serving.
+            for cache in caches {
+                cache.ensure_generation(sharded.generation());
+            }
             executor = executor.with_caches(caches);
         }
         let mut scratch = None;
@@ -683,6 +943,9 @@ impl Trinit {
         };
         let mut executor = ShardedExecutor::new(sharded);
         if let Some(caches) = self.shard_caches.as_deref() {
+            for cache in caches {
+                cache.ensure_generation(sharded.generation());
+            }
             executor = executor.with_caches(caches);
         }
         let mut scratch = None;
@@ -733,9 +996,13 @@ impl Trinit {
     pub fn explain(&self, outcome: &QueryOutcome, answer_idx: usize) -> Option<Explanation> {
         let answer = outcome.answers.get(answer_idx)?;
         Some(match &self.backend {
-            Backend::Single(store) => explain(store, &outcome.query, &self.rules, answer),
+            // The segmented store resolves global (base-then-delta)
+            // derivation ids whether or not a delta is live.
+            Backend::Single(seg) => {
+                crate::explain::explain_from(seg.as_ref(), &outcome.query, &self.rules, answer)
+            }
             Backend::Sharded(sharded) => {
-                crate::explain::explain_from(sharded, &outcome.query, &self.rules, answer)
+                crate::explain::explain_from(sharded.as_ref(), &outcome.query, &self.rules, answer)
             }
         })
     }
@@ -748,11 +1015,13 @@ impl Trinit {
     }
 
     /// Suggestions for a finished query (paper §5). Sharded systems
-    /// aggregate predicate argument sets across every shard.
+    /// aggregate predicate argument sets across every shard. Computed
+    /// over the frozen base; triples still in a live delta contribute
+    /// after the next [`Trinit::compact`].
     pub fn suggest(&self, outcome: &QueryOutcome) -> Vec<Suggestion> {
         match &self.backend {
-            Backend::Single(store) => suggest(
-                store,
+            Backend::Single(seg) => suggest(
+                seg.base(),
                 &outcome.query,
                 &self.rules,
                 &outcome.answers,
@@ -1028,5 +1297,158 @@ mod tests {
             assert_eq!(a.key, b.key);
             assert!((a.score - b.score).abs() < 1e-12);
         }
+    }
+
+    const BASE_FACTS: &[(&str, &str, &str)] = &[
+        ("ann", "likes", "tea"),
+        ("bob", "likes", "tea"),
+        ("cal", "likes", "ice"),
+    ];
+    const DELTA_FACTS: &[(&str, &str, &str)] =
+        &[("dan", "likes", "tea"), ("eve", "likes", "soda")];
+
+    fn kg_builder(rows: &[(&str, &str, &str)]) -> XkgBuilder {
+        let mut b = XkgBuilder::new();
+        for (s, p, o) in rows {
+            b.add_kg_resources(s, p, o);
+        }
+        b
+    }
+
+    fn add_delta(b: &mut XkgBuilder) {
+        for (s, p, o) in DELTA_FACTS {
+            b.add_kg_resources(s, p, o);
+        }
+    }
+
+    /// Answers rendered by display name — term ids are not comparable
+    /// across independently interned systems, names and scores are.
+    fn named_answers(sys: &Trinit, outcome: &QueryOutcome) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = outcome
+            .answers
+            .iter()
+            .map(|a| {
+                let name = a
+                    .key
+                    .iter()
+                    .filter_map(|(_, t)| *t)
+                    .map(|t| sys.store().display_term(t))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                (name, a.score)
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    fn assert_named_answers_eq(got: &[(String, f64)], want: &[(String, f64)]) {
+        assert_eq!(got.len(), want.len(), "{got:?} vs {want:?}");
+        for ((gn, gs), (wn, ws)) in got.iter().zip(want) {
+            assert_eq!(gn, wn);
+            assert!((gs - ws).abs() < 1e-9, "{gn}: {gs} vs {ws}");
+        }
+    }
+
+    /// The cache-staleness regression pinned at the system level: a
+    /// posting cache warmed before `ingest` must not serve pre-ingest
+    /// lists afterwards — post-ingest answers equal a from-scratch
+    /// rebuild on both backends.
+    #[test]
+    fn ingest_then_query_matches_fresh_rebuild() {
+        let all: Vec<_> = BASE_FACTS.iter().chain(DELTA_FACTS).copied().collect();
+        let fresh = Trinit::from_parts(kg_builder(&all).build(), RuleSet::new());
+        let q = "?p likes tea LIMIT 10";
+        let want = fresh.query(q).unwrap();
+        assert_eq!(want.answers.len(), 3);
+        let want = named_answers(&fresh, &want);
+
+        let mut mono = Trinit::from_parts(kg_builder(BASE_FACTS).build(), RuleSet::new());
+        mono.enable_posting_cache(64);
+        assert_eq!(mono.query(q).unwrap().answers.len(), 2);
+        assert_eq!(mono.query(q).unwrap().answers.len(), 2); // warm the cache
+        let appended = mono.ingest(add_delta);
+        assert_eq!(appended, 2);
+        assert!(mono.has_delta());
+        assert_eq!(mono.generation(), 1);
+        let got = mono.query(q).unwrap();
+        assert_named_answers_eq(&named_answers(&mono, &got), &want);
+
+        let mut sharded = Trinit::from_sharded_parts(
+            ShardedStore::build(kg_builder(BASE_FACTS), 3),
+            RuleSet::new(),
+        );
+        sharded.enable_posting_cache(32);
+        assert_eq!(sharded.query(q).unwrap().answers.len(), 2); // warm shard caches
+        assert_eq!(sharded.ingest(add_delta), 2);
+        assert!(sharded.has_delta());
+        let got = sharded.query(q).unwrap();
+        assert_named_answers_eq(&named_answers(&sharded, &got), &want);
+    }
+
+    /// The semi-naive delta question: before any ingest it is exactly
+    /// empty; after one it surfaces only answers that use the fresh
+    /// facts (dan), not the pre-existing ones (ann, bob).
+    #[test]
+    fn answers_introduced_by_surfaces_only_fresh_answers() {
+        let systems = [
+            Trinit::from_parts(kg_builder(BASE_FACTS).build(), RuleSet::new()),
+            Trinit::from_sharded_parts(
+                ShardedStore::build(kg_builder(BASE_FACTS), 3),
+                RuleSet::new(),
+            ),
+        ];
+        for mut sys in systems {
+            let q = sys.parse("?p likes tea LIMIT 10").unwrap();
+            let none = sys.answers_introduced_by(q);
+            assert!(none.answers.is_empty(), "no delta, no introduced answers");
+            assert!(matches!(none.completeness, Completeness::Exact));
+
+            assert_eq!(sys.ingest(add_delta), 2);
+            let q = sys.parse("?p likes tea LIMIT 10").unwrap();
+            let introduced = sys.answers_introduced_by(q);
+            let names: Vec<String> = named_answers(&sys, &introduced)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect();
+            assert_eq!(names, ["dan"], "only the fresh answer surfaces");
+        }
+    }
+
+    /// Compacting re-freezes the delta without changing answers, and
+    /// explanations resolve delta evidence both before and after.
+    #[test]
+    fn compact_preserves_answers_and_explains_delta_evidence() {
+        let mut sys = Trinit::from_parts(kg_builder(BASE_FACTS).build(), RuleSet::new());
+        assert_eq!(sys.ingest(add_delta), 2);
+        let q = "?p likes soda LIMIT 5";
+        let before = sys.query(q).unwrap();
+        assert_eq!(before.answers.len(), 1);
+        let e = sys.explain(&before, 0).expect("explain a delta answer");
+        assert!(e.answer_line.contains("eve"), "{}", e.answer_line);
+        assert!(!e.kg_triples.is_empty(), "delta KG evidence renders");
+        let before = named_answers(&sys, &before);
+
+        sys.compact();
+        assert!(!sys.has_delta());
+        assert_eq!(sys.generation(), 2);
+        let after = sys.query(q).unwrap();
+        let explained = sys.explain(&after, 0).expect("explain after compact");
+        assert!(explained.answer_line.contains("eve"));
+        assert_named_answers_eq(&named_answers(&sys, &after), &before);
+
+        // Sharded compaction folds delta and pending absorbs the same way.
+        let mut sharded = Trinit::from_sharded_parts(
+            ShardedStore::build(kg_builder(BASE_FACTS), 2),
+            RuleSet::new(),
+        );
+        assert_eq!(sharded.ingest(add_delta), 2);
+        let before = sharded.query(q).unwrap();
+        let before = named_answers(&sharded, &before);
+        sharded.compact();
+        assert!(!sharded.has_delta());
+        let after = sharded.query(q).unwrap();
+        assert_named_answers_eq(&named_answers(&sharded, &after), &before);
+        assert_eq!(sharded.shard_count(), 2, "compaction keeps the topology");
     }
 }

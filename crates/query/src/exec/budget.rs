@@ -374,7 +374,18 @@ impl BudgetTracker {
         let mut escalations = 0;
         if !self.ladder.is_empty() && self.soft_fraction < 1.0 && frac >= self.soft_fraction {
             let span = (1.0 - self.soft_fraction) / self.ladder.len() as f64;
-            let target = (1 + ((frac - self.soft_fraction) / span) as usize).min(self.ladder.len());
+            // How many spans deep into the soft region consumption sits.
+            // The raw cast used to run straight over the float edges: a
+            // `span` that underflows to 0 (or a poisoned `frac`) makes
+            // `depth` non-finite, the cast saturates to `usize::MAX`,
+            // and the `1 +` overflows. Clamp explicitly: any degenerate
+            // depth past the region means the top rung.
+            let depth = (frac - self.soft_fraction) / span;
+            let target = if depth.is_finite() && depth >= 0.0 {
+                (depth as usize).saturating_add(1).min(self.ladder.len())
+            } else {
+                self.ladder.len()
+            };
             let prev = self.rung.fetch_max(target, Ordering::Relaxed);
             escalations = target.saturating_sub(prev);
         }
@@ -590,6 +601,57 @@ mod tests {
         assert_eq!(d.escalations, 1, "95% is rung 2");
         assert!((d.epsilon - 0.05).abs() < 1e-12);
         assert!((d.theta - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_fraction_one_never_escalates_but_hard_limits_still_fire() {
+        let cfg = cfg_with(ExecBudget {
+            max_pulls: Some(10),
+            soft_fraction: 1.0,
+            ladder: vec![DegradationRung {
+                epsilon: 0.5,
+                theta: 0.5,
+            }],
+            ..ExecBudget::default()
+        });
+        let tracker = BudgetTracker::new(&cfg);
+        for _ in 0..9 {
+            tracker.on_pull();
+        }
+        // 90% consumed: the whole soft region is degenerate (zero wide),
+        // so no rung may engage — and nothing may overflow computing it.
+        let d = tracker.directive(0);
+        assert_eq!(d.escalations, 0);
+        assert_eq!(d.epsilon, 0.0);
+        assert!(d.cutoff.is_none());
+        tracker.on_pull();
+        assert_eq!(tracker.directive(0).cutoff, Some(CutoffReason::Pulls));
+    }
+
+    #[test]
+    fn single_rung_ladder_clamps_target_to_one() {
+        let cfg = cfg_with(ExecBudget {
+            max_pulls: Some(100),
+            soft_fraction: 0.5,
+            ladder: vec![DegradationRung {
+                epsilon: 0.07,
+                theta: 0.0,
+            }],
+            ..ExecBudget::default()
+        });
+        let tracker = BudgetTracker::new(&cfg);
+        for _ in 0..99 {
+            tracker.on_pull();
+        }
+        // 99% consumed is deep past the single rung's span; the target
+        // must clamp to rung 1, not truncate past the ladder.
+        let d = tracker.directive(0);
+        assert_eq!(d.escalations, 1);
+        assert!((d.epsilon - 0.07).abs() < 1e-12);
+        assert_eq!(tracker.rung.load(Ordering::Relaxed), 1);
+        // Re-reads stay on the clamped rung.
+        assert_eq!(tracker.directive(0).escalations, 0);
+        assert!((tracker.directive(0).epsilon - 0.07).abs() < 1e-12);
     }
 
     #[test]

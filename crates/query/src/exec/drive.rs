@@ -267,7 +267,7 @@ pub fn run_scaled_with(
         seed,
         &mut metrics,
         governor,
-        |pattern, fresh_base| {
+        |pattern, fresh_base, _| {
             IncrementalMerge::for_pattern(
                 store,
                 pattern,
@@ -346,7 +346,7 @@ pub(crate) fn run_pipeline<M: RankSource>(
     seed: Vec<Answer>,
     metrics: &mut ExecMetrics,
     governor: Governor<'_>,
-    mut source_for: impl FnMut(&QPattern, u16) -> M,
+    mut source_for: impl FnMut(&QPattern, u16, usize) -> M,
 ) -> Vec<Answer> {
     let projection = query.effective_projection();
     let k = query.k.max(1);
@@ -383,7 +383,10 @@ pub(crate) fn run_pipeline<M: RankSource>(
                 // same base across shards, so every slice derives the
                 // identical alternative set.
                 let fresh_base = max_var + (i as u16) * 8;
-                Stream::new(source_for(pattern, fresh_base), join_vars)
+                // `i` is the pattern's position in the (variant's) query
+                // — segmented execution uses it to restrict one pattern
+                // to the delta slices (semi-naive delta queries).
+                Stream::new(source_for(pattern, fresh_base, i), join_vars)
             })
             .collect();
         cut = !rank_join(

@@ -29,6 +29,7 @@ pub mod expand;
 pub mod faults;
 pub mod join;
 pub mod merge;
+pub mod segmented;
 pub mod sharded;
 pub mod threshold;
 pub mod topk;

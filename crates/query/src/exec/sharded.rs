@@ -37,8 +37,25 @@
 //! emitted in the same globally descending order the monolithic merge
 //! produces, and every threshold argument of the single-store engine
 //! carries over verbatim.
+//!
+//! **Election cost.** The best shard is elected from a small max-heap
+//! keyed by per-shard bounds (O(log shards) per emission instead of a
+//! linear rescan), and the union's remaining-mass envelope is an
+//! incrementally maintained sum (O(1) per read). The heap's entries are
+//! always exact: a shard's bound only moves inside its own `&mut` calls
+//! (`tighten_head` / `next_merged`), each of which is followed by a
+//! re-push here — the emission order is property-pinned identical to
+//! the linear-scan election at 1/2/4/7 shards.
+//!
+//! A slice need not be a subject-hash shard: segmented (base + delta)
+//! stores pass their segments as extra slices, and the `restrict`
+//! parameter of [`run_partitioned`] confines one query pattern to a
+//! sub-range of slices — the seam semi-naive delta queries ("which
+//! answers did this batch introduce?") are built on.
 
 use std::cell::RefCell;
+use std::collections::BinaryHeap;
+use std::ops::Range;
 use std::rc::Rc;
 
 use trinit_relax::{ConditionOracle, RuleSet};
@@ -52,55 +69,138 @@ use crate::exec::merge::{IncrementalMerge, Merged, RankSource};
 use crate::exec::{ExecMetrics, TripleLookup};
 use crate::score::{GlobalTotals, PostingCache, SharedPostingCache};
 
+/// One shard's standing in the election: its current exact upper bound.
+/// Max-heap order — higher bound first, ties to the lowest shard index
+/// (keeping emission order deterministic and identical to the previous
+/// linear scan's first-maximum election).
+struct ShardEntry {
+    bound: f64,
+    idx: usize,
+}
+
+impl PartialEq for ShardEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.idx == other.idx
+    }
+}
+
+impl Eq for ShardEntry {}
+
+impl PartialOrd for ShardEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ShardEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
 /// Per-pattern sorted access over every shard of a partitioned store:
-/// one [`IncrementalMerge`] per shard, pulled head-first across shards.
+/// one [`IncrementalMerge`] per shard, pulled head-first across shards
+/// via a bound-keyed max-heap.
 pub struct ShardedMerge<'a> {
     shards: Vec<IncrementalMerge<'a>>,
-    offsets: &'a [u32],
+    /// Each shard's base in the global triple-id space (parallel to
+    /// `shards`).
+    offsets: Vec<u32>,
+    /// Each shard's slot in the shared `metrics` vector (parallel to
+    /// `shards`; restricted merges cover a sub-range of the slots).
+    slots: Vec<usize>,
     /// Work counters attributed per shard, shared by every pattern's
     /// merge of one execution (drained into the aggregate at the end).
     metrics: Rc<RefCell<Vec<ExecMetrics>>>,
+    /// Election heap: exactly one entry per non-exhausted shard, each
+    /// carrying the shard's *current* [`IncrementalMerge::peek_bound`]
+    /// (bounds move only inside that shard's `&mut` calls, which
+    /// re-push here).
+    heap: BinaryHeap<ShardEntry>,
+    /// Incrementally maintained sum of the shards' remaining-mass
+    /// envelopes: deltas are folded in around every `tighten_head` /
+    /// `next_merged`, making [`RankSource::remaining_mass`] O(1).
+    mass: f64,
+}
+
+impl<'a> ShardedMerge<'a> {
+    fn new(
+        shards: Vec<IncrementalMerge<'a>>,
+        offsets: Vec<u32>,
+        slots: Vec<usize>,
+        metrics: Rc<RefCell<Vec<ExecMetrics>>>,
+    ) -> ShardedMerge<'a> {
+        let heap = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, m)| m.peek_bound().map(|bound| ShardEntry { bound, idx }))
+            .collect();
+        let mass = shards.iter().map(IncrementalMerge::remaining_mass).sum();
+        ShardedMerge {
+            shards,
+            offsets,
+            slots,
+            metrics,
+            heap,
+            mass,
+        }
+    }
+
+    /// Runs `f` against shard `i`'s merge, folding the move of its mass
+    /// envelope into the incrementally tracked union sum.
+    fn with_mass_delta<T>(
+        &mut self,
+        i: usize,
+        f: impl FnOnce(&mut IncrementalMerge<'a>, &mut ExecMetrics) -> T,
+    ) -> T {
+        let slot = self.slots[i];
+        let mut shard_metrics = self.metrics.borrow_mut();
+        let before = self.shards[i].remaining_mass();
+        let out = f(&mut self.shards[i], &mut shard_metrics[slot]);
+        self.mass += self.shards[i].remaining_mass() - before;
+        out
+    }
 }
 
 impl RankSource for ShardedMerge<'_> {
     fn peek_bound(&self) -> Option<f64> {
-        self.shards
-            .iter()
-            .filter_map(IncrementalMerge::peek_bound)
-            .max_by(f64::total_cmp)
+        // The heap invariant (one exact entry per live shard) makes the
+        // top the max over all shards' current bounds.
+        self.heap.peek().map(|e| e.bound)
     }
 
     fn next_merged(&mut self, _metrics: &mut ExecMetrics) -> Option<Merged> {
-        let mut shard_metrics = self.metrics.borrow_mut();
         loop {
             // The shard with the highest upper bound (ties to the lowest
-            // shard index, keeping emission order deterministic).
-            let mut best: Option<(usize, f64)> = None;
-            for (i, m) in self.shards.iter().enumerate() {
-                if let Some(b) = m.peek_bound() {
-                    if best.is_none_or(|(_, cur)| b > cur) {
-                        best = Some((i, b));
-                    }
-                }
-            }
-            let (i, _) = best?;
+            // shard index).
+            let ShardEntry { idx: i, .. } = self.heap.pop()?;
             // A bound can be loose (unopened alternatives). Tighten the
             // candidate's head to its exact next probability; if another
             // shard's bound now exceeds it, re-elect.
-            let Some(tight) = self.shards[i].tighten_head(&mut shard_metrics[i]) else {
+            let tightened = self.with_mass_delta(i, |shard, m| shard.tighten_head(m));
+            let Some(tight) = tightened else {
+                // Exhausted while tightening — drop out of the election
+                // (re-enter only if a bound somehow remains).
+                if let Some(bound) = self.shards[i].peek_bound() {
+                    self.heap.push(ShardEntry { bound, idx: i });
+                }
                 continue;
             };
-            let dominated = self
-                .shards
-                .iter()
-                .enumerate()
-                .any(|(j, m)| j != i && m.peek_bound().is_some_and(|b| b > tight));
-            if dominated {
+            if self.heap.peek().is_some_and(|top| top.bound > tight) {
+                self.heap.push(ShardEntry {
+                    bound: tight,
+                    idx: i,
+                });
                 continue;
             }
-            let mut merged = self.shards[i]
-                .next_merged(&mut shard_metrics[i])
+            let mut merged = self
+                .with_mass_delta(i, |shard, m| shard.next_merged(m))
                 .expect("tightened head must emit");
+            if let Some(bound) = self.shards[i].peek_bound() {
+                self.heap.push(ShardEntry { bound, idx: i });
+            }
             // Remap into the global id space.
             merged.triple = TripleId(self.offsets[i] + merged.triple.0);
             return Some(merged);
@@ -111,12 +211,9 @@ impl RankSource for ShardedMerge<'_> {
         // The shards' match sets are disjoint, so their per-slice mass
         // envelopes sum to a sound envelope on the union stream: the
         // sum dominates each shard's own mass, hence every future
-        // emission, and also the collective unconsumed mass. O(shards)
-        // of O(1) reads — the same order as the head election every
-        // emission already pays, and each shard's envelope moves inside
-        // `tighten_head`/`next_merged`, so there is no cheaper place to
-        // maintain the sum without threading deltas out of them.
-        self.shards.iter().map(IncrementalMerge::remaining_mass).sum()
+        // emission, and also the collective unconsumed mass. The sum is
+        // tracked incrementally around the per-shard calls that move it.
+        self.mass.max(0.0)
     }
 }
 
@@ -144,10 +241,11 @@ pub struct PartitionedRun {
 /// * `offsets[i]` is shard `i`'s base in the global triple-id space;
 ///   `lookup` resolves those global ids.
 /// * `totals` supplies cross-shard normalization totals; `oracle`
-///   verifies structural-rule data conditions across every shard.
+///   verifies structural-rule data conditions across every slice.
 /// * `shard_caches`, when given, holds one store-level posting cache
-///   *per shard* (cached lists are slice-specific, so shards must never
-///   share one).
+///   per *leading* slice (cached lists are slice-specific, so slices
+///   must never share one); trailing slices — e.g. freshly built delta
+///   segments, whose lists change every ingest — run uncached.
 /// * `seed` pre-loads the answer collector — a sharded executor passes
 ///   the answers its parallel per-shard runs already found, so the
 ///   threshold starts tight. Seeds must carry true (globally
@@ -157,6 +255,12 @@ pub struct PartitionedRun {
 ///   [`BudgetTracker`](crate::exec::budget::BudgetTracker) for a
 ///   standalone run); the returned completeness is read off its
 ///   tracker.
+/// * `restrict`, when `Some((j, range))`, confines query pattern `j`'s
+///   merge source to the slice sub-range `range` — the semi-naive
+///   delta-query seam: a pattern restricted to the delta slices matches
+///   only newly ingested triples, while every other pattern still reads
+///   the full union. Scores stay exact because `totals` normalizes over
+///   the whole store either way.
 #[allow(clippy::too_many_arguments)]
 pub fn run_partitioned(
     shards: &[&XkgStore],
@@ -170,10 +274,20 @@ pub fn run_partitioned(
     shard_caches: Option<&[SharedPostingCache]>,
     seed: Vec<Answer>,
     governor: Governor<'_>,
+    restrict: Option<(usize, Range<usize>)>,
 ) -> PartitionedRun {
     assert_eq!(shards.len(), offsets.len(), "one offset per shard");
     if let Some(caches) = shard_caches {
-        assert_eq!(caches.len(), shards.len(), "one cache per shard");
+        assert!(
+            caches.len() <= shards.len(),
+            "at most one cache per slice, leading slices first"
+        );
+    }
+    if let Some((_, range)) = &restrict {
+        assert!(
+            range.start < range.end && range.end <= shards.len(),
+            "restricted slice range out of bounds"
+        );
     }
     let n_shards = shards.len();
     let mut metrics = ExecMetrics::default();
@@ -197,8 +311,13 @@ pub fn run_partitioned(
         seed,
         &mut metrics,
         governor,
-        |pattern, fresh_base| {
-            let merges = (0..n_shards)
+        |pattern, fresh_base, position| {
+            let range = match &restrict {
+                Some((j, range)) if *j == position => range.clone(),
+                _ => 0..n_shards,
+            };
+            let merges = range
+                .clone()
                 .map(|s| {
                     IncrementalMerge::for_pattern(
                         shards[s],
@@ -207,16 +326,17 @@ pub fn run_partitioned(
                         cfg,
                         fresh_base,
                         Rc::clone(&exec_caches[s]),
-                        shard_caches.map(|c| &c[s]),
+                        shard_caches.and_then(|c| c.get(s)),
                         Some(totals),
                     )
                 })
                 .collect();
-            ShardedMerge {
-                shards: merges,
-                offsets,
-                metrics: Rc::clone(&shard_metrics),
-            }
+            ShardedMerge::new(
+                merges,
+                range.clone().map(|s| offsets[s]).collect(),
+                range.collect(),
+                Rc::clone(&shard_metrics),
+            )
         },
     );
 
@@ -230,5 +350,173 @@ pub fn run_partitioned(
         metrics,
         per_shard,
         completeness,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::segmented::SegmentedExec;
+    use trinit_relax::QPattern;
+    use trinit_xkg::XkgBuilder;
+
+    fn builder() -> XkgBuilder {
+        let mut b = XkgBuilder::new();
+        for i in 0..60u32 {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{}", i % 6));
+            if i % 2 == 0 {
+                let s = b.dict_mut().resource(&format!("s{i}"));
+                let p = b.dict_mut().token("close to");
+                let o = b.dict_mut().resource(&format!("o{}", (i + 1) % 6));
+                let src = b.intern_source(&format!("doc{i}"));
+                b.add_extracted(s, p, o, 0.3 + (i % 7) as f32 * 0.09, src);
+            }
+        }
+        b
+    }
+
+    /// The previous election algorithm, kept verbatim as the reference:
+    /// a linear scan for the highest bound (ties to the lowest index),
+    /// tighten, linear dominance re-check, emit.
+    fn reference_next(
+        shards: &mut [IncrementalMerge<'_>],
+        offsets: &[u32],
+        metrics: &mut [ExecMetrics],
+    ) -> Option<Merged> {
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, m) in shards.iter().enumerate() {
+                if let Some(b) = m.peek_bound() {
+                    if best.is_none_or(|(_, cur)| b > cur) {
+                        best = Some((i, b));
+                    }
+                }
+            }
+            let (i, _) = best?;
+            let Some(tight) = shards[i].tighten_head(&mut metrics[i]) else {
+                continue;
+            };
+            let dominated = shards
+                .iter()
+                .enumerate()
+                .any(|(j, m)| j != i && m.peek_bound().is_some_and(|b| b > tight));
+            if dominated {
+                continue;
+            }
+            let mut merged = shards[i]
+                .next_merged(&mut metrics[i])
+                .expect("tightened head must emit");
+            merged.triple = TripleId(offsets[i] + merged.triple.0);
+            return Some(merged);
+        }
+    }
+
+    fn merges_for<'a>(
+        slices: &'a [XkgStore],
+        pattern: &QPattern,
+        rules: &'a RuleSet,
+        cfg: &'a TopkConfig,
+        totals: &'a dyn GlobalTotals,
+    ) -> Vec<IncrementalMerge<'a>> {
+        slices
+            .iter()
+            .map(|s| {
+                IncrementalMerge::for_pattern(
+                    s,
+                    pattern,
+                    rules,
+                    cfg,
+                    8,
+                    Rc::new(RefCell::new(PostingCache::new())),
+                    None,
+                    Some(totals),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn heap_election_is_emission_order_identical_to_linear_scan() {
+        let b = builder();
+        let probe = {
+            let store = b.clone().build();
+            store.resource("p").unwrap()
+        };
+        for n in [1usize, 2, 4, 7] {
+            let slices = b.clone().build_sharded(n);
+            let refs: Vec<&XkgStore> = slices.iter().collect();
+            let mut offsets = Vec::new();
+            let mut base = 0u32;
+            for s in &slices {
+                offsets.push(base);
+                base += s.len() as u32;
+            }
+            let exec = SegmentedExec::new(&refs, &offsets);
+            let rules = RuleSet::new();
+            let cfg = TopkConfig::default();
+            // Both shapes the merge serves heavily: predicate-bound and
+            // fully unbound.
+            for pattern in [
+                QPattern::new(
+                    trinit_relax::QTerm::Var(trinit_relax::VarId(0)),
+                    trinit_relax::QTerm::Term(probe),
+                    trinit_relax::QTerm::Var(trinit_relax::VarId(1)),
+                ),
+                QPattern::new(
+                    trinit_relax::QTerm::Var(trinit_relax::VarId(0)),
+                    trinit_relax::QTerm::Var(trinit_relax::VarId(2)),
+                    trinit_relax::QTerm::Var(trinit_relax::VarId(1)),
+                ),
+            ] {
+                let mut reference = merges_for(&slices, &pattern, &rules, &cfg, &exec);
+                let mut ref_metrics = vec![ExecMetrics::default(); n];
+                let heap_metrics = Rc::new(RefCell::new(vec![ExecMetrics::default(); n]));
+                let mut heap_merge = ShardedMerge::new(
+                    merges_for(&slices, &pattern, &rules, &cfg, &exec),
+                    offsets.clone(),
+                    (0..n).collect(),
+                    Rc::clone(&heap_metrics),
+                );
+                let mut scratch = ExecMetrics::default();
+                let mut emitted = 0usize;
+                loop {
+                    // The incremental mass sum must always agree with a
+                    // re-sum of the per-shard envelopes.
+                    let resummed: f64 = heap_merge
+                        .shards
+                        .iter()
+                        .map(IncrementalMerge::remaining_mass)
+                        .sum();
+                    assert!(
+                        (heap_merge.remaining_mass() - resummed.max(0.0)).abs() < 1e-9,
+                        "mass drifted from re-sum at {n} shards after {emitted} emissions"
+                    );
+                    let want = reference_next(&mut reference, &offsets, &mut ref_metrics);
+                    let got = heap_merge.next_merged(&mut scratch);
+                    match (want, got) {
+                        (None, None) => break,
+                        (Some(w), Some(g)) => {
+                            assert_eq!(w.triple, g.triple, "{n} shards, emission {emitted}");
+                            assert_eq!(
+                                w.prob.to_bits(),
+                                g.prob.to_bits(),
+                                "{n} shards, emission {emitted}"
+                            );
+                            assert_eq!(w.pattern, g.pattern);
+                        }
+                        (w, g) => panic!(
+                            "streams diverge at {n} shards, emission {emitted}: \
+                             reference {w:?} vs heap {g:?}"
+                        ),
+                    }
+                    emitted += 1;
+                }
+                assert!(emitted > 0, "fixture must emit");
+                assert_eq!(heap_merge.peek_bound(), None, "drained merge still bounds");
+                // Identical per-shard work too: the elections visited the
+                // same shards in the same order.
+                assert_eq!(&*heap_metrics.borrow(), &ref_metrics);
+            }
+        }
     }
 }

@@ -173,6 +173,9 @@ struct SharedInner {
     tail: usize,
     capacity: usize,
     stats: SharedCacheStats,
+    /// Store generation the resident lists were built against (see
+    /// [`SharedPostingCache::ensure_generation`]).
+    generation: u64,
 }
 
 impl SharedInner {
@@ -251,6 +254,7 @@ impl SharedPostingCache {
                 tail: LRU_NONE,
                 capacity,
                 stats: SharedCacheStats::default(),
+                generation: 0,
             }),
         }
     }
@@ -307,6 +311,26 @@ impl SharedPostingCache {
         inner.free.clear();
         inner.head = LRU_NONE;
         inner.tail = LRU_NONE;
+    }
+
+    /// Stamps the cache with the store generation it is about to serve.
+    /// Cached lists embed the store's contents *and* its global
+    /// normalization totals, so any mutation (ingest, compaction) makes
+    /// every resident entry stale; callers bump the store generation on
+    /// mutation and call this at query entry. A mismatch drops all
+    /// resident lists (a cold restart — counters survive); a match is
+    /// one comparison. No entry built against an older generation can
+    /// survive a stamp.
+    pub fn ensure_generation(&self, generation: u64) {
+        let mut inner = self.lock();
+        if inner.generation != generation {
+            inner.map.clear();
+            inner.slab.clear();
+            inner.free.clear();
+            inner.head = LRU_NONE;
+            inner.tail = LRU_NONE;
+            inner.generation = generation;
+        }
     }
 
     /// Looks up a canonical pattern, bumping its recency on hit. Counts
@@ -1001,5 +1025,27 @@ mod tests {
         cache.insert(key, Vec::new().into(), 1.0);
         assert!(cache.get(&key).is_some());
         assert_eq!(cache.stats().poison_recoveries, 1, "recovered once, not per lock");
+    }
+
+    #[test]
+    fn generation_stamp_drops_stale_entries_once_per_mutation() {
+        let store = store();
+        let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
+        let key = canonical_pattern(&p);
+        let cache = SharedPostingCache::new(8);
+        cache.ensure_generation(0);
+        cache.insert(key, Vec::new().into(), 1.0);
+        assert!(cache.get(&key).is_some());
+        // Same generation: residents survive.
+        cache.ensure_generation(0);
+        assert!(cache.get(&key).is_some());
+        // The store mutated (ingest/compact bumped its generation): every
+        // pre-mutation list is dropped before the cache serves again.
+        cache.ensure_generation(1);
+        assert!(cache.get(&key).is_none(), "stale list served after ingest");
+        // Re-stamping the same generation is a no-op for new residents.
+        cache.insert(key, Vec::new().into(), 2.0);
+        cache.ensure_generation(1);
+        assert_eq!(cache.get(&key).map(|(_, t)| t), Some(2.0));
     }
 }

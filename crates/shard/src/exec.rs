@@ -190,13 +190,65 @@ impl<'a> ShardedExecutor<'a> {
         rules: &RuleSet,
         cfg: &TopkConfig,
         seeds: Vec<Answer>,
-        mut per_shard: Vec<ExecMetrics>,
+        per_shard: Vec<ExecMetrics>,
         tracker: &BudgetTracker,
     ) -> ShardedRun {
-        let shard_refs: Vec<&trinit_xkg::XkgStore> = self.store.shards().iter().collect();
+        self.merge_restricted(query, rules, cfg, seeds, per_shard, tracker, None)
+    }
+
+    /// Cross-shard merge with query pattern `position`'s merge source
+    /// confined to the delta slices — the semi-naive delta-query seam:
+    /// every answer uses at least one freshly ingested triple for that
+    /// pattern, while the other patterns still read the full base ∪
+    /// delta union (and scores normalize over the union, so they equal
+    /// a full run's). No seed phase — seeds search whole shards and
+    /// would reintroduce base-only matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store has no live delta
+    /// ([`ShardedStore::has_delta`]).
+    pub fn run_delta_restricted(
+        &self,
+        query: &Query,
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+        position: usize,
+        tracker: &BudgetTracker,
+    ) -> ShardedRun {
+        assert!(
+            self.store.has_delta(),
+            "delta-restricted run requires a live delta"
+        );
+        let per_shard = vec![ExecMetrics::default(); self.store.shard_count()];
+        self.merge_restricted(query, rules, cfg, Vec::new(), per_shard, tracker, Some(position))
+    }
+
+    /// The shared merge-phase core: base shards plus any live delta
+    /// views as extra slices, optionally restricting one pattern to the
+    /// delta sub-range.
+    #[allow(clippy::too_many_arguments)]
+    fn merge_restricted(
+        &self,
+        query: &Query,
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+        seeds: Vec<Answer>,
+        mut per_shard: Vec<ExecMetrics>,
+        tracker: &BudgetTracker,
+        restrict_pattern: Option<usize>,
+    ) -> ShardedRun {
+        let mut shard_refs: Vec<&trinit_xkg::XkgStore> = self.store.shards().iter().collect();
+        let mut offsets: Vec<u32> = self.store.offsets().to_vec();
+        let n_base = shard_refs.len();
+        for (view, offset) in self.store.delta_slices() {
+            shard_refs.push(view);
+            offsets.push(offset);
+        }
+        let restrict = restrict_pattern.map(|j| (j, n_base..shard_refs.len()));
         let run = run_partitioned(
             &shard_refs,
-            self.store.offsets(),
+            &offsets,
             self.store,
             self.store,
             Some(self.store as &dyn ConditionOracle),
@@ -206,9 +258,13 @@ impl<'a> ShardedExecutor<'a> {
             self.caches,
             seeds,
             Governor::primary(tracker),
+            restrict,
         );
 
         let mut metrics = run.metrics;
+        // Delta slices have no seed-phase slot; grow the accumulator so
+        // their merge-phase work is reported rather than dropped.
+        per_shard.resize(run.per_shard.len(), ExecMetrics::default());
         for (acc, phase2) in per_shard.iter_mut().zip(&run.per_shard) {
             metrics.merge(acc); // seed-phase work into the aggregate
             acc.merge(phase2);

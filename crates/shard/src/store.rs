@@ -25,17 +25,43 @@ pub struct ShardedStore {
     shards: Vec<XkgStore>,
     /// Shard `i`'s base in the global triple-id space.
     offsets: Vec<u32>,
-    /// Global emission-weight total per predicate (Σ over shards).
+    /// Emission-weight total per predicate over the *base* shards
+    /// (frozen at build time; delta contributions live in
+    /// [`ShardedStore::delta_pred_totals`]).
     pred_totals: HashMap<TermId, f64>,
-    /// Global emission-weight total of the whole store.
+    /// Emission-weight total of the base shards.
     global_total: f64,
-    /// Union of the shards' predicates, ascending by term id.
+    /// Union of the base shards' predicates, ascending by term id.
     predicates: Vec<TermId>,
     len: usize,
     kg_len: usize,
     /// Memoized cross-shard totals for non-precomputed shapes
-    /// (object-bound and repeated-variable patterns).
+    /// (object-bound and repeated-variable patterns). Cleared on every
+    /// mutation — memoized totals span the delta slices.
     totals_memo: Mutex<HashMap<CanonicalPattern, f64>>,
+    /// Accumulates ingested triples between compactions. Its dictionary
+    /// and source table are supersets of the shards' (same ids).
+    delta: XkgBuilder,
+    /// The delta re-frozen into subject-hash-partitioned views (same
+    /// partitioning as the base shards, so subject co-location holds
+    /// per segment pair); empty while the delta is empty.
+    delta_views: Vec<XkgStore>,
+    /// Delta view `i`'s base in the global triple-id space (delta ids
+    /// follow every base id).
+    delta_offsets: Vec<u32>,
+    /// Emission-weight total per predicate over the delta views.
+    delta_pred_totals: HashMap<TermId, f64>,
+    /// Emission-weight total of the delta views.
+    delta_global_total: f64,
+    /// Distinct triples in the delta, and how many are KG-stratum.
+    delta_len: usize,
+    delta_kg_len: usize,
+    /// Provenance merges for re-observed *base* triples, keyed by the
+    /// global base id; applied at the next compaction.
+    pending: Vec<(TripleId, Provenance)>,
+    /// Bumped on every mutation (ingest or compact). Caches stamp
+    /// entries with this and drop them when it moves.
+    generation: u64,
 }
 
 impl ShardedStore {
@@ -85,6 +111,7 @@ impl ShardedStore {
         predicates.sort_unstable();
         let len = shards.iter().map(XkgStore::len).sum();
         let kg_len = shards.iter().map(|s| s.len_of(GraphTag::Kg)).sum();
+        let delta = XkgBuilder::with_context(shards[0].dict().clone(), shards[0].sources());
         ShardedStore {
             shards,
             offsets,
@@ -94,6 +121,15 @@ impl ShardedStore {
             len,
             kg_len,
             totals_memo: Mutex::new(HashMap::new()),
+            delta,
+            delta_views: Vec::new(),
+            delta_offsets: Vec::new(),
+            delta_pred_totals: HashMap::new(),
+            delta_global_total: 0.0,
+            delta_len: 0,
+            delta_kg_len: 0,
+            pending: Vec::new(),
+            generation: 0,
         }
     }
 
@@ -121,71 +157,111 @@ impl ShardedStore {
         &self.offsets
     }
 
-    /// Total number of distinct triples across shards.
+    /// Total number of distinct triples across shards and the delta.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.len + self.delta_len
     }
 
-    /// True if no shard holds a triple.
+    /// True if neither the shards nor the delta hold a triple.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
-    /// Number of distinct triples in a stratum, across shards.
+    /// Number of distinct triples in a stratum, across shards and the
+    /// delta.
     pub fn len_of(&self, graph: GraphTag) -> usize {
         match graph {
-            GraphTag::Kg => self.kg_len,
-            GraphTag::Xkg => self.len - self.kg_len,
+            GraphTag::Kg => self.kg_len + self.delta_kg_len,
+            GraphTag::Xkg => (self.len - self.kg_len) + (self.delta_len - self.delta_kg_len),
         }
     }
 
-    /// The shared term dictionary.
+    /// The shared term dictionary of the frozen base shards. Terms
+    /// interned by ingestion live only in the delta's superset
+    /// dictionary — resolve vocabulary through
+    /// [`ShardedStore::vocab`] instead when a delta may be live.
     #[inline]
     pub fn dict(&self) -> &TermDict {
         self.shards[0].dict()
     }
 
-    /// Looks up an existing resource term by name.
+    /// The store to resolve vocabulary against: a delta view when the
+    /// delta is non-empty (its dictionary is a superset of the base's,
+    /// with identical ids for shared terms), base shard 0 otherwise.
+    #[inline]
+    pub fn vocab(&self) -> &XkgStore {
+        self.delta_views.first().unwrap_or(&self.shards[0])
+    }
+
+    /// Looks up an existing resource term by name (either segment's
+    /// vocabulary).
     pub fn resource(&self, name: &str) -> Option<TermId> {
-        self.dict().get(TermKind::Resource, name)
+        self.vocab().dict().get(TermKind::Resource, name)
     }
 
-    /// Looks up an existing token term by phrase.
+    /// Looks up an existing token term by phrase (either segment's
+    /// vocabulary).
     pub fn token(&self, phrase: &str) -> Option<TermId> {
-        self.dict().get(TermKind::Token, phrase)
+        self.vocab().dict().get(TermKind::Token, phrase)
     }
 
-    /// Looks up an existing literal term by value.
+    /// Looks up an existing literal term by value (either segment's
+    /// vocabulary).
     pub fn literal(&self, value: &str) -> Option<TermId> {
-        self.dict().get(TermKind::Literal, value)
+        self.vocab().dict().get(TermKind::Literal, value)
     }
 
-    /// Union of the shards' predicates, ascending by term id.
+    /// Union of the *base* shards' predicates, ascending by term id
+    /// (predicates introduced by ingestion join at compaction).
     #[inline]
     pub fn predicates(&self) -> &[TermId] {
         &self.predicates
     }
 
-    /// Global emission-weight total of one predicate's match set.
+    /// Global emission-weight total of one predicate's match set,
+    /// across the base shards and the delta.
     pub fn predicate_total_weight(&self, p: TermId) -> f64 {
         self.pred_totals.get(&p).copied().unwrap_or(0.0)
+            + self.delta_pred_totals.get(&p).copied().unwrap_or(0.0)
     }
 
-    /// Resolves a global triple id to `(shard index, local id)`.
+    /// Resolves a *base-segment* global triple id to
+    /// `(shard index, local id)`. Delta ids (at and above the base
+    /// total) resolve through the triple accessors instead.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range of the base segment.
     pub fn resolve(&self, id: TripleId) -> (usize, TripleId) {
         let shard = self.offsets.partition_point(|&base| base <= id.0) - 1;
         let local = TripleId(id.0 - self.offsets[shard]);
         assert!(
             local.idx() < self.shards[shard].len(),
-            "triple id {id:?} not issued by this store"
+            "triple id {id:?} not issued by this store's base segment"
         );
         (shard, local)
+    }
+
+    /// Resolves any global triple id — base or delta — to its slice and
+    /// slice-local id.
+    fn slice_of(&self, id: TripleId) -> (&XkgStore, TripleId) {
+        if (id.0 as usize) < self.len {
+            let (shard, local) = self.resolve(id);
+            return (&self.shards[shard], local);
+        }
+        assert!(
+            !self.delta_views.is_empty(),
+            "triple id {id:?} not issued by this store"
+        );
+        let i = self.delta_offsets.partition_point(|&base| base <= id.0) - 1;
+        let local = TripleId(id.0 - self.delta_offsets[i]);
+        assert!(
+            local.idx() < self.delta_views[i].len(),
+            "triple id {id:?} not issued by this store"
+        );
+        (&self.delta_views[i], local)
     }
 
     /// The global id of shard `i`'s local triple `t`.
@@ -194,78 +270,259 @@ impl ShardedStore {
         TripleId(self.offsets[shard] + local.0)
     }
 
-    /// The triple with the given global id.
+    /// The triple with the given global id (base or delta).
     pub fn triple(&self, id: TripleId) -> Triple {
-        let (shard, local) = self.resolve(id);
-        self.shards[shard].triple(local)
+        let (slice, local) = self.slice_of(id);
+        slice.triple(local)
     }
 
-    /// Provenance of the triple with the given global id.
+    /// Provenance of the triple with the given global id (base or
+    /// delta).
     pub fn provenance(&self, id: TripleId) -> &Provenance {
-        let (shard, local) = self.resolve(id);
-        self.shards[shard].provenance(local)
+        let (slice, local) = self.slice_of(id);
+        slice.provenance(local)
     }
 
-    /// Resolves a source id to its document identifier (the source table
-    /// is shared, so any shard answers).
+    /// Resolves a source id to its document identifier (the delta's
+    /// source table is a superset of the shared base table).
     pub fn source_name(&self, id: SourceId) -> Option<&str> {
-        self.shards[0].source_name(id)
+        self.vocab().source_name(id)
     }
 
-    /// Renders a term for display (shared dictionary).
+    /// Renders a term for display (superset delta dictionary when one
+    /// is live).
     pub fn display_term(&self, id: TermId) -> String {
-        self.shards[0].display_term(id)
+        self.vocab().display_term(id)
     }
 
     /// Renders a triple with a global id in `S P O` form.
     pub fn display_triple(&self, id: TripleId) -> String {
-        let (shard, local) = self.resolve(id);
-        self.shards[shard].display_triple(local)
+        let (slice, local) = self.slice_of(id);
+        slice.display_triple(local)
     }
 
-    /// Exact number of triples matching `pattern`, across shards.
+    /// Exact number of triples matching `pattern`, across shards and
+    /// the delta.
     pub fn count(&self, pattern: &SlotPattern) -> usize {
         match pattern.s {
-            // Subject-bound patterns are co-located.
-            Some(s) => self.shards[s.shard_of(self.shards.len())].count(pattern),
-            None => self.shards.iter().map(|sh| sh.count(pattern)).sum(),
+            // Subject-bound patterns are co-located per segment: the
+            // home base shard plus the home delta view.
+            Some(s) => {
+                let home = s.shard_of(self.shards.len());
+                self.shards[home].count(pattern)
+                    + self.delta_views.get(home).map_or(0, |v| v.count(pattern))
+            }
+            None => {
+                self.shards.iter().map(|sh| sh.count(pattern)).sum::<usize>()
+                    + self.delta_views.iter().map(|v| v.count(pattern)).sum::<usize>()
+            }
         }
+    }
+
+    /// One slice's total emission weight for a (mask-filtered) pattern:
+    /// the reference scan of lookup + repetition mask + provenance
+    /// weights.
+    fn slice_total(slice: &XkgStore, slot: &SlotPattern, mask: u8) -> f64 {
+        slice
+            .lookup(slot)
+            .iter()
+            .filter(|&&id| mask == 0 || satisfies_mask(slice, id, mask))
+            .map(|&id| slice.provenance(id).weight())
+            .sum()
     }
 
     /// Cross-shard total emission weight of a canonical pattern's
     /// (mask-filtered) match set — the slow path behind
-    /// [`GlobalTotals::pattern_total`], memoized per store.
+    /// [`GlobalTotals::pattern_total`], memoized per store generation
+    /// (the memo is cleared on every mutation). Spans the delta views.
     fn scan_total(&self, key: &CanonicalPattern) -> f64 {
         let (slot, mask) = *key;
         self.shards
             .iter()
-            .map(|shard| {
-                shard
-                    .lookup(&slot)
-                    .iter()
-                    .filter(|&&id| mask == 0 || satisfies_mask(shard, id, mask))
-                    .map(|&id| shard.provenance(id).weight())
-                    .sum::<f64>()
-            })
+            .chain(&self.delta_views)
+            .map(|slice| ShardedStore::slice_total(slice, &slot, mask))
             .sum()
+    }
+
+    /// True if an ingested, not-yet-compacted delta is live. While it
+    /// is, execution unions the delta views into the merge and global
+    /// totals are explicit for every shape (subject matches split
+    /// between a subject's home base shard and its home delta view).
+    #[inline]
+    pub fn has_delta(&self) -> bool {
+        !self.delta_views.is_empty()
+    }
+
+    /// Number of triples currently in the delta segment.
+    #[inline]
+    pub fn delta_len(&self) -> usize {
+        self.delta_len
+    }
+
+    /// Number of provenance merges queued for the next compaction.
+    #[inline]
+    pub fn pending_absorbs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The store generation: bumped by every [`ShardedStore::ingest`]
+    /// and [`ShardedStore::compact`]. Two reads under the same
+    /// generation observe an identical store.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The non-empty delta views with their global-id bases, in
+    /// global-id order — the extra merge slices partitioned execution
+    /// appends after the base shards.
+    pub fn delta_slices(&self) -> impl Iterator<Item = (&XkgStore, u32)> {
+        self.delta_views
+            .iter()
+            .zip(self.delta_offsets.iter().copied())
+            .filter(|(view, _)| !view.is_empty())
+    }
+
+    /// Ingests a batch of triples: `fill` appends into a scratch
+    /// builder whose dictionary/source table extend the current
+    /// vocabulary, and the batch lands in the delta, which is re-frozen
+    /// into subject-hash-partitioned views (the base shards are never
+    /// rebuilt). Returns the number of *new* triples appended;
+    /// re-observations of base triples are queued as pending provenance
+    /// absorbs (applied at the next [`ShardedStore::compact`]), and
+    /// re-observations of delta triples merge in place.
+    pub fn ingest(&mut self, fill: impl FnOnce(&mut XkgBuilder)) -> usize {
+        let mut scratch = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
+        fill(&mut scratch);
+        // Rebuild the delta under the scratch's (possibly grown)
+        // dictionary so batch-interned terms resolve in the delta views.
+        let mut next = XkgBuilder::with_context(scratch.dict().clone(), scratch.sources());
+        for (t, p) in self.delta.triples().iter().zip(self.delta.provenances()) {
+            next.add(*t, p.clone());
+        }
+        let n = self.shards.len();
+        let mut appended = 0;
+        for (t, p) in scratch.triples().iter().zip(scratch.provenances()) {
+            let home = t.s.shard_of(n);
+            let ground = SlotPattern::new(Some(t.s), Some(t.p), Some(t.o));
+            if let Some(&local) = self.shards[home].lookup(&ground).first() {
+                self.pending
+                    .push((TripleId(self.offsets[home] + local.0), p.clone()));
+            } else if next.add(*t, p.clone()).idx() == next.len() - 1 {
+                appended += 1;
+            }
+        }
+        self.delta = next;
+        self.rebuild_delta_views();
+        self.invalidate_memo();
+        self.generation += 1;
+        appended
+    }
+
+    /// Re-freezes the delta into the base shards: base triples, pending
+    /// provenance absorbs, and delta triples merge into fresh
+    /// subject-hash-partitioned shards with rebuilt strata and
+    /// aggregates, and the delta empties. Global triple ids are
+    /// reassigned.
+    pub fn compact(&mut self) {
+        let n = self.shards.len();
+        let mut merged = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
+        for shard in &self.shards {
+            for (id, t) in shard.iter() {
+                merged.add(t, shard.provenance(id).clone());
+            }
+        }
+        for (gid, prov) in std::mem::take(&mut self.pending) {
+            let (shard, local) = self.resolve(gid);
+            merged.add(self.shards[shard].triple(local), prov);
+        }
+        for (t, p) in self.delta.triples().iter().zip(self.delta.provenances()) {
+            merged.add(*t, p.clone());
+        }
+        let generation = self.generation + 1;
+        *self = ShardedStore::from_shards(merged.build_sharded(n));
+        self.generation = generation;
+    }
+
+    /// Re-freezes the delta builder into partitioned views and
+    /// recomputes the delta-side aggregates.
+    fn rebuild_delta_views(&mut self) {
+        self.delta_views.clear();
+        self.delta_offsets.clear();
+        self.delta_pred_totals.clear();
+        self.delta_global_total = 0.0;
+        self.delta_len = self.delta.len();
+        self.delta_kg_len = self
+            .delta
+            .provenances()
+            .iter()
+            .filter(|p| p.graph == GraphTag::Kg)
+            .count();
+        if self.delta.is_empty() {
+            return;
+        }
+        let views = self.delta.clone().build_sharded(self.shards.len());
+        let mut base = self.len as u64;
+        for view in &views {
+            self.delta_offsets
+                .push(u32::try_from(base).expect("global triple-id overflow"));
+            base += view.len() as u64;
+            let index = view.posting_index();
+            for &p in view.predicates() {
+                *self.delta_pred_totals.entry(p).or_insert(0.0) +=
+                    index.predicate_total_weight(p);
+            }
+            self.delta_global_total += index.total_weight();
+        }
+        self.delta_views = views;
+    }
+
+    /// Drops every memoized cross-shard total — they embed delta mass,
+    /// which just changed. Poison is cleared the same way
+    /// [`GlobalTotals::pattern_total`] recovers it.
+    fn invalidate_memo(&mut self) {
+        match self.totals_memo.get_mut() {
+            Ok(memo) => memo.clear(),
+            Err(poisoned) => {
+                poisoned.into_inner().clear();
+                self.totals_memo.clear_poison();
+            }
+        }
     }
 }
 
 impl GlobalTotals for ShardedStore {
     fn pattern_total(&self, key: &CanonicalPattern) -> Option<f64> {
         let (slot, mask) = *key;
-        if slot.s.is_some() {
-            // Subject-bound: all matches are co-located, so the shard's
-            // local total is already the global total.
-            return None;
+        if let Some(s) = slot.s {
+            if self.delta_views.is_empty() {
+                // Subject-bound, frozen: all matches are co-located, so
+                // the shard's local total is already the global total.
+                return None;
+            }
+            // With a live delta the subject's matches split between its
+            // home base shard and its home delta view, so the total
+            // must be explicit.
+            let home = s.shard_of(self.shards.len());
+            let delta_view = &self.delta_views[home];
+            if mask == 0 && slot.p.is_none() && slot.o.is_none() {
+                return Some(
+                    self.shards[home].subject_total_weight(s)
+                        + delta_view.subject_total_weight(s),
+                );
+            }
+            return Some(
+                ShardedStore::slice_total(&self.shards[home], &slot, mask)
+                    + ShardedStore::slice_total(delta_view, &slot, mask),
+            );
         }
         if mask == 0 {
             match (slot.p, slot.o) {
                 (Some(p), None) => return Some(self.predicate_total_weight(p)),
-                (None, None) => return Some(self.global_total),
-                // Object-anchored: each shard's object-group total is an
+                (None, None) => return Some(self.global_total + self.delta_global_total),
+                // Object-anchored: each slice's object-group total is an
                 // O(log n) prefix-sum read, so the global total is a sum
-                // over shards instead of a memoized cross-shard scan —
+                // over slices instead of a memoized cross-shard scan —
                 // and the shard-local lists themselves stay borrowed
                 // slices (no per-shard materialization for anchored
                 // lookups).
@@ -273,6 +530,7 @@ impl GlobalTotals for ShardedStore {
                     return Some(
                         self.shards
                             .iter()
+                            .chain(&self.delta_views)
                             .map(|sh| sh.object_total_weight(o))
                             .sum(),
                     )
@@ -306,9 +564,14 @@ impl GlobalTotals for ShardedStore {
 impl ConditionOracle for ShardedStore {
     fn ground_holds(&self, s: TermId, p: TermId, o: TermId) -> bool {
         // Subject-hash partitioning: a ground triple can only live in
-        // its subject's shard.
+        // its subject's base shard or its subject's delta view.
         let shard = s.shard_of(self.shards.len());
-        self.shards[shard].count(&SlotPattern::new(Some(s), Some(p), Some(o))) > 0
+        let slot = SlotPattern::new(Some(s), Some(p), Some(o));
+        self.shards[shard].count(&slot) > 0
+            || self
+                .delta_views
+                .get(shard)
+                .is_some_and(|v| v.count(&slot) > 0)
     }
 }
 

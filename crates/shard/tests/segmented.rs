@@ -1,0 +1,369 @@
+//! Property tests for segmented (base + live delta) execution.
+//!
+//! The acceptance bar of live ingestion: **serving queries over the
+//! frozen base plus the freshly ingested delta returns answers
+//! score-equal to rebuilding the whole store from scratch** — on
+//! arbitrary stores and batches, multi-pattern queries, and relaxation
+//! rules, monolithic and at 1/2/4/7 shards — and **compacting the
+//! delta changes nothing** but the serving topology. A second suite
+//! pins the semi-naive delta-query seam: restricted runs surface
+//! exactly the answers that use fresh evidence.
+
+use std::collections::{BTreeMap, HashSet};
+
+use proptest::prelude::*;
+
+use trinit_query::exec::segmented::SegmentedExec;
+use trinit_query::exec::sharded::run_partitioned;
+use trinit_query::exec::topk::{self, TopkConfig};
+use trinit_query::{Answer, BudgetTracker, Governor, Query};
+use trinit_relax::{ConditionOracle, QPattern, QTerm, Rule, RuleProvenance, RuleSet, VarId};
+use trinit_shard::{SeedMode, ShardedExecutor, ShardedStore};
+use trinit_xkg::{
+    Provenance, SegmentedStore, SlotPattern, SourceId, TermId, TermKind, Triple, XkgBuilder,
+};
+
+fn tid(i: u32) -> TermId {
+    TermId::new(TermKind::Resource, i)
+}
+
+type Row = (u32, u32, u32, f32, u8);
+
+fn store_strategy(universe: u32, max_triples: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (0..universe, 0..universe, 0..universe, 0.05f32..1.0, 0u8..4),
+        1..max_triples,
+    )
+}
+
+fn add_rows(b: &mut XkgBuilder, rows: &[Row]) {
+    for &(s, p, o, conf, support) in rows {
+        let mut prov = Provenance::extraction(conf, SourceId(0));
+        prov.support = u32::from(support) + 1;
+        b.add(Triple::new(tid(s), tid(p), tid(o)), prov);
+    }
+}
+
+fn builder_from(rows: &[Row]) -> XkgBuilder {
+    let mut b = XkgBuilder::new();
+    add_rows(&mut b, rows);
+    b
+}
+
+/// Delta rows that are genuinely new facts: re-observations of base
+/// triples queue pending provenance absorbs (applied at compaction, by
+/// design *not* reflected before it), so weight-equality with an
+/// immediate from-scratch rebuild only holds for fresh facts.
+fn fresh_rows(base: &[Row], delta: &[Row]) -> Vec<Row> {
+    let seen: HashSet<(u32, u32, u32)> = base.iter().map(|r| (r.0, r.1, r.2)).collect();
+    delta
+        .iter()
+        .filter(|r| !seen.contains(&(r.0, r.1, r.2)))
+        .copied()
+        .collect()
+}
+
+fn query_from(patterns: Vec<QPattern>, k: usize) -> Query {
+    let n_vars = patterns
+        .iter()
+        .filter_map(QPattern::max_var)
+        .max()
+        .map_or(0, |m| m as usize + 1);
+    Query {
+        patterns,
+        projection: Vec::new(),
+        k,
+        var_names: (0..n_vars).map(|i| format!("v{i}")).collect(),
+        unknown_terms: Vec::new(),
+    }
+}
+
+fn qterm(vars: u16, universe: u32) -> impl Strategy<Value = QTerm> {
+    prop_oneof![
+        (0..vars).prop_map(|v| QTerm::Var(VarId(v))),
+        (0..universe).prop_map(|t| QTerm::Term(tid(t))),
+    ]
+}
+
+fn pattern_strategy(vars: u16, universe: u32) -> impl Strategy<Value = QPattern> {
+    (
+        qterm(vars, universe),
+        (0..universe).prop_map(|t| QTerm::Term(tid(t))),
+        qterm(vars, universe),
+    )
+        .prop_map(|(s, p, o)| QPattern::new(s, p, o))
+}
+
+fn rules_strategy(universe: u32) -> impl Strategy<Value = Vec<Rule>> {
+    proptest::collection::vec(
+        (0..universe, 0..universe, 0.15f64..1.0, proptest::bool::ANY).prop_map(
+            |(p1, p2, w, inv)| {
+                if inv {
+                    Rule::inversion("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                } else {
+                    Rule::predicate_rewrite("r", tid(p1), tid(p2), w, RuleProvenance::UserDefined)
+                }
+            },
+        ),
+        0..4,
+    )
+}
+
+use trinit_shard::testkit::assert_answers_score_equivalent as assert_answers_equivalent;
+
+/// Monolithic segmented execution: the base and the delta view as two
+/// slices of the partitioned pipeline, normalized by [`SegmentedExec`].
+fn run_mono_segmented(
+    seg: &SegmentedStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+) -> Vec<Answer> {
+    let Some(delta) = seg.delta_view() else {
+        return topk::run(seg.base(), query, rules, cfg).0;
+    };
+    let base = seg.base();
+    let slices = [base, delta];
+    let offsets = [0u32, base.len() as u32];
+    let exec = SegmentedExec::new(&slices, &offsets);
+    let tracker = BudgetTracker::new(cfg);
+    run_partitioned(
+        &slices,
+        &offsets,
+        &exec,
+        &exec,
+        Some(&exec as &dyn ConditionOracle),
+        query,
+        rules,
+        cfg,
+        None,
+        Vec::new(),
+        Governor::primary(&tracker),
+        None,
+    )
+    .answers
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ingest-then-serve ≡ rebuild-from-scratch, monolithic and at
+    /// 1/2/4/7 shards with every seed mode — and compacting the delta
+    /// preserves the answers bit-for-bit (modulo tie-break detail).
+    #[test]
+    fn segmented_serve_equals_from_scratch_rebuild(
+        base_rows in store_strategy(6, 30),
+        delta_rows in store_strategy(6, 12),
+        patterns in proptest::collection::vec(pattern_strategy(3, 6), 1..3),
+        rules in rules_strategy(6),
+        k in 1usize..12,
+    ) {
+        let fresh = fresh_rows(&base_rows, &delta_rows);
+        let mut union_rows = base_rows.clone();
+        union_rows.extend(fresh.iter().copied());
+        let union = builder_from(&union_rows).build();
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        let query = query_from(patterns, k);
+        let (want, _) = topk::run(&union, &query, &set, &cfg);
+
+        // Monolithic segmented store.
+        let mut seg = SegmentedStore::new(builder_from(&base_rows).build());
+        seg.ingest(|b| add_rows(b, &fresh));
+        assert_answers_equivalent(&run_mono_segmented(&seg, &query, &set, &cfg), &want);
+        seg.compact();
+        prop_assert!(seg.delta_view().is_none());
+        assert_answers_equivalent(&run_mono_segmented(&seg, &query, &set, &cfg), &want);
+
+        // Sharded store with live per-shard delta views.
+        for shards in [1usize, 2, 4, 7] {
+            let mut sharded = ShardedStore::build(builder_from(&base_rows), shards);
+            sharded.ingest(|b| add_rows(b, &fresh));
+            prop_assert_eq!(sharded.len(), union.len());
+            for mode in [SeedMode::Off, SeedMode::Parallel] {
+                let run = ShardedExecutor::new(&sharded).run(&query, &set, &cfg, mode);
+                assert_answers_equivalent(&run.answers, &want);
+            }
+            sharded.compact();
+            prop_assert!(!sharded.has_delta());
+            let run = ShardedExecutor::new(&sharded).run(&query, &set, &cfg, SeedMode::Off);
+            assert_answers_equivalent(&run.answers, &want);
+        }
+    }
+
+    /// The slice union (base shards + delta views) serves exactly the
+    /// rebuilt store's match set — triples *and* weights — for all 8
+    /// pattern shapes, and the cross-slice aggregates (`count`,
+    /// `pattern_total`) agree with direct sums over the rebuilt store.
+    #[test]
+    fn slice_union_matches_rebuild_for_all_shapes(
+        base_rows in store_strategy(6, 30),
+        delta_rows in store_strategy(6, 12),
+        s in 0u32..6,
+        p in 0u32..6,
+        o in 0u32..6,
+    ) {
+        use trinit_query::GlobalTotals;
+        let fresh = fresh_rows(&base_rows, &delta_rows);
+        let mut union_rows = base_rows.clone();
+        union_rows.extend(fresh.iter().copied());
+        let union = builder_from(&union_rows).build();
+        for shards in [1usize, 2, 4, 7] {
+            let mut sharded = ShardedStore::build(builder_from(&base_rows), shards);
+            sharded.ingest(|b| add_rows(b, &fresh));
+            for mask in 0u8..8 {
+                let pattern = SlotPattern::new(
+                    (mask & 1 != 0).then_some(tid(s)),
+                    (mask & 2 != 0).then_some(tid(p)),
+                    (mask & 4 != 0).then_some(tid(o)),
+                );
+                let mut got: Vec<(Triple, u64)> = sharded
+                    .shards()
+                    .iter()
+                    .chain(sharded.delta_slices().map(|(v, _)| v))
+                    .flat_map(|slice| {
+                        slice.lookup(&pattern).iter().map(|&id| {
+                            (slice.triple(id), slice.provenance(id).weight().to_bits())
+                        }).collect::<Vec<_>>()
+                    })
+                    .collect();
+                got.sort();
+                let mut want: Vec<(Triple, u64)> = union
+                    .lookup(&pattern)
+                    .iter()
+                    .map(|&id| (union.triple(id), union.provenance(id).weight().to_bits()))
+                    .collect();
+                want.sort();
+                prop_assert_eq!(&got, &want, "shape {:#05b} at {} shards", mask, shards);
+                prop_assert_eq!(sharded.count(&pattern), want.len());
+                // Cross-slice totals are explicit for every shape while
+                // a delta is live (subject co-location is broken), and
+                // equal the rebuilt store's direct sums.
+                if sharded.has_delta() {
+                    let total = sharded
+                        .pattern_total(&(pattern, 0))
+                        .expect("explicit totals under a live delta");
+                    let direct: f64 =
+                        want.iter().map(|(_, w)| f64::from_bits(*w)).sum();
+                    prop_assert!((total - direct).abs() < 1e-9, "shape {:#05b}", mask);
+                }
+            }
+        }
+    }
+
+    /// The semi-naive delta-query seam: every answer of a
+    /// delta-restricted run carries at least one freshly ingested
+    /// triple in its derivation, and every full-run answer whose
+    /// derivation uses fresh evidence is surfaced — with its full-run
+    /// score — by the union of the per-pattern restricted runs.
+    #[test]
+    fn delta_restricted_runs_surface_exactly_the_fresh_answers(
+        base_rows in store_strategy(6, 30),
+        delta_rows in store_strategy(6, 12),
+        patterns in proptest::collection::vec(pattern_strategy(3, 6), 1..3),
+        rules in rules_strategy(6),
+    ) {
+        let mut fresh = fresh_rows(&base_rows, &delta_rows);
+        // Guarantee at least one genuinely new fact (term 50 is outside
+        // the generated universe) so every case exercises the seam.
+        fresh.push((50, 0, 1, 0.5, 1));
+        let set: RuleSet = rules.into_iter().collect();
+        let cfg = TopkConfig::default();
+        // k large enough to hold every answer of the tiny universe, so
+        // no comparison trips over the k-cut.
+        let query = query_from(patterns, 400);
+        for shards in [2usize, 4] {
+            let mut sharded = ShardedStore::build(builder_from(&base_rows), shards);
+            sharded.ingest(|b| add_rows(b, &fresh));
+            prop_assert!(sharded.has_delta());
+            let base_total = (sharded.len() - sharded.delta_len()) as u32;
+            let exec = ShardedExecutor::new(&sharded);
+            let full = exec.run(&query, &set, &cfg, SeedMode::Off);
+            let mut introduced: BTreeMap<Vec<(VarId, Option<TermId>)>, f64> = BTreeMap::new();
+            for j in 0..query.patterns.len() {
+                let tracker = BudgetTracker::new(&cfg);
+                let run = exec.run_delta_restricted(&query, &set, &cfg, j, &tracker);
+                for a in run.answers {
+                    prop_assert!(
+                        a.derivation.triples.iter().any(|(_, id)| id.0 >= base_total),
+                        "restricted answer must use a delta triple"
+                    );
+                    let entry = introduced.entry(a.key.clone()).or_insert(f64::NEG_INFINITY);
+                    *entry = entry.max(a.score);
+                }
+            }
+            for a in &full.answers {
+                if a.derivation.triples.iter().any(|(_, id)| id.0 >= base_total) {
+                    let got = introduced
+                        .get(&a.key)
+                        .expect("fresh-evidence answer missing from restricted union");
+                    prop_assert!(
+                        (got - a.score).abs() < 1e-9,
+                        "restricted score diverges: {} vs {}",
+                        got,
+                        a.score
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Re-observing a frozen base triple queues a pending provenance
+/// absorb (no delta entry, no index rebuild); compaction applies it.
+#[test]
+fn reobserved_base_triple_absorbs_at_compaction() {
+    let rows: Vec<Row> = (0..12).map(|i| (i, 0, i % 4, 0.8, 1)).collect();
+    let mut sharded = ShardedStore::build(builder_from(&rows), 3);
+    let frozen_len = sharded.len();
+    let appended = sharded.ingest(|b| {
+        b.add(
+            Triple::new(tid(5), tid(0), tid(1)),
+            Provenance::extraction(0.9, SourceId(0)),
+        );
+    });
+    assert_eq!(appended, 0, "re-observation must not enter the delta");
+    assert!(!sharded.has_delta());
+    assert_eq!(sharded.pending_absorbs(), 1);
+    assert_eq!(sharded.len(), frozen_len);
+    assert_eq!(sharded.generation(), 1);
+    sharded.compact();
+    assert_eq!(sharded.generation(), 2);
+    assert_eq!(sharded.pending_absorbs(), 0);
+    assert_eq!(sharded.len(), frozen_len, "absorb adds no triple");
+    let slot = SlotPattern::new(Some(tid(5)), Some(tid(0)), Some(tid(1)));
+    let home = tid(5).shard_of(3);
+    let ids = sharded.shards()[home].lookup(&slot);
+    // Base row carried support 2; the re-observation adds its own 1.
+    assert_eq!(sharded.shards()[home].provenance(ids[0]).support, 3);
+}
+
+/// Terms first interned by an ingest batch resolve through the delta's
+/// superset vocabulary, and their global ids resolve to real triples.
+#[test]
+fn delta_vocabulary_and_global_ids_extend_the_base() {
+    let rows: Vec<Row> = (0..10).map(|i| (i, 0, i % 3, 0.7, 1)).collect();
+    let mut sharded = ShardedStore::build(builder_from(&rows), 2);
+    let frozen_len = sharded.len();
+    let appended = sharded.ingest(|b| {
+        // Subject 77 is outside the frozen universe.
+        b.add(
+            Triple::new(tid(77), tid(0), tid(1)),
+            Provenance::extraction(0.6, SourceId(0)),
+        );
+    });
+    assert_eq!(appended, 1);
+    assert!(sharded.has_delta());
+    assert_eq!(sharded.len(), frozen_len + 1);
+    let (view, offset) = sharded
+        .delta_slices()
+        .next()
+        .expect("one non-empty delta view");
+    assert_eq!(view.len(), 1);
+    let (local, t) = view.iter().next().unwrap();
+    assert_eq!(t.s, tid(77));
+    let gid = trinit_xkg::TripleId(offset + local.0);
+    assert_eq!(sharded.triple(gid), t);
+    assert!(sharded.ground_holds(tid(77), tid(0), tid(1)));
+    assert!(!sharded.ground_holds(tid(77), tid(0), tid(2)));
+}

@@ -33,6 +33,7 @@ pub mod dict;
 pub mod index;
 pub mod pattern;
 pub mod posting;
+pub mod segment;
 pub mod stats;
 pub mod store;
 pub mod term;
@@ -41,6 +42,7 @@ pub mod triple;
 pub use dict::TermDict;
 pub use pattern::SlotPattern;
 pub use posting::{Posting, PostingIndex, PostingList, ServeKind};
+pub use segment::SegmentedStore;
 pub use stats::{args_pairs, cardinality, PredicateStats, StoreStats};
 pub use store::{XkgBuilder, XkgError, XkgStore};
 pub use term::{TermId, TermKind};

@@ -1,0 +1,401 @@
+//! LSM-style segmented store: frozen base + mutable delta.
+//!
+//! Everything in [`XkgStore`](crate::XkgStore) is frozen at `build()`,
+//! but a production KG ingests continuously. [`SegmentedStore`] layers a
+//! small mutable delta segment over a frozen base segment:
+//!
+//! - [`SegmentedStore::ingest`] appends a batch into the delta and
+//!   re-freezes *only the delta* into a fully indexed view, so the base's
+//!   permutation and posting indexes are never rebuilt. A segment is just
+//!   another merge source: queries serve posting lists per segment and
+//!   union them through the engine's rank-merge seam.
+//! - [`SegmentedStore::compact`] merges the delta (and any pending
+//!   provenance absorbs) back into a single frozen base, emptying the
+//!   delta.
+//!
+//! Re-observation of a triple the base already holds does not duplicate
+//! it: the provenance merge is queued as a *pending absorb* and applied
+//! at the next compaction (until then the base serves the fact with its
+//! pre-ingest weight — deltas only ever add mass for genuinely new
+//! facts, which keeps every frozen index valid between compactions).
+//!
+//! Global [`TripleId`]s over a segmented store are `base ids` followed by
+//! `base.len() + delta-local ids`; compaction reassigns them.
+
+use crate::pattern::SlotPattern;
+use crate::store::{XkgBuilder, XkgStore};
+use crate::term::TermId;
+use crate::triple::{GraphTag, Provenance, SourceId, Triple, TripleId};
+
+/// A frozen base segment plus a small mutable delta segment.
+#[derive(Debug)]
+pub struct SegmentedStore {
+    base: XkgStore,
+    /// Accumulates ingested triples between compactions. Its dictionary
+    /// and source table are supersets of the base's (same ids), so terms
+    /// interned during ingestion resolve against either segment.
+    delta: XkgBuilder,
+    /// The delta re-frozen into a fully indexed store; `None` while the
+    /// delta is empty. Rebuilt on every ingest — the delta is small by
+    /// design, the base is never touched.
+    delta_view: Option<XkgStore>,
+    /// Provenance merges for re-observed *base* triples, keyed by the
+    /// base-local id; applied at the next compaction.
+    pending: Vec<(TripleId, Provenance)>,
+    /// Bumped on every mutation (ingest or compact). Caches keyed by
+    /// pattern stamp entries with this and drop them when it moves.
+    generation: u64,
+}
+
+impl SegmentedStore {
+    /// Wraps a frozen store as the base segment with an empty delta.
+    pub fn new(base: XkgStore) -> SegmentedStore {
+        let delta = XkgBuilder::with_context(base.dict().clone(), base.sources());
+        SegmentedStore {
+            base,
+            delta,
+            delta_view: None,
+            pending: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// The frozen base segment.
+    #[inline]
+    pub fn base(&self) -> &XkgStore {
+        &self.base
+    }
+
+    /// The delta segment's frozen view, or `None` while the delta is
+    /// empty.
+    #[inline]
+    pub fn delta_view(&self) -> Option<&XkgStore> {
+        self.delta_view.as_ref()
+    }
+
+    /// The store to resolve vocabulary against: the delta view when one
+    /// exists (its dictionary is a superset of the base's, with
+    /// identical ids for shared terms), the base otherwise.
+    #[inline]
+    pub fn vocab(&self) -> &XkgStore {
+        self.delta_view.as_ref().unwrap_or(&self.base)
+    }
+
+    /// Number of triples currently in the delta segment.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of provenance merges queued for the next compaction.
+    pub fn pending_absorbs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The store generation: bumped by every [`SegmentedStore::ingest`]
+    /// and [`SegmentedStore::compact`]. Two reads under the same
+    /// generation observe an identical store.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total triples across both segments (pending absorbs merge into
+    /// existing base triples and add none).
+    pub fn len(&self) -> usize {
+        self.base.len() + self.delta.len()
+    }
+
+    /// True if both segments are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Triples per stratum across both segments.
+    pub fn len_of(&self, graph: GraphTag) -> usize {
+        let delta = self
+            .delta
+            .provenances()
+            .iter()
+            .filter(|p| p.graph == graph)
+            .count();
+        self.base.len_of(graph) + delta
+    }
+
+    /// The live segments in global-id order: base first, then the delta
+    /// view if the delta is non-empty.
+    pub fn segments(&self) -> Vec<&XkgStore> {
+        let mut out = vec![&self.base];
+        out.extend(self.delta_view.as_ref());
+        out
+    }
+
+    /// Resolves a global triple id to its segment and segment-local id.
+    /// Global ids enumerate the base then the delta view.
+    fn resolve(&self, id: TripleId) -> (&XkgStore, TripleId) {
+        let base_len = self.base.len() as u32;
+        if id.0 < base_len {
+            (&self.base, id)
+        } else {
+            let view = self
+                .delta_view
+                .as_ref()
+                .expect("delta triple id with empty delta");
+            (view, TripleId(id.0 - base_len))
+        }
+    }
+
+    /// The triple with the given *global* id (base ids first, then
+    /// delta ids offset by `base.len()`).
+    pub fn triple(&self, id: TripleId) -> Triple {
+        let (seg, local) = self.resolve(id);
+        seg.triple(local)
+    }
+
+    /// Provenance of the triple with the given global id.
+    pub fn provenance(&self, id: TripleId) -> &Provenance {
+        let (seg, local) = self.resolve(id);
+        seg.provenance(local)
+    }
+
+    /// Renders a term for display (the delta dictionary is a superset of
+    /// the base's, so every term of either segment resolves).
+    pub fn display_term(&self, id: TermId) -> String {
+        self.vocab().display_term(id)
+    }
+
+    /// Renders a triple with a global id in `S P O` form.
+    pub fn display_triple(&self, id: TripleId) -> String {
+        let (seg, local) = self.resolve(id);
+        seg.display_triple(local)
+    }
+
+    /// Resolves a source id to its document identifier.
+    pub fn source_name(&self, id: SourceId) -> Option<&str> {
+        self.vocab().source_name(id)
+    }
+
+    /// Ingests a batch of triples: `fill` appends into a scratch builder
+    /// whose dictionary/source table extend the current vocabulary, and
+    /// the batch lands in the delta segment, which is re-frozen into an
+    /// indexed view. Returns the number of *new* triples appended;
+    /// re-observations of base triples are queued as pending provenance
+    /// absorbs instead (applied at the next [`SegmentedStore::compact`]),
+    /// and re-observations of delta triples merge in place.
+    pub fn ingest(&mut self, fill: impl FnOnce(&mut XkgBuilder)) -> usize {
+        let mut scratch = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
+        fill(&mut scratch);
+        // Rebuild the delta under the scratch's (possibly grown)
+        // dictionary so batch-interned terms resolve in the delta view.
+        let mut next = XkgBuilder::with_context(scratch.dict().clone(), scratch.sources());
+        for (t, p) in self.delta.triples().iter().zip(self.delta.provenances()) {
+            next.add(*t, p.clone());
+        }
+        let mut appended = 0;
+        for (t, p) in scratch.triples().iter().zip(scratch.provenances()) {
+            let ground = SlotPattern::new(Some(t.s), Some(t.p), Some(t.o));
+            if let Some(&base_id) = self.base.lookup(&ground).first() {
+                self.pending.push((base_id, p.clone()));
+            } else if next.add(*t, p.clone()).idx() == next.len() - 1 {
+                appended += 1;
+            }
+        }
+        self.delta = next;
+        self.delta_view = (!self.delta.is_empty()).then(|| self.delta.clone().build());
+        self.generation += 1;
+        appended
+    }
+
+    /// Re-freezes the delta into the base: base triples, pending
+    /// provenance absorbs, and delta triples merge into one fresh frozen
+    /// store with rebuilt sorted strata, and the delta empties. Global
+    /// triple ids are reassigned.
+    pub fn compact(&mut self) {
+        let mut merged = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
+        for (id, t) in self.base.iter() {
+            merged.add(t, self.base.provenance(id).clone());
+        }
+        for (id, prov) in std::mem::take(&mut self.pending) {
+            merged.add(self.base.triple(id), prov);
+        }
+        for (t, p) in self.delta.triples().iter().zip(self.delta.provenances()) {
+            merged.add(*t, p.clone());
+        }
+        self.base = merged.build();
+        self.delta = XkgBuilder::with_context(self.base.dict().clone(), self.base.sources());
+        self.delta_view = None;
+        self.generation += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posting::PostingList;
+
+    fn base_builder() -> XkgBuilder {
+        let mut b = XkgBuilder::new();
+        for i in 0..12u32 {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{}", i % 4));
+            if i % 3 == 0 {
+                let s = b.dict_mut().resource(&format!("s{i}"));
+                let p = b.dict_mut().token("close to");
+                let o = b.dict_mut().resource(&format!("o{}", (i + 1) % 4));
+                let src = b.intern_source(&format!("doc{i}"));
+                b.add_extracted(s, p, o, 0.4 + (i % 5) as f32 * 0.1, src);
+            }
+        }
+        b
+    }
+
+    fn ingest_batch(b: &mut XkgBuilder) {
+        for i in 12..18u32 {
+            b.add_kg_resources(&format!("s{i}"), "p", &format!("o{}", i % 4));
+        }
+        let s = b.dict_mut().resource("s1");
+        let p = b.dict_mut().token("linked to");
+        let o = b.dict_mut().resource("fresh");
+        let src = b.intern_source("delta-doc");
+        b.add_extracted(s, p, o, 0.9, src);
+    }
+
+    /// The union store every segmented query must agree with: base and
+    /// batch rebuilt from scratch as one monolithic store.
+    fn rebuilt_union() -> XkgStore {
+        let mut b = base_builder();
+        ingest_batch(&mut b);
+        b.build()
+    }
+
+    fn segmented() -> SegmentedStore {
+        let mut seg = SegmentedStore::new(base_builder().build());
+        seg.ingest(ingest_batch);
+        seg
+    }
+
+    /// Multiset of (triple, weight) a pattern matches in a store,
+    /// via the reference scan path.
+    fn scan_set(store: &XkgStore, pattern: &SlotPattern) -> Vec<(Triple, u64)> {
+        let list = PostingList::build_by_scan(store, pattern);
+        let mut out: Vec<(Triple, u64)> = list
+            .entries()
+            .iter()
+            .map(|e| (store.triple(e.triple), e.weight.to_bits()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn all_shapes(store: &XkgStore) -> Vec<SlotPattern> {
+        let s = store.resource("s1").unwrap();
+        let p = store.resource("p").unwrap();
+        let o = store.resource("o1").unwrap();
+        vec![
+            SlotPattern::new(None, None, None),
+            SlotPattern::new(Some(s), None, None),
+            SlotPattern::new(None, Some(p), None),
+            SlotPattern::new(None, None, Some(o)),
+            SlotPattern::new(Some(s), Some(p), None),
+            SlotPattern::new(Some(s), None, Some(o)),
+            SlotPattern::new(None, Some(p), Some(o)),
+            SlotPattern::new(Some(s), Some(p), Some(o)),
+        ]
+    }
+
+    #[test]
+    fn segment_union_matches_rebuilt_store_for_all_shapes() {
+        let seg = segmented();
+        let union = rebuilt_union();
+        for pattern in all_shapes(&union) {
+            let mut got: Vec<(Triple, u64)> = Vec::new();
+            for segment in seg.segments() {
+                got.extend(scan_set(segment, &pattern));
+            }
+            got.sort();
+            assert_eq!(got, scan_set(&union, &pattern), "shape {pattern}");
+        }
+    }
+
+    #[test]
+    fn compact_preserves_the_union() {
+        let mut seg = segmented();
+        let union = rebuilt_union();
+        seg.compact();
+        assert!(seg.delta_view().is_none());
+        assert_eq!(seg.delta_len(), 0);
+        assert_eq!(seg.len(), union.len());
+        for pattern in all_shapes(&union) {
+            assert_eq!(
+                scan_set(seg.base(), &pattern),
+                scan_set(&union, &pattern),
+                "shape {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn reobserved_base_triple_queues_pending_absorb() {
+        let mut seg = SegmentedStore::new(base_builder().build());
+        let before = seg.base().len();
+        let appended = seg.ingest(|b| {
+            // `s1 p o1` already exists in the base.
+            b.add_kg_resources("s1", "p", "o1");
+        });
+        assert_eq!(appended, 0);
+        assert_eq!(seg.delta_len(), 0, "re-observation must not enter the delta");
+        assert!(seg.delta_view().is_none());
+        assert_eq!(seg.pending_absorbs(), 1);
+        seg.compact();
+        assert_eq!(seg.base().len(), before, "absorb adds no triple");
+        let s = seg.base().resource("s1").unwrap();
+        let p = seg.base().resource("p").unwrap();
+        let o = seg.base().resource("o1").unwrap();
+        let ids = seg.base().lookup(&SlotPattern::new(Some(s), Some(p), Some(o)));
+        assert_eq!(seg.base().provenance(ids[0]).support, 2);
+        assert_eq!(seg.pending_absorbs(), 0);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut seg = SegmentedStore::new(base_builder().build());
+        assert_eq!(seg.generation(), 0);
+        seg.ingest(ingest_batch);
+        assert_eq!(seg.generation(), 1);
+        seg.compact();
+        assert_eq!(seg.generation(), 2);
+    }
+
+    #[test]
+    fn delta_vocab_extends_base_vocab() {
+        let seg = segmented();
+        assert!(seg.base().resource("fresh").is_none());
+        let fresh = seg.vocab().resource("fresh").unwrap();
+        // Shared terms keep their base ids in the delta dictionary.
+        assert_eq!(seg.vocab().resource("s1"), seg.base().resource("s1"));
+        let view = seg.delta_view().unwrap();
+        assert_eq!(view.lookup(&SlotPattern::new(None, None, Some(fresh))).len(), 1);
+    }
+
+    #[test]
+    fn global_ids_resolve_across_segments() {
+        let seg = segmented();
+        let base_len = seg.base().len() as u32;
+        let t = seg.triple(TripleId(0));
+        assert_eq!(t, seg.base().triple(TripleId(0)));
+        let view = seg.delta_view().unwrap();
+        let dt = seg.triple(TripleId(base_len));
+        assert_eq!(dt, view.triple(TripleId(0)));
+        assert_eq!(
+            seg.display_triple(TripleId(base_len)),
+            view.display_triple(TripleId(0))
+        );
+        assert_eq!(seg.len(), seg.base().len() + view.len());
+    }
+
+    #[test]
+    fn len_of_counts_both_segments() {
+        let seg = segmented();
+        let union = rebuilt_union();
+        assert_eq!(seg.len_of(GraphTag::Kg), union.len_of(GraphTag::Kg));
+        assert_eq!(seg.len_of(GraphTag::Xkg), union.len_of(GraphTag::Xkg));
+    }
+}

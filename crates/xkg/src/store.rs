@@ -66,6 +66,29 @@ impl XkgBuilder {
         XkgBuilder::default()
     }
 
+    /// Creates a builder whose interning context extends an existing
+    /// store's: a clone of its append-only term dictionary plus its
+    /// source table. Every id already issued by the originating store
+    /// keeps resolving identically here, and new terms get fresh ids
+    /// past the store's — which is what lets a mutable delta segment
+    /// share a frozen base segment's id spaces (see
+    /// [`SegmentedStore`](crate::SegmentedStore)).
+    pub fn with_context(dict: TermDict, sources: &[Box<str>]) -> XkgBuilder {
+        let source_lookup = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), SourceId(i as u32)))
+            .collect();
+        XkgBuilder {
+            dict,
+            triples: Vec::new(),
+            prov: Vec::new(),
+            dedup: HashMap::new(),
+            sources: sources.to_vec(),
+            source_lookup,
+        }
+    }
+
     /// Mutable access to the term dictionary for interning.
     pub fn dict_mut(&mut self) -> &mut TermDict {
         &mut self.dict
@@ -189,6 +212,23 @@ impl XkgBuilder {
             });
         }
         self.try_add(Triple::new(s, p, o), Provenance::extraction(confidence, source))
+    }
+
+    /// The accumulated triples in insertion order, parallel to
+    /// [`XkgBuilder::provenances`].
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// The accumulated provenance records, parallel to
+    /// [`XkgBuilder::triples`].
+    pub fn provenances(&self) -> &[Provenance] {
+        &self.prov
+    }
+
+    /// The interned provenance sources in [`SourceId`] order.
+    pub fn sources(&self) -> &[Box<str>] {
+        &self.sources
     }
 
     /// Number of distinct triples accumulated so far.
@@ -388,6 +428,13 @@ impl XkgStore {
     /// Resolves a source id to its document identifier.
     pub fn source_name(&self, id: SourceId) -> Option<&str> {
         self.sources.get(id.0 as usize).map(AsRef::as_ref)
+    }
+
+    /// The interned provenance sources in [`SourceId`] order. Used to
+    /// seed a delta builder that extends this store's source table
+    /// ([`XkgBuilder::with_context`]).
+    pub fn sources(&self) -> &[Box<str>] {
+        &self.sources
     }
 
     /// All triple ids matching `pattern`, as a contiguous index range.
