@@ -282,6 +282,31 @@ pub fn processing_report(
         exact,
         outcome.answers.len() - exact
     ));
+
+    // Stage timing from the query's trace, when it ran instrumented.
+    let trace = outcome.trace();
+    if !trace.is_empty() {
+        out.push_str(&format!(
+            "  stage timing ({} spans recorded",
+            trace.recorded()
+        ));
+        if trace.dropped > 0 {
+            out.push_str(&format!(", {} dropped at ring capacity", trace.dropped));
+        }
+        out.push_str("):\n");
+        for stage in trinit_obs::Stage::ALL {
+            let n = trace.stage_count(stage);
+            if n == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "    {:<12} {:>5} span(s)  {:>10} ns\n",
+                stage.name(),
+                n,
+                trace.stage_total_ns(stage)
+            ));
+        }
+    }
     out
 }
 
@@ -342,6 +367,20 @@ mod tests {
         assert!(report.contains("relaxations invoked"));
         assert!(report.contains("via relaxation"));
         assert!(report.contains("housed in"), "contributing rule listed");
+        assert!(report.contains("stage timing"), "trace section renders");
+        assert!(report.contains("query"), "query span listed: {report}");
+    }
+
+    #[test]
+    fn processing_report_omits_stage_timing_when_tracing_is_off() {
+        let store = paper_store();
+        let rules = paper_rules(&store);
+        let mut system = crate::Trinit::from_parts(store, rules);
+        system.set_obs(trinit_obs::ObsConfig::off());
+        let outcome = system.query("?x bornIn Ulm").unwrap();
+        let report = processing_report(system.store(), system.rules(), &outcome);
+        assert!(report.contains("internal processing steps"));
+        assert!(!report.contains("stage timing"));
     }
 
     #[test]

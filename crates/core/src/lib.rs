@@ -51,6 +51,15 @@ pub use trinit_query::{
     Completeness, CutoffReason, DegradationRung, ExecBudget, ExecError,
 };
 
+// Observability surface: per-query stage traces ride on
+// [`QueryOutcome`], the process-wide registry serializes counters and
+// latency quantiles via [`Trinit::metrics_snapshot`].
+pub use trinit_obs::{
+    CacheTally, Counter, Gauge, Histogram, MetricsRegistry, ObsConfig, QueryTrace, SpanRecord,
+    Stage, TraceRecorder,
+};
+pub use trinit_obs as obs;
+
 /// Deterministic fault-injection harness (feature `faults`): install a
 /// [`faults::FaultPlan`] to arm seeded panics, per-pull latency, and
 /// allocation pressure in robustness tests.

@@ -91,8 +91,8 @@ impl<'a> Session<'a> {
         &self.shard_caches
     }
 
-    /// Hit/miss/eviction counters of the session posting cache(s),
-    /// summed across shards on a sharded system.
+    /// Hit/miss/eviction/poison-recovery counters of the session
+    /// posting cache(s), summed across shards on a sharded system.
     pub fn cache_stats(&self) -> SharedCacheStats {
         let mut stats = self.posting_cache.stats();
         for cache in &self.shard_caches {
@@ -100,6 +100,7 @@ impl<'a> Session<'a> {
             stats.hits += s.hits;
             stats.misses += s.misses;
             stats.evictions += s.evictions;
+            stats.poison_recoveries += s.poison_recoveries;
         }
         stats
     }
@@ -173,6 +174,18 @@ impl<'a> Session<'a> {
             self.system
                 .run_with_rules_cached(query, engine, &self.rules, Some(&self.posting_cache))
         }
+    }
+}
+
+impl Drop for Session<'_> {
+    /// Folds the session's lifetime cache traffic into the system
+    /// [`MetricsRegistry`](trinit_obs::MetricsRegistry): session caches
+    /// are private while live, but their hit/miss/eviction tallies join
+    /// the process-wide snapshot once the session closes.
+    fn drop(&mut self) {
+        self.system
+            .registry()
+            .fold_cache(crate::trinit::cache_tally(self.cache_stats()));
     }
 }
 

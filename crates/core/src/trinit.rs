@@ -6,13 +6,17 @@
 //! triple-pattern queries with relaxation, explanation, suggestion, and
 //! auto-completion — the full demo surface of the paper.
 
+use trinit_obs::{
+    now_ns, CacheTally, Counter, Gauge, MetricsRegistry, ObsConfig, QueryTrace, Stage,
+    TraceRecorder,
+};
 use trinit_openie::{Linker, OpenIePipeline, PipelineConfig};
 use trinit_query::exec::segmented::SegmentedExec;
 use trinit_query::exec::sharded::{run_partitioned, PartitionedRun};
 use trinit_query::exec::{exact, expand, topk};
 use trinit_query::{
     Answer, AnswerCollector, BudgetTracker, Completeness, ExecError, ExecMetrics, Governor,
-    Query, SharedPostingCache, TopkConfig,
+    Query, SharedCacheStats, SharedPostingCache, TopkConfig,
 };
 use trinit_relax::{
     ConditionOracle, CooccurrenceOperator, ExpandOptions, GranularityMinerConfig,
@@ -68,6 +72,20 @@ pub struct QueryOutcome {
     /// and `FullExpansion` engines always report `Exact` (they run to
     /// completion by construction).
     pub completeness: Completeness,
+    /// Per-stage execution trace of the run: the enclosing query span,
+    /// per-variant spans, per-shard seed-task spans, windowed pull and
+    /// election batches, and threshold / cutoff point events. Empty when
+    /// tracing is disabled ([`Trinit::set_obs`]) or the engine ran a
+    /// non-traced path (`Exact` / `FullExpansion` on a frozen monolith).
+    pub trace: QueryTrace,
+}
+
+impl QueryOutcome {
+    /// The per-stage execution trace (see [`QueryOutcome::trace`]);
+    /// serialize with [`QueryTrace::to_json`].
+    pub fn trace(&self) -> &QueryTrace {
+        &self.trace
+    }
 }
 
 /// Statistics describing a built system (the E2 dataset table).
@@ -319,6 +337,7 @@ impl TrinitBuilder {
             stats,
             posting_cache: None,
             shard_caches: None,
+            registry: MetricsRegistry::new(),
         }
     }
 }
@@ -353,6 +372,20 @@ pub struct Trinit {
     /// The sharded counterpart: one cache per shard (cached lists hold
     /// one shard's entries, so shards must never share a cache).
     shard_caches: Option<Vec<SharedPostingCache>>,
+    /// Process-wide metrics: query/answer/completeness counters, store
+    /// gauges, latency histograms, and the cache tally dropped sessions
+    /// fold in. Shared by every query answered through this system.
+    registry: MetricsRegistry,
+}
+
+/// A [`SharedCacheStats`] reading as the registry's tally currency.
+pub(crate) fn cache_tally(stats: SharedCacheStats) -> CacheTally {
+    CacheTally {
+        hits: stats.hits as u64,
+        misses: stats.misses as u64,
+        evictions: stats.evictions as u64,
+        poison_recoveries: stats.poison_recoveries as u64,
+    }
 }
 
 impl Trinit {
@@ -377,6 +410,7 @@ impl Trinit {
             stats,
             posting_cache: None,
             shard_caches: None,
+            registry: MetricsRegistry::new(),
         }
     }
 
@@ -400,6 +434,7 @@ impl Trinit {
             stats,
             posting_cache: None,
             shard_caches: None,
+            registry: MetricsRegistry::new(),
         }
     }
 
@@ -462,11 +497,16 @@ impl Trinit {
     /// next [`Trinit::compact`] (until then the base serves them with
     /// their pre-ingest weight).
     pub fn ingest(&mut self, fill: impl FnOnce(&mut XkgBuilder)) -> usize {
-        let appended = match &mut self.backend {
-            Backend::Single(seg) => seg.ingest(fill),
-            Backend::Sharded(sharded) => sharded.ingest(fill),
+        let (appended, ingest_ns) = match &mut self.backend {
+            Backend::Single(seg) => (seg.ingest(fill), seg.last_ingest_ns()),
+            Backend::Sharded(sharded) => (sharded.ingest(fill), sharded.last_ingest_ns()),
         };
         self.refresh_strata_stats();
+        self.registry.incr(Counter::IngestBatches);
+        self.registry
+            .add(Counter::IngestedTriples, appended as u64);
+        self.registry.record_stage(Stage::Ingest, ingest_ns);
+        self.refresh_gauges();
         appended
     }
 
@@ -475,11 +515,20 @@ impl Trinit {
     /// the delta empties. Answers are identical before and after; only
     /// the serving topology (and triple-id assignment) changes.
     pub fn compact(&mut self) {
-        match &mut self.backend {
-            Backend::Single(seg) => seg.compact(),
-            Backend::Sharded(sharded) => sharded.compact(),
-        }
+        let compact_ns = match &mut self.backend {
+            Backend::Single(seg) => {
+                seg.compact();
+                seg.last_compact_ns()
+            }
+            Backend::Sharded(sharded) => {
+                sharded.compact();
+                sharded.last_compact_ns()
+            }
+        };
         self.refresh_strata_stats();
+        self.registry.incr(Counter::Compactions);
+        self.registry.record_stage(Stage::Compact, compact_ns);
+        self.refresh_gauges();
     }
 
     /// Re-derives the per-stratum triple counts after a mutation.
@@ -513,6 +562,71 @@ impl Trinit {
     /// The default top-k configuration.
     pub fn topk_config(&self) -> &TopkConfig {
         &self.topk
+    }
+
+    /// The process-wide metrics registry: query/answer/completeness
+    /// counters, store gauges, per-stage latency histograms, and the
+    /// cache tally dropped [`Session`](crate::Session)s fold in.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Replaces the observability configuration queries run with:
+    /// [`ObsConfig::off`] disables span collection entirely (every
+    /// record site reduces to one branch and the clock is never read);
+    /// the default traces each query into a bounded ring.
+    pub fn set_obs(&mut self, obs: ObsConfig) -> &mut Self {
+        self.topk.obs = obs;
+        self
+    }
+
+    /// Serializes the registry to JSON: counters, gauges, quantile
+    /// summaries of the wall/stage histograms, and the cache tally —
+    /// sessions folded at drop plus the *live* system-level posting
+    /// caches (never double-counted: system caches fold nothing in).
+    pub fn metrics_snapshot(&self) -> String {
+        let mut live = CacheTally::default();
+        if let Some(cache) = &self.posting_cache {
+            live.add(cache_tally(cache.stats()));
+        }
+        if let Some(caches) = &self.shard_caches {
+            for cache in caches {
+                live.add(cache_tally(cache.stats()));
+            }
+        }
+        self.registry.snapshot(live)
+    }
+
+    /// Folds one finished query into the registry: counters, the trace's
+    /// per-stage histograms, and (when `wall_start` is a
+    /// [`trinit_obs::now_ns`] reading) the query-wall histogram. Batch
+    /// paths pass `None` — a shared batch start would inflate per-query
+    /// wall quantiles.
+    fn observe_outcome(&self, outcome: &QueryOutcome, wall_start: Option<u64>) {
+        self.registry.incr(Counter::Queries);
+        self.registry
+            .add(Counter::Answers, outcome.answers.len() as u64);
+        self.registry.incr(match outcome.completeness {
+            Completeness::Exact => Counter::CompletenessExact,
+            Completeness::Approx { .. } => Counter::CompletenessApprox,
+            Completeness::Truncated { .. } => Counter::CompletenessTruncated,
+        });
+        if let Some(start) = wall_start {
+            self.registry
+                .record_query_wall(now_ns().saturating_sub(start));
+        }
+        self.registry.record_trace(&outcome.trace);
+    }
+
+    /// Re-reads the store gauges after a mutation (ingest/compact).
+    fn refresh_gauges(&self) {
+        let (generation, delta, total) = match &self.backend {
+            Backend::Single(seg) => (seg.generation(), seg.delta_len(), seg.len()),
+            Backend::Sharded(s) => (s.generation(), s.delta_len(), s.len()),
+        };
+        self.registry.set_gauge(Gauge::StoreGeneration, generation);
+        self.registry.set_gauge(Gauge::DeltaTriples, delta as u64);
+        self.registry.set_gauge(Gauge::StoreTriples, total as u64);
     }
 
     /// The rule set an engine variant executes with on the sharded
@@ -614,16 +728,19 @@ impl Trinit {
                 )
             }
         };
+        let wall_start = now_ns();
         // Cached posting lists embed store-generation-specific scaling;
         // a stale cache is dropped wholesale before serving.
         if let Some(cache) = cache {
             cache.ensure_generation(seg.generation());
         }
         if seg.delta_view().is_some() {
-            return self.run_segmented(seg, query, engine, rules, cache);
+            let outcome = self.run_segmented(seg, query, engine, rules, cache);
+            self.observe_outcome(&outcome, Some(wall_start));
+            return outcome;
         }
         let store = seg.base();
-        let (answers, metrics, completeness) = match engine {
+        let (answers, metrics, completeness, trace) = match engine {
             Engine::Exact => {
                 let mut metrics = ExecMetrics::default();
                 let all = exact::evaluate(
@@ -638,30 +755,39 @@ impl Trinit {
                 for a in all {
                     collector.offer(a);
                 }
-                (collector.into_top_k(query.k), metrics, Completeness::Exact)
+                (
+                    collector.into_top_k(query.k),
+                    metrics,
+                    Completeness::Exact,
+                    QueryTrace::default(),
+                )
             }
             Engine::FullExpansion => {
                 let (answers, metrics) = expand::run(store, &query, rules, &self.expand);
-                (answers, metrics, Completeness::Exact)
+                (answers, metrics, Completeness::Exact, QueryTrace::default())
             }
             Engine::IncrementalTopK => {
                 let run = topk::run_governed(store, &query, rules, &self.topk, cache);
-                (run.answers, run.metrics, run.completeness)
+                (run.answers, run.metrics, run.completeness, run.trace)
             }
         };
-        QueryOutcome {
+        let outcome = QueryOutcome {
             query,
             answers,
             metrics,
             shard_metrics: Vec::new(),
             completeness,
-        }
+            trace,
+        };
+        self.observe_outcome(&outcome, Some(wall_start));
+        outcome
     }
 
     /// One partitioned run over a monolithic system's live segments
     /// (base + delta view), optionally restricting one query pattern to
     /// the delta slice. The caller owns the budget tracker so
     /// multi-run unions share one budget.
+    #[allow(clippy::too_many_arguments)]
     fn run_segmented_once(
         &self,
         seg: &SegmentedStore,
@@ -670,6 +796,7 @@ impl Trinit {
         cache: Option<&SharedPostingCache>,
         tracker: &BudgetTracker,
         restrict: Option<usize>,
+        recorder: &mut TraceRecorder,
     ) -> PartitionedRun {
         let delta = seg
             .delta_view()
@@ -693,6 +820,7 @@ impl Trinit {
             Vec::new(),
             Governor::primary(tracker),
             restrict.map(|j| (j, 1..2)),
+            recorder,
         )
     }
 
@@ -715,13 +843,18 @@ impl Trinit {
         let mut scratch = None;
         let rules = Self::engine_rules(engine, rules, &mut scratch);
         let tracker = BudgetTracker::new(&self.topk);
-        let run = self.run_segmented_once(seg, &query, rules, cache, &tracker, None);
+        let mut recorder = self.topk.obs.recorder();
+        let query_start = recorder.start();
+        let run =
+            self.run_segmented_once(seg, &query, rules, cache, &tracker, None, &mut recorder);
+        recorder.record(Stage::Query, run.answers.len() as u32, query_start);
         QueryOutcome {
             query,
             answers: run.answers,
             metrics: run.metrics,
             shard_metrics: Vec::new(),
             completeness: run.completeness,
+            trace: recorder.finish(),
         }
     }
 
@@ -760,27 +893,40 @@ impl Trinit {
         mono_cache: Option<&SharedPostingCache>,
         shard_caches: Option<&[SharedPostingCache]>,
     ) -> QueryOutcome {
+        let wall_start = now_ns();
         let tracker = BudgetTracker::new(&self.topk);
         let mut collector = AnswerCollector::new();
         let mut metrics = ExecMetrics::default();
         let mut shard_metrics: Vec<ExecMetrics> = Vec::new();
+        let mut recorder = self.topk.obs.recorder();
+        let query_start = recorder.start();
         match &self.backend {
             Backend::Single(seg) => {
                 if seg.delta_view().is_none() {
-                    return QueryOutcome {
+                    let outcome = QueryOutcome {
                         query,
                         answers: Vec::new(),
                         metrics,
                         shard_metrics,
                         completeness: Completeness::Exact,
+                        trace: recorder.finish(),
                     };
+                    self.observe_outcome(&outcome, Some(wall_start));
+                    return outcome;
                 }
                 if let Some(cache) = mono_cache {
                     cache.ensure_generation(seg.generation());
                 }
                 for j in 0..query.patterns.len() {
-                    let run =
-                        self.run_segmented_once(seg, &query, rules, mono_cache, &tracker, Some(j));
+                    let run = self.run_segmented_once(
+                        seg,
+                        &query,
+                        rules,
+                        mono_cache,
+                        &tracker,
+                        Some(j),
+                        &mut recorder,
+                    );
                     metrics.merge(&run.metrics);
                     for a in run.answers {
                         collector.offer(a);
@@ -789,13 +935,16 @@ impl Trinit {
             }
             Backend::Sharded(sharded) => {
                 if !sharded.has_delta() {
-                    return QueryOutcome {
+                    let outcome = QueryOutcome {
                         query,
                         answers: Vec::new(),
                         metrics,
                         shard_metrics,
                         completeness: Completeness::Exact,
+                        trace: recorder.finish(),
                     };
+                    self.observe_outcome(&outcome, Some(wall_start));
+                    return outcome;
                 }
                 if let Some(caches) = shard_caches {
                     for cache in caches {
@@ -815,6 +964,12 @@ impl Trinit {
                     for (acc, m) in shard_metrics.iter_mut().zip(&run.per_shard) {
                         acc.merge(m);
                     }
+                    // The restricted run finished its own recorder;
+                    // replay its spans so the whole delta pass surfaces
+                    // as one trace on the outcome.
+                    for span in &run.trace.spans {
+                        recorder.record_span(*span);
+                    }
                     for a in run.answers {
                         collector.offer(a);
                     }
@@ -823,13 +978,17 @@ impl Trinit {
         }
         let answers = collector.into_top_k(query.k);
         let completeness = tracker.completeness(&answers);
-        QueryOutcome {
+        recorder.record(Stage::Query, answers.len() as u32, query_start);
+        let outcome = QueryOutcome {
             query,
             answers,
             metrics,
             shard_metrics,
             completeness,
-        }
+            trace: recorder.finish(),
+        };
+        self.observe_outcome(&outcome, Some(wall_start));
+        outcome
     }
 
     /// Runs a compiled query over the sharded backend with caller-owned
@@ -870,14 +1029,18 @@ impl Trinit {
         }
         let mut scratch = None;
         let rules = Self::engine_rules(engine, rules, &mut scratch);
+        let wall_start = now_ns();
         let run = executor.run(&query, rules, &self.topk, seed);
-        QueryOutcome {
+        let outcome = QueryOutcome {
             query,
             answers: run.answers,
             metrics: run.metrics,
             shard_metrics: run.per_shard,
             completeness: run.completeness,
-        }
+            trace: run.trace,
+        };
+        self.observe_outcome(&outcome, Some(wall_start));
+        outcome
     }
 
     /// Executes a batch of independent queries concurrently and returns
@@ -950,18 +1113,35 @@ impl Trinit {
         }
         let mut scratch = None;
         let rules = Self::engine_rules(engine, &self.rules, &mut scratch);
-        let runs = executor.run_batch_stealing(&queries, rules, &self.topk, workers);
+        let runs = executor.run_batch_stealing_observed(
+            &queries,
+            rules,
+            &self.topk,
+            workers,
+            Some(&self.registry),
+        );
         queries
             .into_iter()
             .zip(runs)
-            .map(|(query, run)| {
-                run.map(|run| QueryOutcome {
-                    query,
-                    answers: run.answers,
-                    metrics: run.metrics,
-                    shard_metrics: run.per_shard,
-                    completeness: run.completeness,
-                })
+            .map(|(query, run)| match run {
+                Ok(run) => {
+                    let outcome = QueryOutcome {
+                        query,
+                        answers: run.answers,
+                        metrics: run.metrics,
+                        shard_metrics: run.per_shard,
+                        completeness: run.completeness,
+                        trace: run.trace,
+                    };
+                    // Batch wall clocks overlap across queries; only the
+                    // per-stage spans and counters are registered here.
+                    self.observe_outcome(&outcome, None);
+                    Ok(outcome)
+                }
+                Err(err) => {
+                    self.registry.incr(Counter::QueryFailures);
+                    Err(err)
+                }
             })
             .collect()
     }
@@ -976,7 +1156,7 @@ impl Trinit {
         workers: usize,
     ) -> Vec<Result<QueryOutcome, ExecError>> {
         let pool = QueryPool::new(workers);
-        match &self.backend {
+        let results = match &self.backend {
             Backend::Single(_) => pool.try_execute(queries, |q| self.run(q, engine)),
             Backend::Sharded(_) => pool.try_execute(queries, |q| {
                 self.run_with_rules_shard_cached(
@@ -987,7 +1167,15 @@ impl Trinit {
                     SeedMode::Off,
                 )
             }),
+        };
+        // Successful slots were observed by the per-query paths above;
+        // panicked slots only surface here.
+        for result in &results {
+            if result.is_err() {
+                self.registry.incr(Counter::QueryFailures);
+            }
         }
+        results
     }
 
     /// Explains one answer of an outcome (paper §5, Figure 6). On a

@@ -1,0 +1,306 @@
+//! Log-linear latency histograms (HdrHistogram-shaped).
+//!
+//! Values are `u64` (nanoseconds by convention). The bucket layout is
+//! log-linear with 64 sub-buckets per power of two: values below 64
+//! are recorded exactly (one bucket per value), and every larger value
+//! lands in a bucket whose width is `2^(group-1)` — a guaranteed
+//! relative error of at most 1/64 (~1.6%) on any quantile. The whole
+//! histogram is a fixed 3776-slot count array, so recording is O(1)
+//! with no allocation after construction, and two histograms merge by
+//! element-wise addition.
+
+/// Sub-bucket resolution: 2^6 = 64 linear sub-buckets per power of two.
+const SUB_BITS: u32 = 6;
+/// Sub-buckets per group.
+const SUBS: usize = 1 << SUB_BITS;
+/// Number of log groups: group 0 is exact (`v < 64`), groups 1..=58
+/// cover the most-significant-bit range 6..=63 (all of `u64`).
+const GROUPS: usize = 59;
+/// Total bucket count.
+pub const BUCKETS: usize = GROUPS * SUBS;
+
+/// A mergeable log-linear histogram of `u64` samples.
+///
+/// Tracks exact `count`, saturating `sum`, exact `min`/`max`, and
+/// bucketed counts answering quantile queries to within one bucket
+/// (≤ 1/64 relative error above 64, exact below).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0u64; BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value. Exact below 64; log-linear above.
+    fn bucket_index(v: u64) -> usize {
+        if v < SUBS as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros() as usize; // 6..=63
+        let group = msb - (SUB_BITS as usize - 1); // 1..=58
+        let sub = ((v >> (msb - SUB_BITS as usize)) & (SUBS as u64 - 1)) as usize;
+        group * SUBS + sub
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_low(i: usize) -> u64 {
+        let group = i / SUBS;
+        let sub = (i % SUBS) as u64;
+        if group == 0 {
+            sub
+        } else {
+            (SUBS as u64 + sub) << (group - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (saturates at `u64::MAX`).
+    pub fn bucket_high(i: usize) -> u64 {
+        if i + 1 >= BUCKETS {
+            u64::MAX
+        } else {
+            Self::bucket_low(i + 1) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = Self::bucket_index(v);
+        self.counts[i] = self.counts[i].saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Fold `other` into `self` (element-wise; saturating).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket holding the `ceil(q·count)`-th smallest sample,
+    /// clamped to the recorded maximum. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                return Self::bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fixed quantile summary as a JSON object:
+    /// `{"count":..,"min":..,"max":..,"mean":..,"p50":..,"p90":..,"p99":..,"p999":..}`.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            self.count,
+            self.min(),
+            self.max,
+            self.mean(),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_sixty_four() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        for v in 0..64u64 {
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+            assert_eq!(Histogram::bucket_low(v as usize), v);
+            assert_eq!(Histogram::bucket_high(v as usize), v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_the_value() {
+        for &v in &[
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4096,
+            123_456_789,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = Histogram::bucket_index(v);
+            assert!(Histogram::bucket_low(i) <= v, "low({i}) > {v}");
+            assert!(v <= Histogram::bucket_high(i), "high({i}) < {v}");
+        }
+    }
+
+    #[test]
+    fn last_bucket_holds_u64_max() {
+        assert_eq!(Histogram::bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_high(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_within_one_sixty_fourth() {
+        let mut v = 64u64;
+        while v < u64::MAX / 3 {
+            let i = Histogram::bucket_index(v);
+            let err = Histogram::bucket_high(i) - Histogram::bucket_low(i);
+            assert!(
+                (err as f64) <= Histogram::bucket_low(i) as f64 / 64.0 + 1.0,
+                "bucket {i} too wide for {v}"
+            );
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // 1/64 relative error tolerance.
+        let p50 = h.quantile(0.5);
+        assert!((490..=520).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((980..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7);
+            both.record(v * 7);
+        }
+        for v in 0..300u64 {
+            b.record(v * 13 + 5);
+            both.record(v * 13 + 5);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.sum(), both.sum());
+        assert_eq!(a.min(), both.min());
+        assert_eq!(a.max(), both.max());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(a.quantile(q), both.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let j = h.summary_json();
+        for key in ["count", "min", "max", "mean", "p50", "p90", "p99", "p999"] {
+            assert!(j.contains(&format!("\"{key}\":")), "missing {key} in {j}");
+        }
+    }
+}

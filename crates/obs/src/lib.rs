@@ -1,0 +1,83 @@
+//! `trinit-obs` — dependency-free observability for the TriniT engine.
+//!
+//! Three pieces, layered bottom-up so every crate in the workspace can
+//! use them:
+//!
+//! - [`hist`]: log-linear bucketed latency histograms
+//!   (HdrHistogram-shaped: fixed-size count arrays, O(1) record,
+//!   element-wise merge, p50/p90/p99/p999 quantiles with ≤ 1/64
+//!   relative error).
+//! - [`span`]: per-query stage spans ([`Stage`], [`SpanRecord`])
+//!   captured by a bounded-ring [`TraceRecorder`] and exported as a
+//!   [`QueryTrace`] with JSON/flamegraph-style output.
+//! - [`registry`]: the process-wide [`MetricsRegistry`] — relaxed
+//!   atomic counters/gauges, a folded cache tally, and stripe-sharded
+//!   histograms — serialized whole by
+//!   [`snapshot`](MetricsRegistry::snapshot).
+//!
+//! The zero-overhead-when-off guarantee: with [`ObsConfig::off`], the
+//! engine threads [`TraceRecorder::off`] through every path — each
+//! record site reduces to one branch on a local bool, the monotonic
+//! clock is never read, and nothing allocates. See
+//! `docs/observability.md` for the span taxonomy and JSON schemas.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+
+pub use hist::Histogram;
+pub use registry::{CacheTally, Counter, Gauge, MetricsRegistry, ShardedHistogram};
+pub use span::{now_ns, QueryTrace, SpanRecord, Stage, TraceRecorder};
+
+/// Instrumentation configuration threaded through the engine (rides in
+/// `TopkConfig`, so every execution path sees it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch: when false, recorders are
+    /// [`TraceRecorder::off`] and tracing costs one branch per site.
+    pub enabled: bool,
+    /// Per-query span ring capacity (oldest spans evicted beyond it).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig { enabled: true, trace_capacity: 4096 }
+    }
+}
+
+impl ObsConfig {
+    /// Instrumentation fully disabled (the zero-overhead mode).
+    pub fn off() -> ObsConfig {
+        ObsConfig { enabled: false, trace_capacity: 0 }
+    }
+
+    /// A recorder honoring this config.
+    pub fn recorder(&self) -> TraceRecorder {
+        if self.enabled {
+            TraceRecorder::with_capacity(self.trace_capacity)
+        } else {
+            TraceRecorder::off()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_config_builds_disabled_recorder() {
+        assert!(!ObsConfig::off().recorder().is_enabled());
+        assert!(ObsConfig::default().recorder().is_enabled());
+    }
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

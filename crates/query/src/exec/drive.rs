@@ -39,6 +39,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use trinit_obs::{now_ns, ObsConfig, QueryTrace, SpanRecord, Stage, TraceRecorder};
 use trinit_relax::{
     apply_rule_oracle, canonical_key, ConditionOracle, QPattern, RuleId, RuleSet,
 };
@@ -99,6 +100,11 @@ pub struct TopkConfig {
     /// and then every governed check reduces to one branch, keeping
     /// the exact path bit-identical.
     pub budget: ExecBudget,
+    /// Instrumentation: per-query stage spans captured into a bounded
+    /// ring and folded into the process registry by the engine facade.
+    /// [`ObsConfig::off`] is the zero-overhead mode — every record
+    /// site reduces to one branch and the clock is never read.
+    pub obs: ObsConfig,
 }
 
 impl Default for TopkConfig {
@@ -113,6 +119,7 @@ impl Default for TopkConfig {
             epsilon: 0.0,
             theta: 0.0,
             budget: ExecBudget::default(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -254,6 +261,37 @@ pub fn run_scaled_with(
     seed: Vec<Answer>,
     governor: Governor<'_>,
 ) -> (Vec<Answer>, ExecMetrics) {
+    run_scaled_traced(
+        store,
+        query,
+        rules,
+        cfg,
+        shared,
+        totals,
+        oracle,
+        seed,
+        governor,
+        &mut TraceRecorder::off(),
+    )
+}
+
+/// [`run_scaled_with`] with an explicit span recorder: the seam every
+/// instrumented caller (the sharded executor's seed tasks, the engine
+/// facade) threads its per-query [`TraceRecorder`] through. Passing
+/// [`TraceRecorder::off`] makes this identical to [`run_scaled_with`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_scaled_traced(
+    store: &XkgStore,
+    query: &Query,
+    rules: &RuleSet,
+    cfg: &TopkConfig,
+    shared: Option<&SharedPostingCache>,
+    totals: Option<&dyn GlobalTotals>,
+    oracle: Option<&dyn ConditionOracle>,
+    seed: Vec<Answer>,
+    governor: Governor<'_>,
+    recorder: &mut TraceRecorder,
+) -> (Vec<Answer>, ExecMetrics) {
     let mut metrics = ExecMetrics::default();
     // One posting cache for the whole execution: structural variants that
     // share a relaxed pattern never rebuild its matches.
@@ -267,6 +305,7 @@ pub fn run_scaled_with(
         seed,
         &mut metrics,
         governor,
+        recorder,
         |pattern, fresh_base, _| {
             IncrementalMerge::for_pattern(
                 store,
@@ -295,6 +334,9 @@ pub struct GovernedRun {
     /// engine's ([`Completeness::Exact`] unless a cutoff or an ε / θ
     /// retirement actually fired).
     pub completeness: Completeness,
+    /// Per-stage span trace of the run (empty under
+    /// [`ObsConfig::off`]).
+    pub trace: QueryTrace,
 }
 
 /// Like [`run_cached`], additionally reporting the run's typed
@@ -308,7 +350,9 @@ pub fn run_governed(
     shared: Option<&SharedPostingCache>,
 ) -> GovernedRun {
     let tracker = BudgetTracker::new(cfg);
-    let (answers, metrics) = run_scaled_with(
+    let mut recorder = cfg.obs.recorder();
+    let span_start = recorder.start();
+    let (answers, metrics) = run_scaled_traced(
         store,
         query,
         rules,
@@ -318,12 +362,15 @@ pub fn run_governed(
         Some(store),
         Vec::new(),
         Governor::primary(&tracker),
+        &mut recorder,
     );
     let completeness = tracker.completeness(&answers);
+    recorder.record(Stage::Query, answers.len() as u32, span_start);
     GovernedRun {
         answers,
         metrics,
         completeness,
+        trace: recorder.finish(),
     }
 }
 
@@ -346,6 +393,7 @@ pub(crate) fn run_pipeline<M: RankSource>(
     seed: Vec<Answer>,
     metrics: &mut ExecMetrics,
     governor: Governor<'_>,
+    recorder: &mut TraceRecorder,
     mut source_for: impl FnMut(&QPattern, u16, usize) -> M,
 ) -> Vec<Answer> {
     let projection = query.effective_projection();
@@ -359,7 +407,9 @@ pub(crate) fn run_pipeline<M: RankSource>(
     }
     let variants = structural_variants(oracle, &query.patterns, rules, cfg);
     let mut cut = false;
-    for (patterns, variant_weight, variant_trace) in variants {
+    for (variant_idx, (patterns, variant_weight, variant_trace)) in
+        variants.into_iter().enumerate()
+    {
         if cut {
             // A hard budget cutoff stopped the pipeline: the remaining
             // variants are forfeited wholesale. Their answers score at
@@ -372,6 +422,7 @@ pub(crate) fn run_pipeline<M: RankSource>(
         if patterns.is_empty() {
             continue;
         }
+        let variant_start = recorder.start();
         let max_var = join::max_var_of(&patterns);
         let join_vars = join::join_vars_of(&patterns);
         let mut streams: Vec<Stream<M>> = patterns
@@ -401,9 +452,64 @@ pub(crate) fn run_pipeline<M: RankSource>(
             &mut collector,
             metrics,
             governor,
+            recorder,
         );
+        for stream in &mut streams {
+            stream.merge.finish_obs(recorder);
+        }
+        recorder.record(Stage::Variant, variant_idx as u32, variant_start);
     }
     collector.into_top_k(query.k)
+}
+
+/// Windowed batching of per-pull [`Stage::JoinRound`] spans: the clock
+/// is read only every 64 pulls (and at flush), so the per-pull cost of
+/// enabled tracing is one branch and a counter increment. A window
+/// span covers the wall interval in which its `detail` pulls ran.
+struct PullWindow {
+    on: bool,
+    start: u64,
+    pulls: u32,
+}
+
+impl PullWindow {
+    /// Pulls per recorded window span.
+    const WINDOW: u32 = 64;
+
+    fn new(recorder: &TraceRecorder) -> PullWindow {
+        let on = recorder.is_enabled();
+        PullWindow {
+            on,
+            start: if on { now_ns() } else { 0 },
+            pulls: 0,
+        }
+    }
+
+    #[inline]
+    fn tick(&mut self, recorder: &mut TraceRecorder) {
+        if !self.on {
+            return;
+        }
+        self.pulls += 1;
+        if self.pulls >= Self::WINDOW {
+            self.flush(recorder);
+        }
+    }
+
+    fn flush(&mut self, recorder: &mut TraceRecorder) {
+        if !self.on || self.pulls == 0 {
+            return;
+        }
+        let now = now_ns();
+        recorder.record_span(SpanRecord {
+            stage: Stage::JoinRound,
+            detail: self.pulls,
+            start_ns: self.start,
+            dur_ns: now.saturating_sub(self.start),
+        });
+        self.start = now;
+        self.pulls = 0;
+    }
 }
 
 /// The rank join over one variant's streams: pulls the highest-frontier
@@ -430,17 +536,22 @@ pub(crate) fn rank_join<M: RankSource>(
     collector: &mut AnswerCollector,
     metrics: &mut ExecMetrics,
     governor: Governor<'_>,
+    recorder: &mut TraceRecorder,
 ) -> bool {
     let mut policy = ThresholdPolicy::new(cfg, k, streams.len(), governor);
     match policy.admit_variant(streams, variant_log, collector, metrics) {
         Admission::Admit => {}
         Admission::Skip => return true,
-        Admission::Stop(_) => return false,
+        Admission::Stop(_) => {
+            recorder.event(Stage::Cutoff, 0);
+            return false;
+        }
     }
 
     // Scratch assignment for the combination loop; `join_with_others`
     // always restores it to fully unbound.
     let mut scratch = Bindings::new(n_vars);
+    let mut window = PullWindow::new(recorder);
 
     // Pick the non-exhausted, non-capped stream with the highest
     // frontier each round.
@@ -450,14 +561,16 @@ pub(crate) fn rank_join<M: RankSource>(
     {
         metrics.pulls += 1;
         governor.on_pull();
+        window.tick(recorder);
         #[cfg(feature = "faults")]
         crate::exec::faults::on_pull();
-        let merged = streams[next].merge.next_merged(metrics);
+        let merged = streams[next].merge.next_merged(metrics, recorder);
         match merged {
             None => {
                 streams[next].exhausted = true;
                 // A stream with no matches at all kills the variant.
                 if streams[next].seen.is_empty() {
+                    window.flush(recorder);
                     return true;
                 }
             }
@@ -488,11 +601,24 @@ pub(crate) fn rank_join<M: RankSource>(
 
         match policy.after_round(streams, variant_log, collector, metrics) {
             RoundVerdict::Continue => {}
-            RoundVerdict::Done => break,
-            RoundVerdict::DeadVariant => return true,
-            RoundVerdict::Cutoff(_) => return false,
+            RoundVerdict::Done => {
+                window.flush(recorder);
+                recorder.event(Stage::Threshold, metrics.pulls as u32);
+                break;
+            }
+            RoundVerdict::DeadVariant => {
+                window.flush(recorder);
+                recorder.event(Stage::Threshold, metrics.pulls as u32);
+                return true;
+            }
+            RoundVerdict::Cutoff(_) => {
+                window.flush(recorder);
+                recorder.event(Stage::Cutoff, metrics.pulls as u32);
+                return false;
+            }
         }
     }
+    window.flush(recorder);
     true
 }
 

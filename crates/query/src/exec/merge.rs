@@ -34,6 +34,7 @@ use std::cell::RefCell;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 
+use trinit_obs::TraceRecorder;
 use trinit_relax::{apply_rule, QPattern, QTerm, Rule, RuleId, RuleSet, VarId};
 use trinit_xkg::{TripleId, XkgStore};
 
@@ -213,8 +214,15 @@ pub trait RankSource {
     /// if exhausted.
     fn peek_bound(&self) -> Option<f64>;
 
-    /// Produces the next emission in descending order.
-    fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged>;
+    /// Produces the next emission in descending order. `recorder`
+    /// receives source-level spans (the sharded union batches election
+    /// windows into it); the single-store source ignores it.
+    fn next_merged(&mut self, metrics: &mut ExecMetrics, recorder: &mut TraceRecorder)
+        -> Option<Merged>;
+
+    /// Flush any batched span state into `recorder` — called once per
+    /// stream when the rank join over it ends. Default: nothing.
+    fn finish_obs(&mut self, _recorder: &mut TraceRecorder) {}
 
     /// Sound upper bound on the *collective* probability mass of every
     /// emission this source can still produce — hence also on each
@@ -457,7 +465,11 @@ impl RankSource for IncrementalMerge<'_> {
     }
 
     #[inline]
-    fn next_merged(&mut self, metrics: &mut ExecMetrics) -> Option<Merged> {
+    fn next_merged(
+        &mut self,
+        metrics: &mut ExecMetrics,
+        _recorder: &mut TraceRecorder,
+    ) -> Option<Merged> {
         IncrementalMerge::next_merged(self, metrics)
     }
 

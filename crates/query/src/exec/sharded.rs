@@ -58,6 +58,7 @@ use std::collections::BinaryHeap;
 use std::ops::Range;
 use std::rc::Rc;
 
+use trinit_obs::{now_ns, SpanRecord, Stage, TraceRecorder};
 use trinit_relax::{ConditionOracle, RuleSet};
 use trinit_xkg::{TripleId, XkgStore};
 
@@ -123,6 +124,12 @@ pub struct ShardedMerge<'a> {
     /// envelopes: deltas are folded in around every `tighten_head` /
     /// `next_merged`, making [`RankSource::remaining_mass`] O(1).
     mass: f64,
+    /// Elections in the current observation window (see
+    /// [`RankSource::next_merged`]'s batching: one [`Stage::Election`]
+    /// span per 64 elections keeps the clock off the per-pull path).
+    obs_elections: u32,
+    /// Wall start of the current election window.
+    obs_window_start: u64,
 }
 
 impl<'a> ShardedMerge<'a> {
@@ -145,21 +152,30 @@ impl<'a> ShardedMerge<'a> {
             metrics,
             heap,
             mass,
+            obs_elections: 0,
+            obs_window_start: 0,
         }
     }
 
     /// Runs `f` against shard `i`'s merge, folding the move of its mass
-    /// envelope into the incrementally tracked union sum.
+    /// envelope into the incrementally tracked union sum. The work `f`
+    /// records lands in **both** the shard's per-shard slot and the
+    /// caller's aggregate metrics (`passed`), so monolithic and sharded
+    /// accounting read the same way — the aggregate sees merge-phase
+    /// pulls as they happen, the slots keep per-shard attribution.
     fn with_mass_delta<T>(
         &mut self,
         i: usize,
+        passed: &mut ExecMetrics,
         f: impl FnOnce(&mut IncrementalMerge<'a>, &mut ExecMetrics) -> T,
     ) -> T {
         let slot = self.slots[i];
-        let mut shard_metrics = self.metrics.borrow_mut();
         let before = self.shards[i].remaining_mass();
-        let out = f(&mut self.shards[i], &mut shard_metrics[slot]);
+        let mut local = ExecMetrics::default();
+        let out = f(&mut self.shards[i], &mut local);
         self.mass += self.shards[i].remaining_mass() - before;
+        self.metrics.borrow_mut()[slot].merge(&local);
+        passed.merge(&local);
         out
     }
 }
@@ -171,15 +187,25 @@ impl RankSource for ShardedMerge<'_> {
         self.heap.peek().map(|e| e.bound)
     }
 
-    fn next_merged(&mut self, _metrics: &mut ExecMetrics) -> Option<Merged> {
-        loop {
+    fn next_merged(
+        &mut self,
+        metrics: &mut ExecMetrics,
+        recorder: &mut TraceRecorder,
+    ) -> Option<Merged> {
+        let obs_on = recorder.is_enabled();
+        if obs_on && self.obs_elections == 0 {
+            self.obs_window_start = now_ns();
+        }
+        let out = loop {
             // The shard with the highest upper bound (ties to the lowest
             // shard index).
-            let ShardEntry { idx: i, .. } = self.heap.pop()?;
+            let Some(ShardEntry { idx: i, .. }) = self.heap.pop() else {
+                break None;
+            };
             // A bound can be loose (unopened alternatives). Tighten the
             // candidate's head to its exact next probability; if another
             // shard's bound now exceeds it, re-elect.
-            let tightened = self.with_mass_delta(i, |shard, m| shard.tighten_head(m));
+            let tightened = self.with_mass_delta(i, metrics, |shard, m| shard.tighten_head(m));
             let Some(tight) = tightened else {
                 // Exhausted while tightening — drop out of the election
                 // (re-enter only if a bound somehow remains).
@@ -196,15 +222,22 @@ impl RankSource for ShardedMerge<'_> {
                 continue;
             }
             let mut merged = self
-                .with_mass_delta(i, |shard, m| shard.next_merged(m))
+                .with_mass_delta(i, metrics, |shard, m| shard.next_merged(m))
                 .expect("tightened head must emit");
             if let Some(bound) = self.shards[i].peek_bound() {
                 self.heap.push(ShardEntry { bound, idx: i });
             }
             // Remap into the global id space.
             merged.triple = TripleId(self.offsets[i] + merged.triple.0);
-            return Some(merged);
+            break Some(merged);
+        };
+        if obs_on {
+            self.obs_elections += 1;
+            if self.obs_elections >= 64 {
+                self.flush_election_window(recorder);
+            }
         }
+        out
     }
 
     fn remaining_mass(&self) -> f64 {
@@ -214,6 +247,31 @@ impl RankSource for ShardedMerge<'_> {
         // emission, and also the collective unconsumed mass. The sum is
         // tracked incrementally around the per-shard calls that move it.
         self.mass.max(0.0)
+    }
+
+    fn finish_obs(&mut self, recorder: &mut TraceRecorder) {
+        if recorder.is_enabled() {
+            self.flush_election_window(recorder);
+        }
+    }
+}
+
+impl ShardedMerge<'_> {
+    /// Record the pending [`Stage::Election`] window span (covers the
+    /// wall interval its `detail` elections ran in) and reset it.
+    fn flush_election_window(&mut self, recorder: &mut TraceRecorder) {
+        if self.obs_elections == 0 {
+            return;
+        }
+        let now = now_ns();
+        recorder.record_span(SpanRecord {
+            stage: Stage::Election,
+            detail: self.obs_elections,
+            start_ns: self.obs_window_start,
+            dur_ns: now.saturating_sub(self.obs_window_start),
+        });
+        self.obs_window_start = now;
+        self.obs_elections = 0;
     }
 }
 
@@ -261,6 +319,9 @@ pub struct PartitionedRun {
 ///   only newly ingested triples, while every other pattern still reads
 ///   the full union. Scores stay exact because `totals` normalizes over
 ///   the whole store either way.
+/// * `recorder` receives the run's stage spans (variant spans, pull
+///   windows, election windows, threshold/cutoff events); pass
+///   [`TraceRecorder::off`] for an uninstrumented run.
 #[allow(clippy::too_many_arguments)]
 pub fn run_partitioned(
     shards: &[&XkgStore],
@@ -275,6 +336,7 @@ pub fn run_partitioned(
     seed: Vec<Answer>,
     governor: Governor<'_>,
     restrict: Option<(usize, Range<usize>)>,
+    recorder: &mut TraceRecorder,
 ) -> PartitionedRun {
     assert_eq!(shards.len(), offsets.len(), "one offset per shard");
     if let Some(caches) = shard_caches {
@@ -311,6 +373,7 @@ pub fn run_partitioned(
         seed,
         &mut metrics,
         governor,
+        recorder,
         |pattern, fresh_base, position| {
             let range = match &restrict {
                 Some((j, range)) if *j == position => range.clone(),
@@ -340,10 +403,11 @@ pub fn run_partitioned(
         },
     );
 
+    // No end-fold: per-shard merge work already flowed into the
+    // aggregate at call time (ShardedMerge::with_mass_delta records
+    // into both the shard slot and the passed metrics), so folding the
+    // slots here would double-count it.
     let per_shard = shard_metrics.borrow().clone();
-    for m in &per_shard {
-        metrics.merge(m);
-    }
     let completeness = governor.tracker().completeness(&answers);
     PartitionedRun {
         answers,
@@ -492,7 +556,7 @@ mod tests {
                         "mass drifted from re-sum at {n} shards after {emitted} emissions"
                     );
                     let want = reference_next(&mut reference, &offsets, &mut ref_metrics);
-                    let got = heap_merge.next_merged(&mut scratch);
+                    let got = heap_merge.next_merged(&mut scratch, &mut TraceRecorder::off());
                     match (want, got) {
                         (None, None) => break,
                         (Some(w), Some(g)) => {
@@ -516,6 +580,16 @@ mod tests {
                 // Identical per-shard work too: the elections visited the
                 // same shards in the same order.
                 assert_eq!(&*heap_metrics.borrow(), &ref_metrics);
+                // Shard-pull attribution: the metrics passed into
+                // `next_merged` receive exactly the union of the
+                // per-shard slots — monolithic and sharded accounting
+                // read the same way, with no work visible only in the
+                // slots.
+                let mut folded = ExecMetrics::default();
+                for m in heap_metrics.borrow().iter() {
+                    folded.merge(m);
+                }
+                assert_eq!(scratch, folded);
             }
         }
     }

@@ -26,6 +26,7 @@ pub use crate::exec::budget::{
     ExecError, Governor,
 };
 pub use crate::exec::drive::{
-    run, run_cached, run_governed, run_scaled, run_scaled_with, GovernedRun, TopkConfig,
+    run, run_cached, run_governed, run_scaled, run_scaled_traced, run_scaled_with, GovernedRun,
+    TopkConfig,
 };
 pub use crate::exec::merge::{IncrementalMerge, Merged, RankSource};

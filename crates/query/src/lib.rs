@@ -37,3 +37,7 @@ pub use score::{
 
 // Re-export the pattern language for downstream convenience.
 pub use trinit_relax::{QPattern, QTerm, VarId};
+
+// Re-export the instrumentation surface (`TopkConfig::obs` and the
+// traces engine results carry are typed by these).
+pub use trinit_obs::{ObsConfig, QueryTrace, SpanRecord, Stage, TraceRecorder};

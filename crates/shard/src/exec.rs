@@ -5,8 +5,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use trinit_obs::{QueryTrace, Stage, TraceRecorder};
 use trinit_query::exec::sharded::run_partitioned;
-use trinit_query::exec::topk::{run_scaled_with, TopkConfig};
+use trinit_query::exec::topk::{run_scaled_traced, TopkConfig};
 use trinit_query::{
     describe_panic, Answer, BudgetTracker, Completeness, ExecError, ExecMetrics, Governor, Query,
     SharedPostingCache,
@@ -51,6 +52,11 @@ pub struct ShardedRun {
     /// Seed-phase retirements never degrade the label — the merge
     /// phase alone is complete and exact.
     pub completeness: Completeness,
+    /// Per-stage execution trace: seed-task spans (merged from every
+    /// worker in shard order), the merge-phase span, and the pipeline's
+    /// windowed pull/election spans. Empty when
+    /// [`ObsConfig`](trinit_obs::ObsConfig) is off.
+    pub trace: QueryTrace,
 }
 
 /// Executes queries over a [`ShardedStore`]: fans the query out to
@@ -101,14 +107,16 @@ impl<'a> ShardedExecutor<'a> {
         rules: &RuleSet,
         cfg: &TopkConfig,
         tracker: &BudgetTracker,
+        recorder: &mut TraceRecorder,
     ) -> (Vec<Answer>, ExecMetrics) {
         let store = self.store.shard(shard);
         let offset = self.store.offsets()[shard];
+        let seed_start = recorder.start();
         // Advisory governance: seed pulls consume the shared budget and
         // pick up ladder escalations, but a cutoff or ε retirement here
         // never marks the query non-exact — seeds only warm the merge
         // phase's collector, and the merge phase alone is complete.
-        let (mut answers, metrics) = run_scaled_with(
+        let (mut answers, metrics) = run_scaled_traced(
             store,
             query,
             rules,
@@ -118,7 +126,9 @@ impl<'a> ShardedExecutor<'a> {
             Some(self.store as &dyn ConditionOracle),
             Vec::new(),
             Governor::advisory(tracker),
+            recorder,
         );
+        recorder.record(Stage::SeedTask, shard as u32, seed_start);
         for answer in &mut answers {
             for (_, id) in &mut answer.derivation.triples {
                 *id = TripleId(offset + id.0);
@@ -139,13 +149,16 @@ impl<'a> ShardedExecutor<'a> {
     ) -> ShardedRun {
         let n = self.store.shard_count();
         let tracker = BudgetTracker::new(cfg);
+        let mut recorder = cfg.obs.recorder();
+        let query_start = recorder.start();
         let mut per_shard = vec![ExecMetrics::default(); n];
         let mut seeds: Vec<Answer> = Vec::new();
         match seed {
             SeedMode::Off => {}
             SeedMode::Sequential => {
                 for (shard, acc) in per_shard.iter_mut().enumerate() {
-                    let (answers, metrics) = self.seed_shard(shard, query, rules, cfg, &tracker);
+                    let (answers, metrics) =
+                        self.seed_shard(shard, query, rules, cfg, &tracker, &mut recorder);
                     seeds.extend(answers);
                     acc.merge(&metrics);
                 }
@@ -156,7 +169,13 @@ impl<'a> ShardedExecutor<'a> {
                     let handles: Vec<_> = (0..n)
                         .map(|shard| {
                             scope.spawn(move || {
-                                self.seed_shard(shard, query, rules, cfg, tracker)
+                                // Worker-local recorder: the seed thread
+                                // records lock-free and the join below
+                                // merges in shard order.
+                                let mut local = cfg.obs.recorder();
+                                let out = self
+                                    .seed_shard(shard, query, rules, cfg, tracker, &mut local);
+                                (out, local)
                             })
                         })
                         .collect();
@@ -169,14 +188,21 @@ impl<'a> ShardedExecutor<'a> {
                     // A panicked seed thread forfeits only its warm
                     // start: the merge phase is complete on its own, so
                     // the query still returns its exact answers.
-                    let (answers, metrics) = joined.unwrap_or_default();
+                    let ((answers, metrics), local) = joined.unwrap_or_else(|_| {
+                        ((Vec::new(), ExecMetrics::default()), TraceRecorder::off())
+                    });
                     seeds.extend(answers);
                     per_shard[shard].merge(&metrics);
+                    recorder.merge(&local);
                 }
             }
         }
 
-        self.merge_with_seeds(query, rules, cfg, seeds, per_shard, &tracker)
+        let mut run =
+            self.merge_with_seeds(query, rules, cfg, seeds, per_shard, &tracker, &mut recorder);
+        recorder.record(Stage::Query, run.answers.len() as u32, query_start);
+        run.trace = recorder.finish();
+        run
     }
 
     /// The cross-shard merge phase: runs the partitioned pipeline with
@@ -184,6 +210,7 @@ impl<'a> ShardedExecutor<'a> {
     /// per-shard work (`per_shard`) into the aggregate counters. Shared
     /// by [`ShardedExecutor::run`] and the work-stealing batch
     /// scheduler, whose stolen seed tasks feed the same merge.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn merge_with_seeds(
         &self,
         query: &Query,
@@ -192,8 +219,9 @@ impl<'a> ShardedExecutor<'a> {
         seeds: Vec<Answer>,
         per_shard: Vec<ExecMetrics>,
         tracker: &BudgetTracker,
+        recorder: &mut TraceRecorder,
     ) -> ShardedRun {
-        self.merge_restricted(query, rules, cfg, seeds, per_shard, tracker, None)
+        self.merge_restricted(query, rules, cfg, seeds, per_shard, tracker, None, recorder)
     }
 
     /// Cross-shard merge with query pattern `position`'s merge source
@@ -221,7 +249,19 @@ impl<'a> ShardedExecutor<'a> {
             "delta-restricted run requires a live delta"
         );
         let per_shard = vec![ExecMetrics::default(); self.store.shard_count()];
-        self.merge_restricted(query, rules, cfg, Vec::new(), per_shard, tracker, Some(position))
+        let mut recorder = cfg.obs.recorder();
+        let mut run = self.merge_restricted(
+            query,
+            rules,
+            cfg,
+            Vec::new(),
+            per_shard,
+            tracker,
+            Some(position),
+            &mut recorder,
+        );
+        run.trace = recorder.finish();
+        run
     }
 
     /// The shared merge-phase core: base shards plus any live delta
@@ -237,6 +277,7 @@ impl<'a> ShardedExecutor<'a> {
         mut per_shard: Vec<ExecMetrics>,
         tracker: &BudgetTracker,
         restrict_pattern: Option<usize>,
+        recorder: &mut TraceRecorder,
     ) -> ShardedRun {
         let mut shard_refs: Vec<&trinit_xkg::XkgStore> = self.store.shards().iter().collect();
         let mut offsets: Vec<u32> = self.store.offsets().to_vec();
@@ -246,6 +287,7 @@ impl<'a> ShardedExecutor<'a> {
             offsets.push(offset);
         }
         let restrict = restrict_pattern.map(|j| (j, n_base..shard_refs.len()));
+        let merge_start = recorder.start();
         let run = run_partitioned(
             &shard_refs,
             &offsets,
@@ -259,7 +301,9 @@ impl<'a> ShardedExecutor<'a> {
             seeds,
             Governor::primary(tracker),
             restrict,
+            recorder,
         );
+        recorder.record(Stage::Merge, shard_refs.len() as u32, merge_start);
 
         let mut metrics = run.metrics;
         // Delta slices have no seed-phase slot; grow the accumulator so
@@ -274,6 +318,9 @@ impl<'a> ShardedExecutor<'a> {
             metrics,
             per_shard,
             completeness: run.completeness,
+            // The caller that owns the query's recorder finishes it;
+            // runs that never see a trace keep the empty default.
+            trace: QueryTrace::default(),
         }
     }
 }
@@ -506,6 +553,45 @@ mod tests {
             "aggregate postings must equal the per-shard sum"
         );
         assert!(run.metrics.pulls > 0);
+    }
+
+    #[test]
+    fn sharded_runs_carry_a_per_stage_trace() {
+        use trinit_obs::{ObsConfig, Stage};
+        let single = builder().build();
+        let rules = rules(&single);
+        let shards = 3;
+        let sharded = ShardedStore::build(builder(), shards);
+        let exec = ShardedExecutor::new(&sharded);
+        let cfg = TopkConfig::default();
+        let q = QueryBuilder::new(&single)
+            .pattern_v_r_v("a", "p", "b")
+            .limit(6)
+            .build();
+        for mode in [SeedMode::Off, SeedMode::Sequential, SeedMode::Parallel] {
+            let run = exec.run(&q, &rules, &cfg, mode);
+            let trace = &run.trace;
+            assert_eq!(trace.stage_count(Stage::Query), 1, "{mode:?}");
+            assert_eq!(trace.stage_count(Stage::Merge), 1, "{mode:?}");
+            let expected_seeds = if mode == SeedMode::Off { 0 } else { shards };
+            assert_eq!(trace.stage_count(Stage::SeedTask), expected_seeds, "{mode:?}");
+            // The query span encloses the whole run, so it dominates
+            // every other stage's total.
+            assert!(
+                trace.stage_total_ns(Stage::Query) >= trace.stage_total_ns(Stage::Merge),
+                "{mode:?}"
+            );
+        }
+        let off = TopkConfig {
+            obs: ObsConfig::off(),
+            ..TopkConfig::default()
+        };
+        let run = exec.run(&q, &rules, &off, SeedMode::Parallel);
+        assert!(run.trace.is_empty(), "disabled obs must record nothing");
+        assert_same_answers(
+            &run.answers,
+            &exec.run(&q, &rules, &cfg, SeedMode::Parallel).answers,
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use trinit_obs::{MetricsRegistry, TraceRecorder};
 use trinit_query::exec::topk::TopkConfig;
 use trinit_query::{
     describe_panic, Answer, BudgetTracker, ExecError, ExecMetrics, QTerm, Query,
@@ -57,8 +58,10 @@ use crate::exec::{ShardedExecutor, ShardedRun};
 const NO_OWNER: usize = usize::MAX;
 
 /// One shard's completed seed task: the answers it found (global ids,
-/// globally normalized scores) and the work it cost.
-type SeedResult = (Vec<Answer>, ExecMetrics);
+/// globally normalized scores), the work it cost, and the worker-local
+/// trace recorder (merged into the query's trace in shard order by the
+/// worker that drives the merge phase).
+type SeedResult = (Vec<Answer>, ExecMetrics, TraceRecorder);
 
 /// Shared per-query scheduling state.
 struct QueryState {
@@ -148,6 +151,25 @@ impl<'a> ShardedExecutor<'a> {
         cfg: &TopkConfig,
         workers: usize,
     ) -> Vec<Result<ShardedRun, ExecError>> {
+        self.run_batch_stealing_observed(queries, rules, cfg, workers, None)
+    }
+
+    /// [`ShardedExecutor::run_batch_stealing`] with a metrics sink for
+    /// queries that never produce a [`ShardedRun`]: when a seed task or
+    /// merge phase panics, the worker-local recorder lives *outside*
+    /// the `catch_unwind` boundary, so the spans completed before the
+    /// panic survive — they are flushed into `registry`'s per-stage
+    /// histograms instead of being lost with the poisoned query.
+    /// Successful queries carry their trace on
+    /// [`ShardedRun::trace`](crate::ShardedRun) as usual.
+    pub fn run_batch_stealing_observed(
+        &self,
+        queries: &[Query],
+        rules: &RuleSet,
+        cfg: &TopkConfig,
+        workers: usize,
+        registry: Option<&MetricsRegistry>,
+    ) -> Vec<Result<ShardedRun, ExecError>> {
         let n_shards = self.store.shard_count();
         let n_queries = queries.len();
         if n_queries == 0 {
@@ -184,7 +206,7 @@ impl<'a> ShardedExecutor<'a> {
                 remaining: AtomicUsize::new(count),
                 owner: AtomicUsize::new(NO_OWNER),
                 steals: AtomicUsize::new(0),
-                seeds: Mutex::new(vec![None; n_shards]),
+                seeds: Mutex::new((0..n_shards).map(|_| None).collect()),
                 outcome: Mutex::new(None),
             })
             .collect();
@@ -212,21 +234,35 @@ impl<'a> ShardedExecutor<'a> {
                             state.steals.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    // The recorder lives outside the unwind boundary so
+                    // the spans a panicking seed task completed before
+                    // dying are recoverable.
+                    let mut task_recorder = cfg.obs.recorder();
                     let seeded = catch_unwind(AssertUnwindSafe(|| {
                         #[cfg(feature = "faults")]
                         trinit_query::faults::on_seed_task(qi, shard);
-                        self.seed_shard(shard, &queries[qi], rules, cfg, &trackers[qi])
+                        self.seed_shard(
+                            shard,
+                            &queries[qi],
+                            rules,
+                            cfg,
+                            &trackers[qi],
+                            &mut task_recorder,
+                        )
                     }));
                     match seeded {
-                        Ok(result) => {
+                        Ok((answers, metrics)) => {
                             state.seeds.lock().expect("seed slots poisoned")[shard] =
-                                Some(result);
+                                Some((answers, metrics, task_recorder));
                         }
                         Err(payload) => {
                             state.poison(
                                 format!("seed task (query {qi}, shard {shard})"),
                                 payload.as_ref(),
                             );
+                            if let Some(registry) = registry {
+                                registry.record_trace(&task_recorder.finish());
+                            }
                         }
                     }
                     // The releases above (seed-slot or outcome mutex)
@@ -247,11 +283,17 @@ impl<'a> ShardedExecutor<'a> {
                         );
                         let mut seeds: Vec<Answer> = Vec::new();
                         let mut per_shard = vec![ExecMetrics::default(); n_shards];
+                        // The query's trace: worker-local seed recorders
+                        // merged in shard order (deterministic regardless
+                        // of which worker ran which task), then the merge
+                        // phase recording directly.
+                        let mut recorder = cfg.obs.recorder();
                         for (shard, slot) in slots.into_iter().enumerate() {
                             // Empty slots are adaptively skipped shards.
-                            if let Some((answers, metrics)) = slot {
+                            if let Some((answers, metrics, task_recorder)) = slot {
                                 seeds.extend(answers);
                                 per_shard[shard] = metrics;
+                                recorder.merge(&task_recorder);
                             }
                         }
                         let merged = catch_unwind(AssertUnwindSafe(|| {
@@ -264,10 +306,12 @@ impl<'a> ShardedExecutor<'a> {
                                 seeds,
                                 per_shard,
                                 &trackers[qi],
+                                &mut recorder,
                             )
                         }));
                         match merged {
-                            Ok(run) => {
+                            Ok(mut run) => {
+                                run.trace = recorder.finish();
                                 *state.outcome.lock().expect("outcome slot poisoned") =
                                     Some(Ok(run));
                             }
@@ -276,6 +320,11 @@ impl<'a> ShardedExecutor<'a> {
                                     format!("merge phase (query {qi})"),
                                     payload.as_ref(),
                                 );
+                                // The merge phase died, but every seed
+                                // span already merged above survives.
+                                if let Some(registry) = registry {
+                                    registry.record_trace(&recorder.finish());
+                                }
                             }
                         }
                     }
@@ -438,6 +487,37 @@ mod tests {
             "stolen seed + merge work must equal the sequential seed + merge work"
         );
         assert_eq!(run.metrics.pulls, reference.metrics.pulls);
+    }
+
+    #[test]
+    fn stolen_batches_merge_worker_recorders_at_join() {
+        use trinit_obs::Stage;
+        let single = builder().build();
+        let rules = rules(&single);
+        let shards = 3;
+        let sharded = ShardedStore::build(builder(), shards);
+        let exec = ShardedExecutor::new(&sharded);
+        let cfg = TopkConfig::default();
+        let q = QueryBuilder::new(&single)
+            .pattern_v_r_v("a", "p", "b")
+            .limit(6)
+            .build();
+        for workers in [1usize, 2, 4] {
+            let runs =
+                exec.run_batch_stealing(std::slice::from_ref(&q), &rules, &cfg, workers);
+            let run = runs[0].as_ref().expect("no worker panicked");
+            let trace = &run.trace;
+            // One SeedTask span per shard reached the joined trace no
+            // matter which worker ran which task, and the merge phase
+            // recorded on top of them.
+            assert_eq!(
+                trace.stage_count(Stage::SeedTask),
+                shards,
+                "workers={workers}"
+            );
+            assert_eq!(trace.stage_count(Stage::Merge), 1, "workers={workers}");
+            assert_eq!(trace.dropped, 0, "default capacity must not overflow here");
+        }
     }
 
     #[test]

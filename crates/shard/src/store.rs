@@ -62,6 +62,12 @@ pub struct ShardedStore {
     /// Bumped on every mutation (ingest or compact). Caches stamp
     /// entries with this and drop them when it moves.
     generation: u64,
+    /// Wall time of the most recent ingest batch, in nanoseconds (`0`
+    /// before the first ingest).
+    last_ingest_ns: u64,
+    /// Wall time of the most recent compaction, in nanoseconds (`0`
+    /// before the first compaction).
+    last_compact_ns: u64,
 }
 
 impl ShardedStore {
@@ -130,6 +136,8 @@ impl ShardedStore {
             delta_kg_len: 0,
             pending: Vec::new(),
             generation: 0,
+            last_ingest_ns: 0,
+            last_compact_ns: 0,
         }
     }
 
@@ -392,6 +400,7 @@ impl ShardedStore {
     /// absorbs (applied at the next [`ShardedStore::compact`]), and
     /// re-observations of delta triples merge in place.
     pub fn ingest(&mut self, fill: impl FnOnce(&mut XkgBuilder)) -> usize {
+        let ingest_start = trinit_obs::now_ns();
         let mut scratch = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
         fill(&mut scratch);
         // Rebuild the delta under the scratch's (possibly grown)
@@ -416,6 +425,7 @@ impl ShardedStore {
         self.rebuild_delta_views();
         self.invalidate_memo();
         self.generation += 1;
+        self.last_ingest_ns = trinit_obs::now_ns().saturating_sub(ingest_start);
         appended
     }
 
@@ -425,6 +435,7 @@ impl ShardedStore {
     /// aggregates, and the delta empties. Global triple ids are
     /// reassigned.
     pub fn compact(&mut self) {
+        let compact_start = trinit_obs::now_ns();
         let n = self.shards.len();
         let mut merged = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
         for shard in &self.shards {
@@ -440,8 +451,25 @@ impl ShardedStore {
             merged.add(*t, p.clone());
         }
         let generation = self.generation + 1;
+        let last_ingest_ns = self.last_ingest_ns;
         *self = ShardedStore::from_shards(merged.build_sharded(n));
         self.generation = generation;
+        self.last_ingest_ns = last_ingest_ns;
+        self.last_compact_ns = trinit_obs::now_ns().saturating_sub(compact_start);
+    }
+
+    /// Wall time of the most recent ingest batch, in nanoseconds (`0`
+    /// before the first ingest).
+    #[inline]
+    pub fn last_ingest_ns(&self) -> u64 {
+        self.last_ingest_ns
+    }
+
+    /// Wall time of the most recent compaction, in nanoseconds (`0`
+    /// before the first compaction).
+    #[inline]
+    pub fn last_compact_ns(&self) -> u64 {
+        self.last_compact_ns
     }
 
     /// Re-freezes the delta builder into partitioned views and

@@ -196,6 +196,120 @@ fn deadline_holds_under_injected_pull_latency() {
     assert!(run.metrics.deadline_cutoffs >= 1, "{:?}", run.metrics);
 }
 
+/// Injected per-pull latency must surface in the stage histograms: the
+/// faulted batch's query-span p99 sits above the clean batch's by at
+/// least the injected delay (order-insensitive — each batch records
+/// into its own registry).
+#[test]
+fn injected_pull_latency_shifts_stage_histogram_p99() {
+    use trinit_obs::{MetricsRegistry, Stage};
+    let single = builder().build();
+    let rules = rules(&single);
+    let sharded = ShardedStore::build(builder(), 2);
+    let exec = ShardedExecutor::new(&sharded);
+    let cfg = TopkConfig::default();
+    let queries = open_queries(&single, 3);
+
+    let record_batch = |faulted: bool| -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        let _scope = faulted.then(|| {
+            FaultScope::install(FaultPlan {
+                pull_delay: Some(Duration::from_millis(2)),
+                ..FaultPlan::default()
+            })
+        });
+        for run in exec.run_batch_stealing(&queries, &rules, &cfg, 2) {
+            registry.record_trace(&run.expect("no panics planned").trace);
+        }
+        registry
+    };
+
+    // The seed tasks do the bulk of the pulls (the merge phase starts
+    // from their preloaded collectors), so the injected delay lands in
+    // the seed-task spans — one per (query, shard).
+    let clean = record_batch(false);
+    let slow = record_batch(true);
+    assert_eq!(clean.stage(Stage::SeedTask).count(), 6);
+    let clean_p99 = clean.stage(Stage::SeedTask).quantile(0.99);
+    let slow_p99 = slow.stage(Stage::SeedTask).quantile(0.99);
+    assert!(
+        slow_p99 >= clean_p99 + 1_000_000,
+        "2 ms per pull must lift the seed-span p99 by at least 1 ms: \
+         clean {clean_p99} ns vs faulted {slow_p99} ns"
+    );
+}
+
+/// A query that dies mid-merge still flushes the spans it completed:
+/// the scheduler records the partial trace into the registry, so seed
+/// work is never silently lost to a panic.
+#[test]
+fn panicked_queries_flush_partial_traces_to_the_registry() {
+    use trinit_obs::{MetricsRegistry, Stage};
+    let single = builder().build();
+    let rules = rules(&single);
+    let shards = 3;
+    let sharded = ShardedStore::build(builder(), shards);
+    let exec = ShardedExecutor::new(&sharded);
+    let cfg = TopkConfig::default();
+    let queries = open_queries(&single, 1);
+    let registry = MetricsRegistry::new();
+    let _scope = FaultScope::install(FaultPlan {
+        merge_panics: vec![0],
+        ..FaultPlan::default()
+    });
+    let runs = exec.run_batch_stealing_observed(&queries, &rules, &cfg, 2, Some(&registry));
+    assert!(runs[0].is_err(), "merge panic must poison the query");
+    assert_eq!(
+        registry.stage(Stage::SeedTask).count(),
+        shards as u64,
+        "every completed seed span flushes despite the merge panic"
+    );
+    assert_eq!(
+        registry.stage(Stage::Merge).count(),
+        0,
+        "the merge span never completed"
+    );
+}
+
+/// A budget-truncated run still carries a full trace, ending in the
+/// cutoff event that explains *why* it stopped.
+#[test]
+fn truncated_runs_trace_their_cutoff() {
+    use trinit_obs::Stage;
+    let single = builder().build();
+    let rules = rules(&single);
+    let sharded = ShardedStore::build(builder(), 2);
+    let exec = ShardedExecutor::new(&sharded);
+    let cfg = TopkConfig {
+        budget: ExecBudget {
+            deadline: Some(Duration::from_millis(10)),
+            ..ExecBudget::default()
+        },
+        ..TopkConfig::default()
+    };
+    let q = QueryBuilder::new(&single)
+        .pattern_v_r_v("a", "p", "b")
+        .limit(50)
+        .build();
+    let _scope = FaultScope::install(FaultPlan {
+        pull_delay: Some(Duration::from_millis(3)),
+        ..FaultPlan::default()
+    });
+    let run = exec.run(&q, &rules, &cfg, SeedMode::Off);
+    assert!(
+        matches!(run.completeness, Completeness::Truncated { .. }),
+        "latency must trip the deadline: {:?}",
+        run.completeness
+    );
+    assert!(!run.trace.is_empty(), "truncated runs still trace");
+    assert!(
+        run.trace.stage_count(Stage::Cutoff) >= 1,
+        "the trace records the cutoff: {:?}",
+        run.trace
+    );
+    assert_eq!(run.trace.stage_count(Stage::Query), 1);
+}
+
 #[test]
 fn unfaulted_runs_are_unaffected_by_a_cleared_plan() {
     let single = builder().build();

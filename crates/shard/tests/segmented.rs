@@ -140,6 +140,7 @@ fn run_mono_segmented(
         Vec::new(),
         Governor::primary(&tracker),
         None,
+        &mut trinit_query::TraceRecorder::off(),
     )
     .answers
 }

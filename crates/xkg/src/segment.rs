@@ -45,6 +45,13 @@ pub struct SegmentedStore {
     /// Bumped on every mutation (ingest or compact). Caches keyed by
     /// pattern stamp entries with this and drop them when it moves.
     generation: u64,
+    /// Wall time of the most recent [`SegmentedStore::ingest`], in
+    /// nanoseconds; `0` until the first ingest. Read by the system
+    /// facade into its metrics registry.
+    last_ingest_ns: u64,
+    /// Wall time of the most recent [`SegmentedStore::compact`], in
+    /// nanoseconds; `0` until the first compaction.
+    last_compact_ns: u64,
 }
 
 impl SegmentedStore {
@@ -57,6 +64,8 @@ impl SegmentedStore {
             delta_view: None,
             pending: Vec::new(),
             generation: 0,
+            last_ingest_ns: 0,
+            last_compact_ns: 0,
         }
     }
 
@@ -182,6 +191,7 @@ impl SegmentedStore {
     /// absorbs instead (applied at the next [`SegmentedStore::compact`]),
     /// and re-observations of delta triples merge in place.
     pub fn ingest(&mut self, fill: impl FnOnce(&mut XkgBuilder)) -> usize {
+        let ingest_start = trinit_obs::now_ns();
         let mut scratch = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
         fill(&mut scratch);
         // Rebuild the delta under the scratch's (possibly grown)
@@ -202,6 +212,7 @@ impl SegmentedStore {
         self.delta = next;
         self.delta_view = (!self.delta.is_empty()).then(|| self.delta.clone().build());
         self.generation += 1;
+        self.last_ingest_ns = trinit_obs::now_ns().saturating_sub(ingest_start);
         appended
     }
 
@@ -210,6 +221,7 @@ impl SegmentedStore {
     /// store with rebuilt sorted strata, and the delta empties. Global
     /// triple ids are reassigned.
     pub fn compact(&mut self) {
+        let compact_start = trinit_obs::now_ns();
         let mut merged = XkgBuilder::with_context(self.delta.dict().clone(), self.delta.sources());
         for (id, t) in self.base.iter() {
             merged.add(t, self.base.provenance(id).clone());
@@ -224,6 +236,21 @@ impl SegmentedStore {
         self.delta = XkgBuilder::with_context(self.base.dict().clone(), self.base.sources());
         self.delta_view = None;
         self.generation += 1;
+        self.last_compact_ns = trinit_obs::now_ns().saturating_sub(compact_start);
+    }
+
+    /// Wall time of the most recent ingest batch, in nanoseconds (`0`
+    /// before the first ingest).
+    #[inline]
+    pub fn last_ingest_ns(&self) -> u64 {
+        self.last_ingest_ns
+    }
+
+    /// Wall time of the most recent compaction, in nanoseconds (`0`
+    /// before the first compaction).
+    #[inline]
+    pub fn last_compact_ns(&self) -> u64 {
+        self.last_compact_ns
     }
 }
 
