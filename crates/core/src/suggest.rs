@@ -224,11 +224,7 @@ fn token_resource_from(
                 candidates.push((frac, inverted, rp));
             }
         }
-        candidates.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .expect("finite")
-                .then(a.2.cmp(&b.2))
-        });
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.2.cmp(&b.2)));
         for (frac, inverted, rp) in candidates.into_iter().take(cfg.per_token) {
             out.push(Suggestion::ReplaceToken {
                 token: resolve(tp).unwrap_or_else(|| "<unknown>".to_string()),

@@ -255,6 +255,7 @@ pub fn efficiency_sweep(system: &Trinit, queries: &[BenchQuery], ks: &[usize]) -
         for (name, engine) in engines {
             let mut metrics = ExecMetrics::default();
             let mut answers = 0usize;
+            // lint:allow(clock-discipline): offline evaluation harness measuring wall-clock throughput, not a serving path
             let start = Instant::now();
             for q in queries {
                 let mut parsed = system.parse(&q.text).expect("benchmark queries parse");

@@ -1,0 +1,107 @@
+//! `trinit-lint` — the workspace invariant linter.
+//!
+//! The engine's correctness rests on cross-cutting invariants that
+//! rustc and clippy do not enforce: PR 4's "all weight ordering uses
+//! `total_cmp`", PR 6's "hot paths degrade, they do not panic" and
+//! "mutex poisoning is recovered, not propagated", PR 8's "the clock
+//! is never read outside the obs layer". This crate machine-checks
+//! them on every commit, three ways:
+//!
+//! * `cargo run -p trinit-lint` — the CLI, with `--json` for the
+//!   machine-readable report and `--deny-warnings` for CI;
+//! * the crate's own `tests/workspace.rs` harness, so plain tier-1
+//!   `cargo test -q` fails on any new violation;
+//! * a dedicated CI step that uploads the JSON report as an artifact.
+//!
+//! Like `trinit-obs`, the crate is dependency-free and offline-build
+//! compatible: a hand-rolled token scanner ([`scan`]), a token-pattern
+//! rule engine ([`rules`]), and hand-rolled JSON ([`report`]).
+//! See `docs/static-analysis.md` for each rule's rationale and the
+//! pragma format.
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use report::Report;
+pub use rules::{lint_source, FileLint, Violation, Warning, RULES};
+
+/// Directory names never descended into. `fixtures` holds the lint
+/// crate's own deliberately-violating test snippets.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "node_modules"];
+
+/// Workspace-relative path prefixes excluded from linting: the compat
+/// shims mirror external crates' APIs (including their panicky
+/// idioms), so they are out of invariant scope by construction.
+const SKIP_PREFIXES: [&str; 1] = ["crates/compat/"];
+
+/// Collects every lintable `.rs` file under `root`, sorted for
+/// deterministic reports.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The workspace-relative forward-slash path used for rule scoping.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lints every source file in the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_files(root)? {
+        let rel = rel_path(root, &path);
+        if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+            continue;
+        }
+        let src = fs::read_to_string(&path)?;
+        let file = lint_source(&rel, &src);
+        report.files_scanned += 1;
+        report.violations.extend(file.violations);
+        report.warnings.extend(file.warnings);
+    }
+    Ok(report)
+}
+
+/// Finds the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The `trinit-lint` CLI.
+//!
+//! ```text
+//! cargo run -p trinit-lint                      # lint the workspace
+//! cargo run -p trinit-lint -- --deny-warnings   # CI mode: stale/malformed pragmas fail too
+//! cargo run -p trinit-lint -- --json report.json
+//! cargo run -p trinit-lint -- --list-rules
+//! ```
+//!
+//! Exit status: 0 when clean, 1 on unsuppressed violations (or, under
+//! `--deny-warnings`, pragma warnings), 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use trinit_lint::{find_workspace_root, lint_workspace, RULES};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    deny_warnings: bool,
+    verbose: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        deny_warnings: false,
+        verbose: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a directory argument")?,
+                ));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or("--json needs a file argument")?,
+                ));
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--verbose" | "-v" => args.verbose = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(String::from(
+                    "usage: trinit-lint [--root DIR] [--json FILE] [--deny-warnings] [--verbose] [--list-rules]",
+                ))
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, summary) in RULES {
+            println!("{id}: {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("trinit-lint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trinit-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_human(args.verbose));
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("trinit-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("trinit-lint: JSON report written to {}", path.display());
+    }
+    let failed = !report.is_clean() || (args.deny_warnings && !report.warnings.is_empty());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

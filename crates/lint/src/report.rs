@@ -1,0 +1,140 @@
+//! Diagnostic rendering: human-readable `file:line` anchors and a
+//! machine-readable JSON report (hand-rolled — the crate is
+//! dependency-free by design, like `trinit-obs`).
+
+use crate::rules::{Violation, Warning, RULES};
+
+/// The aggregated lint result of a workspace walk.
+#[derive(Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Every match, suppressed sites included.
+    pub violations: Vec<Violation>,
+    /// Pragma-level diagnostics (malformed / unknown-rule / stale).
+    pub warnings: Vec<Warning>,
+}
+
+impl Report {
+    /// Unsuppressed violations — the failures.
+    pub fn errors(&self) -> usize {
+        self.violations.iter().filter(|v| !v.suppressed).count()
+    }
+
+    /// Justified, pragma-suppressed sites.
+    pub fn suppressed(&self) -> usize {
+        self.violations.iter().filter(|v| v.suppressed).count()
+    }
+
+    /// True when there is nothing to fail on (warnings not counted).
+    pub fn is_clean(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Human-readable diagnostics, one `file:line:` anchored line per
+    /// finding, errors first.
+    pub fn render_human(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for v in self.violations.iter().filter(|v| !v.suppressed) {
+            out.push_str(&format!(
+                "{}:{}: error[{}]: {}\n",
+                v.file, v.line, v.rule, v.message
+            ));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!(
+                "{}:{}: warning[{}]: {}\n",
+                w.file, w.line, w.kind, w.message
+            ));
+        }
+        if verbose {
+            for v in self.violations.iter().filter(|v| v.suppressed) {
+                out.push_str(&format!(
+                    "{}:{}: allowed[{}]: {}\n",
+                    v.file,
+                    v.line,
+                    v.rule,
+                    v.justification.as_deref().unwrap_or("")
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "trinit-lint: {} files scanned, {} errors, {} warnings, {} justified suppressions\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings.len(),
+            self.suppressed()
+        ));
+        out
+    }
+
+    /// The machine-readable JSON report.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"tool\": \"trinit-lint\",\n  \"rules\": [");
+        for (i, (id, summary)) in RULES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"id\": {}, \"summary\": {}}}",
+                json_str(id),
+                json_str(summary)
+            ));
+        }
+        s.push_str("],\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"errors\": {},\n  \"warnings\": {},\n  \"suppressed\": {},\n",
+            self.errors(),
+            self.warnings.len(),
+            self.suppressed()
+        ));
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"level\": {}, \"message\": {}{}}}{}\n",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(if v.suppressed { "suppressed" } else { "error" }),
+                json_str(&v.message),
+                v.justification
+                    .as_deref()
+                    .map(|j| format!(", \"justification\": {}", json_str(j)))
+                    .unwrap_or_default(),
+                if i + 1 < self.violations.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ],\n  \"pragma_warnings\": [\n");
+        for (i, w) in self.warnings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"kind\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(w.kind),
+                json_str(&w.file),
+                w.line,
+                json_str(&w.message),
+                if i + 1 < self.warnings.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

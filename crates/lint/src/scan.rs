@@ -1,0 +1,436 @@
+//! A comment-, string-, and raw-string-aware Rust token scanner.
+//!
+//! The rule engine ([`crate::rules`]) needs exactly three things from a
+//! source file, and this module provides all of them without a real
+//! parser:
+//!
+//! 1. a stream of **significant tokens** (identifiers, punctuation,
+//!    opaque literals) with line numbers — comments, string contents,
+//!    raw strings (`r#"…"#` with any hash count), byte strings, char
+//!    literals, and lifetimes can never produce a false match;
+//! 2. a per-token **test-scope flag**: tokens inside `#[cfg(test)]` /
+//!    `#[test]` items are marked so rules that only govern shipping
+//!    code (panic, clock, lock discipline) skip them;
+//! 3. the file's **suppression pragmas**: line comments of the form
+//!    `// lint:allow(<rule>[, <rule>…]): <justification>` — the
+//!    justification text is mandatory, and a pragma that omits it is
+//!    itself reported ([`Pragma::problem`]).
+//!
+//! The scanner is deliberately token-level, not syntactic: every rule
+//! this linter enforces is expressible as a short token sequence
+//! (`.` `partial_cmp` `(`, `Instant` `::` `now`, `.` `lock` `(` `)` `.`
+//! `unwrap`), which keeps the whole tool dependency-free and
+//! offline-build compatible, like `trinit-obs`.
+
+/// What a significant token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `fn`, …).
+    Ident,
+    /// A single punctuation character (`.`, `(`, `:`, `!`, …).
+    Punct,
+    /// Any literal: string, raw string, byte string, char, or number.
+    /// The text is an opaque placeholder — rules never see contents.
+    Literal,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One significant token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A parsed `lint:allow` pragma.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// 1-based line the pragma comment sits on.
+    pub line: u32,
+    /// Rule ids the pragma names.
+    pub rules: Vec<String>,
+    /// The mandatory justification text (empty iff malformed).
+    pub justification: String,
+    /// `Some(reason)` when the pragma is syntactically a `lint:allow`
+    /// but violates the format — most importantly a missing
+    /// justification. Malformed pragmas never suppress anything.
+    pub problem: Option<String>,
+}
+
+/// The scan of one source file.
+pub struct Scan {
+    pub tokens: Vec<Token>,
+    /// Parallel to `tokens`: true when the token lives inside a
+    /// `#[cfg(test)]` / `#[test]` item.
+    pub in_test: Vec<bool>,
+    pub pragmas: Vec<Pragma>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans `src` into significant tokens, test-scope flags, and pragmas.
+pub fn scan(src: &str) -> Scan {
+    let c: Vec<char> = src.chars().collect();
+    let n = c.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut pragmas: Vec<Pragma> = Vec::new();
+
+    while i < n {
+        let ch = c[i];
+        if ch == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if ch.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if ch == '/' && i + 1 < n && c[i + 1] == '/' {
+            let mut text = String::new();
+            i += 2;
+            while i < n && c[i] != '\n' {
+                text.push(c[i]);
+                i += 1;
+            }
+            if let Some(p) = parse_pragma(&text, line) {
+                pragmas.push(p);
+            }
+            continue;
+        }
+        if ch == '/' && i + 1 < n && c[i + 1] == '*' {
+            // Block comments nest in Rust.
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if c[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if c[i] == '/' && i + 1 < n && c[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if c[i] == '*' && i + 1 < n && c[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // String literal.
+        if ch == '"' {
+            let start_line = line;
+            i = skip_string(&c, i, &mut line);
+            tokens.push(Token { kind: TokKind::Literal, text: "<str>".into(), line: start_line });
+            continue;
+        }
+        // Lifetime or char literal.
+        if ch == '\'' {
+            let start_line = line;
+            if i + 1 < n && c[i + 1] == '\\' {
+                // Escaped char literal: consume to the closing quote.
+                i += 2;
+                if i < n {
+                    i += 1; // the escaped character itself
+                }
+                while i < n && c[i] != '\'' {
+                    i += 1; // multi-char escapes: \u{…}, \x7f
+                }
+                i = (i + 1).min(n);
+                tokens.push(Token { kind: TokKind::Literal, text: "<char>".into(), line: start_line });
+            } else if i + 2 < n && is_ident_continue(c[i + 1]) && c[i + 2] == '\'' {
+                // 'x' — a one-character char literal.
+                i += 3;
+                tokens.push(Token { kind: TokKind::Literal, text: "<char>".into(), line: start_line });
+            } else if i + 1 < n && is_ident_start(c[i + 1]) {
+                // A lifetime: 'a, 'static, '_.
+                let mut text = String::from("'");
+                i += 1;
+                while i < n && is_ident_continue(c[i]) {
+                    text.push(c[i]);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokKind::Lifetime, text, line: start_line });
+            } else {
+                // Unicode char literal like 'é': consume to closing quote.
+                i += 1;
+                while i < n && c[i] != '\'' && c[i] != '\n' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                tokens.push(Token { kind: TokKind::Literal, text: "<char>".into(), line: start_line });
+            }
+            continue;
+        }
+        // Number literal.
+        if ch.is_ascii_digit() {
+            let start_line = line;
+            let mut prev = ch;
+            i += 1;
+            while i < n {
+                let d = c[i];
+                let digit_follows = i + 1 < n && c[i + 1].is_ascii_digit();
+                let continues = is_ident_continue(d)
+                    || (d == '.' && digit_follows)
+                    || ((d == '+' || d == '-') && (prev == 'e' || prev == 'E') && digit_follows);
+                if !continues {
+                    break;
+                }
+                prev = d;
+                i += 1;
+            }
+            tokens.push(Token { kind: TokKind::Literal, text: "<num>".into(), line: start_line });
+            continue;
+        }
+        // Identifier — including the raw-string / byte-string prefixes.
+        if is_ident_start(ch) {
+            let start_line = line;
+            let mut text = String::new();
+            while i < n && is_ident_continue(c[i]) {
+                text.push(c[i]);
+                i += 1;
+            }
+            let next = c.get(i).copied();
+            if (text == "r" || text == "br") && (next == Some('"') || next == Some('#')) {
+                // Raw (byte) string: r"…", r#"…"#, br##"…"##, or — when
+                // a single '#' is followed by an identifier — a raw
+                // identifier r#keyword.
+                let mut hashes = 0usize;
+                while i + hashes < n && c[i + hashes] == '#' {
+                    hashes += 1;
+                }
+                if c.get(i + hashes) == Some(&'"') {
+                    i = skip_raw_string(&c, i + hashes + 1, hashes, &mut line);
+                    tokens.push(Token {
+                        kind: TokKind::Literal,
+                        text: "<rawstr>".into(),
+                        line: start_line,
+                    });
+                } else if text == "r" && hashes == 1 && c.get(i + 1).is_some_and(|&d| is_ident_start(d)) {
+                    // Raw identifier r#type.
+                    i += 1;
+                    let mut raw = String::new();
+                    while i < n && is_ident_continue(c[i]) {
+                        raw.push(c[i]);
+                        i += 1;
+                    }
+                    tokens.push(Token { kind: TokKind::Ident, text: raw, line: start_line });
+                } else {
+                    tokens.push(Token { kind: TokKind::Ident, text, line: start_line });
+                }
+                continue;
+            }
+            if text == "b" && next == Some('"') {
+                // Byte string b"…".
+                i = skip_string(&c, i, &mut line);
+                tokens.push(Token { kind: TokKind::Literal, text: "<bytestr>".into(), line: start_line });
+                continue;
+            }
+            if text == "b" && next == Some('\'') {
+                // Byte char b'x' (with possible escape).
+                i += 1; // past the opening quote
+                while i < n && c[i] != '\'' {
+                    if c[i] == '\\' {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                tokens.push(Token { kind: TokKind::Literal, text: "<char>".into(), line: start_line });
+                continue;
+            }
+            tokens.push(Token { kind: TokKind::Ident, text, line: start_line });
+            continue;
+        }
+        // Everything else: single-character punctuation.
+        tokens.push(Token { kind: TokKind::Punct, text: ch.to_string(), line });
+        i += 1;
+    }
+
+    let in_test = mark_tests(&tokens);
+    Scan { tokens, in_test, pragmas }
+}
+
+/// Skips a `"…"` string starting at the opening quote; returns the
+/// index just past the closing quote. Handles `\"`, `\\`, and embedded
+/// newlines.
+fn skip_string(c: &[char], open: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    let mut i = open + 1;
+    while i < n {
+        match c[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw string whose contents start at `start` (just past the
+/// opening quote), terminated by `"` followed by `hashes` hash marks.
+fn skip_raw_string(c: &[char], start: usize, hashes: usize, line: &mut u32) -> usize {
+    let n = c.len();
+    let mut i = start;
+    while i < n {
+        if c[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if c[i] == '"' {
+            let mut h = 0usize;
+            while h < hashes && c.get(i + 1 + h) == Some(&'#') {
+                h += 1;
+            }
+            if h == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Computes, for every token, whether it lives inside a `#[cfg(test)]`
+/// or `#[test]` item. An attribute containing the identifier `test` —
+/// but not `not` (so `#[cfg(not(test))]` stays shipping code) — arms a
+/// pending flag; the item's `{ … }` body then becomes a test region
+/// (tracked by brace depth, so regions nest), while a `;` at top
+/// nesting ends a body-less item.
+fn mark_tests(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut brace_depth = 0i32;
+    let mut regions: Vec<i32> = Vec::new();
+    let mut pending = false;
+    // Paren/bracket nesting between an armed attribute and its item
+    // body, so `;` inside `[u8; 2]` or `fn f(…)` never ends the item.
+    let mut inner_nest = 0i32;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let active = !regions.is_empty() || pending;
+        if t.kind == TokKind::Punct
+            && t.text == "#"
+            && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Punct && t.text == "[")
+        {
+            // Scan the attribute to its matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1i32;
+            let mut has_test = false;
+            let mut has_not = false;
+            while j < tokens.len() && depth > 0 {
+                let a = &tokens[j];
+                match (a.kind, a.text.as_str()) {
+                    (TokKind::Punct, "[") => depth += 1,
+                    (TokKind::Punct, "]") => depth -= 1,
+                    (TokKind::Ident, "test") => has_test = true,
+                    (TokKind::Ident, "not") => has_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if has_test && !has_not {
+                pending = true;
+                inner_nest = 0;
+            }
+            let now_active = !regions.is_empty() || pending;
+            for slot in in_test.iter_mut().take(j).skip(i) {
+                *slot = now_active;
+            }
+            i = j;
+            continue;
+        }
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "{") => {
+                if pending {
+                    regions.push(brace_depth);
+                    pending = false;
+                }
+                brace_depth += 1;
+            }
+            (TokKind::Punct, "}") => {
+                brace_depth -= 1;
+                if regions.last() == Some(&brace_depth) {
+                    regions.pop();
+                    // The closing brace still belongs to the region.
+                    in_test[i] = true;
+                    i += 1;
+                    continue;
+                }
+            }
+            (TokKind::Punct, "(") | (TokKind::Punct, "[") if pending => inner_nest += 1,
+            (TokKind::Punct, ")") | (TokKind::Punct, "]") if pending => inner_nest -= 1,
+            (TokKind::Punct, ";") if pending && inner_nest == 0 => pending = false,
+            _ => {}
+        }
+        in_test[i] = active;
+        i += 1;
+    }
+    in_test
+}
+
+/// Parses a `lint:allow(<rules>): <justification>` pragma out of one
+/// line comment's text. Returns `None` when the comment is not a
+/// pragma at all; returns a `Pragma` with [`Pragma::problem`] set when
+/// it is one but breaks the format (those never suppress).
+fn parse_pragma(comment: &str, line: u32) -> Option<Pragma> {
+    // A pragma must *start* the comment (`// lint:allow(…): …`), so
+    // prose that merely mentions the syntax never parses as one.
+    let trimmed = comment.trim_start();
+    if !trimmed.starts_with("lint:allow") {
+        return None;
+    }
+    let idx = comment.find("lint:allow")?;
+    let malformed = |reason: &str| Pragma {
+        line,
+        rules: Vec::new(),
+        justification: String::new(),
+        problem: Some(reason.to_string()),
+    };
+    let rest = comment[idx + "lint:allow".len()..].trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Some(malformed("expected `lint:allow(<rule>): <justification>`"));
+    };
+    let Some(close) = body.find(')') else {
+        return Some(malformed("unclosed rule list in `lint:allow(…)`"));
+    };
+    let rules: Vec<String> = body[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Some(malformed("empty rule list in `lint:allow(…)`"));
+    }
+    let after = body[close + 1..].trim_start();
+    let Some(just) = after.strip_prefix(':') else {
+        return Some(malformed("missing `: <justification>` — the justification text is mandatory"));
+    };
+    let just = just.trim();
+    if just.is_empty() {
+        return Some(malformed("empty justification — the justification text is mandatory"));
+    }
+    Some(Pragma {
+        line,
+        rules,
+        justification: just.to_string(),
+        problem: None,
+    })
+}

@@ -1,0 +1,211 @@
+//! Fixture suite: every rule exercised three ways (fire, pass,
+//! suppressed) plus scanner edge cases and pragma diagnostics. The
+//! snippets live in `tests/fixtures/`, which both cargo (no
+//! auto-compile below `tests/` subdirectories) and the workspace
+//! walker (`SKIP_DIRS`) leave alone — so they can violate freely.
+//!
+//! `lint_source` takes the workspace-relative path separately from the
+//! contents, so each snippet is linted "as if" it lived at a path that
+//! puts the rule in scope (e.g. a hot-path file for
+//! `no-panic-hot-path`).
+
+use trinit_lint::rules::{
+    CLOCK_DISCIPLINE, FLOAT_ORDERING, LOCK_HYGIENE, NO_PANIC_HOT_PATH, UNSAFE_BOUNDARY,
+};
+use trinit_lint::{lint_source, FileLint, Violation};
+
+/// A plain library path: every rule except `no-panic-hot-path` is in
+/// scope.
+const LIB_PATH: &str = "crates/core/src/fixture.rs";
+
+/// A serving hot path: `no-panic-hot-path` is additionally in scope.
+const HOT_PATH: &str = "crates/query/src/exec/fixture.rs";
+
+fn errors(lint: &FileLint) -> Vec<&Violation> {
+    lint.violations.iter().filter(|v| !v.suppressed).collect()
+}
+
+fn suppressed(lint: &FileLint) -> Vec<&Violation> {
+    lint.violations.iter().filter(|v| v.suppressed).collect()
+}
+
+#[test]
+fn float_ordering_fires_on_partial_cmp_calls() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/float_fire.rs"));
+    let errs = errors(&lint);
+    assert_eq!(errs.len(), 2, "both call sites: {errs:?}");
+    assert!(errs.iter().all(|v| v.rule == FLOAT_ORDERING));
+}
+
+#[test]
+fn float_ordering_passes_total_cmp_and_impl_definitions() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/float_pass.rs"));
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    assert!(lint.warnings.is_empty(), "{:?}", lint.warnings);
+}
+
+#[test]
+fn float_ordering_suppressed_by_justified_pragma() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/float_suppressed.rs"));
+    assert!(errors(&lint).is_empty());
+    let sup = suppressed(&lint);
+    assert_eq!(sup.len(), 1);
+    assert_eq!(sup[0].rule, FLOAT_ORDERING);
+    assert!(sup[0]
+        .justification
+        .as_deref()
+        .is_some_and(|j| j.contains("equivalence test")));
+    assert!(lint.warnings.is_empty(), "no stale-pragma warning expected");
+}
+
+#[test]
+fn no_panic_fires_on_every_panic_family_site() {
+    let lint = lint_source(HOT_PATH, include_str!("fixtures/panic_fire.rs"));
+    let errs = errors(&lint);
+    let panics: Vec<_> = errs.iter().filter(|v| v.rule == NO_PANIC_HOT_PATH).collect();
+    assert_eq!(panics.len(), 4, "unwrap, expect, panic!, unreachable!: {errs:?}");
+}
+
+#[test]
+fn no_panic_is_scoped_to_hot_paths() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/panic_fire.rs"));
+    assert!(
+        !lint.violations.iter().any(|v| v.rule == NO_PANIC_HOT_PATH),
+        "rule must not apply off the hot paths: {:?}",
+        lint.violations
+    );
+}
+
+#[test]
+fn no_panic_passes_degrading_code_and_test_modules() {
+    let lint = lint_source(HOT_PATH, include_str!("fixtures/panic_pass.rs"));
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+}
+
+#[test]
+fn no_panic_suppressed_by_justified_pragma() {
+    let lint = lint_source(HOT_PATH, include_str!("fixtures/panic_suppressed.rs"));
+    assert!(errors(&lint).is_empty());
+    let sup = suppressed(&lint);
+    assert_eq!(sup.len(), 1);
+    assert_eq!(sup[0].rule, NO_PANIC_HOT_PATH);
+}
+
+#[test]
+fn clock_discipline_fires_on_raw_clock_reads() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/clock_fire.rs"));
+    let errs = errors(&lint);
+    assert_eq!(errs.len(), 2, "Instant and SystemTime: {errs:?}");
+    assert!(errs.iter().all(|v| v.rule == CLOCK_DISCIPLINE));
+}
+
+#[test]
+fn clock_discipline_passes_obs_seam_and_obs_crate() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/clock_pass.rs"));
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+    let inside_obs = lint_source("crates/obs/src/fixture.rs", include_str!("fixtures/clock_fire.rs"));
+    assert!(
+        inside_obs.violations.is_empty(),
+        "the obs crate owns the clock: {:?}",
+        inside_obs.violations
+    );
+}
+
+#[test]
+fn clock_discipline_suppressed_by_justified_pragma() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/clock_suppressed.rs"));
+    assert!(errors(&lint).is_empty());
+    let sup = suppressed(&lint);
+    assert_eq!(sup.len(), 1);
+    assert_eq!(sup[0].rule, CLOCK_DISCIPLINE);
+}
+
+#[test]
+fn lock_hygiene_fires_on_bare_lock_unwrap_and_expect() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/lock_fire.rs"));
+    let errs = errors(&lint);
+    assert_eq!(errs.len(), 2, "unwrap and expect forms: {errs:?}");
+    assert!(errs.iter().all(|v| v.rule == LOCK_HYGIENE));
+}
+
+#[test]
+fn lock_hygiene_passes_poison_recovery_and_io_locks() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/lock_pass.rs"));
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+}
+
+#[test]
+fn lock_hygiene_suppressed_by_justified_pragma() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/lock_suppressed.rs"));
+    assert!(errors(&lint).is_empty());
+    assert_eq!(suppressed(&lint).len(), 1);
+}
+
+#[test]
+fn unsafe_boundary_fires_on_blocks_and_signatures() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/unsafe_fire.rs"));
+    let errs = errors(&lint);
+    assert_eq!(errs.len(), 2, "block and fn signature: {errs:?}");
+    assert!(errs.iter().all(|v| v.rule == UNSAFE_BOUNDARY));
+}
+
+#[test]
+fn unsafe_boundary_passes_safe_code() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/unsafe_pass.rs"));
+    assert!(lint.violations.is_empty(), "{:?}", lint.violations);
+}
+
+#[test]
+fn unsafe_boundary_suppressed_by_justified_pragma() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/unsafe_suppressed.rs"));
+    assert!(errors(&lint).is_empty());
+    assert_eq!(suppressed(&lint).len(), 1);
+}
+
+/// The scanner crosses nested block comments, plain/escaped/raw/byte
+/// strings, char-vs-lifetime ambiguity, raw identifiers, and array
+/// types without losing sync — and still finds the single real
+/// violation at the end of the file, on the right line.
+#[test]
+fn scanner_survives_lexical_edge_cases() {
+    let src = include_str!("fixtures/scanner_edges.rs");
+    let lint = lint_source(LIB_PATH, src);
+    assert!(lint.warnings.is_empty(), "{:?}", lint.warnings);
+    let errs = errors(&lint);
+    assert_eq!(errs.len(), 1, "exactly the final clock read: {errs:?}");
+    assert_eq!(errs[0].rule, CLOCK_DISCIPLINE);
+    let expected_line = src
+        .lines()
+        .position(|l| l.contains("the_one_real_violation"))
+        .expect("marker fn present") as u32
+        + 2;
+    assert_eq!(errs[0].line, expected_line, "line numbers stayed in sync");
+}
+
+#[test]
+fn malformed_pragma_warns_and_suppresses_nothing() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/pragma_malformed.rs"));
+    assert_eq!(errors(&lint).len(), 1, "the violation still fires");
+    assert!(suppressed(&lint).is_empty());
+    assert_eq!(lint.warnings.len(), 1);
+    assert_eq!(lint.warnings[0].kind, "malformed-pragma");
+}
+
+#[test]
+fn unused_pragma_warns() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/pragma_unused.rs"));
+    assert!(lint.violations.is_empty());
+    assert_eq!(lint.warnings.len(), 1);
+    assert_eq!(lint.warnings[0].kind, "unused-pragma");
+}
+
+#[test]
+fn unknown_rule_pragma_warns_and_suppresses_nothing() {
+    let lint = lint_source(LIB_PATH, include_str!("fixtures/pragma_unknown.rs"));
+    assert_eq!(errors(&lint).len(), 1, "the violation still fires");
+    assert!(
+        lint.warnings.iter().any(|w| w.kind == "unknown-rule"),
+        "{:?}",
+        lint.warnings
+    );
+}

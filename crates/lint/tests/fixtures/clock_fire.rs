@@ -1,0 +1,10 @@
+// Fixture: raw clock reads outside `trinit-obs` fire
+// `clock-discipline`.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let mono = Instant::now();
+    let wall = SystemTime::now();
+    (mono, wall)
+}

@@ -1,0 +1,18 @@
+// Fixture: timing routed through the obs-gated seam passes
+// `clock-discipline`; naming the types without calling `now` is fine.
+
+use std::time::Instant;
+
+pub struct Span {
+    pub started_ns: u64,
+}
+
+pub fn open_span() -> Span {
+    Span {
+        started_ns: trinit_obs::now_ns(),
+    }
+}
+
+pub fn elapsed(since: Instant) -> std::time::Duration {
+    since.elapsed()
+}

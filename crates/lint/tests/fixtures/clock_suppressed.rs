@@ -1,0 +1,15 @@
+// Fixture: a justified pragma admits a deliberate direct clock read,
+// reported as suppressed.
+
+use std::time::Instant;
+
+pub struct Deadline {
+    pub anchor: Instant,
+}
+
+pub fn admit() -> Deadline {
+    Deadline {
+        // lint:allow(clock-discipline): deadline anchor — one read at admission, not per pull
+        anchor: Instant::now(),
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: `.partial_cmp()` call sites must fire `float-ordering`.
+
+pub fn rank(mut scores: Vec<(f64, u32)>) -> Vec<(f64, u32)> {
+    scores.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    scores
+}
+
+pub fn max_weight(weights: &[f64]) -> Option<f64> {
+    weights
+        .iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).unwrap())
+}

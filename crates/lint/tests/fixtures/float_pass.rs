@@ -1,0 +1,21 @@
+// Fixture: `total_cmp` ordering and a `PartialOrd` *impl* both pass
+// `float-ordering` — the rule targets call sites, not definitions.
+
+pub struct Scored(pub f64);
+
+impl PartialEq for Scored {
+    fn eq(&self, other: &Scored) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Scored) -> Option<std::cmp::Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+pub fn rank(mut scores: Vec<(f64, u32)>) -> Vec<(f64, u32)> {
+    scores.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    scores
+}

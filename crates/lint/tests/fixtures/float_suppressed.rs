@@ -1,0 +1,8 @@
+// Fixture: a justified pragma suppresses `float-ordering` on the next
+// line; the violation is still reported, flagged as suppressed.
+
+pub fn reference_rank(mut scores: Vec<f64>) -> Vec<f64> {
+    // lint:allow(float-ordering): reference comparator pinning the legacy ordering in an equivalence test
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    scores
+}

@@ -1,0 +1,12 @@
+// Fixture: bare `.lock().unwrap()` / `.lock().expect(…)` fire
+// `lock-hygiene`.
+
+use std::sync::Mutex;
+
+pub fn read(cell: &Mutex<u32>) -> u32 {
+    *cell.lock().unwrap()
+}
+
+pub fn write(cell: &Mutex<u32>, v: u32) {
+    *cell.lock().expect("cell poisoned") = v;
+}

@@ -1,0 +1,16 @@
+// Fixture: poison-recovering lock acquisition passes `lock-hygiene`,
+// and `stdin.lock()` style calls without `unwrap` never match.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn read(cell: &Mutex<u32>) -> u32 {
+    *cell.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn read_line() -> String {
+    use std::io::BufRead;
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    let _ = stdin.lock().read_line(&mut line);
+    line
+}

@@ -1,0 +1,9 @@
+// Fixture: a justified pragma admits a bare lock-unwrap, reported as
+// suppressed.
+
+use std::sync::Mutex;
+
+pub fn read(cell: &Mutex<u32>) -> u32 {
+    // lint:allow(lock-hygiene): single-threaded setup path — no holder can panic before this line
+    *cell.lock().unwrap()
+}

@@ -1,0 +1,14 @@
+// Fixture: linted as if on a serving hot path — every panic-family
+// site here must fire `no-panic-hot-path`.
+
+pub fn pull(slots: &[Option<u32>]) -> u32 {
+    let first = slots.first().unwrap();
+    let value = first.expect("slot populated");
+    if value == u32::MAX {
+        panic!("overflow");
+    }
+    match value {
+        0 => unreachable!("zero filtered upstream"),
+        v => v,
+    }
+}

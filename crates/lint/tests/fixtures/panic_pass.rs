@@ -1,0 +1,20 @@
+// Fixture: hot-path file whose shipping code degrades instead of
+// panicking; the `#[cfg(test)]` module may unwrap freely.
+
+pub fn pull(slots: &[Option<u32>]) -> Option<u32> {
+    let first = slots.first()?;
+    first.filter(|&v| v != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pull;
+
+    #[test]
+    fn pulls_first_populated_slot() {
+        let v = pull(&[Some(7)]).unwrap();
+        assert_eq!(v, 7);
+        let opt: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| opt.expect("boom")).is_err());
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified pragma keeps an intentional hot-path invariant
+// check, reported as suppressed.
+
+pub fn offset(base: u64) -> u32 {
+    // lint:allow(no-panic-hot-path): construction-time capacity guard — the id space is u32 by design
+    u32::try_from(base).expect("id overflow")
+}

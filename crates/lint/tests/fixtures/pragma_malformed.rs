@@ -1,0 +1,9 @@
+// Fixture: a pragma without a justification is malformed — it
+// suppresses nothing and is reported as a warning.
+
+use std::sync::Mutex;
+
+pub fn read(cell: &Mutex<u32>) -> u32 {
+    // lint:allow(lock-hygiene)
+    *cell.lock().unwrap()
+}

@@ -1,0 +1,9 @@
+// Fixture: a pragma naming a rule that does not exist must warn, and
+// must not suppress anything.
+
+use std::sync::Mutex;
+
+pub fn read(cell: &Mutex<u32>) -> u32 {
+    // lint:allow(no-such-rule): typo'd rule names must not silently pass
+    *cell.lock().unwrap()
+}

@@ -1,0 +1,7 @@
+// Fixture: a well-formed pragma with nothing to suppress on its own or
+// the next line is stale and must warn.
+
+pub fn clean() -> u32 {
+    // lint:allow(lock-hygiene): left behind after a refactor removed the lock
+    7
+}

@@ -1,0 +1,30 @@
+// Fixture: lexical edge cases the scanner must skip without losing
+// sync. Only ONE real violation lives in this file — the
+// `Instant::now()` call at the very end — and it must still be found
+// after every trap below has been crossed.
+
+/* block comment with .lock().unwrap() and .partial_cmp(x) inside
+   /* nested block comment: panic!("still a comment") */
+   still the outer comment: SystemTime::now() */
+
+pub const PLAIN: &str = "string with .lock().unwrap() and Instant::now()";
+pub const ESCAPED: &str = "escaped quote \" then .partial_cmp(y).unwrap()";
+pub const RAW: &str = r#"raw string: .lock().unwrap() and panic!("x")"#;
+pub const RAW_HASHES: &str = r##"nested "#" hashes: unreachable!() here"##;
+pub const BYTES: &[u8] = b"byte string with .unwrap() inside";
+pub const BYTE_CHAR: u8 = b'\'';
+pub const QUOTE: char = '\'';
+pub const LETTER: char = 'a';
+
+pub fn lifetimes<'a>(x: &'a str) -> &'a str {
+    // line comment mentioning .partial_cmp() and unsafe prose
+    x
+}
+
+pub fn r#match(arr: [u8; 2]) -> u8 {
+    arr[0]
+}
+
+pub fn the_one_real_violation() -> std::time::Instant {
+    std::time::Instant::now()
+}

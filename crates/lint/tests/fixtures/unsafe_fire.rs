@@ -1,0 +1,10 @@
+// Fixture: any `unsafe` outside the (empty) whitelist fires
+// `unsafe-boundary` — blocks and fn signatures alike.
+
+pub fn transmuted(v: u64) -> f64 {
+    unsafe { std::mem::transmute(v) }
+}
+
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    *p
+}

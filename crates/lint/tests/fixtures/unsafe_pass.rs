@@ -1,0 +1,9 @@
+// Fixture: safe Rust passes `unsafe-boundary`; the keyword inside a
+// string or comment never counts. The word unsafe appears here only in
+// prose.
+
+pub fn bits(v: u64) -> f64 {
+    f64::from_bits(v)
+}
+
+pub const NOTE: &str = "unsafe { } in a string literal is not a token";

@@ -1,0 +1,7 @@
+// Fixture: a justified pragma admits an unsafe block pending a
+// whitelist entry, reported as suppressed.
+
+pub fn transmuted(v: u64) -> f64 {
+    // lint:allow(unsafe-boundary): bit-level reinterpretation benchmarked faster than from_bits on this target
+    unsafe { std::mem::transmute(v) }
+}

@@ -1,0 +1,33 @@
+//! Tier-1 wiring: `cargo test -q` fails on any new invariant
+//! violation, not just CI. Lints the real workspace and requires a
+//! fully clean report — zero unsuppressed violations, zero pragma
+//! warnings, and a justification on every suppression.
+
+use std::path::Path;
+
+use trinit_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the lint crate");
+    let report = lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean() && report.warnings.is_empty(),
+        "workspace invariant violations:\n{}",
+        report.render_human(true)
+    );
+    for v in report.violations.iter().filter(|v| v.suppressed) {
+        assert!(
+            v.justification.as_deref().is_some_and(|j| !j.trim().is_empty()),
+            "suppression without justification at {}:{}",
+            v.file,
+            v.line
+        );
+    }
+}

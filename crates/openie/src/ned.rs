@@ -62,8 +62,7 @@ impl Linker {
         for cands in catalog.values_mut() {
             cands.sort_by(|a, b| {
                 b.prior
-                    .partial_cmp(&a.prior)
-                    .expect("priors are finite")
+                    .total_cmp(&a.prior)
                     .then_with(|| a.resource.cmp(&b.resource))
             });
         }

@@ -263,6 +263,7 @@ impl BudgetTracker {
     pub fn new(cfg: &TopkConfig) -> BudgetTracker {
         let b = &cfg.budget;
         BudgetTracker {
+            // lint:allow(clock-discipline): budget deadline anchor — one read per governed query at admission, not per pull
             started: Instant::now(),
             deadline: b.deadline,
             max_pulls: b.max_pulls,

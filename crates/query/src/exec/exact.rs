@@ -254,7 +254,7 @@ mod tests {
         let mut a1 = eval(&store, &q1);
         let mut a2 = eval(&store, &q2);
         let sort = |v: &mut Vec<Answer>| {
-            v.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap());
+            v.sort_by(|a, b| a.score.total_cmp(&b.score));
         };
         sort(&mut a1);
         sort(&mut a2);

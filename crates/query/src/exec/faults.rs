@@ -111,6 +111,7 @@ pub fn on_seed_task(query: usize, shard: usize) {
         }
     };
     if fire {
+        // lint:allow(no-panic-hot-path): deliberate injected fault — panicking here is the harness's purpose
         panic!("injected fault: seed task (query {query}, shard {shard})");
     }
 }
@@ -125,6 +126,7 @@ pub fn on_merge(query: usize) {
         }
     };
     if fire {
+        // lint:allow(no-panic-hot-path): deliberate injected fault — panicking here is the harness's purpose
         panic!("injected fault: merge phase (query {query})");
     }
 }

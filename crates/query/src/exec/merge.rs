@@ -420,7 +420,7 @@ impl<'a> IncrementalMerge<'a> {
             if opened {
                 return self.peek_bound();
             }
-            let entry = self.heap.pop().expect("peeked entry exists");
+            let entry = self.heap.pop()?;
             self.open_entry(entry, metrics);
         }
     }
@@ -434,7 +434,12 @@ impl<'a> IncrementalMerge<'a> {
                 continue;
             }
             let alt = &mut self.alts[entry.alt];
-            let matches = alt.matches.as_mut().expect("opened alternative");
+            // An `opened` entry always has materialized matches; if the
+            // invariant ever broke, dropping the entry degrades to a
+            // skipped alternative instead of panicking mid-serve.
+            let Some(matches) = alt.matches.as_mut() else {
+                continue;
+            };
             let Some((triple, prob)) = matches.next_entry() else {
                 continue;
             };

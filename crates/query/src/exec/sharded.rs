@@ -221,9 +221,14 @@ impl RankSource for ShardedMerge<'_> {
                 });
                 continue;
             }
-            let mut merged = self
+            let Some(mut merged) = self
                 .with_mass_delta(i, metrics, |shard, m| shard.next_merged(m))
-                .expect("tightened head must emit");
+            else {
+                // A just-tightened head always emits; if the invariant
+                // ever broke, dropping the shard from this election
+                // degrades to a skipped emission instead of panicking.
+                continue;
+            };
             if let Some(bound) = self.shards[i].peek_bound() {
                 self.heap.push(ShardEntry { bound, idx: i });
             }

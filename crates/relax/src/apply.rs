@@ -369,7 +369,7 @@ pub fn expand_with(
         let b_is_origin = b.trace.is_empty();
         b_is_origin
             .cmp(&a_is_origin)
-            .then(b.weight.partial_cmp(&a.weight).expect("finite weights"))
+            .then(b.weight.total_cmp(&a.weight))
             .then_with(|| a.trace.len().cmp(&b.trace.len()))
             .then_with(|| a.patterns.cmp(&b.patterns))
     });

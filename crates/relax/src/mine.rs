@@ -166,8 +166,7 @@ pub fn mine_cooccurrence(store: &XkgStore, cfg: &MinerConfig) -> Vec<MinedRule> 
     out.sort_by(|a, b| {
         b.rule
             .weight
-            .partial_cmp(&a.rule.weight)
-            .expect("finite weights")
+            .total_cmp(&a.rule.weight)
             .then_with(|| (a.p1, a.p2).cmp(&(b.p1, b.p2)))
             .then_with(|| (a.rule.kind as u8).cmp(&(b.rule.kind as u8)))
     });

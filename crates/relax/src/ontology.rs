@@ -165,8 +165,7 @@ pub fn mine_granularity(
     }
     out.sort_by(|a, b| {
         b.weight
-            .partial_cmp(&a.weight)
-            .expect("finite weights")
+            .total_cmp(&a.weight)
             .then_with(|| a.label.cmp(&b.label))
     });
     out

@@ -112,6 +112,39 @@ proptest! {
         prop_assert_eq!(dedup.len(), keys.len(), "alpha-equivalent duplicates");
     }
 
+    /// Ranking ties: the `total_cmp`-based comparator used across the
+    /// ranking surfaces (suggest, NED, ontology, mining, apply) orders
+    /// finite weights exactly like the old `partial_cmp`-based one, and
+    /// the secondary key makes the order independent of input order
+    /// even when every weight collides.
+    #[test]
+    fn total_cmp_ordering_is_stable_under_ties(
+        entries in proptest::collection::vec((0usize..4, 0u32..64), 1..40),
+    ) {
+        // Weights drawn from a 4-value pool so ties are the common
+        // case, paired with a label that may itself repeat.
+        let pool = [0.25f64, 0.5, 0.5, 0.75];
+        let items: Vec<(f64, u32)> = entries
+            .iter()
+            .map(|&(w, label)| (pool[w], label))
+            .collect();
+
+        let mut fixed = items.clone();
+        fixed.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+
+        let mut reference = items.clone();
+        // lint:allow(float-ordering): reference comparator pinning equivalence with the pre-fix partial_cmp ordering
+        reference.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(&b.1)));
+        prop_assert_eq!(&fixed, &reference, "total_cmp changed the ranking");
+
+        // Order independence: feeding the same multiset in reverse
+        // yields the identical ranking, because the (weight, label)
+        // comparator is total over the generated domain.
+        let mut reversed: Vec<(f64, u32)> = items.iter().rev().copied().collect();
+        reversed.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        prop_assert_eq!(&fixed, &reversed, "ranking depends on input order");
+    }
+
     /// Inversion is an involution at weight level: applying the reverse
     /// rule to the rewritten pattern recovers the original pattern.
     #[test]

@@ -3,7 +3,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use trinit_obs::{QueryTrace, Stage, TraceRecorder};
 use trinit_query::exec::sharded::run_partitioned;
@@ -377,21 +377,27 @@ impl QueryPool {
                     if i >= n {
                         break;
                     }
+                    // Poison recovery is sound here: the slots hold
+                    // whole-value `Option` writes, so a panicking
+                    // holder cannot leave them logically torn, and a
+                    // missing output surfaces below instead of taking
+                    // the rest of the batch down.
                     let input = slots[i]
                         .lock()
-                        .expect("input slot poisoned")
-                        .take()
-                        .expect("input claimed once");
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take();
+                    // lint:allow(no-panic-hot-path): the atomic cursor hands out each index exactly once, so a claimed slot is always populated
+                    let input = input.expect("input claimed once");
                     let result = run(input);
-                    *out[i].lock().expect("output slot poisoned") = Some(result);
+                    *out[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
         out.into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("output slot poisoned")
-                    .expect("every input produced an output")
+                let produced = slot.into_inner().unwrap_or_else(PoisonError::into_inner);
+                // lint:allow(no-panic-hot-path): unreachable — thread::scope re-raises any worker panic before this line runs, and a surviving worker always writes the slot it claimed
+                produced.expect("every input produced an output")
             })
             .collect()
     }

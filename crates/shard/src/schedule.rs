@@ -43,7 +43,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use trinit_obs::{MetricsRegistry, TraceRecorder};
 use trinit_query::exec::topk::TopkConfig;
@@ -56,6 +56,17 @@ use crate::exec::{ShardedExecutor, ShardedRun};
 
 /// Sentinel: no worker has claimed this query yet.
 const NO_OWNER: usize = usize::MAX;
+
+/// Locks a scheduler slot, recovering from mutex poisoning. The slots
+/// only ever hold whole-value `Option` writes, so a panicking holder
+/// cannot leave them logically torn — and panic isolation (the
+/// `catch_unwind` around every seed task and merge phase), not the
+/// poison flag, is the correctness boundary here. Recovering keeps
+/// bystander queries alive instead of cascading one panic through the
+/// whole batch.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One shard's completed seed task: the answers it found (global ids,
 /// globally normalized scores), the work it cost, and the worker-local
@@ -85,7 +96,7 @@ impl QueryState {
     /// Records a caught panic as this query's outcome (first panic
     /// wins) without disturbing the rest of the batch.
     fn poison(&self, context: String, payload: &(dyn std::any::Any + Send)) {
-        let mut outcome = self.outcome.lock().expect("outcome slot poisoned");
+        let mut outcome = lock_recover(&self.outcome);
         if outcome.is_none() {
             *outcome = Some(Err(ExecError::WorkerPanicked {
                 context,
@@ -252,7 +263,7 @@ impl<'a> ShardedExecutor<'a> {
                     }));
                     match seeded {
                         Ok((answers, metrics)) => {
-                            state.seeds.lock().expect("seed slots poisoned")[shard] =
+                            lock_recover(&state.seeds)[shard] =
                                 Some((answers, metrics, task_recorder));
                         }
                         Err(payload) => {
@@ -269,18 +280,11 @@ impl<'a> ShardedExecutor<'a> {
                     // pair with the acquires below: the last finisher
                     // observes every seed result and any poisoning.
                     if state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        if state
-                            .outcome
-                            .lock()
-                            .expect("outcome slot poisoned")
-                            .is_some()
-                        {
+                        if lock_recover(&state.outcome).is_some() {
                             // A seed panic already decided this query.
                             continue;
                         }
-                        let slots = std::mem::take(
-                            &mut *state.seeds.lock().expect("seed slots poisoned"),
-                        );
+                        let slots = std::mem::take(&mut *lock_recover(&state.seeds));
                         let mut seeds: Vec<Answer> = Vec::new();
                         let mut per_shard = vec![ExecMetrics::default(); n_shards];
                         // The query's trace: worker-local seed recorders
@@ -312,8 +316,7 @@ impl<'a> ShardedExecutor<'a> {
                         match merged {
                             Ok(mut run) => {
                                 run.trace = recorder.finish();
-                                *state.outcome.lock().expect("outcome slot poisoned") =
-                                    Some(Ok(run));
+                                *lock_recover(&state.outcome) = Some(Ok(run));
                             }
                             Err(payload) => {
                                 state.poison(
@@ -339,8 +342,17 @@ impl<'a> ShardedExecutor<'a> {
                 let result = state
                     .outcome
                     .into_inner()
-                    .expect("outcome slot poisoned")
-                    .expect("every query resolved");
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or_else(|| {
+                        // Unreachable by construction — the worker that
+                        // takes `remaining` to zero always writes the
+                        // slot. Typed rather than panicking, so even a
+                        // scheduler bug degrades to one failed query.
+                        Err(ExecError::WorkerPanicked {
+                            context: format!("scheduler (query {qi}): outcome never resolved"),
+                            payload: String::new(),
+                        })
+                    });
                 result.map(|mut run| {
                     run.metrics.seed_steals = state.steals.into_inner();
                     run.metrics.seed_skips = skips[qi];

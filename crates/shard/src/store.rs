@@ -101,6 +101,7 @@ impl ShardedStore {
         let mut offsets = Vec::with_capacity(shards.len());
         let mut base: u64 = 0;
         for shard in &shards {
+            // lint:allow(no-panic-hot-path): construction-time capacity guard — the global triple-id space is u32 by design
             offsets.push(u32::try_from(base).expect("global triple-id overflow"));
             base += shard.len() as u64;
         }
@@ -492,8 +493,9 @@ impl ShardedStore {
         let views = self.delta.clone().build_sharded(self.shards.len());
         let mut base = self.len as u64;
         for view in &views {
-            self.delta_offsets
-                .push(u32::try_from(base).expect("global triple-id overflow"));
+            // lint:allow(no-panic-hot-path): ingestion-time capacity guard — the global triple-id space is u32 by design
+            let offset = u32::try_from(base).expect("global triple-id overflow");
+            self.delta_offsets.push(offset);
             base += view.len() as u64;
             let index = view.posting_index();
             for &p in view.predicates() {

@@ -179,9 +179,7 @@ proptest! {
             .map(|&id| (id.0, store.provenance(id).weight()))
             .collect();
         let total: f64 = reference.iter().map(|(_, w)| w).sum();
-        reference.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0))
-        });
+        reference.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
         let list = trinit_xkg::PostingList::build(&store, &pattern);
         prop_assert_eq!(list.len(), reference.len());

@@ -1,0 +1,20 @@
+//! Tier-1 gate for the workspace invariant linter: plain `cargo test
+//! -q` from the repo root fails on any new violation, mirroring the
+//! lint crate's own `tests/workspace.rs` (which needs `-p trinit-lint`
+//! or `--workspace` to run). See `docs/static-analysis.md`.
+
+use std::path::Path;
+
+use trinit_lint::{find_workspace_root, lint_workspace};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("repo root is the workspace root");
+    let report = lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        report.is_clean() && report.warnings.is_empty(),
+        "workspace invariant violations:\n{}",
+        report.render_human(true)
+    );
+}
