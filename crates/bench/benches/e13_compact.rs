@@ -1,0 +1,427 @@
+//! E13 bench: compact segment layout — bytes/triple and serve latency.
+//!
+//! Two claims back `BENCH_e13.json`:
+//!
+//! 1. **Storage**: across a worldgen scale sweep (demo ≈12k triples up
+//!    to the million preset ≈1M triples with `E13_FULL=1`), the packed
+//!    layout's index bytes/triple — the share the
+//!    [`SegmentLayout`](trinit_xkg::SegmentLayout) choice controls:
+//!    permutation key columns, posting strata, directories — shrinks
+//!    ≥2.5× versus flat. `E13_STORAGE` lines report exact per-structure
+//!    byte accounting from `XkgStore::storage_bytes` plus freeze times.
+//!
+//! 2. **Serve**: the packed layout serves the E5 path (governed
+//!    monolithic top-k over the eval benchmark query set) and the E8
+//!    path (anchored posting-list builds) within noise of flat.
+//!    `E13_AB` lines report interleaved A/B medians — rounds of
+//!    (flat sweep, packed sweep) with the within-round order flipped
+//!    every round — and the criterion groups give conventional per-mode
+//!    timings, order-alternated across runs via `E13_ORDER=rev`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use trinit_core::{Trinit, TrinitBuilder, SESSION_CACHE_CAPACITY};
+use trinit_eval::{build_world, generate_benchmark, BenchmarkConfig, EvalConfig};
+use trinit_query::exec::topk::{self, TopkConfig};
+use trinit_query::{Query, QueryBuilder, SharedPostingCache};
+use trinit_relax::{QTerm, RuleSet};
+use trinit_worldgen::{Obj, World, WorldConfig};
+use trinit_xkg::{PostingList, SegmentLayout, SlotPattern, XkgBuilder, XkgStore};
+
+/// Loads a ground-truth world straight into an [`XkgBuilder`]: every
+/// fact becomes a triple, one third through the curated-KG stratum and
+/// the rest as extractions with deterministically varied confidence, so
+/// the quantized weight column sees realistic non-constant weights.
+fn world_builder(world: &World) -> XkgBuilder {
+    let mut b = XkgBuilder::new();
+    let src = b.intern_source("world");
+    for (i, f) in world.facts.iter().enumerate() {
+        let s = &world.entity(f.subject).resource;
+        let spec = f.relation.spec();
+        let p = spec.kg_predicate.unwrap_or("mentionedWith");
+        match &f.object {
+            Obj::Literal(text) => {
+                b.add_kg_literal(s, p, text);
+            }
+            Obj::Entity(e) => {
+                let o = &world.entity(*e).resource;
+                if i % 3 == 0 {
+                    b.add_kg_resources(s, p, o);
+                } else {
+                    let sid = b.dict_mut().resource(s);
+                    let pid = b.dict_mut().resource(p);
+                    let oid = b.dict_mut().resource(o);
+                    let conf = 0.3 + 0.6 * ((i % 101) as f32 / 101.0);
+                    b.add_extracted(sid, pid, oid, conf, src);
+                }
+            }
+        }
+    }
+    b
+}
+
+/// The scale sweep: demo (~12k triples), demo×8 (~100k), and with
+/// `E13_FULL=1` the million preset (~1M). The small scales keep the CI
+/// smoke cheap; the full sweep is what `BENCH_e13.json` records.
+fn storage_sweep() {
+    let mut scales = vec![
+        ("demo_12k", WorldConfig::demo(42)),
+        ("mid_100k", WorldConfig::demo(42).scaled(8.0)),
+    ];
+    if std::env::var("E13_FULL").as_deref() == Ok("1") {
+        scales.push(("million_1m", WorldConfig::million(42)));
+    }
+    for (name, cfg) in scales {
+        let world = World::generate(cfg);
+        let t0 = Instant::now();
+        let flat = world_builder(&world).build();
+        let flat_build_ns = t0.elapsed().as_nanos() as u64;
+        let t0 = Instant::now();
+        let packed = world_builder(&world).build_with(SegmentLayout::Packed);
+        let packed_build_ns = t0.elapsed().as_nanos() as u64;
+
+        let triples = flat.len();
+        assert_eq!(triples, packed.len());
+        let fb = flat.storage_bytes();
+        let pb = packed.storage_bytes();
+        println!(
+            "E13_STORAGE {{\"world\": \"{name}\", \"triples\": {triples}, \
+             \"flat_index_bytes\": {}, \"packed_index_bytes\": {}, \
+             \"flat_index_bpt\": {:.1}, \"packed_index_bpt\": {:.1}, \
+             \"index_reduction\": {:.2}, \
+             \"flat_total_bytes\": {}, \"packed_total_bytes\": {}, \
+             \"total_reduction\": {:.2}, \
+             \"flat_build_ns\": {flat_build_ns}, \"packed_build_ns\": {packed_build_ns}}}",
+            fb.index_bytes(),
+            pb.index_bytes(),
+            fb.bytes_per_triple(triples),
+            pb.bytes_per_triple(triples),
+            fb.index_bytes() as f64 / pb.index_bytes().max(1) as f64,
+            fb.total(),
+            pb.total(),
+            fb.total() as f64 / pb.total().max(1) as f64,
+        );
+        println!(
+            "E13_BREAKDOWN {{\"world\": \"{name}\", \
+             \"flat\": {{\"perms\": {}, \"perm_dirs\": {}, \"strata\": {}, \"strata_dirs\": {}}}, \
+             \"packed\": {{\"perms\": {}, \"perm_dirs\": {}, \"strata\": {}, \"strata_dirs\": {}}}, \
+             \"payload\": {{\"dict\": {}, \"triples\": {}, \"provenance\": {}}}}}",
+            fb.permutations,
+            fb.permutation_directories,
+            fb.posting_strata,
+            fb.posting_directories,
+            pb.permutations,
+            pb.permutation_directories,
+            pb.posting_strata,
+            pb.posting_directories,
+            fb.dict,
+            fb.triples,
+            fb.provenance,
+        );
+    }
+}
+
+fn build_system(world: &World, cfg: &EvalConfig, layout: SegmentLayout) -> Trinit {
+    let mut builder = TrinitBuilder::from_world(world, &cfg.kg_config(), &cfg.corpus_config());
+    builder.options_mut().layout(layout);
+    builder.build()
+}
+
+/// The E8-style anchored lookup mix over the eval system's store:
+/// s-only, o-only, sp and po shapes anchored at world entities that
+/// survived KG projection.
+fn anchored_patterns(world: &World, store: &XkgStore) -> Vec<SlotPattern> {
+    let mut out = Vec::new();
+    let people = world.of_type(trinit_worldgen::EntityType::Person);
+    let unis = world.of_type(trinit_worldgen::EntityType::University);
+    for i in 0..120usize {
+        let person = &world.entity(people[(i * 37) % people.len()]).resource;
+        let uni = &world.entity(unis[(i * 13) % unis.len()]).resource;
+        let (Some(s), Some(o)) = (store.resource(person), store.resource(uni)) else {
+            continue;
+        };
+        out.push(SlotPattern::new(Some(s), None, None));
+        out.push(SlotPattern::new(None, None, Some(o)));
+        if let Some(p) = store.resource("bornIn") {
+            out.push(SlotPattern::with_sp(s, p));
+        }
+        if let Some(p) = store.resource("graduatedFrom") {
+            out.push(SlotPattern::with_po(p, o));
+        }
+    }
+    out
+}
+
+const SUBJECTS: u32 = 3000;
+const PREDICATES: u32 = 12;
+const HUBS: u32 = 40;
+
+/// The E8 anchored-heavy synthetic store: one fact per (subject,
+/// predicate), objects concentrated on a hub set, varied weights.
+fn anchored_store_builder() -> XkgBuilder {
+    let mut b = XkgBuilder::new();
+    let src = b.intern_source("doc");
+    for s in 0..SUBJECTS {
+        for p in 0..PREDICATES {
+            let subj = b.dict_mut().resource(&format!("s{s}"));
+            let pred = b.dict_mut().resource(&format!("p{p}"));
+            let obj = b.dict_mut().resource(&format!("hub{}", (s * 7 + p) % HUBS));
+            let conf = 0.3 + 0.6 * (((s + p * 31) % 97) as f32 / 97.0);
+            b.add_extracted(subj, pred, obj, conf, src);
+        }
+    }
+    b
+}
+
+/// The E8 anchored-heavy top-k query mix: sp lookups plus pure subject
+/// and object anchors, k = 10.
+fn anchored_queries(store: &XkgStore) -> Vec<Query> {
+    (0..30u32)
+        .map(|i| {
+            let mut qb = QueryBuilder::new(store);
+            match i % 3 {
+                0 => qb
+                    .pattern_r_r_v(
+                        &format!("s{}", (i * 131) % SUBJECTS),
+                        &format!("p{}", i % PREDICATES),
+                        "y",
+                    )
+                    .limit(10)
+                    .build(),
+                1 => {
+                    let s = QTerm::Term(qb.resource(&format!("s{}", (i * 131) % SUBJECTS)));
+                    let pv = QTerm::Var(qb.var("p"));
+                    let y = QTerm::Var(qb.var("y"));
+                    qb.pattern(s, pv, y).limit(10).build()
+                }
+                _ => {
+                    let x = QTerm::Var(qb.var("x"));
+                    let pv = QTerm::Var(qb.var("p"));
+                    let o = QTerm::Term(qb.resource(&format!("hub{}", i % HUBS)));
+                    qb.pattern(x, pv, o).limit(10).build()
+                }
+            }
+        })
+        .collect()
+}
+
+fn median(v: &mut [u64]) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Interleaved A/B over two closures: 51 rounds of (a, b) with the
+/// within-round order flipped every round so warm-up and clock drift
+/// hit both sides symmetrically.
+fn ab_medians(mut a: impl FnMut() -> u64, mut b: impl FnMut() -> u64) -> (u64, u64) {
+    a();
+    b();
+    let rounds = 51usize;
+    let (mut a_ns, mut b_ns) = (Vec::new(), Vec::new());
+    for round in 0..rounds {
+        if round % 2 == 0 {
+            a_ns.push(a());
+            b_ns.push(b());
+        } else {
+            b_ns.push(b());
+            a_ns.push(a());
+        }
+    }
+    (median(&mut a_ns), median(&mut b_ns))
+}
+
+fn layouts() -> Vec<(&'static str, SegmentLayout)> {
+    let mut layouts = vec![
+        ("flat", SegmentLayout::Flat),
+        ("packed", SegmentLayout::Packed),
+    ];
+    if std::env::var("E13_ORDER").as_deref() == Ok("rev") {
+        layouts.reverse();
+    }
+    layouts
+}
+
+fn bench_compact(c: &mut Criterion) {
+    storage_sweep();
+
+    // The E5/E12 eval setting: world seed 42, scale 0.08, 15 queries.
+    let cfg = EvalConfig {
+        seed: 42,
+        scale: 0.08,
+        per_category: 3,
+    };
+    let (world, kg) = build_world(&cfg);
+    let queries = generate_benchmark(
+        &world,
+        &kg,
+        &BenchmarkConfig {
+            seed: 2,
+            per_category: cfg.per_category,
+        },
+    );
+    let systems: Vec<(&str, Trinit)> = layouts()
+        .into_iter()
+        .map(|(name, layout)| (name, build_system(&world, &cfg, layout)))
+        .collect();
+    let topk_cfg = TopkConfig::default();
+
+    let mut group = c.benchmark_group("e13_compact");
+    group.sample_size(10);
+
+    // E5 serve path: governed monolithic top-k, k = 10, both layouts.
+    let sweeps: Vec<(&str, Vec<Query>, &Trinit)> = systems
+        .iter()
+        .map(|(name, system)| {
+            let parsed: Vec<Query> = queries
+                .iter()
+                .filter_map(|q| system.parse(&q.text).ok())
+                .map(|mut q| {
+                    q.k = 10;
+                    q
+                })
+                .collect();
+            (*name, parsed, system)
+        })
+        .collect();
+    let run_e5 = |idx: usize| -> u64 {
+        let (_, parsed, system) = &sweeps[idx];
+        let t0 = Instant::now();
+        let total: usize = parsed
+            .iter()
+            .map(|q| {
+                topk::run_governed(system.store(), q, system.rules(), &topk_cfg, None)
+                    .answers
+                    .len()
+            })
+            .sum();
+        std::hint::black_box(total);
+        t0.elapsed().as_nanos() as u64
+    };
+    let (a_med, b_med) = ab_medians(|| run_e5(0), || run_e5(1));
+    println!(
+        "E13_AB {{\"path\": \"e5_topk\", \"rounds\": 51, \"queries\": {}, \
+         \"{}_median_ns\": {a_med}, \"{}_median_ns\": {b_med}, \"delta_pct\": {:.2}}}",
+        sweeps[0].1.len(),
+        sweeps[0].0,
+        sweeps[1].0,
+        (b_med as f64 / a_med as f64 - 1.0) * 100.0
+    );
+    for (name, parsed, system) in &sweeps {
+        group.bench_function(BenchmarkId::new("e5_topk", *name), |bch| {
+            bch.iter(|| {
+                parsed
+                    .iter()
+                    .map(|q| {
+                        topk::run_governed(system.store(), q, system.rules(), &topk_cfg, None)
+                            .answers
+                            .len()
+                    })
+                    .sum::<usize>()
+            })
+        });
+    }
+
+    // E8 serve path: the anchored-heavy top-k workload (the
+    // `e8_anchored/topk` setting) over the synthetic anchored store
+    // built in both layouts. Measured twice: in the deployed session
+    // configuration — a store-level posting cache at the session tier's
+    // capacity, exactly how `TrinitSystem::query` serves — where the
+    // packed decode amortizes to one decode per pattern per session,
+    // and cold (no shared cache), where every run pays the decode; the
+    // cold delta is the decode cost the cache tier exists to absorb.
+    let anchored_stores: Vec<(&str, XkgStore)> = layouts()
+        .into_iter()
+        .map(|(name, layout)| (name, anchored_store_builder().build_with(layout)))
+        .collect();
+    let rules = RuleSet::new();
+    let anchored_sets: Vec<(&str, Vec<Query>, &XkgStore, SharedPostingCache)> = anchored_stores
+        .iter()
+        .map(|(name, store)| {
+            (
+                *name,
+                anchored_queries(store),
+                store,
+                SharedPostingCache::new(SESSION_CACHE_CAPACITY),
+            )
+        })
+        .collect();
+    for (path, cached) in [("e8_topk", true), ("e8_topk_cold", false)] {
+        let run_e8_topk = |idx: usize| -> u64 {
+            let (_, qs, store, cache) = &anchored_sets[idx];
+            let shared = cached.then_some(cache);
+            let t0 = Instant::now();
+            let total: usize = qs
+                .iter()
+                .map(|q| topk::run_cached(store, q, &rules, &topk_cfg, shared).0.len())
+                .sum();
+            std::hint::black_box(total);
+            t0.elapsed().as_nanos() as u64
+        };
+        let (a_med, b_med) = ab_medians(|| run_e8_topk(0), || run_e8_topk(1));
+        println!(
+            "E13_AB {{\"path\": \"{path}\", \"rounds\": 51, \"queries\": {}, \
+             \"{}_median_ns\": {a_med}, \"{}_median_ns\": {b_med}, \"delta_pct\": {:.2}}}",
+            anchored_sets[0].1.len(),
+            anchored_sets[0].0,
+            anchored_sets[1].0,
+            (b_med as f64 / a_med as f64 - 1.0) * 100.0
+        );
+        for (idx, (name, ..)) in anchored_sets.iter().enumerate() {
+            group.bench_function(BenchmarkId::new(path, *name), |bch| {
+                bch.iter(|| run_e8_topk(idx))
+            });
+        }
+    }
+
+    // E8 diagnostic: the raw anchored posting-list build micro-loop.
+    // Packed pays its decode here with nothing to amortize it into —
+    // the absolute per-probe cost is what BENCH_e13.json documents.
+    let pattern_sets: Vec<(&str, Vec<SlotPattern>, &XkgStore)> = systems
+        .iter()
+        .map(|(name, system)| {
+            let store = system.store();
+            (*name, anchored_patterns(&world, store), store)
+        })
+        .collect();
+    assert!(
+        pattern_sets.iter().all(|(_, p, _)| !p.is_empty()),
+        "anchored pattern mix must be non-empty"
+    );
+    let run_e8 = |idx: usize| -> u64 {
+        let (_, patterns, store) = &pattern_sets[idx];
+        let t0 = Instant::now();
+        let mut acc = 0usize;
+        for pat in patterns {
+            let list = PostingList::build(store, pat);
+            acc += list.len() + list.peek_prob().is_some() as usize;
+        }
+        std::hint::black_box(acc);
+        t0.elapsed().as_nanos() as u64
+    };
+    let (a_med, b_med) = ab_medians(|| run_e8(0), || run_e8(1));
+    println!(
+        "E13_AB {{\"path\": \"e8_list\", \"rounds\": 51, \"patterns\": {}, \
+         \"{}_median_ns\": {a_med}, \"{}_median_ns\": {b_med}, \"delta_pct\": {:.2}}}",
+        pattern_sets[0].1.len(),
+        pattern_sets[0].0,
+        pattern_sets[1].0,
+        (b_med as f64 / a_med as f64 - 1.0) * 100.0
+    );
+    for (name, patterns, store) in &pattern_sets {
+        group.bench_function(BenchmarkId::new("e8_list", *name), |bch| {
+            bch.iter(|| {
+                let mut acc = 0usize;
+                for pat in patterns {
+                    let list = PostingList::build(store, pat);
+                    acc += list.len() + list.peek_prob().is_some() as usize;
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compact);
+criterion_main!(benches);

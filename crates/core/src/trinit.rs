@@ -26,7 +26,7 @@ use trinit_relax::{
 use trinit_shard::{QueryPool, SeedMode, ShardedExecutor, ShardedStore};
 use trinit_worldgen::corpus::generate_corpus;
 use trinit_worldgen::{alias_catalog, project_kg, CorpusConfig, KgConfig, World};
-use trinit_xkg::{GraphTag, SegmentedStore, XkgBuilder, XkgStore};
+use trinit_xkg::{GraphTag, SegmentLayout, SegmentedStore, XkgBuilder, XkgStore};
 
 use crate::complete::{Completer, Completion};
 use crate::explain::Explanation;
@@ -138,6 +138,10 @@ pub struct BuildOptions {
     /// Number of store shards to build (1 = monolithic store). Set via
     /// [`BuildOptions::shards`].
     pub shard_count: usize,
+    /// Physical layout of the frozen store segments (`Flat` by default;
+    /// `Packed` trades decode work for ~3–4× fewer index bytes with
+    /// bit-identical answers). Set via [`BuildOptions::layout`].
+    pub segment_layout: SegmentLayout,
 }
 
 impl Default for BuildOptions {
@@ -155,6 +159,7 @@ impl Default for BuildOptions {
             topk: TopkConfig::default(),
             expand: ExpandOptions::default(),
             shard_count: 1,
+            segment_layout: SegmentLayout::Flat,
         }
     }
 }
@@ -167,6 +172,18 @@ impl BuildOptions {
     /// shard count. `n ≤ 1` keeps the monolithic store.
     pub fn shards(&mut self, n: usize) -> &mut Self {
         self.shard_count = n.max(1);
+        self
+    }
+
+    /// Selects the physical layout the frozen base segments freeze
+    /// into. [`SegmentLayout::Packed`] bit-packs the permutation key
+    /// columns and quantizes stored posting weights for ~3–4× fewer
+    /// index bytes; every answer (keys and scores) is bit-identical to
+    /// a `Flat` build. The layout survives compaction; live-ingestion
+    /// delta segments always freeze `Flat` (they are small, hot, and
+    /// rebuilt on every batch). See `docs/storage.md`.
+    pub fn layout(&mut self, layout: SegmentLayout) -> &mut Self {
+        self.segment_layout = layout;
         self
     }
 }
@@ -282,7 +299,13 @@ impl TrinitBuilder {
         // system is returned.
         let shard_count = self.options.shard_count.max(1);
         let sharded_builder = (shard_count > 1).then(|| xkg.clone());
-        let store = xkg.build();
+        // A sharded build's monolith is transient (mining/completion
+        // only) and freezes Flat regardless of the layout option; a
+        // monolithic build's store is kept, so it freezes as configured.
+        let store = match &sharded_builder {
+            Some(_) => xkg.build(),
+            None => xkg.build_with(self.options.segment_layout),
+        };
 
         let mut registry = OperatorRegistry::new();
         if self.options.mine_cooccurrence {
@@ -323,11 +346,15 @@ impl TrinitBuilder {
         let backend = match sharded_builder {
             Some(builder) => {
                 drop(store);
-                Backend::Sharded(Box::new(ShardedStore::build(builder, shard_count)))
+                Backend::Sharded(Box::new(ShardedStore::build_with(
+                    builder,
+                    shard_count,
+                    self.options.segment_layout,
+                )))
             }
             None => Backend::Single(Box::new(SegmentedStore::new(store))),
         };
-        Trinit {
+        let trinit = Trinit {
             backend,
             rules,
             completer,
@@ -338,7 +365,9 @@ impl TrinitBuilder {
             posting_cache: None,
             shard_caches: None,
             registry: MetricsRegistry::new(),
-        }
+        };
+        trinit.refresh_gauges();
+        trinit
     }
 }
 
@@ -400,7 +429,7 @@ impl Trinit {
             ingest: Default::default(),
             rules: rules.len(),
         };
-        Trinit {
+        let trinit = Trinit {
             backend: Backend::Single(Box::new(SegmentedStore::new(store))),
             rules,
             completer,
@@ -411,7 +440,9 @@ impl Trinit {
             posting_cache: None,
             shard_caches: None,
             registry: MetricsRegistry::new(),
-        }
+        };
+        trinit.refresh_gauges();
+        trinit
     }
 
     /// Wraps an already-built sharded store and rule set.
@@ -424,7 +455,7 @@ impl Trinit {
             ingest: Default::default(),
             rules: rules.len(),
         };
-        Trinit {
+        let trinit = Trinit {
             backend: Backend::Sharded(Box::new(store)),
             rules,
             completer,
@@ -435,7 +466,9 @@ impl Trinit {
             posting_cache: None,
             shard_caches: None,
             registry: MetricsRegistry::new(),
-        }
+        };
+        trinit.refresh_gauges();
+        trinit
     }
 
     /// The vocabulary store: the monolith's base (or its delta view
@@ -618,7 +651,10 @@ impl Trinit {
         self.registry.record_trace(&outcome.trace);
     }
 
-    /// Re-reads the store gauges after a mutation (ingest/compact).
+    /// Re-reads the store gauges after a build or mutation
+    /// (ingest/compact): generation, triple counts, and the exact
+    /// storage-byte accounting (index bytes across every live segment,
+    /// and total bytes per triple).
     fn refresh_gauges(&self) {
         let (generation, delta, total) = match &self.backend {
             Backend::Single(seg) => (seg.generation(), seg.delta_len(), seg.len()),
@@ -627,6 +663,36 @@ impl Trinit {
         self.registry.set_gauge(Gauge::StoreGeneration, generation);
         self.registry.set_gauge(Gauge::DeltaTriples, delta as u64);
         self.registry.set_gauge(Gauge::StoreTriples, total as u64);
+        let mut index_bytes = 0usize;
+        let mut total_bytes = 0usize;
+        let mut tally = |s: &XkgStore| {
+            let b = s.storage_bytes();
+            index_bytes += b.index_bytes();
+            total_bytes += b.total();
+        };
+        match &self.backend {
+            Backend::Single(seg) => {
+                tally(seg.base());
+                if let Some(view) = seg.delta_view() {
+                    tally(view);
+                }
+            }
+            Backend::Sharded(s) => {
+                for shard in s.shards() {
+                    tally(shard);
+                }
+                for (view, _) in s.delta_slices() {
+                    tally(view);
+                }
+            }
+        }
+        let bytes_per_triple = if total > 0 {
+            (total_bytes as f64 / total as f64).round() as u64
+        } else {
+            0
+        };
+        self.registry.set_gauge(Gauge::IndexBytes, index_bytes as u64);
+        self.registry.set_gauge(Gauge::BytesPerTriple, bytes_per_triple);
     }
 
     /// The rule set an engine variant executes with on the sharded
@@ -1326,6 +1392,56 @@ mod tests {
         let mono = tiny_system();
         assert_eq!(mono.shard_count(), 1);
         assert!(mono.sharded_store().is_none());
+    }
+
+    fn tiny_packed_system() -> Trinit {
+        let world = World::generate(WorldConfig::tiny(11));
+        let mut builder =
+            TrinitBuilder::from_world(&world, &KgConfig::default(), &CorpusConfig::tiny(7));
+        builder.options_mut().layout(SegmentLayout::Packed);
+        builder.build()
+    }
+
+    #[test]
+    fn packed_build_answers_match_flat_build() {
+        let flat = tiny_system();
+        let packed = tiny_packed_system();
+        assert!(packed
+            .segmented_store()
+            .is_some_and(|seg| !seg.base().layout().is_flat()));
+        for q in ["?x type person LIMIT 5", "?x type university LIMIT 7"] {
+            let a = flat.query(q).unwrap();
+            let b = packed.query(q).unwrap();
+            assert_eq!(a.answers.len(), b.answers.len(), "{q}");
+            for (x, y) in a.answers.iter().zip(&b.answers) {
+                assert_eq!(x.key, y.key, "{q}: answer keys differ");
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "{q}: scores must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn storage_gauges_surface_in_snapshot() {
+        let flat = tiny_system();
+        let packed = tiny_packed_system();
+        for sys in [&flat, &packed] {
+            let j = sys.metrics_snapshot();
+            assert!(j.contains("\"index_bytes\":"), "{j}");
+            assert!(j.contains("\"bytes_per_triple\":"), "{j}");
+            assert!(sys.registry().gauge(Gauge::IndexBytes) > 0);
+            assert!(sys.registry().gauge(Gauge::BytesPerTriple) > 0);
+        }
+        assert!(
+            packed.registry().gauge(Gauge::IndexBytes)
+                < flat.registry().gauge(Gauge::IndexBytes),
+            "packed layout must shrink index bytes ({} vs {})",
+            packed.registry().gauge(Gauge::IndexBytes),
+            flat.registry().gauge(Gauge::IndexBytes)
+        );
     }
 
     #[test]

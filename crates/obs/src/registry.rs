@@ -85,15 +85,28 @@ pub enum Gauge {
     DeltaTriples,
     /// Total triples in the store (base + delta).
     StoreTriples,
+    /// Heap bytes held by the store's index structures (permutations,
+    /// posting strata, and their directories — dictionary and triple
+    /// payloads excluded).
+    IndexBytes,
+    /// Total storage bytes (indexes + dictionary + triple/provenance
+    /// payloads) divided by the triple count, rounded to the nearest
+    /// whole byte; 0 for an empty store.
+    BytesPerTriple,
 }
 
 impl Gauge {
     /// Number of gauges.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 5;
 
     /// Every gauge, in index order.
-    pub const ALL: [Gauge; Gauge::COUNT] =
-        [Gauge::StoreGeneration, Gauge::DeltaTriples, Gauge::StoreTriples];
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::StoreGeneration,
+        Gauge::DeltaTriples,
+        Gauge::StoreTriples,
+        Gauge::IndexBytes,
+        Gauge::BytesPerTriple,
+    ];
 
     /// Dense index (position in [`Gauge::ALL`]).
     pub fn idx(self) -> usize {
@@ -106,6 +119,8 @@ impl Gauge {
             Gauge::StoreGeneration => "store_generation",
             Gauge::DeltaTriples => "delta_triples",
             Gauge::StoreTriples => "store_triples",
+            Gauge::IndexBytes => "index_bytes",
+            Gauge::BytesPerTriple => "bytes_per_triple",
         }
     }
 }
@@ -369,7 +384,11 @@ mod tests {
     fn gauge_all_is_exhaustive_with_unique_names() {
         for g in Gauge::ALL {
             match g {
-                Gauge::StoreGeneration | Gauge::DeltaTriples | Gauge::StoreTriples => {}
+                Gauge::StoreGeneration
+                | Gauge::DeltaTriples
+                | Gauge::StoreTriples
+                | Gauge::IndexBytes
+                | Gauge::BytesPerTriple => {}
             }
         }
         let mut names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();

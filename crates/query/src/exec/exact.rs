@@ -63,6 +63,10 @@ pub fn evaluate(
     let mut out = Vec::new();
     let mut bindings = Bindings::new(n_vars);
     let mut matched: Vec<MatchedTriple> = Vec::with_capacity(patterns.len());
+    // One candidate scratch buffer per join depth: Packed segments decode
+    // probe ranges into these instead of allocating per probe (Flat
+    // segments borrow and never touch them).
+    let mut scratch: Vec<Vec<TripleId>> = vec![Vec::new(); order.len()];
     let base_score = ln_weight(rule_weight);
 
     recurse(
@@ -73,6 +77,7 @@ pub fn evaluate(
         0,
         &mut bindings,
         &mut matched,
+        &mut scratch,
         base_score,
         &mut |bindings, matched, score| {
             out.push(Answer {
@@ -113,6 +118,7 @@ fn recurse(
     depth: usize,
     bindings: &mut Bindings,
     matched: &mut Vec<MatchedTriple>,
+    scratch: &mut Vec<Vec<TripleId>>,
     score: f64,
     emit: &mut dyn FnMut(&Bindings, &[MatchedTriple], f64),
     metrics: &mut ExecMetrics,
@@ -123,7 +129,11 @@ fn recurse(
     };
     let pattern = &patterns[pi];
     let lookup = substituted(pattern, bindings);
-    let candidates = store.lookup(&lookup);
+    // This depth's scratch buffer is taken for the duration of the probe
+    // loop (deeper recursion uses its own depth's buffer) and returned
+    // below, so a Packed decode's allocation is reused across probes.
+    let mut buf = std::mem::take(scratch.get_mut(depth).map_or(&mut Vec::new(), |b| b));
+    let candidates = store.lookup_in(&lookup, &mut buf);
     // Validate-then-bind with undo: candidate compatibility is checked
     // against the shared assignment in place, so a failing candidate
     // costs no allocation (the old per-candidate `Bindings` clone made
@@ -155,6 +165,7 @@ fn recurse(
                 depth + 1,
                 bindings,
                 matched,
+                scratch,
                 score + step,
                 emit,
                 metrics,
@@ -164,6 +175,9 @@ fn recurse(
         for &v in &newly_bound {
             bindings.unbind(v);
         }
+    }
+    if let Some(slot) = scratch.get_mut(depth) {
+        *slot = buf;
     }
 }
 

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use trinit_relax::{QPattern, QTerm};
-use trinit_xkg::{Posting, PostingList, ServeKind, SlotPattern, TripleId, XkgStore};
+use trinit_xkg::{EntriesRef, Posting, PostingList, ServeKind, SlotPattern, TripleId, XkgStore};
 
 /// Bitmask of within-pattern variable-equality constraints: bit 0 =
 /// subject/predicate, bit 1 = subject/object, bit 2 = predicate/object.
@@ -74,13 +74,21 @@ pub fn canonical_pattern(pattern: &QPattern) -> CanonicalPattern {
     (pattern.slot_pattern(), repetition_mask(pattern))
 }
 
+/// One cached materialized list: shared entries, the build-time
+/// prefix-sum column when the source had one (`Packed` stores decode
+/// their hot shapes once per cache tier and keep the exact column so
+/// `remaining_mass` stays bit-identical to the `Flat` borrow path), and
+/// the total emission weight.
+type CachedList = (Arc<[Posting]>, Option<Arc<[f64]>>, f64);
+
 /// Per-execution cache of materialized posting lists, keyed by
 /// [`CanonicalPattern`]. Borrow-served pattern shapes are never inserted
-/// (they are already free); only shapes that would re-sort or re-filter
-/// are shared.
+/// by `Flat` stores (they are already free); `Packed` stores insert
+/// their decoded hot shapes here too, so one execution decodes each
+/// group at most once.
 #[derive(Debug, Default)]
 pub struct PostingCache {
-    map: HashMap<CanonicalPattern, (Arc<[Posting]>, f64)>,
+    map: HashMap<CanonicalPattern, CachedList>,
 }
 
 impl PostingCache {
@@ -155,6 +163,7 @@ const LRU_NONE: usize = usize::MAX;
 struct SharedEntry {
     key: CanonicalPattern,
     entries: Arc<[Posting]>,
+    prefix: Option<Arc<[f64]>>,
     total: f64,
     prev: usize,
     next: usize,
@@ -215,6 +224,7 @@ impl SharedInner {
         self.unlink(i);
         self.map.remove(&self.slab[i].key);
         self.slab[i].entries = Vec::new().into();
+        self.slab[i].prefix = None;
         self.free.push(i);
         self.stats.evictions += 1;
     }
@@ -335,14 +345,18 @@ impl SharedPostingCache {
 
     /// Looks up a canonical pattern, bumping its recency on hit. Counts
     /// one hit or one miss. O(1).
-    fn get(&self, key: &CanonicalPattern) -> Option<(Arc<[Posting]>, f64)> {
+    fn get(&self, key: &CanonicalPattern) -> Option<CachedList> {
         let mut inner = self.lock();
         match inner.map.get(key).copied() {
             Some(i) => {
                 inner.unlink(i);
                 inner.push_front(i);
                 inner.stats.hits += 1;
-                Some((Arc::clone(&inner.slab[i].entries), inner.slab[i].total))
+                Some((
+                    Arc::clone(&inner.slab[i].entries),
+                    inner.slab[i].prefix.clone(),
+                    inner.slab[i].total,
+                ))
             }
             None => {
                 inner.stats.misses += 1;
@@ -354,13 +368,20 @@ impl SharedPostingCache {
     /// Inserts a materialized list, evicting least-recently-used entries
     /// (O(1) each, off the recency list's tail) if the capacity bound
     /// would be exceeded.
-    fn insert(&self, key: CanonicalPattern, entries: Arc<[Posting]>, total: f64) {
+    fn insert(
+        &self,
+        key: CanonicalPattern,
+        entries: Arc<[Posting]>,
+        prefix: Option<Arc<[f64]>>,
+        total: f64,
+    ) {
         let mut inner = self.lock();
         if inner.capacity == 0 {
             return;
         }
         if let Some(i) = inner.map.get(&key).copied() {
             inner.slab[i].entries = entries;
+            inner.slab[i].prefix = prefix;
             inner.slab[i].total = total;
             inner.unlink(i);
             inner.push_front(i);
@@ -372,6 +393,7 @@ impl SharedPostingCache {
         let node = SharedEntry {
             key,
             entries,
+            prefix,
             total,
             prev: LRU_NONE,
             next: LRU_NONE,
@@ -492,39 +514,106 @@ impl<'s> ScoredMatches<'s> {
         let (slot, mask) = key;
         let global = totals.and_then(|t| t.pattern_total(&key));
         if mask == 0 && is_borrow_served(&slot) {
-            // Zero-alloc either way: a global total only changes the
-            // normalization constant, so the borrowed slice is reused
-            // with an on-the-fly probability rescale instead of a copy.
-            // Anchored (s-/o-bound) shapes take this path too — under
-            // subject-hash sharding their lists stay per-shard borrowed
-            // slices with no per-shard materialization at all.
-            let list = PostingList::build(store, &slot);
-            let scale = match global {
-                Some(t) if t > 0.0 => list.total_weight() / t,
+            // A global total only changes the normalization constant, so
+            // hot-shape lists keep their locally normalized entries and
+            // rescale on the fly — the cached/borrowed list is valid
+            // under any totals provider.
+            let rescale = |total: f64| match global {
+                Some(t) if t > 0.0 => total / t,
                 Some(_) => 0.0,
                 None => 1.0,
             };
-            let kind = list.serve_kind();
+            if store.layout().is_flat() {
+                // Zero-alloc: the borrowed slice of the frozen posting
+                // index is reused with an on-the-fly probability rescale
+                // instead of a copy. Anchored (s-/o-bound) shapes take
+                // this path too — under subject-hash sharding their
+                // lists stay per-shard borrowed slices with no per-shard
+                // materialization at all.
+                let list = PostingList::build(store, &slot);
+                let scale = rescale(list.total_weight());
+                let kind = list.serve_kind();
+                return (
+                    ScoredMatches {
+                        list,
+                        scale,
+                        built: Some(kind),
+                    },
+                    CacheSource::Built,
+                );
+            }
+            // Packed store: hot shapes decode the group into an owned
+            // list, so the decode is shared through the cache tiers —
+            // one decode per execution (or session) instead of one per
+            // build. The exact prefix column rides along, keeping
+            // `remaining_mass` bit-identical to the Flat borrow path.
+            if let Some((entries, prefix, total)) = cache.map.get(&key) {
+                let scale = rescale(*total);
+                return (
+                    ScoredMatches {
+                        list: PostingList::from_shared_parts(
+                            Arc::clone(entries),
+                            prefix.clone(),
+                            *total,
+                        ),
+                        scale,
+                        built: None,
+                    },
+                    CacheSource::ExecHit,
+                );
+            }
+            if let Some(store_cache) = shared {
+                if let Some((entries, prefix, total)) = store_cache.get(&key) {
+                    cache
+                        .map
+                        .insert(key, (Arc::clone(&entries), prefix.clone(), total));
+                    let scale = rescale(total);
+                    return (
+                        ScoredMatches {
+                            list: PostingList::from_shared_parts(entries, prefix, total),
+                            scale,
+                            built: None,
+                        },
+                        CacheSource::SharedHit,
+                    );
+                }
+            }
+            let built = PostingList::build(store, &slot);
+            let kind = built.serve_kind();
+            let scale = rescale(built.total_weight());
+            let (entries, prefix, total) = built.into_shared_parts();
+            cache
+                .map
+                .insert(key, (Arc::clone(&entries), prefix.clone(), total));
+            if let Some(store_cache) = shared {
+                store_cache.insert(key, Arc::clone(&entries), prefix.clone(), total);
+            }
             return (
                 ScoredMatches {
-                    list,
+                    list: PostingList::from_shared_parts(entries, prefix, total),
                     scale,
                     built: Some(kind),
                 },
                 CacheSource::Built,
             );
         }
-        if let Some((entries, total)) = cache.map.get(&key) {
+        if let Some((entries, prefix, total)) = cache.map.get(&key) {
             return (
-                ScoredMatches::unscaled(PostingList::from_shared(Arc::clone(entries), *total)),
+                ScoredMatches::unscaled(PostingList::from_shared_parts(
+                    Arc::clone(entries),
+                    prefix.clone(),
+                    *total,
+                )),
                 CacheSource::ExecHit,
             );
         }
         if let Some(store_cache) = shared {
-            if let Some((entries, total)) = store_cache.get(&key) {
-                cache.map.insert(key, (Arc::clone(&entries), total));
+            if let Some((entries, prefix, total)) = store_cache.get(&key) {
+                cache
+                    .map
+                    .insert(key, (Arc::clone(&entries), prefix.clone(), total));
                 return (
-                    ScoredMatches::unscaled(PostingList::from_shared(entries, total)),
+                    ScoredMatches::unscaled(PostingList::from_shared_parts(entries, prefix, total)),
                     CacheSource::SharedHit,
                 );
             }
@@ -532,17 +621,15 @@ impl<'s> ScoredMatches<'s> {
         let (entries, total, kind) = match global {
             Some(t) => scaled_entries(store, &slot, mask, t),
             None if mask == 0 => {
-                let built = PostingList::build(store, &slot);
-                let total = built.total_weight();
-                let kind = built.serve_kind();
-                (built.into_entries(), total, kind)
+                let (entries, total, kind) = PostingList::build_entries(store, &slot);
+                (entries.into_vec(), total, kind)
             }
             None => filtered_entries(store, &slot, mask),
         };
         let rc: Arc<[Posting]> = entries.into();
-        cache.map.insert(key, (Arc::clone(&rc), total));
+        cache.map.insert(key, (Arc::clone(&rc), None, total));
         if let Some(store_cache) = shared {
-            store_cache.insert(key, Arc::clone(&rc), total);
+            store_cache.insert(key, Arc::clone(&rc), None, total);
         }
         (
             ScoredMatches {
@@ -686,20 +773,26 @@ fn scaled_entries(
     mask: u8,
     total: f64,
 ) -> (Vec<Posting>, f64, ServeKind) {
-    let source = PostingList::build(store, slot);
-    let kind = source.serve_kind();
+    // Entries-only build: the prefix column is never kept on this path,
+    // so a Packed segment skips reconstructing it.
+    let (source, _, kind) = PostingList::build_entries(store, slot);
     // A zero global total means the match set carries no emission mass
     // anywhere: serve empty, exactly like the index's own zero-mass
     // groups, so the 0 head bound reported for such patterns is exact.
     if total <= 0.0 {
         return (Vec::new(), 0.0, kind);
     }
-    let mut entries: Vec<Posting> = source
-        .entries()
-        .iter()
-        .filter(|e| mask == 0 || satisfies_mask(store, e.triple, mask))
-        .copied()
-        .collect();
+    let mut entries: Vec<Posting> = match source {
+        // An unmasked decoded group is already the exact entry set:
+        // rescale it in place instead of copying.
+        EntriesRef::Owned(v) if mask == 0 => v,
+        source => source
+            .as_slice()
+            .iter()
+            .filter(|e| mask == 0 || satisfies_mask(store, e.triple, mask))
+            .copied()
+            .collect(),
+    };
     for e in &mut entries {
         e.prob = e.weight / total;
     }
@@ -710,10 +803,11 @@ fn scaled_entries(
 /// renormalizes. The source is already score-sorted, so the filtered
 /// subset needs no re-sort.
 fn filtered_entries(store: &XkgStore, slot: &SlotPattern, mask: u8) -> (Vec<Posting>, f64, ServeKind) {
-    let source = PostingList::build(store, slot);
-    let kind = source.serve_kind();
+    // Entries-only build: the masked copy below never reads the prefix
+    // column, so a Packed segment skips reconstructing it.
+    let (source, _, kind) = PostingList::build_entries(store, slot);
     let mut entries: Vec<Posting> = source
-        .entries()
+        .as_slice()
         .iter()
         .filter(|e| satisfies_mask(store, e.triple, mask))
         .copied()
@@ -1001,7 +1095,7 @@ mod tests {
         let p = pat(&store, QTerm::Var(VarId(0)), QTerm::Var(VarId(1)));
         let key = canonical_pattern(&p);
         let cache = SharedPostingCache::new(8);
-        cache.insert(key, Vec::new().into(), 1.0);
+        cache.insert(key, Vec::new().into(), None, 1.0);
         assert_eq!(cache.len(), 1);
 
         // Poison the mutex: a holder panics with the guard live.
@@ -1022,7 +1116,7 @@ mod tests {
         assert_eq!(cache.capacity(), 8, "capacity survives recovery");
 
         // And the cache is fully usable again (poison flag cleared).
-        cache.insert(key, Vec::new().into(), 1.0);
+        cache.insert(key, Vec::new().into(), None, 1.0);
         assert!(cache.get(&key).is_some());
         assert_eq!(cache.stats().poison_recoveries, 1, "recovered once, not per lock");
     }
@@ -1034,7 +1128,7 @@ mod tests {
         let key = canonical_pattern(&p);
         let cache = SharedPostingCache::new(8);
         cache.ensure_generation(0);
-        cache.insert(key, Vec::new().into(), 1.0);
+        cache.insert(key, Vec::new().into(), None, 1.0);
         assert!(cache.get(&key).is_some());
         // Same generation: residents survive.
         cache.ensure_generation(0);
@@ -1044,8 +1138,8 @@ mod tests {
         cache.ensure_generation(1);
         assert!(cache.get(&key).is_none(), "stale list served after ingest");
         // Re-stamping the same generation is a no-op for new residents.
-        cache.insert(key, Vec::new().into(), 2.0);
+        cache.insert(key, Vec::new().into(), None, 2.0);
         cache.ensure_generation(1);
-        assert_eq!(cache.get(&key).map(|(_, t)| t), Some(2.0));
+        assert_eq!(cache.get(&key).map(|(_, _, t)| t), Some(2.0));
     }
 }

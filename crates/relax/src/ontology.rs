@@ -103,7 +103,7 @@ pub fn mine_granularity(
     // Class-pair histogram of the via predicate.
     let mut via_pairs: HashMap<(TermId, TermId), usize> = HashMap::new();
     let mut via_from: HashMap<TermId, usize> = HashMap::new();
-    for &id in store.lookup(&SlotPattern::with_p(via)) {
+    for &id in &store.lookup(&SlotPattern::with_p(via)) {
         let t = store.triple(id);
         let (Some(cs), Some(co)) = (
             class_of(store, type_pred, t.s),
@@ -123,7 +123,7 @@ pub fn mine_granularity(
         // Dominant object class of `base`.
         let mut class_counts: HashMap<TermId, usize> = HashMap::new();
         let mut total = 0usize;
-        for &id in store.lookup(&SlotPattern::with_p(base)) {
+        for &id in &store.lookup(&SlotPattern::with_p(base)) {
             let o = store.triple(id).o;
             if let Some(c) = class_of(store, type_pred, o) {
                 *class_counts.entry(c).or_insert(0) += 1;

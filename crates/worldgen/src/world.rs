@@ -6,6 +6,8 @@
 //! renders (especially the KG-missing) facts into text. Because the world
 //! is fully known, evaluation can compute exact relevance judgments.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,6 +124,26 @@ impl WorldConfig {
             leagues: 6,
             companies: 60,
             zipf_exponent: 1.0,
+        }
+    }
+
+    /// A ~1M-triple world (~190k people, ~5.5 facts each) for scale
+    /// benchmarks. The demo shape scaled ~95x, with a slightly steeper
+    /// Zipf skew so hot entities dominate posting lists the way they do
+    /// in web-extracted data.
+    pub fn million(seed: u64) -> WorldConfig {
+        WorldConfig {
+            seed,
+            people: 190_000,
+            cities: 2_400,
+            countries: 150,
+            universities: 3_000,
+            institutes: 600,
+            prizes: 40,
+            fields: 400,
+            leagues: 12,
+            companies: 1_500,
+            zipf_exponent: 1.1,
         }
     }
 
@@ -345,6 +367,21 @@ impl Generator {
             self.entities[pid.idx()].popularity = zipf.mass(rank) * people.len() as f64;
         }
 
+        // Each institute recorded exactly one HousedIn fact above; index
+        // those once so the person loop below stays O(people) instead of
+        // rescanning the whole fact log per institute affiliate. The old
+        // linear `find` consumed no RNG, and neither does this map, so
+        // generated worlds are byte-identical to before.
+        let housed_in: HashMap<EntityId, EntityId> = self
+            .facts
+            .iter()
+            .filter(|f| f.relation == Relation::HousedIn)
+            .filter_map(|f| match f.object {
+                Obj::Entity(univ) => Some((f.subject, univ)),
+                Obj::Literal(_) => None,
+            })
+            .collect();
+
         for (i, &pid) in people.iter().enumerate() {
             if self.rng.gen_bool(0.95) {
                 let city = self.pick(&cities);
@@ -370,14 +407,7 @@ impl Generator {
                     let inst = self.pick(&institutes);
                     self.fact(pid, Relation::AffiliatedWith, Obj::Entity(inst));
                     if self.rng.gen_bool(0.7) {
-                        if let Some(Obj::Entity(univ)) = self
-                            .facts
-                            .iter()
-                            .find(|f| {
-                                f.subject == inst && f.relation == Relation::HousedIn
-                            })
-                            .map(|f| f.object.clone())
-                        {
+                        if let Some(&univ) = housed_in.get(&inst) {
                             self.fact(pid, Relation::LecturedAt, Obj::Entity(univ));
                         }
                     }
@@ -533,5 +563,46 @@ mod tests {
         let cfg = WorldConfig::demo(1).scaled(0.1);
         assert_eq!(cfg.people, 200);
         assert_eq!(cfg.universities, 12);
+    }
+
+    #[test]
+    fn million_config_targets_a_million_triples() {
+        let cfg = WorldConfig::million(1);
+        assert_eq!(cfg.people, 190_000);
+        // ~5.5 expected facts per person puts the world at ~1M triples.
+        let expected = cfg.people as f64 * 5.5;
+        assert!(expected > 1_000_000.0, "{expected}");
+        assert!(cfg.zipf_exponent > 1.0);
+    }
+
+    #[test]
+    fn institute_lectures_happen_at_the_housing_university() {
+        // The housed-in index must route an institute affiliate's guest
+        // lecture to the university that houses that institute. With a
+        // fixed seed the generated world is stable, so at least one such
+        // routed lecture must exist (the Einstein/IAS scenario).
+        let w = World::generate(WorldConfig::tiny(23));
+        let routed = w.facts_of(Relation::AffiliatedWith).any(|f| {
+            let Obj::Entity(org) = f.object else {
+                return false;
+            };
+            if w.entity(org).etype != EntityType::Institute {
+                return false;
+            }
+            let Some(&Obj::Entity(univ)) = w
+                .facts
+                .iter()
+                .find(|g| g.subject == org && g.relation == Relation::HousedIn)
+                .map(|g| &g.object)
+            else {
+                return false;
+            };
+            w.facts.iter().any(|g| {
+                g.subject == f.subject
+                    && g.relation == Relation::LecturedAt
+                    && g.object == Obj::Entity(univ)
+            })
+        });
+        assert!(routed, "no institute affiliate lectures at a housing campus");
     }
 }

@@ -119,6 +119,20 @@ impl TermDict {
         self.len() == 0
     }
 
+    /// Heap bytes held by the dictionary: string payloads (stored twice,
+    /// in the resolve vector and the lookup key) plus table capacities.
+    pub fn heap_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| {
+                t.strings.iter().map(|s| s.len()).sum::<usize>() * 2
+                    + t.strings.capacity() * std::mem::size_of::<Box<str>>()
+                    + t.lookup.capacity()
+                        * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<u32>())
+            })
+            .sum()
+    }
+
     /// Iterates `(id, text)` pairs of a kind in interning order.
     pub fn iter_kind(&self, kind: TermKind) -> impl Iterator<Item = (TermId, &str)> {
         self.tables[kind as usize]

@@ -5,28 +5,48 @@
 //! Six sorted permutations (SPO, SOP, PSO, POS, OSP, OPS) make every shape
 //! of [`SlotPattern`] answerable with a binary-searched contiguous range,
 //! in the style of in-memory RDF stores (HDT, Hexastore). Each permutation
-//! is stored **columnar**: a flat `Vec<[TermId; 3]>` *key column* holding
-//! the permuted keys inline, plus an aligned `Vec<TripleId>` *id column*.
-//! A probe therefore touches only the key column — sequential 12-byte
-//! records, no pointer chase back into the triple table and no per-probe
-//! heap allocation — and returns a slice of the id column.
+//! stores its rows in one of two layouts chosen at build time
+//! ([`SegmentLayout`]):
+//!
+//! * **Flat** — a `Vec<[TermId; 3]>` *key column* holding the permuted
+//!   keys inline, plus an aligned `Vec<TripleId>` *id column*. A probe
+//!   touches only the key column — sequential 12-byte records, no pointer
+//!   chase back into the triple table — and returns a borrowed slice of
+//!   the id column. 16 bytes per triple per permutation.
+//! * **Packed** — rows grouped into blocks of [`BLOCK`] (128). Each of
+//!   the four columns (three key columns + the id column) is stored as
+//!   bit-packed deltas from a per-block reference value, over one shared
+//!   `u64` word stream. A sparse *selection directory* holds each
+//!   block's first key, so a probe is a directory `partition_point` plus
+//!   a binary search inside at most one block — `O(log n)` field reads,
+//!   no allocation. Ids decode into a caller-supplied scratch buffer
+//!   ([`TripleIndex::lookup_in`]) or an owned vector ([`MatchIds`]).
+//!   Typical cost is 2–6 bytes per triple per permutation depending on
+//!   key locality, a 3–6× reduction against Flat.
+//!
+//! Sort order is identical in both layouts: [`TermId`]'s ordering is the
+//! ordering of its packed raw `u32` (kind bits high), so comparing raw
+//! values compares terms.
 //!
 //! # Cost model
 //!
-//! * **Memory**: 16 bytes per triple per permutation (12-byte inline key +
-//!   4-byte id), 96 bytes per triple for all six — against 24 bytes for
-//!   the id-only layout this replaced. The keys are redundant with the
-//!   triple table; they are duplicated precisely so probes never touch it.
-//! * **Lookup**: two `partition_point` binary searches over the key
-//!   column; `O(log n)` key-prefix comparisons, zero allocations.
-//! * **Build**: each permutation materializes its key column once and
-//!   sorts `(key, id)` rows with inline comparisons (no `perm.key()`
-//!   recomputation per comparison). Permutations build on six scoped
-//!   threads when the table is large enough to amortize spawning.
+//! * **Lookup**: two `partition_point` binary searches (Flat: over the
+//!   key column; Packed: over the directory, then within one block).
+//! * **Build**: each permutation materializes and sorts its rows once;
+//!   permutations build on six scoped threads when the table is large
+//!   enough to amortize spawning. Packing is a single append pass over
+//!   the sorted rows.
 
+use std::ops::Range;
+
+use crate::pack::{bits_for, read_bits, BitWriter, SegmentLayout};
 use crate::pattern::SlotPattern;
 use crate::term::TermId;
 use crate::triple::{Triple, TripleId};
+
+/// Rows per packed block: the unit of delta encoding and of the sparse
+/// selection directory.
+pub const BLOCK: usize = 128;
 
 /// One of the six orderings of (S, P, O).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,12 +103,13 @@ impl Permutation {
     #[inline]
     pub fn for_pattern(pattern: &SlotPattern) -> Permutation {
         match pattern.bound_mask() {
-            0b000 | 0b001 | 0b011 | 0b111 => Permutation::SPO,
             0b010 => Permutation::PSO,
             0b100 => Permutation::OSP,
             0b101 => Permutation::SOP,
             0b110 => Permutation::POS,
-            _ => unreachable!("bound_mask is 3 bits"),
+            // 0b000 | 0b001 | 0b011 | 0b111 and any wider mask: the
+            // subject-primary permutation covers them all.
+            _ => Permutation::SPO,
         }
     }
 
@@ -115,15 +136,221 @@ impl Permutation {
     }
 }
 
-/// One permutation's sorted key column and aligned id column.
+/// The ids matching a pattern: a borrowed slice of a Flat id column, or
+/// an owned vector decoded from a Packed one. Dereferences to
+/// `[TripleId]`, so `.iter()`, `.len()`, `.first()` and indexing all
+/// work as on the slice the Flat layout used to return.
+#[derive(Debug)]
+pub enum MatchIds<'a> {
+    /// Borrowed directly from a Flat permutation's id column.
+    Borrowed(&'a [TripleId]),
+    /// Decoded from a Packed permutation's bit stream.
+    Owned(Vec<TripleId>),
+}
+
+impl std::ops::Deref for MatchIds<'_> {
+    type Target = [TripleId];
+    #[inline]
+    fn deref(&self) -> &[TripleId] {
+        match self {
+            MatchIds::Borrowed(s) => s,
+            MatchIds::Owned(v) => v,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a MatchIds<'_> {
+    type Item = &'a TripleId;
+    type IntoIter = std::slice::Iter<'a, TripleId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Per-block packing metadata: the bit offset of the block's payload in
+/// the shared word stream, and reference value + field width for each
+/// of the four columns (key columns 0–2, id column 3).
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    bit: u64,
+    min: [u32; 4],
+    width: [u8; 4],
+}
+
+/// One permutation's rows in the Packed layout.
 #[derive(Debug, Default)]
-struct PermColumn {
-    keys: Vec<[TermId; 3]>,
-    ids: Vec<TripleId>,
+struct PackedPerm {
+    len: usize,
+    /// First key of each block — the sparse selection directory.
+    dir: Vec<[u32; 3]>,
+    blocks: Vec<BlockMeta>,
+    words: Vec<u64>,
+}
+
+impl PackedPerm {
+    fn build(rows: &[([TermId; 3], TripleId)]) -> PackedPerm {
+        let n_blocks = rows.len().div_ceil(BLOCK);
+        let mut dir = Vec::with_capacity(n_blocks);
+        let mut blocks = Vec::with_capacity(n_blocks);
+        let mut w = BitWriter::new();
+        for chunk in rows.chunks(BLOCK) {
+            let first = chunk[0].0;
+            dir.push([first[0].raw(), first[1].raw(), first[2].raw()]);
+            let mut min = [u32::MAX; 4];
+            let mut max = [0u32; 4];
+            for (key, id) in chunk {
+                for c in 0..3 {
+                    let v = key[c].raw();
+                    min[c] = min[c].min(v);
+                    max[c] = max[c].max(v);
+                }
+                min[3] = min[3].min(id.0);
+                max[3] = max[3].max(id.0);
+            }
+            let mut width = [0u8; 4];
+            for c in 0..4 {
+                width[c] = bits_for(u64::from(max[c] - min[c]));
+            }
+            let bit = w.len_bits();
+            for c in 0..3 {
+                for (key, _) in chunk {
+                    w.push(u64::from(key[c].raw() - min[c]), width[c]);
+                }
+            }
+            for (_, id) in chunk {
+                w.push(u64::from(id.0 - min[3]), width[3]);
+            }
+            blocks.push(BlockMeta { bit, min, width });
+        }
+        PackedPerm {
+            len: rows.len(),
+            dir,
+            blocks,
+            words: w.finish(),
+        }
+    }
+
+    /// Rows in block `b` (the last block may be partial).
+    #[inline]
+    fn rows_in(&self, b: usize) -> usize {
+        BLOCK.min(self.len - b * BLOCK)
+    }
+
+    /// Decoded value of column `c` (0–2 keys, 3 id) at local row `r` of
+    /// block `b`. Out-of-range blocks degrade to 0 — packed readers sit
+    /// on serving paths and must not panic.
+    #[inline]
+    fn field(&self, b: usize, r: usize, c: usize) -> u32 {
+        let Some(m) = self.blocks.get(b) else { return 0 };
+        let rows = self.rows_in(b) as u64;
+        let mut bit = m.bit;
+        for prev in 0..c {
+            bit += rows * u64::from(m.width[prev]);
+        }
+        bit += r as u64 * u64::from(m.width[c]);
+        m.min[c].wrapping_add(read_bits(&self.words, bit, m.width[c]) as u32)
+    }
+
+    /// Compares row `(b, r)`'s key against `prefix` on the first
+    /// `prefix.len()` columns.
+    #[inline]
+    fn cmp_prefix(&self, b: usize, r: usize, prefix: &[u32]) -> std::cmp::Ordering {
+        for (c, &p) in prefix.iter().enumerate() {
+            match self.field(b, r, c).cmp(&p) {
+                std::cmp::Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+
+    /// Position of the first row whose key prefix compares `> prefix`
+    /// (`inclusive`) or `>= prefix` (`!inclusive`): the two
+    /// `partition_point` bounds of the classic flat probe, served by a
+    /// directory probe plus a binary search inside one block.
+    fn bound(&self, prefix: &[u32], inclusive: bool) -> usize {
+        let len = prefix.len();
+        let below = |ord: std::cmp::Ordering| {
+            if inclusive {
+                ord != std::cmp::Ordering::Greater
+            } else {
+                ord == std::cmp::Ordering::Less
+            }
+        };
+        // First block whose *first key* is not below the prefix: the
+        // boundary row lies in the block before it (or at its start).
+        let b = self
+            .dir
+            .partition_point(|first| below(cmp_slice(&first[..len], prefix)))
+            .saturating_sub(1);
+        let start = b * BLOCK;
+        if start >= self.len {
+            return self.len;
+        }
+        let (mut lo, mut hi) = (0usize, self.rows_in(b));
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if below(self.cmp_prefix(b, mid, prefix)) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        start + lo
+    }
+
+    fn span(&self, prefix: &[u32]) -> Range<usize> {
+        if prefix.is_empty() {
+            return 0..self.len;
+        }
+        self.bound(prefix, false)..self.bound(prefix, true)
+    }
+
+    /// Decodes the id column over `span` into `out` (cleared first).
+    fn decode_ids(&self, span: Range<usize>, out: &mut Vec<TripleId>) {
+        out.clear();
+        out.reserve(span.len());
+        for i in span {
+            out.push(TripleId(self.field(i / BLOCK, i % BLOCK, 3)));
+        }
+    }
+
+    fn heap_bytes(&self) -> (usize, usize) {
+        let dir_bytes = self.dir.capacity() * std::mem::size_of::<[u32; 3]>()
+            + self.blocks.capacity() * std::mem::size_of::<BlockMeta>();
+        (self.words.capacity() * 8, dir_bytes)
+    }
+}
+
+/// Lexicographic comparison of two raw-key slices.
+#[inline]
+fn cmp_slice(a: &[u32], b: &[u32]) -> std::cmp::Ordering {
+    a.cmp(b)
+}
+
+/// One permutation's sorted rows, in either layout.
+#[derive(Debug)]
+enum PermColumn {
+    /// Inline key column + aligned id column (borrowable slices).
+    Flat {
+        keys: Vec<[TermId; 3]>,
+        ids: Vec<TripleId>,
+    },
+    /// Delta-encoded bit-packed blocks behind a selection directory.
+    Packed(PackedPerm),
+}
+
+impl Default for PermColumn {
+    fn default() -> PermColumn {
+        PermColumn::Flat {
+            keys: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
 }
 
 impl PermColumn {
-    fn build(perm: Permutation, triples: &[Triple]) -> PermColumn {
+    fn build(perm: Permutation, triples: &[Triple], layout: SegmentLayout) -> PermColumn {
         // Materialize the key column once; sorting compares inline 12-byte
         // keys instead of recomputing `perm.key()` per comparison. Keys are
         // unique (the store deduplicates on (s, p, o)), so unstable sort
@@ -134,13 +361,25 @@ impl PermColumn {
             .map(|(i, t)| (perm.key(*t), TripleId(i as u32)))
             .collect();
         rows.sort_unstable();
-        let mut keys = Vec::with_capacity(rows.len());
-        let mut ids = Vec::with_capacity(rows.len());
-        for (key, id) in rows {
-            keys.push(key);
-            ids.push(id);
+        match layout {
+            SegmentLayout::Flat => {
+                let mut keys = Vec::with_capacity(rows.len());
+                let mut ids = Vec::with_capacity(rows.len());
+                for (key, id) in rows {
+                    keys.push(key);
+                    ids.push(id);
+                }
+                PermColumn::Flat { keys, ids }
+            }
+            SegmentLayout::Packed => PermColumn::Packed(PackedPerm::build(&rows)),
         }
-        PermColumn { keys, ids }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            PermColumn::Flat { ids, .. } => ids.len(),
+            PermColumn::Packed(p) => p.len,
+        }
     }
 }
 
@@ -152,31 +391,44 @@ const PARALLEL_BUILD_THRESHOLD: usize = 4096;
 #[derive(Debug, Default)]
 pub struct TripleIndex {
     perms: [PermColumn; 6],
+    layout: SegmentLayout,
 }
 
 impl TripleIndex {
-    /// Builds all six permutations for `triples`.
+    /// Builds all six permutations for `triples` in the Flat layout.
     ///
     /// `triples[i]` is the triple with `TripleId(i as u32)`. Large tables
     /// build their permutations on six scoped threads.
     pub fn build(triples: &[Triple]) -> TripleIndex {
+        TripleIndex::build_with(triples, SegmentLayout::Flat)
+    }
+
+    /// Builds all six permutations in the requested [`SegmentLayout`].
+    pub fn build_with(triples: &[Triple], layout: SegmentLayout) -> TripleIndex {
         let mut perms: [PermColumn; 6] = Default::default();
         if triples.len() < PARALLEL_BUILD_THRESHOLD {
             for (slot, perm) in Permutation::ALL.into_iter().enumerate() {
-                perms[slot] = PermColumn::build(perm, triples);
+                perms[slot] = PermColumn::build(perm, triples, layout);
             }
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = Permutation::ALL
                     .into_iter()
-                    .map(|perm| scope.spawn(move || PermColumn::build(perm, triples)))
+                    .map(|perm| scope.spawn(move || PermColumn::build(perm, triples, layout)))
                     .collect();
                 for (slot, handle) in handles.into_iter().enumerate() {
+                    // lint:allow(no-panic-hot-path): build-time join — a panicked permutation build has no index to serve and must surface at freeze
                     perms[slot] = handle.join().expect("index build thread panicked");
                 }
             });
         }
-        TripleIndex { perms }
+        TripleIndex { perms, layout }
+    }
+
+    /// The layout this index was built with.
+    #[inline]
+    pub fn layout(&self) -> SegmentLayout {
+        self.layout
     }
 
     /// Returns the contiguous, sorted range of triple ids matching
@@ -184,12 +436,40 @@ impl TripleIndex {
     /// [`Permutation::for_pattern`]; the ids within it are in key order of
     /// that permutation, *not* in insertion order.
     ///
-    /// Allocation-free: two `partition_point` calls over the inline key
-    /// column.
-    pub fn lookup(&self, pattern: &SlotPattern) -> &[TripleId] {
+    /// Flat permutations return a borrowed slice (allocation-free);
+    /// Packed ones decode the span into an owned vector. Join loops that
+    /// probe repeatedly should prefer [`TripleIndex::lookup_in`] with a
+    /// reused scratch buffer.
+    pub fn lookup(&self, pattern: &SlotPattern) -> MatchIds<'_> {
         let span = self.span(pattern);
-        let perm = Permutation::for_pattern(pattern);
-        &self.perms[perm as usize].ids[span]
+        match &self.perms[Permutation::for_pattern(pattern) as usize] {
+            PermColumn::Flat { ids, .. } => MatchIds::Borrowed(&ids[span]),
+            PermColumn::Packed(p) => {
+                let mut out = Vec::new();
+                p.decode_ids(span, &mut out);
+                MatchIds::Owned(out)
+            }
+        }
+    }
+
+    /// [`TripleIndex::lookup`] into a caller-owned scratch buffer: Flat
+    /// permutations still return the borrowed id column (the buffer is
+    /// untouched), Packed ones decode into `buf` — so a join loop that
+    /// reuses its buffer performs no per-probe allocation in either
+    /// layout.
+    pub fn lookup_in<'a>(
+        &'a self,
+        pattern: &SlotPattern,
+        buf: &'a mut Vec<TripleId>,
+    ) -> &'a [TripleId] {
+        let span = self.span(pattern);
+        match &self.perms[Permutation::for_pattern(pattern) as usize] {
+            PermColumn::Flat { ids, .. } => &ids[span],
+            PermColumn::Packed(p) => {
+                p.decode_ids(span, buf);
+                buf
+            }
+        }
     }
 
     /// The positions of `pattern`'s matches inside its permutation's
@@ -197,22 +477,54 @@ impl TripleIndex {
     /// primary-key order of the SPO (subject-only) and OSP (object-only)
     /// permutations, this span doubles as the anchored group's range —
     /// the storage sharing that spares those strata a group directory.
-    pub(crate) fn span(&self, pattern: &SlotPattern) -> std::ops::Range<usize> {
+    pub(crate) fn span(&self, pattern: &SlotPattern) -> Range<usize> {
         let perm = Permutation::for_pattern(pattern);
         let col = &self.perms[perm as usize];
         let (prefix, len) = perm.prefix(pattern);
         if len == 0 {
-            return 0..col.ids.len();
+            return 0..col.len();
         }
-        let prefix = &prefix[..len];
-        let lo = col.keys.partition_point(|k| &k[..len] < prefix);
-        let hi = lo + col.keys[lo..].partition_point(|k| &k[..len] <= prefix);
-        lo..hi
+        match col {
+            PermColumn::Flat { keys, .. } => {
+                let prefix = &prefix[..len];
+                let lo = keys.partition_point(|k| &k[..len] < prefix);
+                let hi = lo + keys[lo..].partition_point(|k| &k[..len] <= prefix);
+                lo..hi
+            }
+            PermColumn::Packed(p) => {
+                let raw = [prefix[0].raw(), prefix[1].raw(), prefix[2].raw()];
+                p.span(&raw[..len])
+            }
+        }
     }
 
-    /// Number of triples matching `pattern` (exact, via the range bounds).
+    /// Number of triples matching `pattern` (exact, via the range bounds
+    /// only — no id decode in either layout).
     pub fn count(&self, pattern: &SlotPattern) -> usize {
-        self.lookup(pattern).len()
+        self.span(pattern).len()
+    }
+
+    /// Heap bytes held by the six permutations, split into
+    /// `(columns, directories)`: the key/id payloads versus the sparse
+    /// selection directories and block metadata (Flat has no
+    /// directories).
+    pub fn heap_bytes(&self) -> (usize, usize) {
+        let mut columns = 0;
+        let mut directories = 0;
+        for perm in &self.perms {
+            match perm {
+                PermColumn::Flat { keys, ids } => {
+                    columns += keys.capacity() * std::mem::size_of::<[TermId; 3]>()
+                        + ids.capacity() * std::mem::size_of::<TripleId>();
+                }
+                PermColumn::Packed(p) => {
+                    let (c, d) = p.heap_bytes();
+                    columns += c;
+                    directories += d;
+                }
+            }
+        }
+        (columns, directories)
     }
 }
 
@@ -259,22 +571,24 @@ mod tests {
     #[test]
     fn lookup_matches_linear_scan_for_every_shape() {
         let triples = sample();
-        let idx = TripleIndex::build(&triples);
-        let terms: Vec<Option<TermId>> = vec![None, Some(tid(1)), Some(tid(10)), Some(tid(2))];
-        for &s in &terms {
-            for &p in &terms {
-                for &o in &terms {
-                    let pat = SlotPattern::new(s, p, o);
-                    let mut got: Vec<u32> = idx.lookup(&pat).iter().map(|t| t.0).collect();
-                    got.sort_unstable();
-                    let mut want: Vec<u32> = triples
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, t)| pat.matches(**t))
-                        .map(|(i, _)| i as u32)
-                        .collect();
-                    want.sort_unstable();
-                    assert_eq!(got, want, "pattern {pat}");
+        for layout in [SegmentLayout::Flat, SegmentLayout::Packed] {
+            let idx = TripleIndex::build_with(&triples, layout);
+            let terms: Vec<Option<TermId>> = vec![None, Some(tid(1)), Some(tid(10)), Some(tid(2))];
+            for &s in &terms {
+                for &p in &terms {
+                    for &o in &terms {
+                        let pat = SlotPattern::new(s, p, o);
+                        let mut got: Vec<u32> = idx.lookup(&pat).iter().map(|t| t.0).collect();
+                        got.sort_unstable();
+                        let mut want: Vec<u32> = triples
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| pat.matches(**t))
+                            .map(|(i, _)| i as u32)
+                            .collect();
+                        want.sort_unstable();
+                        assert_eq!(got, want, "pattern {pat} ({layout:?})");
+                    }
                 }
             }
         }
@@ -305,16 +619,20 @@ mod tests {
     #[test]
     fn empty_table() {
         let triples: Vec<Triple> = Vec::new();
-        let idx = TripleIndex::build(&triples);
-        assert_eq!(idx.lookup(&SlotPattern::any()).len(), 0);
+        for layout in [SegmentLayout::Flat, SegmentLayout::Packed] {
+            let idx = TripleIndex::build_with(&triples, layout);
+            assert_eq!(idx.lookup(&SlotPattern::any()).len(), 0);
+        }
     }
 
     #[test]
     fn no_match_returns_empty_range() {
         let triples = sample();
-        let idx = TripleIndex::build(&triples);
-        let pat = SlotPattern::with_p(tid(99));
-        assert!(idx.lookup(&pat).is_empty());
+        for layout in [SegmentLayout::Flat, SegmentLayout::Packed] {
+            let idx = TripleIndex::build_with(&triples, layout);
+            let pat = SlotPattern::with_p(tid(99));
+            assert!(idx.lookup(&pat).is_empty());
+        }
     }
 
     #[test]
@@ -324,10 +642,54 @@ mod tests {
         let triples: Vec<Triple> = (0..n)
             .map(|i| Triple::new(tid(i % 97), tid(i % 7), tid(i)))
             .collect();
-        let idx = TripleIndex::build(&triples);
-        let pat = SlotPattern::with_p(tid(3));
-        let got = idx.lookup(&pat).len();
-        let want = triples.iter().filter(|t| pat.matches(**t)).count();
-        assert_eq!(got, want);
+        for layout in [SegmentLayout::Flat, SegmentLayout::Packed] {
+            let idx = TripleIndex::build_with(&triples, layout);
+            let pat = SlotPattern::with_p(tid(3));
+            let got = idx.lookup(&pat).len();
+            let want = triples.iter().filter(|t| pat.matches(**t)).count();
+            assert_eq!(got, want);
+        }
+    }
+
+    /// Packed probes agree with Flat across block boundaries: a table
+    /// several blocks long, shapes anchored at every subject.
+    #[test]
+    fn packed_agrees_with_flat_across_blocks() {
+        let triples: Vec<Triple> = (0..(BLOCK as u32 * 5 + 17))
+            .map(|i| Triple::new(tid(i % 211), tid(i % 13), tid(i * 7 % 509)))
+            .collect();
+        let flat = TripleIndex::build_with(&triples, SegmentLayout::Flat);
+        let packed = TripleIndex::build_with(&triples, SegmentLayout::Packed);
+        let mut buf = Vec::new();
+        for s in 0..211u32 {
+            for pat in [
+                SlotPattern::new(Some(tid(s)), None, None),
+                SlotPattern::new(Some(tid(s)), Some(tid(s % 13)), None),
+                SlotPattern::new(None, None, Some(tid(s))),
+            ] {
+                assert_eq!(flat.span(&pat), packed.span(&pat), "span {pat}");
+                let want: Vec<TripleId> = flat.lookup(&pat).to_vec();
+                assert_eq!(&*packed.lookup(&pat), &want[..], "lookup {pat}");
+                assert_eq!(packed.lookup_in(&pat, &mut buf), &want[..], "lookup_in {pat}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_shrinks_the_index() {
+        let triples: Vec<Triple> = (0..20_000u32)
+            .map(|i| Triple::new(tid(i % 2003), tid(i % 17), tid(i * 31 % 4001)))
+            .collect();
+        let (flat_cols, flat_dirs) =
+            TripleIndex::build_with(&triples, SegmentLayout::Flat).heap_bytes();
+        let (packed_cols, packed_dirs) =
+            TripleIndex::build_with(&triples, SegmentLayout::Packed).heap_bytes();
+        assert_eq!(flat_dirs, 0);
+        let flat_total = flat_cols + flat_dirs;
+        let packed_total = packed_cols + packed_dirs;
+        assert!(
+            packed_total * 2 < flat_total,
+            "packed {packed_total} vs flat {flat_total}"
+        );
     }
 }

@@ -31,6 +31,7 @@
 
 pub mod dict;
 pub mod index;
+pub mod pack;
 pub mod pattern;
 pub mod posting;
 pub mod segment;
@@ -40,10 +41,12 @@ pub mod term;
 pub mod triple;
 
 pub use dict::TermDict;
+pub use index::MatchIds;
+pub use pack::SegmentLayout;
 pub use pattern::SlotPattern;
-pub use posting::{Posting, PostingIndex, PostingList, ServeKind};
+pub use posting::{EntriesRef, Posting, PostingIndex, PostingList, ServeKind, SharedParts};
 pub use segment::SegmentedStore;
-pub use stats::{args_pairs, cardinality, PredicateStats, StoreStats};
+pub use stats::{args_pairs, cardinality, PredicateStats, StorageBytes, StoreStats};
 pub use store::{XkgBuilder, XkgError, XkgStore};
 pub use term::{TermId, TermKind};
 pub use triple::{GraphTag, Provenance, SourceId, Triple, TripleId};

@@ -18,19 +18,42 @@
 //!   shapes relationship queries hammer. The groups appear in ascending
 //!   anchor-term order — exactly the primary-key order of the SPO
 //!   (subject) and OSP (object) permutation columns in
-//!   [`crate::index::TripleIndex`] — so the strata store **no group
-//!   map** of their own: a group's span is recovered from the
-//!   permutation's binary-searched range (the storage sharing that keeps
-//!   the anchored strata at 32 bytes/triple each instead of duplicating
-//!   the predicate stratum's group directory).
+//!   [`crate::index::TripleIndex`] — so a group's span is recovered from
+//!   the permutation's binary-searched range (the storage sharing that
+//!   keeps the anchored strata from duplicating the predicate stratum's
+//!   group directory).
 //! * **Unbound-predicate stratum**: one global list of all triples in the
 //!   same order, normalized over the whole store, serving patterns that
 //!   bind no slot at all.
 //!
+//! # Stratum layouts
+//!
+//! Each stratum stores its entries in the segment's
+//! [`SegmentLayout`](crate::pack::SegmentLayout):
+//!
+//! * **Flat** — `Vec<Posting>` (24 B/entry) plus a globally cumulative
+//!   `f64` prefix-sum column (8 B/entry): borrowed slices at serve time,
+//!   zero allocation.
+//! * **Packed** — the triple ids bit-packed at fixed width
+//!   (`ceil_log2(n)` bits), the weights as **u16 log-domain quantization
+//!   codes**, and an exact-`f64` scaffolding that keeps every served
+//!   score bit-identical to Flat: prefix-sum *checkpoints* at every
+//!   128-entry block boundary, plus each group's exact build-time total.
+//!   At serve time a group decodes into a scratch list: weights are
+//!   recomputed exactly from the retained [`Provenance`] (the same
+//!   `support × confidence` product the build evaluated), probabilities
+//!   divide by the stored exact group total (same operands → same
+//!   floats), and the prefix column re-accumulates forward from the
+//!   nearest checkpoint (same additions in the same order → the same
+//!   IEEE results). The u16 codes are the stratum's stored weight
+//!   column — 4× smaller than the two `f64`s they replace and monotone
+//!   in weight, so they preserve ranking on their own; the exact
+//!   scaffolding restores the scores on emit.
+//!
 //! [`PostingList::build`] therefore answers **every** pattern shape
 //! without sorting: predicate-only, fully unbound, subject-only, and
-//! object-only patterns are **borrowed slices** (`O(1)` probe, zero
-//! allocations); the remaining shapes (sp / op / so / ground) filter the
+//! object-only patterns are **borrowed slices** on Flat segments and a
+//! single group decode on Packed ones; the remaining shapes filter the
 //! smallest covering group — already score-sorted, so the single
 //! allocated pass preserves order. The pre-index materialize-and-sort
 //! path survives only as [`PostingList::build_by_scan`], the reference
@@ -48,7 +71,10 @@
 
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
+use crate::index::BLOCK;
+use crate::pack::{PackedInts, SegmentLayout};
 use crate::pattern::SlotPattern;
 use crate::store::XkgStore;
 use crate::term::TermId;
@@ -124,12 +150,28 @@ impl ServeKind {
     }
 }
 
+/// Quantizes a weight into its u16 log-domain code: 0 for non-positive
+/// weights, else `1 + round((ln(w) + 110) / 135 · 65534)` clamped into
+/// `[1, 65535]`. Monotone (non-strict) in `w` over the entire finite
+/// range the builder admits, so code order never contradicts weight
+/// order; resolution is ~0.002 in `ln(w)` (≈0.2% relative weight).
+pub(crate) fn quantize_weight(w: f64) -> u16 {
+    if w.is_nan() || w <= 0.0 {
+        return 0;
+    }
+    let scaled = (w.ln() + 110.0) / 135.0 * 65534.0;
+    let code = 1.0 + scaled.round();
+    code.clamp(1.0, 65535.0) as u16
+}
+
 /// One grouped stratum under construction: entries in (key, weight desc,
-/// id asc) order with globally cumulative prefix sums, plus the group
-/// directory when the caller needs one.
-struct Stratum {
+/// id asc) order with globally cumulative prefix sums, each group's
+/// `(start, exact total)` bound, plus the keyed directory when the
+/// caller needs one.
+struct StratumBuild {
     entries: Vec<Posting>,
     prefix: Vec<f64>,
+    bounds: Vec<(u32, f64)>,
     groups: HashMap<TermId, Group>,
     keys: Vec<TermId>,
 }
@@ -142,7 +184,7 @@ fn grouped_stratum(
     weights: &[f64],
     key_of: impl Fn(usize) -> TermId,
     with_groups: bool,
-) -> Stratum {
+) -> StratumBuild {
     let n = weights.len();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_unstable_by(|&a, &b| {
@@ -154,7 +196,9 @@ fn grouped_stratum(
 
     let mut entries: Vec<Posting> = Vec::with_capacity(n);
     let mut prefix: Vec<f64> = Vec::with_capacity(n + 1);
-    prefix.push(0.0);
+    let mut acc = 0.0f64;
+    prefix.push(acc);
+    let mut bounds: Vec<(u32, f64)> = Vec::new();
     let mut groups: HashMap<TermId, Group> = HashMap::new();
     let mut keys: Vec<TermId> = Vec::new();
     let mut i = 0usize;
@@ -173,8 +217,10 @@ fn grouped_stratum(
                 weight,
                 prob: if total > 0.0 { weight / total } else { 0.0 },
             });
-            prefix.push(prefix.last().unwrap() + weight);
+            acc += weight;
+            prefix.push(acc);
         }
+        bounds.push((i as u32, total));
         if with_groups {
             groups.insert(
                 key,
@@ -189,16 +235,17 @@ fn grouped_stratum(
         i = j;
     }
     keys.sort_unstable();
-    Stratum {
+    StratumBuild {
         entries,
         prefix,
+        bounds,
         groups,
         keys,
     }
 }
 
 /// The global `(weight desc, id asc)` stratum, normalized over the store.
-fn global_stratum(weights: &[f64]) -> (Vec<Posting>, Vec<f64>, f64) {
+fn global_stratum(weights: &[f64]) -> (StratumBuild, f64) {
     let n = weights.len();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_unstable_by(|&a, &b| {
@@ -209,7 +256,8 @@ fn global_stratum(weights: &[f64]) -> (Vec<Posting>, Vec<f64>, f64) {
     let total: f64 = weights.iter().sum();
     let mut entries: Vec<Posting> = Vec::with_capacity(n);
     let mut prefix: Vec<f64> = Vec::with_capacity(n + 1);
-    prefix.push(0.0);
+    let mut acc = 0.0f64;
+    prefix.push(acc);
     for &id in &order {
         let weight = weights[id as usize];
         entries.push(Posting {
@@ -217,9 +265,376 @@ fn global_stratum(weights: &[f64]) -> (Vec<Posting>, Vec<f64>, f64) {
             weight,
             prob: if total > 0.0 { weight / total } else { 0.0 },
         });
-        prefix.push(prefix.last().unwrap() + weight);
+        acc += weight;
+        prefix.push(acc);
     }
-    (entries, prefix, total)
+    (
+        StratumBuild {
+            entries,
+            prefix,
+            bounds: vec![(0, total)],
+            groups: HashMap::new(),
+            keys: Vec::new(),
+        },
+        total,
+    )
+}
+
+/// One stratum's frozen storage, in the segment's layout.
+#[derive(Debug)]
+enum StratumData {
+    /// Borrowable entry + prefix columns (32 B/entry).
+    Flat { entries: Vec<Posting>, prefix: Vec<f64> },
+    /// Packed ids + quantized weight codes + exact scaffolding.
+    Packed(PackedStratum),
+}
+
+/// A stratum in the Packed layout. See the module docs for the
+/// exactness argument: quantized codes store the weights, the exact
+/// `f64` scaffolding (block checkpoints + group totals, with weights
+/// recomputed from retained provenance) restores bit-identical scores
+/// on decode.
+#[derive(Debug)]
+struct PackedStratum {
+    /// Triple ids in stratum order, at fixed width `ceil_log2(n)`.
+    ids: PackedInts,
+    /// u16 log-domain weight codes, aligned with `ids`.
+    codes: Vec<u16>,
+    /// Exact prefix-sum checkpoints at block boundaries:
+    /// `checkpoints[b]` is the build-time `prefix[b · BLOCK]`.
+    checkpoints: Vec<f64>,
+    /// Ascending group starts (the global stratum is one group at 0).
+    group_starts: Vec<u32>,
+    /// Exact build-time group totals, aligned with `group_starts`.
+    group_totals: Vec<f64>,
+    /// Exact build-time prefix values at each group start, aligned with
+    /// `group_starts`. Group serves begin at a group boundary, so this
+    /// anchor makes their prefix reconstruction O(1) instead of a
+    /// replay from the containing block checkpoint.
+    group_prefixes: Vec<f64>,
+}
+
+impl PackedStratum {
+    fn from_build(b: &StratumBuild) -> PackedStratum {
+        PackedStratum {
+            ids: PackedInts::from_values(b.entries.iter().map(|e| u64::from(e.triple.0))),
+            codes: b.entries.iter().map(|e| quantize_weight(e.weight)).collect(),
+            checkpoints: b.prefix.iter().copied().step_by(BLOCK).collect(),
+            group_starts: b.bounds.iter().map(|g| g.0).collect(),
+            group_totals: b.bounds.iter().map(|g| g.1).collect(),
+            group_prefixes: b
+                .bounds
+                .iter()
+                .map(|g| b.prefix.get(g.0 as usize).copied().unwrap_or(0.0))
+                .collect(),
+        }
+    }
+
+    /// The exact build-time total of the group containing offset
+    /// `start` (0.0 when the stratum is empty).
+    fn group_total(&self, start: usize) -> f64 {
+        let i = self.group_starts.partition_point(|&s| (s as usize) <= start);
+        if i == 0 {
+            0.0
+        } else {
+            self.group_totals.get(i - 1).copied().unwrap_or(0.0)
+        }
+    }
+
+    /// Exact weight of the entry at `i`, recomputed from provenance
+    /// (bit-identical to the build-time product; out-of-range degrades
+    /// to 0.0 rather than panicking — this sits on serving paths).
+    #[inline]
+    fn weight_at(&self, i: usize, prov: &[Provenance]) -> f64 {
+        let id = self.ids.get(i) as usize;
+        prov.get(id).map_or(0.0, Provenance::weight)
+    }
+
+    /// The exact build-time prefix-sum value at offset `i`: the nearest
+    /// exact anchor at or below `i` — the containing group's stored
+    /// start prefix or the containing block's checkpoint, whichever is
+    /// closer — plus a forward re-accumulation of the recomputed
+    /// weights. Replaying the same additions in the same order the
+    /// build performed from an exact build-time value reproduces
+    /// `prefix[i]` bit for bit; group-aligned offsets (every group
+    /// serve) replay nothing.
+    fn prefix_at(&self, i: usize, prov: &[Provenance]) -> f64 {
+        let block_anchor = (i / BLOCK) * BLOCK;
+        let g = self.group_starts.partition_point(|&s| (s as usize) <= i);
+        let (from, mut acc) = match g.checked_sub(1) {
+            Some(k) if (self.group_starts[k] as usize) >= block_anchor => (
+                self.group_starts[k] as usize,
+                self.group_prefixes.get(k).copied().unwrap_or(0.0),
+            ),
+            _ => (
+                block_anchor,
+                self.checkpoints.get(i / BLOCK).copied().unwrap_or(0.0),
+            ),
+        };
+        for j in from..i {
+            acc += self.weight_at(j, prov);
+        }
+        acc
+    }
+}
+
+impl StratumData {
+    fn from_build(b: StratumBuild, layout: SegmentLayout) -> StratumData {
+        match layout {
+            SegmentLayout::Flat => StratumData::Flat {
+                entries: b.entries,
+                prefix: b.prefix,
+            },
+            SegmentLayout::Packed => StratumData::Packed(PackedStratum::from_build(&b)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            StratumData::Flat { entries, .. } => entries.len(),
+            StratumData::Packed(p) => p.ids.len(),
+        }
+    }
+
+    /// Serves `span` (one group, or a prefix-aligned run of one): a
+    /// borrowed slice pair on Flat, a decoded scratch pair on Packed.
+    ///
+    /// The decode is bit-identical to the Flat columns: weights are the
+    /// same provenance products the build evaluated, probabilities
+    /// divide by the stored exact group total, and the prefix column
+    /// re-accumulates forward from the nearest block checkpoint — the
+    /// same additions in the same order as the build.
+    fn serve(&self, span: Range<usize>, prov: &[Provenance]) -> GroupRef<'_> {
+        match self {
+            StratumData::Flat { entries, prefix } => GroupRef::Borrowed {
+                entries: &entries[span.clone()],
+                prefix: &prefix[span.start..=span.end],
+            },
+            StratumData::Packed(p) => {
+                let total = p.group_total(span.start);
+                let mut entries = Vec::with_capacity(span.len());
+                let mut prefix = Vec::with_capacity(span.len() + 1);
+                // Re-accumulate the global prefix from the checkpoint at
+                // the containing block's boundary.
+                let mut acc = p.prefix_at(span.start, prov);
+                prefix.push(acc);
+                for i in span {
+                    let id = TripleId(p.ids.get(i) as u32);
+                    let weight = prov.get(id.idx()).map_or(0.0, Provenance::weight);
+                    debug_assert_eq!(
+                        p.codes.get(i).copied(),
+                        Some(quantize_weight(weight)),
+                        "stored weight code diverged from provenance recompute"
+                    );
+                    entries.push(Posting {
+                        triple: id,
+                        weight,
+                        prob: if total > 0.0 { weight / total } else { 0.0 },
+                    });
+                    acc += weight;
+                    prefix.push(acc);
+                }
+                GroupRef::Decoded { entries, prefix }
+            }
+        }
+    }
+
+    /// Entries-only variant of [`StratumData::serve`]: identical entry
+    /// values, no prefix-column reconstruction. For consumers that keep
+    /// the entry array and drop the prefix sums (the query layer's
+    /// posting caches do exactly that), the skipped replay saves one
+    /// allocation plus an f64 accumulation per entry on Packed serves.
+    fn serve_entries(&self, span: Range<usize>, prov: &[Provenance]) -> EntriesRef<'_> {
+        match self {
+            StratumData::Flat { entries, .. } => EntriesRef::Borrowed(&entries[span]),
+            StratumData::Packed(p) => {
+                let total = p.group_total(span.start);
+                let mut entries = Vec::with_capacity(span.len());
+                for i in span {
+                    let id = TripleId(p.ids.get(i) as u32);
+                    let weight = prov.get(id.idx()).map_or(0.0, Provenance::weight);
+                    debug_assert_eq!(
+                        p.codes.get(i).copied(),
+                        Some(quantize_weight(weight)),
+                        "stored weight code diverged from provenance recompute"
+                    );
+                    entries.push(Posting {
+                        triple: id,
+                        weight,
+                        prob: if total > 0.0 { weight / total } else { 0.0 },
+                    });
+                }
+                EntriesRef::Owned(entries)
+            }
+        }
+    }
+
+    /// The head entry of the group starting `span` (O(1) in both
+    /// layouts), or `None` for an empty span.
+    fn head(&self, span: Range<usize>, prov: &[Provenance]) -> Option<Posting> {
+        if span.is_empty() {
+            return None;
+        }
+        match self {
+            StratumData::Flat { entries, .. } => entries.get(span.start).copied(),
+            StratumData::Packed(p) => {
+                let id = TripleId(p.ids.get(span.start) as u32);
+                let weight = prov.get(id.idx()).map_or(0.0, Provenance::weight);
+                let total = p.group_total(span.start);
+                Some(Posting {
+                    triple: id,
+                    weight,
+                    prob: if total > 0.0 { weight / total } else { 0.0 },
+                })
+            }
+        }
+    }
+
+    /// The exact emission-weight total over `span` as the Flat prefix
+    /// column reports it (`prefix[end] − prefix[start]`), bit-identical
+    /// in both layouts.
+    fn span_total(&self, span: Range<usize>, prov: &[Provenance]) -> f64 {
+        match self {
+            StratumData::Flat { prefix, .. } => {
+                prefix.get(span.end).copied().unwrap_or(0.0)
+                    - prefix.get(span.start).copied().unwrap_or(0.0)
+            }
+            StratumData::Packed(p) => p.prefix_at(span.end, prov) - p.prefix_at(span.start, prov),
+        }
+    }
+
+    /// Heap bytes as `(columns, scaffolding)`: the entry/prefix payload
+    /// versus the packed layout's exact-f64 directories.
+    fn heap_bytes(&self) -> (usize, usize) {
+        match self {
+            StratumData::Flat { entries, prefix } => (
+                entries.capacity() * std::mem::size_of::<Posting>()
+                    + prefix.capacity() * std::mem::size_of::<f64>(),
+                0,
+            ),
+            StratumData::Packed(p) => (
+                p.ids.heap_bytes() + p.codes.capacity() * 2,
+                p.checkpoints.capacity() * 8
+                    + p.group_starts.capacity() * 4
+                    + p.group_totals.capacity() * 8
+                    + p.group_prefixes.capacity() * 8,
+            ),
+        }
+    }
+}
+
+/// A stratum group as served for one pattern: score-sorted entries plus
+/// the aligned (one-longer) prefix-sum column — borrowed from a Flat
+/// stratum, or decoded into owned scratch from a Packed one. The values
+/// are bit-identical either way.
+#[derive(Debug)]
+pub enum GroupRef<'s> {
+    /// Borrowed directly from Flat stratum columns.
+    Borrowed {
+        /// Score-sorted entries of the group.
+        entries: &'s [Posting],
+        /// Globally cumulative prefix sums aligned with `entries`
+        /// (one entry longer).
+        prefix: &'s [f64],
+    },
+    /// Decoded from a Packed stratum.
+    Decoded {
+        /// Score-sorted entries of the group.
+        entries: Vec<Posting>,
+        /// Reconstructed prefix sums aligned with `entries`.
+        prefix: Vec<f64>,
+    },
+}
+
+impl<'s> GroupRef<'s> {
+    /// The group's score-sorted entries.
+    pub fn entries(&self) -> &[Posting] {
+        match self {
+            GroupRef::Borrowed { entries, .. } => entries,
+            GroupRef::Decoded { entries, .. } => entries,
+        }
+    }
+
+    /// The aligned prefix-sum column (one entry longer than `entries`).
+    pub fn prefix(&self) -> &[f64] {
+        match self {
+            GroupRef::Borrowed { prefix, .. } => prefix,
+            GroupRef::Decoded { prefix, .. } => prefix,
+        }
+    }
+
+    /// Number of entries in the group.
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    /// True when the group has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries().is_empty()
+    }
+
+    /// The group's emission-weight total as the serve path computes it:
+    /// last minus first prefix value (0.0 for an empty group).
+    pub fn span_total(&self) -> f64 {
+        let pre = self.prefix();
+        pre.last().unwrap_or(&0.0) - pre.first().unwrap_or(&0.0)
+    }
+
+    /// Wraps the group into a [`PostingList`] with the given
+    /// normalizer total, preserving the borrow when there is one.
+    pub(crate) fn into_list(self, total: f64, kind: ServeKind) -> PostingList<'s> {
+        match self {
+            GroupRef::Borrowed { entries, prefix } => {
+                PostingList::borrowed(entries, Some(prefix), total, kind)
+            }
+            GroupRef::Decoded { entries, prefix } => {
+                PostingList::owned_with_prefix(entries, prefix, total, kind)
+            }
+        }
+    }
+}
+
+/// One served group's entries without its prefix column — borrowed
+/// from a Flat stratum, or decoded entries-only from a Packed one (no
+/// prefix reconstruction). Produced by [`PostingList::build_entries`]
+/// for consumers that cache the entry array and discard the prefix
+/// sums; values are bit-identical to the [`GroupRef`] serve.
+#[derive(Debug)]
+pub enum EntriesRef<'s> {
+    /// Borrowed directly from Flat stratum columns.
+    Borrowed(&'s [Posting]),
+    /// Decoded from a Packed stratum (or materialized by a filter).
+    Owned(Vec<Posting>),
+}
+
+impl EntriesRef<'_> {
+    /// The served entries, in descending score order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Posting] {
+        match self {
+            EntriesRef::Borrowed(s) => s,
+            EntriesRef::Owned(v) => v,
+        }
+    }
+
+    /// Freezes into a shareable cache payload — exactly one copy from
+    /// either variant (a borrow copies straight into the `Arc`
+    /// allocation with no intermediate `Vec`).
+    pub fn into_arc(self) -> Arc<[Posting]> {
+        match self {
+            EntriesRef::Borrowed(s) => Arc::from(s),
+            EntriesRef::Owned(v) => v.into(),
+        }
+    }
+
+    /// The entries as an owned vector (a borrow copies; an owned decode
+    /// moves).
+    pub fn into_vec(self) -> Vec<Posting> {
+        match self {
+            EntriesRef::Borrowed(s) => s.to_vec(),
+            EntriesRef::Owned(v) => v,
+        }
+    }
 }
 
 /// Below this table size the four strata build sequentially; above it,
@@ -228,46 +643,46 @@ const PARALLEL_STRATA_THRESHOLD: usize = 4096;
 
 /// Build-time score-sorted posting index over a frozen triple table.
 ///
-/// Memory: 32 bytes/triple each (24-byte entry + 8-byte prefix sum) for
-/// the predicate, subject, object, and global strata — 128 bytes/triple
-/// total. The anchored (subject/object) strata carry **no group
-/// directory**: their group order is the primary-key order of the SPO /
-/// OSP permutation columns, so a group's span is the permutation's
-/// binary-searched range, shared rather than duplicated.
+/// Flat memory: 32 bytes/triple each (24-byte entry + 8-byte prefix
+/// sum) for the predicate, subject, object, and global strata — 128
+/// bytes/triple total. Packed memory: `ceil_log2(n)`-bit ids + 2-byte
+/// codes + ~0.07 bytes/triple of checkpoint scaffolding per stratum,
+/// typically 4–7 bytes/triple/stratum. The anchored (subject/object)
+/// strata carry **no keyed group directory** in either layout: their
+/// group order is the primary-key order of the SPO / OSP permutation
+/// columns, so a group's span is the permutation's binary-searched
+/// range, shared rather than duplicated (Packed keeps only the
+/// start-aligned exact group totals the decode needs).
 #[derive(Debug, Default)]
 pub struct PostingIndex {
     /// All triples sorted by (predicate, weight desc, id asc).
-    by_pred: Vec<Posting>,
-    /// Prefix sums over `by_pred` weights (`len + 1` entries).
-    by_pred_prefix: Vec<f64>,
+    by_pred: Option<StratumData>,
     /// Predicate → its contiguous group.
     groups: HashMap<TermId, Group>,
     /// Predicates in ascending term-id order (deterministic iteration).
     predicates: Vec<TermId>,
     /// All triples sorted by (subject, weight desc, id asc). Group spans
     /// are shared with the SPO permutation column.
-    by_subj: Vec<Posting>,
-    /// Prefix sums over `by_subj` weights (`len + 1` entries).
-    by_subj_prefix: Vec<f64>,
+    by_subj: Option<StratumData>,
     /// All triples sorted by (object, weight desc, id asc). Group spans
     /// are shared with the OSP permutation column.
-    by_obj: Vec<Posting>,
-    /// Prefix sums over `by_obj` weights (`len + 1` entries).
-    by_obj_prefix: Vec<f64>,
+    by_obj: Option<StratumData>,
     /// All triples sorted by (weight desc, id asc), normalized globally.
-    all: Vec<Posting>,
-    /// Prefix sums over `all` weights (`len + 1` entries).
-    all_prefix: Vec<f64>,
+    all: Option<StratumData>,
     /// Total emission weight of the whole store.
     all_total: f64,
 }
 
 impl PostingIndex {
-    /// Builds the four strata. `prov[i]` and `triples[i]` belong to the
-    /// triple with id `i`. Weights are assumed finite (enforced at
-    /// ingestion by `XkgBuilder`); ordering uses `total_cmp`, so even a
-    /// hostile weight cannot panic here.
-    pub(crate) fn build(triples: &[Triple], prov: &[Provenance]) -> PostingIndex {
+    /// Builds the four strata in the requested layout. `prov[i]` and
+    /// `triples[i]` belong to the triple with id `i`. Weights are
+    /// assumed finite (enforced at ingestion by `XkgBuilder`); ordering
+    /// uses `total_cmp`, so even a hostile weight cannot panic here.
+    pub(crate) fn build(
+        triples: &[Triple],
+        prov: &[Provenance],
+        layout: SegmentLayout,
+    ) -> PostingIndex {
         let n = prov.len();
         let weights: Vec<f64> = prov.iter().map(Provenance::weight).collect();
         debug_assert!(
@@ -281,7 +696,7 @@ impl PostingIndex {
         let build_obj = || grouped_stratum(weights, |i| triples[i].o, false);
         let build_all = || global_stratum(weights);
 
-        let (pred, subj, obj, (all, all_prefix, all_total)) = if n < PARALLEL_STRATA_THRESHOLD {
+        let (pred, subj, obj, (all, all_total)) = if n < PARALLEL_STRATA_THRESHOLD {
             (build_pred(), build_subj(), build_obj(), build_all())
         } else {
             std::thread::scope(|scope| {
@@ -290,24 +705,25 @@ impl PostingIndex {
                 let ha = scope.spawn(build_all);
                 (
                     build_pred(),
+                    // lint:allow(no-panic-hot-path): build-time joins — a panicked stratum build leaves nothing to serve and must surface at freeze
                     hs.join().expect("subject stratum thread panicked"),
+                    // lint:allow(no-panic-hot-path): build-time join, as above
                     ho.join().expect("object stratum thread panicked"),
+                    // lint:allow(no-panic-hot-path): build-time join, as above
                     ha.join().expect("global stratum thread panicked"),
                 )
             })
         };
 
+        let groups = pred.groups.clone();
+        let predicates = pred.keys.clone();
         PostingIndex {
-            by_pred: pred.entries,
-            by_pred_prefix: pred.prefix,
-            groups: pred.groups,
-            predicates: pred.keys,
-            by_subj: subj.entries,
-            by_subj_prefix: subj.prefix,
-            by_obj: obj.entries,
-            by_obj_prefix: obj.prefix,
-            all,
-            all_prefix,
+            by_pred: Some(StratumData::from_build(pred, layout)),
+            groups,
+            predicates,
+            by_subj: Some(StratumData::from_build(subj, layout)),
+            by_obj: Some(StratumData::from_build(obj, layout)),
+            all: Some(StratumData::from_build(all, layout)),
             all_total,
         }
     }
@@ -317,26 +733,12 @@ impl PostingIndex {
         &self.predicates
     }
 
-    /// One predicate's score-sorted postings (empty if absent).
-    pub fn predicate_postings(&self, p: TermId) -> &[Posting] {
-        match self.groups.get(&p) {
-            Some(g) => &self.by_pred[g.start as usize..g.end as usize],
-            None => &[],
-        }
-    }
-
-    /// Emission probability of the best-scored match under predicate `p`
-    /// (the head of its score-sorted group), or 0.0 for an absent or
-    /// zero-weight predicate. O(1): one hash probe into the precomputed
-    /// index, no materialization.
-    pub fn predicate_head_prob(&self, p: TermId) -> f64 {
-        self.predicate_postings(p).first().map_or(0.0, |e| e.prob)
-    }
-
-    /// Emission probability of the globally best-scored triple (head of
-    /// the unbound-predicate stratum), or 0.0 for an empty store. O(1).
-    pub fn global_head_prob(&self) -> f64 {
-        self.all.first().map_or(0.0, |e| e.prob)
+    /// Number of triples in one predicate's group (0 if absent) —
+    /// O(1) from the directory, no entry access in either layout.
+    pub fn predicate_group_len(&self, p: TermId) -> usize {
+        self.groups
+            .get(&p)
+            .map_or(0, |g| (g.end - g.start) as usize)
     }
 
     /// Total emission weight under one predicate.
@@ -344,41 +746,142 @@ impl PostingIndex {
         self.groups.get(&p).map_or(0.0, |g| g.total_weight)
     }
 
-    /// All postings, score-sorted, normalized over the whole store.
-    pub fn all_postings(&self) -> &[Posting] {
-        &self.all
-    }
-
     /// Total emission weight of the store.
     pub fn total_weight(&self) -> f64 {
         self.all_total
     }
 
-    /// Prefix-sum slice aligned with `predicate_postings(p)` (one entry
-    /// longer than the group).
-    fn predicate_prefix(&self, p: TermId) -> Option<&[f64]> {
-        self.groups
+    /// Serves one predicate's group (empty for an absent predicate).
+    pub(crate) fn predicate_serve(&self, p: TermId, prov: &[Provenance]) -> GroupRef<'_> {
+        let span = self
+            .groups
             .get(&p)
-            .map(|g| &self.by_pred_prefix[g.start as usize..=g.end as usize])
+            .map_or(0..0, |g| g.start as usize..g.end as usize);
+        self.stratum(&self.by_pred).serve(span, prov)
     }
 
-    /// The subject stratum's entries and prefix sums over `span` — the
-    /// SPO permutation's range for that subject (the two share key
-    /// order, which is why no subject group map exists).
-    pub(crate) fn subject_slice(&self, span: Range<usize>) -> (&[Posting], &[f64]) {
-        (
-            &self.by_subj[span.clone()],
-            &self.by_subj_prefix[span.start..=span.end],
-        )
+    /// Serves the global unbound stratum.
+    pub(crate) fn all_serve(&self, prov: &[Provenance]) -> GroupRef<'_> {
+        let s = self.stratum(&self.all);
+        s.serve(0..s.len(), prov)
     }
 
-    /// The object stratum's entries and prefix sums over `span` — the
-    /// OSP permutation's range for that object.
-    pub(crate) fn object_slice(&self, span: Range<usize>) -> (&[Posting], &[f64]) {
-        (
-            &self.by_obj[span.clone()],
-            &self.by_obj_prefix[span.start..=span.end],
-        )
+    /// Serves the subject stratum over `span` — the SPO permutation's
+    /// range for that subject (the two share key order, which is why no
+    /// subject group map exists).
+    pub(crate) fn subject_serve(&self, span: Range<usize>, prov: &[Provenance]) -> GroupRef<'_> {
+        self.stratum(&self.by_subj).serve(span, prov)
+    }
+
+    /// Serves the object stratum over `span` — the OSP permutation's
+    /// range for that object.
+    pub(crate) fn object_serve(&self, span: Range<usize>, prov: &[Provenance]) -> GroupRef<'_> {
+        self.stratum(&self.by_obj).serve(span, prov)
+    }
+
+    /// Entries-only serve of one predicate's group (see
+    /// [`StratumData::serve_entries`]).
+    pub(crate) fn predicate_serve_entries(
+        &self,
+        p: TermId,
+        prov: &[Provenance],
+    ) -> EntriesRef<'_> {
+        let span = self
+            .groups
+            .get(&p)
+            .map_or(0..0, |g| g.start as usize..g.end as usize);
+        self.stratum(&self.by_pred).serve_entries(span, prov)
+    }
+
+    /// Entries-only serve of the global unbound stratum.
+    pub(crate) fn all_serve_entries(&self, prov: &[Provenance]) -> EntriesRef<'_> {
+        let s = self.stratum(&self.all);
+        s.serve_entries(0..s.len(), prov)
+    }
+
+    /// Entries-only serve of the subject stratum over `span`.
+    pub(crate) fn subject_serve_entries(
+        &self,
+        span: Range<usize>,
+        prov: &[Provenance],
+    ) -> EntriesRef<'_> {
+        self.stratum(&self.by_subj).serve_entries(span, prov)
+    }
+
+    /// Entries-only serve of the object stratum over `span`.
+    pub(crate) fn object_serve_entries(
+        &self,
+        span: Range<usize>,
+        prov: &[Provenance],
+    ) -> EntriesRef<'_> {
+        self.stratum(&self.by_obj).serve_entries(span, prov)
+    }
+
+    /// Head entry of a predicate group, O(1).
+    pub(crate) fn predicate_head(&self, p: TermId, prov: &[Provenance]) -> Option<Posting> {
+        let span = self
+            .groups
+            .get(&p)
+            .map_or(0..0, |g| g.start as usize..g.end as usize);
+        self.stratum(&self.by_pred).head(span, prov)
+    }
+
+    /// Head entry of the global stratum, O(1).
+    pub(crate) fn global_head(&self, prov: &[Provenance]) -> Option<Posting> {
+        let s = self.stratum(&self.all);
+        s.head(0..s.len(), prov)
+    }
+
+    /// Head entry of the subject stratum over `span`, O(1).
+    pub(crate) fn subject_head(&self, span: Range<usize>, prov: &[Provenance]) -> Option<Posting> {
+        self.stratum(&self.by_subj).head(span, prov)
+    }
+
+    /// Head entry of the object stratum over `span`, O(1).
+    pub(crate) fn object_head(&self, span: Range<usize>, prov: &[Provenance]) -> Option<Posting> {
+        self.stratum(&self.by_obj).head(span, prov)
+    }
+
+    /// Exact emission-weight total of the subject stratum over `span`,
+    /// as the prefix column difference (bit-identical in both layouts).
+    pub(crate) fn subject_span_total(&self, span: Range<usize>, prov: &[Provenance]) -> f64 {
+        self.stratum(&self.by_subj).span_total(span, prov)
+    }
+
+    /// Exact emission-weight total of the object stratum over `span`.
+    pub(crate) fn object_span_total(&self, span: Range<usize>, prov: &[Provenance]) -> f64 {
+        self.stratum(&self.by_obj).span_total(span, prov)
+    }
+
+    /// The stratum behind an `Option` field (`Default` leaves them
+    /// `None`; a built index always fills them). Served as a degenerate
+    /// empty Flat stratum when absent so serving paths never panic.
+    fn stratum<'a>(&self, field: &'a Option<StratumData>) -> &'a StratumData {
+        static EMPTY: StratumData = StratumData::Flat {
+            entries: Vec::new(),
+            prefix: Vec::new(),
+        };
+        field.as_ref().unwrap_or(&EMPTY)
+    }
+
+    /// Heap bytes held by the four strata, as
+    /// `(stratum columns, directories)` — the directory share counts
+    /// the predicate group map plus the packed layout's exact-f64
+    /// scaffolding.
+    pub fn heap_bytes(&self) -> (usize, usize) {
+        let mut columns = 0;
+        let mut directories = self.groups.capacity()
+            * (std::mem::size_of::<TermId>() + std::mem::size_of::<Group>())
+            + self.predicates.capacity() * std::mem::size_of::<TermId>();
+        for s in [&self.by_pred, &self.by_subj, &self.by_obj, &self.all]
+            .into_iter()
+            .flatten()
+        {
+            let (c, d) = s.heap_bytes();
+            columns += c;
+            directories += d;
+        }
+        (columns, directories)
     }
 }
 
@@ -388,12 +891,13 @@ enum Entries<'s> {
     /// Borrowed straight from the store's [`PostingIndex`] (hot path:
     /// zero allocations, zero sorting).
     Borrowed(&'s [Posting]),
-    /// Materialized for pattern shapes outside the precomputed index.
+    /// Materialized for pattern shapes outside the precomputed index,
+    /// or decoded from a Packed stratum.
     Owned(Vec<Posting>),
     /// Shared with a caller-managed cache (see the query layer's
     /// posting-cache hierarchy); each list keeps its own cursor.
     /// `Arc` so cross-query caches can live behind `Sync` facades.
-    Shared(std::sync::Arc<[Posting]>),
+    Shared(Arc<[Posting]>),
 }
 
 impl Entries<'_> {
@@ -407,19 +911,47 @@ impl Entries<'_> {
     }
 }
 
+/// Where a posting list's prefix-sum column lives (aligned with the
+/// entries, one element longer, when present).
+#[derive(Debug, Clone, Default)]
+enum PrefixCol<'s> {
+    /// No prefix column: remaining weight tracks consumption instead.
+    #[default]
+    None,
+    /// Borrowed from a Flat stratum.
+    Borrowed(&'s [f64]),
+    /// Reconstructed from a Packed stratum's checkpoints.
+    Owned(Vec<f64>),
+    /// Shared with a cross-query cache.
+    Shared(Arc<[f64]>),
+}
+
+impl PrefixCol<'_> {
+    #[inline]
+    fn as_slice(&self) -> Option<&[f64]> {
+        match self {
+            PrefixCol::None => None,
+            PrefixCol::Borrowed(s) => Some(s),
+            PrefixCol::Owned(v) => Some(v),
+            PrefixCol::Shared(rc) => Some(rc),
+        }
+    }
+}
+
 /// The matches of a triple pattern in descending score order, with a cursor
 /// for incremental sorted access.
 ///
 /// Borrows from the store's precomputed [`PostingIndex`] when the pattern
-/// shape allows (predicate-only, unbound, subject-only, and object-only
-/// patterns); composite anchored shapes own a single filtered —
-/// never sorted — list.
+/// shape and segment layout allow (predicate-only, unbound, subject-only,
+/// and object-only patterns on Flat segments); Packed segments decode the
+/// same groups into owned scratch with bit-identical values; composite
+/// anchored shapes own a single filtered — never sorted — list.
 #[derive(Debug, Clone)]
 pub struct PostingList<'s> {
     entries: Entries<'s>,
     /// Prefix-summed weights aligned with `entries` (one entry longer),
     /// when served from the precomputed index.
-    prefix: Option<&'s [f64]>,
+    prefix: PrefixCol<'s>,
     total_weight: f64,
     /// Weight consumed by the cursor so far, maintained incrementally so
     /// [`PostingList::remaining_weight`] is O(1) even for materialized
@@ -428,6 +960,10 @@ pub struct PostingList<'s> {
     cursor: usize,
     kind: ServeKind,
 }
+
+/// Cache-shareable split of a [`PostingList`]: entries, the aligned
+/// prefix column when the list was index-served, and the total weight.
+pub type SharedParts = (Arc<[Posting]>, Option<Arc<[f64]>>, f64);
 
 impl<'s> PostingList<'s> {
     /// A borrowed index slice, or the canonical empty list when the
@@ -442,7 +978,7 @@ impl<'s> PostingList<'s> {
         if total_weight <= 0.0 {
             return PostingList {
                 entries: Entries::Borrowed(&[]),
-                prefix: None,
+                prefix: PrefixCol::None,
                 total_weight: 0.0,
                 consumed_weight: 0.0,
                 cursor: 0,
@@ -451,7 +987,7 @@ impl<'s> PostingList<'s> {
         }
         PostingList {
             entries: Entries::Borrowed(entries),
-            prefix,
+            prefix: prefix.map_or(PrefixCol::None, PrefixCol::Borrowed),
             total_weight,
             consumed_weight: 0.0,
             cursor: 0,
@@ -464,7 +1000,7 @@ impl<'s> PostingList<'s> {
         if total_weight <= 0.0 {
             return PostingList {
                 entries: Entries::Owned(Vec::new()),
-                prefix: None,
+                prefix: PrefixCol::None,
                 total_weight: 0.0,
                 consumed_weight: 0.0,
                 cursor: 0,
@@ -473,7 +1009,36 @@ impl<'s> PostingList<'s> {
         }
         PostingList {
             entries: Entries::Owned(entries),
-            prefix: None,
+            prefix: PrefixCol::None,
+            total_weight,
+            consumed_weight: 0.0,
+            cursor: 0,
+            kind,
+        }
+    }
+
+    /// An owned list carrying its reconstructed prefix column — the
+    /// Packed decode of an index-served group (empty when massless,
+    /// exactly like the borrowed constructor).
+    fn owned_with_prefix(
+        entries: Vec<Posting>,
+        prefix: Vec<f64>,
+        total_weight: f64,
+        kind: ServeKind,
+    ) -> PostingList<'static> {
+        if total_weight <= 0.0 {
+            return PostingList {
+                entries: Entries::Owned(Vec::new()),
+                prefix: PrefixCol::None,
+                total_weight: 0.0,
+                consumed_weight: 0.0,
+                cursor: 0,
+                kind,
+            };
+        }
+        PostingList {
+            entries: Entries::Owned(entries),
+            prefix: PrefixCol::Owned(prefix),
             total_weight,
             consumed_weight: 0.0,
             cursor: 0,
@@ -485,36 +1050,57 @@ impl<'s> PostingList<'s> {
     ///
     /// Ties in weight are broken by triple id so iteration order is
     /// deterministic. Predicate-only, unbound, subject-only, and
-    /// object-only patterns are served as borrowed slices of the store's
-    /// posting index without allocating; every other shape filters the
-    /// smallest covering group — one allocation, zero sorts.
+    /// object-only patterns are served from the store's posting index
+    /// without sorting (borrowed on Flat, decoded on Packed); every
+    /// other shape filters the smallest covering group — one
+    /// allocation, zero sorts.
     pub fn build(store: &'s XkgStore, pattern: &SlotPattern) -> PostingList<'s> {
         let index = store.posting_index();
         match (pattern.s, pattern.p, pattern.o) {
-            (None, Some(p), None) => PostingList::borrowed(
-                index.predicate_postings(p),
-                index.predicate_prefix(p),
-                index.predicate_total_weight(p),
-                ServeKind::Predicate,
-            ),
-            (None, None, None) => PostingList::borrowed(
-                index.all_postings(),
-                Some(&index.all_prefix),
-                index.total_weight(),
-                ServeKind::Unbound,
-            ),
+            (None, Some(p), None) => store
+                .predicate_group(p)
+                .into_list(index.predicate_total_weight(p), ServeKind::Predicate),
+            (None, None, None) => store
+                .unbound_group()
+                .into_list(index.total_weight(), ServeKind::Unbound),
             (Some(s), None, None) => {
-                let (entries, prefix) = store.subject_group(s);
-                let total = prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0);
-                PostingList::borrowed(entries, Some(prefix), total, ServeKind::Subject)
+                let group = store.subject_group(s);
+                let total = group.span_total();
+                group.into_list(total, ServeKind::Subject)
             }
             (None, None, Some(o)) => {
-                let (entries, prefix) = store.object_group(o);
-                let total = prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0);
-                PostingList::borrowed(entries, Some(prefix), total, ServeKind::Object)
+                let group = store.object_group(o);
+                let total = group.span_total();
+                group.into_list(total, ServeKind::Object)
             }
             _ => PostingList::filtered(store, pattern),
         }
+    }
+
+    /// Entries-only variant of [`PostingList::build`] for consumers
+    /// that cache the entry array and drop the prefix column (the
+    /// query layer's exec and shared posting caches do exactly that).
+    /// Flat segments hand back a borrow — the caller's one copy goes
+    /// straight into the cache payload — and Packed segments decode
+    /// entries without reconstructing the prefix sums. Entry values,
+    /// totals, and serve kinds match `build` bit for bit.
+    pub fn build_entries(
+        store: &'s XkgStore,
+        pattern: &SlotPattern,
+    ) -> (EntriesRef<'s>, f64, ServeKind) {
+        if let Some((entries, total, kind)) = store.group_entries(pattern) {
+            // Mirror the zero-total normalization of the list
+            // constructors: a group whose weights sum to nothing serves
+            // as empty rather than as undefined probabilities.
+            if total <= 0.0 {
+                return (EntriesRef::Owned(Vec::new()), 0.0, kind);
+            }
+            return (entries, total, kind);
+        }
+        let list = PostingList::filtered(store, pattern);
+        let total = list.total_weight();
+        let kind = list.serve_kind();
+        (EntriesRef::Owned(list.into_entries()), total, kind)
     }
 
     /// Serves a composite shape (sp / op / so / ground) from the index.
@@ -526,32 +1112,57 @@ impl<'s> PostingList<'s> {
     /// group (a ground pattern over hub terms can match 1 triple while
     /// each group holds millions), the range itself is materialized and
     /// weight-ordered instead — O(matches · log matches) beats an
-    /// unbounded group walk.
+    /// unbounded group walk. Group sizes are measured by span arithmetic
+    /// alone, so Packed segments decode at most one group.
     fn filtered(store: &'s XkgStore, pattern: &SlotPattern) -> PostingList<'s> {
-        let matches = store.lookup(pattern);
-        if matches.is_empty() {
+        // Span arithmetic only: materializing the match ids here would
+        // cost a Packed segment a decode + allocation even when the
+        // group-filter branch below never looks at them.
+        let match_count = store.count(pattern);
+        if match_count == 0 {
             return PostingList::owned(Vec::new(), 0.0, ServeKind::Filtered);
         }
-        let mut group: Option<&[Posting]> = None;
-        let mut consider = |candidate: &'s [Posting]| {
-            if group.is_none_or(|g| candidate.len() < g.len()) {
-                group = Some(candidate);
+        enum Cover {
+            Subject(TermId),
+            Object(TermId),
+            Predicate(TermId),
+        }
+        let mut best: Option<(usize, Cover)> = None;
+        let mut consider = |len: usize, key: Cover| {
+            if best.as_ref().is_none_or(|(best_len, _)| len < *best_len) {
+                best = Some((len, key));
             }
         };
         if let Some(s) = pattern.s {
-            consider(store.subject_group(s).0);
+            consider(
+                store.count(&SlotPattern::new(Some(s), None, None)),
+                Cover::Subject(s),
+            );
         }
         if let Some(o) = pattern.o {
-            consider(store.object_group(o).0);
+            consider(
+                store.count(&SlotPattern::new(None, None, Some(o))),
+                Cover::Object(o),
+            );
         }
         if let Some(p) = pattern.p {
-            consider(store.posting_index().predicate_postings(p));
+            consider(store.posting_index().predicate_group_len(p), Cover::Predicate(p));
         }
-        let group = group.expect("filtered shapes bind at least one slot");
-        if matches.len() * 4 <= group.len() {
-            return PostingList::from_match_ids(store, matches, ServeKind::Range);
+        let Some((group_len, cover)) = best else {
+            // Composite shapes always bind a slot; if a malformed shape
+            // ever lands here, degrade to the exact-range serve.
+            return PostingList::from_match_ids(store, &store.lookup(pattern), ServeKind::Range);
+        };
+        if match_count * 4 <= group_len {
+            return PostingList::from_match_ids(store, &store.lookup(pattern), ServeKind::Range);
         }
+        let group = match cover {
+            Cover::Subject(s) => store.subject_group(s),
+            Cover::Object(o) => store.object_group(o),
+            Cover::Predicate(p) => store.predicate_group(p),
+        };
         let mut entries: Vec<Posting> = group
+            .entries()
             .iter()
             .filter(|e| pattern.matches(store.triple(e.triple)))
             .copied()
@@ -594,7 +1205,7 @@ impl<'s> PostingList<'s> {
     /// entry-for-entry equal) and as the "before" side of the anchored
     /// benchmark; the engines never call it.
     pub fn build_by_scan(store: &XkgStore, pattern: &SlotPattern) -> PostingList<'static> {
-        PostingList::from_match_ids(store, store.lookup(pattern), ServeKind::Scanned)
+        PostingList::from_match_ids(store, &store.lookup(pattern), ServeKind::Scanned)
     }
 
     /// Wraps an externally materialized, already score-sorted entry list.
@@ -602,7 +1213,7 @@ impl<'s> PostingList<'s> {
     pub fn from_owned(entries: Vec<Posting>, total_weight: f64) -> PostingList<'static> {
         PostingList {
             entries: Entries::Owned(entries),
-            prefix: None,
+            prefix: PrefixCol::None,
             total_weight,
             consumed_weight: 0.0,
             cursor: 0,
@@ -612,15 +1223,52 @@ impl<'s> PostingList<'s> {
 
     /// Wraps a cache-shared, already score-sorted entry list. The list
     /// gets its own cursor; the entries are not copied.
-    pub fn from_shared(entries: std::sync::Arc<[Posting]>, total_weight: f64) -> PostingList<'static> {
+    pub fn from_shared(entries: Arc<[Posting]>, total_weight: f64) -> PostingList<'static> {
         PostingList {
             entries: Entries::Shared(entries),
-            prefix: None,
+            prefix: PrefixCol::None,
             total_weight,
             consumed_weight: 0.0,
             cursor: 0,
             kind: ServeKind::External,
         }
+    }
+
+    /// Wraps cache-shared entries together with their aligned prefix
+    /// column — how decoded Packed groups are re-served from the query
+    /// layer's caches with the same O(1) remaining-weight reads as the
+    /// Flat borrow path.
+    pub fn from_shared_parts(
+        entries: Arc<[Posting]>,
+        prefix: Option<Arc<[f64]>>,
+        total_weight: f64,
+    ) -> PostingList<'static> {
+        PostingList {
+            entries: Entries::Shared(entries),
+            prefix: prefix.map_or(PrefixCol::None, PrefixCol::Shared),
+            total_weight,
+            consumed_weight: 0.0,
+            cursor: 0,
+            kind: ServeKind::External,
+        }
+    }
+
+    /// Splits the list into cache-shareable parts: entries, the aligned
+    /// prefix column when the list was index-served, and the total
+    /// weight. Copies only when the parts were borrowed.
+    pub fn into_shared_parts(self) -> SharedParts {
+        let entries: Arc<[Posting]> = match self.entries {
+            Entries::Owned(v) => v.into(),
+            Entries::Borrowed(s) => s.into(),
+            Entries::Shared(rc) => rc,
+        };
+        let prefix: Option<Arc<[f64]>> = match self.prefix {
+            PrefixCol::None => None,
+            PrefixCol::Borrowed(s) => Some(s.into()),
+            PrefixCol::Owned(v) => Some(v.into()),
+            PrefixCol::Shared(rc) => Some(rc),
+        };
+        (entries, prefix, self.total_weight)
     }
 
     /// Consumes the list into an owned entry vector (no copy when the
@@ -695,7 +1343,7 @@ impl<'s> PostingList<'s> {
     /// the precomputed index (prefix sums), O(upto) otherwise.
     pub fn prefix_weight(&self, upto: usize) -> f64 {
         let upto = upto.min(self.len());
-        match self.prefix {
+        match self.prefix.as_slice() {
             Some(pre) => pre[upto] - pre[0],
             None => self.entries.as_slice()[..upto]
                 .iter()
@@ -711,7 +1359,7 @@ impl<'s> PostingList<'s> {
     /// this every capping round.)
     #[inline]
     pub fn remaining_weight(&self) -> f64 {
-        match self.prefix {
+        match self.prefix.as_slice() {
             Some(pre) => (self.total_weight - (pre[self.cursor] - pre[0])).max(0.0),
             None => (self.total_weight - self.consumed_weight).max(0.0),
         }
@@ -913,7 +1561,7 @@ mod tests {
         let list = PostingList::build(&store, &SlotPattern::with_p(p));
         assert!(list.is_empty());
         assert_eq!(list.total_weight(), 0.0);
-        assert_eq!(store.posting_index().predicate_head_prob(p), 0.0);
+        assert_eq!(store.head_prob(&SlotPattern::with_p(p)), Some(0.0));
         // The scan reference agrees.
         let reference = PostingList::build_by_scan(&store, &SlotPattern::with_p(p));
         assert!(reference.is_empty());
@@ -964,14 +1612,74 @@ mod tests {
         let idx = store.posting_index();
         let mut covered = 0;
         for &p in idx.predicates() {
-            let group = idx.predicate_postings(p);
+            let group = store.predicate_group(p);
             assert!(!group.is_empty());
-            assert!(group.windows(2).all(|w| {
+            assert!(group.entries().windows(2).all(|w| {
                 w[0].weight > w[1].weight
                     || (w[0].weight == w[1].weight && w[0].triple < w[1].triple)
             }));
             covered += group.len();
         }
         assert_eq!(covered, store.len());
+    }
+
+    #[test]
+    fn quantize_weight_is_monotone_and_bounded() {
+        assert_eq!(quantize_weight(0.0), 0);
+        assert_eq!(quantize_weight(-1.0), 0);
+        assert_eq!(quantize_weight(f64::NAN), 0);
+        let pool: Vec<f64> = vec![
+            1e-40, 1e-12, 1e-6, 0.01, 0.5, 0.50001, 1.0, 2.0, 1e3, 1e6, 4.2e9,
+        ];
+        let codes: Vec<u16> = pool.iter().map(|&w| quantize_weight(w)).collect();
+        assert!(codes.windows(2).all(|w| w[0] <= w[1]), "{codes:?}");
+        assert!(codes[0] >= 1);
+        assert!(*codes.last().unwrap() < u16::MAX, "headroom at the top of the code range");
+        // Equal weights share a code.
+        assert_eq!(quantize_weight(0.7), quantize_weight(0.7));
+    }
+
+    /// Every serve of a Packed store is entry-for-entry bit-identical
+    /// to the Flat store over the same builder, for all 8 shapes.
+    #[test]
+    fn packed_serves_bit_identical_to_flat() {
+        let mut b = XkgBuilder::new();
+        let src = b.intern_source("doc");
+        for i in 0..300u32 {
+            let s = b.dict_mut().resource(&format!("s{}", i % 37));
+            let p = b.dict_mut().resource(&format!("p{}", i % 5));
+            let o = b.dict_mut().resource(&format!("o{}", i % 23));
+            let conf = 0.05 + ((i * 13) % 90) as f32 / 100.0;
+            b.add_extracted(s, p, o, conf, src);
+        }
+        let flat = b.clone().build();
+        let packed = b.build_with(SegmentLayout::Packed);
+        let s = flat.resource("s1").unwrap();
+        let p = flat.resource("p2").unwrap();
+        let o = flat.resource("o3").unwrap();
+        for mask in 0u8..8 {
+            let pattern = SlotPattern::new(
+                (mask & 1 != 0).then_some(s),
+                (mask & 2 != 0).then_some(p),
+                (mask & 4 != 0).then_some(o),
+            );
+            let fl = PostingList::build(&flat, &pattern);
+            let pk = PostingList::build(&packed, &pattern);
+            assert_eq!(fl.entries(), pk.entries(), "shape {mask:#05b}");
+            assert_eq!(
+                fl.total_weight().to_bits(),
+                pk.total_weight().to_bits(),
+                "total, shape {mask:#05b}"
+            );
+            for upto in [0, 1, fl.len() / 2, fl.len()] {
+                assert_eq!(
+                    fl.prefix_weight(upto).to_bits(),
+                    pk.prefix_weight(upto).to_bits(),
+                    "prefix {upto}, shape {mask:#05b}"
+                );
+            }
+            assert_eq!(flat.head_prob(&pattern), packed.head_prob(&pattern));
+            assert_eq!(flat.head_weight(&pattern), packed.head_weight(&pattern));
+        }
     }
 }

@@ -143,13 +143,14 @@ impl SegmentedStore {
     fn resolve(&self, id: TripleId) -> (&XkgStore, TripleId) {
         let base_len = self.base.len() as u32;
         if id.0 < base_len {
-            (&self.base, id)
-        } else {
-            let view = self
-                .delta_view
-                .as_ref()
-                .expect("delta triple id with empty delta");
-            (view, TripleId(id.0 - base_len))
+            return (&self.base, id);
+        }
+        // Ids past the base are only issued while a delta view exists; a
+        // stale id with no delta degrades to the base segment, whose
+        // bounds-checked accessor reports it as out of range.
+        match self.delta_view.as_ref() {
+            Some(view) => (view, TripleId(id.0 - base_len)),
+            None => (&self.base, id),
         }
     }
 
@@ -232,7 +233,10 @@ impl SegmentedStore {
         for (t, p) in self.delta.triples().iter().zip(self.delta.provenances()) {
             merged.add(*t, p.clone());
         }
-        self.base = merged.build();
+        // Compaction re-freezes into the base's configured layout: a
+        // Packed base stays Packed, a Flat base stays Flat. The hot
+        // delta view is always rebuilt Flat regardless (see `ingest`).
+        self.base = merged.build_with(self.base.layout());
         self.delta = XkgBuilder::with_context(self.base.dict().clone(), self.base.sources());
         self.delta_view = None;
         self.generation += 1;
@@ -350,6 +354,26 @@ mod tests {
         assert!(seg.delta_view().is_none());
         assert_eq!(seg.delta_len(), 0);
         assert_eq!(seg.len(), union.len());
+        for pattern in all_shapes(&union) {
+            assert_eq!(
+                scan_set(seg.base(), &pattern),
+                scan_set(&union, &pattern),
+                "shape {pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_base_stays_packed_through_compact() {
+        use crate::pack::SegmentLayout;
+        let mut seg = SegmentedStore::new(base_builder().build_with(SegmentLayout::Packed));
+        assert!(!seg.base().layout().is_flat());
+        seg.ingest(ingest_batch);
+        // The hot delta view is always frozen Flat.
+        assert!(seg.delta_view().unwrap().layout().is_flat());
+        seg.compact();
+        assert!(!seg.base().layout().is_flat(), "compact must keep the base Packed");
+        let union = rebuilt_union();
         for pattern in all_shapes(&union) {
             assert_eq!(
                 scan_set(seg.base(), &pattern),

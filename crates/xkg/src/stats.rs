@@ -30,11 +30,65 @@ pub struct PredicateStats {
     pub total_weight: f64,
 }
 
+/// Exact heap byte accounting of a frozen store, per structure.
+///
+/// Computed from container capacities at the time of the call (the
+/// store is immutable after freeze, so the numbers are stable). The
+/// *index* share — what the [`SegmentLayout`](crate::SegmentLayout)
+/// choice changes — is split from the payload tables (triples,
+/// provenance, dictionary), which are layout-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageBytes {
+    /// The six permutation key/id columns (flat or bit-packed).
+    pub permutations: usize,
+    /// The packed permutations' sparse selection directories.
+    pub permutation_directories: usize,
+    /// The four posting strata's entry columns (flat entries + prefix
+    /// sums, or packed ids + quantized weight codes).
+    pub posting_strata: usize,
+    /// Posting directories: the predicate group map plus the packed
+    /// layout's exact-f64 scaffolding (checkpoints, group totals).
+    pub posting_directories: usize,
+    /// The term dictionary (string payloads + tables).
+    pub dict: usize,
+    /// The raw triple table.
+    pub triples: usize,
+    /// Provenance records including their source lists.
+    pub provenance: usize,
+}
+
+impl StorageBytes {
+    /// Bytes spent on derived index structures — the share the segment
+    /// layout controls (permutations + posting strata + directories).
+    pub fn index_bytes(&self) -> usize {
+        self.permutations
+            + self.permutation_directories
+            + self.posting_strata
+            + self.posting_directories
+    }
+
+    /// Total heap bytes across every structure.
+    pub fn total(&self) -> usize {
+        self.index_bytes() + self.dict + self.triples + self.provenance
+    }
+
+    /// Index bytes per triple (0.0 for an empty store).
+    pub fn bytes_per_triple(&self, triples: usize) -> f64 {
+        if triples == 0 {
+            0.0
+        } else {
+            self.index_bytes() as f64 / triples as f64
+        }
+    }
+}
+
 /// Statistics over an entire store.
 #[derive(Debug, Default)]
 pub struct StoreStats {
     by_predicate: HashMap<TermId, PredicateStats>,
     predicates: Vec<TermId>,
+    storage: StorageBytes,
+    triples: usize,
 }
 
 impl StoreStats {
@@ -48,12 +102,12 @@ impl StoreStats {
         let mut subs: Vec<TermId> = Vec::new();
         let mut objs: Vec<TermId> = Vec::new();
         for &p in &predicates {
-            let group = store.predicate_postings(p);
+            let group = store.predicate_group(p);
             let mut kg_triples = 0;
             let mut total_weight = 0.0f64;
             subs.clear();
             objs.clear();
-            for e in group {
+            for e in group.entries() {
                 let t = store.triple(e.triple);
                 subs.push(t.s);
                 objs.push(t.o);
@@ -81,6 +135,8 @@ impl StoreStats {
         StoreStats {
             by_predicate,
             predicates,
+            storage: store.storage_bytes(),
+            triples: store.len(),
         }
     }
 
@@ -97,6 +153,16 @@ impl StoreStats {
     /// Number of distinct predicates.
     pub fn predicate_count(&self) -> usize {
         self.predicates.len()
+    }
+
+    /// Exact per-structure byte accounting captured at compute time.
+    pub fn storage(&self) -> StorageBytes {
+        self.storage
+    }
+
+    /// Index bytes per triple at compute time.
+    pub fn bytes_per_triple(&self) -> f64 {
+        self.storage.bytes_per_triple(self.triples)
     }
 }
 

@@ -11,9 +11,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::dict::TermDict;
-use crate::index::TripleIndex;
+use crate::index::{MatchIds, TripleIndex};
+use crate::pack::SegmentLayout;
 use crate::pattern::SlotPattern;
-use crate::posting::{Posting, PostingIndex};
+use crate::posting::{EntriesRef, GroupRef, PostingIndex, ServeKind};
+use crate::stats::StorageBytes;
 use crate::term::{TermId, TermKind};
 use crate::triple::{GraphTag, Provenance, SourceId, Triple, TripleId};
 
@@ -243,15 +245,19 @@ impl XkgBuilder {
 
     /// Freezes the builder into an immutable, fully indexed store: the six
     /// columnar permutation indexes, the score-sorted posting index, and
-    /// per-stratum counts are all computed here, once.
+    /// per-stratum counts are all computed here, once. Uses the default
+    /// [`SegmentLayout::Flat`]; see [`XkgBuilder::build_with`].
     pub fn build(self) -> XkgStore {
+        self.build_with(SegmentLayout::Flat)
+    }
+
+    /// Freezes the builder with an explicit [`SegmentLayout`]: `Flat` for
+    /// hot, constantly rebuilt segments (ingest deltas), `Packed` for
+    /// frozen base segments where bytes/triple dominates. Query answers
+    /// are bit-identical in both layouts.
+    pub fn build_with(self, layout: SegmentLayout) -> XkgStore {
         let sources: Arc<[Box<str>]> = self.sources.into();
-        XkgStore::freeze(
-            Arc::new(self.dict),
-            self.triples,
-            self.prov,
-            sources,
-        )
+        XkgStore::freeze(Arc::new(self.dict), self.triples, self.prov, sources, layout)
     }
 
     /// Freezes the builder into `shards` independent [`XkgStore`]s that
@@ -272,6 +278,16 @@ impl XkgBuilder {
     ///
     /// Panics if `shards` is zero.
     pub fn build_sharded(self, shards: usize) -> Vec<XkgStore> {
+        self.build_sharded_with(shards, SegmentLayout::Flat)
+    }
+
+    /// Like [`XkgBuilder::build_sharded`], with an explicit
+    /// [`SegmentLayout`] applied to every shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn build_sharded_with(self, shards: usize, layout: SegmentLayout) -> Vec<XkgStore> {
         assert!(shards > 0, "shard count must be positive");
         let dict = Arc::new(self.dict);
         let sources: Arc<[Box<str>]> = self.sources.into();
@@ -291,7 +307,7 @@ impl XkgBuilder {
                 .map(|(triples, prov)| {
                     let dict = Arc::clone(&dict);
                     let sources = Arc::clone(&sources);
-                    scope.spawn(move || XkgStore::freeze(dict, triples, prov, sources))
+                    scope.spawn(move || XkgStore::freeze(dict, triples, prov, sources, layout))
                 })
                 .collect();
             handles
@@ -331,6 +347,7 @@ pub struct XkgStore {
     index: TripleIndex,
     postings: PostingIndex,
     kg_len: usize,
+    layout: SegmentLayout,
 }
 
 impl XkgStore {
@@ -340,9 +357,10 @@ impl XkgStore {
         triples: Vec<Triple>,
         prov: Vec<Provenance>,
         sources: Arc<[Box<str>]>,
+        layout: SegmentLayout,
     ) -> XkgStore {
-        let index = TripleIndex::build(&triples);
-        let postings = PostingIndex::build(&triples, &prov);
+        let index = TripleIndex::build_with(&triples, layout);
+        let postings = PostingIndex::build(&triples, &prov, layout);
         let kg_len = prov.iter().filter(|p| p.graph == GraphTag::Kg).count();
         XkgStore {
             dict,
@@ -352,7 +370,14 @@ impl XkgStore {
             index,
             postings,
             kg_len,
+            layout,
         }
+    }
+
+    /// The physical layout this store's segment was frozen with.
+    #[inline]
+    pub fn layout(&self) -> SegmentLayout {
+        self.layout
     }
 
     /// The term dictionary.
@@ -437,11 +462,26 @@ impl XkgStore {
         &self.sources
     }
 
-    /// All triple ids matching `pattern`, as a contiguous index range.
-    /// Allocation-free: served from the columnar permutation indexes.
+    /// All triple ids matching `pattern`, served from the columnar
+    /// permutation indexes. Borrowed (allocation-free) on Flat segments;
+    /// Packed segments decode the id column of the matching range.
+    /// Derefs to `&[TripleId]`.
     #[inline]
-    pub fn lookup(&self, pattern: &SlotPattern) -> &[TripleId] {
+    pub fn lookup(&self, pattern: &SlotPattern) -> MatchIds<'_> {
         self.index.lookup(pattern)
+    }
+
+    /// Like [`XkgStore::lookup`], but Packed segments decode into the
+    /// caller's scratch buffer instead of allocating — the per-probe
+    /// serving seam for hot loops (join probes reuse one buffer per
+    /// depth).
+    #[inline]
+    pub fn lookup_in<'a>(
+        &'a self,
+        pattern: &SlotPattern,
+        buf: &'a mut Vec<TripleId>,
+    ) -> &'a [TripleId] {
+        self.index.lookup_in(pattern, buf)
     }
 
     /// Exact number of triples matching `pattern`.
@@ -463,57 +503,89 @@ impl XkgStore {
         self.postings.predicates()
     }
 
-    /// One predicate's matches in descending emission-weight order, with
-    /// probabilities normalized over the predicate. O(1), allocation-free.
-    #[inline]
-    pub fn predicate_postings(&self, p: TermId) -> &[Posting] {
-        self.postings.predicate_postings(p)
+    /// One predicate's group in descending emission-weight order, with
+    /// probabilities normalized over the predicate. Borrowed
+    /// (allocation-free) on Flat segments, decoded into scratch on
+    /// Packed ones — bit-identical values either way.
+    pub fn predicate_group(&self, p: TermId) -> GroupRef<'_> {
+        self.postings.predicate_serve(p, &self.prov)
     }
 
-    /// The subject-anchored stratum's entries and prefix sums for `s`:
-    /// the stratum shares the SPO permutation's primary-key order, so the
-    /// group span is the permutation's binary-searched range (no group
-    /// directory exists for the anchored strata).
-    pub(crate) fn subject_group(&self, s: TermId) -> (&[Posting], &[f64]) {
+    /// The global unbound stratum: every triple in descending
+    /// emission-weight order, normalized over the whole store.
+    pub fn unbound_group(&self) -> GroupRef<'_> {
+        self.postings.all_serve(&self.prov)
+    }
+
+    /// The subject-anchored stratum's group for `s`: the stratum shares
+    /// the SPO permutation's primary-key order, so the group span is the
+    /// permutation's binary-searched range (no group directory exists
+    /// for the anchored strata).
+    pub fn subject_group(&self, s: TermId) -> GroupRef<'_> {
         let span = self.index.span(&SlotPattern::new(Some(s), None, None));
-        self.postings.subject_slice(span)
+        self.postings.subject_serve(span, &self.prov)
     }
 
-    /// The object-anchored stratum's entries and prefix sums for `o`
-    /// (group span shared with the OSP permutation's range).
-    pub(crate) fn object_group(&self, o: TermId) -> (&[Posting], &[f64]) {
+    /// The object-anchored stratum's group for `o` (group span shared
+    /// with the OSP permutation's range).
+    pub fn object_group(&self, o: TermId) -> GroupRef<'_> {
         let span = self.index.span(&SlotPattern::new(None, None, Some(o)));
-        self.postings.object_slice(span)
-    }
-
-    /// One subject's matches in descending emission-weight order, with
-    /// probabilities normalized over the subject's group. O(log n),
-    /// allocation-free.
-    #[inline]
-    pub fn subject_postings(&self, s: TermId) -> &[Posting] {
-        self.subject_group(s).0
-    }
-
-    /// One object's matches in descending emission-weight order, with
-    /// probabilities normalized over the object's group. O(log n),
-    /// allocation-free.
-    #[inline]
-    pub fn object_postings(&self, o: TermId) -> &[Posting] {
-        self.object_group(o).0
+        self.postings.object_serve(span, &self.prov)
     }
 
     /// Total emission weight of one subject's matches, read from the
-    /// anchored stratum's prefix-sum column. O(log n), allocation-free.
+    /// anchored stratum's prefix sums (reconstructed exactly from block
+    /// checkpoints on Packed segments). O(log n), allocation-free.
     pub fn subject_total_weight(&self, s: TermId) -> f64 {
-        let (_, prefix) = self.subject_group(s);
-        prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0)
+        let span = self.index.span(&SlotPattern::new(Some(s), None, None));
+        self.postings.subject_span_total(span, &self.prov)
     }
 
     /// Total emission weight of one object's matches (see
     /// [`XkgStore::subject_total_weight`]).
     pub fn object_total_weight(&self, o: TermId) -> f64 {
-        let (_, prefix) = self.object_group(o);
-        prefix.last().unwrap_or(&0.0) - prefix.first().unwrap_or(&0.0)
+        let span = self.index.span(&SlotPattern::new(None, None, Some(o)));
+        self.postings.object_span_total(span, &self.prov)
+    }
+
+    /// Entries-only serve of `pattern` for the four index-backed
+    /// shapes — the same entries, totals, and serve kinds
+    /// [`PostingList::build`](crate::PostingList::build) produces,
+    /// minus the prefix column. `None` for composite shapes, which
+    /// filter rather than serve whole groups.
+    pub(crate) fn group_entries(
+        &self,
+        pattern: &SlotPattern,
+    ) -> Option<(EntriesRef<'_>, f64, ServeKind)> {
+        match (pattern.s, pattern.p, pattern.o) {
+            (None, Some(p), None) => Some((
+                self.postings.predicate_serve_entries(p, &self.prov),
+                self.postings.predicate_total_weight(p),
+                ServeKind::Predicate,
+            )),
+            (None, None, None) => Some((
+                self.postings.all_serve_entries(&self.prov),
+                self.postings.total_weight(),
+                ServeKind::Unbound,
+            )),
+            (Some(s), None, None) => {
+                let span = self.index.span(&SlotPattern::new(Some(s), None, None));
+                Some((
+                    self.postings.subject_serve_entries(span.clone(), &self.prov),
+                    self.postings.subject_span_total(span, &self.prov),
+                    ServeKind::Subject,
+                ))
+            }
+            (None, None, Some(o)) => {
+                let span = self.index.span(&SlotPattern::new(None, None, Some(o)));
+                Some((
+                    self.postings.object_serve_entries(span.clone(), &self.prov),
+                    self.postings.object_span_total(span, &self.prov),
+                    ServeKind::Object,
+                ))
+            }
+            _ => None,
+        }
     }
 
     /// Exact head probability (best emission) of `pattern`'s posting
@@ -524,13 +596,31 @@ impl XkgStore {
     /// or build the list.
     pub fn head_prob(&self, pattern: &SlotPattern) -> Option<f64> {
         match (pattern.s, pattern.p, pattern.o) {
-            (None, Some(p), None) => Some(self.postings.predicate_head_prob(p)),
-            (None, None, None) => Some(self.postings.global_head_prob()),
+            (None, Some(p), None) => Some(
+                self.postings
+                    .predicate_head(p, &self.prov)
+                    .map_or(0.0, |e| e.prob),
+            ),
+            (None, None, None) => Some(
+                self.postings
+                    .global_head(&self.prov)
+                    .map_or(0.0, |e| e.prob),
+            ),
             (Some(s), None, None) => {
-                Some(self.subject_postings(s).first().map_or(0.0, |e| e.prob))
+                let span = self.index.span(&SlotPattern::new(Some(s), None, None));
+                Some(
+                    self.postings
+                        .subject_head(span, &self.prov)
+                        .map_or(0.0, |e| e.prob),
+                )
             }
             (None, None, Some(o)) => {
-                Some(self.object_postings(o).first().map_or(0.0, |e| e.prob))
+                let span = self.index.span(&SlotPattern::new(None, None, Some(o)));
+                Some(
+                    self.postings
+                        .object_head(span, &self.prov)
+                        .map_or(0.0, |e| e.prob),
+                )
             }
             _ => None,
         }
@@ -544,23 +634,52 @@ impl XkgStore {
         match (pattern.s, pattern.p, pattern.o) {
             (None, Some(p), None) => Some(
                 self.postings
-                    .predicate_postings(p)
-                    .first()
+                    .predicate_head(p, &self.prov)
                     .map_or(0.0, |e| e.weight),
             ),
             (None, None, None) => Some(
                 self.postings
-                    .all_postings()
-                    .first()
+                    .global_head(&self.prov)
                     .map_or(0.0, |e| e.weight),
             ),
             (Some(s), None, None) => {
-                Some(self.subject_postings(s).first().map_or(0.0, |e| e.weight))
+                let span = self.index.span(&SlotPattern::new(Some(s), None, None));
+                Some(
+                    self.postings
+                        .subject_head(span, &self.prov)
+                        .map_or(0.0, |e| e.weight),
+                )
             }
             (None, None, Some(o)) => {
-                Some(self.object_postings(o).first().map_or(0.0, |e| e.weight))
+                let span = self.index.span(&SlotPattern::new(None, None, Some(o)));
+                Some(
+                    self.postings
+                        .object_head(span, &self.prov)
+                        .map_or(0.0, |e| e.weight),
+                )
             }
             _ => None,
+        }
+    }
+
+    /// Exact per-structure heap byte accounting of the frozen store.
+    pub fn storage_bytes(&self) -> StorageBytes {
+        let (permutations, permutation_directories) = self.index.heap_bytes();
+        let (posting_strata, posting_directories) = self.postings.heap_bytes();
+        let provenance = self.prov.capacity() * std::mem::size_of::<Provenance>()
+            + self
+                .prov
+                .iter()
+                .map(|p| p.sources.capacity() * std::mem::size_of::<SourceId>())
+                .sum::<usize>();
+        StorageBytes {
+            permutations,
+            permutation_directories,
+            posting_strata,
+            posting_directories,
+            dict: self.dict.heap_bytes(),
+            triples: self.triples.capacity() * std::mem::size_of::<Triple>(),
+            provenance,
         }
     }
 
@@ -690,26 +809,33 @@ mod tests {
     fn anchored_groups_share_permutation_spans() {
         let store = sample();
         let einstein = store.resource("AlbertEinstein").unwrap();
-        let group = store.subject_postings(einstein);
+        let group = store.subject_group(einstein);
         assert_eq!(
             group.len(),
             store.lookup(&SlotPattern::new(Some(einstein), None, None)).len()
         );
         assert!(group
+            .entries()
             .iter()
             .all(|e| store.triple(e.triple).s == einstein));
-        assert!(group.windows(2).all(|w| w[0].weight >= w[1].weight));
-        let total: f64 = group.iter().map(|e| e.weight).sum();
+        assert!(group
+            .entries()
+            .windows(2)
+            .all(|w| w[0].weight >= w[1].weight));
+        let total: f64 = group.entries().iter().map(|e| e.weight).sum();
         assert!((store.subject_total_weight(einstein) - total).abs() < 1e-9);
 
         let princeton = store.resource("PrincetonUniversity");
         if let Some(princeton) = princeton {
-            let ogroup = store.object_postings(princeton);
-            assert!(ogroup.iter().all(|e| store.triple(e.triple).o == princeton));
+            let ogroup = store.object_group(princeton);
+            assert!(ogroup
+                .entries()
+                .iter()
+                .all(|e| store.triple(e.triple).o == princeton));
         }
         // Absent anchors serve empty groups and zero totals.
         let ghost = TermId::new(TermKind::Resource, 9999);
-        assert!(store.subject_postings(ghost).is_empty());
+        assert!(store.subject_group(ghost).is_empty());
         assert_eq!(store.object_total_weight(ghost), 0.0);
     }
 

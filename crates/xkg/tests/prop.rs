@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 
 use trinit_xkg::{
-    Provenance, SlotPattern, SourceId, TermDict, TermId, TermKind, Triple, XkgBuilder,
+    PostingList, Provenance, SegmentLayout, SlotPattern, SourceId, TermDict, TermId, TermKind,
+    Triple, XkgBuilder, XkgStore,
 };
 
 /// Strategy: a small universe of term ids per kind.
@@ -27,14 +28,46 @@ fn triple(universe: u32) -> impl Strategy<Value = Triple> {
         .prop_map(|(s, p, o)| Triple::new(s, p, o))
 }
 
-fn store_from(triples: &[(Triple, f32, u8)]) -> trinit_xkg::XkgStore {
+fn builder_from(triples: &[(Triple, f32, u8)]) -> XkgBuilder {
     let mut b = XkgBuilder::new();
     for (t, conf, support) in triples {
         let mut prov = Provenance::extraction(*conf, SourceId(0));
         prov.support = u32::from(*support) + 1;
         b.add(*t, prov);
     }
-    b.build()
+    b
+}
+
+fn store_from(triples: &[(Triple, f32, u8)]) -> XkgStore {
+    builder_from(triples).build()
+}
+
+/// Asserts two posting lists are bit-for-bit identical: same triples in
+/// the same order, weights, probabilities, totals and every prefix sum
+/// equal as raw f64 bits, not merely within an epsilon.
+fn assert_lists_bit_identical(a: &PostingList, b: &PostingList, ctx: &str) {
+    assert_eq!(a.len(), b.len(), "length differs: {ctx}");
+    for (x, y) in a.entries().iter().zip(b.entries()) {
+        assert_eq!(x.triple, y.triple, "order differs: {ctx}");
+        assert_eq!(
+            x.weight.to_bits(),
+            y.weight.to_bits(),
+            "weight bits differ: {ctx}"
+        );
+        assert_eq!(x.prob.to_bits(), y.prob.to_bits(), "prob bits differ: {ctx}");
+    }
+    assert_eq!(
+        a.total_weight().to_bits(),
+        b.total_weight().to_bits(),
+        "total bits differ: {ctx}"
+    );
+    for upto in 0..=a.len() {
+        assert_eq!(
+            a.prefix_weight(upto).to_bits(),
+            b.prefix_weight(upto).to_bits(),
+            "prefix bits differ at {upto}: {ctx}"
+        );
+    }
 }
 
 proptest! {
@@ -351,13 +384,13 @@ proptest! {
                 }
             };
             if mask & 1 != 0 {
-                consider(store.subject_postings(s).len());
+                consider(store.count(&SlotPattern::new(Some(s), None, None)));
             }
             if mask & 4 != 0 {
-                consider(store.object_postings(o).len());
+                consider(store.count(&SlotPattern::new(None, None, Some(o))));
             }
             if mask & 2 != 0 {
-                consider(store.posting_index().predicate_postings(p).len());
+                consider(store.posting_index().predicate_group_len(p));
             }
             let group = group.expect("composite shapes bind a slot");
 
@@ -392,6 +425,83 @@ proptest! {
                 "total differs, shape {:#05b}",
                 mask
             );
+        }
+    }
+}
+
+proptest! {
+    /// Sharded builds serve the same answers regardless of layout: for
+    /// every shard count in {1, 2, 4, 7} and **all 8 pattern shapes**,
+    /// a `Packed` shard serves bit-for-bit what its `Flat` twin serves —
+    /// same triples, weights, probabilities, totals and prefix sums.
+    #[test]
+    fn packed_shards_equal_flat_shards_all_shapes(
+        triples in proptest::collection::vec((triple(6), 0.01f32..1.0, 0u8..4), 0..80),
+        s in term_id(TermKind::Resource, 6),
+        p in term_id(TermKind::Resource, 6),
+        o in term_id(TermKind::Resource, 6),
+    ) {
+        for shards in [1usize, 2, 4, 7] {
+            let flat = builder_from(&triples).build_sharded(shards);
+            let packed =
+                builder_from(&triples).build_sharded_with(shards, SegmentLayout::Packed);
+            prop_assert_eq!(flat.len(), shards);
+            prop_assert_eq!(packed.len(), shards);
+            for (i, (f, q)) in flat.iter().zip(&packed).enumerate() {
+                prop_assert!(f.layout().is_flat());
+                prop_assert!(!q.layout().is_flat());
+                prop_assert_eq!(f.len(), q.len(), "shard {} sizes differ", i);
+                for mask in 0u8..8 {
+                    let pattern = SlotPattern::new(
+                        (mask & 1 != 0).then_some(s),
+                        (mask & 2 != 0).then_some(p),
+                        (mask & 4 != 0).then_some(o),
+                    );
+                    let fl = PostingList::build(f, &pattern);
+                    let pl = PostingList::build(q, &pattern);
+                    assert_lists_bit_identical(
+                        &fl,
+                        &pl,
+                        &format!("{shards} shards, shard {i}, shape {mask:#05b}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Quantized weight codes never perturb ranking on the pools that
+    /// stress them most: tie-heavy pools (few distinct weights, many
+    /// repeats — code collisions guaranteed) and extreme-magnitude pools
+    /// (weights spanning ~1e-30 to ~1e35, outside the code's well-
+    /// resolved band). Packed serves bit-for-bit what Flat serves.
+    #[test]
+    fn quantized_ranking_survives_ties_and_extremes(
+        tie_rows in proptest::collection::vec((triple(4), 0u8..3, 0u8..2), 1..60),
+        extreme_rows in proptest::collection::vec((triple(4), 0u8..5, 0u8..4), 1..40),
+        p in term_id(TermKind::Resource, 4),
+    ) {
+        // Tie-heavy: confidences drawn from three exact values so many
+        // entries share a weight and therefore a quantized code.
+        let ties: Vec<(Triple, f32, u8)> = tie_rows
+            .iter()
+            .map(|&(t, lvl, sup)| (t, [0.25f32, 0.5, 1.0][lvl as usize], sup))
+            .collect();
+        // Extreme magnitudes: confidences from 1e-30 up to 1e35, well
+        // past the log-domain band the u16 code resolves cleanly.
+        let extremes: Vec<(Triple, f32, u8)> = extreme_rows
+            .iter()
+            .map(|&(t, lvl, sup)| {
+                (t, [1e-30f32, 1e-9, 1.0, 1e9, 1e35][lvl as usize], sup)
+            })
+            .collect();
+        for (pool, name) in [(&ties, "ties"), (&extremes, "extremes")] {
+            let flat = builder_from(pool).build();
+            let packed = builder_from(pool).build_with(SegmentLayout::Packed);
+            for pattern in [SlotPattern::any(), SlotPattern::with_p(p)] {
+                let fl = PostingList::build(&flat, &pattern);
+                let pl = PostingList::build(&packed, &pattern);
+                assert_lists_bit_identical(&fl, &pl, name);
+            }
         }
     }
 }
